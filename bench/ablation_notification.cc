@@ -1,0 +1,52 @@
+// Ablation: FD-based vs kernel-bypass notification (§3.4/§4.4), isolated
+// from everything else — identical async framework and heuristic polling,
+// only the event channel differs (this is exactly QAT+AH vs QTLS, swept
+// across worker counts and workloads).
+#include "figlib.h"
+
+using namespace qtls;
+using namespace qtls::bench;
+
+int main() {
+  print_header("Ablation: async event notification scheme",
+               "eventfd-through-epoll vs application async queue");
+
+  std::printf("Full TLS-RSA handshakes (5 offloads per connection):\n");
+  TextTable hs({"workers", "fd kCPS", "kernel-bypass kCPS", "gain"});
+  for (int workers : {2, 4, 8, 16, 24}) {
+    RunParams p = base_params();
+    p.workers = workers;
+    p.clients = 400;
+    p.suite = tls::CipherSuite::kTlsRsaWithAes128CbcSha;
+    p.config = Config::kQatAH;  // heuristic + FD
+    const double fd = sim::run_simulation(p).cps;
+    p.config = Config::kQtls;   // heuristic + kernel bypass
+    const double kb = sim::run_simulation(p).cps;
+    hs.add_row({std::to_string(workers), kcps(fd), kcps(kb),
+                format_double((kb / fd - 1.0) * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", hs.render().c_str());
+
+  std::printf("64KB transfers (cipher offload per 16KB record):\n");
+  TextTable tr({"clients", "fd Gbps", "kernel-bypass Gbps", "gain"});
+  for (int clients : {64, 128, 256}) {
+    RunParams p = base_params();
+    p.workers = 8;
+    p.clients = clients;
+    p.transfer_mode = true;
+    p.file_bytes = 64 * 1024;
+    p.config = Config::kQatAH;
+    const double fd = sim::run_simulation(p).throughput_gbps;
+    p.config = Config::kQtls;
+    const double kb = sim::run_simulation(p).throughput_gbps;
+    tr.add_row({std::to_string(clients), format_double(fd, 1),
+                format_double(kb, 1),
+                format_double((kb / fd - 1.0) * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", tr.render().c_str());
+  std::printf(
+      "The paper attributes +8%% CPS to kernel bypass (Fig. 7a); the gain\n"
+      "scales with offloads per unit of useful work, so cipher-heavy\n"
+      "transfers see more than handshakes do.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: per-instance request-ring capacity. §3.2 designs a retry path
+// for submission failures; this sweep shows when that path actually fires —
+// small rings at device saturation — and that QTLS's throughput is
+// insensitive to ring size once submissions stop failing.
+#include "figlib.h"
+
+using namespace qtls;
+using namespace qtls::bench;
+
+int main() {
+  print_header("Ablation: QAT request-ring capacity",
+               "CPS and ring-full retries at device saturation (32 workers)");
+
+  TextTable table({"ring", "kCPS", "retries/sec", "p99 latency ms"});
+  for (size_t ring : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    RunParams p = base_params();
+    p.config = Config::kQtls;
+    p.workers = 32;  // drives the card into saturation (~100K limit)
+    p.clients = 800;
+    p.suite = tls::CipherSuite::kTlsRsaWithAes128CbcSha;
+    p.ring_capacity = ring;
+    const RunResult r = sim::run_simulation(p);
+    const double secs = static_cast<double>(p.duration) / sim::kSec;
+    table.add_row(
+        {std::to_string(ring), kcps(r.cps),
+         format_double(static_cast<double>(r.submit_retries) / secs, 0),
+         format_double(
+             static_cast<double>(r.latency.percentile_nanos(99)) / 1e6, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Tiny rings reject submissions under burst (retry path exercised);\n"
+      "beyond ~16 slots the retries vanish and CPS is capacity-bound. Deep\n"
+      "rings only add queueing latency at saturation.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: the heuristic polling thresholds (§4.3's defaults of 48 for
+// asymmetric-heavy traffic, 24 otherwise — "a bigger threshold is used if
+// there exist inflight asymmetric crypto requests"). Sweeps the asym
+// threshold under full-handshake load and the sym threshold under
+// abbreviated load, at high concurrency where the efficiency constraint is
+// the binding one.
+#include "figlib.h"
+
+using namespace qtls;
+using namespace qtls::bench;
+
+namespace {
+
+void sweep(const char* title, double full_ratio) {
+  std::printf("%s\n", title);
+  TextTable table({"threshold", "kCPS", "polls/sec", "resp/poll"});
+  for (size_t threshold : {1u, 4u, 12u, 24u, 48u, 96u, 192u}) {
+    RunParams p = base_params();
+    p.config = Config::kQtls;
+    p.workers = 16;
+    p.clients = 1200;  // deep per-worker backlog so coalescing matters
+    p.suite = tls::CipherSuite::kEcdheRsaWithAes128CbcSha;
+    p.full_handshake_ratio = full_ratio;
+    p.heuristic.asym_threshold = threshold;
+    p.heuristic.sym_threshold = threshold;
+    const RunResult r = sim::run_simulation(p);
+    const double secs = static_cast<double>(p.duration) / sim::kSec;
+    const double polls_per_sec = static_cast<double>(r.heuristic_polls) / secs;
+    const double ops_per_hs = full_ratio > 0.5 ? 7.0 : 3.0;
+    const double resp_per_poll =
+        polls_per_sec > 0 ? r.cps * ops_per_hs / polls_per_sec : 0;
+    table.add_row({std::to_string(threshold), kcps(r.cps),
+                   format_double(polls_per_sec / 1000.0, 1) + "k",
+                   format_double(resp_per_poll, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: heuristic polling thresholds",
+               "CPS and poll efficiency vs threshold (16 workers)");
+  sweep("Full ECDHE-RSA handshakes (asym-dominated; default threshold 48):",
+        1.0);
+  sweep("Abbreviated handshakes (PRF-only; default threshold 24):", 0.0);
+  std::printf(
+      "Low thresholds poll per-response (many tiny polls); very high\n"
+      "thresholds defer to the timeliness constraint. The defaults sit on\n"
+      "the flat top of the CPS curve while maximizing responses per poll.\n");
+  return 0;
+}

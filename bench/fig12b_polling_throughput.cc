@@ -1,0 +1,52 @@
+// Figure 12b: polling schemes under the transfer workload — 64 KB file,
+// 8 workers, 16–512 concurrent clients (paper §5.6). Expected: with few
+// clients the 1 ms timer collapses throughput (every record batch waits up
+// to 1 ms); it converges toward the others as concurrency hides the
+// latency. Heuristic best everywhere.
+#include "figlib.h"
+
+using namespace qtls;
+using namespace qtls::bench;
+
+int main() {
+  print_header("Figure 12b",
+               "polling schemes: 64KB transfer throughput vs clients (Gbps)");
+
+  const std::vector<int> client_counts = {16, 32, 48, 64, 96, 128, 192, 256,
+                                          512};
+  TextTable table({"clients", "10us", "1ms", "heuristic"});
+  double t1ms_16 = 0, heur_16 = 0, t1ms_512 = 0, heur_512 = 0;
+
+  for (int clients : client_counts) {
+    auto run_with = [&](Config cfg, sim::SimTime interval) {
+      RunParams p = base_params();
+      p.config = cfg;
+      p.workers = 8;
+      p.clients = clients;
+      p.transfer_mode = true;
+      p.file_bytes = 64 * 1024;
+      p.timer_interval = interval;
+      return sim::run_simulation(p).throughput_gbps;
+    };
+    const double t10 = run_with(Config::kQatA, 10 * sim::kUs);
+    const double t1ms = run_with(Config::kQatA, 1 * sim::kMs);
+    const double heur = run_with(Config::kQtls, 10 * sim::kUs);
+    if (clients == 16) {
+      t1ms_16 = t1ms;
+      heur_16 = heur;
+    }
+    if (clients == 512) {
+      t1ms_512 = t1ms;
+      heur_512 = heur;
+    }
+    table.add_row({std::to_string(clients), format_double(t10, 1),
+                   format_double(t1ms, 1), format_double(heur, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Throughput in Gbps. Paper anchors:\n");
+  print_ratio("1ms collapse at 16 clients (heuristic/1ms, >>1)",
+              heur_16 / t1ms_16, 3.0);
+  print_ratio("convergence at 512 clients (heuristic/1ms, ~1)",
+              heur_512 / t1ms_512, 1.0);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7c: TLS 1.2 ECDHE-ECDSA full-handshake CPS across six NIST curves
+// with four workers (paper §5.2). Expected shapes: for P-256 the software
+// baseline is abnormally strong (Montgomery-friendly prime; SW beats QAT+S)
+// yet QTLS still gains >70%; P-384 gains ~14x; the binary/Koblitz curves
+// gain >12x.
+#include "figlib.h"
+
+using namespace qtls;
+using namespace qtls::bench;
+
+int main() {
+  print_header("Figure 7c",
+               "full handshake CPS, ECDHE-ECDSA across six curves (4 workers)");
+
+  const std::vector<CurveId> curves = {CurveId::kP256, CurveId::kP384,
+                                       CurveId::kB283, CurveId::kB409,
+                                       CurveId::kK283, CurveId::kK409};
+  TextTable table({"curve", "SW", "QAT+S", "QAT+A", "QAT+AH", "QTLS",
+                   "QTLS/SW"});
+  double sw_p256 = 0, qtls_p256 = 0, qats_p256 = 0;
+  double sw_p384 = 0, qtls_p384 = 0;
+  double min_binary_ratio = 1e9;
+
+  for (CurveId curve : curves) {
+    std::vector<std::string> row = {curve_name(curve)};
+    double sw = 0, qtls = 0;
+    for (Config cfg : all_configs()) {
+      RunParams p = base_params();
+      p.config = cfg;
+      p.workers = 4;
+      p.clients = 400;
+      p.suite = tls::CipherSuite::kEcdheEcdsaWithAes128CbcSha;
+      p.curve = curve;
+      const RunResult r = sim::run_simulation(p);
+      row.push_back(kcps(r.cps));
+      if (cfg == Config::kSW) sw = r.cps;
+      if (cfg == Config::kQtls) qtls = r.cps;
+      if (curve == CurveId::kP256 && cfg == Config::kQatS) qats_p256 = r.cps;
+    }
+    if (curve == CurveId::kP256) {
+      sw_p256 = sw;
+      qtls_p256 = qtls;
+    } else if (curve == CurveId::kP384) {
+      sw_p384 = sw;
+      qtls_p384 = qtls;
+    } else {
+      min_binary_ratio = std::min(min_binary_ratio, qtls / sw);
+    }
+    row.push_back(format_double(qtls / sw, 1) + "x");
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CPS in thousands. Paper anchors:\n");
+  print_ratio("SW(P-256) / QAT+S(P-256)  (SW wins: Montgomery prime)",
+              sw_p256 / qats_p256, 1.3);
+  print_ratio("QTLS / SW on P-256 (still >1.7x)", qtls_p256 / sw_p256, 1.7);
+  print_ratio("QTLS / SW on P-384", qtls_p384 / sw_p384, 14.0);
+  print_ratio("QTLS / SW worst of B/K curves (>12x)", min_binary_ratio, 12.0);
+  return 0;
+}

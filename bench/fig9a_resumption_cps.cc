@@ -1,0 +1,46 @@
+// Figure 9a: session resumption with 100% abbreviated handshakes,
+// ECDHE-RSA (2048-bit), 2–20 HT workers (paper §5.3). Expected shapes:
+// QTLS gains 30–40% over SW (only PRF ops to offload); QAT+S is *below*
+// SW — blocking on tiny PRF offloads costs more than computing them.
+#include "figlib.h"
+
+using namespace qtls;
+using namespace qtls::bench;
+
+int main() {
+  print_header("Figure 9a", "100% abbreviated handshakes, ECDHE-RSA");
+
+  const std::vector<int> worker_counts = {2, 4, 8, 12, 16, 20};
+  TextTable table({"workers", "SW", "QAT+S", "QAT+A", "QAT+AH", "QTLS",
+                   "QTLS/SW"});
+  double sw8 = 0, qtls8 = 0, qats8 = 0;
+
+  for (int workers : worker_counts) {
+    std::vector<std::string> row = {std::to_string(workers) + "HT"};
+    double sw = 0, qtls = 0;
+    for (Config cfg : all_configs()) {
+      RunParams p = base_params();
+      p.config = cfg;
+      p.workers = workers;
+      p.clients = 400;
+      p.suite = tls::CipherSuite::kEcdheRsaWithAes128CbcSha;
+      p.full_handshake_ratio = 0.0;  // s_time `reuse`: all abbreviated
+      const RunResult r = sim::run_simulation(p);
+      row.push_back(kcps(r.cps));
+      if (cfg == Config::kSW) sw = r.cps;
+      if (cfg == Config::kQtls) qtls = r.cps;
+      if (workers == 8 && cfg == Config::kQatS) qats8 = r.cps;
+    }
+    if (workers == 8) {
+      sw8 = sw;
+      qtls8 = qtls;
+    }
+    row.push_back(format_double(qtls / sw, 2) + "x");
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CPS in thousands. Paper anchors at 8HT:\n");
+  print_ratio("QTLS / SW (30-40%% expected)", qtls8 / sw8, 1.35);
+  print_ratio("QAT+S / SW (below 1.0: blocking loses)", qats8 / sw8, 0.8);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared scaffolding for the figure-reproduction benches: each binary sweeps
+// RunParams the way the paper's corresponding figure does and prints one row
+// per x-value with one column per configuration, plus the paper-vs-measured
+// ratio lines EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/system.h"
+
+namespace qtls::bench {
+
+using sim::Config;
+using sim::RunParams;
+using sim::RunResult;
+
+inline const std::vector<Config>& all_configs() {
+  static const std::vector<Config> kConfigs = {
+      Config::kSW, Config::kQatS, Config::kQatA, Config::kQatAH,
+      Config::kQtls};
+  return kConfigs;
+}
+
+// Sim duration scaling: QTLS_BENCH_DURATION_MS overrides the default
+// measurement window (the default keeps every bench binary in the seconds
+// range on one core).
+inline sim::SimTime bench_duration() {
+  if (const char* env = std::getenv("QTLS_BENCH_DURATION_MS"))
+    return static_cast<sim::SimTime>(std::atoll(env)) * sim::kMs;
+  return 1000 * sim::kMs;
+}
+
+inline RunParams base_params() {
+  RunParams p;
+  p.warmup = 600 * sim::kMs;
+  p.duration = bench_duration();
+  return p;
+}
+
+inline std::string kcps(double cps) { return format_double(cps / 1000.0, 1); }
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("=== %s — %s ===\n", figure, description);
+  std::printf(
+      "(virtual-time reproduction; shapes and ratios are the claim, not "
+      "absolute numbers — see EXPERIMENTS.md)\n\n");
+}
+
+inline void print_ratio(const char* label, double measured, double paper) {
+  std::printf("  %-44s measured %6.2f   paper %6.2f\n", label, measured,
+              paper);
+}
+
+}  // namespace qtls::bench

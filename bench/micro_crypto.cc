@@ -1,0 +1,153 @@
+// Microbenchmarks of the crypto substrate (google-benchmark): the measured
+// software costs that inform the cost model's SW column (sim/costs.h) —
+// note this machine's absolute numbers differ from the paper's E5-2699 v4,
+// which is why the simulator uses the paper-anchored constants instead.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/ec.h"
+#include "crypto/ec2m.h"
+#include "crypto/gcm.h"
+#include "crypto/keystore.h"
+
+namespace qtls {
+namespace {
+
+void BM_RsaSign2048(benchmark::State& state) {
+  const RsaPrivateKey& key = test_rsa2048();
+  const Bytes digest = sha256(to_bytes("bench"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign_pkcs1(key, digest));
+  }
+}
+BENCHMARK(BM_RsaSign2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify2048(benchmark::State& state) {
+  const RsaPrivateKey& key = test_rsa2048();
+  const Bytes digest = sha256(to_bytes("bench"));
+  const Bytes sig = rsa_sign_pkcs1(key, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_verify_pkcs1(key.pub, digest, sig).is_ok());
+  }
+}
+BENCHMARK(BM_RsaVerify2048)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaSignP256(benchmark::State& state) {
+  HmacDrbg rng = make_test_drbg(1);
+  const EcKeyPair& key = test_ec_key_p256();
+  const Bytes digest = sha256(to_bytes("bench"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ecdsa_sign(curve_p256(), key.priv, digest, rng));
+  }
+}
+BENCHMARK(BM_EcdsaSignP256)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdhP256(benchmark::State& state) {
+  HmacDrbg rng = make_test_drbg(2);
+  const EcKeyPair a = ec_generate_key(curve_p256(), rng);
+  const EcKeyPair b = ec_generate_key(curve_p256(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdh_shared_secret(curve_p256(), a.priv, b.pub));
+  }
+}
+BENCHMARK(BM_EcdhP256)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdhP384(benchmark::State& state) {
+  HmacDrbg rng = make_test_drbg(3);
+  const EcKeyPair a = ec_generate_key(curve_p384(), rng);
+  const EcKeyPair b = ec_generate_key(curve_p384(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdh_shared_secret(curve_p384(), a.priv, b.pub));
+  }
+}
+BENCHMARK(BM_EcdhP384)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdhBinary(benchmark::State& state) {
+  const Ec2mCurve& curve =
+      state.range(0) == 283 ? curve_k283() : curve_k409();
+  HmacDrbg rng = make_test_drbg(4);
+  const Ec2mKeyPair a = ec2m_generate_key(curve, rng);
+  const Ec2mKeyPair b = ec2m_generate_key(curve, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec2m_shared_secret(curve, a.priv, b.pub));
+  }
+}
+BENCHMARK(BM_EcdhBinary)->Arg(283)->Arg(409)->Unit(benchmark::kMicrosecond);
+
+void BM_Tls12Prf(benchmark::State& state) {
+  const Bytes secret(48, 0x5a);
+  const Bytes seed(64, 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tls12_prf(HashAlg::kSha256, secret, "key expansion", seed, 104));
+  }
+}
+BENCHMARK(BM_Tls12Prf)->Unit(benchmark::kMicrosecond);
+
+void BM_HkdfExpandLabel(benchmark::State& state) {
+  const Bytes secret(32, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hkdf_expand_label(HashAlg::kSha256, secret, "key", {}, 16));
+  }
+}
+BENCHMARK(BM_HkdfExpandLabel)->Unit(benchmark::kMicrosecond);
+
+void BM_CbcHmacSeal16K(benchmark::State& state) {
+  CbcHmacKeys keys;
+  keys.enc_key = Bytes(16, 0x01);
+  keys.mac_key = Bytes(20, 0x02);
+  const Bytes iv(16, 0x03);
+  const Bytes fragment(static_cast<size_t>(state.range(0)), 0x42);
+  Bytes header = {23, 3, 3, 0, 0};
+  header[3] = static_cast<uint8_t>(fragment.size() >> 8);
+  header[4] = static_cast<uint8_t>(fragment.size());
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbc_hmac_seal(keys, seq++, header, iv, fragment));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CbcHmacSeal16K)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_GcmSeal(benchmark::State& state) {
+  const Bytes key(16, 0x01);
+  const Bytes nonce(12, 0x02);
+  const Bytes aad(5, 0x03);
+  const Bytes pt(static_cast<size_t>(state.range(0)), 0x42);
+  Aes aes(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm_seal(aes, nonce, aad, pt));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GcmSeal)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_Sha256_1K(benchmark::State& state) {
+  const Bytes data(1024, 0x77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1K);
+
+void BM_AesBlock(benchmark::State& state) {
+  Aes aes(Bytes(16, 0x01));
+  uint8_t in[16] = {0};
+  uint8_t out[16];
+  for (auto _ : state) {
+    aes.encrypt_block(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesBlock);
+
+}  // namespace
+}  // namespace qtls
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// HTTPS web server example — the paper's evaluation setup in one process:
+// an event-driven worker with the full QTLS pipeline (async offload +
+// heuristic polling + kernel-bypass notification), configured through the
+// Appendix A.7 ssl_engine framework, plus an in-process client fleet.
+//
+// Default ("self test"): drive N clients over AF_UNIX socketpairs for a few
+// seconds and print throughput/latency stats. With --listen <port> it
+// instead serves HTTPS on 127.0.0.1:<port> until interrupted (connect with
+// the tls_terminator example or this binary's own client mode is left as an
+// exercise — the wire format is this library's own; see DESIGN.md §5).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "client/https_client.h"
+#include "crypto/keystore.h"
+#include "server/worker.h"
+
+using namespace qtls;
+
+namespace {
+
+const char* kConf = R"(
+worker_processes 1;
+ssl_engine {
+    use qat_engine;
+    default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+    qat_engine {
+        qat_offload_mode async;
+        qat_notify_mode poll;          # kernel-bypass async queue
+        qat_poll_mode heuristic;
+        qat_heuristic_poll_asym_threshold 48;
+        qat_heuristic_poll_sym_threshold 24;
+    }
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int listen_port = -1;
+  int seconds = 3;
+  int clients = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc)
+      listen_port = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
+      seconds = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+      clients = std::atoi(argv[++i]);
+  }
+
+  // Accelerator + engine from the configuration framework.
+  auto settings = server::parse_ssl_engine_settings(kConf);
+  if (!settings.is_ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 settings.status().to_string().c_str());
+    return 1;
+  }
+  qat::QatDevice device;  // DH8970-shaped: 3 endpoints x 12 engines
+  engine::QatEngineProvider qat_engine(device.allocate_instance(),
+                                       settings.value().engine);
+
+  tls::TlsContextConfig tls_config;
+  tls_config.is_server = true;
+  tls_config.async_mode =
+      settings.value().engine.offload_mode == engine::OffloadMode::kAsync;
+  tls_config.cipher_suites = {tls::CipherSuite::kEcdheRsaWithAes128CbcSha,
+                              tls::CipherSuite::kTlsRsaWithAes128CbcSha};
+  tls::TlsContext tls_ctx(tls_config, &qat_engine);
+  tls_ctx.credentials().rsa_key = &test_rsa2048();
+  tls_ctx.credentials().ecdsa_p256 = &test_ec_key_p256();
+
+  server::WorkerConfig worker_config;
+  worker_config.notify = settings.value().notify;
+  worker_config.poll = settings.value().poll;
+  worker_config.heuristic = settings.value().heuristic;
+  worker_config.response_body_size = 1024;
+  server::Worker worker(&tls_ctx, &qat_engine, worker_config);
+
+  if (listen_port >= 0) {
+    auto status = worker.add_listener(static_cast<uint16_t>(listen_port));
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("serving HTTPS on 127.0.0.1:%u (ctrl-c to stop)\n",
+                worker.listen_port());
+    worker.run_until([] { return false; });
+    return 0;
+  }
+
+  // Self test: in-process clients over socketpairs.
+  engine::SoftwareProvider client_provider;
+  tls::TlsContextConfig client_config;
+  client_config.cipher_suites = tls_config.cipher_suites;
+  tls::TlsContext client_ctx(client_config, &client_provider);
+
+  client::Pool pool;
+  for (int i = 0; i < clients; ++i) {
+    client::ClientOptions copts;
+    copts.keepalive = false;  // s_time style: handshake per request
+    copts.full_handshake_ratio = 0.5;
+    pool.add(std::make_unique<client::HttpsClient>(
+        &client_ctx,
+        [&worker]() -> int {
+          auto pair = net::make_socketpair();
+          if (!pair.is_ok()) return -1;
+          (void)worker.adopt(pair.value().second);
+          return pair.value().first;
+        },
+        copts, 1000 + static_cast<uint64_t>(i)));
+  }
+
+  std::printf("self test: %d clients, %d seconds, QTLS configuration\n",
+              clients, seconds);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (auto& c : pool.clients()) c->step();
+    worker.run_once(0);
+  }
+
+  const client::ClientStats stats = pool.aggregate();
+  const auto& wstats = worker.stats();
+  std::printf("\nresults over %ds:\n", seconds);
+  std::printf("  handshakes: %llu (%llu resumed)\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.resumed));
+  std::printf("  requests:   %llu, errors: %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.errors));
+  std::printf("  CPS:        %.0f\n",
+              static_cast<double>(stats.connections) / seconds);
+  std::printf("  latency:    %s\n", stats.response_time.summary().c_str());
+  std::printf("  worker: async parks=%llu disorder events=%llu\n",
+              static_cast<unsigned long long>(wstats.async_parks),
+              static_cast<unsigned long long>(wstats.disorder_events));
+  if (worker.poller_stats()) {
+    std::printf("  heuristic polls=%llu (timeliness=%llu efficiency=%llu)\n",
+                static_cast<unsigned long long>(worker.poller_stats()->polls),
+                static_cast<unsigned long long>(
+                    worker.poller_stats()->timeliness_triggers),
+                static_cast<unsigned long long>(
+                    worker.poller_stats()->efficiency_triggers));
+  }
+  std::printf("  device: %s\n", device.fw_counters().to_string().c_str());
+  return stats.errors == 0 ? 0 : 1;
+}

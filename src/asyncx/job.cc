@@ -1,0 +1,102 @@
+#include "asyncx/job.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace qtls::asyncx {
+
+namespace {
+
+std::atomic<uint64_t> g_context_swaps{0};
+
+// Per-thread state: current running job + pool of recycled jobs.
+thread_local AsyncJob* t_current_job = nullptr;
+thread_local std::vector<std::unique_ptr<AsyncJob>> t_pool;
+
+std::unique_ptr<AsyncJob> acquire_job() {
+  if (!t_pool.empty()) {
+    auto job = std::move(t_pool.back());
+    t_pool.pop_back();
+    return job;
+  }
+  return std::make_unique<AsyncJob>();
+}
+
+void release_job(std::unique_ptr<AsyncJob> job) {
+  constexpr size_t kMaxPooled = 1024;
+  job->recycle();  // keeps the stack allocation alive for reuse
+  if (t_pool.size() < kMaxPooled) t_pool.push_back(std::move(job));
+}
+
+}  // namespace
+
+AsyncJob::AsyncJob() : stack_(new uint8_t[kStackSize]) {}
+
+uint64_t AsyncJob::total_context_swaps() {
+  return g_context_swaps.load(std::memory_order_relaxed);
+}
+
+void AsyncJob::trampoline() {
+  AsyncJob* job = t_current_job;
+  assert(job != nullptr);
+  job->ret_ = job->fn_ ? job->fn_() : 0;
+  job->finished_ = true;
+  // Fall through: uc_link returns to caller_ctx_.
+}
+
+JobStatus start_job(AsyncJob** job, WaitCtx* wait_ctx, int* ret,
+                    std::function<int()> fn) {
+  assert(t_current_job == nullptr && "nested async jobs are not supported");
+
+  AsyncJob* j = *job;
+  if (j == nullptr) {
+    // New job: arm a fresh fiber context.
+    auto owned = acquire_job();
+    j = owned.release();
+    j->fn_ = std::move(fn);
+    j->wait_ctx_ = wait_ctx;
+    j->finished_ = false;
+    j->entered_ = true;
+    if (getcontext(&j->job_ctx_) != 0) {
+      release_job(std::unique_ptr<AsyncJob>(j));
+      return JobStatus::kError;
+    }
+    j->job_ctx_.uc_stack.ss_sp = j->stack_.get();
+    j->job_ctx_.uc_stack.ss_size = AsyncJob::kStackSize;
+    j->job_ctx_.uc_link = &j->caller_ctx_;
+    makecontext(&j->job_ctx_, reinterpret_cast<void (*)()>(&AsyncJob::trampoline), 0);
+  } else {
+    // Resuming: the paused fiber jumps straight to its pause point.
+    assert(!j->finished_);
+    j->wait_ctx_ = wait_ctx ? wait_ctx : j->wait_ctx_;
+  }
+
+  t_current_job = j;
+  g_context_swaps.fetch_add(1, std::memory_order_relaxed);
+  swapcontext(&j->caller_ctx_, &j->job_ctx_);  // run/resume the fiber
+  t_current_job = nullptr;
+
+  if (j->finished_) {
+    if (ret) *ret = j->ret_;
+    *job = nullptr;
+    release_job(std::unique_ptr<AsyncJob>(j));
+    return JobStatus::kFinished;
+  }
+  *job = j;
+  return JobStatus::kPaused;
+}
+
+void pause_job() {
+  AsyncJob* j = t_current_job;
+  assert(j != nullptr && "pause_job outside an async job");
+  g_context_swaps.fetch_add(1, std::memory_order_relaxed);
+  swapcontext(&j->job_ctx_, &j->caller_ctx_);
+}
+
+AsyncJob* get_current_job() { return t_current_job; }
+
+size_t pooled_jobs() { return t_pool.size(); }
+
+}  // namespace qtls::asyncx

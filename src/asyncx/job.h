@@ -1,0 +1,93 @@
+// Fiber async jobs — the paper's §4.1 "fiber async" implementation, the one
+// adopted by OpenSSL 1.1.0 (ASYNC_start_job / ASYNC_pause_job /
+// ASYNC_get_current_job), rebuilt on ucontext.
+//
+// Protocol (mirrors OpenSSL):
+//   AsyncJob* job = nullptr;
+//   switch (start_job(&job, &wait_ctx, &ret, fn)) {
+//     case JobStatus::kFinished: // fn ran to completion; ret is its result,
+//                                // job reset to nullptr
+//     case JobStatus::kPaused:   // fn called pause_job(); keep `job` and
+//                                // call start_job again later to resume at
+//                                // the pause point
+//     case JobStatus::kError:    // could not allocate a job
+//   }
+// Inside fn (any call depth): get_current_job() identifies the async
+// context, pause_job() swaps back to the caller.
+//
+// Jobs are recycled through a per-thread pool: fiber creation costs a stack
+// allocation, so steady-state handshakes reuse stacks (same reason OpenSSL
+// pools ASYNC_JOBs).
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "asyncx/wait_ctx.h"
+
+namespace qtls::asyncx {
+
+enum class JobStatus { kFinished, kPaused, kError };
+
+class AsyncJob {
+ public:
+  static constexpr size_t kStackSize = 256 * 1024;
+
+  AsyncJob();
+
+  WaitCtx* wait_ctx() const { return wait_ctx_; }
+  int ret() const { return ret_; }
+
+  // Diagnostic counters.
+  static uint64_t total_context_swaps();
+
+  // Internal: clears per-run state while keeping the stack allocation so the
+  // per-thread pool reuses it. Called by the pool, not by users.
+  void recycle() {
+    fn_ = nullptr;
+    wait_ctx_ = nullptr;
+    ret_ = 0;
+    finished_ = true;
+    entered_ = false;
+  }
+
+ private:
+  friend JobStatus start_job(AsyncJob** job, WaitCtx* wait_ctx, int* ret,
+                             std::function<int()> fn);
+  friend void pause_job();
+  friend AsyncJob* get_current_job();
+  friend class JobPool;
+
+  static void trampoline();
+
+  ucontext_t job_ctx_{};
+  ucontext_t caller_ctx_{};
+  std::unique_ptr<uint8_t[]> stack_;
+  std::function<int()> fn_;
+  WaitCtx* wait_ctx_ = nullptr;
+  int ret_ = 0;
+  bool finished_ = true;
+  bool entered_ = false;  // context ever prepared (stack armed)
+};
+
+// OpenSSL-style API. `*job == nullptr` starts a new job, otherwise resumes
+// the paused one. On kFinished the job is recycled and *job reset to null.
+JobStatus start_job(AsyncJob** job, WaitCtx* wait_ctx, int* ret,
+                    std::function<int()> fn);
+
+// Must be called from inside a running job: swaps control back to the
+// start_job caller, which observes kPaused.
+void pause_job();
+
+// Nullptr when not inside a job — the QAT Engine uses this to decide
+// between the sync path and the async offload path (§4.1).
+AsyncJob* get_current_job();
+
+// Number of pooled (idle) jobs on this thread, for tests.
+size_t pooled_jobs();
+
+}  // namespace qtls::asyncx

@@ -1,0 +1,63 @@
+// Stack async — the paper's first-generation §4.1 implementation: instead of
+// a fiber, the crypto call site carries an explicit state flag and the
+// normal program sequence is re-entered and carefully skipped around.
+//
+//   state kIdle     : first call — submit the crypto request, flag kInflight,
+//                     return "paused" to the caller.
+//   state kInflight : response not yet retrieved — still paused.
+//   state kReady    : response retrieved — jump over the submission and
+//                     consume the result; flag returns to kIdle.
+//   state kRetry    : the submission failed (ring full) — re-enter to
+//                     resubmit.
+//
+// This is the intrusive variant the OpenSSL community rejected in favour of
+// fiber async; we keep both, as the paper does, and benchmark the switch
+// cost difference in bench/micro_async.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+namespace qtls::asyncx {
+
+enum class StackAsyncState { kIdle, kInflight, kReady, kRetry };
+
+// One in-flight operation slot with a typed result. The TLS layer embeds one
+// per connection (each connection has at most one async crypto op at a time,
+// paper §3.3).
+template <typename T>
+class StackAsyncSlot {
+ public:
+  StackAsyncState state() const { return state_; }
+  bool idle() const { return state_ == StackAsyncState::kIdle; }
+  bool inflight() const { return state_ == StackAsyncState::kInflight; }
+  bool ready() const { return state_ == StackAsyncState::kReady; }
+  bool want_retry() const { return state_ == StackAsyncState::kRetry; }
+
+  // Submission succeeded: mark inflight.
+  void mark_inflight() { state_ = StackAsyncState::kInflight; }
+  // Submission failed (e.g. QAT request ring full): mark for retry.
+  void mark_retry() { state_ = StackAsyncState::kRetry; }
+  // Response callback stores the result and flips the flag to ready.
+  void complete(T result) {
+    result_ = std::move(result);
+    state_ = StackAsyncState::kReady;
+  }
+  // Consume the result; resets to idle. Precondition: ready().
+  T take() {
+    T out = std::move(*result_);
+    result_.reset();
+    state_ = StackAsyncState::kIdle;
+    return out;
+  }
+  void reset() {
+    result_.reset();
+    state_ = StackAsyncState::kIdle;
+  }
+
+ private:
+  StackAsyncState state_ = StackAsyncState::kIdle;
+  std::optional<T> result_;
+};
+
+}  // namespace qtls::asyncx

@@ -1,0 +1,50 @@
+#include "asyncx/wait_ctx.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace qtls::asyncx {
+
+WaitCtx::~WaitCtx() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int WaitCtx::ensure_fd() {
+  if (fd_ < 0) {
+    fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (fd_ < 0) QTLS_ERROR << "eventfd failed";
+  }
+  return fd_;
+}
+
+void WaitCtx::signal_fd() {
+  if (fd_ < 0) return;
+  const uint64_t one = 1;
+  // The write enters the kernel — this is exactly the cost the
+  // kernel-bypass scheme removes.
+  [[maybe_unused]] ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void WaitCtx::clear_fd() {
+  if (fd_ < 0) return;
+  uint64_t value = 0;
+  [[maybe_unused]] ssize_t n = ::read(fd_, &value, sizeof(value));
+}
+
+bool WaitCtx::notify() {
+  if (callback_) {
+    callback_(callback_arg_);
+    return true;
+  }
+  if (fd_ >= 0) {
+    signal_fd();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace qtls::asyncx

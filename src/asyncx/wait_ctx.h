@@ -1,0 +1,57 @@
+// Wait context attached to an async job — the reproduction of OpenSSL's
+// ASYNC_WAIT_CTX as the paper extends it (§4.4):
+//  * FD-based notification: a notification FD (eventfd) the application adds
+//    to its I/O multiplexing set; the response callback signals it.
+//  * Kernel-bypass notification: `callback` + `callback_arg` members (the
+//    paper's new OpenSSL APIs SSL_set_async_callback /
+//    ASYNC_WAIT_CTX_get_callback) so the QAT response callback can deliver
+//    the async event by direct function call, no kernel transition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace qtls::asyncx {
+
+using NotifyCallback = void (*)(void* arg);
+
+class WaitCtx {
+ public:
+  WaitCtx() = default;
+  ~WaitCtx();
+
+  WaitCtx(const WaitCtx&) = delete;
+  WaitCtx& operator=(const WaitCtx&) = delete;
+
+  // --- FD-based notification -------------------------------------------
+  // Lazily creates the notification eventfd (the §4.4 optimization: one FD
+  // shared across all async jobs of a TLS connection).
+  int ensure_fd();
+  int fd() const { return fd_; }
+  bool has_fd() const { return fd_ >= 0; }
+  // Signal from the response callback: makes the FD readable.
+  void signal_fd();
+  // Drain pending signals (application side, after epoll reports readable).
+  void clear_fd();
+
+  // --- Kernel-bypass notification --------------------------------------
+  void set_callback(NotifyCallback cb, void* arg) {
+    callback_ = cb;
+    callback_arg_ = arg;
+  }
+  NotifyCallback callback() const { return callback_; }
+  void* callback_arg() const { return callback_arg_; }
+  bool has_callback() const { return callback_ != nullptr; }
+
+  // Dispatch one async event through whichever scheme is configured:
+  // callback if set (kernel-bypass), else FD signal if set, else no-op.
+  // Returns true if a notification was delivered.
+  bool notify();
+
+ private:
+  int fd_ = -1;
+  NotifyCallback callback_ = nullptr;
+  void* callback_arg_ = nullptr;
+};
+
+}  // namespace qtls::asyncx

@@ -1,0 +1,188 @@
+#include "client/https_client.h"
+#include <cassert>
+
+#include <chrono>
+
+#include "common/log.h"
+
+namespace qtls::client {
+
+namespace {
+uint64_t now_ns() {
+  using namespace std::chrono;
+  return static_cast<uint64_t>(
+      duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+HttpsClient::HttpsClient(tls::TlsContext* ctx, ConnectFn connect,
+                         ClientOptions options, uint64_t seed)
+    : ctx_(ctx),
+      connect_(std::move(connect)),
+      options_(options),
+      rng_(seed) {
+  // Clients run their TLS ops synchronously; async client contexts would
+  // need the buffers here to be pause-stable.
+  assert(!ctx->config().async_mode);
+}
+
+HttpsClient::~HttpsClient() = default;
+
+void HttpsClient::open_connection() {
+  const int fd = connect_();
+  if (fd < 0) {
+    ++stats_.errors;
+    state_ = State::kIdle;
+    return;
+  }
+  transport_ = std::make_unique<net::SocketTransport>(fd);
+  tls_ = std::make_unique<tls::TlsConnection>(ctx_, transport_.get());
+  offered_resumption_ = false;
+  if (session_.has_value() &&
+      rng_.uniform01() >= options_.full_handshake_ratio) {
+    tls_->offer_session(*session_);
+    offered_resumption_ = true;
+  }
+  state_ = State::kHandshake;
+  request_start_ns_ = now_ns();
+}
+
+void HttpsClient::fail_connection() {
+  ++stats_.errors;
+  tls_.reset();
+  transport_.reset();
+  state_ = State::kIdle;
+}
+
+void HttpsClient::finish_request() {
+  ++stats_.requests;
+  stats_.response_time.record(now_ns() - request_start_ns_);
+  if (options_.max_requests > 0 && stats_.requests >= options_.max_requests) {
+    (void)tls_->shutdown();
+    tls_.reset();
+    transport_.reset();
+    finished_ = true;
+    state_ = State::kClosed;
+    return;
+  }
+  if (options_.keepalive) {
+    request_sent_ = false;
+    head_parsed_ = false;
+    request_start_ns_ = now_ns();
+    state_ = State::kSend;
+  } else {
+    (void)tls_->shutdown();
+    tls_.reset();
+    transport_.reset();
+    state_ = State::kIdle;  // reconnect on the next step
+  }
+}
+
+bool HttpsClient::step() {
+  if (finished_) return false;
+  switch (state_) {
+    case State::kClosed:
+      return false;
+    case State::kIdle:
+      open_connection();
+      return true;
+    case State::kHandshake: {
+      const tls::TlsResult r = tls_->handshake();
+      if (r == tls::TlsResult::kWantRead || r == tls::TlsResult::kWantWrite ||
+          r == tls::TlsResult::kWantAsync)
+        return true;
+      if (r != tls::TlsResult::kOk) {
+        fail_connection();
+        return true;
+      }
+      ++stats_.connections;
+      if (tls_->resumed_session()) ++stats_.resumed;
+      if (tls_->established_session().has_value())
+        session_ = tls_->established_session();
+      request_sent_ = false;
+      head_parsed_ = false;
+      state_ = State::kSend;
+      return true;
+    }
+    case State::kSend: {
+      tls::TlsResult r;
+      if (!request_sent_) {
+        const Bytes request =
+            server::build_http_request(options_.path, options_.keepalive);
+        request_sent_ = true;
+        r = tls_->write(request);
+      } else {
+        r = tls_->write({});
+      }
+      if (r == tls::TlsResult::kWantWrite || r == tls::TlsResult::kWantAsync)
+        return true;
+      if (r != tls::TlsResult::kOk) {
+        fail_connection();
+        return true;
+      }
+      rx_buffer_.clear();
+      state_ = State::kRecvHead;
+      return true;
+    }
+    case State::kRecvHead: {
+      const tls::TlsResult r = tls_->read(&rx_buffer_);
+      if (r == tls::TlsResult::kWantRead || r == tls::TlsResult::kWantAsync)
+        return true;
+      if (r != tls::TlsResult::kOk) {
+        fail_connection();
+        return true;
+      }
+      auto head = server::parse_http_response_head(rx_buffer_);
+      if (!head.has_value()) return true;  // header incomplete, keep reading
+      if (head->status != 200) {
+        fail_connection();
+        return true;
+      }
+      const size_t body_got = rx_buffer_.size() - head->header_bytes;
+      stats_.bytes_received += rx_buffer_.size();
+      if (body_got >= head->content_length) {
+        finish_request();
+        return !finished_;
+      }
+      body_remaining_ = head->content_length - body_got;
+      state_ = State::kRecvBody;
+      return true;
+    }
+    case State::kRecvBody: {
+      body_buffer_.clear();
+      const tls::TlsResult r = tls_->read(&body_buffer_);
+      if (r == tls::TlsResult::kWantRead || r == tls::TlsResult::kWantAsync)
+        return true;
+      if (r != tls::TlsResult::kOk) {
+        fail_connection();
+        return true;
+      }
+      stats_.bytes_received += body_buffer_.size();
+      if (body_buffer_.size() >= body_remaining_) {
+        body_remaining_ = 0;
+        finish_request();
+        return !finished_;
+      }
+      body_remaining_ -= body_buffer_.size();
+      return true;
+    }
+  }
+  return true;
+}
+
+ClientStats Pool::aggregate() const {
+  ClientStats total;
+  for (const auto& c : clients_) {
+    const ClientStats& s = c->stats();
+    total.connections += s.connections;
+    total.resumed += s.resumed;
+    total.requests += s.requests;
+    total.bytes_received += s.bytes_received;
+    total.errors += s.errors;
+    total.response_time.merge(s.response_time);
+  }
+  return total;
+}
+
+}  // namespace qtls::client

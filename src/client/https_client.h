@@ -1,0 +1,112 @@
+// Event-driven HTTPS load clients — in-process stand-ins for the paper's
+// benchmark tools:
+//  * s_time-like connection driver: open, full or abbreviated handshake,
+//    one small request, close, repeat (CPS measurement; the `reuse` option
+//    is the session-offer knob);
+//  * ApacheBench-like transfer driver: keepalive connection requesting a
+//    fixed object in a loop (throughput / response-time measurement).
+//
+// Clients are cooperative state machines: step() never blocks, so a test or
+// bench can interleave many clients with one or more Workers in one thread.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/socket_transport.h"
+#include "server/http.h"
+#include "tls/connection.h"
+
+namespace qtls::client {
+
+// Returns a connected fd whose peer end has been handed to a server.
+using ConnectFn = std::function<int()>;
+
+struct ClientOptions {
+  std::string path = "/index.html";
+  bool keepalive = false;     // s_time: one request per connection
+  // Fraction of connections performing a full handshake; the rest offer the
+  // last established session (paper §5.3's full:abbreviated mix).
+  double full_handshake_ratio = 1.0;
+  // Stop issuing new requests/connections after this many completions
+  // (0 = unlimited; the driver loop decides when to stop).
+  uint64_t max_requests = 0;
+};
+
+struct ClientStats {
+  uint64_t connections = 0;        // completed handshakes
+  uint64_t resumed = 0;
+  uint64_t requests = 0;           // completed request/response pairs
+  uint64_t bytes_received = 0;
+  uint64_t errors = 0;
+  LatencyHistogram response_time;  // request -> full response
+};
+
+class HttpsClient {
+ public:
+  HttpsClient(tls::TlsContext* ctx, ConnectFn connect, ClientOptions options,
+              uint64_t seed = 1);
+  ~HttpsClient();
+
+  // Advance as far as possible without blocking. Returns true while active
+  // (false once max_requests reached and the connection is closed).
+  bool step();
+
+  const ClientStats& stats() const { return stats_; }
+  bool finished() const { return finished_; }
+
+ private:
+  enum class State {
+    kIdle,        // no connection
+    kHandshake,
+    kSend,
+    kRecvHead,
+    kRecvBody,
+    kClosed,
+  };
+
+  void open_connection();
+  void finish_request();
+  void fail_connection();
+
+  tls::TlsContext* ctx_;
+  ConnectFn connect_;
+  ClientOptions options_;
+  Rng rng_;
+
+  State state_ = State::kIdle;
+  std::unique_ptr<net::SocketTransport> transport_;
+  std::unique_ptr<tls::TlsConnection> tls_;
+  std::optional<tls::ClientSession> session_;
+  bool offered_resumption_ = false;
+
+  Bytes rx_buffer_;
+  Bytes body_buffer_;
+  size_t body_remaining_ = 0;
+  bool head_parsed_ = false;
+  bool request_sent_ = false;
+  uint64_t request_start_ns_ = 0;
+
+  ClientStats stats_;
+  bool finished_ = false;
+};
+
+// Convenience: drive a set of clients and a worker until every client
+// finishes or the deadline passes. Returns false on deadline.
+class Pool {
+ public:
+  void add(std::unique_ptr<HttpsClient> client) {
+    clients_.push_back(std::move(client));
+  }
+  std::vector<std::unique_ptr<HttpsClient>>& clients() { return clients_; }
+
+  ClientStats aggregate() const;
+
+ private:
+  std::vector<std::unique_ptr<HttpsClient>> clients_;
+};
+
+}  // namespace qtls::client

@@ -1,0 +1,131 @@
+// Byte-buffer helpers shared by the crypto and TLS layers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qtls {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+std::string to_hex(BytesView data);
+Bytes from_hex(const std::string& hex);
+
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline void append_u8(Bytes& dst, uint8_t v) { dst.push_back(v); }
+
+inline void append_u16(Bytes& dst, uint16_t v) {
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+  dst.push_back(static_cast<uint8_t>(v));
+}
+
+inline void append_u24(Bytes& dst, uint32_t v) {
+  dst.push_back(static_cast<uint8_t>(v >> 16));
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+  dst.push_back(static_cast<uint8_t>(v));
+}
+
+inline void append_u32(Bytes& dst, uint32_t v) {
+  dst.push_back(static_cast<uint8_t>(v >> 24));
+  dst.push_back(static_cast<uint8_t>(v >> 16));
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+  dst.push_back(static_cast<uint8_t>(v));
+}
+
+inline void append_u64(Bytes& dst, uint64_t v) {
+  append_u32(dst, static_cast<uint32_t>(v >> 32));
+  append_u32(dst, static_cast<uint32_t>(v));
+}
+
+// Big-endian reader with bounds tracking; TLS parsers check ok() once per
+// message rather than per field.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+  uint16_t u16() {
+    if (!check(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t u24() {
+    if (!check(3)) return 0;
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 2]);
+    pos_ += 3;
+    return v;
+  }
+  uint32_t u32() {
+    if (!check(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+  uint64_t u64() {
+    uint64_t hi = u32();
+    return hi << 32 | u32();
+  }
+  Bytes bytes(size_t n) {
+    if (!check(n)) return {};
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  BytesView view(size_t n) {
+    if (!check(n)) return {};
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  void skip(size_t n) { check(n) ? void(pos_ += n) : void(); }
+
+ private:
+  bool check(size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  BytesView data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Constant-time-ish equality for MACs/verify data. The crypto here is not
+// side-channel hardened (see DESIGN.md), but comparisons are still branch-
+// free to keep the idiom right.
+bool ct_equal(BytesView a, BytesView b);
+
+// Best-effort secure wipe (private keys, premaster secrets).
+void secure_wipe(void* p, size_t n);
+
+}  // namespace qtls

@@ -1,0 +1,223 @@
+#include "common/conf.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace qtls {
+
+namespace {
+
+struct Token {
+  enum Kind { kWord, kSemi, kOpen, kClose, kEnd } kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<Token> next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return Token{Token::kEnd, "", line_};
+    const char c = text_[pos_];
+    if (c == ';') {
+      ++pos_;
+      return Token{Token::kSemi, ";", line_};
+    }
+    if (c == '{') {
+      ++pos_;
+      return Token{Token::kOpen, "{", line_};
+    }
+    if (c == '}') {
+      ++pos_;
+      return Token{Token::kClose, "}", line_};
+    }
+    if (c == '"' || c == '\'') return quoted(c);
+    std::string word;
+    while (pos_ < text_.size() && !std::isspace(static_cast<uint8_t>(text_[pos_])) &&
+           text_[pos_] != ';' && text_[pos_] != '{' && text_[pos_] != '}' &&
+           text_[pos_] != '#') {
+      word.push_back(text_[pos_++]);
+    }
+    return Token{Token::kWord, word, line_};
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<uint8_t>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> quoted(char quote) {
+    const int start_line = line_;
+    ++pos_;
+    std::string word;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '\n') ++line_;
+      word.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size())
+      return err(Code::kInvalidArgument,
+                 "unterminated quote at line " + std::to_string(start_line));
+    ++pos_;
+    return Token{Token::kWord, word, start_line};
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status parse_block_body(Lexer& lexer, ConfBlock* block, bool is_root) {
+  std::vector<std::string> words;
+  int first_line = 0;
+  for (;;) {
+    QTLS_ASSIGN_OR_RETURN(Token tok, lexer.next());
+    switch (tok.kind) {
+      case Token::kWord:
+        if (words.empty()) first_line = tok.line;
+        words.push_back(std::move(tok.text));
+        break;
+      case Token::kSemi: {
+        if (words.empty())
+          return err(Code::kInvalidArgument,
+                     "empty directive at line " + std::to_string(tok.line));
+        ConfDirective d;
+        d.name = words.front();
+        d.args.assign(words.begin() + 1, words.end());
+        d.line = first_line;
+        block->add_directive(std::move(d));
+        words.clear();
+        break;
+      }
+      case Token::kOpen: {
+        if (words.empty())
+          return err(Code::kInvalidArgument,
+                     "unnamed block at line " + std::to_string(tok.line));
+        std::string name = words.front();
+        std::vector<std::string> args(words.begin() + 1, words.end());
+        words.clear();
+        ConfBlock* child = block->add_block(std::move(name), std::move(args));
+        QTLS_RETURN_IF_ERROR(parse_block_body(lexer, child, false));
+        break;
+      }
+      case Token::kClose:
+        if (is_root)
+          return err(Code::kInvalidArgument,
+                     "unbalanced '}' at line " + std::to_string(tok.line));
+        if (!words.empty())
+          return err(Code::kInvalidArgument,
+                     "directive missing ';' before '}' at line " +
+                         std::to_string(tok.line));
+        return Status::ok();
+      case Token::kEnd:
+        if (!is_root)
+          return err(Code::kInvalidArgument, "missing '}' at end of input");
+        if (!words.empty())
+          return err(Code::kInvalidArgument, "directive missing ';' at end");
+        return Status::ok();
+    }
+  }
+}
+
+}  // namespace
+
+const ConfDirective* ConfBlock::find(const std::string& name) const {
+  for (const auto& d : directives_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+const ConfBlock* ConfBlock::find_block(const std::string& name) const {
+  for (const auto& b : blocks_)
+    if (b->name() == name) return b.get();
+  return nullptr;
+}
+
+std::string ConfBlock::get_string(const std::string& name,
+                                  const std::string& dflt) const {
+  const ConfDirective* d = find(name);
+  return d && !d->args.empty() ? d->args[0] : dflt;
+}
+
+int64_t ConfBlock::get_int(const std::string& name, int64_t dflt) const {
+  const ConfDirective* d = find(name);
+  if (!d || d->args.empty()) return dflt;
+  try {
+    return std::stoll(d->args[0]);
+  } catch (...) {
+    return dflt;
+  }
+}
+
+bool ConfBlock::get_bool(const std::string& name, bool dflt) const {
+  const ConfDirective* d = find(name);
+  if (!d || d->args.empty()) return dflt;
+  const std::string& v = d->args[0];
+  if (v == "on" || v == "true" || v == "yes" || v == "1") return true;
+  if (v == "off" || v == "false" || v == "no" || v == "0") return false;
+  return dflt;
+}
+
+std::vector<std::string> ConfBlock::get_list(const std::string& name) const {
+  const ConfDirective* d = find(name);
+  if (!d) return {};
+  std::vector<std::string> out;
+  for (const auto& arg : d->args) {
+    auto parts = split_csv(arg);
+    out.insert(out.end(), parts.begin(), parts.end());
+  }
+  return out;
+}
+
+ConfBlock* ConfBlock::add_block(std::string name,
+                                std::vector<std::string> args) {
+  blocks_.push_back(
+      std::make_unique<ConfBlock>(std::move(name), std::move(args)));
+  return blocks_.back().get();
+}
+
+Result<std::unique_ptr<ConfBlock>> parse_conf(const std::string& text) {
+  auto root = std::make_unique<ConfBlock>();
+  Lexer lexer(text);
+  QTLS_RETURN_IF_ERROR(parse_block_body(lexer, root.get(), true));
+  return root;
+}
+
+Result<std::unique_ptr<ConfBlock>> parse_conf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return err(Code::kNotFound, "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_conf(ss.str());
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<uint8_t>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace qtls

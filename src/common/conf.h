@@ -1,0 +1,83 @@
+// Nginx-style configuration parser backing the SSL Engine Framework of the
+// paper's Appendix A.7:
+//
+//   worker_processes 8;
+//   ssl_engine {
+//       use qat_engine;
+//       default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+//       qat_engine {
+//           qat_offload_mode async;
+//           qat_notify_mode poll;
+//           qat_poll_mode heuristic;
+//           qat_heuristic_poll_asym_threshold 48;
+//           qat_heuristic_poll_sym_threshold 24;
+//       }
+//   }
+//
+// Grammar: a block is a sequence of directives `name arg... ;` and nested
+// blocks `name arg... { ... }`. '#' starts a comment to end of line.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qtls {
+
+struct ConfDirective {
+  std::string name;
+  std::vector<std::string> args;
+  int line = 0;
+
+  const std::string& arg(size_t i) const {
+    static const std::string kEmpty;
+    return i < args.size() ? args[i] : kEmpty;
+  }
+};
+
+class ConfBlock {
+ public:
+  ConfBlock() = default;
+  ConfBlock(std::string name, std::vector<std::string> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& args() const { return args_; }
+
+  const std::vector<ConfDirective>& directives() const { return directives_; }
+  const std::vector<std::unique_ptr<ConfBlock>>& blocks() const {
+    return blocks_;
+  }
+
+  // First matching directive/block or nullptr.
+  const ConfDirective* find(const std::string& name) const;
+  const ConfBlock* find_block(const std::string& name) const;
+
+  // Typed lookups with defaults.
+  std::string get_string(const std::string& name,
+                         const std::string& dflt = "") const;
+  int64_t get_int(const std::string& name, int64_t dflt) const;
+  bool get_bool(const std::string& name, bool dflt) const;
+  // Comma-separated list argument, e.g. `default_algorithm RSA,EC,DH;`.
+  std::vector<std::string> get_list(const std::string& name) const;
+
+  void add_directive(ConfDirective d) { directives_.push_back(std::move(d)); }
+  ConfBlock* add_block(std::string name, std::vector<std::string> args);
+
+ private:
+  std::string name_;
+  std::vector<std::string> args_;
+  std::vector<ConfDirective> directives_;
+  std::vector<std::unique_ptr<ConfBlock>> blocks_;
+};
+
+// Parses configuration text into a root block named "".
+Result<std::unique_ptr<ConfBlock>> parse_conf(const std::string& text);
+Result<std::unique_ptr<ConfBlock>> parse_conf_file(const std::string& path);
+
+std::vector<std::string> split_csv(const std::string& s);
+
+}  // namespace qtls

@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+namespace qtls {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* base_name(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+char level_char(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarn: return 'W';
+    case LogLevel::kError: return 'E';
+    default: return '?';
+  }
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void log_write(LogLevel level, const char* file, int line, const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%c %10lld.%06llds %s:%d] %s\n", level_char(level),
+               static_cast<long long>(now / 1000000),
+               static_cast<long long>(now % 1000000), base_name(file), line,
+               msg.c_str());
+}
+
+}  // namespace qtls

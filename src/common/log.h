@@ -1,0 +1,47 @@
+// Minimal leveled logger. Not asynchronous: logging is off the hot path in
+// both planes (DES code never logs per-event at default level).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace qtls {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+void log_write(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_write(level_, file_, line_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define QTLS_LOG(level)                                        \
+  if (::qtls::LogLevel::level < ::qtls::log_threshold()) {     \
+  } else                                                       \
+    ::qtls::detail::LogLine(::qtls::LogLevel::level, __FILE__, __LINE__)
+
+#define QTLS_DEBUG QTLS_LOG(kDebug)
+#define QTLS_INFO QTLS_LOG(kInfo)
+#define QTLS_WARN QTLS_LOG(kWarn)
+#define QTLS_ERROR QTLS_LOG(kError)
+
+}  // namespace qtls

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace qtls {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::uniform(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+void Rng::fill(uint8_t* out, size_t n) {
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t v = next_u64();
+    for (int k = 0; k < 8; ++k) out[i++] = static_cast<uint8_t>(v >> (8 * k));
+  }
+  if (i < n) {
+    uint64_t v = next_u64();
+    while (i < n) {
+      out[i++] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+Bytes Rng::bytes(size_t n) {
+  Bytes out(n);
+  fill(out.data(), n);
+  return out;
+}
+
+}  // namespace qtls

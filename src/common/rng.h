@@ -1,0 +1,37 @@
+// Deterministic fast RNG (xoshiro256**) used for:
+//  - workload generation in the simulator (reproducible figures),
+//  - nonces/randoms in tests and examples.
+// The TLS stack itself draws through crypto/drbg.h, which can be seeded from
+// this for determinism or from the OS for the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace qtls {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  uint64_t next_u64();
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t uniform(uint64_t bound);
+  // Uniform double in [0, 1).
+  double uniform01();
+  // Exponentially distributed with the given mean (for Poisson arrivals).
+  double exponential(double mean);
+
+  void fill(uint8_t* out, size_t n);
+  Bytes bytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace qtls

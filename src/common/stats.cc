@@ -1,0 +1,139 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace qtls {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = n_ + other.n_;
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+size_t LatencyHistogram::bucket_index(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int major = msb - kSubBits + 1;
+  const uint64_t sub = (v >> (msb - kSubBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(major) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::bucket_low(size_t idx) {
+  const size_t major = idx / kSubBuckets;
+  const size_t sub = idx % kSubBuckets;
+  if (major == 0) return sub;
+  const int msb = static_cast<int>(major) + kSubBits - 1;
+  return (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - kSubBits));
+}
+
+void LatencyHistogram::record(uint64_t nanos) {
+  size_t idx = bucket_index(nanos);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  ++buckets_[idx];
+  ++count_;
+  sum_ += nanos;
+  max_ = std::max(max_, nanos);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t LatencyHistogram::percentile_nanos(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) return bucket_low(i);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), mean_nanos() / 1e3,
+                static_cast<double>(percentile_nanos(50)) / 1e3,
+                static_cast<double>(percentile_nanos(95)) / 1e3,
+                static_cast<double>(percentile_nanos(99)) / 1e3,
+                static_cast<double>(max_) / 1e3);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << (i == 0 ? "" : "  ");
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace qtls

@@ -1,0 +1,78 @@
+// Streaming statistics for the benchmark harness: mean/stddev accumulation
+// and an HDR-style log-bucketed latency histogram with percentile queries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qtls {
+
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Latency histogram over [1ns, ~1000s] with ~2.4% relative bucket error:
+// 64 major (power-of-two) buckets x 32 linear sub-buckets.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+
+  void record(uint64_t nanos);
+  void merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double mean_nanos() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+  // p in [0, 100].
+  uint64_t percentile_nanos(double p) const;
+  uint64_t max_nanos() const { return max_; }
+
+  std::string summary() const;  // "p50=... p95=... p99=... max=..."
+
+ private:
+  static size_t bucket_index(uint64_t v);
+  static uint64_t bucket_low(size_t idx);
+
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(64 * kSubBuckets, 0);
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Fixed-width text table used by every figure bench so the output reads like
+// the paper's plots (one row per x value, one column per configuration).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 1);
+
+}  // namespace qtls

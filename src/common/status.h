@@ -1,0 +1,133 @@
+// Lightweight error handling for the QTLS stack.
+//
+// The TLS/QAT layers report recoverable conditions (WANT_READ, WANT_ASYNC,
+// ring-full retry) through dedicated enums; Status/Result are for genuine
+// failures (malformed record, bad signature, exhausted resource).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qtls {
+
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kProtocolError,   // malformed/unexpected TLS message
+  kCryptoError,     // signature/MAC/padding verification failure
+  kIoError,
+};
+
+inline const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kInternal: return "INTERNAL";
+    case Code::kUnimplemented: return "UNIMPLEMENTED";
+    case Code::kProtocolError: return "PROTOCOL_ERROR";
+    case Code::kCryptoError: return "CRYPTO_ERROR";
+    case Code::kIoError: return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s = code_name(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+inline Status err(Code code, std::string msg = "") {
+  return Status(code, std::move(msg));
+}
+
+// Result<T>: a value or a Status. Kept minimal on purpose — no exceptions
+// cross module boundaries in the hot path.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {
+    assert(!std::get<Status>(v_).is_ok() && "Result from OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define QTLS_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::qtls::Status qtls_status_ = (expr);       \
+    if (!qtls_status_.is_ok()) return qtls_status_; \
+  } while (0)
+
+#define QTLS_CONCAT_INNER_(a, b) a##b
+#define QTLS_CONCAT_(a, b) QTLS_CONCAT_INNER_(a, b)
+
+#define QTLS_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto QTLS_CONCAT_(qtls_result_, __LINE__) = (expr);            \
+  if (!QTLS_CONCAT_(qtls_result_, __LINE__).is_ok())             \
+    return QTLS_CONCAT_(qtls_result_, __LINE__).status();        \
+  lhs = std::move(QTLS_CONCAT_(qtls_result_, __LINE__)).take()
+
+}  // namespace qtls

@@ -1,0 +1,195 @@
+#include "crypto/ec2m.h"
+
+#include <stdexcept>
+
+#include "crypto/hash.h"
+#include "crypto/kdf.h"
+
+namespace qtls {
+
+namespace {
+
+// Deterministic non-zero field element from a seed string.
+Gf2mElem derive_elem(const Gf2mField& field, const std::string& seed) {
+  for (uint32_t counter = 0;; ++counter) {
+    Bytes input = to_bytes(seed);
+    append_u32(input, counter);
+    Bytes digest;
+    while (digest.size() < field.elem_bytes()) {
+      Bytes block = sha256(input);
+      append(digest, block);
+      input = block;
+    }
+    digest.resize(field.elem_bytes());
+    Gf2mElem e = field.decode(digest);
+    if (!e.is_zero()) return e;
+  }
+}
+
+}  // namespace
+
+Ec2mCurve::Ec2mCurve(std::string name, const Gf2mField& field, Gf2mElem a,
+                     Gf2mElem b)
+    : name_(std::move(name)), field_(field), a_(a), b_(b) {
+  if (b_.is_zero()) throw std::invalid_argument("singular binary curve");
+  // Derive a generator: walk deterministic x candidates until the curve
+  // equation is solvable, then take (x, y).
+  for (uint32_t counter = 0;; ++counter) {
+    Gf2mElem x = derive_elem(field_, name_ + "-gen-" + std::to_string(counter));
+    Gf2mElem y;
+    if (!solve_y(x, &y)) continue;
+    generator_ = Ec2mPoint::affine(x, y);
+    if (on_curve(generator_)) break;
+  }
+}
+
+bool Ec2mCurve::on_curve(const Ec2mPoint& pt) const {
+  if (pt.infinity) return true;
+  // y^2 + xy == x^3 + a x^2 + b
+  const Gf2mElem y2 = field_.sqr(pt.y);
+  const Gf2mElem xy = field_.mul(pt.x, pt.y);
+  const Gf2mElem lhs = Gf2mField::add(y2, xy);
+  const Gf2mElem x2 = field_.sqr(pt.x);
+  const Gf2mElem x3 = field_.mul(x2, pt.x);
+  Gf2mElem rhs = Gf2mField::add(x3, b_);
+  if (!a_.is_zero()) rhs = Gf2mField::add(rhs, field_.mul(a_, x2));
+  return lhs == rhs;
+}
+
+Ec2mPoint Ec2mCurve::negate(const Ec2mPoint& pt) const {
+  if (pt.infinity) return pt;
+  return Ec2mPoint::affine(pt.x, Gf2mField::add(pt.x, pt.y));
+}
+
+Ec2mPoint Ec2mCurve::dbl(const Ec2mPoint& pt) const {
+  if (pt.infinity || pt.x.is_zero()) return Ec2mPoint::at_infinity();
+  // lambda = x + y/x; x3 = lambda^2 + lambda + a; y3 = x^2 + (lambda+1)*x3
+  const Gf2mElem lambda =
+      Gf2mField::add(pt.x, field_.div(pt.y, pt.x));
+  Gf2mElem x3 = Gf2mField::add(field_.sqr(lambda), lambda);
+  x3 = Gf2mField::add(x3, a_);
+  const Gf2mElem lp1 = Gf2mField::add(lambda, Gf2mField::one());
+  const Gf2mElem y3 = Gf2mField::add(field_.sqr(pt.x), field_.mul(lp1, x3));
+  return Ec2mPoint::affine(x3, y3);
+}
+
+Ec2mPoint Ec2mCurve::add(const Ec2mPoint& p1, const Ec2mPoint& p2) const {
+  if (p1.infinity) return p2;
+  if (p2.infinity) return p1;
+  if (p1.x == p2.x) {
+    if (p1.y == p2.y) return dbl(p1);
+    return Ec2mPoint::at_infinity();  // P + (-P)
+  }
+  // lambda = (y1+y2)/(x1+x2)
+  const Gf2mElem dx = Gf2mField::add(p1.x, p2.x);
+  const Gf2mElem dy = Gf2mField::add(p1.y, p2.y);
+  const Gf2mElem lambda = field_.div(dy, dx);
+  // x3 = lambda^2 + lambda + x1 + x2 + a
+  Gf2mElem x3 = Gf2mField::add(field_.sqr(lambda), lambda);
+  x3 = Gf2mField::add(x3, dx);
+  x3 = Gf2mField::add(x3, a_);
+  // y3 = lambda*(x1 + x3) + x3 + y1
+  Gf2mElem y3 = field_.mul(lambda, Gf2mField::add(p1.x, x3));
+  y3 = Gf2mField::add(y3, x3);
+  y3 = Gf2mField::add(y3, p1.y);
+  return Ec2mPoint::affine(x3, y3);
+}
+
+Ec2mPoint Ec2mCurve::mul(BytesView scalar, const Ec2mPoint& pt) const {
+  Ec2mPoint acc = Ec2mPoint::at_infinity();
+  bool started = false;
+  for (uint8_t byte : scalar) {
+    for (int b = 7; b >= 0; --b) {
+      if (started) acc = dbl(acc);
+      if ((byte >> b) & 1) {
+        acc = add(acc, pt);
+        started = true;
+      }
+    }
+  }
+  return acc;
+}
+
+bool Ec2mCurve::solve_y(const Gf2mElem& x, Gf2mElem* y) const {
+  if (x.is_zero()) return false;
+  // Substitute y = x*z: z^2 + z = x + a + b/x^2.
+  const Gf2mElem x2 = field_.sqr(x);
+  Gf2mElem c = Gf2mField::add(x, a_);
+  c = Gf2mField::add(c, field_.div(b_, x2));
+  if (field_.trace(c) != 0) return false;
+  const Gf2mElem z = field_.half_trace(c);
+  // Verify (half-trace solves only for odd m; both our fields are odd).
+  const Gf2mElem check = Gf2mField::add(field_.sqr(z), z);
+  if (!(check == c)) return false;
+  *y = field_.mul(x, z);
+  return true;
+}
+
+Bytes Ec2mCurve::encode_point(const Ec2mPoint& pt) const {
+  Bytes out;
+  if (pt.infinity) {
+    out.push_back(0x00);
+    return out;
+  }
+  out.push_back(0x04);
+  append(out, field_.encode(pt.x));
+  append(out, field_.encode(pt.y));
+  return out;
+}
+
+Result<Ec2mPoint> Ec2mCurve::decode_point(BytesView data) const {
+  const size_t fb = field_.elem_bytes();
+  if (data.size() == 1 && data[0] == 0x00) return Ec2mPoint::at_infinity();
+  if (data.size() != 1 + 2 * fb || data[0] != 0x04)
+    return err(Code::kInvalidArgument, "bad point encoding");
+  Ec2mPoint pt = Ec2mPoint::affine(field_.decode(data.subspan(1, fb)),
+                                   field_.decode(data.subspan(1 + fb, fb)));
+  if (!on_curve(pt)) return err(Code::kCryptoError, "point not on curve");
+  return pt;
+}
+
+const Ec2mCurve& curve_b283() {
+  static const Ec2mCurve curve("B-283", gf2m_283(), Gf2mField::one(),
+                               derive_elem(gf2m_283(), "QTLS-B283-b"));
+  return curve;
+}
+
+const Ec2mCurve& curve_b409() {
+  static const Ec2mCurve curve("B-409", gf2m_409(), Gf2mField::one(),
+                               derive_elem(gf2m_409(), "QTLS-B409-b"));
+  return curve;
+}
+
+const Ec2mCurve& curve_k283() {
+  static const Ec2mCurve curve("K-283", gf2m_283(), Gf2mField::zero(),
+                               Gf2mField::one());
+  return curve;
+}
+
+const Ec2mCurve& curve_k409() {
+  static const Ec2mCurve curve("K-409", gf2m_409(), Gf2mField::zero(),
+                               Gf2mField::one());
+  return curve;
+}
+
+Ec2mKeyPair ec2m_generate_key(const Ec2mCurve& curve, HmacDrbg& rng) {
+  for (;;) {
+    Bytes priv = rng.generate(curve.scalar_bytes());
+    // Keep scalars below the field degree so mul cost is uniform.
+    priv[0] &= 0x3f;
+    Ec2mPoint pub = curve.mul_base(priv);
+    if (!pub.infinity) return Ec2mKeyPair{std::move(priv), pub};
+  }
+}
+
+Result<Bytes> ec2m_shared_secret(const Ec2mCurve& curve, BytesView priv,
+                                 const Ec2mPoint& peer) {
+  if (peer.infinity || !curve.on_curve(peer))
+    return err(Code::kCryptoError, "invalid peer point");
+  const Ec2mPoint shared = curve.mul(priv, peer);
+  if (shared.infinity)
+    return err(Code::kCryptoError, "degenerate ECDH result");
+  return curve.field().encode(shared.x);
+}
+
+}  // namespace qtls

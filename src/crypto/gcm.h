@@ -1,0 +1,28 @@
+// AES-GCM (NIST SP 800-38D): CTR-mode encryption + GHASH authentication.
+// Used as the record protection for the TLS 1.3 path (AES128-GCM-SHA256's
+// codepoint), replacing the earlier CBC-HMAC stand-in.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace qtls {
+
+constexpr size_t kGcmTagSize = 16;
+constexpr size_t kGcmNonceSize = 12;
+
+// Seals plaintext: returns ciphertext || 16-byte tag.
+Bytes gcm_seal(const Aes& aes, BytesView nonce12, BytesView aad,
+               BytesView plaintext);
+// Opens ciphertext||tag; fails on authentication mismatch.
+Result<Bytes> gcm_open(const Aes& aes, BytesView nonce12, BytesView aad,
+                       BytesView ciphertext_and_tag);
+
+// Convenience over raw keys.
+Bytes gcm_seal(BytesView key, BytesView nonce12, BytesView aad,
+               BytesView plaintext);
+Result<Bytes> gcm_open(BytesView key, BytesView nonce12, BytesView aad,
+                       BytesView ciphertext_and_tag);
+
+}  // namespace qtls

@@ -1,0 +1,216 @@
+#include "crypto/gf2m.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace qtls {
+
+namespace {
+
+int poly_degree(const uint64_t* w, size_t words) {
+  for (size_t i = words; i-- > 0;) {
+    if (w[i]) return static_cast<int>(i * 64) + 63 - std::countl_zero(w[i]);
+  }
+  return -1;
+}
+
+// t ^= src << bits, where src/dst are word arrays.
+void xor_shifted(uint64_t* dst, const uint64_t* src, size_t src_words,
+                 int bits) {
+  const int word_shift = bits / 64;
+  const int bit_shift = bits % 64;
+  for (size_t i = 0; i < src_words; ++i) {
+    if (!src[i]) continue;
+    dst[i + static_cast<size_t>(word_shift)] ^= src[i] << bit_shift;
+    if (bit_shift)
+      dst[i + static_cast<size_t>(word_shift) + 1] ^=
+          src[i] >> (64 - bit_shift);
+  }
+}
+
+}  // namespace
+
+Gf2mField::Gf2mField(std::vector<int> exponents) {
+  if (exponents.size() < 2)
+    throw std::invalid_argument("need at least x^m + 1");
+  m_ = exponents.front();
+  exps_.assign(exponents.begin() + 1, exponents.end());
+  assert(m_ > 0 && m_ < static_cast<int>(kGf2mWords * 64));
+}
+
+void Gf2mField::reduce(std::array<uint64_t, 2 * kGf2mWords>& t) const {
+  // Bit-serial reduction from the top; adequate for the real-execution plane
+  // (the DES charges modelled costs).
+  for (int i = poly_degree(t.data(), t.size()); i >= m_;
+       i = poly_degree(t.data(), t.size())) {
+    const int shift = i - m_;
+    // x^i == x^shift * (sum of lower exponents)
+    t[static_cast<size_t>(i) / 64] ^= 1ULL << (i % 64);
+    for (int e : exps_) {
+      const int pos = shift + e;
+      t[static_cast<size_t>(pos) / 64] ^= 1ULL << (pos % 64);
+    }
+  }
+}
+
+Gf2mElem Gf2mField::mul(const Gf2mElem& a, const Gf2mElem& b) const {
+  std::array<uint64_t, 2 * kGf2mWords> t{};
+  // Right-to-left comb: for each bit position k, xor (a << k-within-word)
+  // into t for every word of b with bit k set.
+  std::array<uint64_t, kGf2mWords + 1> shifted{};
+  for (size_t i = 0; i < kGf2mWords; ++i) shifted[i] = a.w[i];
+  for (int k = 0; k < 64; ++k) {
+    for (size_t j = 0; j < kGf2mWords; ++j) {
+      if ((b.w[j] >> k) & 1) {
+        for (size_t i = 0; i < shifted.size(); ++i) t[j + i] ^= shifted[i];
+      }
+    }
+    if (k != 63) {
+      // shifted <<= 1
+      uint64_t carry = 0;
+      for (size_t i = 0; i < shifted.size(); ++i) {
+        const uint64_t next_carry = shifted[i] >> 63;
+        shifted[i] = (shifted[i] << 1) | carry;
+        carry = next_carry;
+      }
+    }
+  }
+  reduce(t);
+  Gf2mElem out;
+  for (size_t i = 0; i < kGf2mWords; ++i) out.w[i] = t[i];
+  return out;
+}
+
+Gf2mElem Gf2mField::sqr(const Gf2mElem& a) const {
+  // Squaring interleaves zero bits: expand each 32-bit half into 64 bits.
+  static const auto kExpand = [] {
+    std::array<uint16_t, 256> tab{};
+    for (int v = 0; v < 256; ++v) {
+      uint16_t r = 0;
+      for (int b = 0; b < 8; ++b)
+        if (v & (1 << b)) r |= static_cast<uint16_t>(1 << (2 * b));
+      tab[static_cast<size_t>(v)] = r;
+    }
+    return tab;
+  }();
+
+  std::array<uint64_t, 2 * kGf2mWords> t{};
+  for (size_t i = 0; i < kGf2mWords; ++i) {
+    uint64_t lo = 0, hi = 0;
+    for (int byte = 0; byte < 4; ++byte) {
+      lo |= static_cast<uint64_t>(
+                kExpand[(a.w[i] >> (8 * byte)) & 0xff])
+            << (16 * byte);
+      hi |= static_cast<uint64_t>(
+                kExpand[(a.w[i] >> (32 + 8 * byte)) & 0xff])
+            << (16 * byte);
+    }
+    t[2 * i] = lo;
+    t[2 * i + 1] = hi;
+  }
+  reduce(t);
+  Gf2mElem out;
+  for (size_t i = 0; i < kGf2mWords; ++i) out.w[i] = t[i];
+  return out;
+}
+
+Gf2mElem Gf2mField::inv(const Gf2mElem& a) const {
+  assert(!a.is_zero());
+  // Extended Euclid over GF(2)[x]: u*g1 + f*(...) = gcd. Oversized arrays
+  // keep every shifted xor in bounds without degree-tracking subtleties.
+  std::array<uint64_t, 2 * kGf2mWords> u{}, v{}, g1{}, g2{};
+  for (size_t i = 0; i < kGf2mWords; ++i) u[i] = a.w[i];
+  // v = reduction polynomial f
+  v[static_cast<size_t>(m_) / 64] |= 1ULL << (m_ % 64);
+  for (int e : exps_) v[static_cast<size_t>(e) / 64] |= 1ULL << (e % 64);
+  g1[0] = 1;
+
+  int du = poly_degree(u.data(), u.size());
+  int dv = poly_degree(v.data(), v.size());
+  while (du > 0) {
+    int j = du - dv;
+    if (j < 0) {
+      std::swap(u, v);
+      std::swap(g1, g2);
+      std::swap(du, dv);
+      j = -j;
+    }
+    xor_shifted(u.data(), v.data(), v.size() - static_cast<size_t>(j / 64 + 1),
+                j);
+    xor_shifted(g1.data(), g2.data(),
+                g2.size() - static_cast<size_t>(j / 64 + 1), j);
+    du = poly_degree(u.data(), u.size());
+  }
+  // du == 0 -> u == 1; g1 is the inverse (degree < m, already reduced since
+  // all xors kept degree < m + 63 and f-degree steps keep g1 bounded).
+  std::array<uint64_t, 2 * kGf2mWords> t{};
+  for (size_t i = 0; i < g1.size(); ++i) t[i] = g1[i];
+  reduce(t);
+  Gf2mElem out;
+  for (size_t i = 0; i < kGf2mWords; ++i) out.w[i] = t[i];
+  return out;
+}
+
+int Gf2mField::trace(const Gf2mElem& a) const {
+  // Tr(a) = sum a^{2^i}, i = 0..m-1.
+  Gf2mElem acc = a;
+  Gf2mElem t = a;
+  for (int i = 1; i < m_; ++i) {
+    t = sqr(t);
+    acc = add(acc, t);
+  }
+  return acc.is_zero() ? 0 : (acc.is_one() ? 1 : -1);
+}
+
+Gf2mElem Gf2mField::half_trace(const Gf2mElem& a) const {
+  // H(a) = sum a^{2^{2i}}, i = 0..(m-1)/2; solves z^2 + z = a for odd m when
+  // Tr(a) = 0.
+  Gf2mElem acc = a;
+  Gf2mElem t = a;
+  for (int i = 1; i <= (m_ - 1) / 2; ++i) {
+    t = sqr(sqr(t));
+    acc = add(acc, t);
+  }
+  return acc;
+}
+
+Bytes Gf2mField::encode(const Gf2mElem& a) const {
+  const size_t len = elem_bytes();
+  Bytes out(len, 0);
+  for (size_t i = 0; i < len; ++i) {
+    const size_t byte_from_lsb = len - 1 - i;
+    out[i] = static_cast<uint8_t>(a.w[byte_from_lsb / 8] >>
+                                  (8 * (byte_from_lsb % 8)));
+  }
+  return out;
+}
+
+Gf2mElem Gf2mField::decode(BytesView data) const {
+  Gf2mElem out;
+  const size_t len = data.size();
+  for (size_t i = 0; i < len && i < kGf2mWords * 8; ++i) {
+    const size_t byte_from_lsb = i;
+    const size_t src = len - 1 - i;
+    out.w[byte_from_lsb / 8] |= static_cast<uint64_t>(data[src])
+                                << (8 * (byte_from_lsb % 8));
+  }
+  // Mask above m bits.
+  for (int i = m_; i < static_cast<int>(kGf2mWords * 64); ++i) {
+    out.w[static_cast<size_t>(i) / 64] &=
+        ~(1ULL << (static_cast<size_t>(i) % 64));
+  }
+  return out;
+}
+
+const Gf2mField& gf2m_283() {
+  static const Gf2mField field({283, 12, 7, 5, 0});
+  return field;
+}
+
+const Gf2mField& gf2m_409() {
+  static const Gf2mField field({409, 87, 0});
+  return field;
+}
+
+}  // namespace qtls

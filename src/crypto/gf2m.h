@@ -1,0 +1,93 @@
+// GF(2^m) binary-field arithmetic in polynomial basis, backing the binary
+// curves of Figure 7c (B-283/B-409/K-283/K-409 class). Elements are bit
+// vectors over fixed reduction polynomials (the NIST trinomial/pentanomial
+// for each m).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace qtls {
+
+// Big enough for m = 409 (7 x 64 = 448 bits).
+constexpr size_t kGf2mWords = 7;
+
+struct Gf2mElem {
+  std::array<uint64_t, kGf2mWords> w{};
+
+  bool is_zero() const {
+    for (uint64_t v : w)
+      if (v) return false;
+    return true;
+  }
+  bool is_one() const {
+    if (w[0] != 1) return false;
+    for (size_t i = 1; i < kGf2mWords; ++i)
+      if (w[i]) return false;
+    return true;
+  }
+  friend bool operator==(const Gf2mElem& a, const Gf2mElem& b) {
+    return a.w == b.w;
+  }
+  bool bit(size_t i) const { return (w[i / 64] >> (i % 64)) & 1; }
+  void set_bit(size_t i) { w[i / 64] |= 1ULL << (i % 64); }
+};
+
+class Gf2mField {
+ public:
+  // exponents: reduction polynomial exponents in decreasing order, e.g.
+  // {283, 12, 7, 5, 0} for x^283 + x^12 + x^7 + x^5 + 1.
+  explicit Gf2mField(std::vector<int> exponents);
+
+  int degree() const { return m_; }
+  size_t elem_bytes() const { return (static_cast<size_t>(m_) + 7) / 8; }
+
+  static Gf2mElem zero() { return Gf2mElem{}; }
+  static Gf2mElem one() {
+    Gf2mElem e;
+    e.w[0] = 1;
+    return e;
+  }
+  static Gf2mElem add(const Gf2mElem& a, const Gf2mElem& b) {
+    Gf2mElem out;
+    for (size_t i = 0; i < kGf2mWords; ++i) out.w[i] = a.w[i] ^ b.w[i];
+    return out;
+  }
+
+  Gf2mElem mul(const Gf2mElem& a, const Gf2mElem& b) const;
+  Gf2mElem sqr(const Gf2mElem& a) const;
+  // Multiplicative inverse; a must be nonzero.
+  Gf2mElem inv(const Gf2mElem& a) const;
+  Gf2mElem div(const Gf2mElem& a, const Gf2mElem& b) const {
+    return mul(a, inv(b));
+  }
+
+  // Trace Tr(a) in {0,1}; z^2 + z = c is solvable iff Tr(c) == 0, and for
+  // odd m the half-trace gives a solution.
+  int trace(const Gf2mElem& a) const;
+  Gf2mElem half_trace(const Gf2mElem& a) const;
+
+  Bytes encode(const Gf2mElem& a) const;           // big-endian, elem_bytes
+  Gf2mElem decode(BytesView data) const;           // truncates above m bits
+
+  Gf2mElem from_u64(uint64_t v) const {
+    Gf2mElem e;
+    e.w[0] = v;
+    return e;
+  }
+
+ private:
+  void reduce(std::array<uint64_t, 2 * kGf2mWords>& t) const;
+
+  int m_;
+  std::vector<int> exps_;  // excluding the leading m term
+};
+
+// Shared field singletons for the two NIST binary field sizes.
+const Gf2mField& gf2m_283();  // x^283 + x^12 + x^7 + x^5 + 1
+const Gf2mField& gf2m_409();  // x^409 + x^87 + 1
+
+}  // namespace qtls

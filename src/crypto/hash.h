@@ -1,0 +1,56 @@
+// Hash functions used by the TLS stack: SHA-1 (record MAC for AES128-SHA),
+// SHA-256 (TLS 1.2 PRF, TLS 1.3 transcript), SHA-384 (PRF for *_SHA384
+// suites), SHA-512 (backs SHA-384).
+//
+// A small streaming-context interface keeps HMAC/PRF/HKDF generic without
+// virtual dispatch in the block loops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+
+namespace qtls {
+
+enum class HashAlg : uint8_t { kSha1, kSha256, kSha384, kSha512 };
+
+size_t hash_digest_size(HashAlg alg);
+size_t hash_block_size(HashAlg alg);
+const char* hash_name(HashAlg alg);
+
+class HashCtx {
+ public:
+  virtual ~HashCtx() = default;
+  virtual void update(BytesView data) = 0;
+  virtual Bytes finish() = 0;  // context unusable afterwards
+  virtual std::unique_ptr<HashCtx> clone() const = 0;
+};
+
+std::unique_ptr<HashCtx> make_hash(HashAlg alg);
+
+Bytes hash(HashAlg alg, BytesView data);
+
+// --- concrete one-shot helpers ---
+Bytes sha1(BytesView data);
+Bytes sha256(BytesView data);
+Bytes sha384(BytesView data);
+Bytes sha512(BytesView data);
+
+// HMAC (FIPS 198-1).
+class HmacCtx {
+ public:
+  HmacCtx(HashAlg alg, BytesView key);
+  void update(BytesView data);
+  Bytes finish();
+  HashAlg alg() const { return alg_; }
+
+ private:
+  HashAlg alg_;
+  Bytes opad_key_;  // key xor opad
+  std::unique_ptr<HashCtx> inner_;
+};
+
+Bytes hmac(HashAlg alg, BytesView key, BytesView data);
+
+}  // namespace qtls

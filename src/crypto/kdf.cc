@@ -1,0 +1,116 @@
+#include "crypto/kdf.h"
+
+namespace qtls {
+
+Bytes tls12_prf(HashAlg alg, BytesView secret, const std::string& label,
+                BytesView seed, size_t out_len) {
+  // P_hash(secret, label + seed)
+  Bytes label_seed = to_bytes(label);
+  append(label_seed, seed);
+
+  Bytes out;
+  out.reserve(out_len);
+  Bytes a = hmac(alg, secret, label_seed);  // A(1)
+  while (out.size() < out_len) {
+    Bytes a_seed = a;
+    append(a_seed, label_seed);
+    Bytes chunk = hmac(alg, secret, a_seed);
+    const size_t take = std::min(chunk.size(), out_len - out.size());
+    out.insert(out.end(), chunk.begin(), chunk.begin() + static_cast<ptrdiff_t>(take));
+    a = hmac(alg, secret, a);  // A(i+1)
+  }
+  return out;
+}
+
+Bytes hkdf_extract(HashAlg alg, BytesView salt, BytesView ikm) {
+  Bytes s(salt.begin(), salt.end());
+  if (s.empty()) s.assign(hash_digest_size(alg), 0);
+  return hmac(alg, s, ikm);
+}
+
+Bytes hkdf_expand(HashAlg alg, BytesView prk, BytesView info, size_t out_len) {
+  const size_t digest = hash_digest_size(alg);
+  Bytes out;
+  out.reserve(out_len);
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    HmacCtx ctx(alg, prk);
+    ctx.update(t);
+    ctx.update(info);
+    ctx.update(BytesView(&counter, 1));
+    t = ctx.finish();
+    const size_t take = std::min(digest, out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf_expand_label(HashAlg alg, BytesView secret, const std::string& label,
+                        BytesView context, size_t out_len) {
+  // struct { uint16 length; opaque label<7..255>; opaque context<0..255>; }
+  Bytes info;
+  append_u16(info, static_cast<uint16_t>(out_len));
+  const std::string full_label = "tls13 " + label;
+  append_u8(info, static_cast<uint8_t>(full_label.size()));
+  append(info, to_bytes(full_label));
+  append_u8(info, static_cast<uint8_t>(context.size()));
+  append(info, context);
+  return hkdf_expand(alg, secret, info, out_len);
+}
+
+Bytes tls13_derive_secret(HashAlg alg, BytesView secret,
+                          const std::string& label, BytesView transcript_hash) {
+  return hkdf_expand_label(alg, secret, label, transcript_hash,
+                           hash_digest_size(alg));
+}
+
+HmacDrbg::HmacDrbg(HashAlg alg, BytesView seed) : alg_(alg) {
+  k_.assign(hash_digest_size(alg), 0x00);
+  v_.assign(hash_digest_size(alg), 0x01);
+  update(seed);
+}
+
+void HmacDrbg::reseed(BytesView seed) { update(seed); }
+
+void HmacDrbg::update(BytesView data) {
+  {
+    HmacCtx ctx(alg_, k_);
+    ctx.update(v_);
+    const uint8_t zero = 0x00;
+    ctx.update(BytesView(&zero, 1));
+    ctx.update(data);
+    k_ = ctx.finish();
+  }
+  v_ = hmac(alg_, k_, v_);
+  if (!data.empty()) {
+    HmacCtx ctx(alg_, k_);
+    ctx.update(v_);
+    const uint8_t one = 0x01;
+    ctx.update(BytesView(&one, 1));
+    ctx.update(data);
+    k_ = ctx.finish();
+    v_ = hmac(alg_, k_, v_);
+  }
+}
+
+void HmacDrbg::generate(uint8_t* out, size_t n) {
+  size_t produced = 0;
+  while (produced < n) {
+    v_ = hmac(alg_, k_, v_);
+    const size_t take = std::min(v_.size(), n - produced);
+    std::copy(v_.begin(), v_.begin() + static_cast<ptrdiff_t>(take),
+              out + produced);
+    produced += take;
+  }
+  update({});
+}
+
+Bytes HmacDrbg::generate(size_t n) {
+  Bytes out(n);
+  generate(out.data(), n);
+  return out;
+}
+
+}  // namespace qtls

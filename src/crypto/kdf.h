@@ -1,0 +1,45 @@
+// Key-derivation functions:
+//  - TLS 1.2 PRF (RFC 5246 §5): P_hash over HMAC, the "PRF ops" of Table 1.
+//  - HKDF (RFC 5869) + the TLS 1.3 HkdfLabel expansion (RFC 8446 §7.1) —
+//    the paper's §5.2 notes HKDF cannot be offloaded through the QAT Engine,
+//    which is why Fig. 8's speedup is lower.
+//  - HMAC-DRBG (SP 800-90A) as the stack's random generator.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/hash.h"
+
+namespace qtls {
+
+// TLS 1.2 PRF: PRF(secret, label, seed)[0..out_len).
+Bytes tls12_prf(HashAlg alg, BytesView secret, const std::string& label,
+                BytesView seed, size_t out_len);
+
+Bytes hkdf_extract(HashAlg alg, BytesView salt, BytesView ikm);
+Bytes hkdf_expand(HashAlg alg, BytesView prk, BytesView info, size_t out_len);
+// TLS 1.3 HKDF-Expand-Label(secret, label, context, length); the "tls13 "
+// prefix is applied internally.
+Bytes hkdf_expand_label(HashAlg alg, BytesView secret, const std::string& label,
+                        BytesView context, size_t out_len);
+// Derive-Secret(secret, label, transcript) = Expand-Label(secret, label,
+// Hash(transcript), Hash.length).
+Bytes tls13_derive_secret(HashAlg alg, BytesView secret,
+                          const std::string& label, BytesView transcript_hash);
+
+// HMAC-DRBG without prediction resistance; reseeding is the caller's job.
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(HashAlg alg, BytesView seed);
+  void reseed(BytesView seed);
+  void generate(uint8_t* out, size_t n);
+  Bytes generate(size_t n);
+
+ private:
+  void update(BytesView data);
+
+  HashAlg alg_;
+  Bytes k_;
+  Bytes v_;
+};
+
+}  // namespace qtls

@@ -1,0 +1,44 @@
+#include "crypto/keystore.h"
+
+namespace qtls {
+
+HmacDrbg make_test_drbg(uint64_t seed) {
+  Bytes seed_bytes;
+  append_u64(seed_bytes, seed);
+  append(seed_bytes, to_bytes("qtls-test-drbg"));
+  return HmacDrbg(HashAlg::kSha256, seed_bytes);
+}
+
+const RsaPrivateKey& test_rsa2048() {
+  static const RsaPrivateKey key = [] {
+    HmacDrbg rng = make_test_drbg(0x52534132303438ULL);  // "RSA2048"
+    return rsa_generate(2048, rng);
+  }();
+  return key;
+}
+
+const RsaPrivateKey& test_rsa1024() {
+  static const RsaPrivateKey key = [] {
+    HmacDrbg rng = make_test_drbg(0x52534131303234ULL);
+    return rsa_generate(1024, rng);
+  }();
+  return key;
+}
+
+const EcKeyPair& test_ec_key_p256() {
+  static const EcKeyPair key = [] {
+    HmacDrbg rng = make_test_drbg(0x45435032353600ULL);
+    return ec_generate_key(curve_p256(), rng);
+  }();
+  return key;
+}
+
+const EcKeyPair& test_ec_key_p384() {
+  static const EcKeyPair key = [] {
+    HmacDrbg rng = make_test_drbg(0x45435033383400ULL);
+    return ec_generate_key(curve_p384(), rng);
+  }();
+  return key;
+}
+
+}  // namespace qtls

@@ -1,0 +1,25 @@
+// Process-wide deterministic key material for tests, examples and benches.
+// Keys are generated once per process from fixed DRBG seeds (RSA-2048
+// generation costs ~a second with this bignum; everything downstream shares
+// the cached copy).
+#pragma once
+
+#include "crypto/ec.h"
+#include "crypto/kdf.h"
+#include "crypto/rsa.h"
+
+namespace qtls {
+
+// RSA-2048 server key (e = 65537), deterministic.
+const RsaPrivateKey& test_rsa2048();
+// Smaller key for fast unit tests that only need algebra, not strength.
+const RsaPrivateKey& test_rsa1024();
+
+// ECDSA/ECDHE server keys on the prime curves.
+const EcKeyPair& test_ec_key_p256();
+const EcKeyPair& test_ec_key_p384();
+
+// A deterministic DRBG for call sites that need reproducible randomness.
+HmacDrbg make_test_drbg(uint64_t seed);
+
+}  // namespace qtls

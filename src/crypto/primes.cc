@@ -1,0 +1,111 @@
+#include "crypto/primes.h"
+
+#include <array>
+
+#include "crypto/kdf.h"
+
+namespace qtls {
+
+namespace {
+
+// Primes below 1000 for fast trial division.
+constexpr std::array<uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+uint64_t mod_small(const Bignum& n, uint64_t d) {
+  // Horner over limbs, most significant first.
+  using u128 = unsigned __int128;
+  u128 rem = 0;
+  const auto& limbs = n.limbs();
+  for (size_t i = limbs.size(); i-- > 0;)
+    rem = ((rem << 64) | limbs[i]) % d;
+  return static_cast<uint64_t>(rem);
+}
+
+}  // namespace
+
+Bignum random_bits(size_t bits, HmacDrbg& rng) {
+  const size_t nbytes = (bits + 7) / 8;
+  Bytes raw = rng.generate(nbytes);
+  // Clear excess top bits, then force the top bit.
+  const size_t excess = nbytes * 8 - bits;
+  raw[0] &= static_cast<uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<uint8_t>(0x80 >> excess);
+  return Bignum::from_bytes_be(raw);
+}
+
+Bignum random_below(const Bignum& bound, HmacDrbg& rng) {
+  const size_t bits = bound.bit_length();
+  const size_t nbytes = (bits + 7) / 8;
+  for (;;) {
+    Bytes raw = rng.generate(nbytes);
+    const size_t excess = nbytes * 8 - bits;
+    raw[0] &= static_cast<uint8_t>(0xff >> excess);
+    Bignum candidate = Bignum::from_bytes_be(raw);
+    if (Bignum::cmp(candidate, bound) < 0) return candidate;
+  }
+}
+
+bool is_probable_prime(const Bignum& n, int rounds, HmacDrbg& rng) {
+  if (n.is_zero() || n.is_one()) return false;
+  for (uint32_t p : kSmallPrimes) {
+    const Bignum bp(p);
+    if (n == bp) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  if (!n.is_odd()) return false;
+
+  // n - 1 = d * 2^s
+  const Bignum n_minus_1 = Bignum::sub(n, Bignum(1));
+  size_t s = 0;
+  Bignum d = n_minus_1;
+  while (!d.is_odd()) {
+    d = Bignum::shr(d, 1);
+    ++s;
+  }
+
+  MontCtx ctx(n);
+  const Bignum two(2);
+  const Bignum n_minus_2 = Bignum::sub(n, two);
+  for (int round = 0; round < rounds; ++round) {
+    // a in [2, n-2]
+    Bignum a = Bignum::add(random_below(n_minus_2, rng), two);
+    if (Bignum::cmp(a, n_minus_1) >= 0) a = two;
+    Bignum x = ctx.exp(a, d);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = Bignum::mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+Bignum generate_prime(size_t bits, HmacDrbg& rng, int mr_rounds) {
+  for (;;) {
+    Bignum candidate = random_bits(bits, rng);
+    // Top two bits set (so p*q keeps 2*bits bits), low bit set (odd).
+    if (!candidate.bit(bits - 2))
+      candidate = Bignum::add(candidate, Bignum::shl(Bignum(1), bits - 2));
+    if (!candidate.is_odd()) candidate = Bignum::add(candidate, Bignum(1));
+    if (is_probable_prime(candidate, mr_rounds, rng)) return candidate;
+  }
+}
+
+}  // namespace qtls

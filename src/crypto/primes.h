@@ -1,0 +1,23 @@
+// Probabilistic prime generation for RSA key generation: small-prime sieve
+// followed by Miller–Rabin.
+#pragma once
+
+#include "crypto/bn.h"
+
+namespace qtls {
+
+class HmacDrbg;
+
+// Miller–Rabin with `rounds` random bases (error < 4^-rounds).
+bool is_probable_prime(const Bignum& n, int rounds, HmacDrbg& rng);
+
+// Random `bits`-bit prime with the top two bits and the low bit set (so the
+// product of two such primes has exactly 2*bits bits, as RSA needs).
+Bignum generate_prime(size_t bits, HmacDrbg& rng, int mr_rounds = 12);
+
+// Uniform random value in [0, bound).
+Bignum random_below(const Bignum& bound, HmacDrbg& rng);
+// Random value with exactly `bits` bits (top bit set).
+Bignum random_bits(size_t bits, HmacDrbg& rng);
+
+}  // namespace qtls

@@ -1,0 +1,55 @@
+// RSA (PKCS#1 v1.5) — the asymmetric core of the TLS-RSA and ECDHE-RSA
+// handshakes. The private operation uses the CRT; this is the op the paper
+// offloads to QAT (qat_rsa_priv_dec / priv_enc in the QAT Engine).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/bn.h"
+#include "crypto/hash.h"
+
+namespace qtls {
+
+class HmacDrbg;
+
+struct RsaPublicKey {
+  Bignum n;
+  Bignum e;
+
+  size_t modulus_bytes() const { return n.byte_length(); }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  Bignum d;
+  // CRT components.
+  Bignum p, q, dp, dq, qinv;
+
+  size_t modulus_bytes() const { return pub.modulus_bytes(); }
+
+  // Serialization for key caching (hex fields, one per line).
+  std::string serialize() const;
+  static Result<RsaPrivateKey> deserialize(const std::string& text);
+};
+
+// Generates an RSA key with public exponent 65537.
+RsaPrivateKey rsa_generate(size_t modulus_bits, HmacDrbg& rng);
+
+// Raw modular exponentiation m^e mod n (no padding).
+Bignum rsa_public_op(const RsaPublicKey& key, const Bignum& m);
+// Raw CRT private op c^d mod n (no padding).
+Bignum rsa_private_op(const RsaPrivateKey& key, const Bignum& c);
+
+// PKCS#1 v1.5 signature over `digest` (DigestInfo omitted: the TLS 1.2
+// ServerKeyExchange signature input is already hash output; we sign the
+// digest bytes directly, both ends agree — see DESIGN.md §5).
+Bytes rsa_sign_pkcs1(const RsaPrivateKey& key, BytesView digest);
+Status rsa_verify_pkcs1(const RsaPublicKey& key, BytesView digest,
+                        BytesView signature);
+
+// PKCS#1 v1.5 type-2 encryption (the RSA-wrapped premaster secret).
+Result<Bytes> rsa_encrypt_pkcs1(const RsaPublicKey& key, BytesView msg,
+                                HmacDrbg& rng);
+Result<Bytes> rsa_decrypt_pkcs1(const RsaPrivateKey& key, BytesView ciphertext);
+
+}  // namespace qtls

@@ -1,0 +1,120 @@
+// Crypto provider interface — the seam where the paper swaps software
+// crypto for QAT offload. The TLS library calls through this interface for
+// every operation in Table 1 plus record protection; implementations:
+//
+//  * SoftwareProvider — the paper's SW baseline ("modern AES-NI
+//    instructions" stands in for "runs on the CPU in this process").
+//  * QatEngineProvider (engine/qat_engine.h) — offloads to the QAT device
+//    model, in straight/blocking mode (QAT+S) or async mode (QAT+A/AH/QTLS).
+//
+// The interface is synchronous by contract: in async mode the QAT engine
+// pauses the surrounding fiber (asyncx::pause_job) inside the call, exactly
+// as OpenSSL's QAT Engine does, so the TLS code is identical either way.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/ec.h"
+#include "crypto/ec2m.h"
+#include "crypto/kdf.h"
+#include "crypto/rsa.h"
+
+namespace qtls::engine {
+
+using qtls::CurveId;
+
+// An ephemeral ECDHE key share, curve-generic (prime or binary field).
+struct KeyShare {
+  CurveId curve = CurveId::kP256;
+  Bytes priv;       // big-endian scalar
+  Bytes pub_point;  // SEC1 uncompressed encoding
+};
+
+class CryptoProvider {
+ public:
+  virtual ~CryptoProvider() = default;
+
+  virtual const char* name() const = 0;
+
+  // --- asymmetric ---------------------------------------------------------
+  virtual Result<Bytes> rsa_sign(const RsaPrivateKey& key,
+                                 BytesView digest) = 0;
+  virtual Result<Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                    BytesView ciphertext) = 0;
+  virtual Result<KeyShare> ecdhe_keygen(CurveId curve) = 0;
+  virtual Result<Bytes> ecdhe_derive(const KeyShare& mine,
+                                     BytesView peer_point) = 0;
+  // Prime curves only (see DESIGN.md §5 on binary-curve ECDSA).
+  virtual Result<Bytes> ecdsa_sign(CurveId curve, const Bignum& priv,
+                                   BytesView digest) = 0;
+
+  // --- key derivation -------------------------------------------------------
+  virtual Result<Bytes> prf_tls12(HashAlg alg, BytesView secret,
+                                  const std::string& label, BytesView seed,
+                                  size_t out_len) = 0;
+
+  // --- record protection ----------------------------------------------------
+  virtual Result<Bytes> cipher_seal(const CbcHmacKeys& keys, uint64_t seq,
+                                    BytesView header, BytesView iv,
+                                    BytesView fragment) = 0;
+  virtual Result<Bytes> cipher_open(const CbcHmacKeys& keys, uint64_t seq,
+                                    BytesView header_without_len, BytesView iv,
+                                    BytesView ciphertext) = 0;
+  // AEAD (AES-GCM) record protection — the TLS 1.3 path.
+  virtual Result<Bytes> aead_seal(BytesView key, BytesView nonce,
+                                  BytesView aad, BytesView plaintext) = 0;
+  virtual Result<Bytes> aead_open(BytesView key, BytesView nonce,
+                                  BytesView aad, BytesView ciphertext) = 0;
+};
+
+// Pure-CPU provider; also the fallback inside the QAT engine for algorithms
+// whose offload switch is off (ssl_engine `default_algorithm`).
+// Not thread-safe: one provider per worker, like one SSL_CTX engine binding
+// per Nginx worker.
+class SoftwareProvider : public CryptoProvider {
+ public:
+  explicit SoftwareProvider(uint64_t drbg_seed = 0x51544c53);
+
+  const char* name() const override { return "software"; }
+
+  Result<Bytes> rsa_sign(const RsaPrivateKey& key, BytesView digest) override;
+  Result<Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                            BytesView ciphertext) override;
+  Result<KeyShare> ecdhe_keygen(CurveId curve) override;
+  Result<Bytes> ecdhe_derive(const KeyShare& mine,
+                             BytesView peer_point) override;
+  Result<Bytes> ecdsa_sign(CurveId curve, const Bignum& priv,
+                           BytesView digest) override;
+  Result<Bytes> prf_tls12(HashAlg alg, BytesView secret,
+                          const std::string& label, BytesView seed,
+                          size_t out_len) override;
+  Result<Bytes> cipher_seal(const CbcHmacKeys& keys, uint64_t seq,
+                            BytesView header, BytesView iv,
+                            BytesView fragment) override;
+  Result<Bytes> cipher_open(const CbcHmacKeys& keys, uint64_t seq,
+                            BytesView header_without_len, BytesView iv,
+                            BytesView ciphertext) override;
+  Result<Bytes> aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                          BytesView plaintext) override;
+  Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                          BytesView ciphertext) override;
+
+  HmacDrbg& drbg() { return drbg_; }
+
+ private:
+  HmacDrbg drbg_;
+};
+
+// Curve-family helpers shared by providers.
+const EcCurve* prime_curve(CurveId id);      // nullptr for binary ids
+const Ec2mCurve* binary_curve(CurveId id);   // nullptr for prime ids
+
+// Pure functions used by both the software path and the QAT engine-thread
+// compute closures.
+Result<KeyShare> ecdhe_keygen_impl(CurveId curve, HmacDrbg& rng);
+Result<Bytes> ecdhe_derive_impl(const KeyShare& mine, BytesView peer_point);
+
+}  // namespace qtls::engine

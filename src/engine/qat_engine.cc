@@ -1,0 +1,277 @@
+#include "engine/qat_engine.h"
+
+#include <cassert>
+#include <thread>
+
+#include "common/log.h"
+#include "crypto/gcm.h"
+
+namespace qtls::engine {
+
+namespace {
+// Generic holder for a completed offload; `done` flips in the response
+// callback (polling context), after `compute` ran on an engine thread.
+template <typename T>
+struct TypedOpState {
+  std::atomic<bool> done{false};
+  Result<T> result = Status(Code::kInternal, "not computed");
+};
+}  // namespace
+
+QatEngineProvider::QatEngineProvider(qat::CryptoInstance* instance,
+                                     QatEngineConfig config)
+    : QatEngineProvider(std::vector<qat::CryptoInstance*>{instance}, config) {}
+
+QatEngineProvider::QatEngineProvider(
+    std::vector<qat::CryptoInstance*> instances, QatEngineConfig config)
+    : instances_(std::move(instances)),
+      config_(config),
+      fallback_(config.drbg_seed ^ 0x5a5a5a5aULL) {
+  assert(!instances_.empty());
+  for (auto& c : inflight_) c.store(0, std::memory_order_relaxed);
+}
+
+size_t QatEngineProvider::poll(size_t max) {
+  size_t got = 0;
+  for (qat::CryptoInstance* inst : instances_) {
+    got += inst->poll(max - got);
+    if (got >= max) break;
+  }
+  return got;
+}
+
+qat::OpKind QatEngineProvider::ec_op_kind(CurveId curve) {
+  switch (curve) {
+    case CurveId::kP256: return qat::OpKind::kEcP256;
+    case CurveId::kP384: return qat::OpKind::kEcP384;
+    case CurveId::kB283:
+    case CurveId::kK283: return qat::OpKind::kEcBinary283;
+    case CurveId::kB409:
+    case CurveId::kK409: return qat::OpKind::kEcBinary409;
+  }
+  return qat::OpKind::kEcP256;
+}
+
+template <typename T>
+Result<T> QatEngineProvider::offload(qat::OpKind kind,
+                                     std::function<Result<T>()> compute) {
+  using State = TypedOpState<T>;
+  auto state = std::make_shared<State>();
+
+  asyncx::AsyncJob* job = asyncx::get_current_job();
+  const bool async = config_.offload_mode == OffloadMode::kAsync && job;
+  asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
+
+  const qat::OpClass cls = qat::op_class_of(kind);
+  // Counted before submission so the heuristic poller sees the request the
+  // instant it exists (paper §4.3 counts at crypto-function invocation).
+  inflight_[static_cast<int>(cls)].fetch_add(1, std::memory_order_release);
+
+  auto build_request = [&] {
+    qat::CryptoRequest req;
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.kind = kind;
+    req.compute = [state, compute] {
+      state->result = compute();
+      return state->result.is_ok();
+    };
+    req.on_response = [this, state, wctx, cls](const qat::CryptoResponse&) {
+      inflight_[static_cast<int>(cls)].fetch_sub(1, std::memory_order_release);
+      state->done.store(true, std::memory_order_release);
+      // Async event notification (§3.4): kernel-bypass callback if set on
+      // the wait context, otherwise the notification FD.
+      if (wctx) wctx->notify();
+    };
+    return req;
+  };
+
+  // Requests round-robin across the assigned instances (§2.3); submission
+  // retains the §3.2 failure path: a full request ring pauses the job
+  // (async) or backs off (sync) and retries.
+  qat::CryptoInstance* target = instances_[
+      next_instance_.fetch_add(1, std::memory_order_relaxed) %
+      instances_.size()];
+  while (!target->submit(build_request())) {
+    ++stats_.submit_retries;
+    if (async) {
+      // Notify immediately so the application reschedules this handler to
+      // retry the submission.
+      if (wctx) wctx->notify();
+      asyncx::pause_job();
+    } else {
+      target->poll();
+      std::this_thread::yield();
+    }
+  }
+  ++stats_.submitted;
+
+  if (async) {
+    // Pre-processing ends here: pause until the async event arrives. The
+    // loop tolerates spurious resumes (e.g. a resume triggered by the
+    // retry-notification racing an actual response).
+    while (!state->done.load(std::memory_order_acquire)) asyncx::pause_job();
+  } else {
+    ++stats_.sync_blocks;
+    // Straight offload (QAT+S): burn the event loop until the response is
+    // back — this is precisely Figure 3's blocking.
+    while (!state->done.load(std::memory_order_acquire)) {
+      if (config_.self_poll_when_blocking) {
+        target->poll();
+      } else {
+        std::this_thread::yield();  // an external polling thread retrieves
+      }
+    }
+  }
+  ++stats_.completed;  // incremented on the calling thread, not the poller
+  return std::move(state->result);
+}
+
+Result<Bytes> QatEngineProvider::rsa_sign(const RsaPrivateKey& key,
+                                          BytesView digest) {
+  if (!config_.offload_rsa) return fallback_.rsa_sign(key, digest);
+  Bytes digest_copy(digest.begin(), digest.end());
+  const RsaPrivateKey* key_ptr = &key;  // keys outlive connections
+  return offload<Bytes>(qat::OpKind::kRsa2048Priv,
+                        [key_ptr, digest_copy]() -> Result<Bytes> {
+                          Bytes sig = rsa_sign_pkcs1(*key_ptr, digest_copy);
+                          if (sig.empty())
+                            return err(Code::kInvalidArgument, "bad digest");
+                          return sig;
+                        });
+}
+
+Result<Bytes> QatEngineProvider::rsa_decrypt(const RsaPrivateKey& key,
+                                             BytesView ciphertext) {
+  if (!config_.offload_rsa) return fallback_.rsa_decrypt(key, ciphertext);
+  Bytes ct(ciphertext.begin(), ciphertext.end());
+  const RsaPrivateKey* key_ptr = &key;
+  return offload<Bytes>(
+      qat::OpKind::kRsa2048Priv,
+      [key_ptr, ct]() -> Result<Bytes> { return rsa_decrypt_pkcs1(*key_ptr, ct); });
+}
+
+Result<KeyShare> QatEngineProvider::ecdhe_keygen(CurveId curve) {
+  if (!config_.offload_ec) return fallback_.ecdhe_keygen(curve);
+  // Engine threads need private randomness: derive a one-shot DRBG.
+  const uint64_t nonce =
+      engine_drbg_nonce_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t seed = config_.drbg_seed ^ (nonce * 0x9e3779b97f4a7c15ULL);
+  return offload<KeyShare>(ec_op_kind(curve),
+                           [curve, seed]() -> Result<KeyShare> {
+                             Bytes sb;
+                             append_u64(sb, seed);
+                             HmacDrbg rng(HashAlg::kSha256, sb);
+                             return ecdhe_keygen_impl(curve, rng);
+                           });
+}
+
+Result<Bytes> QatEngineProvider::ecdhe_derive(const KeyShare& mine,
+                                              BytesView peer_point) {
+  if (!config_.offload_ec) return fallback_.ecdhe_derive(mine, peer_point);
+  KeyShare share = mine;
+  Bytes peer(peer_point.begin(), peer_point.end());
+  return offload<Bytes>(ec_op_kind(mine.curve),
+                        [share, peer]() -> Result<Bytes> {
+                          return ecdhe_derive_impl(share, peer);
+                        });
+}
+
+Result<Bytes> QatEngineProvider::ecdsa_sign(CurveId curve, const Bignum& priv,
+                                            BytesView digest) {
+  if (!config_.offload_ec) return fallback_.ecdsa_sign(curve, priv, digest);
+  const EcCurve* c = prime_curve(curve);
+  if (!c)
+    return err(Code::kUnimplemented, "ECDSA restricted to prime curves");
+  const uint64_t nonce =
+      engine_drbg_nonce_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t seed = config_.drbg_seed ^ (nonce * 0xc2b2ae3d27d4eb4fULL);
+  Bignum priv_copy = priv;
+  Bytes digest_copy(digest.begin(), digest.end());
+  return offload<Bytes>(
+      ec_op_kind(curve), [c, priv_copy, digest_copy, seed]() -> Result<Bytes> {
+        Bytes sb;
+        append_u64(sb, seed);
+        HmacDrbg rng(HashAlg::kSha256, sb);
+        return qtls::ecdsa_sign(*c, priv_copy, digest_copy, rng).encode();
+      });
+}
+
+Result<Bytes> QatEngineProvider::prf_tls12(HashAlg alg, BytesView secret,
+                                           const std::string& label,
+                                           BytesView seed, size_t out_len) {
+  if (!config_.offload_prf)
+    return fallback_.prf_tls12(alg, secret, label, seed, out_len);
+  Bytes secret_copy(secret.begin(), secret.end());
+  Bytes seed_copy(seed.begin(), seed.end());
+  return offload<Bytes>(
+      qat::OpKind::kPrfTls12,
+      [alg, secret_copy, label, seed_copy, out_len]() -> Result<Bytes> {
+        return tls12_prf(alg, secret_copy, label, seed_copy, out_len);
+      });
+}
+
+Result<Bytes> QatEngineProvider::cipher_seal(const CbcHmacKeys& keys,
+                                             uint64_t seq, BytesView header,
+                                             BytesView iv, BytesView fragment) {
+  if (!config_.offload_cipher)
+    return fallback_.cipher_seal(keys, seq, header, iv, fragment);
+  CbcHmacKeys keys_copy = keys;
+  Bytes header_copy(header.begin(), header.end());
+  Bytes iv_copy(iv.begin(), iv.end());
+  Bytes frag_copy(fragment.begin(), fragment.end());
+  return offload<Bytes>(
+      qat::OpKind::kCipher16k,
+      [keys_copy, seq, header_copy, iv_copy, frag_copy]() -> Result<Bytes> {
+        return cbc_hmac_seal(keys_copy, seq, header_copy, iv_copy, frag_copy);
+      });
+}
+
+Result<Bytes> QatEngineProvider::cipher_open(const CbcHmacKeys& keys,
+                                             uint64_t seq,
+                                             BytesView header_without_len,
+                                             BytesView iv,
+                                             BytesView ciphertext) {
+  if (!config_.offload_cipher)
+    return fallback_.cipher_open(keys, seq, header_without_len, iv, ciphertext);
+  CbcHmacKeys keys_copy = keys;
+  Bytes header_copy(header_without_len.begin(), header_without_len.end());
+  Bytes iv_copy(iv.begin(), iv.end());
+  Bytes ct_copy(ciphertext.begin(), ciphertext.end());
+  return offload<Bytes>(
+      qat::OpKind::kCipher16k,
+      [keys_copy, seq, header_copy, iv_copy, ct_copy]() -> Result<Bytes> {
+        return cbc_hmac_open(keys_copy, seq, header_copy, iv_copy, ct_copy);
+      });
+}
+
+Result<Bytes> QatEngineProvider::aead_seal(BytesView key, BytesView nonce,
+                                           BytesView aad,
+                                           BytesView plaintext) {
+  if (!config_.offload_cipher)
+    return fallback_.aead_seal(key, nonce, aad, plaintext);
+  Bytes k(key.begin(), key.end());
+  Bytes n(nonce.begin(), nonce.end());
+  Bytes a(aad.begin(), aad.end());
+  Bytes pt(plaintext.begin(), plaintext.end());
+  return offload<Bytes>(qat::OpKind::kCipher16k,
+                        [k, n, a, pt]() -> Result<Bytes> {
+                          return gcm_seal(k, n, a, pt);
+                        });
+}
+
+Result<Bytes> QatEngineProvider::aead_open(BytesView key, BytesView nonce,
+                                           BytesView aad,
+                                           BytesView ciphertext) {
+  if (!config_.offload_cipher)
+    return fallback_.aead_open(key, nonce, aad, ciphertext);
+  Bytes k(key.begin(), key.end());
+  Bytes n(nonce.begin(), nonce.end());
+  Bytes a(aad.begin(), aad.end());
+  Bytes ct(ciphertext.begin(), ciphertext.end());
+  return offload<Bytes>(qat::OpKind::kCipher16k,
+                        [k, n, a, ct]() -> Result<Bytes> {
+                          return gcm_open(k, n, a, ct);
+                        });
+}
+
+}  // namespace qtls::engine

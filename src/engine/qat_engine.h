@@ -1,0 +1,126 @@
+// QAT Engine — the bridge between the TLS library and the QAT driver layer
+// (paper §3.2): registers a response callback when submitting through the
+// driver's non-blocking API, then either
+//
+//  * kSync (straight offload, the QAT+S configuration): blocks the calling
+//    thread until the response is retrieved — reproducing §2.4's pathology,
+//    where each offload I/O stalls the whole event loop; or
+//  * kAsync (the QTLS framework): pauses the surrounding fiber
+//    (asyncx::pause_job) after submission and consumes the crypto result
+//    after resumption — multiple connections' ops stay in flight at once.
+//
+// The engine also owns the inflight counters R_asym / R_cipher / R_prf that
+// feed the heuristic polling scheme (§4.3), counted exactly as the paper
+// prescribes: incremented when a crypto function is invoked, decremented in
+// the response callback.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "asyncx/job.h"
+#include "engine/provider.h"
+#include "qat/device.h"
+
+namespace qtls::engine {
+
+enum class OffloadMode { kSync, kAsync };
+
+struct QatEngineConfig {
+  OffloadMode offload_mode = OffloadMode::kAsync;
+  // Per-algorithm offload switches (ssl_engine `default_algorithm ...`).
+  bool offload_rsa = true;
+  bool offload_ec = true;
+  bool offload_prf = true;
+  bool offload_cipher = true;
+  // kSync only: poll the instance from the blocked thread itself (busy
+  // loop). When false the caller relies on an external polling thread
+  // (engine/polling_thread.h) to retrieve the response.
+  bool self_poll_when_blocking = true;
+  uint64_t drbg_seed = 0x716174656e67ULL;
+};
+
+struct QatEngineStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t submit_retries = 0;  // request-ring-full events (§3.2 retry path)
+  uint64_t sync_blocks = 0;     // blocking waits taken in kSync mode
+};
+
+class QatEngineProvider : public CryptoProvider {
+ public:
+  QatEngineProvider(qat::CryptoInstance* instance, QatEngineConfig config);
+  // §2.3: one process may be assigned multiple QAT instances from different
+  // endpoints to employ more computation engines. Requests round-robin
+  // across them; poll() drains all of them.
+  QatEngineProvider(std::vector<qat::CryptoInstance*> instances,
+                    QatEngineConfig config);
+
+  const char* name() const override { return "qat"; }
+
+  Result<Bytes> rsa_sign(const RsaPrivateKey& key, BytesView digest) override;
+  Result<Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                            BytesView ciphertext) override;
+  Result<KeyShare> ecdhe_keygen(CurveId curve) override;
+  Result<Bytes> ecdhe_derive(const KeyShare& mine,
+                             BytesView peer_point) override;
+  Result<Bytes> ecdsa_sign(CurveId curve, const Bignum& priv,
+                           BytesView digest) override;
+  Result<Bytes> prf_tls12(HashAlg alg, BytesView secret,
+                          const std::string& label, BytesView seed,
+                          size_t out_len) override;
+  Result<Bytes> cipher_seal(const CbcHmacKeys& keys, uint64_t seq,
+                            BytesView header, BytesView iv,
+                            BytesView fragment) override;
+  Result<Bytes> cipher_open(const CbcHmacKeys& keys, uint64_t seq,
+                            BytesView header_without_len, BytesView iv,
+                            BytesView ciphertext) override;
+  Result<Bytes> aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                          BytesView plaintext) override;
+  Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                          BytesView ciphertext) override;
+
+  // --- engine commands (paper §4.3's new command surface) -----------------
+  size_t inflight(qat::OpClass cls) const {
+    return inflight_[static_cast<int>(cls)].load(std::memory_order_acquire);
+  }
+  size_t inflight_total() const {
+    size_t total = 0;
+    for (const auto& c : inflight_) total += c.load(std::memory_order_acquire);
+    return total;
+  }
+
+  // Drain up to `max` QAT responses (runs response callbacks; resumable jobs
+  // are signalled through their WaitCtx). Returns retrieved count.
+  size_t poll(size_t max = static_cast<size_t>(-1));
+
+  qat::CryptoInstance* instance() const { return instances_.front(); }
+  const std::vector<qat::CryptoInstance*>& instances() const {
+    return instances_;
+  }
+  const QatEngineStats& stats() const { return stats_; }
+  const QatEngineConfig& config() const { return config_; }
+
+ private:
+  struct OpState;
+
+  // Generic offload runner. `compute` executes on a QAT engine thread; the
+  // calling thread blocks (kSync) or fiber-pauses (kAsync) until the
+  // response callback fires.
+  template <typename T>
+  Result<T> offload(qat::OpKind kind, std::function<Result<T>()> compute);
+
+  // Curve -> modelled op kind.
+  static qat::OpKind ec_op_kind(CurveId curve);
+
+  std::vector<qat::CryptoInstance*> instances_;
+  std::atomic<size_t> next_instance_{0};
+  QatEngineConfig config_;
+  SoftwareProvider fallback_;
+  std::atomic<size_t> inflight_[qat::kNumOpClasses];
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> engine_drbg_nonce_{1};
+  QatEngineStats stats_;
+};
+
+}  // namespace qtls::engine

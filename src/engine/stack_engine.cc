@@ -1,0 +1,49 @@
+#include "engine/stack_engine.h"
+
+namespace qtls::engine {
+
+StackStep StackAsyncEngine::run(StackAsyncOp* op, qat::OpKind kind,
+                                std::function<Result<Bytes>()> compute,
+                                Bytes* out, asyncx::WaitCtx* wctx) {
+  // Ready: the re-entered call jumps over submission and consumes the
+  // crypto result (Figure 5's right-hand path).
+  if (op->slot_.ready()) {
+    Result<Bytes> result = op->slot_.take();
+    if (!result.is_ok()) {
+      op->status_ = result.status();
+      return StackStep::kError;
+    }
+    op->status_ = Status::ok();
+    if (out) *out = std::move(result).take();
+    return StackStep::kDone;
+  }
+  if (op->slot_.inflight()) return StackStep::kPaused;
+
+  // Idle or retry: (re)submit.
+  auto result_box = std::make_shared<Result<Bytes>>(
+      Status(Code::kInternal, "not computed"));
+  qat::CryptoRequest req;
+  req.request_id = next_id_++;
+  req.kind = kind;
+  req.compute = [result_box, compute = std::move(compute)] {
+    *result_box = compute();
+    return result_box->is_ok();
+  };
+  req.on_response = [op, result_box, wctx](const qat::CryptoResponse&) {
+    op->slot_.complete(std::move(*result_box));
+    if (wctx) wctx->notify();
+  };
+  if (!instance_->submit(std::move(req))) {
+    // Ring full: the application must call the same operation again later
+    // (§3.2's submission-failure path).
+    ++ring_full_;
+    op->slot_.mark_retry();
+    if (wctx) wctx->notify();
+    return StackStep::kRetry;
+  }
+  ++submitted_;
+  op->slot_.mark_inflight();
+  return StackStep::kPaused;
+}
+
+}  // namespace qtls::engine

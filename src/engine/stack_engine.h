@@ -1,0 +1,73 @@
+// Stack-async offload adapter — the paper's first-generation §4.1
+// implementation (Figure 5), kept alongside fiber async just as the authors
+// kept both: instead of a fiber that pauses anywhere, the call site carries
+// an explicit state flag and re-enters the same operation, carefully
+// skipping the parts that already ran.
+//
+//   state idle/retry : submit the crypto request
+//       -> kPaused on success (flag := inflight)
+//       -> kRetry  when the request ring is full (flag := retry)
+//   state inflight   : response not yet retrieved -> kPaused
+//   state ready      : consume the result -> kDone / kError (flag := idle)
+//
+// The trade-off the paper describes: no fiber management cost (see
+// bench/micro_async), but the API is intrusive — every caller must be
+// written as a re-entrant state machine, which is why OpenSSL rejected it
+// and why the TLS layer here uses fiber async.
+#pragma once
+
+#include "asyncx/stack_async.h"
+#include "asyncx/wait_ctx.h"
+#include "engine/provider.h"
+#include "qat/device.h"
+
+namespace qtls::engine {
+
+enum class StackStep : uint8_t { kPaused, kRetry, kDone, kError };
+
+// One in-flight operation slot; embed one per connection (each connection
+// has at most one async crypto op at a time, §3.3).
+class StackAsyncOp {
+ public:
+  bool idle() const { return slot_.idle(); }
+  Status status() const { return status_; }
+
+ private:
+  friend class StackAsyncEngine;
+  asyncx::StackAsyncSlot<Result<Bytes>> slot_;
+  Status status_;
+};
+
+class StackAsyncEngine {
+ public:
+  explicit StackAsyncEngine(qat::CryptoInstance* instance)
+      : instance_(instance) {}
+
+  // Start-or-resume `op`. On first entry (idle/retry) submits `compute` as
+  // an offload of the given kind; on re-entry after the response callback,
+  // moves the result into *out. `wctx` (nullable) receives the async event
+  // notification when the response is retrieved.
+  //
+  // `compute` is only read on submission entries — re-entries may pass any
+  // callable (it is ignored), mirroring how Figure 5's re-invoked crypto
+  // API jumps over the submission block.
+  StackStep run(StackAsyncOp* op, qat::OpKind kind,
+                std::function<Result<Bytes>()> compute, Bytes* out,
+                asyncx::WaitCtx* wctx = nullptr);
+
+  // Drain responses (flips slots from inflight to ready).
+  size_t poll(size_t max = static_cast<size_t>(-1)) {
+    return instance_->poll(max);
+  }
+
+  uint64_t submitted() const { return submitted_; }
+  uint64_t ring_full_events() const { return ring_full_; }
+
+ private:
+  qat::CryptoInstance* instance_;
+  uint64_t next_id_ = 1;
+  uint64_t submitted_ = 0;
+  uint64_t ring_full_ = 0;
+};
+
+}  // namespace qtls::engine

@@ -1,0 +1,82 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace qtls::net {
+
+namespace {
+uint32_t to_epoll(bool want_read, bool want_write) {
+  uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+}  // namespace
+
+EventLoop::EventLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::add(int fd, bool want_read, bool want_write,
+                      Handler handler) {
+  epoll_event ev{};
+  ev.events = to_epoll(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    return err(Code::kIoError, std::strerror(errno));
+  handlers_[fd] = std::move(handler);
+  return Status::ok();
+}
+
+Status EventLoop::modify(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = to_epoll(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+    return err(Code::kIoError, std::strerror(errno));
+  return Status::ok();
+}
+
+Status EventLoop::remove(int fd) {
+  handlers_.erase(fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0)
+    return err(Code::kIoError, std::strerror(errno));
+  return Status::ok();
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  std::array<epoll_event, 128> events;
+  const int n = ::epoll_wait(epoll_fd_, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    if (errno != EINTR) {
+      QTLS_WARN << "epoll_wait: " << std::strerror(errno);
+    }
+    return 0;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<size_t>(i)].data.fd;
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;  // removed by a prior handler
+    FdEvents fe;
+    const uint32_t mask = events[static_cast<size_t>(i)].events;
+    fe.readable = mask & (EPOLLIN | EPOLLHUP);
+    fe.writable = mask & EPOLLOUT;
+    fe.error = mask & EPOLLERR;
+    // Copy: the handler may remove/replace itself.
+    Handler handler = it->second;
+    handler(fe);
+  }
+  return n;
+}
+
+}  // namespace qtls::net

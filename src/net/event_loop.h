@@ -1,0 +1,46 @@
+// Thin epoll wrapper — the I/O multiplexing core of the event-driven web
+// architecture (paper §2.2). Handlers are per-fd callbacks invoked from
+// run_once(); the worker layers connection state machines on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace qtls::net {
+
+struct FdEvents {
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class EventLoop {
+ public:
+  using Handler = std::function<void(FdEvents)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Status add(int fd, bool want_read, bool want_write, Handler handler);
+  Status modify(int fd, bool want_read, bool want_write);
+  Status remove(int fd);
+  bool watching(int fd) const { return handlers_.count(fd) > 0; }
+
+  // Waits up to timeout_ms (-1 = forever, 0 = poll) and dispatches handlers.
+  // Returns the number of fds dispatched.
+  int run_once(int timeout_ms);
+
+  size_t watched_count() const { return handlers_.size(); }
+
+ private:
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Handler> handlers_;
+};
+
+}  // namespace qtls::net

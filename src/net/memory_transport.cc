@@ -1,0 +1,47 @@
+#include "net/memory_transport.h"
+
+#include <algorithm>
+
+namespace qtls::net {
+
+MemoryPipe::MemoryPipe()
+    : a_(new MemoryEndpoint(this, 0)), b_(new MemoryEndpoint(this, 1)) {}
+
+void MemoryPipe::close_side(int side) { closed_[side] = true; }
+
+tls::IoResult MemoryEndpoint::read(uint8_t* buf, size_t len) {
+  // Endpoint `side` reads from the queue written by the peer.
+  auto& queue = pipe_->dir_[1 - side_];
+  if (queue.empty()) {
+    if (pipe_->closed_[1 - side_]) return {tls::IoStatus::kClosed, 0};
+    return {tls::IoStatus::kWouldBlock, 0};
+  }
+  size_t take = std::min(len, queue.size());
+  if (pipe_->chunk_limit_ > 0) take = std::min(take, pipe_->chunk_limit_);
+  for (size_t i = 0; i < take; ++i) {
+    buf[i] = queue.front();
+    queue.pop_front();
+  }
+  return {tls::IoStatus::kOk, take};
+}
+
+tls::IoResult MemoryEndpoint::write(const uint8_t* buf, size_t len) {
+  if (pipe_->closed_[side_]) return {tls::IoStatus::kError, 0};
+  auto& queue = pipe_->dir_[side_];
+  size_t take = len;
+  if (pipe_->capacity_ > 0) {
+    if (queue.size() >= pipe_->capacity_)
+      return {tls::IoStatus::kWouldBlock, 0};
+    take = std::min(take, pipe_->capacity_ - queue.size());
+  }
+  if (pipe_->chunk_limit_ > 0) take = std::min(take, pipe_->chunk_limit_);
+  queue.insert(queue.end(), buf, buf + take);
+  pipe_->bytes_transferred_ += take;
+  return {tls::IoStatus::kOk, take};
+}
+
+size_t MemoryEndpoint::readable() const {
+  return pipe_->dir_[1 - side_].size();
+}
+
+}  // namespace qtls::net

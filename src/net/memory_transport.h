@@ -1,0 +1,62 @@
+// In-memory duplex byte pipe implementing tls::Transport on both ends —
+// the unit/integration-test substitute for a TCP connection. Optionally
+// rate-limited per call to exercise kWouldBlock paths deterministically.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/bytes.h"
+#include "tls/transport.h"
+
+namespace qtls::net {
+
+class MemoryPipe;
+
+class MemoryEndpoint final : public tls::Transport {
+ public:
+  tls::IoResult read(uint8_t* buf, size_t len) override;
+  tls::IoResult write(const uint8_t* buf, size_t len) override;
+
+  // Bytes readable right now.
+  size_t readable() const;
+
+ private:
+  friend class MemoryPipe;
+  MemoryEndpoint(MemoryPipe* pipe, int side) : pipe_(pipe), side_(side) {}
+  MemoryPipe* pipe_;
+  int side_;
+};
+
+class MemoryPipe {
+ public:
+  MemoryPipe();
+
+  MemoryEndpoint& a() { return *a_; }
+  MemoryEndpoint& b() { return *b_; }
+
+  // Caps bytes transferred per read/write call (0 = unlimited). Small caps
+  // force record reassembly and kWouldBlock handling.
+  void set_chunk_limit(size_t limit) { chunk_limit_ = limit; }
+  // Caps total buffered bytes per direction (0 = unlimited): writes beyond
+  // it return kWouldBlock, exercising kWantWrite.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  // Close one side: subsequent reads on the peer drain then see kClosed;
+  // writes from the closed side fail.
+  void close_side(int side);
+
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  friend class MemoryEndpoint;
+
+  std::deque<uint8_t> dir_[2];  // dir_[0]: a->b, dir_[1]: b->a
+  bool closed_[2] = {false, false};
+  size_t chunk_limit_ = 0;
+  size_t capacity_ = 0;
+  uint64_t bytes_transferred_ = 0;
+  std::unique_ptr<MemoryEndpoint> a_;
+  std::unique_ptr<MemoryEndpoint> b_;
+};
+
+}  // namespace qtls::net

@@ -1,0 +1,196 @@
+#include "qat/device.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace qtls::qat {
+
+// ---------------------------------------------------------------------------
+// CryptoInstance
+// ---------------------------------------------------------------------------
+
+CryptoInstance::CryptoInstance(QatEndpoint* endpoint, int id,
+                               size_t ring_capacity)
+    : endpoint_(endpoint), id_(id), request_ring_(ring_capacity) {}
+
+bool CryptoInstance::submit(CryptoRequest req) {
+  const OpClass cls = op_class_of(req.kind);
+  if (!request_ring_.try_push(std::move(req))) return false;
+  inflight_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(endpoint_->counter_mutex_);
+    ++endpoint_->counters_.requests[static_cast<int>(cls)];
+  }
+  endpoint_->kick();
+  return true;
+}
+
+size_t CryptoInstance::poll(size_t max) {
+  // Move ready responses out under the lock, run callbacks outside it: a
+  // callback may submit a follow-up request to this same instance.
+  std::vector<std::pair<CryptoResponse, ResponseCallback>> ready;
+  {
+    std::lock_guard<std::mutex> lock(response_mutex_);
+    while (!responses_.empty() && ready.size() < max) {
+      ready.push_back(std::move(responses_.front()));
+      responses_.pop_front();
+    }
+  }
+  for (auto& [response, callback] : ready) {
+    inflight_.fetch_sub(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(endpoint_->counter_mutex_);
+      ++endpoint_->counters_.responses[static_cast<int>(
+          op_class_of(response.kind))];
+    }
+    if (callback) callback(response);
+  }
+  return ready.size();
+}
+
+// ---------------------------------------------------------------------------
+// QatEndpoint
+// ---------------------------------------------------------------------------
+
+QatEndpoint::QatEndpoint(const DeviceConfig& config, int id)
+    : config_(config), id_(id) {
+  engines_.reserve(static_cast<size_t>(config.engines_per_endpoint));
+  for (int e = 0; e < config.engines_per_endpoint; ++e)
+    engines_.emplace_back([this, e] { engine_main(e); });
+}
+
+QatEndpoint::~QatEndpoint() {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    stopping_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (auto& t : engines_) t.join();
+}
+
+CryptoInstance* QatEndpoint::allocate_instance() {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  if (static_cast<int>(instances_.size()) >= config_.max_instances_per_endpoint)
+    return nullptr;
+  instances_.push_back(std::make_unique<CryptoInstance>(
+      this, static_cast<int>(instances_.size()), config_.ring_capacity));
+  return instances_.back().get();
+}
+
+void QatEndpoint::kick() { dispatch_cv_.notify_one(); }
+
+bool QatEndpoint::pop_request_locked(CryptoRequest* out,
+                                     CryptoInstance** from) {
+  const size_t n = instances_.size();
+  for (size_t step = 0; step < n; ++step) {
+    CryptoInstance* inst = instances_[(rr_cursor_ + step) % n].get();
+    auto req = inst->request_ring_.try_pop();
+    if (req.has_value()) {
+      rr_cursor_ = (rr_cursor_ + step + 1) % n;
+      *out = std::move(*req);
+      *from = inst;
+      return true;
+    }
+  }
+  return false;
+}
+
+void QatEndpoint::engine_main(int engine_id) {
+  (void)engine_id;
+  std::unique_lock<std::mutex> lock(dispatch_mutex_);
+  for (;;) {
+    CryptoRequest req;
+    CryptoInstance* from = nullptr;
+    while (!stopping_ && !pop_request_locked(&req, &from)) {
+      // Timed wait: a submit that races the wait is recovered on timeout.
+      dispatch_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    if (stopping_) return;
+
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+
+    CryptoResponse response;
+    response.request_id = req.request_id;
+    response.kind = req.kind;
+    response.user_tag = req.user_tag;
+    response.success = req.compute ? req.compute() : true;
+    if (config_.extra_service_ns > 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::nanoseconds(config_.extra_service_ns);
+      while (std::chrono::steady_clock::now() < deadline) {
+        // busy wait: models occupancy of a computation engine
+      }
+    }
+
+    if (config_.delivery == ResponseDelivery::kInterrupt) {
+      // Interrupt-style delivery: invoked from the engine thread, like a
+      // kernel interrupt handler preempting the application.
+      from->inflight_.fetch_sub(1, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> clock_(counter_mutex_);
+        ++counters_.responses[static_cast<int>(op_class_of(response.kind))];
+      }
+      if (req.on_response) req.on_response(response);
+    } else {
+      std::lock_guard<std::mutex> rlock(from->response_mutex_);
+      from->responses_.emplace_back(std::move(response),
+                                    std::move(req.on_response));
+    }
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+
+    lock.lock();
+  }
+}
+
+FwCounters QatEndpoint::fw_counters() const {
+  std::lock_guard<std::mutex> lock(counter_mutex_);
+  return counters_;
+}
+
+std::string FwCounters::to_string() const {
+  std::ostringstream os;
+  for (int c = 0; c < kNumOpClasses; ++c) {
+    os << op_class_name(static_cast<OpClass>(c)) << ": req=" << requests[c]
+       << " resp=" << responses[c];
+    if (c + 1 < kNumOpClasses) os << ", ";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// QatDevice
+// ---------------------------------------------------------------------------
+
+QatDevice::QatDevice(const DeviceConfig& config) : config_(config) {
+  for (int i = 0; i < config.num_endpoints; ++i)
+    endpoints_.push_back(std::make_unique<QatEndpoint>(config, i));
+}
+
+CryptoInstance* QatDevice::allocate_instance() {
+  // Round-robin across endpoints; if one endpoint is full, try the others.
+  for (int attempt = 0; attempt < num_endpoints(); ++attempt) {
+    const size_t idx =
+        next_endpoint_.fetch_add(1, std::memory_order_relaxed) %
+        endpoints_.size();
+    if (CryptoInstance* inst = endpoints_[idx]->allocate_instance())
+      return inst;
+  }
+  return nullptr;
+}
+
+FwCounters QatDevice::fw_counters() const {
+  FwCounters total;
+  for (const auto& ep : endpoints_) {
+    const FwCounters c = ep->fw_counters();
+    for (int i = 0; i < kNumOpClasses; ++i) {
+      total.requests[i] += c.requests[i];
+      total.responses[i] += c.responses[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace qtls::qat

@@ -1,0 +1,159 @@
+// QAT device model (paper §2.3, Figure 2): a device hosts several endpoints;
+// each endpoint owns parallel computation engines and hardware-assisted
+// request/response ring pairs grouped into crypto instances. Software writes
+// requests onto a request ring and reads responses back from a response
+// ring; the hardware load-balances requests from all rings across all
+// engines; response availability is indicated by polling.
+//
+// This is the real-time backend: engines are worker threads that execute
+// the request's `compute` closure (real crypto). The virtual-time backend
+// for the figure benches lives in src/sim/ and shares the service-time
+// model (qat/service_time.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "common/status.h"
+#include "qat/api.h"
+
+namespace qtls::qat {
+
+// Response availability can be indicated using either interrupt or polling
+// (paper §2.3). QTLS selects polling (§3.3: one userspace polling operation
+// costs far less than one kernel interrupt); the interrupt mode is kept as
+// the foil — the callback fires from the engine thread, the way a kernel
+// interrupt handler would preempt, so callbacks must be thread-safe (the
+// FD-based notification channel is; the kernel-bypass queue is not).
+enum class ResponseDelivery : uint8_t { kPolled, kInterrupt };
+
+struct DeviceConfig {
+  int num_endpoints = 3;          // DH8970: three independent endpoints
+  int engines_per_endpoint = 12;  // parallel computation engines
+  size_t ring_capacity = 64;      // per-instance request ring slots
+  int max_instances_per_endpoint = 48;
+  ResponseDelivery delivery = ResponseDelivery::kPolled;
+  // Optional extra service delay (busy wait, nanoseconds) added on the
+  // engine to emulate device latency in integration tests. 0 = compute time
+  // only.
+  uint64_t extra_service_ns = 0;
+};
+
+class QatEndpoint;
+
+// A crypto instance: the logical unit assigned to one process/thread. The
+// submit side is wait-free (SPSC ring push). poll() drains the response
+// queue and runs callbacks in the caller's context.
+class CryptoInstance {
+ public:
+  CryptoInstance(QatEndpoint* endpoint, int id, size_t ring_capacity);
+
+  // Non-blocking submit. Returns false when the request ring is full — the
+  // caller is expected to pause the offload job and retry later (§3.2).
+  bool submit(CryptoRequest req);
+
+  // Retrieve up to `max` responses, invoking each request's callback.
+  // Returns the number retrieved.
+  size_t poll(size_t max = static_cast<size_t>(-1));
+
+  // Submitted but not yet retrieved (includes requests in service).
+  size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+  int id() const { return id_; }
+  QatEndpoint* endpoint() const { return endpoint_; }
+
+ private:
+  friend class QatEndpoint;
+
+  QatEndpoint* endpoint_;
+  int id_;
+  SpscRing<CryptoRequest> request_ring_;
+  // Responses come from multiple engine threads: mutex-guarded queue.
+  std::mutex response_mutex_;
+  std::deque<std::pair<CryptoResponse, ResponseCallback>> responses_;
+  std::atomic<size_t> inflight_{0};
+};
+
+// Firmware counters, readable like /sys/kernel/debug/qat*/fw_counters.
+struct FwCounters {
+  uint64_t requests[kNumOpClasses] = {0, 0, 0};
+  uint64_t responses[kNumOpClasses] = {0, 0, 0};
+  uint64_t total_requests() const {
+    return requests[0] + requests[1] + requests[2];
+  }
+  std::string to_string() const;
+};
+
+class QatEndpoint {
+ public:
+  QatEndpoint(const DeviceConfig& config, int id);
+  ~QatEndpoint();
+
+  QatEndpoint(const QatEndpoint&) = delete;
+  QatEndpoint& operator=(const QatEndpoint&) = delete;
+
+  // Allocates a crypto instance; returns nullptr when the endpoint is at
+  // its instance limit.
+  CryptoInstance* allocate_instance();
+
+  FwCounters fw_counters() const;
+  int id() const { return id_; }
+  int num_engines() const { return static_cast<int>(engines_.size()); }
+  // Engines currently executing a request (for utilization probes).
+  int busy_engines() const { return busy_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class CryptoInstance;
+
+  void kick();  // wake engines after a submit
+  void engine_main(int engine_id);
+  // Pops one request from any instance ring, round-robin. Caller holds
+  // dispatch_mutex_.
+  bool pop_request_locked(CryptoRequest* out, CryptoInstance** from);
+
+  DeviceConfig config_;
+  int id_;
+
+  std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  bool stopping_ = false;
+  size_t rr_cursor_ = 0;
+
+  std::vector<std::unique_ptr<CryptoInstance>> instances_;
+  std::vector<std::thread> engines_;
+  std::atomic<int> busy_{0};
+
+  mutable std::mutex counter_mutex_;
+  FwCounters counters_;
+};
+
+// The whole accelerator card (e.g. one DH8970 = three endpoints).
+class QatDevice {
+ public:
+  explicit QatDevice(const DeviceConfig& config = {});
+
+  // Allocates instances round-robin across endpoints, the way the paper's
+  // evaluation distributes Nginx workers' instances evenly (§5.1).
+  CryptoInstance* allocate_instance();
+
+  QatEndpoint& endpoint(int i) { return *endpoints_[static_cast<size_t>(i)]; }
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+
+  // Aggregated fw_counters across endpoints.
+  FwCounters fw_counters() const;
+
+ private:
+  DeviceConfig config_;
+  std::vector<std::unique_ptr<QatEndpoint>> endpoints_;
+  std::atomic<size_t> next_endpoint_{0};
+};
+
+}  // namespace qtls::qat

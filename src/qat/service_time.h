@@ -1,0 +1,48 @@
+// Calibrated service-time model shared by the real-time device backend
+// (optional latency padding) and the virtual-time simulator that reproduces
+// the paper's figures.
+//
+// Calibration anchors (see EXPERIMENTS.md for the derivation):
+//  * DH8970 card limit ≈ 100K RSA-2048/s (paper §5.2, Fig. 7a plateau).
+//    3 endpoints x 12 engines = 36 engines -> 360 us per RSA-2048 op.
+//  * ECDHE-RSA card limit ≈ 40K CPS (Fig. 7b plateau) with 1 RSA + 2 P-256
+//    ops per handshake -> 36/40K = 900 us of engine time per handshake
+//    -> P-256 point multiplication ≈ 270 us on an engine.
+//  * Symmetric/PRF ops are one to two orders of magnitude cheaper.
+#pragma once
+
+#include <cstdint>
+
+#include "qat/api.h"
+
+namespace qtls::qat {
+
+struct ServiceTimeModel {
+  // Nanoseconds of engine occupancy per operation.
+  uint64_t rsa2048_priv_ns = 350'000;
+  uint64_t rsa2048_pub_ns = 12'000;
+  uint64_t ec_p256_ns = 270'000;
+  uint64_t ec_p384_ns = 540'000;
+  uint64_t ec_binary283_ns = 300'000;
+  uint64_t ec_binary409_ns = 620'000;
+  uint64_t prf_ns = 3'000;
+  uint64_t hkdf_ns = 6'000;       // modelled only; not offloadable (§5.2)
+  uint64_t cipher_per_16k_ns = 25'000;
+
+  uint64_t service_ns(OpKind kind) const {
+    switch (kind) {
+      case OpKind::kRsa2048Priv: return rsa2048_priv_ns;
+      case OpKind::kRsa2048Pub: return rsa2048_pub_ns;
+      case OpKind::kEcP256: return ec_p256_ns;
+      case OpKind::kEcP384: return ec_p384_ns;
+      case OpKind::kEcBinary283: return ec_binary283_ns;
+      case OpKind::kEcBinary409: return ec_binary409_ns;
+      case OpKind::kPrfTls12: return prf_ns;
+      case OpKind::kHkdf: return hkdf_ns;
+      case OpKind::kCipher16k: return cipher_per_16k_ns;
+    }
+    return prf_ns;
+  }
+};
+
+}  // namespace qtls::qat

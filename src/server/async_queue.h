@@ -1,0 +1,50 @@
+// The application-defined async queue of the kernel-bypass notification
+// scheme (paper §3.4/§4.4): the QAT response callback completes notification
+// by appending the paused connection's async handler to this queue — a
+// plain function call, no user/kernel transition — and the worker drains the
+// queue at the end of each event-loop iteration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+namespace qtls::server {
+
+class AsyncEventQueue {
+ public:
+  using AsyncHandler = std::function<void()>;
+
+  void push(AsyncHandler handler) {
+    queue_.push_back(std::move(handler));
+    ++pushed_;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+  // Drains handlers queued so far. Handlers may push again (e.g. a resumed
+  // job immediately offloads its next op); those run in the next drain so
+  // one drain cannot live-lock the loop.
+  size_t drain() {
+    size_t n = queue_.size();
+    for (size_t i = 0; i < n; ++i) {
+      AsyncHandler handler = std::move(queue_.front());
+      queue_.pop_front();
+      handler();
+    }
+    drained_ += n;
+    return n;
+  }
+
+  uint64_t total_pushed() const { return pushed_; }
+  uint64_t total_drained() const { return drained_; }
+
+ private:
+  std::deque<AsyncHandler> queue_;
+  uint64_t pushed_ = 0;
+  uint64_t drained_ = 0;
+};
+
+}  // namespace qtls::server

@@ -1,0 +1,91 @@
+// The heuristic polling scheme (paper §3.3/§4.3), verbatim logic:
+//
+//  Efficiency: coalesce responses — poll when the number of inflight
+//  requests R_total reaches a threshold; a larger threshold (default 48)
+//  applies while any asymmetric op is in flight (they take much longer),
+//  else the smaller one (default 24).
+//
+//  Timeliness: each active TLS connection has at most one async crypto op
+//  in flight, so when R_total == TC_active every active connection is
+//  stalled on the accelerator — poll immediately or the event loop would
+//  have nothing left to do.
+//
+//  Failover: if no heuristic poll triggered within an interval while
+//  requests are in flight, force one (paper §4.3's 5 ms timer).
+#pragma once
+
+#include <cstdint>
+
+#include "engine/qat_engine.h"
+
+namespace qtls::server {
+
+struct HeuristicPollerConfig {
+  size_t asym_threshold = 48;   // qat_heuristic_poll_asym_threshold
+  size_t sym_threshold = 24;    // qat_heuristic_poll_sym_threshold
+  uint64_t failover_interval_ms = 5;
+};
+
+struct HeuristicPollerStats {
+  uint64_t polls = 0;
+  uint64_t retrieved = 0;
+  uint64_t efficiency_triggers = 0;
+  uint64_t timeliness_triggers = 0;
+  uint64_t failover_triggers = 0;
+};
+
+class HeuristicPoller {
+ public:
+  HeuristicPoller(engine::QatEngineProvider* engine,
+                  HeuristicPollerConfig config = {})
+      : engine_(engine), config_(config) {}
+
+  // Called wherever a crypto op may have been submitted or TC_active may
+  // have changed (§4.3). `active_tls_connections` is TC_active =
+  // TC_alive - TC_idle. Returns the number of responses retrieved.
+  size_t maybe_poll(size_t active_tls_connections, uint64_t now_ms) {
+    const size_t total = engine_->inflight_total();
+    if (total == 0) return 0;
+
+    const bool asym_inflight = engine_->inflight(qat::OpClass::kAsym) > 0;
+    const size_t threshold =
+        asym_inflight ? config_.asym_threshold : config_.sym_threshold;
+
+    if (total >= threshold) {
+      ++stats_.efficiency_triggers;
+      return do_poll(now_ms);
+    }
+    if (active_tls_connections > 0 && total >= active_tls_connections) {
+      ++stats_.timeliness_triggers;
+      return do_poll(now_ms);
+    }
+    return 0;
+  }
+
+  // Failover check, called from a coarse timer (§4.3).
+  size_t failover_poll(uint64_t now_ms) {
+    if (engine_->inflight_total() == 0) return 0;
+    if (now_ms - last_poll_ms_ < config_.failover_interval_ms) return 0;
+    ++stats_.failover_triggers;
+    return do_poll(now_ms);
+  }
+
+  const HeuristicPollerStats& stats() const { return stats_; }
+  const HeuristicPollerConfig& config() const { return config_; }
+
+ private:
+  size_t do_poll(uint64_t now_ms) {
+    ++stats_.polls;
+    const size_t got = engine_->poll();
+    stats_.retrieved += got;
+    last_poll_ms_ = now_ms;
+    return got;
+  }
+
+  engine::QatEngineProvider* engine_;
+  HeuristicPollerConfig config_;
+  HeuristicPollerStats stats_;
+  uint64_t last_poll_ms_ = 0;
+};
+
+}  // namespace qtls::server

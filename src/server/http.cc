@@ -1,0 +1,87 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qtls::server {
+
+namespace {
+// Case-insensitive substring search for header names.
+bool contains_ci(const std::string& haystack, const std::string& needle) {
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end(), [](char a, char b) {
+                          return std::tolower(static_cast<uint8_t>(a)) ==
+                                 std::tolower(static_cast<uint8_t>(b));
+                        });
+  return it != haystack.end();
+}
+}  // namespace
+
+std::optional<HttpRequest> HttpRequestParser::next() {
+  const std::string text(buffer_.begin(), buffer_.end());
+  const size_t end = text.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (buffer_.size() > 64 * 1024) error_ = true;  // header bomb
+    return std::nullopt;
+  }
+  const std::string head = text.substr(0, end);
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  HttpRequest req;
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    error_ = true;
+    return std::nullopt;
+  }
+  req.method = request_line.substr(0, sp1);
+  req.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const bool http10 = request_line.find("HTTP/1.0") != std::string::npos;
+  req.keepalive = http10 ? contains_ci(head, "connection: keep-alive")
+                         : !contains_ci(head, "connection: close");
+  req.header_bytes = end + 4;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<ptrdiff_t>(end + 4));
+  return req;
+}
+
+Bytes build_http_request(const std::string& path, bool keepalive) {
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: qtls\r\n";
+  if (!keepalive) req += "Connection: close\r\n";
+  req += "\r\n";
+  return to_bytes(req);
+}
+
+Bytes build_http_response(int status, BytesView body, bool keepalive) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\nServer: qtls\r\nContent-Length: %zu\r\n"
+                "Connection: %s\r\n\r\n",
+                status, status == 200 ? "OK" : "Error", body.size(),
+                keepalive ? "keep-alive" : "close");
+  Bytes out = to_bytes(std::string(head));
+  append(out, body);
+  return out;
+}
+
+std::optional<HttpResponseHead> parse_http_response_head(BytesView data) {
+  const std::string text(data.begin(), data.end());
+  const size_t end = text.find("\r\n\r\n");
+  if (end == std::string::npos) return std::nullopt;
+  HttpResponseHead head;
+  head.header_bytes = end + 4;
+  if (text.size() < 12 || text.compare(0, 5, "HTTP/") != 0) return std::nullopt;
+  head.status = std::atoi(text.c_str() + 9);
+  const size_t cl = text.find("Content-Length:");
+  if (cl != std::string::npos && cl < end)
+    head.content_length =
+        static_cast<size_t>(std::atoll(text.c_str() + cl + 15));
+  head.keepalive = !contains_ci(text.substr(0, end), "connection: close");
+  return head;
+}
+
+}  // namespace qtls::server

@@ -1,0 +1,46 @@
+// Minimal HTTP/1.1: enough for the paper's workloads — GET of a fixed
+// object, keepalive on/off, content-length framing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace qtls::server {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  bool keepalive = true;   // HTTP/1.1 default
+  size_t header_bytes = 0; // consumed from the buffer
+};
+
+// Incremental request parser: feed bytes, poll for a complete request.
+class HttpRequestParser {
+ public:
+  void feed(BytesView data) { append(buffer_, data); }
+  // Returns a parsed request once the header is complete (bodies are not
+  // used by the benchmark workloads). nullopt = need more bytes.
+  std::optional<HttpRequest> next();
+  bool error() const { return error_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+  bool error_ = false;
+};
+
+Bytes build_http_request(const std::string& path, bool keepalive);
+Bytes build_http_response(int status, BytesView body, bool keepalive);
+
+// Parses a response header; returns body length and header size.
+struct HttpResponseHead {
+  int status = 0;
+  size_t content_length = 0;
+  size_t header_bytes = 0;
+  bool keepalive = true;
+};
+std::optional<HttpResponseHead> parse_http_response_head(BytesView data);
+
+}  // namespace qtls::server

@@ -1,0 +1,94 @@
+#include "server/ssl_engine_conf.h"
+
+#include <algorithm>
+
+namespace qtls::server {
+
+namespace {
+bool has_algorithm(const std::vector<std::string>& algs,
+                   const std::string& name) {
+  return std::find(algs.begin(), algs.end(), name) != algs.end();
+}
+}  // namespace
+
+Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
+  SslEngineSettings out;
+  out.worker_processes =
+      static_cast<int>(root.get_int("worker_processes", 1));
+  if (out.worker_processes < 1)
+    return err(Code::kInvalidArgument, "worker_processes must be >= 1");
+
+  const ConfBlock* engine_block = root.find_block("ssl_engine");
+  if (!engine_block) return out;  // software-only configuration
+
+  const std::string use = engine_block->get_string("use");
+  if (use != "qat_engine" && !use.empty())
+    return err(Code::kInvalidArgument, "unknown engine: " + use);
+  out.use_qat = use == "qat_engine";
+
+  const auto algs = engine_block->get_list("default_algorithm");
+  if (!algs.empty()) {
+    out.engine.offload_rsa = has_algorithm(algs, "RSA");
+    out.engine.offload_ec =
+        has_algorithm(algs, "EC") || has_algorithm(algs, "DH");
+    out.engine.offload_prf =
+        has_algorithm(algs, "PRF") || has_algorithm(algs, "PKEY_CRYPTO");
+    out.engine.offload_cipher = has_algorithm(algs, "CIPHER") ||
+                                has_algorithm(algs, "PKEY_CRYPTO");
+  }
+
+  const ConfBlock* qat = engine_block->find_block("qat_engine");
+  if (!qat) return out;
+
+  const std::string mode = qat->get_string("qat_offload_mode", "async");
+  if (mode == "async") {
+    out.engine.offload_mode = engine::OffloadMode::kAsync;
+  } else if (mode == "sync") {
+    out.engine.offload_mode = engine::OffloadMode::kSync;
+  } else {
+    return err(Code::kInvalidArgument, "bad qat_offload_mode: " + mode);
+  }
+
+  const std::string notify = qat->get_string("qat_notify_mode", "poll");
+  if (notify == "poll" || notify == "kernel_bypass") {
+    out.notify = NotifyScheme::kKernelBypass;
+  } else if (notify == "fd" || notify == "event") {
+    out.notify = NotifyScheme::kFd;
+  } else {
+    return err(Code::kInvalidArgument, "bad qat_notify_mode: " + notify);
+  }
+
+  const std::string poll = qat->get_string("qat_poll_mode", "heuristic");
+  if (poll == "heuristic") {
+    out.poll = PollScheme::kHeuristic;
+  } else if (poll == "timer") {
+    out.poll = PollScheme::kTimer;
+  } else if (poll == "inline") {
+    out.poll = PollScheme::kInline;
+  } else {
+    return err(Code::kInvalidArgument, "bad qat_poll_mode: " + poll);
+  }
+
+  out.timer_interval = std::chrono::microseconds(
+      qat->get_int("qat_timer_poll_interval", 10));
+  out.heuristic.asym_threshold = static_cast<size_t>(
+      qat->get_int("qat_heuristic_poll_asym_threshold", 48));
+  out.heuristic.sym_threshold = static_cast<size_t>(
+      qat->get_int("qat_heuristic_poll_sym_threshold", 24));
+
+  // The kernel-bypass queue is single-threaded by construction; it requires
+  // in-application polling (heuristic), not an external polling thread.
+  if (out.notify == NotifyScheme::kKernelBypass &&
+      out.poll == PollScheme::kTimer) {
+    return err(Code::kInvalidArgument,
+               "kernel-bypass notification requires heuristic/inline polling");
+  }
+  return out;
+}
+
+Result<SslEngineSettings> parse_ssl_engine_settings(const std::string& text) {
+  QTLS_ASSIGN_OR_RETURN(auto root, parse_conf(text));
+  return parse_ssl_engine_settings(*root);
+}
+
+}  // namespace qtls::server

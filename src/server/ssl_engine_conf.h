@@ -1,0 +1,53 @@
+// The SSL Engine Framework of the paper's Appendix A.7: accelerator
+// behaviour configured directly from an nginx-style conf file —
+//
+//   worker_processes 8;
+//   ssl_engine {
+//       use qat_engine;
+//       default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+//       qat_engine {
+//           qat_offload_mode async;        # async | sync
+//           qat_notify_mode poll;          # poll (kernel-bypass) | fd
+//           qat_poll_mode heuristic;       # heuristic | timer | inline
+//           qat_timer_poll_interval 10;    # microseconds, timer mode
+//           qat_heuristic_poll_asym_threshold 48;
+//           qat_heuristic_poll_sym_threshold 24;
+//       }
+//   }
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "common/conf.h"
+#include "engine/qat_engine.h"
+#include "server/heuristic_poller.h"
+
+namespace qtls::server {
+
+enum class NotifyScheme : uint8_t {
+  kKernelBypass,  // application-defined async queue (§3.4) — "poll"
+  kFd,            // eventfd through the I/O multiplexer
+};
+
+enum class PollScheme : uint8_t {
+  kHeuristic,  // §4.3
+  kTimer,      // external timer-based polling thread
+  kInline,     // blocking self-poll (straight offload / QAT+S)
+};
+
+struct SslEngineSettings {
+  int worker_processes = 1;
+  bool use_qat = false;
+  engine::QatEngineConfig engine;
+  NotifyScheme notify = NotifyScheme::kKernelBypass;
+  PollScheme poll = PollScheme::kHeuristic;
+  std::chrono::microseconds timer_interval{10};
+  HeuristicPollerConfig heuristic;
+};
+
+// Parses the root config block (worker_processes + ssl_engine{}).
+Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root);
+Result<SslEngineSettings> parse_ssl_engine_settings(const std::string& text);
+
+}  // namespace qtls::server

@@ -1,0 +1,359 @@
+#include "server/worker.h"
+
+#include <chrono>
+
+#include "common/log.h"
+
+namespace qtls::server {
+
+struct Worker::Conn {
+  int fd = -1;
+  std::unique_ptr<net::SocketTransport> transport;
+  std::unique_ptr<tls::TlsConnection> tls;
+  HttpRequestParser parser;
+  Bytes inbound;           // decrypted bytes pending HTTP parsing
+  bool response_inflight = false;   // response built but write not started
+  bool write_in_progress = false;   // write started, not yet completed
+  bool response_keepalive = true;
+
+  // Async bookkeeping (§4.2).
+  Handler async_handler = nullptr;   // handler to reschedule on async event
+  bool expecting_async = false;
+  bool deferred_read = false;        // saved read event (event disorder)
+  bool fd_registered = false;        // wait-ctx eventfd added to epoll
+
+  bool idle = false;
+  uint64_t id = 0;
+  Worker* worker = nullptr;
+};
+
+Worker::Conn* Worker::find_by_id(uint64_t conn_id) {
+  auto it = conns_by_id_.find(conn_id);
+  return it == conns_by_id_.end() ? nullptr : it->second;
+}
+
+Worker::Worker(tls::TlsContext* tls_ctx, engine::QatEngineProvider* qat,
+               WorkerConfig config)
+    : tls_ctx_(tls_ctx), qat_(qat), config_(config) {
+  if (qat_ && config_.poll == PollScheme::kHeuristic)
+    poller_ = std::make_unique<HeuristicPoller>(qat_, config_.heuristic);
+  response_body_.resize(config_.response_body_size);
+  for (size_t i = 0; i < response_body_.size(); ++i)
+    response_body_[i] = static_cast<uint8_t>('a' + i % 26);
+}
+
+Worker::~Worker() {
+  // No fiber may outlive its connection: run every paused offload job to
+  // completion before the connection map is destroyed.
+  for (auto& [fd, conn] : conns_) {
+    conn->expecting_async = false;
+    conn->async_handler = nullptr;
+    if (conn->tls->has_paused_job())
+      conn->tls->drain_paused_job([this] {
+        if (qat_) qat_->poll();
+      });
+  }
+}
+
+uint64_t Worker::now_ms() const {
+  using namespace std::chrono;
+  return static_cast<uint64_t>(
+      duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Worker::add_listener(uint16_t port, bool reuseport) {
+  QTLS_RETURN_IF_ERROR(listener_.listen(port, 512, reuseport));
+  listener_armed_ = true;
+  return loop_.add(listener_.fd(), true, false,
+                   [this](net::FdEvents) { on_listener_readable(); });
+}
+
+uint16_t Worker::listen_port() const { return listener_.port(); }
+
+void Worker::on_listener_readable() {
+  for (;;) {
+    const int fd = listener_.accept_fd();
+    if (fd < 0) return;
+    setup_connection(fd);
+  }
+}
+
+Status Worker::adopt(int fd) {
+  net::set_nonblocking(fd);
+  setup_connection(fd);
+  return Status::ok();
+}
+
+void Worker::setup_connection(int fd) {
+  auto conn = std::make_unique<Conn>();
+  Conn* c = conn.get();
+  c->fd = fd;
+  c->id = next_conn_id_++;
+  c->worker = this;
+  c->transport = std::make_unique<net::SocketTransport>(fd);
+  c->tls = std::make_unique<tls::TlsConnection>(tls_ctx_, c->transport.get());
+  conns_.emplace(fd, std::move(conn));
+  conns_by_id_.emplace(c->id, c);
+  ++stats_.accepted;
+
+  if (config_.notify == NotifyScheme::kKernelBypass) {
+    // §4.4: application-level callback inserted into the ASYNC_WAIT_CTX;
+    // the response callback notifies by queueing the async handler. The
+    // queue entry resolves the connection by id at drain time — the
+    // connection may have died in between.
+    c->tls->wait_ctx()->set_callback(
+        [](void* arg) {
+          Conn* conn = static_cast<Conn*>(arg);
+          Worker* worker = conn->worker;
+          const uint64_t id = conn->id;
+          worker->async_queue_.push([worker, id] {
+            if (Conn* live = worker->find_by_id(id))
+              worker->on_async_event(live);
+          });
+        },
+        c);
+  } else {
+    // FD scheme: create and register the shared notification FD up front so
+    // a response can never race ahead of its registration (§4.4's
+    // one-FD-per-connection optimization).
+    asyncx::WaitCtx* wctx = c->tls->wait_ctx();
+    const int efd = wctx->ensure_fd();
+    if (efd >= 0) {
+      (void)loop_.add(efd, true, false, [this, c](net::FdEvents) {
+        c->tls->wait_ctx()->clear_fd();
+        on_async_event(c);
+      });
+      c->fd_registered = true;
+    }
+  }
+
+  auto status = loop_.add(fd, true, false, [this, c](net::FdEvents events) {
+    on_socket_event(c, events);
+  });
+  if (!status.is_ok()) {
+    QTLS_WARN << "epoll add failed: " << status.to_string();
+    close_connection(c, true);
+    return;
+  }
+  handshake_handler(c);
+  maybe_heuristic_poll();
+}
+
+void Worker::close_connection(Conn* conn, bool error) {
+  if (error)
+    ++stats_.errors;
+  else
+    ++stats_.closed;
+  set_idle(conn, false);
+  // Retire the id first so async-queue entries referencing this connection
+  // become no-ops, then run any paused offload job to completion — its
+  // response callback references this connection's wait context.
+  conns_by_id_.erase(conn->id);
+  conn->expecting_async = false;
+  conn->async_handler = nullptr;
+  if (conn->tls->has_paused_job())
+    conn->tls->drain_paused_job([this] {
+      if (qat_) qat_->poll();
+    });
+  if (conn->fd_registered && conn->tls->wait_ctx()->has_fd())
+    (void)loop_.remove(conn->tls->wait_ctx()->fd());
+  (void)loop_.remove(conn->fd);
+  conns_.erase(conn->fd);  // destroys conn
+}
+
+void Worker::set_idle(Conn* conn, bool idle) {
+  if (conn->idle == idle) return;
+  conn->idle = idle;
+  idle_count_ += idle ? 1 : static_cast<size_t>(-1);
+}
+
+// ----------------------------------------------------------- dispatch ----
+
+bool Worker::dispatch_result(Conn* conn, tls::TlsResult r, Handler self) {
+  switch (r) {
+    case tls::TlsResult::kOk:
+      return true;
+    case tls::TlsResult::kWantAsync:
+      park_async(conn, self);
+      return false;
+    case tls::TlsResult::kWantRead:
+      (void)loop_.modify(conn->fd, true, false);
+      return false;
+    case tls::TlsResult::kWantWrite:
+      (void)loop_.modify(conn->fd, true, true);
+      return false;
+    case tls::TlsResult::kClosed:
+      close_connection(conn, false);
+      return false;
+    case tls::TlsResult::kError:
+      close_connection(conn, true);
+      return false;
+  }
+  return false;
+}
+
+void Worker::park_async(Conn* conn, Handler handler) {
+  ++stats_.async_parks;
+  conn->async_handler = handler;
+  conn->expecting_async = true;
+  maybe_heuristic_poll();
+}
+
+void Worker::on_async_event(Conn* conn) {
+  if (!conn->expecting_async) return;  // stale event (connection moved on)
+  const int fd = conn->fd;  // captured before the handler may destroy conn
+  conn->expecting_async = false;
+  Handler handler = conn->async_handler;
+  conn->async_handler = nullptr;
+  if (handler) (this->*handler)(conn);
+
+  // §4.2: restore the saved read event, if one arrived out of order.
+  auto it = conns_.find(fd);
+  if (it != conns_.end() && it->second.get() == conn && conn->deferred_read &&
+      !conn->expecting_async) {
+    conn->deferred_read = false;
+    net::FdEvents ev;
+    ev.readable = true;
+    on_socket_event(conn, ev);
+  }
+}
+
+void Worker::on_socket_event(Conn* conn, net::FdEvents events) {
+  if (events.error) {
+    close_connection(conn, true);
+    return;
+  }
+  if (conn->expecting_async) {
+    // Event disorder (§4.2): the only event we expect now is the async
+    // event. Save the read event; it is replayed after the async resume.
+    if (events.readable) {
+      conn->deferred_read = true;
+      ++stats_.disorder_events;
+    }
+    return;
+  }
+  if (!conn->tls->handshake_complete()) {
+    handshake_handler(conn);
+  } else if (events.writable && conn->write_in_progress) {
+    write_handler(conn);
+  } else if (events.readable) {
+    read_handler(conn);
+  }
+  maybe_heuristic_poll();
+}
+
+// ----------------------------------------------------------- handlers ----
+
+void Worker::handshake_handler(Conn* conn) {
+  const tls::TlsResult r = conn->tls->handshake();
+  if (!dispatch_result(conn, r, &Worker::handshake_handler)) return;
+  ++stats_.handshakes_completed;
+  if (conn->tls->resumed_session()) ++stats_.resumed_handshakes;
+  (void)loop_.modify(conn->fd, true, false);
+  // The client's first request may already sit decoded in the TLS buffers
+  // (sent back-to-back with its Finished); epoll would never fire for it.
+  read_handler(conn);
+}
+
+void Worker::read_handler(Conn* conn) {
+  set_idle(conn, false);
+  for (;;) {
+    // conn->inbound (not a stack local) is the read target: a paused async
+    // read job holds a pointer to it across resumes.
+    const tls::TlsResult r = conn->tls->read(&conn->inbound);
+    if (r == tls::TlsResult::kWantRead) {
+      // No complete record yet. If no request is pending either, the
+      // connection returns to idle (keepalive wait).
+      if (conn->parser.buffered() == 0 && !conn->response_inflight)
+        set_idle(conn, true);
+      (void)loop_.modify(conn->fd, true, false);
+      return;
+    }
+    if (!dispatch_result(conn, r, &Worker::read_handler)) return;
+    conn->parser.feed(conn->inbound);
+    conn->inbound.clear();
+    auto request = conn->parser.next();
+    if (conn->parser.error()) {
+      close_connection(conn, true);
+      return;
+    }
+    if (request.has_value()) {
+      conn->response_keepalive = request->keepalive;
+      conn->response_inflight = true;
+      write_handler(conn);
+      return;
+    }
+    // Partial request: keep reading.
+  }
+}
+
+void Worker::write_handler(Conn* conn) {
+  tls::TlsResult r;
+  if (conn->response_inflight && !conn->tls->handshake_complete()) {
+    close_connection(conn, true);
+    return;
+  }
+  if (conn->response_inflight) {
+    // First call builds and queues the response; resumed calls pass empty
+    // (the connection's write buffer already holds the data).
+    const Bytes response = build_http_response(200, response_body_,
+                                               conn->response_keepalive);
+    conn->response_inflight = false;
+    conn->write_in_progress = true;
+    r = conn->tls->write(response);
+  } else {
+    r = conn->tls->write({});
+  }
+  if (r == tls::TlsResult::kWantAsync || r == tls::TlsResult::kWantWrite) {
+    if (r == tls::TlsResult::kWantAsync) {
+      park_async(conn, &Worker::write_handler);
+    } else {
+      (void)loop_.modify(conn->fd, true, true);
+    }
+    return;
+  }
+  conn->write_in_progress = false;
+  if (r != tls::TlsResult::kOk) {
+    close_connection(conn, r == tls::TlsResult::kClosed ? false : true);
+    return;
+  }
+  ++stats_.requests_served;
+  if (!conn->response_keepalive) {
+    (void)conn->tls->shutdown();
+    close_connection(conn, false);
+    return;
+  }
+  (void)loop_.modify(conn->fd, true, false);
+  // A pipelined next request may already be buffered in the TLS layer;
+  // read_handler settles the connection back to idle if there is none.
+  read_handler(conn);
+}
+
+// ---------------------------------------------------------------- loop ----
+
+void Worker::maybe_heuristic_poll() {
+  if (poller_) (void)poller_->maybe_poll(active_connections(), now_ms());
+}
+
+int Worker::run_once(int timeout_ms) {
+  // §3.4: as long as async work is pending, keep the loop spinning rather
+  // than sleep-waiting in epoll.
+  const bool work_pending =
+      !async_queue_.empty() || (qat_ && qat_->inflight_total() > 0);
+  const int n = loop_.run_once(work_pending ? 0 : timeout_ms);
+
+  maybe_heuristic_poll();
+  if (poller_) (void)poller_->failover_poll(now_ms());
+
+  // End of the main event loop: drain the kernel-bypass async queue.
+  async_queue_.drain();
+  maybe_heuristic_poll();
+  return n;
+}
+
+void Worker::run_until(const std::function<bool()>& stop, int timeout_ms) {
+  while (!stop()) run_once(timeout_ms);
+}
+
+}  // namespace qtls::server

@@ -1,0 +1,128 @@
+// The event-driven HTTPS worker — the reproduction of the paper's modified
+// Nginx worker (§4.2–§4.4):
+//  * one epoll loop handling many connections;
+//  * TLS entry points returning WANT_ASYNC park the connection with an
+//    async handler (the same handler is rescheduled on the async event);
+//  * event disorder (§4.2): a read event arriving while an async event is
+//    expected is saved and replayed after the async resume;
+//  * notification: kernel-bypass async queue drained at the end of each
+//    loop iteration, or eventfd through epoll;
+//  * heuristic polling hooks wherever ops are submitted or TC_active moves,
+//    plus the failover timer;
+//  * stub_status-style accounting: TC_active = TC_alive - TC_idle.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+#include "net/socket_transport.h"
+#include "server/async_queue.h"
+#include "server/heuristic_poller.h"
+#include "server/http.h"
+#include "server/ssl_engine_conf.h"
+#include "tls/connection.h"
+
+namespace qtls::server {
+
+struct WorkerConfig {
+  NotifyScheme notify = NotifyScheme::kKernelBypass;
+  PollScheme poll = PollScheme::kHeuristic;
+  HeuristicPollerConfig heuristic;
+  size_t response_body_size = 1024;  // the served "file"
+};
+
+struct WorkerStats {
+  uint64_t accepted = 0;
+  uint64_t handshakes_completed = 0;
+  uint64_t resumed_handshakes = 0;
+  uint64_t requests_served = 0;
+  uint64_t closed = 0;
+  uint64_t errors = 0;
+  uint64_t disorder_events = 0;   // §4.2 read-before-async occurrences
+  uint64_t async_parks = 0;       // WANT_ASYNC occurrences
+};
+
+class Worker {
+ public:
+  // `qat` may be null (pure-software worker). The TLS context decides
+  // whether entry points use fibers (async_mode).
+  Worker(tls::TlsContext* tls_ctx, engine::QatEngineProvider* qat,
+         WorkerConfig config);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  // Listen on 127.0.0.1:port (0 = ephemeral). With `reuseport`, several
+  // workers can share the same port (the multi-worker deployment of §5.1).
+  Status add_listener(uint16_t port, bool reuseport = false);
+  uint16_t listen_port() const;
+
+  // Adopt an already-connected fd as a TLS server connection (socketpair
+  // tests and in-process benches).
+  Status adopt(int fd);
+
+  // One event-loop iteration: epoll dispatch, heuristic polls, async-queue
+  // drain. Returns number of epoll events dispatched.
+  int run_once(int timeout_ms = 10);
+  // Loop until `stop()` returns true.
+  void run_until(const std::function<bool()>& stop, int timeout_ms = 10);
+
+  // stub_status counters (§4.3).
+  size_t alive_connections() const { return conns_.size(); }
+  size_t idle_connections() const { return idle_count_; }
+  size_t active_connections() const { return conns_.size() - idle_count_; }
+
+  const WorkerStats& stats() const { return stats_; }
+  const HeuristicPollerStats* poller_stats() const {
+    return poller_ ? &poller_->stats() : nullptr;
+  }
+  const AsyncEventQueue& async_queue() const { return async_queue_; }
+
+ private:
+  struct Conn;
+  using Handler = void (Worker::*)(Conn*);
+
+  void on_listener_readable();
+  void setup_connection(int fd);
+  void close_connection(Conn* conn, bool error);
+
+  // The TLS handlers — counterparts of ngx_ssl_handshake_handler etc.
+  void handshake_handler(Conn* conn);
+  void read_handler(Conn* conn);
+  void write_handler(Conn* conn);
+
+  // Dispatch one TlsResult: park on WANT_ASYNC, adjust epoll interest on
+  // WANT_READ/WANT_WRITE, close on error. Returns true when r == kOk.
+  bool dispatch_result(Conn* conn, tls::TlsResult r, Handler self);
+  void park_async(Conn* conn, Handler handler);
+  void on_async_event(Conn* conn);
+  void on_socket_event(Conn* conn, net::FdEvents events);
+  void set_idle(Conn* conn, bool idle);
+
+  void maybe_heuristic_poll();
+  uint64_t now_ms() const;
+  // Resolve a queued async event to a still-alive connection (the kernel-
+  // bypass queue may outlive a connection that erred out meanwhile).
+  Conn* find_by_id(uint64_t conn_id);
+
+  tls::TlsContext* tls_ctx_;
+  engine::QatEngineProvider* qat_;
+  WorkerConfig config_;
+  net::EventLoop loop_;
+  net::TcpListener listener_;
+  bool listener_armed_ = false;
+
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<uint64_t, Conn*> conns_by_id_;
+  uint64_t next_conn_id_ = 1;
+  size_t idle_count_ = 0;
+
+  AsyncEventQueue async_queue_;
+  std::unique_ptr<HeuristicPoller> poller_;
+  Bytes response_body_;
+  WorkerStats stats_;
+};
+
+}  // namespace qtls::server

@@ -1,0 +1,87 @@
+#include "server/worker_pool.h"
+
+#include "crypto/keystore.h"
+
+namespace qtls::server {
+
+WorkerPool::WorkerPool(qat::QatDevice* device, const RsaPrivateKey* rsa_key,
+                       WorkerPoolOptions options)
+    : device_(device), rsa_key_(rsa_key), options_(options) {}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+Status WorkerPool::start(uint16_t port) {
+  if (started_) return err(Code::kFailedPrecondition, "already started");
+  for (int i = 0; i < options_.workers; ++i) {
+    auto cell = std::make_unique<Cell>();
+
+    std::vector<qat::CryptoInstance*> instances;
+    for (int k = 0; k < options_.instances_per_worker; ++k) {
+      qat::CryptoInstance* inst = device_->allocate_instance();
+      if (!inst) return err(Code::kResourceExhausted, "no QAT instances left");
+      instances.push_back(inst);
+    }
+    engine::QatEngineConfig ecfg = options_.engine_config;
+    ecfg.drbg_seed ^= static_cast<uint64_t>(i + 1) * 0x9e3779b97f4a7c15ULL;
+    cell->engine = std::make_unique<engine::QatEngineProvider>(
+        std::move(instances), ecfg);
+
+    tls::TlsContextConfig tcfg = options_.tls_config;
+    tcfg.is_server = true;
+    tcfg.drbg_seed ^= static_cast<uint64_t>(i + 1) * 0xc2b2ae3d27d4eb4fULL;
+    cell->ctx = std::make_unique<tls::TlsContext>(tcfg, cell->engine.get());
+    cell->ctx->credentials().rsa_key = rsa_key_;
+    cell->ctx->credentials().ecdsa_p256 = &test_ec_key_p256();
+    cell->ctx->credentials().ecdsa_p384 = &test_ec_key_p384();
+
+    WorkerConfig wcfg = options_.worker_config;
+    wcfg.response_body_size = options_.response_body_size;
+    cell->worker = std::make_unique<Worker>(cell->ctx.get(),
+                                            cell->engine.get(), wcfg);
+
+    // All workers bind the same port with SO_REUSEPORT; the first (with
+    // port 0) picks the ephemeral port the rest join.
+    QTLS_RETURN_IF_ERROR(cell->worker->add_listener(
+        i == 0 ? port : port_, /*reuseport=*/true));
+    if (i == 0) port_ = cell->worker->listen_port();
+
+    cells_.push_back(std::move(cell));
+  }
+
+  for (auto& cell : cells_) {
+    Worker* worker = cell->worker.get();
+    cell->thread = std::thread([this, worker] {
+      worker->run_until([this] { return stopping_.load(); }, /*timeout_ms=*/5);
+    });
+  }
+  started_ = true;
+  return Status::ok();
+}
+
+void WorkerPool::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  for (auto& cell : cells_) {
+    if (cell->thread.joinable()) cell->thread.join();
+  }
+  started_ = false;
+}
+
+WorkerPoolStats WorkerPool::stats() const {
+  WorkerPoolStats out;
+  for (const auto& cell : cells_) {
+    const WorkerStats& s = cell->worker->stats();
+    out.totals.accepted += s.accepted;
+    out.totals.handshakes_completed += s.handshakes_completed;
+    out.totals.resumed_handshakes += s.resumed_handshakes;
+    out.totals.requests_served += s.requests_served;
+    out.totals.closed += s.closed;
+    out.totals.errors += s.errors;
+    out.totals.disorder_events += s.disorder_events;
+    out.totals.async_parks += s.async_parks;
+    out.per_worker_handshakes.push_back(s.handshakes_completed);
+  }
+  return out;
+}
+
+}  // namespace qtls::server

@@ -1,0 +1,70 @@
+// Multi-worker deployment — the paper's §5.1 setup in one process: N
+// workers, each on its own thread with its own event loop, TLS context and
+// QAT instance (instances distributed evenly across the card's endpoints),
+// all accepting from the same port via SO_REUSEPORT, the way multi-process
+// Nginx shares a listener.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/worker.h"
+
+namespace qtls::server {
+
+struct WorkerPoolOptions {
+  int workers = 2;
+  WorkerConfig worker_config;
+  // Template for each worker's TLS context (each worker gets its own copy:
+  // contexts are single-threaded like per-process Nginx state).
+  tls::TlsContextConfig tls_config;
+  engine::QatEngineConfig engine_config;
+  // Instances assigned per worker (paper: one each; §2.3 allows more).
+  int instances_per_worker = 1;
+  size_t response_body_size = 1024;
+};
+
+struct WorkerPoolStats {
+  WorkerStats totals;
+  std::vector<uint64_t> per_worker_handshakes;
+};
+
+class WorkerPool {
+ public:
+  // `device` outlives the pool; credentials are shared const state.
+  WorkerPool(qat::QatDevice* device, const RsaPrivateKey* rsa_key,
+             WorkerPoolOptions options);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Binds all workers to the same port (0 = ephemeral: the first worker
+  // picks, the rest join it) and starts the worker threads.
+  Status start(uint16_t port);
+  void stop();
+
+  uint16_t port() const { return port_; }
+  int workers() const { return static_cast<int>(cells_.size()); }
+  WorkerPoolStats stats() const;
+
+ private:
+  struct Cell {
+    std::unique_ptr<engine::QatEngineProvider> engine;
+    std::unique_ptr<tls::TlsContext> ctx;
+    std::unique_ptr<Worker> worker;
+    std::thread thread;
+  };
+
+  qat::QatDevice* device_;
+  const RsaPrivateKey* rsa_key_;
+  WorkerPoolOptions options_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  uint16_t port_ = 0;
+};
+
+}  // namespace qtls::server

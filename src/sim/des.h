@@ -1,0 +1,88 @@
+// Discrete-event simulation core: a virtual clock and an event queue.
+// Deterministic: ties break by schedule order. Time unit: nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace qtls::sim {
+
+using SimTime = uint64_t;  // nanoseconds
+
+constexpr SimTime kUs = 1'000;
+constexpr SimTime kMs = 1'000'000;
+constexpr SimTime kSec = 1'000'000'000;
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime when, std::function<void()> fn) {
+    queue_.push(Event{when < now_ ? now_ : when, seq_++, std::move(fn)});
+  }
+  void schedule_after(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue empties or the clock passes `until`.
+  void run_until(SimTime until) {
+    while (!queue_.empty() && queue_.top().when <= until) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.when;
+      ev.fn();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+};
+
+// A serial resource (one worker core, the NIC): tasks run back to back.
+class SimResource {
+ public:
+  explicit SimResource(Simulator* sim) : sim_(sim) {}
+
+  // Reserve `cost` ns of this resource starting no earlier than now;
+  // schedules `fn` at completion and returns the completion time.
+  SimTime exec(SimTime cost, std::function<void()> fn) {
+    const SimTime start = std::max(sim_->now(), busy_until_);
+    busy_until_ = start + cost;
+    busy_accum_ += cost;
+    if (fn) sim_->schedule_at(busy_until_, std::move(fn));
+    return busy_until_;
+  }
+
+  // Occupy without a completion callback (accounting only).
+  SimTime occupy(SimTime cost) { return exec(cost, nullptr); }
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime total_busy() const { return busy_accum_; }
+  bool idle_at(SimTime t) const { return busy_until_ <= t; }
+
+ private:
+  Simulator* sim_;
+  SimTime busy_until_ = 0;
+  SimTime busy_accum_ = 0;
+};
+
+}  // namespace qtls::sim

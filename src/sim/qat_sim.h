@@ -1,0 +1,123 @@
+// Virtual-time QAT device: same semantics as the real-time backend in
+// src/qat/ (endpoints with parallel engines, per-instance bounded request
+// rings, response-by-polling, hardware load balancing), driven by the DES
+// clock instead of threads.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/costs.h"
+#include "sim/des.h"
+
+namespace qtls::sim {
+
+class SimQatEndpoint;
+
+// A completed-response record waiting to be polled.
+struct SimResponse {
+  uint64_t request_id;
+  SOp op;
+  SimTime ready_at;
+  std::function<void()> on_retrieved;  // runs when the poll delivers it
+};
+
+class SimQatInstance {
+ public:
+  SimQatInstance(SimQatEndpoint* endpoint, size_t ring_capacity)
+      : endpoint_(endpoint), ring_capacity_(ring_capacity) {}
+
+  // Non-blocking submit with an explicit service time (callers may scale
+  // the model's per-op time, e.g. partial records); false when the ring is
+  // full.
+  bool submit(SOp op, SimTime service, std::function<void()> on_retrieved);
+  bool submit(SOp op, std::function<void()> on_retrieved);
+
+  // Straight-offload helper: submit and return the completion time (the
+  // caller blocks until then); 0 when the ring is full. The response is
+  // consumed implicitly at completion (no poll step).
+  SimTime submit_blocking(SOp op, SimTime service);
+
+  // Retrieve responses that are ready at the current sim time. Invokes each
+  // response's continuation; returns the count.
+  size_t poll(size_t max = static_cast<size_t>(-1));
+  // The earliest time the next response becomes ready (for busy-wait
+  // modelling); 0 if none pending.
+  SimTime next_ready_time() const;
+
+  size_t inflight_total() const { return inflight_total_; }
+  size_t inflight_asym() const { return inflight_asym_; }
+  size_t ready_count(SimTime now) const;
+
+  SimQatEndpoint* endpoint() const { return endpoint_; }
+
+ private:
+  friend class SimQatEndpoint;
+
+  SimQatEndpoint* endpoint_;
+  size_t ring_capacity_;
+  size_t ring_occupancy_ = 0;  // submitted, not yet taken by an engine
+  size_t inflight_total_ = 0;  // submitted, not yet retrieved
+  size_t inflight_asym_ = 0;
+  std::deque<SimResponse> ready_;  // completed, awaiting poll (FIFO)
+};
+
+class SimQatEndpoint {
+ public:
+  SimQatEndpoint(Simulator* sim, const CostModel* costs, int engines)
+      : sim_(sim), costs_(costs), engine_free_(static_cast<size_t>(engines), 0) {}
+
+  SimQatInstance* make_instance(size_t ring_capacity) {
+    instances_.push_back(
+        std::make_unique<SimQatInstance>(this, ring_capacity));
+    return instances_.back().get();
+  }
+
+  uint64_t completed_ops() const { return completed_; }
+  // Engine-time utilization over [0, now].
+  double utilization(SimTime now) const;
+
+ private:
+  friend class SimQatInstance;
+
+  // Assign the earliest-free engine; returns completion time.
+  SimTime dispatch(SimTime service);
+
+  Simulator* sim_;
+  const CostModel* costs_;
+  std::vector<SimTime> engine_free_;
+  std::vector<std::unique_ptr<SimQatInstance>> instances_;
+  uint64_t completed_ = 0;
+  SimTime engine_busy_accum_ = 0;
+  uint64_t next_request_id_ = 1;
+};
+
+// The whole card.
+class SimQatDevice {
+ public:
+  SimQatDevice(Simulator* sim, const CostModel* costs, int endpoints,
+               int engines_per_endpoint) {
+    for (int i = 0; i < endpoints; ++i)
+      endpoints_.push_back(
+          std::make_unique<SimQatEndpoint>(sim, costs, engines_per_endpoint));
+  }
+
+  // Instances distributed evenly across endpoints (§5.1).
+  SimQatInstance* allocate_instance(size_t ring_capacity = 64) {
+    SimQatEndpoint* ep = endpoints_[next_++ % endpoints_.size()].get();
+    return ep->make_instance(ring_capacity);
+  }
+
+  uint64_t completed_ops() const {
+    uint64_t total = 0;
+    for (const auto& ep : endpoints_) total += ep->completed_ops();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SimQatEndpoint>> endpoints_;
+  size_t next_ = 0;
+};
+
+}  // namespace qtls::sim

@@ -1,0 +1,1052 @@
+#include "tls/connection.h"
+
+#include "common/log.h"
+
+namespace qtls::tls {
+
+namespace {
+constexpr uint8_t kAlertLevelWarning = 1;
+constexpr uint8_t kAlertCloseNotify = 0;
+
+int to_int(TlsResult r) { return static_cast<int>(r); }
+TlsResult from_int(int v) { return static_cast<TlsResult>(v); }
+}  // namespace
+
+TlsConnection::TlsConnection(TlsContext* ctx, Transport* transport)
+    : ctx_(ctx),
+      records_(transport, ctx->provider(), &ctx->rng()),
+      hs_state_(ctx->is_server() ? HsState::kExpectClientHello
+                                 : HsState::kStart) {}
+
+TlsConnection::~TlsConnection() {
+  // A paused job holds a fiber stack; abandoning it mid-crypto is only
+  // possible if the connection is destroyed with an offload in flight. The
+  // job object is leaked deliberately in that rare path rather than resumed
+  // into a dead connection. Server code drains connections before teardown.
+  if (job_ != nullptr) {
+    QTLS_WARN << "TlsConnection destroyed with a paused async job";
+  }
+}
+
+// --------------------------------------------------------------- entry ----
+
+TlsResult TlsConnection::run_entry(int (*fn)(TlsConnection*)) {
+  if (!ctx_->config().async_mode) return from_int(fn(this));
+  int ret = to_int(TlsResult::kError);
+  const asyncx::JobStatus status =
+      asyncx::start_job(&job_, &wait_ctx_, &ret, [fn, this] { return fn(this); });
+  switch (status) {
+    case asyncx::JobStatus::kPaused:
+      return TlsResult::kWantAsync;
+    case asyncx::JobStatus::kError:
+      return TlsResult::kError;
+    case asyncx::JobStatus::kFinished:
+      return from_int(ret);
+  }
+  return TlsResult::kError;
+}
+
+TlsResult TlsConnection::handshake() { return run_entry(&handshake_entry); }
+
+void TlsConnection::drain_paused_job(const std::function<void()>& poll) {
+  // Bounded: every iteration polls, and a response eventually completes the
+  // fiber's wait loop; the guard only protects against a wedged engine.
+  for (int guard = 0; job_ != nullptr && guard < 1000000; ++guard) {
+    if (poll) poll();
+    int ret = 0;
+    (void)asyncx::start_job(&job_, &wait_ctx_, &ret, nullptr);
+  }
+  if (job_ != nullptr) {
+    QTLS_ERROR << "drain_paused_job failed to complete the async job";
+  }
+}
+
+int TlsConnection::handshake_entry(TlsConnection* self) {
+  for (;;) {
+    switch (self->hs_state_) {
+      case HsState::kDone:
+        return to_int(TlsResult::kOk);
+      case HsState::kFailed:
+        return to_int(TlsResult::kError);
+      case HsState::kClosed:
+        return to_int(TlsResult::kClosed);
+      default:
+        break;
+    }
+    const TlsResult r = self->handshake_step();
+    if (r != TlsResult::kOk) {
+      if (r == TlsResult::kError) self->hs_state_ = HsState::kFailed;
+      return to_int(r);
+    }
+  }
+}
+
+TlsResult TlsConnection::handshake_step() {
+  // Finish any pending flush first (a prior step may have hit kWantWrite).
+  if (!records_.send_buffer_empty()) {
+    const TlsResult r = records_.flush();
+    if (r != TlsResult::kOk) return r;
+  }
+  return ctx_->is_server() ? server_step() : client_step();
+}
+
+// ------------------------------------------------------------ plumbing ----
+
+TlsResult TlsConnection::next_record(Record* out) {
+  RecordLayer::ReadOutcome outcome = records_.read_record();
+  if (!outcome.record.has_value()) return outcome.result;
+  *out = std::move(*outcome.record);
+  return TlsResult::kOk;
+}
+
+TlsResult TlsConnection::next_handshake_message(HandshakeHeader* out) {
+  for (;;) {
+    if (hs_buffer_.size() >= 4) {
+      // Sanity-bound the claimed message length before waiting for it.
+      const uint32_t claimed = static_cast<uint32_t>(hs_buffer_[1]) << 16 |
+                               static_cast<uint32_t>(hs_buffer_[2]) << 8 |
+                               hs_buffer_[3];
+      if (claimed > 64 * 1024) return TlsResult::kError;
+      size_t consumed = 0;
+      auto parsed = parse_handshake(hs_buffer_, &consumed);
+      if (parsed.is_ok()) {
+        transcript_add(BytesView(hs_buffer_.data(), consumed));
+        *out = std::move(parsed).take();
+        hs_buffer_.erase(hs_buffer_.begin(),
+                         hs_buffer_.begin() + static_cast<ptrdiff_t>(consumed));
+        return TlsResult::kOk;
+      }
+      // kProtocolError from truncation means "need more bytes" — fall
+      // through to read another record; other errors are fatal only when a
+      // full length is present, which parse_handshake already checked.
+    }
+    Record record;
+    const TlsResult r = next_record(&record);
+    if (r != TlsResult::kOk) return r;
+    if (record.type == ContentType::kAlert) return TlsResult::kClosed;
+    if (record.type != ContentType::kHandshake) {
+      QTLS_WARN << "unexpected record type "
+                << static_cast<int>(record.type) << " during handshake";
+      return TlsResult::kError;
+    }
+    append(hs_buffer_, record.payload);
+  }
+}
+
+Status TlsConnection::send_handshake(HandshakeType type, BytesView body) {
+  const Bytes framed = frame_handshake(type, body);
+  transcript_add(framed);
+  return records_.queue(ContentType::kHandshake, framed);
+}
+
+void TlsConnection::transcript_add(BytesView framed) {
+  append(transcript_, framed);
+}
+
+Bytes TlsConnection::transcript_hash() const {
+  return hash(cipher_suite_info(suite_).prf_hash, transcript_);
+}
+
+// ---------------------------------------------------------- key install ----
+
+Status TlsConnection::derive_and_install_keys() {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  QTLS_ASSIGN_OR_RETURN(
+      SessionKeys keys,
+      tls12_key_expansion(ctx_->provider(), info, master_secret_,
+                          client_random_, server_random_));
+  ++ops_.prf;
+  session_keys_ = std::move(keys);
+  keys_derived_ = true;
+  return Status::ok();
+}
+
+void TlsConnection::install_tx_keys() {
+  records_.enable_encryption_tx(ctx_->is_server() ? session_keys_.server_write
+                                                  : session_keys_.client_write);
+}
+
+void TlsConnection::install_rx_keys() {
+  records_.enable_encryption_rx(ctx_->is_server() ? session_keys_.client_write
+                                                  : session_keys_.server_write);
+}
+
+Result<Bytes> TlsConnection::finished_verify(const std::string& label) {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  auto out = tls12_finished_verify(ctx_->provider(), info.prf_hash,
+                                   master_secret_, label, transcript_hash());
+  if (out.is_ok()) ++ops_.prf;
+  return out;
+}
+
+void TlsConnection::record_established_session() {
+  ClientSession session;
+  session.suite = suite_;
+  session.master_secret = master_secret_;
+  session.session_id = session_id_;
+  session.ticket = pending_ticket_;
+  established_session_ = std::move(session);
+}
+
+// ------------------------------------------------------------- server ----
+
+TlsResult TlsConnection::server_step() {
+  switch (hs_state_) {
+    case HsState::kExpectClientHello: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      if (msg.type != HandshakeType::kClientHello) return TlsResult::kError;
+      return server_on_client_hello(msg);
+    }
+    case HsState::kExpectClientKeyExchange: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      if (msg.type != HandshakeType::kClientKeyExchange)
+        return TlsResult::kError;
+      return server_on_client_key_exchange(msg);
+    }
+    case HsState::kExpectClientCcs:
+    case HsState::kExpectClientCcsResumed: {
+      Record record;
+      const TlsResult r = next_record(&record);
+      if (r != TlsResult::kOk) return r;
+      if (record.type != ContentType::kChangeCipherSpec)
+        return TlsResult::kError;
+      install_rx_keys();
+      hs_state_ = hs_state_ == HsState::kExpectClientCcs
+                      ? HsState::kExpectClientFinished
+                      : HsState::kExpectClientFinishedResumed;
+      return TlsResult::kOk;
+    }
+    case HsState::kExpectClientFinished:
+    case HsState::kExpectClientFinishedResumed: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      if (msg.type != HandshakeType::kFinished) return TlsResult::kError;
+      return server_on_client_finished(
+          msg, hs_state_ == HsState::kExpectClientFinishedResumed);
+    }
+    case HsState::kExpectClientFinished13: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      if (msg.type != HandshakeType::kFinished) return TlsResult::kError;
+      // Expected verify over the transcript up to (not including) this
+      // Finished; next_handshake_message already added the client Finished
+      // frame, so compute against the remembered pre-Finished transcript.
+      // We kept it implicit: recompute by stripping the frame we just added.
+      Bytes pre_finished(transcript_.begin(),
+                         transcript_.end() -
+                             static_cast<ptrdiff_t>(4 + msg.body.size()));
+      const HashAlg alg = cipher_suite_info(suite_).prf_hash;
+      const Bytes expect = tls13_finished_verify(
+          alg, secrets13_.client_hs_traffic, hash(alg, pre_finished),
+          &ops_.hkdf);
+      if (!ct_equal(expect, msg.body)) return TlsResult::kError;
+      // Switch both directions to application traffic keys.
+      records_.enable_encryption_tx(server_app_keys13_);
+      records_.enable_encryption_rx(client_app_keys13_);
+      // Post-handshake NewSessionTicket (RFC 8446 §4.6.1), sealing the
+      // resumption master secret for a later psk_dhe_ke handshake. The
+      // kDone transition comes after the ticket is sealed and queued: its
+      // record encryption may itself be an async offload, and the
+      // handshake must not report complete with that job still paused.
+      if (ctx_->config().use_session_tickets) {
+        resumption_master13_ = tls13_resumption_master(
+            alg, secrets13_.master_secret, hash(alg, transcript_),
+            &ops_.hkdf);
+        SessionState state;
+        state.suite = suite_;
+        state.master_secret = resumption_master13_;
+        NewSessionTicketMsg nst;
+        nst.ticket = ctx_->tickets().seal(state, ctx_->now_ms(), ctx_->rng());
+        if (!send_handshake(HandshakeType::kNewSessionTicket, nst.encode())
+                 .is_ok())
+          return TlsResult::kError;
+        const TlsResult fr = records_.flush();
+        if (fr != TlsResult::kOk && fr != TlsResult::kWantWrite)
+          return fr;
+      }
+      hs_state_ = HsState::kDone;
+      return TlsResult::kOk;
+    }
+    default:
+      return TlsResult::kError;
+  }
+}
+
+TlsResult TlsConnection::server_on_client_hello(const HandshakeHeader& msg) {
+  auto parsed = ClientHello::parse(msg.body);
+  if (!parsed.is_ok()) return TlsResult::kError;
+  const ClientHello& hello = parsed.value();
+
+  const auto selected = ctx_->select_suite(hello.cipher_suites);
+  if (!selected.has_value()) return TlsResult::kError;
+  suite_ = *selected;
+  client_random_ = hello.random;
+  server_random_.resize(kRandomSize);
+  ctx_->rng().generate(server_random_.data(), server_random_.size());
+
+  if (cipher_suite_info(suite_).tls13 &&
+      hello.version == ProtocolVersion::kTls13 && !hello.key_share.empty()) {
+    version_ = ProtocolVersion::kTls13;
+    // psk_dhe_ke resumption: a valid ticket supplies the PSK; the handshake
+    // still runs ECDHE (forward secrecy) but skips certificate/signature.
+    if (!hello.session_ticket.empty()) {
+      auto state = ctx_->tickets().unseal(hello.session_ticket, ctx_->now_ms());
+      if (state.is_ok() && state.value().suite == suite_)
+        return server_step13(hello, state.value().master_secret);
+    }
+    return server_step13(hello, {});
+  }
+  version_ = ProtocolVersion::kTls12;
+
+  // Resumption: ticket first (self-contained), then the session-ID cache.
+  const uint64_t now = ctx_->now_ms();
+  if (!hello.session_ticket.empty()) {
+    auto state = ctx_->tickets().unseal(hello.session_ticket, now);
+    if (state.is_ok() && state.value().suite == suite_)
+      return server_resume_flight(hello, state.value());
+  }
+  if (hello.session_id.size() == kSessionIdSize) {
+    auto state = ctx_->session_cache().get(hello.session_id, now);
+    if (state.has_value() && state->suite == suite_) {
+      session_id_ = hello.session_id;
+      return server_resume_flight(hello, *state);
+    }
+  }
+  return server_full_handshake_flight(hello);
+}
+
+TlsResult TlsConnection::server_full_handshake_flight(
+    const ClientHello& hello) {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  resumed_ = false;
+
+  session_id_.resize(kSessionIdSize);
+  ctx_->rng().generate(session_id_.data(), session_id_.size());
+
+  ServerHello sh;
+  sh.version = ProtocolVersion::kTls12;
+  sh.random = server_random_;
+  sh.session_id = session_id_;
+  sh.cipher_suite = suite_;
+  sh.resumed = false;
+  if (send_handshake(HandshakeType::kServerHello, sh.encode()).is_ok() ==
+      false)
+    return TlsResult::kError;
+
+  // Certificate: raw public key of the signing credential.
+  CertificateMsg cert;
+  if (info.kx == KeyExchange::kEcdheEcdsa) {
+    const bool p384 = ctx_->config().curve == CurveId::kP384;
+    const EcKeyPair* key = p384 ? ctx_->credentials().ecdsa_p384
+                                : ctx_->credentials().ecdsa_p256;
+    if (!key) return TlsResult::kError;
+    cert.cred_type =
+        p384 ? CredentialType::kEcdsaP384 : CredentialType::kEcdsaP256;
+    cert.public_key =
+        (p384 ? curve_p384() : curve_p256()).encode_point(key->pub);
+  } else {
+    if (!ctx_->credentials().rsa_key) return TlsResult::kError;
+    cert.cred_type = CredentialType::kRsa;
+    cert.public_key =
+        CertificateMsg::encode_rsa_key(ctx_->credentials().rsa_key->pub);
+  }
+  if (!send_handshake(HandshakeType::kCertificate, cert.encode()).is_ok())
+    return TlsResult::kError;
+
+  if (info.kx != KeyExchange::kRsa) {
+    // ServerKeyExchange: ephemeral share + signature. Two provider calls
+    // that offload: the EC keygen here and (later) the ECDH derive.
+    auto share = ctx_->provider()->ecdhe_keygen(hello.curve);
+    if (!share.is_ok()) return TlsResult::kError;
+    ++ops_.ecc;
+    ecdhe_share_ = std::move(share).take();
+
+    ServerKeyExchange ske;
+    ske.curve = hello.curve;
+    ske.point = ecdhe_share_.pub_point;
+    const Bytes digest =
+        ServerKeyExchange::signed_digest(info.prf_hash, client_random_,
+                                         server_random_, ske.curve, ske.point);
+    if (info.kx == KeyExchange::kEcdheRsa) {
+      auto sig = ctx_->provider()->rsa_sign(*ctx_->credentials().rsa_key,
+                                            digest);
+      if (!sig.is_ok()) return TlsResult::kError;
+      ++ops_.rsa;
+      ske.signature = std::move(sig).take();
+    } else {
+      const bool p384 = ctx_->config().curve == CurveId::kP384;
+      const CurveId sign_curve = p384 ? CurveId::kP384 : CurveId::kP256;
+      const EcKeyPair* key = p384 ? ctx_->credentials().ecdsa_p384
+                                  : ctx_->credentials().ecdsa_p256;
+      auto sig = ctx_->provider()->ecdsa_sign(sign_curve, key->priv, digest);
+      if (!sig.is_ok()) return TlsResult::kError;
+      ++ops_.ecc;
+      ske.signature = std::move(sig).take();
+    }
+    if (!send_handshake(HandshakeType::kServerKeyExchange, ske.encode())
+             .is_ok())
+      return TlsResult::kError;
+  }
+
+  if (!send_handshake(HandshakeType::kServerHelloDone, {}).is_ok())
+    return TlsResult::kError;
+
+  hs_state_ = HsState::kExpectClientKeyExchange;
+  const TlsResult r = records_.flush();
+  return r == TlsResult::kOk || r == TlsResult::kWantWrite ? TlsResult::kOk
+                                                           : r;
+}
+
+TlsResult TlsConnection::server_resume_flight(const ClientHello& hello,
+                                              const SessionState& session) {
+  resumed_ = true;
+  master_secret_ = session.master_secret;
+
+  ServerHello sh;
+  sh.version = ProtocolVersion::kTls12;
+  sh.random = server_random_;
+  sh.session_id = hello.session_id;
+  sh.cipher_suite = suite_;
+  sh.resumed = true;
+  if (!send_handshake(HandshakeType::kServerHello, sh.encode()).is_ok())
+    return TlsResult::kError;
+
+  if (ctx_->config().use_session_tickets) {
+    // Refresh the ticket so its lifetime restarts (standard practice).
+    SessionState fresh;
+    fresh.suite = suite_;
+    fresh.master_secret = master_secret_;
+    NewSessionTicketMsg nst;
+    nst.ticket = ctx_->tickets().seal(fresh, ctx_->now_ms(), ctx_->rng());
+    if (!send_handshake(HandshakeType::kNewSessionTicket, nst.encode())
+             .is_ok())
+      return TlsResult::kError;
+  }
+
+  // Abbreviated handshake: key expansion + server Finished, PRF only
+  // (paper §5.3).
+  if (!derive_and_install_keys().is_ok()) return TlsResult::kError;
+
+  if (!records_.queue(ContentType::kChangeCipherSpec, Bytes{0x01}).is_ok())
+    return TlsResult::kError;
+  install_tx_keys();
+  auto verify = finished_verify("server finished");
+  if (!verify.is_ok()) return TlsResult::kError;
+  if (!send_handshake(HandshakeType::kFinished, verify.value()).is_ok())
+    return TlsResult::kError;
+
+  hs_state_ = HsState::kExpectClientCcsResumed;
+  const TlsResult r = records_.flush();
+  return r == TlsResult::kOk || r == TlsResult::kWantWrite ? TlsResult::kOk
+                                                           : r;
+}
+
+TlsResult TlsConnection::server_on_client_key_exchange(
+    const HandshakeHeader& msg) {
+  auto parsed = ClientKeyExchange::parse(msg.body);
+  if (!parsed.is_ok()) return TlsResult::kError;
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+
+  if (info.kx == KeyExchange::kRsa) {
+    auto premaster = ctx_->provider()->rsa_decrypt(
+        *ctx_->credentials().rsa_key, parsed.value().exchange_data);
+    if (!premaster.is_ok()) return TlsResult::kError;
+    ++ops_.rsa;
+    premaster_ = std::move(premaster).take();
+    if (premaster_.size() != kMasterSecretSize) return TlsResult::kError;
+  } else {
+    auto secret = ctx_->provider()->ecdhe_derive(
+        ecdhe_share_, parsed.value().exchange_data);
+    if (!secret.is_ok()) return TlsResult::kError;
+    ++ops_.ecc;
+    premaster_ = std::move(secret).take();
+  }
+
+  auto master = tls12_master_secret(ctx_->provider(),
+                                    cipher_suite_info(suite_).prf_hash,
+                                    premaster_, client_random_,
+                                    server_random_);
+  if (!master.is_ok()) return TlsResult::kError;
+  ++ops_.prf;
+  master_secret_ = std::move(master).take();
+  secure_wipe(premaster_.data(), premaster_.size());
+  if (!derive_and_install_keys().is_ok()) return TlsResult::kError;
+
+  hs_state_ = HsState::kExpectClientCcs;
+  return TlsResult::kOk;
+}
+
+TlsResult TlsConnection::server_on_client_finished(const HandshakeHeader& msg,
+                                                   bool resumed) {
+  // Expected verify over the transcript excluding this Finished message.
+  Bytes with_finished = std::move(transcript_);
+  transcript_.assign(with_finished.begin(),
+                     with_finished.end() -
+                         static_cast<ptrdiff_t>(4 + msg.body.size()));
+  auto expect = finished_verify("client finished");
+  transcript_ = std::move(with_finished);
+  if (!expect.is_ok()) return TlsResult::kError;
+  if (!ct_equal(expect.value(), msg.body)) return TlsResult::kError;
+
+  if (!resumed) {
+    // Cache / ticket issuance, then CCS + server Finished.
+    const uint64_t now = ctx_->now_ms();
+    SessionState state;
+    state.suite = suite_;
+    state.master_secret = master_secret_;
+    if (ctx_->config().use_session_tickets) {
+      NewSessionTicketMsg nst;
+      nst.ticket = ctx_->tickets().seal(state, now, ctx_->rng());
+      if (!send_handshake(HandshakeType::kNewSessionTicket, nst.encode())
+               .is_ok())
+        return TlsResult::kError;
+    } else {
+      ctx_->session_cache().put(session_id_, state, now);
+    }
+
+    if (!records_.queue(ContentType::kChangeCipherSpec, Bytes{0x01}).is_ok())
+      return TlsResult::kError;
+    install_tx_keys();
+    auto verify = finished_verify("server finished");
+    if (!verify.is_ok()) return TlsResult::kError;
+    if (!send_handshake(HandshakeType::kFinished, verify.value()).is_ok())
+      return TlsResult::kError;
+    const TlsResult r = records_.flush();
+    if (r != TlsResult::kOk && r != TlsResult::kWantWrite) return r;
+  }
+
+  record_established_session();
+  hs_state_ = HsState::kDone;
+  return TlsResult::kOk;
+}
+
+// ----------------------------------------------------------- TLS 1.3 ----
+
+TlsResult TlsConnection::server_step13(const ClientHello& hello,
+                                       BytesView psk) {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  resumed_ = !psk.empty();
+
+  // ECDHE: our share + shared secret (two EC ops, both offloadable).
+  auto share = ctx_->provider()->ecdhe_keygen(hello.curve);
+  if (!share.is_ok()) return TlsResult::kError;
+  ++ops_.ecc;
+  ecdhe_share_ = std::move(share).take();
+  auto shared = ctx_->provider()->ecdhe_derive(ecdhe_share_, hello.key_share);
+  if (!shared.is_ok()) return TlsResult::kError;
+  ++ops_.ecc;
+  const Bytes ecdhe_secret = std::move(shared).take();
+
+  ServerHello sh;
+  sh.version = ProtocolVersion::kTls13;
+  sh.random = server_random_;
+  sh.cipher_suite = suite_;
+  sh.resumed = resumed_;
+  sh.key_share = ecdhe_share_.pub_point;
+  if (!send_handshake(HandshakeType::kServerHello, sh.encode()).is_ok())
+    return TlsResult::kError;
+
+  // Handshake secrets from the CH..SH transcript; HKDF runs on the CPU —
+  // not offloadable through the QAT Engine (paper §5.2 / Fig. 8).
+  const HashAlg alg = info.prf_hash;
+  secrets13_ = tls13_handshake_secrets(alg, ecdhe_secret,
+                                       hash(alg, transcript_), psk);
+  client_hs_keys13_ = tls13_aead_keys(alg, secrets13_.client_hs_traffic,
+                                      info, &secrets13_.hkdf_ops);
+  server_hs_keys13_ = tls13_aead_keys(alg, secrets13_.server_hs_traffic,
+                                      info, &secrets13_.hkdf_ops);
+  records_.enable_encryption_tx(server_hs_keys13_);
+
+  if (!send_handshake(HandshakeType::kEncryptedExtensions, {}).is_ok())
+    return TlsResult::kError;
+
+  if (!resumed_) {
+    // Full handshake: certificate + CertificateVerify (the 1 RSA op of
+    // Table 1's TLS 1.3 row). PSK resumption skips both — "asymmetric-key
+    // calculations can be skipped" (§2.1).
+    CertificateMsg cert;
+    cert.cred_type = CredentialType::kRsa;
+    if (!ctx_->credentials().rsa_key) return TlsResult::kError;
+    cert.public_key =
+        CertificateMsg::encode_rsa_key(ctx_->credentials().rsa_key->pub);
+    if (!send_handshake(HandshakeType::kCertificate, cert.encode()).is_ok())
+      return TlsResult::kError;
+
+    CertificateVerifyMsg cv;
+    auto sig = ctx_->provider()->rsa_sign(*ctx_->credentials().rsa_key,
+                                          hash(alg, transcript_));
+    if (!sig.is_ok()) return TlsResult::kError;
+    ++ops_.rsa;
+    cv.signature = std::move(sig).take();
+    if (!send_handshake(HandshakeType::kCertificateVerify, cv.encode())
+             .is_ok())
+      return TlsResult::kError;
+  }
+
+  const Bytes verify = tls13_finished_verify(alg, secrets13_.server_hs_traffic,
+                                             hash(alg, transcript_),
+                                             &secrets13_.hkdf_ops);
+  if (!send_handshake(HandshakeType::kFinished, verify).is_ok())
+    return TlsResult::kError;
+
+  // Application secrets over the transcript through server Finished.
+  tls13_application_secrets(alg, &secrets13_, hash(alg, transcript_));
+  client_app_keys13_ = tls13_aead_keys(alg, secrets13_.client_app_traffic,
+                                       info, &secrets13_.hkdf_ops);
+  server_app_keys13_ = tls13_aead_keys(alg, secrets13_.server_app_traffic,
+                                       info, &secrets13_.hkdf_ops);
+  ops_.hkdf = secrets13_.hkdf_ops;
+  records_.enable_encryption_rx(client_hs_keys13_);
+
+  hs_state_ = HsState::kExpectClientFinished13;
+  const TlsResult r = records_.flush();
+  return r == TlsResult::kOk || r == TlsResult::kWantWrite ? TlsResult::kOk
+                                                           : r;
+}
+
+// ------------------------------------------------------------- client ----
+
+TlsResult TlsConnection::client_step() {
+  switch (hs_state_) {
+    case HsState::kStart:
+      return client_send_hello();
+    case HsState::kExpectServerHello: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      if (msg.type != HandshakeType::kServerHello) return TlsResult::kError;
+      return client_on_server_hello(msg);
+    }
+    case HsState::kExpectServerHandshake: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      return client_on_server_flight(msg);
+    }
+    case HsState::kExpectServerCcs:
+    case HsState::kExpectServerCcsResumed: {
+      Record record;
+      const TlsResult r = next_record(&record);
+      if (r != TlsResult::kOk) return r;
+      if (record.type == ContentType::kHandshake) {
+        // NewSessionTicket may precede CCS in both resumed and full flows.
+        append(hs_buffer_, record.payload);
+        size_t consumed = 0;
+        auto parsed = parse_handshake(hs_buffer_, &consumed);
+        if (!parsed.is_ok()) return TlsResult::kError;
+        transcript_add(BytesView(hs_buffer_.data(), consumed));
+        hs_buffer_.erase(hs_buffer_.begin(),
+                         hs_buffer_.begin() + static_cast<ptrdiff_t>(consumed));
+        if (parsed.value().type != HandshakeType::kNewSessionTicket)
+          return TlsResult::kError;
+        auto nst = NewSessionTicketMsg::parse(parsed.value().body);
+        if (!nst.is_ok()) return TlsResult::kError;
+        pending_ticket_ = nst.value().ticket;
+        return TlsResult::kOk;  // stay in the same state, CCS still expected
+      }
+      if (record.type != ContentType::kChangeCipherSpec)
+        return TlsResult::kError;
+      if (hs_state_ == HsState::kExpectServerCcsResumed) {
+        // Abbreviated: derive keys now (master secret came from the offer).
+        if (!derive_and_install_keys().is_ok()) return TlsResult::kError;
+      }
+      install_rx_keys();
+      hs_state_ = hs_state_ == HsState::kExpectServerCcs
+                      ? HsState::kExpectServerFinished
+                      : HsState::kExpectServerFinishedResumed;
+      return TlsResult::kOk;
+    }
+    case HsState::kExpectServerFinished:
+    case HsState::kExpectServerFinishedResumed: {
+      HandshakeHeader msg;
+      const TlsResult r = next_handshake_message(&msg);
+      if (r != TlsResult::kOk) return r;
+      if (msg.type != HandshakeType::kFinished) return TlsResult::kError;
+      return client_on_server_finished(
+          msg, hs_state_ == HsState::kExpectServerFinishedResumed);
+    }
+    case HsState::kExpectServerFlight13:
+      return client_process_server_flight13();
+    default:
+      return TlsResult::kError;
+  }
+}
+
+TlsResult TlsConnection::client_send_hello() {
+  ClientHello hello;
+  const CipherSuiteInfo& first =
+      cipher_suite_info(ctx_->config().cipher_suites.front());
+  hello.version =
+      first.tls13 ? ProtocolVersion::kTls13 : ProtocolVersion::kTls12;
+  client_random_.resize(kRandomSize);
+  ctx_->rng().generate(client_random_.data(), client_random_.size());
+  hello.random = client_random_;
+  hello.cipher_suites = ctx_->config().cipher_suites;
+  hello.curve = ctx_->config().curve;
+
+  if (offered_session_.has_value()) {
+    if (first.tls13) {
+      // psk_dhe_ke offer: ticket only (no legacy session id).
+      hello.session_ticket = offered_session_->ticket;
+    } else {
+      hello.session_id = offered_session_->session_id;
+      hello.session_ticket = offered_session_->ticket;
+    }
+  }
+
+  if (first.tls13) {
+    auto share = ctx_->provider()->ecdhe_keygen(hello.curve);
+    if (!share.is_ok()) return TlsResult::kError;
+    ++ops_.ecc;
+    ecdhe_share_ = std::move(share).take();
+    hello.key_share = ecdhe_share_.pub_point;
+  }
+
+  if (!send_handshake(HandshakeType::kClientHello, hello.encode()).is_ok())
+    return TlsResult::kError;
+  hs_state_ = HsState::kExpectServerHello;
+  const TlsResult r = records_.flush();
+  return r == TlsResult::kOk || r == TlsResult::kWantWrite ? TlsResult::kOk
+                                                           : r;
+}
+
+TlsResult TlsConnection::client_on_server_hello(const HandshakeHeader& msg) {
+  auto parsed = ServerHello::parse(msg.body);
+  if (!parsed.is_ok()) return TlsResult::kError;
+  const ServerHello& sh = parsed.value();
+  suite_ = sh.cipher_suite;
+  version_ = sh.version;
+  server_random_ = sh.random;
+  session_id_ = sh.session_id;
+
+  if (sh.version == ProtocolVersion::kTls13) {
+    if (sh.key_share.empty()) return TlsResult::kError;
+    peer_point_ = sh.key_share;
+    resumed_ = sh.resumed;
+    if (resumed_ && !offered_session_.has_value()) return TlsResult::kError;
+    // Derive the shared secret and handshake keys immediately.
+    auto shared = ctx_->provider()->ecdhe_derive(ecdhe_share_, peer_point_);
+    if (!shared.is_ok()) return TlsResult::kError;
+    ++ops_.ecc;
+    const CipherSuiteInfo& info = cipher_suite_info(suite_);
+    const HashAlg alg = info.prf_hash;
+    const Bytes psk =
+        resumed_ ? offered_session_->master_secret : Bytes();
+    secrets13_ = tls13_handshake_secrets(alg, shared.value(),
+                                         hash(alg, transcript_), psk);
+    client_hs_keys13_ = tls13_aead_keys(
+        alg, secrets13_.client_hs_traffic, info, &secrets13_.hkdf_ops);
+    server_hs_keys13_ = tls13_aead_keys(
+        alg, secrets13_.server_hs_traffic, info, &secrets13_.hkdf_ops);
+    records_.enable_encryption_rx(server_hs_keys13_);
+    hs_state_ = HsState::kExpectServerFlight13;
+    return TlsResult::kOk;
+  }
+
+  if (sh.resumed) {
+    if (!offered_session_.has_value()) return TlsResult::kError;
+    resumed_ = true;
+    master_secret_ = offered_session_->master_secret;
+    hs_state_ = HsState::kExpectServerCcsResumed;
+    return TlsResult::kOk;
+  }
+  resumed_ = false;
+  hs_state_ = HsState::kExpectServerHandshake;
+  return TlsResult::kOk;
+}
+
+TlsResult TlsConnection::client_on_server_flight(const HandshakeHeader& msg) {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  switch (msg.type) {
+    case HandshakeType::kCertificate: {
+      auto cert = CertificateMsg::parse(msg.body);
+      if (!cert.is_ok()) return TlsResult::kError;
+      if (cert.value().cred_type == CredentialType::kRsa) {
+        auto key = CertificateMsg::decode_rsa_key(cert.value().public_key);
+        if (!key.is_ok()) return TlsResult::kError;
+        peer_rsa_ = std::move(key).take();
+      } else {
+        peer_point_ = cert.value().public_key;  // ECDSA pub, reused below
+        peer_ecdsa_p384_ =
+            cert.value().cred_type == CredentialType::kEcdsaP384;
+      }
+      return TlsResult::kOk;
+    }
+    case HandshakeType::kServerKeyExchange: {
+      auto ske = ServerKeyExchange::parse(msg.body);
+      if (!ske.is_ok()) return TlsResult::kError;
+      const Bytes digest = ServerKeyExchange::signed_digest(
+          info.prf_hash, client_random_, server_random_, ske.value().curve,
+          ske.value().point);
+      if (info.kx == KeyExchange::kEcdheRsa) {
+        if (!rsa_verify_pkcs1(peer_rsa_, digest, ske.value().signature)
+                 .is_ok())
+          return TlsResult::kError;
+      } else if (info.kx == KeyExchange::kEcdheEcdsa) {
+        const EcCurve& sign_curve =
+            peer_ecdsa_p384_ ? curve_p384() : curve_p256();
+        auto pub = sign_curve.decode_point(peer_point_);
+        if (!pub.is_ok()) return TlsResult::kError;
+        auto sig = EcdsaSignature::decode(ske.value().signature, sign_curve);
+        if (!sig.is_ok()) return TlsResult::kError;
+        if (!ecdsa_verify(sign_curve, pub.value(), digest, sig.value())
+                 .is_ok())
+          return TlsResult::kError;
+      }
+      ske_curve_ = ske.value().curve;
+      server_kx_point_ = ske.value().point;
+      return TlsResult::kOk;
+    }
+    case HandshakeType::kServerHelloDone:
+      return client_send_second_flight();
+    default:
+      return TlsResult::kError;
+  }
+}
+
+TlsResult TlsConnection::client_send_second_flight() {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  ClientKeyExchange cke;
+
+  if (info.kx == KeyExchange::kRsa) {
+    premaster_.resize(kMasterSecretSize);
+    ctx_->rng().generate(premaster_.data(), premaster_.size());
+    auto ct = rsa_encrypt_pkcs1(peer_rsa_, premaster_, ctx_->rng());
+    if (!ct.is_ok()) return TlsResult::kError;
+    cke.exchange_data = std::move(ct).take();
+  } else {
+    auto share = ctx_->provider()->ecdhe_keygen(ske_curve_);
+    if (!share.is_ok()) return TlsResult::kError;
+    ++ops_.ecc;
+    ecdhe_share_ = std::move(share).take();
+    cke.exchange_data = ecdhe_share_.pub_point;
+    auto secret = ctx_->provider()->ecdhe_derive(ecdhe_share_,
+                                                 server_kx_point_);
+    if (!secret.is_ok()) return TlsResult::kError;
+    ++ops_.ecc;
+    premaster_ = std::move(secret).take();
+  }
+
+  if (!send_handshake(HandshakeType::kClientKeyExchange, cke.encode())
+           .is_ok())
+    return TlsResult::kError;
+
+  auto master =
+      tls12_master_secret(ctx_->provider(), info.prf_hash, premaster_,
+                          client_random_, server_random_);
+  if (!master.is_ok()) return TlsResult::kError;
+  ++ops_.prf;
+  master_secret_ = std::move(master).take();
+  secure_wipe(premaster_.data(), premaster_.size());
+  if (!derive_and_install_keys().is_ok()) return TlsResult::kError;
+
+  if (!records_.queue(ContentType::kChangeCipherSpec, Bytes{0x01}).is_ok())
+    return TlsResult::kError;
+  install_tx_keys();
+  auto verify = finished_verify("client finished");
+  if (!verify.is_ok()) return TlsResult::kError;
+  if (!send_handshake(HandshakeType::kFinished, verify.value()).is_ok())
+    return TlsResult::kError;
+
+  hs_state_ = HsState::kExpectServerCcs;
+  const TlsResult r = records_.flush();
+  return r == TlsResult::kOk || r == TlsResult::kWantWrite ? TlsResult::kOk
+                                                           : r;
+}
+
+TlsResult TlsConnection::client_on_server_finished(const HandshakeHeader& msg,
+                                                   bool resumed) {
+  Bytes with_finished = std::move(transcript_);
+  transcript_.assign(with_finished.begin(),
+                     with_finished.end() -
+                         static_cast<ptrdiff_t>(4 + msg.body.size()));
+  auto expect = finished_verify("server finished");
+  transcript_ = std::move(with_finished);
+  if (!expect.is_ok()) return TlsResult::kError;
+  if (!ct_equal(expect.value(), msg.body)) return TlsResult::kError;
+
+  if (resumed) {
+    // Abbreviated handshake: respond with CCS + client Finished.
+    if (!records_.queue(ContentType::kChangeCipherSpec, Bytes{0x01}).is_ok())
+      return TlsResult::kError;
+    install_tx_keys();
+    auto verify = finished_verify("client finished");
+    if (!verify.is_ok()) return TlsResult::kError;
+    if (!send_handshake(HandshakeType::kFinished, verify.value()).is_ok())
+      return TlsResult::kError;
+    const TlsResult r = records_.flush();
+    if (r != TlsResult::kOk && r != TlsResult::kWantWrite) return r;
+  }
+
+  record_established_session();
+  hs_state_ = HsState::kDone;
+  return TlsResult::kOk;
+}
+
+TlsResult TlsConnection::client_process_server_flight13() {
+  const CipherSuiteInfo& info = cipher_suite_info(suite_);
+  const HashAlg alg = info.prf_hash;
+  for (;;) {
+    // Remember the transcript before each message: Finished verification
+    // needs the pre-Finished hash.
+    const size_t transcript_before = transcript_.size();
+    HandshakeHeader msg;
+    const TlsResult r = next_handshake_message(&msg);
+    if (r != TlsResult::kOk) return r;
+    switch (msg.type) {
+      case HandshakeType::kEncryptedExtensions:
+        break;
+      case HandshakeType::kCertificate: {
+        auto cert = CertificateMsg::parse(msg.body);
+        if (!cert.is_ok() ||
+            cert.value().cred_type != CredentialType::kRsa)
+          return TlsResult::kError;
+        auto key = CertificateMsg::decode_rsa_key(cert.value().public_key);
+        if (!key.is_ok()) return TlsResult::kError;
+        peer_rsa_ = std::move(key).take();
+        break;
+      }
+      case HandshakeType::kCertificateVerify: {
+        auto cv = CertificateVerifyMsg::parse(msg.body);
+        if (!cv.is_ok()) return TlsResult::kError;
+        const Bytes digest =
+            hash(alg, BytesView(transcript_.data(), transcript_before));
+        if (!rsa_verify_pkcs1(peer_rsa_, digest, cv.value().signature)
+                 .is_ok())
+          return TlsResult::kError;
+        break;
+      }
+      case HandshakeType::kFinished: {
+        const Bytes expect = tls13_finished_verify(
+            alg, secrets13_.server_hs_traffic,
+            hash(alg, BytesView(transcript_.data(), transcript_before)),
+            &secrets13_.hkdf_ops);
+        if (!ct_equal(expect, msg.body)) return TlsResult::kError;
+
+        // Application secrets over the transcript through server Finished.
+        tls13_application_secrets(alg, &secrets13_,
+                                  hash(alg, transcript_));
+        client_app_keys13_ = tls13_aead_keys(
+            alg, secrets13_.client_app_traffic, info, &secrets13_.hkdf_ops);
+        server_app_keys13_ = tls13_aead_keys(
+            alg, secrets13_.server_app_traffic, info, &secrets13_.hkdf_ops);
+
+        // Client Finished under the handshake traffic keys.
+        records_.enable_encryption_tx(client_hs_keys13_);
+        const Bytes verify = tls13_finished_verify(
+            alg, secrets13_.client_hs_traffic, hash(alg, transcript_),
+            &secrets13_.hkdf_ops);
+        if (!send_handshake(HandshakeType::kFinished, verify).is_ok())
+          return TlsResult::kError;
+        const TlsResult fr = records_.flush();
+        if (fr != TlsResult::kOk && fr != TlsResult::kWantWrite) return fr;
+
+        records_.enable_encryption_tx(client_app_keys13_);
+        records_.enable_encryption_rx(server_app_keys13_);
+        // Resumption master over the full transcript (incl. our Finished) —
+        // paired with the server's NewSessionTicket, which read() captures.
+        resumption_master13_ = tls13_resumption_master(
+            alg, secrets13_.master_secret, hash(alg, transcript_), nullptr);
+        ops_.hkdf = secrets13_.hkdf_ops;
+        record_established_session();
+        hs_state_ = HsState::kDone;
+        return TlsResult::kOk;
+      }
+      default:
+        return TlsResult::kError;
+    }
+  }
+}
+
+// ----------------------------------------------------------- app data ----
+
+TlsResult TlsConnection::read(Bytes* out) {
+  // When resuming a paused read, keep the original output buffer — the
+  // fiber already captured it.
+  if (job_ == nullptr) read_out_ = out;
+  return run_entry(&read_entry);
+}
+
+int TlsConnection::read_entry(TlsConnection* self) {
+  if (self->hs_state_ != HsState::kDone)
+    return to_int(TlsResult::kError);
+  Record record;
+  for (;;) {
+    const TlsResult r = self->next_record(&record);
+    if (r != TlsResult::kOk) return to_int(r);
+    switch (record.type) {
+      case ContentType::kApplicationData:
+        append(*self->read_out_, record.payload);
+        ++self->ops_.cipher;
+        return to_int(TlsResult::kOk);
+      case ContentType::kAlert:
+        return to_int(TlsResult::kClosed);
+      case ContentType::kHandshake: {
+        // Post-handshake message: a TLS 1.3 NewSessionTicket updates the
+        // resumable session; anything else is skipped.
+        if (self->version_ == ProtocolVersion::kTls13) {
+          size_t consumed = 0;
+          auto parsed = parse_handshake(record.payload, &consumed);
+          if (parsed.is_ok() &&
+              parsed.value().type == HandshakeType::kNewSessionTicket) {
+            auto nst = NewSessionTicketMsg::parse(parsed.value().body);
+            if (nst.is_ok() && !self->resumption_master13_.empty()) {
+              ClientSession session;
+              session.suite = self->suite_;
+              session.ticket = nst.value().ticket;
+              session.master_secret = self->resumption_master13_;
+              self->established_session_ = std::move(session);
+            }
+          }
+        }
+        continue;
+      }
+      default:
+        return to_int(TlsResult::kError);
+    }
+  }
+}
+
+TlsResult TlsConnection::write(BytesView data) {
+  // A paused write job still references write_data_; only accept new data
+  // when idle (resume calls pass anything, conventionally empty).
+  if (job_ == nullptr) write_data_.assign(data.begin(), data.end());
+  return run_entry(&write_entry);
+}
+
+int TlsConnection::write_entry(TlsConnection* self) {
+  if (self->hs_state_ != HsState::kDone)
+    return to_int(TlsResult::kError);
+  if (!self->write_data_.empty()) {
+    const size_t fragments =
+        (self->write_data_.size() + kMaxPlaintextFragment - 1) /
+        kMaxPlaintextFragment;
+    if (!self->records_
+             .queue(ContentType::kApplicationData, self->write_data_)
+             .is_ok())
+      return to_int(TlsResult::kError);
+    self->ops_.cipher += static_cast<int>(fragments);
+    self->write_data_.clear();
+  }
+  return to_int(self->records_.flush());
+}
+
+TlsResult TlsConnection::shutdown() { return run_entry(&shutdown_entry); }
+
+int TlsConnection::shutdown_entry(TlsConnection* self) {
+  if (self->hs_state_ == HsState::kClosed) return to_int(TlsResult::kOk);
+  const Bytes alert = {kAlertLevelWarning, kAlertCloseNotify};
+  if (!self->records_.queue(ContentType::kAlert, alert).is_ok())
+    return to_int(TlsResult::kError);
+  const TlsResult r = self->records_.flush();
+  if (r == TlsResult::kOk) self->hs_state_ = HsState::kClosed;
+  return to_int(r);
+}
+
+}  // namespace qtls::tls

@@ -1,0 +1,197 @@
+// TlsConnection: the SSL* analogue — non-blocking handshake/read/write/
+// shutdown entry points returning the TlsResult codes the paper's Nginx
+// patches dispatch on (§4.2). In async mode every entry point runs inside a
+// fiber AsyncJob; a crypto offload inside the QAT engine pauses the job and
+// the call returns kWantAsync. Resuming is calling the same entry point
+// again after the async event — the connection keeps the paused job.
+//
+// Layering of re-entry concerns:
+//   transport readiness  -> explicit handshake state machine (kWantRead
+//                           finishes the job, as in OpenSSL)
+//   crypto completion    -> fiber pause/resume inside one state
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "asyncx/job.h"
+#include "tls/context.h"
+#include "tls/key_schedule.h"
+#include "tls/messages.h"
+#include "tls/record.h"
+
+namespace qtls::tls {
+
+// Client-side resumable session (the s_time "reuse" data).
+struct ClientSession {
+  CipherSuite suite = CipherSuite::kTlsRsaWithAes128CbcSha;
+  Bytes session_id;
+  Bytes ticket;
+  Bytes master_secret;
+};
+
+// Per-connection crypto op accounting — verifies Table 1 in tests/benches.
+struct OpCounters {
+  int rsa = 0;       // RSA private ops
+  int ecc = 0;       // EC point-multiplication ops
+  int prf = 0;       // TLS 1.2 PRF invocations
+  int hkdf = 0;      // TLS 1.3 HKDF invocations (not offloadable)
+  int cipher = 0;    // record protection ops
+};
+
+class TlsConnection {
+ public:
+  TlsConnection(TlsContext* ctx, Transport* transport);
+  ~TlsConnection();
+
+  TlsConnection(const TlsConnection&) = delete;
+  TlsConnection& operator=(const TlsConnection&) = delete;
+
+  // Drive the handshake. kOk = complete; kWantRead/kWantWrite = transport;
+  // kWantAsync = offload in flight, reschedule this same call (§4.2).
+  TlsResult handshake();
+
+  // Read one record's worth of application data (appends to *out).
+  TlsResult read(Bytes* out);
+  // Write application data (fragments to 16 KB records).
+  TlsResult write(BytesView data);
+  // Send close_notify.
+  TlsResult shutdown();
+
+  bool handshake_complete() const { return hs_state_ == HsState::kDone; }
+  bool resumed_session() const { return resumed_; }
+  CipherSuite suite() const { return suite_; }
+  ProtocolVersion version() const { return version_; }
+  const OpCounters& op_counters() const { return ops_; }
+
+  // Client: offer this session for resumption (set before handshake()).
+  void offer_session(ClientSession session) {
+    offered_session_ = std::move(session);
+  }
+  // Established session for later resumption (valid after handshake).
+  const std::optional<ClientSession>& established_session() const {
+    return established_session_;
+  }
+
+  asyncx::WaitCtx* wait_ctx() { return &wait_ctx_; }
+  RecordLayer& record_layer() { return records_; }
+
+  bool has_paused_job() const { return job_ != nullptr; }
+  // Resume a paused async job to completion, discarding its result — used
+  // when tearing down a connection whose offload is still in flight. `poll`
+  // must make progress on the crypto engine (e.g. QatEngineProvider::poll).
+  void drain_paused_job(const std::function<void()>& poll);
+
+ private:
+  enum class HsState {
+    kStart,
+    // server
+    kExpectClientHello,
+    kExpectClientKeyExchange,
+    kExpectClientCcs,
+    kExpectClientFinished,
+    kExpectClientCcsResumed,
+    kExpectClientFinishedResumed,
+    kExpectClientFinished13,
+    // client
+    kExpectServerHello,
+    kExpectServerHandshake,       // Certificate..ServerHelloDone
+    kExpectServerCcs,
+    kExpectServerFinished,
+    kExpectServerCcsResumed,
+    kExpectServerFinishedResumed,
+    kExpectServerFlight13,        // EE..Finished
+    kDone,
+    kClosed,
+    kFailed,
+  };
+
+  // Entry-point wrapper: runs `fn` inside a fiber when async mode is on.
+  TlsResult run_entry(int (*fn)(TlsConnection*));
+  static int handshake_entry(TlsConnection* self);
+  static int read_entry(TlsConnection* self);
+  static int write_entry(TlsConnection* self);
+  static int shutdown_entry(TlsConnection* self);
+
+  TlsResult handshake_step();      // one state transition
+  TlsResult server_step();
+  TlsResult client_step();
+  TlsResult server_step13(const ClientHello& hello, BytesView psk);
+  TlsResult client_process_server_flight13();
+
+  // Message plumbing.
+  TlsResult next_handshake_message(HandshakeHeader* out);
+  TlsResult next_record(Record* out);
+  Status send_handshake(HandshakeType type, BytesView body);
+  void transcript_add(BytesView framed);
+  Bytes transcript_hash() const;
+
+  // Server sub-steps.
+  TlsResult server_on_client_hello(const HandshakeHeader& msg);
+  TlsResult server_full_handshake_flight(const ClientHello& hello);
+  TlsResult server_resume_flight(const ClientHello& hello,
+                                 const SessionState& session);
+  TlsResult server_on_client_key_exchange(const HandshakeHeader& msg);
+  TlsResult server_on_client_finished(const HandshakeHeader& msg,
+                                      bool resumed);
+  // Client sub-steps.
+  TlsResult client_send_hello();
+  TlsResult client_on_server_hello(const HandshakeHeader& msg);
+  TlsResult client_on_server_flight(const HandshakeHeader& msg);
+  TlsResult client_send_second_flight();
+  TlsResult client_on_server_finished(const HandshakeHeader& msg,
+                                      bool resumed);
+
+  Status derive_and_install_keys();
+  void install_tx_keys();
+  void install_rx_keys();
+  Result<Bytes> finished_verify(const std::string& label);
+  void record_established_session();
+
+  TlsContext* ctx_;
+  RecordLayer records_;
+  asyncx::WaitCtx wait_ctx_;
+  asyncx::AsyncJob* job_ = nullptr;
+
+  HsState hs_state_ = HsState::kStart;
+  ProtocolVersion version_ = ProtocolVersion::kTls12;
+  CipherSuite suite_ = CipherSuite::kTlsRsaWithAes128CbcSha;
+  bool resumed_ = false;
+
+  Bytes client_random_;
+  Bytes server_random_;
+  Bytes session_id_;
+  Bytes premaster_;
+  Bytes master_secret_;
+  SessionKeys session_keys_;
+  bool keys_derived_ = false;
+  engine::KeyShare ecdhe_share_;     // our ephemeral share
+  Bytes peer_point_;                 // peer ECDSA public key (client side)
+  bool peer_ecdsa_p384_ = false;     // which prime curve signed the SKE
+  CurveId ske_curve_ = CurveId::kP256;  // ECDHE group from ServerKeyExchange
+  Bytes server_kx_point_;            // server ephemeral point (client side)
+  RsaPublicKey peer_rsa_;            // client: server's key from Certificate
+  Bytes transcript_;                 // running handshake transcript
+  std::optional<ClientSession> offered_session_;
+  std::optional<ClientSession> established_session_;
+  Bytes pending_ticket_;             // client: ticket received this handshake
+
+  // TLS 1.3 state (AES-GCM record protection, RFC 8446 §7.3).
+  Tls13Secrets secrets13_;
+  Bytes resumption_master13_;  // "res master" of the completed handshake
+  AeadKeys client_hs_keys13_, server_hs_keys13_;
+  AeadKeys client_app_keys13_, server_app_keys13_;
+
+  // Buffer of handshake messages extracted from records but not consumed.
+  Bytes hs_buffer_;
+
+  // Entry-point scratch: parameters of the in-flight read()/write() call so
+  // the fiber can be resumed by re-invoking the same entry point.
+  Bytes* read_out_ = nullptr;
+  Bytes write_data_;
+
+  OpCounters ops_;
+};
+
+}  // namespace qtls::tls

@@ -1,0 +1,71 @@
+// TlsContext: per-role (server/client) long-lived configuration — the
+// SSL_CTX analogue. Owns credentials, cipher preferences, the session cache
+// / ticket keys, and the crypto provider binding (software or QAT engine).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "engine/provider.h"
+#include "tls/session.h"
+#include "tls/types.h"
+
+namespace qtls::tls {
+
+struct ServerCredentials {
+  const RsaPrivateKey* rsa_key = nullptr;        // TLS-RSA / *-RSA suites
+  const EcKeyPair* ecdsa_p256 = nullptr;         // ECDHE-ECDSA
+  const EcKeyPair* ecdsa_p384 = nullptr;
+};
+
+struct TlsContextConfig {
+  bool is_server = false;
+  // Run TLS operations inside fiber async jobs so crypto offload pauses
+  // surface as kWantAsync (the QTLS framework). With false, offloaded ops
+  // block in place (straight offload) and software ops just compute.
+  bool async_mode = false;
+  std::vector<CipherSuite> cipher_suites = {
+      CipherSuite::kTlsRsaWithAes128CbcSha};
+  CurveId curve = CurveId::kP256;
+  // Server: issue session tickets (else session-ID cache only).
+  bool use_session_tickets = false;
+  uint64_t session_lifetime_ms = 3'600'000;
+  uint64_t drbg_seed = 0x746c73637478ULL;
+};
+
+class TlsContext {
+ public:
+  TlsContext(TlsContextConfig config, engine::CryptoProvider* provider);
+
+  const TlsContextConfig& config() const { return config_; }
+  bool is_server() const { return config_.is_server; }
+  engine::CryptoProvider* provider() const { return provider_; }
+
+  ServerCredentials& credentials() { return creds_; }
+  const ServerCredentials& credentials() const { return creds_; }
+
+  SessionCache& session_cache() { return session_cache_; }
+  const TicketKeeper& tickets() const { return tickets_; }
+  HmacDrbg& rng() { return rng_; }
+
+  // Injectable clock (milliseconds) so session expiry is testable.
+  void set_clock(std::function<uint64_t()> clock) { clock_ = std::move(clock); }
+  uint64_t now_ms() const { return clock_(); }
+
+  // Picks the first mutually supported suite; nullopt on no overlap.
+  std::optional<CipherSuite> select_suite(
+      const std::vector<CipherSuite>& client_offer) const;
+
+ private:
+  TlsContextConfig config_;
+  engine::CryptoProvider* provider_;
+  ServerCredentials creds_;
+  SessionCache session_cache_;
+  TicketKeeper tickets_;
+  HmacDrbg rng_;
+  std::function<uint64_t()> clock_;
+};
+
+}  // namespace qtls::tls

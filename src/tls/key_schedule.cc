@@ -1,0 +1,133 @@
+#include "tls/key_schedule.h"
+
+#include "crypto/kdf.h"
+
+namespace qtls::tls {
+
+Result<Bytes> tls12_master_secret(engine::CryptoProvider* provider,
+                                  HashAlg prf, BytesView premaster,
+                                  BytesView client_random,
+                                  BytesView server_random) {
+  Bytes seed(client_random.begin(), client_random.end());
+  append(seed, server_random);
+  return provider->prf_tls12(prf, premaster, "master secret", seed,
+                             kMasterSecretSize);
+}
+
+Result<SessionKeys> tls12_key_expansion(engine::CryptoProvider* provider,
+                                        const CipherSuiteInfo& suite,
+                                        BytesView master,
+                                        BytesView client_random,
+                                        BytesView server_random) {
+  // key_block = PRF(master, "key expansion", server_random + client_random)
+  Bytes seed(server_random.begin(), server_random.end());
+  append(seed, client_random);
+  const size_t need = 2 * suite.mac_key_len + 2 * suite.enc_key_len;
+  QTLS_ASSIGN_OR_RETURN(
+      Bytes block,
+      provider->prf_tls12(suite.prf_hash, master, "key expansion", seed, need));
+
+  SessionKeys keys;
+  size_t off = 0;
+  auto take = [&](size_t n) {
+    Bytes out(block.begin() + static_cast<ptrdiff_t>(off),
+              block.begin() + static_cast<ptrdiff_t>(off + n));
+    off += n;
+    return out;
+  };
+  keys.client_write.mac_key = take(suite.mac_key_len);
+  keys.server_write.mac_key = take(suite.mac_key_len);
+  keys.client_write.enc_key = take(suite.enc_key_len);
+  keys.server_write.enc_key = take(suite.enc_key_len);
+  keys.client_write.mac_alg = suite.mac_alg;
+  keys.server_write.mac_alg = suite.mac_alg;
+  return keys;
+}
+
+Result<Bytes> tls12_finished_verify(engine::CryptoProvider* provider,
+                                    HashAlg prf, BytesView master,
+                                    const std::string& label,
+                                    BytesView transcript_hash) {
+  return provider->prf_tls12(prf, master, label, transcript_hash,
+                             kVerifyDataSize);
+}
+
+// --------------------------------------------------------------- TLS 1.3 ---
+
+Tls13Secrets tls13_handshake_secrets(HashAlg alg, BytesView ecdhe_shared,
+                                     BytesView transcript_hash_ch_sh,
+                                     BytesView psk) {
+  Tls13Secrets s;
+  const Bytes zeros(hash_digest_size(alg), 0);
+  const Bytes empty_hash = hash(alg, {});
+
+  const Bytes early = hkdf_extract(alg, {}, psk.empty() ? zeros : Bytes(psk.begin(), psk.end()));
+  ++s.hkdf_ops;
+  const Bytes derived = tls13_derive_secret(alg, early, "derived", empty_hash);
+  ++s.hkdf_ops;
+  s.handshake_secret = hkdf_extract(alg, derived, ecdhe_shared);
+  ++s.hkdf_ops;
+  s.client_hs_traffic = tls13_derive_secret(alg, s.handshake_secret,
+                                            "c hs traffic",
+                                            transcript_hash_ch_sh);
+  ++s.hkdf_ops;
+  s.server_hs_traffic = tls13_derive_secret(alg, s.handshake_secret,
+                                            "s hs traffic",
+                                            transcript_hash_ch_sh);
+  ++s.hkdf_ops;
+  const Bytes derived2 =
+      tls13_derive_secret(alg, s.handshake_secret, "derived", empty_hash);
+  ++s.hkdf_ops;
+  s.master_secret = hkdf_extract(alg, derived2, zeros);
+  ++s.hkdf_ops;
+  return s;
+}
+
+void tls13_application_secrets(HashAlg alg, Tls13Secrets* secrets,
+                               BytesView transcript_hash_full) {
+  secrets->client_app_traffic = tls13_derive_secret(
+      alg, secrets->master_secret, "c ap traffic", transcript_hash_full);
+  ++secrets->hkdf_ops;
+  secrets->server_app_traffic = tls13_derive_secret(
+      alg, secrets->master_secret, "s ap traffic", transcript_hash_full);
+  ++secrets->hkdf_ops;
+}
+
+AeadKeys tls13_aead_keys(HashAlg alg, BytesView traffic_secret,
+                         const CipherSuiteInfo& suite, int* hkdf_ops) {
+  AeadKeys keys;
+  keys.key =
+      hkdf_expand_label(alg, traffic_secret, "key", {}, suite.enc_key_len);
+  keys.iv = hkdf_expand_label(alg, traffic_secret, "iv", {}, 12);
+  if (hkdf_ops) *hkdf_ops += 2;
+  return keys;
+}
+
+CbcHmacKeys tls13_traffic_keys(HashAlg alg, BytesView traffic_secret,
+                               const CipherSuiteInfo& suite, int* hkdf_ops) {
+  CbcHmacKeys keys;
+  keys.enc_key =
+      hkdf_expand_label(alg, traffic_secret, "key", {}, suite.enc_key_len);
+  keys.mac_key =
+      hkdf_expand_label(alg, traffic_secret, "mac", {}, suite.mac_key_len);
+  keys.mac_alg = suite.mac_alg;
+  if (hkdf_ops) *hkdf_ops += 2;
+  return keys;
+}
+
+Bytes tls13_resumption_master(HashAlg alg, BytesView master_secret,
+                              BytesView transcript_hash_full, int* hkdf_ops) {
+  if (hkdf_ops) ++*hkdf_ops;
+  return tls13_derive_secret(alg, master_secret, "res master",
+                             transcript_hash_full);
+}
+
+Bytes tls13_finished_verify(HashAlg alg, BytesView traffic_secret,
+                            BytesView transcript_hash, int* hkdf_ops) {
+  const Bytes finished_key = hkdf_expand_label(alg, traffic_secret, "finished",
+                                               {}, hash_digest_size(alg));
+  if (hkdf_ops) *hkdf_ops += 1;
+  return hmac(alg, finished_key, transcript_hash);
+}
+
+}  // namespace qtls::tls

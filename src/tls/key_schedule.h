@@ -1,0 +1,87 @@
+// Key derivation for both protocol versions.
+//
+// TLS 1.2 (RFC 5246): PRF-based — master secret, key block, Finished verify
+// data. Every PRF call goes through the crypto provider, so in offload
+// configurations these are the R_prf requests of §4.3 and Table 1's 4 PRF
+// ops per full handshake (master + key expansion + 2 Finished).
+//
+// TLS 1.3 (RFC 8446 shape): HKDF-based key schedule. Deliberately computed
+// directly (NOT through the provider): the paper's §5.2 explains HKDF cannot
+// be offloaded through the QAT Engine, which is why Fig. 8's gain is lower.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "tls/record.h"
+#include "engine/provider.h"
+#include "tls/types.h"
+
+namespace qtls::tls {
+
+struct SessionKeys {
+  CbcHmacKeys client_write;  // client -> server protection
+  CbcHmacKeys server_write;  // server -> client protection
+};
+
+// --- TLS 1.2 ---------------------------------------------------------------
+
+Result<Bytes> tls12_master_secret(engine::CryptoProvider* provider,
+                                  HashAlg prf, BytesView premaster,
+                                  BytesView client_random,
+                                  BytesView server_random);
+
+Result<SessionKeys> tls12_key_expansion(engine::CryptoProvider* provider,
+                                        const CipherSuiteInfo& suite,
+                                        BytesView master,
+                                        BytesView client_random,
+                                        BytesView server_random);
+
+// verify_data for a Finished message ("client finished"/"server finished").
+Result<Bytes> tls12_finished_verify(engine::CryptoProvider* provider,
+                                    HashAlg prf, BytesView master,
+                                    const std::string& label,
+                                    BytesView transcript_hash);
+
+// --- TLS 1.3 ---------------------------------------------------------------
+
+struct Tls13Secrets {
+  Bytes handshake_secret;
+  Bytes client_hs_traffic;
+  Bytes server_hs_traffic;
+  Bytes master_secret;
+  Bytes client_app_traffic;
+  Bytes server_app_traffic;
+  // Count of HKDF invocations performed (for the Fig. 8 cost accounting).
+  int hkdf_ops = 0;
+};
+
+// Runs the schedule up to the handshake traffic secrets. `psk` is empty for
+// a full handshake; for resumption it is the resumption master secret from
+// the NewSessionTicket (psk_dhe_ke: PSK feeds the early secret, the fresh
+// ECDHE share feeds the handshake secret — forward secrecy is kept).
+Tls13Secrets tls13_handshake_secrets(HashAlg alg, BytesView ecdhe_shared,
+                                     BytesView transcript_hash_ch_sh,
+                                     BytesView psk = {});
+// Resumption master secret (RFC 8446 §7.1 "res master"), sealed into
+// TLS 1.3 tickets.
+Bytes tls13_resumption_master(HashAlg alg, BytesView master_secret,
+                              BytesView transcript_hash_full, int* hkdf_ops);
+// Extends with application traffic secrets (transcript through server
+// Finished).
+void tls13_application_secrets(HashAlg alg, Tls13Secrets* secrets,
+                               BytesView transcript_hash_full);
+
+// Traffic secret -> record protection keys. The AEAD form (RFC 8446 §7.3:
+// "key" + "iv" expansions) is the TLS 1.3 path; the CBC-HMAC form is kept
+// for tests that exercise the legacy transform.
+AeadKeys tls13_aead_keys(HashAlg alg, BytesView traffic_secret,
+                         const CipherSuiteInfo& suite, int* hkdf_ops);
+CbcHmacKeys tls13_traffic_keys(HashAlg alg, BytesView traffic_secret,
+                               const CipherSuiteInfo& suite, int* hkdf_ops);
+
+// Finished verify data: HMAC(finished_key, transcript_hash).
+Bytes tls13_finished_verify(HashAlg alg, BytesView traffic_secret,
+                            BytesView transcript_hash, int* hkdf_ops);
+
+}  // namespace qtls::tls

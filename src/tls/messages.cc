@@ -1,0 +1,223 @@
+#include "tls/messages.h"
+
+#include "crypto/hash.h"
+
+namespace qtls::tls {
+
+Bytes frame_handshake(HandshakeType type, BytesView body) {
+  Bytes out;
+  out.reserve(4 + body.size());
+  append_u8(out, static_cast<uint8_t>(type));
+  append_u24(out, static_cast<uint32_t>(body.size()));
+  append(out, body);
+  return out;
+}
+
+Result<HandshakeHeader> parse_handshake(BytesView data, size_t* consumed) {
+  if (data.size() < 4)
+    return err(Code::kProtocolError, "truncated handshake header");
+  ByteReader r(data);
+  const auto type = static_cast<HandshakeType>(r.u8());
+  const uint32_t len = r.u24();
+  if (data.size() < 4 + len)
+    return err(Code::kProtocolError, "truncated handshake body");
+  HandshakeHeader h;
+  h.type = type;
+  h.body = r.bytes(len);
+  *consumed = 4 + len;
+  return h;
+}
+
+// ---------------------------------------------------------------- hello ----
+
+Bytes ClientHello::encode() const {
+  Bytes out;
+  append_u16(out, static_cast<uint16_t>(version));
+  append(out, random);
+  append_u8(out, static_cast<uint8_t>(session_id.size()));
+  append(out, session_id);
+  append_u16(out, static_cast<uint16_t>(cipher_suites.size() * 2));
+  for (CipherSuite s : cipher_suites) append_u16(out, static_cast<uint16_t>(s));
+  append_u8(out, static_cast<uint8_t>(curve));
+  append_u16(out, static_cast<uint16_t>(session_ticket.size()));
+  append(out, session_ticket);
+  append_u16(out, static_cast<uint16_t>(key_share.size()));
+  append(out, key_share);
+  return out;
+}
+
+Result<ClientHello> ClientHello::parse(BytesView body) {
+  ByteReader r(body);
+  ClientHello h;
+  h.version = static_cast<ProtocolVersion>(r.u16());
+  h.random = r.bytes(kRandomSize);
+  h.session_id = r.bytes(r.u8());
+  const uint16_t suites_len = r.u16();
+  if (suites_len % 2 != 0)
+    return err(Code::kProtocolError, "odd cipher suite length");
+  for (int i = 0; i < suites_len / 2; ++i)
+    h.cipher_suites.push_back(static_cast<CipherSuite>(r.u16()));
+  h.curve = static_cast<CurveId>(r.u8());
+  h.session_ticket = r.bytes(r.u16());
+  h.key_share = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed ClientHello");
+  return h;
+}
+
+Bytes ServerHello::encode() const {
+  Bytes out;
+  append_u16(out, static_cast<uint16_t>(version));
+  append(out, random);
+  append_u8(out, static_cast<uint8_t>(session_id.size()));
+  append(out, session_id);
+  append_u16(out, static_cast<uint16_t>(cipher_suite));
+  append_u8(out, resumed ? 1 : 0);
+  append_u16(out, static_cast<uint16_t>(key_share.size()));
+  append(out, key_share);
+  return out;
+}
+
+Result<ServerHello> ServerHello::parse(BytesView body) {
+  ByteReader r(body);
+  ServerHello h;
+  h.version = static_cast<ProtocolVersion>(r.u16());
+  h.random = r.bytes(kRandomSize);
+  h.session_id = r.bytes(r.u8());
+  h.cipher_suite = static_cast<CipherSuite>(r.u16());
+  h.resumed = r.u8() != 0;
+  h.key_share = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed ServerHello");
+  return h;
+}
+
+// ---------------------------------------------------------- certificate ----
+
+Bytes CertificateMsg::encode() const {
+  Bytes out;
+  append_u8(out, static_cast<uint8_t>(cred_type));
+  append_u16(out, static_cast<uint16_t>(public_key.size()));
+  append(out, public_key);
+  return out;
+}
+
+Result<CertificateMsg> CertificateMsg::parse(BytesView body) {
+  ByteReader r(body);
+  CertificateMsg m;
+  m.cred_type = static_cast<CredentialType>(r.u8());
+  m.public_key = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed Certificate");
+  return m;
+}
+
+Bytes CertificateMsg::encode_rsa_key(const RsaPublicKey& key) {
+  Bytes out;
+  const Bytes n = key.n.to_bytes_be();
+  const Bytes e = key.e.to_bytes_be();
+  append_u16(out, static_cast<uint16_t>(n.size()));
+  append(out, n);
+  append_u16(out, static_cast<uint16_t>(e.size()));
+  append(out, e);
+  return out;
+}
+
+Result<RsaPublicKey> CertificateMsg::decode_rsa_key(BytesView blob) {
+  ByteReader r(blob);
+  RsaPublicKey key;
+  key.n = Bignum::from_bytes_be(r.bytes(r.u16()));
+  key.e = Bignum::from_bytes_be(r.bytes(r.u16()));
+  if (!r.ok() || key.n.is_zero() || key.e.is_zero())
+    return err(Code::kProtocolError, "malformed RSA key");
+  return key;
+}
+
+// ------------------------------------------------------- key exchange ----
+
+Bytes ServerKeyExchange::encode() const {
+  Bytes out;
+  append_u8(out, static_cast<uint8_t>(curve));
+  append_u16(out, static_cast<uint16_t>(point.size()));
+  append(out, point);
+  append_u16(out, static_cast<uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+Result<ServerKeyExchange> ServerKeyExchange::parse(BytesView body) {
+  ByteReader r(body);
+  ServerKeyExchange m;
+  m.curve = static_cast<CurveId>(r.u8());
+  m.point = r.bytes(r.u16());
+  m.signature = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed ServerKeyExchange");
+  return m;
+}
+
+Bytes ServerKeyExchange::signed_digest(HashAlg alg, BytesView client_random,
+                                       BytesView server_random, CurveId curve,
+                                       BytesView point) {
+  auto ctx = make_hash(alg);
+  ctx->update(client_random);
+  ctx->update(server_random);
+  const uint8_t c = static_cast<uint8_t>(curve);
+  ctx->update(BytesView(&c, 1));
+  ctx->update(point);
+  return ctx->finish();
+}
+
+Bytes ClientKeyExchange::encode() const {
+  Bytes out;
+  append_u16(out, static_cast<uint16_t>(exchange_data.size()));
+  append(out, exchange_data);
+  return out;
+}
+
+Result<ClientKeyExchange> ClientKeyExchange::parse(BytesView body) {
+  ByteReader r(body);
+  ClientKeyExchange m;
+  m.exchange_data = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed ClientKeyExchange");
+  return m;
+}
+
+// ------------------------------------------------------------- tickets ----
+
+Bytes NewSessionTicketMsg::encode() const {
+  Bytes out;
+  append_u32(out, lifetime_seconds);
+  append_u16(out, static_cast<uint16_t>(ticket.size()));
+  append(out, ticket);
+  return out;
+}
+
+Result<NewSessionTicketMsg> NewSessionTicketMsg::parse(BytesView body) {
+  ByteReader r(body);
+  NewSessionTicketMsg m;
+  m.lifetime_seconds = r.u32();
+  m.ticket = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed NewSessionTicket");
+  return m;
+}
+
+Bytes CertificateVerifyMsg::encode() const {
+  Bytes out;
+  append_u16(out, static_cast<uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+Result<CertificateVerifyMsg> CertificateVerifyMsg::parse(BytesView body) {
+  ByteReader r(body);
+  CertificateVerifyMsg m;
+  m.signature = r.bytes(r.u16());
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "malformed CertificateVerify");
+  return m;
+}
+
+}  // namespace qtls::tls

@@ -1,0 +1,112 @@
+// Handshake message encodings. Framing is standard TLS (1-byte type, 24-bit
+// length); bodies are TLS-shaped but simplified (no X.509 — the Certificate
+// message carries a raw public key; a single named curve instead of a list).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/rsa.h"
+#include "tls/types.h"
+
+namespace qtls::tls {
+
+// type + u24 length framing.
+Bytes frame_handshake(HandshakeType type, BytesView body);
+
+struct HandshakeHeader {
+  HandshakeType type;
+  Bytes body;
+};
+// Parses one framed message from `data`, advancing `*consumed`.
+Result<HandshakeHeader> parse_handshake(BytesView data, size_t* consumed);
+
+// --------------------------------------------------------------------------
+
+struct ClientHello {
+  ProtocolVersion version = ProtocolVersion::kTls12;
+  Bytes random;                         // 32 bytes
+  Bytes session_id;                     // empty or 32 bytes (resumption)
+  std::vector<CipherSuite> cipher_suites;
+  CurveId curve = CurveId::kP256;       // offered ECDHE group
+  Bytes session_ticket;                 // empty = no ticket extension
+  // TLS 1.3 key share (empty when offering 1.2 only).
+  Bytes key_share;
+
+  Bytes encode() const;
+  static Result<ClientHello> parse(BytesView body);
+};
+
+struct ServerHello {
+  ProtocolVersion version = ProtocolVersion::kTls12;
+  Bytes random;
+  Bytes session_id;
+  CipherSuite cipher_suite = CipherSuite::kTlsRsaWithAes128CbcSha;
+  bool resumed = false;
+  Bytes key_share;  // TLS 1.3
+
+  Bytes encode() const;
+  static Result<ServerHello> parse(BytesView body);
+};
+
+enum class CredentialType : uint8_t { kRsa = 0, kEcdsaP256 = 1, kEcdsaP384 = 2 };
+
+// Simplified certificate: the server's raw public key.
+struct CertificateMsg {
+  CredentialType cred_type = CredentialType::kRsa;
+  Bytes public_key;  // RSA: u16 n_len || n || u16 e_len || e; EC: SEC1 point
+
+  Bytes encode() const;
+  static Result<CertificateMsg> parse(BytesView body);
+
+  static Bytes encode_rsa_key(const RsaPublicKey& key);
+  static Result<RsaPublicKey> decode_rsa_key(BytesView blob);
+};
+
+struct ServerKeyExchange {
+  CurveId curve = CurveId::kP256;
+  Bytes point;      // server ephemeral public point
+  Bytes signature;  // over client_random || server_random || curve || point
+
+  Bytes encode() const;
+  static Result<ServerKeyExchange> parse(BytesView body);
+  // The digest the signature covers.
+  static Bytes signed_digest(HashAlg alg, BytesView client_random,
+                             BytesView server_random, CurveId curve,
+                             BytesView point);
+};
+
+struct ClientKeyExchange {
+  // RSA kx: encrypted premaster; ECDHE kx: client ephemeral point.
+  Bytes exchange_data;
+
+  Bytes encode() const;
+  static Result<ClientKeyExchange> parse(BytesView body);
+};
+
+struct FinishedMsg {
+  Bytes verify_data;
+
+  Bytes encode() const { return verify_data; }
+  static Result<FinishedMsg> parse(BytesView body) {
+    return FinishedMsg{Bytes(body.begin(), body.end())};
+  }
+};
+
+struct NewSessionTicketMsg {
+  uint32_t lifetime_seconds = 3600;
+  Bytes ticket;
+
+  Bytes encode() const;
+  static Result<NewSessionTicketMsg> parse(BytesView body);
+};
+
+struct CertificateVerifyMsg {  // TLS 1.3
+  Bytes signature;
+
+  Bytes encode() const;
+  static Result<CertificateVerifyMsg> parse(BytesView body);
+};
+
+}  // namespace qtls::tls

@@ -1,0 +1,202 @@
+#include "tls/record.h"
+
+#include "common/log.h"
+#include "crypto/gcm.h"
+
+namespace qtls::tls {
+
+namespace {
+constexpr size_t kHeaderSize = 5;
+constexpr size_t kIvSize = 16;
+// Encrypted records grow by IV + MAC + padding; generous bound for parsing.
+constexpr size_t kMaxCiphertextFragment = kMaxPlaintextFragment + 1024;
+}  // namespace
+
+RecordLayer::RecordLayer(Transport* transport,
+                         engine::CryptoProvider* provider, HmacDrbg* iv_rng)
+    : transport_(transport), provider_(provider), iv_rng_(iv_rng) {}
+
+Status RecordLayer::queue(ContentType type, BytesView payload) {
+  // Fragment: a payload larger than 16 KB becomes multiple records — each
+  // one is one chained-cipher op once encryption is on (paper §5.4:
+  // "one 128 KB file incurs eight cipher operations").
+  if (payload.empty()) return queue_one(type, payload);
+  size_t off = 0;
+  while (off < payload.size()) {
+    const size_t take = std::min(kMaxPlaintextFragment, payload.size() - off);
+    QTLS_RETURN_IF_ERROR(queue_one(type, payload.subspan(off, take)));
+    off += take;
+  }
+  return Status::ok();
+}
+
+namespace {
+// RFC 8446 §5.3 nonce derivation: the 64-bit sequence number XORed into the
+// low-order bytes of the static IV.
+Bytes aead_nonce(const Bytes& iv, uint64_t seq) {
+  Bytes nonce = iv;
+  for (int i = 0; i < 8; ++i)
+    nonce[nonce.size() - 1 - static_cast<size_t>(i)] ^=
+        static_cast<uint8_t>(seq >> (8 * i));
+  return nonce;
+}
+}  // namespace
+
+Status RecordLayer::queue_one(ContentType type, BytesView fragment) {
+  Bytes wire_payload;
+  if (tx_.kind == DirectionState::Kind::kCbcHmac) {
+    Bytes header;
+    append_u8(header, static_cast<uint8_t>(type));
+    append_u16(header, static_cast<uint16_t>(ProtocolVersion::kTls12));
+    append_u16(header, static_cast<uint16_t>(fragment.size()));
+    Bytes iv(kIvSize);
+    iv_rng_->generate(iv.data(), iv.size());
+    QTLS_ASSIGN_OR_RETURN(
+        Bytes sealed,
+        provider_->cipher_seal(tx_.keys, tx_.seq, header, iv, fragment));
+    ++tx_.seq;
+    wire_payload = std::move(iv);
+    append(wire_payload, sealed);
+  } else if (tx_.kind == DirectionState::Kind::kAead) {
+    // AAD is the outer record header carrying the protected length.
+    Bytes aad;
+    append_u8(aad, static_cast<uint8_t>(type));
+    append_u16(aad, static_cast<uint16_t>(ProtocolVersion::kTls12));
+    append_u16(aad, static_cast<uint16_t>(fragment.size() + kGcmTagSize));
+    const Bytes nonce = aead_nonce(tx_.aead.iv, tx_.seq);
+    QTLS_ASSIGN_OR_RETURN(
+        Bytes sealed, provider_->aead_seal(tx_.aead.key, nonce, aad, fragment));
+    ++tx_.seq;
+    wire_payload = std::move(sealed);
+  } else {
+    wire_payload.assign(fragment.begin(), fragment.end());
+  }
+
+  append_u8(send_buffer_, static_cast<uint8_t>(type));
+  append_u16(send_buffer_, static_cast<uint16_t>(ProtocolVersion::kTls12));
+  append_u16(send_buffer_, static_cast<uint16_t>(wire_payload.size()));
+  append(send_buffer_, wire_payload);
+  ++records_sent_;
+  return Status::ok();
+}
+
+TlsResult RecordLayer::flush() {
+  while (send_offset_ < send_buffer_.size()) {
+    const IoResult io = transport_->write(send_buffer_.data() + send_offset_,
+                                          send_buffer_.size() - send_offset_);
+    switch (io.status) {
+      case IoStatus::kOk:
+        send_offset_ += io.bytes;
+        break;
+      case IoStatus::kWouldBlock:
+        return TlsResult::kWantWrite;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return TlsResult::kError;
+    }
+  }
+  send_buffer_.clear();
+  send_offset_ = 0;
+  return TlsResult::kOk;
+}
+
+RecordLayer::ReadOutcome RecordLayer::read_record() {
+  // Accumulate transport bytes until a full record is present.
+  for (;;) {
+    if (recv_buffer_.size() >= kHeaderSize) {
+      const size_t len = static_cast<size_t>(recv_buffer_[3]) << 8 |
+                         recv_buffer_[4];
+      if (len > kMaxCiphertextFragment)
+        return {TlsResult::kError, std::nullopt};
+      if (recv_buffer_.size() >= kHeaderSize + len) {
+        const auto type = static_cast<ContentType>(recv_buffer_[0]);
+        Bytes wire_payload(recv_buffer_.begin() + kHeaderSize,
+                           recv_buffer_.begin() +
+                               static_cast<ptrdiff_t>(kHeaderSize + len));
+        recv_buffer_.erase(recv_buffer_.begin(),
+                           recv_buffer_.begin() +
+                               static_cast<ptrdiff_t>(kHeaderSize + len));
+        Record record;
+        record.type = type;
+        if (rx_.kind == DirectionState::Kind::kAead) {
+          Bytes aad;
+          append_u8(aad, static_cast<uint8_t>(type));
+          append_u16(aad, static_cast<uint16_t>(ProtocolVersion::kTls12));
+          append_u16(aad, static_cast<uint16_t>(wire_payload.size()));
+          const Bytes nonce = aead_nonce(rx_.aead.iv, rx_.seq);
+          auto opened =
+              provider_->aead_open(rx_.aead.key, nonce, aad, wire_payload);
+          if (!opened.is_ok()) {
+            QTLS_WARN << "AEAD record open failed: "
+                      << opened.status().to_string();
+            return {TlsResult::kError, std::nullopt};
+          }
+          ++rx_.seq;
+          record.payload = std::move(opened).take();
+        } else if (rx_.kind == DirectionState::Kind::kCbcHmac) {
+          if (wire_payload.size() < kIvSize)
+            return {TlsResult::kError, std::nullopt};
+          BytesView iv(wire_payload.data(), kIvSize);
+          BytesView ct(wire_payload.data() + kIvSize,
+                       wire_payload.size() - kIvSize);
+          Bytes header3;
+          append_u8(header3, static_cast<uint8_t>(type));
+          append_u16(header3, static_cast<uint16_t>(ProtocolVersion::kTls12));
+          auto opened =
+              provider_->cipher_open(rx_.keys, rx_.seq, header3, iv, ct);
+          if (!opened.is_ok()) {
+            QTLS_WARN << "record open failed: "
+                      << opened.status().to_string();
+            return {TlsResult::kError, std::nullopt};
+          }
+          ++rx_.seq;
+          record.payload = std::move(opened).take();
+        } else {
+          record.payload = std::move(wire_payload);
+        }
+        ++records_received_;
+        return {TlsResult::kOk, std::move(record)};
+      }
+    }
+
+    uint8_t chunk[4096];
+    const IoResult io = transport_->read(chunk, sizeof(chunk));
+    switch (io.status) {
+      case IoStatus::kOk:
+        recv_buffer_.insert(recv_buffer_.end(), chunk, chunk + io.bytes);
+        break;
+      case IoStatus::kWouldBlock:
+        return {TlsResult::kWantRead, std::nullopt};
+      case IoStatus::kClosed:
+        return {TlsResult::kClosed, std::nullopt};
+      case IoStatus::kError:
+        return {TlsResult::kError, std::nullopt};
+    }
+  }
+}
+
+void RecordLayer::enable_encryption_tx(const CbcHmacKeys& keys) {
+  tx_.kind = DirectionState::Kind::kCbcHmac;
+  tx_.keys = keys;
+  tx_.seq = 0;
+}
+
+void RecordLayer::enable_encryption_rx(const CbcHmacKeys& keys) {
+  rx_.kind = DirectionState::Kind::kCbcHmac;
+  rx_.keys = keys;
+  rx_.seq = 0;
+}
+
+void RecordLayer::enable_encryption_tx(const AeadKeys& keys) {
+  tx_.kind = DirectionState::Kind::kAead;
+  tx_.aead = keys;
+  tx_.seq = 0;
+}
+
+void RecordLayer::enable_encryption_rx(const AeadKeys& keys) {
+  rx_.kind = DirectionState::Kind::kAead;
+  rx_.aead = keys;
+  rx_.seq = 0;
+}
+
+}  // namespace qtls::tls

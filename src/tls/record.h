@@ -1,0 +1,93 @@
+// TLS record layer: 5-byte header framing, 16 KB fragmentation (the unit the
+// paper's §5.4 counts cipher ops by), per-direction protection state with
+// explicit-IV CBC + HMAC, and non-blocking buffered transport I/O.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/kdf.h"
+#include "engine/provider.h"
+#include "tls/transport.h"
+#include "tls/types.h"
+
+namespace qtls::tls {
+
+struct Record {
+  ContentType type = ContentType::kHandshake;
+  Bytes payload;  // decrypted fragment
+};
+
+// AES-GCM record keys: traffic key + the static IV the per-record nonce is
+// derived from (RFC 8446 §5.3: nonce = iv XOR seq).
+struct AeadKeys {
+  Bytes key;  // 16 bytes
+  Bytes iv;   // 12 bytes
+};
+
+// Per-direction record protection state.
+struct DirectionState {
+  enum class Kind : uint8_t { kNone, kCbcHmac, kAead };
+  Kind kind = Kind::kNone;
+  CbcHmacKeys keys;
+  AeadKeys aead;
+  uint64_t seq = 0;
+};
+
+class RecordLayer {
+ public:
+  RecordLayer(Transport* transport, engine::CryptoProvider* provider,
+              HmacDrbg* iv_rng);
+
+  // Queue a plaintext fragment for sending (fragments > 16 KB are split).
+  // Encryption happens at queue time (counts cipher ops); the bytes then sit
+  // in the send buffer until flushed.
+  Status queue(ContentType type, BytesView payload);
+  // Push buffered bytes into the transport. kOk = drained, kWantWrite =
+  // transport backpressure.
+  TlsResult flush();
+  bool send_buffer_empty() const { return send_buffer_.empty(); }
+
+  // Try to read one complete record from the transport. nullopt with
+  // result kWantRead when bytes are not yet available.
+  struct ReadOutcome {
+    TlsResult result = TlsResult::kOk;
+    std::optional<Record> record;
+  };
+  ReadOutcome read_record();
+
+  void enable_encryption_tx(const CbcHmacKeys& keys);
+  void enable_encryption_rx(const CbcHmacKeys& keys);
+  void enable_encryption_tx(const AeadKeys& keys);
+  void enable_encryption_rx(const AeadKeys& keys);
+  bool tx_encrypted() const {
+    return tx_.kind != DirectionState::Kind::kNone;
+  }
+  bool rx_encrypted() const {
+    return rx_.kind != DirectionState::Kind::kNone;
+  }
+
+  uint64_t records_sent() const { return records_sent_; }
+  uint64_t records_received() const { return records_received_; }
+
+ private:
+  Status queue_one(ContentType type, BytesView fragment);
+
+  Transport* transport_;
+  engine::CryptoProvider* provider_;
+  HmacDrbg* iv_rng_;
+
+  DirectionState tx_;
+  DirectionState rx_;
+
+  Bytes send_buffer_;
+  size_t send_offset_ = 0;
+  Bytes recv_buffer_;
+
+  uint64_t records_sent_ = 0;
+  uint64_t records_received_ = 0;
+};
+
+}  // namespace qtls::tls

@@ -1,0 +1,124 @@
+#include "tls/session.h"
+
+#include "crypto/aes.h"
+#include "crypto/hash.h"
+
+namespace qtls::tls {
+
+namespace {
+std::string key_of(const Bytes& id) {
+  return std::string(id.begin(), id.end());
+}
+}  // namespace
+
+void SessionCache::put(const Bytes& session_id, SessionState state,
+                       uint64_t now_ms) {
+  state.created_at_ms = now_ms;
+  const std::string key = key_of(session_id);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second = Entry{std::move(state), lru_.begin()};
+    return;
+  }
+  if (map_.size() >= capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(state), lru_.begin()});
+}
+
+std::optional<SessionState> SessionCache::get(const Bytes& session_id,
+                                              uint64_t now_ms) {
+  auto it = map_.find(key_of(session_id));
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const SessionState& state = it->second.state;
+  if (now_ms - state.created_at_ms > lifetime_ms_) {
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  // Refresh LRU position.
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(it->first);
+  it->second.lru_it = lru_.begin();
+  ++hits_;
+  return state;
+}
+
+void SessionCache::remove(const Bytes& session_id) {
+  auto it = map_.find(key_of(session_id));
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+TicketKeeper::TicketKeeper(BytesView key_seed, uint64_t lifetime_ms)
+    : lifetime_ms_(lifetime_ms) {
+  // Derive independent enc/mac keys from the seed.
+  Bytes salt = to_bytes("qtls-ticket-key");
+  const Bytes prk = hkdf_extract(HashAlg::kSha256, salt, key_seed);
+  enc_key_ = hkdf_expand(HashAlg::kSha256, prk, to_bytes("enc"), 16);
+  mac_key_ = hkdf_expand(HashAlg::kSha256, prk, to_bytes("mac"), 32);
+}
+
+Bytes TicketKeeper::seal(const SessionState& state, uint64_t now_ms,
+                         HmacDrbg& iv_rng) const {
+  Bytes plain;
+  append_u16(plain, static_cast<uint16_t>(state.suite));
+  append_u64(plain, now_ms);
+  append_u16(plain, static_cast<uint16_t>(state.master_secret.size()));
+  append(plain, state.master_secret);
+  // PKCS7-ish pad to block size.
+  const size_t pad = 16 - plain.size() % 16;
+  plain.insert(plain.end(), pad, static_cast<uint8_t>(pad));
+
+  Bytes iv(16);
+  iv_rng.generate(iv.data(), iv.size());
+  Aes aes(enc_key_);
+  const Bytes ct = aes_cbc_encrypt(aes, iv, plain);
+
+  Bytes ticket = iv;
+  append(ticket, ct);
+  const Bytes tag = hmac(HashAlg::kSha256, mac_key_, ticket);
+  append(ticket, tag);
+  return ticket;
+}
+
+Result<SessionState> TicketKeeper::unseal(BytesView ticket,
+                                          uint64_t now_ms) const {
+  constexpr size_t kTagLen = 32;
+  constexpr size_t kIvLen = 16;
+  if (ticket.size() < kIvLen + 16 + kTagLen)
+    return err(Code::kCryptoError, "ticket too short");
+  BytesView body = ticket.subspan(0, ticket.size() - kTagLen);
+  BytesView tag = ticket.subspan(ticket.size() - kTagLen);
+  if (!ct_equal(tag, hmac(HashAlg::kSha256, mac_key_, body)))
+    return err(Code::kCryptoError, "ticket MAC mismatch");
+
+  Aes aes(enc_key_);
+  QTLS_ASSIGN_OR_RETURN(
+      Bytes plain,
+      aes_cbc_decrypt(aes, body.subspan(0, kIvLen), body.subspan(kIvLen)));
+  if (plain.empty() || plain.back() > 16 || plain.back() == 0)
+    return err(Code::kCryptoError, "bad ticket padding");
+  plain.resize(plain.size() - plain.back());
+
+  ByteReader r(plain);
+  SessionState state;
+  state.suite = static_cast<CipherSuite>(r.u16());
+  state.created_at_ms = r.u64();
+  state.master_secret = r.bytes(r.u16());
+  if (!r.ok()) return err(Code::kCryptoError, "bad ticket body");
+  if (now_ms - state.created_at_ms > lifetime_ms_)
+    return err(Code::kFailedPrecondition, "ticket expired");
+  return state;
+}
+
+}  // namespace qtls::tls

@@ -1,0 +1,74 @@
+// Session resumption state (paper §2.1, §5.3): both mechanisms —
+//  * session-ID cache: server-side map id -> {master secret, suite}
+//  * session tickets: self-contained state sealed under a server ticket key,
+//    so resumption needs no server-side store.
+// Lifetimes are enforced (the paper notes providers restrict ticket
+// lifetimes, generally under an hour, to bound the forward-secrecy loss).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/kdf.h"
+#include "tls/types.h"
+
+namespace qtls::tls {
+
+struct SessionState {
+  CipherSuite suite = CipherSuite::kTlsRsaWithAes128CbcSha;
+  Bytes master_secret;
+  uint64_t created_at_ms = 0;
+};
+
+// LRU session-ID cache with TTL. Single-threaded by design: one cache per
+// worker process, like Nginx's per-worker session cache default.
+class SessionCache {
+ public:
+  explicit SessionCache(size_t capacity = 10'000,
+                        uint64_t lifetime_ms = 3'600'000)
+      : capacity_(capacity), lifetime_ms_(lifetime_ms) {}
+
+  void put(const Bytes& session_id, SessionState state, uint64_t now_ms);
+  std::optional<SessionState> get(const Bytes& session_id, uint64_t now_ms);
+  void remove(const Bytes& session_id);
+  size_t size() const { return map_.size(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    SessionState state;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  size_t capacity_;
+  uint64_t lifetime_ms_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// Session tickets: seal/unseal SessionState under a ticket key (AES-128-CBC
+// + HMAC-SHA256, like the RFC 5077 recommended construction).
+class TicketKeeper {
+ public:
+  explicit TicketKeeper(BytesView key_seed, uint64_t lifetime_ms = 3'600'000);
+
+  Bytes seal(const SessionState& state, uint64_t now_ms, HmacDrbg& iv_rng) const;
+  // Fails on tamper or expiry.
+  Result<SessionState> unseal(BytesView ticket, uint64_t now_ms) const;
+
+ private:
+  Bytes enc_key_;
+  Bytes mac_key_;
+  uint64_t lifetime_ms_;
+};
+
+}  // namespace qtls::tls

@@ -1,0 +1,31 @@
+// Byte transport under the TLS record layer. Implementations: the in-memory
+// duplex pipe (net/memory_transport.h) used by unit/integration tests and
+// the non-blocking socket transport (net/socket_transport.h) used by the
+// example servers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qtls::tls {
+
+enum class IoStatus : uint8_t {
+  kOk,        // >= 1 byte transferred
+  kWouldBlock,
+  kClosed,    // orderly EOF (read side)
+  kError,
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  size_t bytes = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual IoResult read(uint8_t* buf, size_t len) = 0;
+  virtual IoResult write(const uint8_t* buf, size_t len) = 0;
+};
+
+}  // namespace qtls::tls

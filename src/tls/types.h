@@ -1,0 +1,85 @@
+// Shared TLS protocol types. The wire format is TLS-shaped (record framing,
+// handshake message framing, cipher-suite ids) but both ends are this stack;
+// see DESIGN.md §5 for the declared divergences (no X.509, CBC-HMAC record
+// protection also used for the TLS 1.3 experiments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/ec.h"
+#include "crypto/hash.h"
+
+namespace qtls::tls {
+
+enum class ContentType : uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+enum class HandshakeType : uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kNewSessionTicket = 4,
+  kEncryptedExtensions = 8,  // TLS 1.3
+  kCertificate = 11,
+  kServerKeyExchange = 12,
+  kCertificateVerify = 15,   // TLS 1.3
+  kServerHelloDone = 14,
+  kClientKeyExchange = 16,
+  kFinished = 20,
+};
+
+enum class ProtocolVersion : uint16_t {
+  kTls12 = 0x0303,
+  kTls13 = 0x0304,
+};
+
+// Cipher suites the paper evaluates. Values follow the IANA registry for
+// the TLS 1.2 suites; the TLS 1.3 entry uses the RFC 8446 AES128-GCM-SHA256
+// codepoint even though our record protection stays CBC-HMAC (divergence 5).
+enum class CipherSuite : uint16_t {
+  kTlsRsaWithAes128CbcSha = 0x002F,        // "TLS-RSA"
+  kEcdheRsaWithAes128CbcSha = 0xC013,      // "ECDHE-RSA"
+  kEcdheEcdsaWithAes128CbcSha = 0xC009,    // "ECDHE-ECDSA"
+  kTls13Aes128Sha256 = 0x1301,             // TLS 1.3 (ECDHE-RSA)
+};
+
+enum class KeyExchange : uint8_t { kRsa, kEcdheRsa, kEcdheEcdsa };
+
+struct CipherSuiteInfo {
+  CipherSuite id;
+  const char* name;
+  KeyExchange kx;
+  HashAlg prf_hash;       // PRF / transcript hash
+  HashAlg mac_alg;        // record MAC
+  size_t enc_key_len;     // AES key bytes
+  size_t mac_key_len;
+  bool tls13;
+};
+
+const CipherSuiteInfo& cipher_suite_info(CipherSuite suite);
+
+// Result codes surfaced by TlsConnection — the reproduction of OpenSSL's
+// SSL_get_error values the paper's Nginx patches dispatch on (§4.2):
+// kWantAsync is the new SSL_ERROR_WANT_ASYNC.
+enum class TlsResult : uint8_t {
+  kOk = 0,
+  kWantRead,    // need more transport bytes
+  kWantWrite,   // transport backpressure
+  kWantAsync,   // async crypto in flight: reschedule the SAME handler later
+  kClosed,      // clean shutdown from the peer
+  kError,
+};
+
+const char* tls_result_name(TlsResult r);
+
+constexpr size_t kMaxPlaintextFragment = 16 * 1024;  // RFC fragment limit
+constexpr size_t kRandomSize = 32;
+constexpr size_t kMasterSecretSize = 48;
+constexpr size_t kVerifyDataSize = 12;
+constexpr size_t kSessionIdSize = 32;
+
+}  // namespace qtls::tls

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include "asyncx/job.h"
+#include "asyncx/stack_async.h"
+#include "asyncx/wait_ctx.h"
+
+namespace qtls::asyncx {
+namespace {
+
+TEST(AsyncJob, RunsToCompletionWithoutPause) {
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  const JobStatus status =
+      start_job(&job, &wctx, &ret, [] { return 42; });
+  EXPECT_EQ(status, JobStatus::kFinished);
+  EXPECT_EQ(ret, 42);
+  EXPECT_EQ(job, nullptr);
+}
+
+TEST(AsyncJob, PauseAndResume) {
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  int phase = 0;
+  auto fn = [&phase] {
+    phase = 1;
+    pause_job();
+    phase = 2;
+    pause_job();
+    phase = 3;
+    return 7;
+  };
+  EXPECT_EQ(start_job(&job, &wctx, &ret, fn), JobStatus::kPaused);
+  EXPECT_EQ(phase, 1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(start_job(&job, &wctx, &ret, fn), JobStatus::kPaused);
+  EXPECT_EQ(phase, 2);
+  EXPECT_EQ(start_job(&job, &wctx, &ret, fn), JobStatus::kFinished);
+  EXPECT_EQ(phase, 3);
+  EXPECT_EQ(ret, 7);
+  EXPECT_EQ(job, nullptr);
+}
+
+TEST(AsyncJob, GetCurrentJobInsideAndOutside) {
+  EXPECT_EQ(get_current_job(), nullptr);
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  AsyncJob* seen = nullptr;
+  start_job(&job, &wctx, &ret, [&seen] {
+    seen = get_current_job();
+    return 0;
+  });
+  EXPECT_NE(seen, nullptr);
+  EXPECT_EQ(get_current_job(), nullptr);
+}
+
+TEST(AsyncJob, WaitCtxVisibleInsideJob) {
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  WaitCtx* seen = nullptr;
+  start_job(&job, &wctx, &ret, [&seen] {
+    seen = get_current_job()->wait_ctx();
+    return 0;
+  });
+  EXPECT_EQ(seen, &wctx);
+}
+
+TEST(AsyncJob, LocalStateSurvivesPause) {
+  // The whole point of fibers: locals (here a string built across pauses)
+  // survive on the job's private stack.
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  std::string result;
+  auto fn = [&result] {
+    std::string local = "a";
+    pause_job();
+    local += "b";
+    pause_job();
+    local += "c";
+    result = local;
+    return static_cast<int>(local.size());
+  };
+  while (start_job(&job, &wctx, &ret, fn) == JobStatus::kPaused) {
+  }
+  EXPECT_EQ(result, "abc");
+  EXPECT_EQ(ret, 3);
+}
+
+TEST(AsyncJob, ManyInterleavedJobs) {
+  // Interleave 16 paused jobs, resume round-robin — models concurrent
+  // offloaded connections in one worker.
+  constexpr int kJobs = 16;
+  AsyncJob* jobs[kJobs] = {};
+  WaitCtx wctxs[kJobs];
+  int rets[kJobs] = {};
+  int counters[kJobs] = {};
+  for (int i = 0; i < kJobs; ++i) {
+    auto fn = [&counters, i] {
+      for (int step = 0; step < 3; ++step) {
+        ++counters[i];
+        pause_job();
+      }
+      return i;
+    };
+    EXPECT_EQ(start_job(&jobs[i], &wctxs[i], &rets[i], fn),
+              JobStatus::kPaused);
+  }
+  int finished = 0;
+  while (finished < kJobs) {
+    for (int i = 0; i < kJobs; ++i) {
+      if (!jobs[i]) continue;
+      if (start_job(&jobs[i], &wctxs[i], &rets[i], nullptr) ==
+          JobStatus::kFinished) {
+        ++finished;
+        EXPECT_EQ(rets[i], i);
+        EXPECT_EQ(counters[i], 3);
+      }
+    }
+  }
+}
+
+TEST(AsyncJob, JobsAreRecycled) {
+  // Run a job to completion, remember pool size, run another: the pool must
+  // not grow (stack reuse).
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  start_job(&job, &wctx, &ret, [] { return 1; });
+  const size_t pool_after_first = pooled_jobs();
+  EXPECT_GE(pool_after_first, 1u);
+  start_job(&job, &wctx, &ret, [] { return 2; });
+  EXPECT_EQ(pooled_jobs(), pool_after_first);
+}
+
+TEST(AsyncJob, ContextSwapCounterAdvances) {
+  const uint64_t before = AsyncJob::total_context_swaps();
+  AsyncJob* job = nullptr;
+  WaitCtx wctx;
+  int ret = 0;
+  auto fn = [] {
+    pause_job();
+    return 0;
+  };
+  start_job(&job, &wctx, &ret, fn);   // swap in + pause swap out
+  start_job(&job, &wctx, &ret, fn);   // swap in + finish
+  EXPECT_GE(AsyncJob::total_context_swaps() - before, 3u);
+}
+
+TEST(WaitCtx, FdNotification) {
+  WaitCtx wctx;
+  EXPECT_FALSE(wctx.has_fd());
+  const int fd = wctx.ensure_fd();
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(wctx.has_fd());
+  EXPECT_EQ(wctx.ensure_fd(), fd);  // idempotent
+
+  // Signal makes the fd readable; observable through epoll like the
+  // application's I/O multiplexing would.
+  const int ep = epoll_create1(0);
+  ASSERT_GE(ep, 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  ASSERT_EQ(epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev), 0);
+
+  epoll_event out{};
+  EXPECT_EQ(epoll_wait(ep, &out, 1, 0), 0);  // nothing yet
+  wctx.signal_fd();
+  EXPECT_EQ(epoll_wait(ep, &out, 1, 100), 1);
+  wctx.clear_fd();
+  EXPECT_EQ(epoll_wait(ep, &out, 1, 0), 0);  // drained
+  close(ep);
+}
+
+TEST(WaitCtx, CallbackNotificationBypassesFd) {
+  WaitCtx wctx;
+  int called = 0;
+  wctx.set_callback([](void* arg) { ++*static_cast<int*>(arg); }, &called);
+  EXPECT_TRUE(wctx.has_callback());
+  EXPECT_TRUE(wctx.notify());
+  EXPECT_EQ(called, 1);
+}
+
+TEST(WaitCtx, NotifyPrefersCallbackOverFd) {
+  WaitCtx wctx;
+  wctx.ensure_fd();
+  int called = 0;
+  wctx.set_callback([](void* arg) { ++*static_cast<int*>(arg); }, &called);
+  EXPECT_TRUE(wctx.notify());
+  EXPECT_EQ(called, 1);
+  // FD must not have been signalled (kernel bypassed).
+  uint64_t value = 0;
+  EXPECT_LT(read(wctx.fd(), &value, sizeof(value)), 0);  // EAGAIN
+}
+
+TEST(WaitCtx, NotifyWithoutChannelsReturnsFalse) {
+  WaitCtx wctx;
+  EXPECT_FALSE(wctx.notify());
+}
+
+TEST(StackAsync, SlotLifecycle) {
+  StackAsyncSlot<int> slot;
+  EXPECT_TRUE(slot.idle());
+  slot.mark_inflight();
+  EXPECT_TRUE(slot.inflight());
+  slot.complete(99);
+  EXPECT_TRUE(slot.ready());
+  EXPECT_EQ(slot.take(), 99);
+  EXPECT_TRUE(slot.idle());
+}
+
+TEST(StackAsync, RetryPath) {
+  StackAsyncSlot<int> slot;
+  slot.mark_retry();
+  EXPECT_TRUE(slot.want_retry());
+  // Retry succeeds on second attempt.
+  slot.mark_inflight();
+  slot.complete(5);
+  EXPECT_EQ(slot.take(), 5);
+}
+
+TEST(StackAsync, ResetClearsState) {
+  StackAsyncSlot<std::string> slot;
+  slot.mark_inflight();
+  slot.complete("value");
+  slot.reset();
+  EXPECT_TRUE(slot.idle());
+}
+
+// The stack-async workflow of Figure 5, end to end: a fake "TLS API" driven
+// by the state flag, with careful skipping on re-entry.
+TEST(StackAsync, Figure5Workflow) {
+  StackAsyncSlot<int> slot;
+  int submissions = 0;
+  int pre_processing_runs = 0;
+
+  // Returns true when the API completed, false when paused.
+  auto tls_api = [&](bool ring_full) -> bool {
+    if (slot.idle() || slot.want_retry()) {
+      if (slot.idle()) ++pre_processing_runs;  // skipped on retry re-entry
+      if (ring_full) {
+        slot.mark_retry();
+        return false;
+      }
+      ++submissions;
+      slot.mark_inflight();
+      return false;
+    }
+    if (slot.inflight()) return false;  // response not yet retrieved
+    EXPECT_TRUE(slot.ready());
+    EXPECT_EQ(slot.take(), 1234);  // consume crypto result, jump over submit
+    return true;
+  };
+
+  EXPECT_FALSE(tls_api(true));   // first call: ring full -> retry flag
+  EXPECT_FALSE(tls_api(false));  // retry submission succeeds -> inflight
+  EXPECT_FALSE(tls_api(false));  // still inflight
+  slot.complete(1234);           // response callback
+  EXPECT_TRUE(tls_api(false));   // resumption consumes the result
+  EXPECT_EQ(submissions, 1);
+  EXPECT_EQ(pre_processing_runs, 1);
+}
+
+}  // namespace
+}  // namespace qtls::asyncx

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bn.h"
+#include "crypto/primes.h"
+#include "crypto/kdf.h"
+
+namespace qtls {
+namespace {
+
+Bignum random_bignum(Rng& rng, size_t max_limbs) {
+  const size_t n = 1 + rng.uniform(max_limbs);
+  Bytes bytes = rng.bytes(n * 8);
+  return Bignum::from_bytes_be(bytes);
+}
+
+TEST(Bignum, BytesRoundTrip) {
+  const Bignum a = Bignum::from_hex("0123456789abcdef00ff");
+  EXPECT_EQ(to_hex(a.to_bytes_be()), "0123456789abcdef00ff");
+  EXPECT_EQ(a.to_hex(), "0123456789abcdef00ff");
+  EXPECT_EQ(a.byte_length(), 10u);
+  EXPECT_EQ(a.bit_length(), 73u);
+}
+
+TEST(Bignum, ZeroBehaviour) {
+  const Bignum z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(to_hex(z.to_bytes_be()), "00");
+  EXPECT_EQ(Bignum::cmp(z, Bignum(0)), 0);
+}
+
+TEST(Bignum, PaddedBytes) {
+  const Bignum a(0xabcd);
+  EXPECT_EQ(to_hex(a.to_bytes_be(4)), "0000abcd");
+}
+
+TEST(Bignum, AddSubInverse) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const Bignum a = random_bignum(rng, 6);
+    const Bignum b = random_bignum(rng, 6);
+    const Bignum s = Bignum::add(a, b);
+    EXPECT_EQ(Bignum::sub(s, b), a);
+    EXPECT_EQ(Bignum::sub(s, a), b);
+  }
+}
+
+TEST(Bignum, AddCarriesAcrossLimbs) {
+  const Bignum a = Bignum::from_hex("ffffffffffffffffffffffffffffffff");
+  const Bignum one(1);
+  EXPECT_EQ(Bignum::add(a, one).to_hex(), "0100000000000000000000000000000000");
+}
+
+TEST(Bignum, MulMatchesSmall) {
+  EXPECT_EQ(Bignum::mul(Bignum(123456789), Bignum(987654321)).low_u64(),
+            123456789ULL * 987654321ULL);
+  EXPECT_TRUE(Bignum::mul(Bignum(0), Bignum(55)).is_zero());
+}
+
+TEST(Bignum, MulCommutativeAssociative) {
+  Rng rng(43);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = random_bignum(rng, 4);
+    const Bignum b = random_bignum(rng, 4);
+    const Bignum c = random_bignum(rng, 4);
+    EXPECT_EQ(Bignum::mul(a, b), Bignum::mul(b, a));
+    EXPECT_EQ(Bignum::mul(Bignum::mul(a, b), c),
+              Bignum::mul(a, Bignum::mul(b, c)));
+    // distributivity
+    EXPECT_EQ(Bignum::mul(a, Bignum::add(b, c)),
+              Bignum::add(Bignum::mul(a, b), Bignum::mul(a, c)));
+  }
+}
+
+TEST(Bignum, ShiftRoundTrip) {
+  Rng rng(44);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = random_bignum(rng, 5);
+    const size_t s = rng.uniform(200);
+    EXPECT_EQ(Bignum::shr(Bignum::shl(a, s), s), a);
+  }
+}
+
+TEST(Bignum, ShlIsMulByPow2) {
+  const Bignum a = Bignum::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(Bignum::shl(a, 13), Bignum::mul(a, Bignum(1 << 13)));
+}
+
+TEST(Bignum, DivModProperty) {
+  Rng rng(45);
+  for (int i = 0; i < 300; ++i) {
+    const Bignum a = random_bignum(rng, 8);
+    Bignum b = random_bignum(rng, 4);
+    if (b.is_zero()) b = Bignum(1);
+    const auto [q, r] = Bignum::divmod(a, b);
+    EXPECT_LT(Bignum::cmp(r, b), 0);
+    EXPECT_EQ(Bignum::add(Bignum::mul(q, b), r), a);
+  }
+}
+
+TEST(Bignum, DivModSingleLimb) {
+  const Bignum a = Bignum::from_hex("123456789abcdef0123456789abcdef0");
+  const auto [q, r] = Bignum::divmod(a, Bignum(1000003));
+  EXPECT_EQ(Bignum::add(Bignum::mul(q, Bignum(1000003)), r), a);
+}
+
+TEST(Bignum, DivByLargerGivesZero) {
+  const Bignum a(5);
+  const Bignum b = Bignum::from_hex("ffffffffffffffffff");
+  const auto [q, r] = Bignum::divmod(a, b);
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, a);
+}
+
+TEST(Bignum, DivisionByZeroThrows) {
+  EXPECT_THROW(Bignum::divmod(Bignum(5), Bignum()), std::invalid_argument);
+}
+
+TEST(Bignum, KnuthAddBackCase) {
+  // Divisor with top limb 0x8000.. and dividend shaped to stress qhat
+  // correction.
+  const Bignum b = Bignum::from_hex("80000000000000000000000000000001");
+  const Bignum a = Bignum::from_hex(
+      "7fffffffffffffffffffffffffffffff00000000000000000000000000000000");
+  const auto [q, r] = Bignum::divmod(a, b);
+  EXPECT_EQ(Bignum::add(Bignum::mul(q, b), r), a);
+  EXPECT_LT(Bignum::cmp(r, b), 0);
+}
+
+TEST(Bignum, ModExpSmall) {
+  // 3^7 mod 11 = 2187 mod 11 = 9
+  EXPECT_EQ(Bignum::mod_exp(Bignum(3), Bignum(7), Bignum(11)).low_u64(), 9u);
+  // x^0 = 1
+  EXPECT_TRUE(Bignum::mod_exp(Bignum(5), Bignum(0), Bignum(7)).is_one());
+  // 0^x = 0
+  EXPECT_TRUE(Bignum::mod_exp(Bignum(0), Bignum(5), Bignum(7)).is_zero());
+}
+
+TEST(Bignum, ModExpEvenModulus) {
+  // 5^3 mod 14 = 125 mod 14 = 13
+  EXPECT_EQ(Bignum::mod_exp(Bignum(5), Bignum(3), Bignum(14)).low_u64(), 13u);
+}
+
+TEST(Bignum, FermatLittleTheorem) {
+  // For prime p and gcd(a, p) = 1: a^(p-1) = 1 mod p.
+  const Bignum p = Bignum::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  Rng rng(46);
+  for (int i = 0; i < 5; ++i) {
+    const Bignum a = Bignum::mod(random_bignum(rng, 4), p);
+    if (a.is_zero()) continue;
+    EXPECT_TRUE(
+        Bignum::mod_exp(a, Bignum::sub(p, Bignum(1)), p).is_one());
+  }
+}
+
+TEST(Bignum, ModInverse) {
+  Rng rng(47);
+  const Bignum m = Bignum::from_hex("fffffffffffffffffffffffffffffff1");
+  for (int i = 0; i < 50; ++i) {
+    Bignum a = Bignum::mod(random_bignum(rng, 3), m);
+    if (a.is_zero()) continue;
+    const Bignum inv = Bignum::mod_inverse(a, m);
+    if (inv.is_zero()) continue;  // not invertible (shared factor)
+    EXPECT_TRUE(Bignum::mod_mul(a, inv, m).is_one());
+  }
+}
+
+TEST(Bignum, ModInverseNotInvertible) {
+  EXPECT_TRUE(Bignum::mod_inverse(Bignum(6), Bignum(9)).is_zero());
+  EXPECT_TRUE(Bignum::mod_inverse(Bignum(0), Bignum(7)).is_zero());
+}
+
+TEST(Bignum, Gcd) {
+  EXPECT_EQ(Bignum::gcd(Bignum(48), Bignum(36)).low_u64(), 12u);
+  EXPECT_EQ(Bignum::gcd(Bignum(17), Bignum(13)).low_u64(), 1u);
+  EXPECT_EQ(Bignum::gcd(Bignum(0), Bignum(5)).low_u64(), 5u);
+}
+
+TEST(Montgomery, MatchesModMul) {
+  Rng rng(48);
+  const Bignum m = Bignum::from_hex(
+      "c90102faa48f18b5eac1f76bb88da5f6e0d6c9b5092de1a92e02ba6f9c4781ad");
+  MontCtx ctx(m);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = Bignum::mod(random_bignum(rng, 4), m);
+    const Bignum b = Bignum::mod(random_bignum(rng, 4), m);
+    const Bignum am = ctx.to_mont(a);
+    const Bignum bm = ctx.to_mont(b);
+    const Bignum prod = ctx.from_mont(ctx.mul(am, bm));
+    EXPECT_EQ(prod, Bignum::mod_mul(a, b, m));
+  }
+}
+
+TEST(Montgomery, ToFromRoundTrip) {
+  const Bignum m = Bignum::from_hex("f123456789abcdef123456789abcdef1");
+  MontCtx ctx(m);
+  const Bignum a = Bignum::from_hex("0123456789abcdef");
+  EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+}
+
+TEST(Montgomery, RequiresOddModulus) {
+  EXPECT_THROW(MontCtx(Bignum(10)), std::invalid_argument);
+}
+
+TEST(Montgomery, ExpMatchesNaive) {
+  Rng rng(49);
+  const Bignum m = Bignum::from_hex("e3b0c44298fc1c149afbf4c8996fb925");
+  MontCtx ctx(m);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum::mod(random_bignum(rng, 2), m);
+    const uint64_t e = rng.uniform(1000);
+    // Naive repeated multiplication.
+    Bignum expect(1);
+    for (uint64_t k = 0; k < e; ++k) expect = Bignum::mod_mul(expect, a, m);
+    EXPECT_EQ(ctx.exp(a, Bignum(e)), expect) << "e=" << e;
+  }
+}
+
+TEST(Primes, SmallPrimesRecognized) {
+  HmacDrbg rng = HmacDrbg(HashAlg::kSha256, to_bytes("prime-test"));
+  EXPECT_TRUE(is_probable_prime(Bignum(2), 10, rng));
+  EXPECT_TRUE(is_probable_prime(Bignum(3), 10, rng));
+  EXPECT_TRUE(is_probable_prime(Bignum(65537), 10, rng));
+  EXPECT_FALSE(is_probable_prime(Bignum(1), 10, rng));
+  EXPECT_FALSE(is_probable_prime(Bignum(561), 10, rng));   // Carmichael
+  EXPECT_FALSE(is_probable_prime(Bignum(65535), 10, rng));
+}
+
+TEST(Primes, KnownLargePrime) {
+  // P-256 order is prime.
+  HmacDrbg rng = HmacDrbg(HashAlg::kSha256, to_bytes("prime-test-2"));
+  const Bignum n = Bignum::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  EXPECT_TRUE(is_probable_prime(n, 8, rng));
+  EXPECT_FALSE(is_probable_prime(Bignum::sub(n, Bignum(1)), 8, rng));
+}
+
+TEST(Primes, GeneratedPrimeHasRequestedShape) {
+  HmacDrbg rng = HmacDrbg(HashAlg::kSha256, to_bytes("prime-gen"));
+  const Bignum p = generate_prime(128, rng);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.bit(126));  // second-highest bit forced
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(is_probable_prime(p, 16, rng));
+}
+
+TEST(Primes, RandomBelowIsBelow) {
+  HmacDrbg rng = HmacDrbg(HashAlg::kSha256, to_bytes("below"));
+  const Bignum bound = Bignum::from_hex("0123456789");
+  for (int i = 0; i < 200; ++i)
+    EXPECT_LT(Bignum::cmp(random_below(bound, rng), bound), 0);
+}
+
+}  // namespace
+}  // namespace qtls

@@ -1,0 +1,150 @@
+// Direct tests of the cooperative load clients (the s_time / ApacheBench
+// stand-ins) against a software worker.
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "server_test_util.h"
+
+namespace qtls::client {
+namespace {
+
+struct ClientRig {
+  engine::SoftwareProvider server_provider{1};
+  engine::SoftwareProvider client_provider{2};
+  std::unique_ptr<tls::TlsContext> server_ctx;
+  std::unique_ptr<tls::TlsContext> client_ctx;
+  std::unique_ptr<server::Worker> worker;
+
+  explicit ClientRig(size_t body_size = 512) {
+    tls::TlsContextConfig scfg;
+    scfg.is_server = true;
+    scfg.cipher_suites = {tls::CipherSuite::kEcdheRsaWithAes128CbcSha};
+    server_ctx = std::make_unique<tls::TlsContext>(scfg, &server_provider);
+    server_ctx->credentials().rsa_key = &test_rsa2048();
+
+    tls::TlsContextConfig ccfg;
+    ccfg.cipher_suites = scfg.cipher_suites;
+    client_ctx = std::make_unique<tls::TlsContext>(ccfg, &client_provider);
+
+    server::WorkerConfig wcfg;
+    wcfg.response_body_size = body_size;
+    worker = std::make_unique<server::Worker>(server_ctx.get(), nullptr,
+                                              wcfg);
+  }
+};
+
+TEST(HttpsClientTest, STimeModeOneHandshakePerRequest) {
+  ClientRig rig;
+  ClientOptions opts;
+  opts.keepalive = false;
+  opts.max_requests = 5;
+  Pool pool;
+  pool.add(std::make_unique<HttpsClient>(
+      rig.client_ctx.get(),
+      server::testutil::socketpair_connector(rig.worker.get()), opts));
+  ASSERT_TRUE(server::testutil::run_to_completion(rig.worker.get(), &pool));
+  const ClientStats stats = pool.aggregate();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.connections, 5u);  // one handshake per request
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.response_time.count(), 5u);
+  EXPECT_GT(stats.bytes_received, 5u * 512u);
+}
+
+TEST(HttpsClientTest, KeepaliveModeOneHandshakeManyRequests) {
+  ClientRig rig;
+  ClientOptions opts;
+  opts.keepalive = true;
+  opts.max_requests = 8;
+  Pool pool;
+  pool.add(std::make_unique<HttpsClient>(
+      rig.client_ctx.get(),
+      server::testutil::socketpair_connector(rig.worker.get()), opts));
+  ASSERT_TRUE(server::testutil::run_to_completion(rig.worker.get(), &pool));
+  const ClientStats stats = pool.aggregate();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(rig.worker->stats().handshakes_completed, 1u);
+  EXPECT_EQ(rig.worker->stats().requests_served, 8u);
+}
+
+TEST(HttpsClientTest, ResumptionRatioHonoured) {
+  ClientRig rig;
+  ClientOptions opts;
+  opts.keepalive = false;
+  opts.max_requests = 10;
+  opts.full_handshake_ratio = 0.0;  // resume whenever possible
+  Pool pool;
+  pool.add(std::make_unique<HttpsClient>(
+      rig.client_ctx.get(),
+      server::testutil::socketpair_connector(rig.worker.get()), opts));
+  ASSERT_TRUE(server::testutil::run_to_completion(rig.worker.get(), &pool));
+  const ClientStats stats = pool.aggregate();
+  EXPECT_EQ(stats.connections, 10u);
+  EXPECT_EQ(stats.resumed, 9u);  // all but the first
+}
+
+TEST(HttpsClientTest, MixedRatioRoughlyProportional) {
+  ClientRig rig;
+  ClientOptions opts;
+  opts.keepalive = false;
+  opts.max_requests = 60;
+  opts.full_handshake_ratio = 0.5;
+  Pool pool;
+  pool.add(std::make_unique<HttpsClient>(
+      rig.client_ctx.get(),
+      server::testutil::socketpair_connector(rig.worker.get()), opts, 7));
+  ASSERT_TRUE(
+      server::testutil::run_to_completion(rig.worker.get(), &pool, 120));
+  const ClientStats stats = pool.aggregate();
+  EXPECT_EQ(stats.connections, 60u);
+  // ~50% resumed; wide tolerance for the small sample.
+  EXPECT_GT(stats.resumed, 15u);
+  EXPECT_LT(stats.resumed, 45u);
+}
+
+TEST(HttpsClientTest, FinishedFlagAndStepAfterCompletion) {
+  ClientRig rig;
+  ClientOptions opts;
+  opts.max_requests = 1;
+  HttpsClient client(rig.client_ctx.get(),
+                     server::testutil::socketpair_connector(rig.worker.get()),
+                     opts);
+  EXPECT_FALSE(client.finished());
+  for (int i = 0; i < 200000 && !client.finished(); ++i) {
+    client.step();
+    rig.worker->run_once(0);
+  }
+  EXPECT_TRUE(client.finished());
+  EXPECT_FALSE(client.step());  // terminal: step() keeps returning false
+}
+
+TEST(HttpsClientTest, ConnectFailureCountsError) {
+  ClientRig rig;
+  ClientOptions opts;
+  opts.max_requests = 1;
+  HttpsClient client(rig.client_ctx.get(), []() -> int { return -1; }, opts);
+  client.step();  // attempts and fails to connect
+  EXPECT_GE(client.stats().errors, 1u);
+  EXPECT_FALSE(client.finished());  // keeps retrying, never completes
+}
+
+TEST(HttpsClientTest, PoolAggregatesAcrossClients) {
+  ClientRig rig;
+  Pool pool;
+  for (int i = 0; i < 3; ++i) {
+    ClientOptions opts;
+    opts.max_requests = 2;
+    pool.add(std::make_unique<HttpsClient>(
+        rig.client_ctx.get(),
+        server::testutil::socketpair_connector(rig.worker.get()), opts,
+        10 + static_cast<uint64_t>(i)));
+  }
+  ASSERT_TRUE(server::testutil::run_to_completion(rig.worker.get(), &pool));
+  const ClientStats stats = pool.aggregate();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.response_time.count(), 6u);
+}
+
+}  // namespace
+}  // namespace qtls::client

@@ -1,0 +1,161 @@
+// Parameterized property sweeps across the crypto substrate: the same
+// invariants checked over families of sizes rather than single points.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/keystore.h"
+#include "crypto/primes.h"
+#include "crypto/rsa.h"
+
+namespace qtls {
+namespace {
+
+// ----------------------------------------------------- RSA key sizes ----
+
+class RsaKeySizeTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaKeySizeTest,
+                         ::testing::Values(512u, 768u, 1024u),
+                         [](const auto& info) {
+                           return "Bits" + std::to_string(info.param);
+                         });
+
+TEST_P(RsaKeySizeTest, FullKeyLifecycle) {
+  const size_t bits = GetParam();
+  HmacDrbg rng = make_test_drbg(9000 + bits);
+  const RsaPrivateKey key = rsa_generate(bits, rng);
+  EXPECT_EQ(key.pub.n.bit_length(), bits);
+
+  // Sign/verify.
+  const Bytes digest = sha256(to_bytes("lifecycle"));
+  const Bytes sig = rsa_sign_pkcs1(key, digest);
+  EXPECT_TRUE(rsa_verify_pkcs1(key.pub, digest, sig).is_ok());
+
+  // Encrypt/decrypt.
+  const Bytes msg = rng.generate(bits / 8 - 16);
+  auto ct = rsa_encrypt_pkcs1(key.pub, msg, rng);
+  ASSERT_TRUE(ct.is_ok());
+  auto pt = rsa_decrypt_pkcs1(key, ct.value());
+  ASSERT_TRUE(pt.is_ok());
+  EXPECT_EQ(pt.value(), msg);
+
+  // CRT private op agrees with plain exponentiation.
+  const Bignum c = Bignum::mod(Bignum::from_bytes_be(rng.generate(bits / 8)),
+                               key.pub.n);
+  EXPECT_EQ(rsa_private_op(key, c), Bignum::mod_exp(c, key.d, key.pub.n));
+
+  // Public-then-private is the identity (RSA correctness).
+  const Bignum m = Bignum::mod(Bignum::from_bytes_be(rng.generate(16)),
+                               key.pub.n);
+  EXPECT_EQ(rsa_private_op(key, rsa_public_op(key.pub, m)), m);
+}
+
+// ------------------------------------------------------- KDF lengths ----
+
+class KdfLengthTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Lengths, KdfLengthTest,
+                         ::testing::Values(1u, 12u, 31u, 32u, 33u, 48u, 64u,
+                                           100u, 255u),
+                         [](const auto& info) {
+                           return "Len" + std::to_string(info.param);
+                         });
+
+TEST_P(KdfLengthTest, PrfPrefixAndDeterminism) {
+  const size_t len = GetParam();
+  const Bytes secret = to_bytes("secret");
+  const Bytes seed = to_bytes("seed");
+  const Bytes out =
+      tls12_prf(HashAlg::kSha256, secret, "sweep", seed, len);
+  EXPECT_EQ(out.size(), len);
+  // Prefix property: shorter requests are prefixes of longer ones.
+  const Bytes longer =
+      tls12_prf(HashAlg::kSha256, secret, "sweep", seed, len + 16);
+  EXPECT_EQ(Bytes(longer.begin(), longer.begin() + static_cast<ptrdiff_t>(len)),
+            out);
+}
+
+TEST_P(KdfLengthTest, HkdfExpandSizes) {
+  const size_t len = GetParam();
+  const Bytes prk =
+      hkdf_extract(HashAlg::kSha256, to_bytes("salt"), to_bytes("ikm"));
+  const Bytes out = hkdf_expand(HashAlg::kSha256, prk, to_bytes("info"), len);
+  EXPECT_EQ(out.size(), len);
+  const Bytes longer =
+      hkdf_expand(HashAlg::kSha256, prk, to_bytes("info"), len + 8);
+  EXPECT_EQ(Bytes(longer.begin(), longer.begin() + static_cast<ptrdiff_t>(len)),
+            out);
+}
+
+// -------------------------------------------------- bignum width sweep ----
+
+class BignumWidthTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Widths, BignumWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "Limbs" + std::to_string(info.param);
+                         });
+
+TEST_P(BignumWidthTest, DivModAndModExpInvariants) {
+  const size_t limbs = GetParam();
+  Rng rng(5000 + limbs);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Bignum a = Bignum::from_bytes_be(rng.bytes(limbs * 8));
+    Bignum b = Bignum::from_bytes_be(rng.bytes((limbs + 1) / 2 * 8));
+    if (b.is_zero()) b = Bignum(3);
+    const auto [q, r] = Bignum::divmod(a, b);
+    EXPECT_EQ(Bignum::add(Bignum::mul(q, b), r), a);
+    EXPECT_LT(Bignum::cmp(r, b), 0);
+
+    // (a mod b)^2 mod b == a^2 mod b
+    EXPECT_EQ(Bignum::mod_mul(r, r, b),
+              Bignum::mod(Bignum::mul(a, a), b));
+  }
+}
+
+TEST_P(BignumWidthTest, MontgomeryAgreesAtEveryWidth) {
+  const size_t limbs = GetParam();
+  Rng rng(6000 + limbs);
+  Bytes modulus_bytes = rng.bytes(limbs * 8);
+  modulus_bytes.back() |= 1;   // odd
+  modulus_bytes.front() |= 0x80;
+  const Bignum m = Bignum::from_bytes_be(modulus_bytes);
+  MontCtx ctx(m);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bignum a = Bignum::mod(Bignum::from_bytes_be(rng.bytes(limbs * 8)), m);
+    const Bignum e(rng.uniform(50) + 1);
+    // Naive square-and-multiply reference.
+    Bignum expect(1);
+    for (uint64_t k = 0; k < e.low_u64(); ++k)
+      expect = Bignum::mod_mul(expect, a, m);
+    EXPECT_EQ(ctx.exp(a, e), expect);
+  }
+}
+
+// ------------------------------------------------ prime size behaviour ----
+
+class PrimeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Bits, PrimeSizeTest,
+                         ::testing::Values(64u, 96u, 128u, 256u),
+                         [](const auto& info) {
+                           return "Bits" + std::to_string(info.param);
+                         });
+
+TEST_P(PrimeSizeTest, GeneratedPrimesHaveShapeAndPassFermat) {
+  const size_t bits = GetParam();
+  HmacDrbg rng = make_test_drbg(7000 + bits);
+  const Bignum p = generate_prime(bits, rng);
+  EXPECT_EQ(p.bit_length(), bits);
+  EXPECT_TRUE(p.is_odd());
+  // Fermat check with several bases.
+  const Bignum p1 = Bignum::sub(p, Bignum(1));
+  for (uint64_t base : {2ULL, 3ULL, 65537ULL}) {
+    EXPECT_TRUE(Bignum::mod_exp(Bignum(base), p1, p).is_one())
+        << "base " << base;
+  }
+}
+
+}  // namespace
+}  // namespace qtls

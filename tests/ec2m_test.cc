@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ec2m.h"
+#include "crypto/keystore.h"
+
+namespace qtls {
+namespace {
+
+class BinaryCurveTest : public ::testing::TestWithParam<const Ec2mCurve*> {};
+
+INSTANTIATE_TEST_SUITE_P(Curves, BinaryCurveTest,
+                         ::testing::Values(&curve_b283(), &curve_b409(),
+                                           &curve_k283(), &curve_k409()),
+                         [](const auto& info) {
+                           std::string n = info.param->name();
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST_P(BinaryCurveTest, GeneratorOnCurve) {
+  const Ec2mCurve& c = *GetParam();
+  EXPECT_FALSE(c.generator().infinity);
+  EXPECT_TRUE(c.on_curve(c.generator()));
+}
+
+TEST_P(BinaryCurveTest, DoubleOnCurve) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint d = c.dbl(c.generator());
+  EXPECT_TRUE(c.on_curve(d));
+  EXPECT_FALSE(d.infinity);
+}
+
+TEST_P(BinaryCurveTest, AddOnCurveAndCommutative) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint g = c.generator();
+  const Ec2mPoint g2 = c.dbl(g);
+  const Ec2mPoint s1 = c.add(g, g2);
+  const Ec2mPoint s2 = c.add(g2, g);
+  EXPECT_TRUE(c.on_curve(s1));
+  EXPECT_EQ(s1.x, s2.x);
+  EXPECT_EQ(s1.y, s2.y);
+}
+
+TEST_P(BinaryCurveTest, AddNegationGivesInfinity) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint g = c.generator();
+  const Ec2mPoint neg = c.negate(g);
+  EXPECT_TRUE(c.on_curve(neg));
+  EXPECT_TRUE(c.add(g, neg).infinity);
+}
+
+TEST_P(BinaryCurveTest, SmallScalarConsistency) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint g = c.generator();
+  Ec2mPoint acc = Ec2mPoint::at_infinity();
+  for (uint8_t k = 1; k <= 10; ++k) {
+    acc = c.add(acc, g);
+    const Bytes scalar = {k};
+    const Ec2mPoint via_mul = c.mul(scalar, g);
+    EXPECT_EQ(acc.x, via_mul.x) << "k=" << int(k);
+    EXPECT_EQ(acc.y, via_mul.y) << "k=" << int(k);
+    EXPECT_TRUE(c.on_curve(acc));
+  }
+}
+
+TEST_P(BinaryCurveTest, ScalarDistributivitySmall) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint g = c.generator();
+  // (37 + 91) G == 37 G + 91 G
+  const Ec2mPoint lhs = c.mul(Bytes{128}, g);
+  const Ec2mPoint rhs = c.add(c.mul(Bytes{37}, g), c.mul(Bytes{91}, g));
+  EXPECT_EQ(lhs.x, rhs.x);
+  EXPECT_EQ(lhs.y, rhs.y);
+}
+
+TEST_P(BinaryCurveTest, AssociativityOfAdd) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint g = c.generator();
+  const Ec2mPoint p2 = c.dbl(g);
+  const Ec2mPoint p3 = c.add(p2, g);
+  const Ec2mPoint lhs = c.add(c.add(g, p2), p3);
+  const Ec2mPoint rhs = c.add(g, c.add(p2, p3));
+  EXPECT_EQ(lhs.x, rhs.x);
+  EXPECT_EQ(lhs.y, rhs.y);
+}
+
+TEST_P(BinaryCurveTest, PointCodecRoundTrip) {
+  const Ec2mCurve& c = *GetParam();
+  const Ec2mPoint p = c.mul(Bytes{0x12, 0x34}, c.generator());
+  const Bytes enc = c.encode_point(p);
+  auto dec = c.decode_point(enc);
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_EQ(dec.value().x, p.x);
+  EXPECT_EQ(dec.value().y, p.y);
+}
+
+TEST_P(BinaryCurveTest, DecodeRejectsOffCurve) {
+  const Ec2mCurve& c = *GetParam();
+  Bytes enc = c.encode_point(c.generator());
+  enc[enc.size() - 1] ^= 0x01;
+  EXPECT_FALSE(c.decode_point(enc).is_ok());
+}
+
+TEST_P(BinaryCurveTest, EcdhAgreement) {
+  const Ec2mCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(0xb283);
+  const Ec2mKeyPair alice = ec2m_generate_key(c, rng);
+  const Ec2mKeyPair bob = ec2m_generate_key(c, rng);
+  auto s1 = ec2m_shared_secret(c, alice.priv, bob.pub);
+  auto s2 = ec2m_shared_secret(c, bob.priv, alice.pub);
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+  EXPECT_EQ(s1.value(), s2.value());
+}
+
+TEST_P(BinaryCurveTest, EcdhRejectsInfinity) {
+  const Ec2mCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(0xb284);
+  const Ec2mKeyPair alice = ec2m_generate_key(c, rng);
+  EXPECT_FALSE(
+      ec2m_shared_secret(c, alice.priv, Ec2mPoint::at_infinity()).is_ok());
+}
+
+TEST_P(BinaryCurveTest, SolveYProducesCurvePoints) {
+  const Ec2mCurve& c = *GetParam();
+  const Gf2mField& f = c.field();
+  int solved = 0;
+  for (uint64_t xv = 2; xv < 40 && solved < 5; ++xv) {
+    const Gf2mElem x = f.from_u64(xv);
+    Gf2mElem y;
+    if (!c.solve_y(x, &y)) continue;
+    EXPECT_TRUE(c.on_curve(Ec2mPoint::affine(x, y)));
+    ++solved;
+  }
+  EXPECT_GT(solved, 0);
+}
+
+TEST(Ec2m, KoblitzCurveShape) {
+  EXPECT_TRUE(curve_k283().a().is_zero());
+  EXPECT_TRUE(curve_k283().b().is_one());
+  EXPECT_TRUE(curve_b283().a().is_one());
+  EXPECT_FALSE(curve_b283().b().is_one());
+}
+
+TEST(Ec2m, DifferentCurvesDifferentGenerators) {
+  EXPECT_FALSE(curve_b283().generator().x == curve_k283().generator().x);
+}
+
+}  // namespace
+}  // namespace qtls

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ec.h"
+#include "crypto/keystore.h"
+#include "crypto/primes.h"
+
+namespace qtls {
+namespace {
+
+class PrimeCurveTest : public ::testing::TestWithParam<const EcCurve*> {};
+
+INSTANTIATE_TEST_SUITE_P(Curves, PrimeCurveTest,
+                         ::testing::Values(&curve_p256(), &curve_p384()),
+                         [](const auto& info) {
+                           return info.param->name() == "P-256"
+                                      ? std::string("P256")
+                                      : std::string("P384");
+                         });
+
+TEST_P(PrimeCurveTest, GeneratorOnCurve) {
+  const EcCurve& c = *GetParam();
+  EXPECT_TRUE(c.on_curve(c.generator()));
+}
+
+TEST_P(PrimeCurveTest, OrderTimesGeneratorIsInfinity) {
+  // This jointly validates p, a, b, Gx, Gy and n — a wrong digit anywhere
+  // breaks it.
+  const EcCurve& c = *GetParam();
+  EXPECT_TRUE(c.mul(c.order(), c.generator()).infinity);
+}
+
+TEST_P(PrimeCurveTest, DoubleEqualsAdd) {
+  const EcCurve& c = *GetParam();
+  const EcPoint g = c.generator();
+  const EcPoint d = c.dbl(g);
+  const EcPoint a = c.add(g, g);
+  EXPECT_FALSE(d.infinity);
+  EXPECT_EQ(Bignum::cmp(d.x, a.x), 0);
+  EXPECT_EQ(Bignum::cmp(d.y, a.y), 0);
+  EXPECT_TRUE(c.on_curve(d));
+}
+
+TEST_P(PrimeCurveTest, SmallMultiplesConsistent) {
+  const EcCurve& c = *GetParam();
+  const EcPoint g = c.generator();
+  EcPoint acc = EcPoint::at_infinity();
+  for (uint64_t k = 1; k <= 20; ++k) {
+    acc = c.add(acc, g);
+    const EcPoint via_mul = c.mul(Bignum(k), g);
+    EXPECT_EQ(Bignum::cmp(acc.x, via_mul.x), 0) << "k=" << k;
+    EXPECT_EQ(Bignum::cmp(acc.y, via_mul.y), 0) << "k=" << k;
+    EXPECT_TRUE(c.on_curve(acc));
+  }
+}
+
+TEST_P(PrimeCurveTest, ScalarDistributivity) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(100);
+  const Bignum a = random_below(c.order(), rng);
+  const Bignum b = random_below(c.order(), rng);
+  const EcPoint lhs = c.mul_base(Bignum::mod(Bignum::add(a, b), c.order()));
+  const EcPoint rhs = c.add(c.mul_base(a), c.mul_base(b));
+  EXPECT_EQ(Bignum::cmp(lhs.x, rhs.x), 0);
+  EXPECT_EQ(Bignum::cmp(lhs.y, rhs.y), 0);
+}
+
+TEST_P(PrimeCurveTest, AddInverseGivesInfinity) {
+  const EcCurve& c = *GetParam();
+  const EcPoint g = c.generator();
+  const EcPoint neg = EcPoint::affine(g.x, Bignum::sub(c.p(), g.y));
+  EXPECT_TRUE(c.on_curve(neg));
+  EXPECT_TRUE(c.add(g, neg).infinity);
+}
+
+TEST_P(PrimeCurveTest, InfinityIsIdentity)
+{
+  const EcCurve& c = *GetParam();
+  const EcPoint g = c.generator();
+  const EcPoint inf = EcPoint::at_infinity();
+  const EcPoint sum = c.add(g, inf);
+  EXPECT_EQ(Bignum::cmp(sum.x, g.x), 0);
+  const EcPoint sum2 = c.add(inf, g);
+  EXPECT_EQ(Bignum::cmp(sum2.x, g.x), 0);
+  EXPECT_TRUE(c.add(inf, inf).infinity);
+  EXPECT_TRUE(c.mul(Bignum(5), inf).infinity);
+  EXPECT_TRUE(c.mul(Bignum(0), g).infinity);
+}
+
+TEST_P(PrimeCurveTest, PointCodecRoundTrip) {
+  const EcCurve& c = *GetParam();
+  const EcPoint p = c.mul_base(Bignum(12345));
+  const Bytes enc = c.encode_point(p);
+  EXPECT_EQ(enc.size(), 1 + 2 * c.field_bytes());
+  EXPECT_EQ(enc[0], 0x04);
+  auto dec = c.decode_point(enc);
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_EQ(Bignum::cmp(dec.value().x, p.x), 0);
+  EXPECT_EQ(Bignum::cmp(dec.value().y, p.y), 0);
+}
+
+TEST_P(PrimeCurveTest, DecodeRejectsOffCurvePoint) {
+  const EcCurve& c = *GetParam();
+  Bytes enc = c.encode_point(c.generator());
+  enc[enc.size() - 1] ^= 0x01;  // corrupt y
+  EXPECT_FALSE(c.decode_point(enc).is_ok());
+}
+
+TEST_P(PrimeCurveTest, DecodeRejectsBadFormat) {
+  const EcCurve& c = *GetParam();
+  EXPECT_FALSE(c.decode_point(Bytes{0x04, 0x01}).is_ok());
+  Bytes enc = c.encode_point(c.generator());
+  enc[0] = 0x02;  // compressed not supported
+  EXPECT_FALSE(c.decode_point(enc).is_ok());
+}
+
+TEST_P(PrimeCurveTest, EcdhAgreement) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(101);
+  const EcKeyPair alice = ec_generate_key(c, rng);
+  const EcKeyPair bob = ec_generate_key(c, rng);
+  auto s1 = ecdh_shared_secret(c, alice.priv, bob.pub);
+  auto s2 = ecdh_shared_secret(c, bob.priv, alice.pub);
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+  EXPECT_EQ(s1.value(), s2.value());
+  EXPECT_EQ(s1.value().size(), c.field_bytes());
+}
+
+TEST_P(PrimeCurveTest, EcdhRejectsInfinity) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(102);
+  const EcKeyPair alice = ec_generate_key(c, rng);
+  EXPECT_FALSE(
+      ecdh_shared_secret(c, alice.priv, EcPoint::at_infinity()).is_ok());
+}
+
+TEST_P(PrimeCurveTest, EcdsaSignVerify) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(103);
+  const EcKeyPair key = ec_generate_key(c, rng);
+  const Bytes digest = sha256(to_bytes("sign me"));
+  const EcdsaSignature sig = ecdsa_sign(c, key.priv, digest, rng);
+  EXPECT_TRUE(ecdsa_verify(c, key.pub, digest, sig).is_ok());
+}
+
+TEST_P(PrimeCurveTest, EcdsaRejectsWrongMessage) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(104);
+  const EcKeyPair key = ec_generate_key(c, rng);
+  const EcdsaSignature sig =
+      ecdsa_sign(c, key.priv, sha256(to_bytes("original")), rng);
+  EXPECT_FALSE(
+      ecdsa_verify(c, key.pub, sha256(to_bytes("forged")), sig).is_ok());
+}
+
+TEST_P(PrimeCurveTest, EcdsaRejectsWrongKey) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(105);
+  const EcKeyPair key = ec_generate_key(c, rng);
+  const EcKeyPair other = ec_generate_key(c, rng);
+  const Bytes digest = sha256(to_bytes("msg"));
+  const EcdsaSignature sig = ecdsa_sign(c, key.priv, digest, rng);
+  EXPECT_FALSE(ecdsa_verify(c, other.pub, digest, sig).is_ok());
+}
+
+TEST_P(PrimeCurveTest, EcdsaRejectsOutOfRange) {
+  const EcCurve& c = *GetParam();
+  HmacDrbg rng = make_test_drbg(106);
+  const EcKeyPair key = ec_generate_key(c, rng);
+  const Bytes digest = sha256(to_bytes("msg"));
+  EcdsaSignature sig = ecdsa_sign(c, key.priv, digest, rng);
+  sig.r = c.order();
+  EXPECT_FALSE(ecdsa_verify(c, key.pub, digest, sig).is_ok());
+  sig.r = Bignum();
+  EXPECT_FALSE(ecdsa_verify(c, key.pub, digest, sig).is_ok());
+}
+
+TEST(Ec, SignatureCodecRoundTrip) {
+  const EcCurve& c = curve_p256();
+  HmacDrbg rng = make_test_drbg(107);
+  const EcKeyPair key = ec_generate_key(c, rng);
+  const Bytes digest = sha256(to_bytes("codec"));
+  const EcdsaSignature sig = ecdsa_sign(c, key.priv, digest, rng);
+  auto decoded = EcdsaSignature::decode(sig.encode(), c);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().r, sig.r);
+  EXPECT_EQ(decoded.value().s, sig.s);
+}
+
+TEST(Ec, CurveNames) {
+  EXPECT_STREQ(curve_name(CurveId::kP256), "P-256");
+  EXPECT_STREQ(curve_name(CurveId::kK409), "K-409");
+  EXPECT_FALSE(curve_is_binary(CurveId::kP384));
+  EXPECT_TRUE(curve_is_binary(CurveId::kB283));
+}
+
+TEST(Ec, KeystoreKeysValid) {
+  EXPECT_TRUE(curve_p256().on_curve(test_ec_key_p256().pub));
+  EXPECT_TRUE(curve_p384().on_curve(test_ec_key_p384().pub));
+}
+
+}  // namespace
+}  // namespace qtls

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/gcm.h"
+
+namespace qtls {
+namespace {
+
+// NIST SP 800-38D / McGrew-Viega test case 1: empty plaintext, empty AAD.
+TEST(Gcm, NistTestCase1) {
+  const Bytes key(16, 0x00);
+  const Bytes iv(12, 0x00);
+  const Bytes sealed = gcm_seal(key, iv, {}, {});
+  ASSERT_EQ(sealed.size(), kGcmTagSize);
+  EXPECT_EQ(to_hex(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// Test case 2: one zero block.
+TEST(Gcm, NistTestCase2) {
+  const Bytes key(16, 0x00);
+  const Bytes iv(12, 0x00);
+  const Bytes pt(16, 0x00);
+  const Bytes sealed = gcm_seal(key, iv, {}, pt);
+  ASSERT_EQ(sealed.size(), 32u);
+  EXPECT_EQ(to_hex(BytesView(sealed.data(), 16)),
+            "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(to_hex(BytesView(sealed.data() + 16, 16)),
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Gcm, RoundTripVariousSizes) {
+  Rng rng(0x6763);
+  const Bytes key = rng.bytes(16);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u, 16384u}) {
+    const Bytes nonce = rng.bytes(kGcmNonceSize);
+    const Bytes aad = rng.bytes(13);
+    const Bytes pt = rng.bytes(len);
+    const Bytes sealed = gcm_seal(key, nonce, aad, pt);
+    EXPECT_EQ(sealed.size(), len + kGcmTagSize);
+    auto opened = gcm_open(key, nonce, aad, sealed);
+    ASSERT_TRUE(opened.is_ok()) << "len=" << len;
+    EXPECT_EQ(opened.value(), pt) << "len=" << len;
+  }
+}
+
+TEST(Gcm, Aes256KeysWork) {
+  Rng rng(0x6764);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(kGcmNonceSize);
+  const Bytes pt = rng.bytes(64);
+  auto opened = gcm_open(key, nonce, {}, gcm_seal(key, nonce, {}, pt));
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value(), pt);
+}
+
+TEST(Gcm, TamperDetection) {
+  Rng rng(0x6765);
+  const Bytes key = rng.bytes(16);
+  const Bytes nonce = rng.bytes(kGcmNonceSize);
+  const Bytes aad = to_bytes("header");
+  const Bytes pt = rng.bytes(48);
+  const Bytes sealed = gcm_seal(key, nonce, aad, pt);
+
+  // Flip a ciphertext byte.
+  Bytes bad = sealed;
+  bad[5] ^= 0x01;
+  EXPECT_FALSE(gcm_open(key, nonce, aad, bad).is_ok());
+  // Flip a tag byte.
+  bad = sealed;
+  bad[bad.size() - 1] ^= 0x01;
+  EXPECT_FALSE(gcm_open(key, nonce, aad, bad).is_ok());
+  // Wrong AAD.
+  EXPECT_FALSE(gcm_open(key, nonce, to_bytes("headex"), sealed).is_ok());
+  // Wrong nonce.
+  Bytes other_nonce = nonce;
+  other_nonce[0] ^= 1;
+  EXPECT_FALSE(gcm_open(key, other_nonce, aad, sealed).is_ok());
+  // Truncated input.
+  EXPECT_FALSE(gcm_open(key, nonce, aad, BytesView(sealed.data(), 8)).is_ok());
+}
+
+TEST(Gcm, DistinctNoncesDistinctCiphertexts) {
+  const Bytes key(16, 0x11);
+  const Bytes pt(32, 0x22);
+  Bytes n1(12, 0x00), n2(12, 0x00);
+  n2[11] = 1;
+  EXPECT_NE(gcm_seal(key, n1, {}, pt), gcm_seal(key, n2, {}, pt));
+}
+
+TEST(Gcm, AadAuthenticatedButNotEncrypted) {
+  // Same plaintext, different AAD: ciphertext bytes equal, tags differ.
+  const Bytes key(16, 0x31);
+  const Bytes nonce(12, 0x32);
+  const Bytes pt(40, 0x33);
+  const Bytes s1 = gcm_seal(key, nonce, to_bytes("a"), pt);
+  const Bytes s2 = gcm_seal(key, nonce, to_bytes("b"), pt);
+  EXPECT_EQ(Bytes(s1.begin(), s1.end() - 16), Bytes(s2.begin(), s2.end() - 16));
+  EXPECT_NE(Bytes(s1.end() - 16, s1.end()), Bytes(s2.end() - 16, s2.end()));
+}
+
+}  // namespace
+}  // namespace qtls

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/gf2m.h"
+
+namespace qtls {
+namespace {
+
+Gf2mElem random_elem(const Gf2mField& f, Rng& rng) {
+  Gf2mElem e;
+  for (auto& w : e.w) w = rng.next_u64();
+  // Mask to field degree via decode of encode-sized bytes.
+  Bytes raw((static_cast<size_t>(f.degree()) + 7) / 8);
+  rng.fill(raw.data(), raw.size());
+  return f.decode(raw);
+}
+
+class Gf2mFieldTest : public ::testing::TestWithParam<const Gf2mField*> {};
+
+INSTANTIATE_TEST_SUITE_P(Fields, Gf2mFieldTest,
+                         ::testing::Values(&gf2m_283(), &gf2m_409()),
+                         [](const auto& info) {
+                           return "M" + std::to_string(info.param->degree());
+                         });
+
+TEST_P(Gf2mFieldTest, AddIsXorAndSelfInverse) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(1);
+  const Gf2mElem a = random_elem(f, rng);
+  const Gf2mElem b = random_elem(f, rng);
+  EXPECT_EQ(Gf2mField::add(a, b), Gf2mField::add(b, a));
+  EXPECT_TRUE(Gf2mField::add(a, a).is_zero());
+}
+
+TEST_P(Gf2mFieldTest, MulCommutativeAssociativeDistributive) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Gf2mElem a = random_elem(f, rng);
+    const Gf2mElem b = random_elem(f, rng);
+    const Gf2mElem c = random_elem(f, rng);
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, Gf2mField::add(b, c)),
+              Gf2mField::add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST_P(Gf2mFieldTest, OneIsMultiplicativeIdentity) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(3);
+  const Gf2mElem a = random_elem(f, rng);
+  EXPECT_EQ(f.mul(a, Gf2mField::one()), a);
+  EXPECT_TRUE(f.mul(a, Gf2mField::zero()).is_zero());
+}
+
+TEST_P(Gf2mFieldTest, SqrMatchesMulSelf) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Gf2mElem a = random_elem(f, rng);
+    EXPECT_EQ(f.sqr(a), f.mul(a, a));
+  }
+}
+
+TEST_P(Gf2mFieldTest, SqrIsLinear) {
+  // Frobenius: (a+b)^2 = a^2 + b^2 in characteristic 2.
+  const Gf2mField& f = *GetParam();
+  Rng rng(5);
+  const Gf2mElem a = random_elem(f, rng);
+  const Gf2mElem b = random_elem(f, rng);
+  EXPECT_EQ(f.sqr(Gf2mField::add(a, b)),
+            Gf2mField::add(f.sqr(a), f.sqr(b)));
+}
+
+TEST_P(Gf2mFieldTest, InverseWorks) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    Gf2mElem a = random_elem(f, rng);
+    if (a.is_zero()) continue;
+    const Gf2mElem inv = f.inv(a);
+    EXPECT_TRUE(f.mul(a, inv).is_one());
+  }
+  EXPECT_TRUE(f.inv(Gf2mField::one()).is_one());
+}
+
+TEST_P(Gf2mFieldTest, DivConsistent) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(7);
+  Gf2mElem a = random_elem(f, rng);
+  Gf2mElem b = random_elem(f, rng);
+  if (b.is_zero()) b = Gf2mField::one();
+  EXPECT_EQ(f.mul(f.div(a, b), b), a);
+}
+
+TEST_P(Gf2mFieldTest, TraceIsBinaryAndLinear) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(8);
+  int seen0 = 0, seen1 = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Gf2mElem a = random_elem(f, rng);
+    const Gf2mElem b = random_elem(f, rng);
+    const int ta = f.trace(a);
+    const int tb = f.trace(b);
+    ASSERT_TRUE(ta == 0 || ta == 1);
+    EXPECT_EQ(f.trace(Gf2mField::add(a, b)), ta ^ tb);
+    (ta ? seen1 : seen0)++;
+  }
+  // Both trace values occur for random elements (probability ~2^-20 to fail).
+  EXPECT_GT(seen0, 0);
+  EXPECT_GT(seen1, 0);
+}
+
+TEST_P(Gf2mFieldTest, HalfTraceSolvesQuadratic) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const Gf2mElem c = random_elem(f, rng);
+    if (f.trace(c) != 0) continue;
+    const Gf2mElem z = f.half_trace(c);
+    EXPECT_EQ(Gf2mField::add(f.sqr(z), z), c);
+  }
+}
+
+TEST_P(Gf2mFieldTest, EncodeDecodeRoundTrip) {
+  const Gf2mField& f = *GetParam();
+  Rng rng(10);
+  const Gf2mElem a = random_elem(f, rng);
+  EXPECT_EQ(f.decode(f.encode(a)), a);
+  EXPECT_EQ(f.encode(a).size(), f.elem_bytes());
+}
+
+TEST_P(Gf2mFieldTest, FermatForFieldOrder) {
+  // a^(2^m - 1) == 1 for nonzero a, computed via repeated squaring:
+  // a^(2^m) == a (Frobenius fixed by full orbit).
+  const Gf2mField& f = *GetParam();
+  Rng rng(11);
+  Gf2mElem a = random_elem(f, rng);
+  if (a.is_zero()) a = f.from_u64(2);
+  Gf2mElem t = a;
+  for (int i = 0; i < f.degree(); ++i) t = f.sqr(t);
+  EXPECT_EQ(t, a);
+}
+
+TEST(Gf2m, KnownSmallProducts) {
+  // In GF(2^283) with poly x^283+x^12+x^7+x^5+1: x * x = x^2 (no reduction).
+  const Gf2mField& f = gf2m_283();
+  const Gf2mElem x = f.from_u64(2);
+  EXPECT_EQ(f.mul(x, x), f.from_u64(4));
+  // (x+1)*(x+1) = x^2 + 1 in char 2.
+  const Gf2mElem xp1 = f.from_u64(3);
+  EXPECT_EQ(f.mul(xp1, xp1), f.from_u64(5));
+}
+
+TEST(Gf2m, ReductionKicksIn) {
+  // x^282 * x = x^283 = x^12 + x^7 + x^5 + 1 (mod poly).
+  const Gf2mField& f = gf2m_283();
+  Gf2mElem x282;
+  x282.set_bit(282);
+  const Gf2mElem prod = f.mul(x282, f.from_u64(2));
+  Gf2mElem expected;
+  expected.set_bit(12);
+  expected.set_bit(7);
+  expected.set_bit(5);
+  expected.set_bit(0);
+  EXPECT_EQ(prod, expected);
+}
+
+}  // namespace
+}  // namespace qtls

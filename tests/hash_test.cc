@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hash.h"
+
+namespace qtls {
+namespace {
+
+TEST(Sha1, KnownVectors) {
+  EXPECT_EQ(to_hex(sha1(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(sha1(Bytes{})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(to_hex(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(sha256(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      to_hex(sha256(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha384, KnownVector) {
+  EXPECT_EQ(to_hex(sha384(to_bytes("abc"))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha512, KnownVector) {
+  EXPECT_EQ(to_hex(sha512(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Hash, StreamingMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in the streaming interface. ";
+  std::string big;
+  for (int i = 0; i < 50; ++i) big += msg;
+
+  for (HashAlg alg : {HashAlg::kSha1, HashAlg::kSha256, HashAlg::kSha384,
+                      HashAlg::kSha512}) {
+    auto ctx = make_hash(alg);
+    // Feed in awkward chunk sizes.
+    size_t off = 0;
+    size_t chunk = 1;
+    const Bytes data = to_bytes(big);
+    while (off < data.size()) {
+      const size_t take = std::min(chunk, data.size() - off);
+      ctx->update(BytesView(data.data() + off, take));
+      off += take;
+      chunk = chunk * 2 + 1;
+    }
+    EXPECT_EQ(ctx->finish(), hash(alg, data)) << hash_name(alg);
+  }
+}
+
+TEST(Hash, CloneForksState) {
+  auto ctx = make_hash(HashAlg::kSha256);
+  ctx->update(to_bytes("hello "));
+  auto fork = ctx->clone();
+  ctx->update(to_bytes("world"));
+  fork->update(to_bytes("there"));
+  EXPECT_EQ(ctx->finish(), sha256(to_bytes("hello world")));
+  EXPECT_EQ(fork->finish(), sha256(to_bytes("hello there")));
+}
+
+TEST(Hash, SizesAndNames) {
+  EXPECT_EQ(hash_digest_size(HashAlg::kSha1), 20u);
+  EXPECT_EQ(hash_digest_size(HashAlg::kSha256), 32u);
+  EXPECT_EQ(hash_digest_size(HashAlg::kSha384), 48u);
+  EXPECT_EQ(hash_digest_size(HashAlg::kSha512), 64u);
+  EXPECT_EQ(hash_block_size(HashAlg::kSha256), 64u);
+  EXPECT_EQ(hash_block_size(HashAlg::kSha384), 128u);
+  EXPECT_STREQ(hash_name(HashAlg::kSha1), "SHA1");
+}
+
+TEST(Hmac, Rfc2202Sha1) {
+  // Test case 1 of RFC 2202.
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac(HashAlg::kSha1, key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+  // Test case 2: key "Jefe", data "what do ya want for nothing?"
+  EXPECT_EQ(to_hex(hmac(HashAlg::kSha1, to_bytes("Jefe"),
+                        to_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Hmac, Rfc4231Sha256) {
+  // Test case 1 of RFC 4231.
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac(HashAlg::kSha256, key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2.
+  EXPECT_EQ(to_hex(hmac(HashAlg::kSha256, to_bytes("Jefe"),
+                        to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  // Keys longer than the block size must be hashed first; equivalent short
+  // key is hash(key).
+  const Bytes long_key(200, 0xaa);
+  const Bytes short_key = sha256(long_key);
+  const Bytes msg = to_bytes("payload");
+  EXPECT_EQ(hmac(HashAlg::kSha256, long_key, msg),
+            hmac(HashAlg::kSha256, short_key, msg));
+}
+
+TEST(Hmac, StreamingMatchesOneShot) {
+  const Bytes key = to_bytes("secret-key");
+  const Bytes part1 = to_bytes("part one|");
+  const Bytes part2 = to_bytes("part two");
+  HmacCtx ctx(HashAlg::kSha256, key);
+  ctx.update(part1);
+  ctx.update(part2);
+  Bytes all = part1;
+  append(all, part2);
+  EXPECT_EQ(ctx.finish(), hmac(HashAlg::kSha256, key, all));
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  const Bytes msg = to_bytes("same message");
+  EXPECT_NE(hmac(HashAlg::kSha256, to_bytes("k1"), msg),
+            hmac(HashAlg::kSha256, to_bytes("k2"), msg));
+}
+
+}  // namespace
+}  // namespace qtls

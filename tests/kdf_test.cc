@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "crypto/kdf.h"
+
+namespace qtls {
+namespace {
+
+TEST(Tls12Prf, DeterministicAndLabelSensitive) {
+  const Bytes secret = to_bytes("top secret");
+  const Bytes seed = to_bytes("client random server random");
+  const Bytes a = tls12_prf(HashAlg::kSha256, secret, "master secret", seed, 48);
+  const Bytes b = tls12_prf(HashAlg::kSha256, secret, "master secret", seed, 48);
+  const Bytes c = tls12_prf(HashAlg::kSha256, secret, "key expansion", seed, 48);
+  EXPECT_EQ(a.size(), 48u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Tls12Prf, PrefixConsistency) {
+  // Requesting a shorter output must be a prefix of the longer one.
+  const Bytes secret = to_bytes("s");
+  const Bytes seed = to_bytes("seed");
+  const Bytes long_out = tls12_prf(HashAlg::kSha256, secret, "test", seed, 100);
+  const Bytes short_out = tls12_prf(HashAlg::kSha256, secret, "test", seed, 33);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 33), short_out);
+}
+
+TEST(Tls12Prf, Sha384Variant) {
+  const Bytes out =
+      tls12_prf(HashAlg::kSha384, to_bytes("k"), "label", to_bytes("seed"), 64);
+  EXPECT_EQ(out.size(), 64u);
+  EXPECT_NE(out, tls12_prf(HashAlg::kSha256, to_bytes("k"), "label",
+                           to_bytes("seed"), 64));
+}
+
+TEST(Hkdf, Rfc5869TestCase1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = hkdf_extract(HashAlg::kSha256, salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf_expand(HashAlg::kSha256, prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, EmptySaltUsesZeros) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes zeros(32, 0x00);
+  EXPECT_EQ(hkdf_extract(HashAlg::kSha256, {}, ikm),
+            hkdf_extract(HashAlg::kSha256, zeros, ikm));
+}
+
+TEST(Hkdf, ExpandLengths) {
+  const Bytes prk = hkdf_extract(HashAlg::kSha256, to_bytes("salt"),
+                                 to_bytes("ikm"));
+  for (size_t len : {1u, 31u, 32u, 33u, 64u, 255u}) {
+    EXPECT_EQ(hkdf_expand(HashAlg::kSha256, prk, to_bytes("i"), len).size(),
+              len);
+  }
+}
+
+TEST(HkdfExpandLabel, IncludesLabelAndContext) {
+  const Bytes secret(32, 0x5a);
+  const Bytes a = hkdf_expand_label(HashAlg::kSha256, secret, "key", {}, 16);
+  const Bytes b = hkdf_expand_label(HashAlg::kSha256, secret, "iv", {}, 16);
+  const Bytes c =
+      hkdf_expand_label(HashAlg::kSha256, secret, "key", to_bytes("ctx"), 16);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(Tls13DeriveSecret, DigestLength) {
+  const Bytes secret(32, 0x01);
+  const Bytes transcript = sha256(to_bytes("messages"));
+  const Bytes out =
+      tls13_derive_secret(HashAlg::kSha256, secret, "c hs traffic", transcript);
+  EXPECT_EQ(out.size(), 32u);
+}
+
+TEST(HmacDrbg, DeterministicFromSeed) {
+  HmacDrbg a(HashAlg::kSha256, to_bytes("seed-1"));
+  HmacDrbg b(HashAlg::kSha256, to_bytes("seed-1"));
+  HmacDrbg c(HashAlg::kSha256, to_bytes("seed-2"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+  EXPECT_NE(a.generate(64), c.generate(64));
+}
+
+TEST(HmacDrbg, OutputAdvances) {
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("seed"));
+  const Bytes first = rng.generate(32);
+  const Bytes second = rng.generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a(HashAlg::kSha256, to_bytes("seed"));
+  HmacDrbg b(HashAlg::kSha256, to_bytes("seed"));
+  (void)a.generate(16);
+  (void)b.generate(16);
+  b.reseed(to_bytes("extra entropy"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, OddSizes) {
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("seed"));
+  EXPECT_EQ(rng.generate(1).size(), 1u);
+  EXPECT_EQ(rng.generate(33).size(), 33u);
+  EXPECT_EQ(rng.generate(100).size(), 100u);
+}
+
+}  // namespace
+}  // namespace qtls

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "engine/provider.h"
+#include "tls/key_schedule.h"
+
+namespace qtls::tls {
+namespace {
+
+class KeyScheduleTest : public ::testing::Test {
+ protected:
+  engine::SoftwareProvider provider{1};
+  Bytes premaster = Bytes(48, 0x11);
+  Bytes client_random = Bytes(32, 0x22);
+  Bytes server_random = Bytes(32, 0x33);
+};
+
+TEST_F(KeyScheduleTest, MasterSecretDeterministicAndSized) {
+  auto a = tls12_master_secret(&provider, HashAlg::kSha256, premaster,
+                               client_random, server_random);
+  auto b = tls12_master_secret(&provider, HashAlg::kSha256, premaster,
+                               client_random, server_random);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value().size(), kMasterSecretSize);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST_F(KeyScheduleTest, MasterSecretDependsOnRandoms) {
+  auto a = tls12_master_secret(&provider, HashAlg::kSha256, premaster,
+                               client_random, server_random);
+  Bytes other_random = client_random;
+  other_random[0] ^= 1;
+  auto b = tls12_master_secret(&provider, HashAlg::kSha256, premaster,
+                               other_random, server_random);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST_F(KeyScheduleTest, KeyExpansionProducesDistinctDirectionalKeys) {
+  const CipherSuiteInfo& info =
+      cipher_suite_info(CipherSuite::kEcdheRsaWithAes128CbcSha);
+  auto master = tls12_master_secret(&provider, info.prf_hash, premaster,
+                                    client_random, server_random);
+  ASSERT_TRUE(master.is_ok());
+  auto keys = tls12_key_expansion(&provider, info, master.value(),
+                                  client_random, server_random);
+  ASSERT_TRUE(keys.is_ok());
+  const SessionKeys& sk = keys.value();
+  EXPECT_EQ(sk.client_write.enc_key.size(), info.enc_key_len);
+  EXPECT_EQ(sk.client_write.mac_key.size(), info.mac_key_len);
+  // All four keys must be pairwise distinct (key separation).
+  EXPECT_NE(sk.client_write.enc_key, sk.server_write.enc_key);
+  EXPECT_NE(sk.client_write.mac_key, sk.server_write.mac_key);
+  EXPECT_NE(sk.client_write.enc_key, sk.client_write.mac_key);
+}
+
+TEST_F(KeyScheduleTest, FinishedVerifyLabelSeparation) {
+  const Bytes master(48, 0x44);
+  const Bytes transcript = sha256(to_bytes("transcript"));
+  auto client = tls12_finished_verify(&provider, HashAlg::kSha256, master,
+                                      "client finished", transcript);
+  auto server = tls12_finished_verify(&provider, HashAlg::kSha256, master,
+                                      "server finished", transcript);
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(server.is_ok());
+  EXPECT_EQ(client.value().size(), kVerifyDataSize);
+  EXPECT_NE(client.value(), server.value());
+}
+
+TEST(Tls13Schedule, SecretsChainAndCount) {
+  const Bytes shared(32, 0x55);
+  const Bytes transcript = sha256(to_bytes("ch-sh"));
+  Tls13Secrets s = tls13_handshake_secrets(HashAlg::kSha256, shared, transcript);
+  EXPECT_FALSE(s.handshake_secret.empty());
+  EXPECT_NE(s.client_hs_traffic, s.server_hs_traffic);
+  EXPECT_EQ(s.hkdf_ops, 7);  // extract x3 + derive x4 up to the master
+
+  const int before = s.hkdf_ops;
+  tls13_application_secrets(HashAlg::kSha256, &s,
+                            sha256(to_bytes("full transcript")));
+  EXPECT_EQ(s.hkdf_ops, before + 2);
+  EXPECT_NE(s.client_app_traffic, s.server_app_traffic);
+  EXPECT_NE(s.client_app_traffic, s.client_hs_traffic);
+}
+
+TEST(Tls13Schedule, SecretsDependOnEcdheInput) {
+  const Bytes transcript = sha256(to_bytes("t"));
+  Tls13Secrets a =
+      tls13_handshake_secrets(HashAlg::kSha256, Bytes(32, 1), transcript);
+  Tls13Secrets b =
+      tls13_handshake_secrets(HashAlg::kSha256, Bytes(32, 2), transcript);
+  EXPECT_NE(a.client_hs_traffic, b.client_hs_traffic);
+}
+
+TEST(Tls13Schedule, TrafficKeysAndFinished) {
+  const CipherSuiteInfo& info =
+      cipher_suite_info(CipherSuite::kTls13Aes128Sha256);
+  const Bytes secret(32, 0x66);
+  int ops = 0;
+  const CbcHmacKeys keys =
+      tls13_traffic_keys(HashAlg::kSha256, secret, info, &ops);
+  EXPECT_EQ(ops, 2);
+  EXPECT_EQ(keys.enc_key.size(), info.enc_key_len);
+  EXPECT_EQ(keys.mac_key.size(), info.mac_key_len);
+  EXPECT_NE(keys.enc_key, Bytes(info.enc_key_len, 0));
+
+  const Bytes transcript = sha256(to_bytes("msgs"));
+  const Bytes v1 = tls13_finished_verify(HashAlg::kSha256, secret, transcript,
+                                         &ops);
+  EXPECT_EQ(ops, 3);
+  EXPECT_EQ(v1.size(), hash_digest_size(HashAlg::kSha256));
+  // Different transcript -> different verify data.
+  const Bytes v2 = tls13_finished_verify(HashAlg::kSha256, secret,
+                                         sha256(to_bytes("other")), nullptr);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(Tls13Schedule, Sha384Variant) {
+  const Bytes shared(48, 0x01);
+  Tls13Secrets s = tls13_handshake_secrets(HashAlg::kSha384, shared,
+                                           sha384(to_bytes("t")));
+  EXPECT_EQ(s.client_hs_traffic.size(), hash_digest_size(HashAlg::kSha384));
+}
+
+}  // namespace
+}  // namespace qtls::tls

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "net/event_loop.h"
+#include "net/memory_transport.h"
+#include "net/socket_transport.h"
+
+namespace qtls::net {
+namespace {
+
+TEST(MemoryPipeTest, DuplexTransfer) {
+  MemoryPipe pipe;
+  const Bytes msg = to_bytes("a to b");
+  auto w = pipe.a().write(msg.data(), msg.size());
+  EXPECT_EQ(w.status, tls::IoStatus::kOk);
+  EXPECT_EQ(w.bytes, msg.size());
+  EXPECT_EQ(pipe.b().readable(), msg.size());
+
+  uint8_t buf[64];
+  auto r = pipe.b().read(buf, sizeof(buf));
+  EXPECT_EQ(r.status, tls::IoStatus::kOk);
+  EXPECT_EQ(to_string(BytesView(buf, r.bytes)), "a to b");
+
+  // Other direction independent.
+  const Bytes msg2 = to_bytes("b to a");
+  pipe.b().write(msg2.data(), msg2.size());
+  EXPECT_EQ(pipe.a().readable(), msg2.size());
+  EXPECT_EQ(pipe.b().readable(), 0u);
+}
+
+TEST(MemoryPipeTest, WouldBlockOnEmpty) {
+  MemoryPipe pipe;
+  uint8_t buf[8];
+  EXPECT_EQ(pipe.a().read(buf, sizeof(buf)).status,
+            tls::IoStatus::kWouldBlock);
+}
+
+TEST(MemoryPipeTest, CapacityBackpressure) {
+  MemoryPipe pipe;
+  pipe.set_capacity(4);
+  const Bytes msg = to_bytes("0123456789");
+  auto w = pipe.a().write(msg.data(), msg.size());
+  EXPECT_EQ(w.status, tls::IoStatus::kOk);
+  EXPECT_EQ(w.bytes, 4u);  // truncated to capacity
+  auto w2 = pipe.a().write(msg.data(), msg.size());
+  EXPECT_EQ(w2.status, tls::IoStatus::kWouldBlock);
+}
+
+TEST(MemoryPipeTest, CloseSemantics) {
+  MemoryPipe pipe;
+  const Bytes msg = to_bytes("last");
+  pipe.a().write(msg.data(), msg.size());
+  pipe.close_side(0);
+  // Peer drains buffered bytes, then sees clean EOF.
+  uint8_t buf[8];
+  auto r = pipe.b().read(buf, sizeof(buf));
+  EXPECT_EQ(r.status, tls::IoStatus::kOk);
+  EXPECT_EQ(pipe.b().read(buf, sizeof(buf)).status, tls::IoStatus::kClosed);
+  // Writes from the closed side fail.
+  EXPECT_EQ(pipe.a().write(msg.data(), msg.size()).status,
+            tls::IoStatus::kError);
+}
+
+TEST(SocketTransportTest, RoundTripAndClose) {
+  auto pair = make_socketpair();
+  ASSERT_TRUE(pair.is_ok());
+  SocketTransport a(pair.value().first);
+  {
+    SocketTransport b(pair.value().second);
+    const Bytes msg = to_bytes("over a socket");
+    auto w = a.write(msg.data(), msg.size());
+    EXPECT_EQ(w.status, tls::IoStatus::kOk);
+    uint8_t buf[64];
+    // Nonblocking: poll until bytes arrive.
+    tls::IoResult r{tls::IoStatus::kWouldBlock, 0};
+    for (int i = 0; i < 1000 && r.status == tls::IoStatus::kWouldBlock; ++i)
+      r = b.read(buf, sizeof(buf));
+    ASSERT_EQ(r.status, tls::IoStatus::kOk);
+    EXPECT_EQ(to_string(BytesView(buf, r.bytes)), "over a socket");
+    EXPECT_EQ(b.read(buf, sizeof(buf)).status, tls::IoStatus::kWouldBlock);
+  }  // b closes
+  uint8_t buf[8];
+  tls::IoResult r{tls::IoStatus::kWouldBlock, 0};
+  for (int i = 0; i < 1000 && r.status == tls::IoStatus::kWouldBlock; ++i)
+    r = a.read(buf, sizeof(buf));
+  EXPECT_EQ(r.status, tls::IoStatus::kClosed);
+}
+
+TEST(TcpListenerTest, EphemeralPortAcceptConnect) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  ASSERT_GT(listener.port(), 0);
+  auto fd = tcp_connect(listener.port());
+  ASSERT_TRUE(fd.is_ok());
+  int accepted = -1;
+  for (int i = 0; i < 1000 && accepted < 0; ++i) {
+    accepted = listener.accept_fd();
+    if (accepted < 0) usleep(1000);
+  }
+  ASSERT_GE(accepted, 0);
+  ::close(accepted);
+  ::close(fd.value());
+}
+
+TEST(TcpListenerTest, ReuseportSharesPort) {
+  TcpListener first, second;
+  ASSERT_TRUE(first.listen(0, 512, /*reuseport=*/true).is_ok());
+  EXPECT_TRUE(second.listen(first.port(), 512, /*reuseport=*/true).is_ok());
+  // Without reuseport the same bind must fail.
+  TcpListener third;
+  EXPECT_FALSE(third.listen(first.port()).is_ok());
+}
+
+TEST(EventLoopTest, DispatchesReadAndWrite) {
+  auto pair = make_socketpair();
+  ASSERT_TRUE(pair.is_ok());
+  const int a = pair.value().first;
+  const int b = pair.value().second;
+
+  EventLoop loop;
+  int reads = 0, writes = 0;
+  ASSERT_TRUE(loop.add(b, true, true, [&](FdEvents ev) {
+    if (ev.readable) ++reads;
+    if (ev.writable) ++writes;
+  }).is_ok());
+  EXPECT_TRUE(loop.watching(b));
+  EXPECT_EQ(loop.watched_count(), 1u);
+
+  // Socket is writable immediately.
+  loop.run_once(10);
+  EXPECT_GT(writes, 0);
+
+  // Readable after the peer writes.
+  const uint8_t byte = 1;
+  ASSERT_EQ(::send(a, &byte, 1, 0), 1);
+  reads = 0;
+  for (int i = 0; i < 100 && reads == 0; ++i) loop.run_once(10);
+  EXPECT_GT(reads, 0);
+
+  // modify: drop write interest, keep read.
+  ASSERT_TRUE(loop.modify(b, true, false).is_ok());
+  writes = 0;
+  loop.run_once(10);
+  EXPECT_EQ(writes, 0);
+
+  ASSERT_TRUE(loop.remove(b).is_ok());
+  EXPECT_FALSE(loop.watching(b));
+  ::close(a);
+  ::close(b);
+}
+
+TEST(EventLoopTest, HandlerCanRemoveItself) {
+  auto pair = make_socketpair();
+  ASSERT_TRUE(pair.is_ok());
+  const int a = pair.value().first;
+  const int b = pair.value().second;
+  EventLoop loop;
+  int calls = 0;
+  ASSERT_TRUE(loop.add(b, true, false, [&](FdEvents) {
+    ++calls;
+    (void)loop.remove(b);
+  }).is_ok());
+  const uint8_t byte = 1;
+  ASSERT_EQ(::send(a, &byte, 1, 0), 1);
+  for (int i = 0; i < 100 && calls == 0; ++i) loop.run_once(10);
+  EXPECT_EQ(calls, 1);
+  loop.run_once(10);  // no further dispatch: fd removed
+  EXPECT_EQ(calls, 1);
+  ::close(a);
+  ::close(b);
+}
+
+TEST(EventLoopTest, TimeoutReturnsZero) {
+  EventLoop loop;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(loop.run_once(20), 0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+}
+
+}  // namespace
+}  // namespace qtls::net

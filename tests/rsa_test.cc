@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "crypto/rsa.h"
+
+namespace qtls {
+namespace {
+
+TEST(RsaKeygen, ProducesConsistentKey) {
+  HmacDrbg rng = make_test_drbg(1001);
+  const RsaPrivateKey key = rsa_generate(512, rng);
+  EXPECT_EQ(key.pub.n.bit_length(), 512u);
+  EXPECT_EQ(key.pub.e.low_u64(), 65537u);
+  EXPECT_EQ(Bignum::mul(key.p, key.q), key.pub.n);
+  // d*e = 1 mod (p-1)(q-1)
+  const Bignum phi = Bignum::mul(Bignum::sub(key.p, Bignum(1)),
+                                 Bignum::sub(key.q, Bignum(1)));
+  EXPECT_TRUE(Bignum::mod_mul(key.d, key.pub.e, phi).is_one());
+}
+
+TEST(RsaKeygen, DeterministicFromSeed) {
+  HmacDrbg rng1 = make_test_drbg(77);
+  HmacDrbg rng2 = make_test_drbg(77);
+  EXPECT_EQ(rsa_generate(512, rng1).pub.n, rsa_generate(512, rng2).pub.n);
+}
+
+TEST(Rsa, CrtMatchesPlainExp) {
+  const RsaPrivateKey& key = test_rsa1024();
+  HmacDrbg rng = make_test_drbg(3);
+  for (int i = 0; i < 5; ++i) {
+    const Bignum c = Bignum::from_bytes_be(rng.generate(100));
+    EXPECT_EQ(rsa_private_op(key, c),
+              Bignum::mod_exp(c, key.d, key.pub.n));
+  }
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  const RsaPrivateKey& key = test_rsa1024();
+  const Bytes digest = sha256(to_bytes("message to sign"));
+  const Bytes sig = rsa_sign_pkcs1(key, digest);
+  EXPECT_EQ(sig.size(), key.modulus_bytes());
+  EXPECT_TRUE(rsa_verify_pkcs1(key.pub, digest, sig).is_ok());
+}
+
+TEST(Rsa, VerifyRejectsWrongDigest) {
+  const RsaPrivateKey& key = test_rsa1024();
+  const Bytes sig = rsa_sign_pkcs1(key, sha256(to_bytes("original")));
+  EXPECT_FALSE(
+      rsa_verify_pkcs1(key.pub, sha256(to_bytes("forged")), sig).is_ok());
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  const RsaPrivateKey& key = test_rsa1024();
+  const Bytes digest = sha256(to_bytes("message"));
+  Bytes sig = rsa_sign_pkcs1(key, digest);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify_pkcs1(key.pub, digest, sig).is_ok());
+}
+
+TEST(Rsa, VerifyRejectsBadLength) {
+  const RsaPrivateKey& key = test_rsa1024();
+  const Bytes digest = sha256(to_bytes("message"));
+  EXPECT_FALSE(rsa_verify_pkcs1(key.pub, digest, Bytes(10, 0)).is_ok());
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  const RsaPrivateKey& key = test_rsa1024();
+  HmacDrbg rng = make_test_drbg(4);
+  const Bytes premaster = rng.generate(48);  // TLS premaster size
+  auto ct = rsa_encrypt_pkcs1(key.pub, premaster, rng);
+  ASSERT_TRUE(ct.is_ok());
+  EXPECT_EQ(ct.value().size(), key.modulus_bytes());
+  auto pt = rsa_decrypt_pkcs1(key, ct.value());
+  ASSERT_TRUE(pt.is_ok());
+  EXPECT_EQ(pt.value(), premaster);
+}
+
+TEST(Rsa, EncryptionIsRandomized) {
+  const RsaPrivateKey& key = test_rsa1024();
+  HmacDrbg rng = make_test_drbg(5);
+  const Bytes msg = to_bytes("hello");
+  auto c1 = rsa_encrypt_pkcs1(key.pub, msg, rng);
+  auto c2 = rsa_encrypt_pkcs1(key.pub, msg, rng);
+  ASSERT_TRUE(c1.is_ok());
+  ASSERT_TRUE(c2.is_ok());
+  EXPECT_NE(c1.value(), c2.value());
+}
+
+TEST(Rsa, DecryptRejectsTampered) {
+  const RsaPrivateKey& key = test_rsa1024();
+  HmacDrbg rng = make_test_drbg(6);
+  auto ct = rsa_encrypt_pkcs1(key.pub, to_bytes("secret"), rng);
+  ASSERT_TRUE(ct.is_ok());
+  Bytes bad = ct.value();
+  bad[0] = 0xff;  // makes the value >= n or corrupts padding
+  auto pt = rsa_decrypt_pkcs1(key, bad);
+  if (pt.is_ok()) {
+    EXPECT_NE(pt.value(), to_bytes("secret"));
+  }
+}
+
+TEST(Rsa, MessageTooLongRejected) {
+  const RsaPrivateKey& key = test_rsa1024();
+  HmacDrbg rng = make_test_drbg(7);
+  const Bytes huge(key.modulus_bytes() - 5, 0x41);
+  EXPECT_FALSE(rsa_encrypt_pkcs1(key.pub, huge, rng).is_ok());
+}
+
+TEST(Rsa, SerializeDeserializeRoundTrip) {
+  const RsaPrivateKey& key = test_rsa1024();
+  auto restored = RsaPrivateKey::deserialize(key.serialize());
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value().pub.n, key.pub.n);
+  EXPECT_EQ(restored.value().d, key.d);
+  EXPECT_EQ(restored.value().qinv, key.qinv);
+  // The restored key must still work.
+  const Bytes digest = sha256(to_bytes("x"));
+  EXPECT_TRUE(rsa_verify_pkcs1(restored.value().pub, digest,
+                               rsa_sign_pkcs1(restored.value(), digest))
+                  .is_ok());
+}
+
+TEST(Rsa, DeserializeRejectsMissingFields) {
+  EXPECT_FALSE(RsaPrivateKey::deserialize("n=ab\ne=03\n").is_ok());
+}
+
+TEST(Rsa, Rsa2048KeyFromKeystore) {
+  const RsaPrivateKey& key = test_rsa2048();
+  EXPECT_EQ(key.pub.n.bit_length(), 2048u);
+  const Bytes digest = sha256(to_bytes("qtls"));
+  EXPECT_TRUE(
+      rsa_verify_pkcs1(key.pub, digest, rsa_sign_pkcs1(key, digest)).is_ok());
+}
+
+}  // namespace
+}  // namespace qtls

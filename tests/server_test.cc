@@ -1,0 +1,469 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "engine/polling_thread.h"
+#include <thread>
+
+#include "server_test_util.h"
+
+namespace qtls::server {
+namespace {
+
+using testutil::run_to_completion;
+using testutil::socketpair_connector;
+
+// ------------------------------------------------------------- HTTP ----
+
+TEST(Http, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  parser.feed(to_bytes("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"));
+  auto req = parser.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/index.html");
+  EXPECT_TRUE(req->keepalive);
+}
+
+TEST(Http, ParsesIncrementally) {
+  HttpRequestParser parser;
+  parser.feed(to_bytes("GET / HT"));
+  EXPECT_FALSE(parser.next().has_value());
+  parser.feed(to_bytes("TP/1.1\r\n"));
+  EXPECT_FALSE(parser.next().has_value());
+  parser.feed(to_bytes("\r\n"));
+  ASSERT_TRUE(parser.next().has_value());
+}
+
+TEST(Http, ConnectionCloseDetected) {
+  HttpRequestParser parser;
+  parser.feed(to_bytes("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  auto req = parser.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(req->keepalive);
+}
+
+TEST(Http, PipelinedRequests) {
+  HttpRequestParser parser;
+  parser.feed(to_bytes("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"));
+  auto r1 = parser.next();
+  auto r2 = parser.next();
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->path, "/a");
+  EXPECT_EQ(r2->path, "/b");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  const Bytes body = to_bytes("hello body");
+  const Bytes resp = build_http_response(200, body, true);
+  auto head = parse_http_response_head(resp);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->status, 200);
+  EXPECT_EQ(head->content_length, body.size());
+  EXPECT_TRUE(head->keepalive);
+  EXPECT_EQ(resp.size(), head->header_bytes + body.size());
+}
+
+TEST(Http, MalformedRequestSetsError) {
+  HttpRequestParser parser;
+  parser.feed(to_bytes("NONSENSE\r\n\r\n"));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+}
+
+// ------------------------------------------------------------- conf ----
+
+TEST(SslEngineConf, ParsesPaperExample) {
+  auto settings = parse_ssl_engine_settings(R"(
+    worker_processes 8;
+    ssl_engine {
+        use qat_engine;
+        default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+        qat_engine {
+            qat_offload_mode async;
+            qat_notify_mode poll;
+            qat_poll_mode heuristic;
+            qat_heuristic_poll_asym_threshold 48;
+            qat_heuristic_poll_sym_threshold 24;
+        }
+    }
+  )");
+  ASSERT_TRUE(settings.is_ok()) << settings.status().to_string();
+  const SslEngineSettings& s = settings.value();
+  EXPECT_EQ(s.worker_processes, 8);
+  EXPECT_TRUE(s.use_qat);
+  EXPECT_EQ(s.engine.offload_mode, engine::OffloadMode::kAsync);
+  EXPECT_TRUE(s.engine.offload_rsa);
+  EXPECT_TRUE(s.engine.offload_ec);
+  EXPECT_EQ(s.notify, NotifyScheme::kKernelBypass);
+  EXPECT_EQ(s.poll, PollScheme::kHeuristic);
+  EXPECT_EQ(s.heuristic.asym_threshold, 48u);
+  EXPECT_EQ(s.heuristic.sym_threshold, 24u);
+}
+
+TEST(SslEngineConf, AlgorithmSwitchesAreSelective) {
+  auto settings = parse_ssl_engine_settings(R"(
+    ssl_engine {
+        use qat_engine;
+        default_algorithm RSA;
+        qat_engine { qat_offload_mode sync; }
+    }
+  )");
+  ASSERT_TRUE(settings.is_ok());
+  EXPECT_TRUE(settings.value().engine.offload_rsa);
+  EXPECT_FALSE(settings.value().engine.offload_ec);
+  EXPECT_FALSE(settings.value().engine.offload_prf);
+  EXPECT_EQ(settings.value().engine.offload_mode, engine::OffloadMode::kSync);
+}
+
+TEST(SslEngineConf, RejectsInvalidCombos) {
+  EXPECT_FALSE(parse_ssl_engine_settings(R"(
+    ssl_engine { use qat_engine;
+      qat_engine { qat_notify_mode poll; qat_poll_mode timer; } }
+  )").is_ok());
+  EXPECT_FALSE(parse_ssl_engine_settings(
+                   "ssl_engine { qat_engine { qat_offload_mode magic; } }")
+                   .is_ok());
+  EXPECT_FALSE(parse_ssl_engine_settings("worker_processes 0;").is_ok());
+  EXPECT_FALSE(
+      parse_ssl_engine_settings("ssl_engine { use other_engine; }").is_ok());
+}
+
+TEST(SslEngineConf, SoftwareOnlyWhenNoEngineBlock) {
+  auto settings = parse_ssl_engine_settings("worker_processes 4;");
+  ASSERT_TRUE(settings.is_ok());
+  EXPECT_FALSE(settings.value().use_qat);
+  EXPECT_EQ(settings.value().worker_processes, 4);
+}
+
+// ------------------------------------------------------ async queue ----
+
+TEST(AsyncQueue, FifoAndDrainBoundary) {
+  AsyncEventQueue q;
+  std::vector<int> order;
+  q.push([&] { order.push_back(1); });
+  q.push([&] {
+    order.push_back(2);
+    // Handler queued during drain runs in the NEXT drain.
+    q.push([&] { order.push_back(3); });
+  });
+  EXPECT_EQ(q.drain(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.drain(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.total_pushed(), 3u);
+  EXPECT_EQ(q.total_drained(), 3u);
+}
+
+// -------------------------------------------------- worker end-to-end ----
+
+struct ServerRig {
+  qat::QatDevice device;
+  std::unique_ptr<engine::QatEngineProvider> qat;
+  std::unique_ptr<engine::SoftwareProvider> software;
+  std::unique_ptr<tls::TlsContext> server_ctx;
+  engine::SoftwareProvider client_provider{99};
+  std::unique_ptr<tls::TlsContext> client_ctx;
+  std::unique_ptr<Worker> worker;
+
+  ServerRig(bool use_qat, engine::OffloadMode mode, WorkerConfig wcfg,
+            tls::CipherSuite suite = tls::CipherSuite::kTlsRsaWithAes128CbcSha,
+            bool self_poll_when_blocking = true)
+      : device([] {
+          qat::DeviceConfig d;
+          d.num_endpoints = 1;
+          d.engines_per_endpoint = 8;
+          return d;
+        }()) {
+    tls::TlsContextConfig scfg;
+    scfg.is_server = true;
+    scfg.cipher_suites = {suite};
+    scfg.drbg_seed = 1;
+    engine::CryptoProvider* provider = nullptr;
+    if (use_qat) {
+      engine::QatEngineConfig qcfg;
+      qcfg.offload_mode = mode;
+      qcfg.self_poll_when_blocking = self_poll_when_blocking;
+      qat = std::make_unique<engine::QatEngineProvider>(
+          device.allocate_instance(), qcfg);
+      provider = qat.get();
+      scfg.async_mode = mode == engine::OffloadMode::kAsync;
+    } else {
+      software = std::make_unique<engine::SoftwareProvider>(3);
+      provider = software.get();
+    }
+    server_ctx = std::make_unique<tls::TlsContext>(scfg, provider);
+    server_ctx->credentials().rsa_key = &test_rsa2048();
+    server_ctx->credentials().ecdsa_p256 = &test_ec_key_p256();
+    server_ctx->credentials().ecdsa_p384 = &test_ec_key_p384();
+
+    tls::TlsContextConfig ccfg;
+    ccfg.cipher_suites = {suite};
+    ccfg.drbg_seed = 2;
+    client_ctx = std::make_unique<tls::TlsContext>(ccfg, &client_provider);
+
+    worker = std::make_unique<Worker>(server_ctx.get(), qat.get(), wcfg);
+  }
+};
+
+TEST(WorkerE2E, SoftwareServerServesRequests) {
+  WorkerConfig wcfg;
+  wcfg.response_body_size = 256;
+  ServerRig rig(false, engine::OffloadMode::kAsync, wcfg);
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.max_requests = 3;
+  pool.add(std::make_unique<client::HttpsClient>(
+      rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts));
+
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  const auto stats = pool.aggregate();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(rig.worker->stats().requests_served, 3u);
+  EXPECT_EQ(rig.worker->stats().handshakes_completed, 3u);  // no keepalive
+}
+
+TEST(WorkerE2E, QtlsConfigurationFullPipeline) {
+  // The full QTLS configuration: async offload + heuristic polling +
+  // kernel-bypass notification.
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kKernelBypass;
+  wcfg.poll = PollScheme::kHeuristic;
+  wcfg.response_body_size = 512;
+  ServerRig rig(true, engine::OffloadMode::kAsync, wcfg);
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.max_requests = 4;
+  for (int i = 0; i < 6; ++i) {
+    pool.add(std::make_unique<client::HttpsClient>(
+        rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts,
+        100 + i));
+  }
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  const auto stats = pool.aggregate();
+  EXPECT_EQ(stats.requests, 24u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(rig.worker->stats().async_parks, 0u);
+  // Kernel-bypass delivered every async event through the queue.
+  EXPECT_GT(rig.worker->async_queue().total_drained(), 0u);
+  // Heuristic polling retrieved the responses.
+  ASSERT_NE(rig.worker->poller_stats(), nullptr);
+  EXPECT_GT(rig.worker->poller_stats()->polls, 0u);
+  EXPECT_EQ(rig.qat->inflight_total(), 0u);
+}
+
+TEST(WorkerE2E, FdNotificationConfiguration) {
+  // QAT+A-style: async offload + FD notification (heuristic polling kept
+  // in-app so the test stays single-threaded deterministic).
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kFd;
+  wcfg.poll = PollScheme::kHeuristic;
+  ServerRig rig(true, engine::OffloadMode::kAsync, wcfg);
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.max_requests = 2;
+  for (int i = 0; i < 3; ++i) {
+    pool.add(std::make_unique<client::HttpsClient>(
+        rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts,
+        200 + i));
+  }
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  EXPECT_EQ(pool.aggregate().errors, 0u);
+  EXPECT_EQ(pool.aggregate().requests, 6u);
+  // Events travelled via eventfd, not the queue.
+  EXPECT_EQ(rig.worker->async_queue().total_pushed(), 0u);
+}
+
+TEST(WorkerE2E, TimerPollingThreadConfiguration) {
+  // QAT+A as evaluated in the paper: external 10us timer polling thread.
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kFd;
+  wcfg.poll = PollScheme::kTimer;
+  ServerRig rig(true, engine::OffloadMode::kAsync, wcfg);
+  engine::PollingThread poller({rig.qat->instance()},
+                               std::chrono::microseconds(10));
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.max_requests = 2;
+  for (int i = 0; i < 3; ++i) {
+    pool.add(std::make_unique<client::HttpsClient>(
+        rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts,
+        300 + i));
+  }
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  poller.stop();
+  EXPECT_EQ(pool.aggregate().errors, 0u);
+  EXPECT_GT(poller.retrieved(), 0u);
+}
+
+TEST(WorkerE2E, StraightOffloadConfiguration) {
+  // QAT+S: blocking offload, no async parks at all.
+  WorkerConfig wcfg;
+  wcfg.poll = PollScheme::kInline;
+  ServerRig rig(true, engine::OffloadMode::kSync, wcfg);
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.max_requests = 2;
+  pool.add(std::make_unique<client::HttpsClient>(
+      rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts));
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  EXPECT_EQ(pool.aggregate().errors, 0u);
+  EXPECT_EQ(rig.worker->stats().async_parks, 0u);
+  EXPECT_GT(rig.qat->stats().sync_blocks, 0u);
+}
+
+TEST(WorkerE2E, KeepaliveSessionAndResumption) {
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kKernelBypass;
+  ServerRig rig(true, engine::OffloadMode::kAsync, wcfg,
+                tls::CipherSuite::kEcdheRsaWithAes128CbcSha);
+
+  // Client 1: keepalive — one handshake, many requests.
+  {
+    client::Pool pool;
+    client::ClientOptions copts;
+    copts.keepalive = true;
+    copts.max_requests = 5;
+    pool.add(std::make_unique<client::HttpsClient>(
+        rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts));
+    ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+    EXPECT_EQ(pool.aggregate().requests, 5u);
+    EXPECT_EQ(pool.aggregate().connections, 1u);
+  }
+  // Client 2: session resumption — all abbreviated after the first.
+  {
+    client::Pool pool;
+    client::ClientOptions copts;
+    copts.keepalive = false;
+    copts.max_requests = 4;
+    copts.full_handshake_ratio = 0.0;  // resume whenever a session exists
+    pool.add(std::make_unique<client::HttpsClient>(
+        rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts));
+    ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+    EXPECT_EQ(pool.aggregate().requests, 4u);
+    EXPECT_EQ(pool.aggregate().resumed, 3u);  // first is full
+    EXPECT_EQ(rig.worker->stats().resumed_handshakes, 3u);
+  }
+}
+
+TEST(WorkerE2E, ActiveIdleAccounting) {
+  WorkerConfig wcfg;
+  ServerRig rig(true, engine::OffloadMode::kAsync, wcfg);
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.keepalive = true;
+  copts.max_requests = 2;
+  pool.add(std::make_unique<client::HttpsClient>(
+      rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts));
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  // After completion every connection is gone or idle: TC_active == 0.
+  EXPECT_EQ(rig.worker->active_connections(), 0u);
+}
+
+TEST(WorkerE2E, ManyConcurrentClientsNoStarvation) {
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kKernelBypass;
+  wcfg.heuristic.asym_threshold = 8;  // force coalesced polls with 16 conns
+  wcfg.heuristic.sym_threshold = 4;
+  ServerRig rig(true, engine::OffloadMode::kAsync, wcfg);
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.max_requests = 2;
+  for (int i = 0; i < 16; ++i) {
+    pool.add(std::make_unique<client::HttpsClient>(
+        rig.client_ctx.get(), socketpair_connector(rig.worker.get()), copts,
+        400 + i));
+  }
+  ASSERT_TRUE(run_to_completion(rig.worker.get(), &pool));
+  const auto stats = pool.aggregate();
+  EXPECT_EQ(stats.requests, 32u);
+  EXPECT_EQ(stats.errors, 0u);
+  // With thresholds this low and 16 concurrent connections, the efficiency
+  // trigger must have fired.
+  EXPECT_GT(rig.worker->poller_stats()->efficiency_triggers, 0u);
+}
+
+TEST(HeuristicPoller, TimelinessTriggerFiresWhenAllActiveBlocked) {
+  qat::DeviceConfig dcfg;
+  dcfg.num_endpoints = 1;
+  dcfg.engines_per_endpoint = 2;
+  qat::QatDevice device(dcfg);
+  engine::QatEngineConfig qcfg;
+  engine::QatEngineProvider qat(device.allocate_instance(), qcfg);
+  HeuristicPollerConfig hcfg;
+  hcfg.asym_threshold = 48;
+  hcfg.sym_threshold = 24;
+  HeuristicPoller poller(&qat, hcfg);
+
+  // One async job inflight, one active connection: R_total == TC_active.
+  asyncx::AsyncJob* job = nullptr;
+  asyncx::WaitCtx wctx;
+  int ret = 0;
+  auto fn = [&]() -> int {
+    auto r = qat.prf_tls12(HashAlg::kSha256, to_bytes("k"), "l",
+                           to_bytes("s"), 32);
+    return r.is_ok() ? 1 : -1;
+  };
+  ASSERT_EQ(asyncx::start_job(&job, &wctx, &ret, fn),
+            asyncx::JobStatus::kPaused);
+  EXPECT_EQ(qat.inflight_total(), 1u);
+
+  // Below both thresholds, but timeliness applies (1 inflight >= 1 active).
+  int guard = 0;
+  while (qat.inflight_total() > 0 && guard++ < 100000) {
+    poller.maybe_poll(/*active=*/1, /*now_ms=*/0);
+    std::this_thread::yield();  // single-core: let the engine thread run
+  }
+  EXPECT_EQ(qat.inflight_total(), 0u);
+  EXPECT_GT(poller.stats().timeliness_triggers, 0u);
+  EXPECT_EQ(poller.stats().efficiency_triggers, 0u);
+  ASSERT_EQ(asyncx::start_job(&job, &wctx, &ret, fn),
+            asyncx::JobStatus::kFinished);
+  EXPECT_EQ(ret, 1);
+}
+
+TEST(HeuristicPoller, FailoverFiresAfterInterval) {
+  qat::DeviceConfig dcfg;
+  dcfg.num_endpoints = 1;
+  dcfg.engines_per_endpoint = 2;
+  qat::QatDevice device(dcfg);
+  engine::QatEngineConfig qcfg;
+  engine::QatEngineProvider qat(device.allocate_instance(), qcfg);
+  HeuristicPollerConfig hcfg;
+  hcfg.failover_interval_ms = 5;
+  HeuristicPoller poller(&qat, hcfg);
+
+  asyncx::AsyncJob* job = nullptr;
+  asyncx::WaitCtx wctx;
+  int ret = 0;
+  auto fn = [&]() -> int {
+    auto r = qat.prf_tls12(HashAlg::kSha256, to_bytes("k"), "l",
+                           to_bytes("s"), 32);
+    return r.is_ok() ? 1 : -1;
+  };
+  ASSERT_EQ(asyncx::start_job(&job, &wctx, &ret, fn),
+            asyncx::JobStatus::kPaused);
+
+  // Active count of 50 means neither heuristic constraint fires (1 < 24,
+  // 1 < 50); only the failover timer can retrieve the response.
+  EXPECT_EQ(poller.maybe_poll(/*active=*/50, /*now_ms=*/0), 0u);
+  EXPECT_EQ(poller.failover_poll(/*now_ms=*/2), 0u);  // interval not reached
+  int guard = 0;
+  while (qat.inflight_total() > 0 && guard++ < 100000) {
+    (void)poller.failover_poll(/*now_ms=*/10 + guard);
+    std::this_thread::yield();  // single-core: let the engine thread run
+  }
+  EXPECT_GT(poller.stats().failover_triggers, 0u);
+  ASSERT_EQ(asyncx::start_job(&job, &wctx, &ret, fn),
+            asyncx::JobStatus::kFinished);
+}
+
+}  // namespace
+}  // namespace qtls::server

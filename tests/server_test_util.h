@@ -1,0 +1,43 @@
+// Harness that co-schedules one Worker and a set of cooperative HTTPS
+// clients in a single thread, connected over AF_UNIX socketpairs (real fds,
+// real epoll — no network dependency).
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "client/https_client.h"
+#include "server/worker.h"
+
+namespace qtls::server::testutil {
+
+inline client::ConnectFn socketpair_connector(Worker* worker) {
+  return [worker]() -> int {
+    auto pair = net::make_socketpair();
+    if (!pair.is_ok()) return -1;
+    if (!worker->adopt(pair.value().second).is_ok()) {
+      ::close(pair.value().first);
+      return -1;
+    }
+    return pair.value().first;
+  };
+}
+
+// Runs until every client finished or the wall deadline passes. Returns true
+// when all clients finished.
+inline bool run_to_completion(Worker* worker, client::Pool* pool,
+                              int deadline_seconds = 60) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(deadline_seconds);
+  for (;;) {
+    bool any_active = false;
+    for (auto& c : pool->clients()) {
+      if (c->step()) any_active = true;
+    }
+    worker->run_once(0);
+    if (!any_active) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+  }
+}
+
+}  // namespace qtls::server::testutil

@@ -1,0 +1,385 @@
+// Tests of the virtual-time plane: DES core invariants, the device model,
+// and — most importantly — the acceptance criteria of DESIGN.md §3: the
+// paper's shapes must hold on the simulator (who wins, by what factor,
+// where the crossovers fall).
+#include <gtest/gtest.h>
+
+#include "sim/des.h"
+#include "sim/qat_sim.h"
+#include "sim/system.h"
+
+namespace qtls::sim {
+namespace {
+
+// ------------------------------------------------------------- DES core --
+
+TEST(Des, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Des, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Des, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(200, [&] { ++fired; });
+  sim.run_until(100);
+  EXPECT_EQ(fired, 1);
+  sim.run_until(300);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Des, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_after(5, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_until(1000);
+  EXPECT_EQ(depth, 10);
+}
+
+TEST(Des, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_at(50, [] {});
+  sim.run_until(50);
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });  // in the past: runs "now"
+  sim.run_until(60);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimResourceTest, SerializesTasks) {
+  Simulator sim;
+  SimResource cpu(&sim);
+  std::vector<SimTime> completions;
+  sim.schedule_at(0, [&] {
+    cpu.exec(100, [&] { completions.push_back(sim.now()); });
+    cpu.exec(50, [&] { completions.push_back(sim.now()); });
+  });
+  sim.run_until(1000);
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], 100u);
+  EXPECT_EQ(completions[1], 150u);  // queued behind the first
+  EXPECT_EQ(cpu.total_busy(), 150u);
+}
+
+// ------------------------------------------------------------ device ----
+
+TEST(SimQat, EnginesServeInParallel) {
+  Simulator sim;
+  CostModel costs;
+  SimQatDevice device(&sim, &costs, 1, 4);
+  SimQatInstance* inst = device.allocate_instance();
+
+  // Four asym ops submitted together on four engines: all ready after ~one
+  // service time, not four.
+  int retrieved = 0;
+  sim.schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i)
+      ASSERT_TRUE(inst->submit(SOp::kRsaPriv, [&] { ++retrieved; }));
+  });
+  sim.run_until(costs.qat_service(SOp::kRsaPriv) + 1000);
+  EXPECT_EQ(inst->poll(), 4u);
+  EXPECT_EQ(retrieved, 4);
+}
+
+TEST(SimQat, QueueingWhenEnginesBusy) {
+  Simulator sim;
+  CostModel costs;
+  SimQatDevice device(&sim, &costs, 1, 1);  // one engine
+  SimQatInstance* inst = device.allocate_instance();
+  const SimTime service = costs.qat_service(SOp::kRsaPriv);
+
+  sim.schedule_at(0, [&] {
+    ASSERT_TRUE(inst->submit(SOp::kRsaPriv, nullptr));
+    ASSERT_TRUE(inst->submit(SOp::kRsaPriv, nullptr));
+  });
+  sim.run_until(service + 1000);
+  EXPECT_EQ(inst->poll(), 1u);  // second op still in service
+  sim.run_until(2 * service + 1000);
+  EXPECT_EQ(inst->poll(), 1u);
+}
+
+TEST(SimQat, RingCapacityBoundsSubmissions) {
+  Simulator sim;
+  CostModel costs;
+  SimQatDevice device(&sim, &costs, 1, 1);
+  SimQatInstance* inst = device.allocate_instance(/*ring_capacity=*/4);
+  sim.schedule_at(0, [&] {
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i)
+      if (inst->submit(SOp::kRsaPriv, nullptr)) ++accepted;
+    EXPECT_EQ(accepted, 4);
+  });
+  sim.run_until(1);
+}
+
+TEST(SimQat, InflightCountsPerClass) {
+  Simulator sim;
+  CostModel costs;
+  SimQatDevice device(&sim, &costs, 1, 4);
+  SimQatInstance* inst = device.allocate_instance();
+  sim.schedule_at(0, [&] {
+    inst->submit(SOp::kRsaPriv, nullptr);
+    inst->submit(SOp::kPrf, nullptr);
+    EXPECT_EQ(inst->inflight_total(), 2u);
+    EXPECT_EQ(inst->inflight_asym(), 1u);
+  });
+  sim.run_until(costs.qat_service(SOp::kRsaPriv) + 1000);
+  inst->poll();
+  EXPECT_EQ(inst->inflight_total(), 0u);
+}
+
+// ------------------------------------------------- configuration knobs --
+
+TEST(ConfigKnobsTest, MatchPaperConfigurations) {
+  RunParams p;
+  p.config = Config::kSW;
+  EXPECT_FALSE(resolve_config(p).offload);
+
+  p.config = Config::kQatS;
+  EXPECT_TRUE(resolve_config(p).offload);
+  EXPECT_FALSE(resolve_config(p).async);
+
+  p.config = Config::kQatA;
+  EXPECT_EQ(resolve_config(p).poll, PollMode::kTimer);
+  EXPECT_EQ(resolve_config(p).notify, NotifyMode::kFd);
+
+  p.config = Config::kQatAH;
+  EXPECT_EQ(resolve_config(p).poll, PollMode::kHeuristic);
+  EXPECT_EQ(resolve_config(p).notify, NotifyMode::kFd);
+
+  p.config = Config::kQtls;
+  EXPECT_EQ(resolve_config(p).poll, PollMode::kHeuristic);
+  EXPECT_EQ(resolve_config(p).notify, NotifyMode::kKernelBypass);
+
+  // §5.6 overrides only apply to async configurations.
+  p.config = Config::kQatS;
+  p.poll_override = PollMode::kHeuristic;
+  EXPECT_EQ(resolve_config(p).poll, PollMode::kBusy);
+}
+
+// --------------------------------------------- acceptance: paper shapes --
+// Short windows keep the suite fast; the ratios have wide tolerances since
+// the full benches (bench/fig*) are the precise check.
+
+RunParams quick(Config cfg, int workers, tls::CipherSuite suite) {
+  RunParams p;
+  p.config = cfg;
+  p.workers = workers;
+  p.clients = 200;
+  p.suite = suite;
+  p.warmup = 400 * kMs;
+  p.duration = 400 * kMs;
+  return p;
+}
+
+double cps_of(Config cfg, int workers, tls::CipherSuite suite) {
+  return run_simulation(quick(cfg, workers, suite)).cps;
+}
+
+TEST(PaperShapes, Fig7aOrderingAndFactors) {
+  const auto suite = tls::CipherSuite::kTlsRsaWithAes128CbcSha;
+  const double sw = cps_of(Config::kSW, 8, suite);
+  const double qat_s = cps_of(Config::kQatS, 8, suite);
+  const double qat_a = cps_of(Config::kQatA, 8, suite);
+  const double qat_ah = cps_of(Config::kQatAH, 8, suite);
+  const double qtls = cps_of(Config::kQtls, 8, suite);
+
+  // Strict ordering of the five configurations.
+  EXPECT_LT(sw, qat_s);
+  EXPECT_LT(qat_s, qat_a);
+  EXPECT_LT(qat_a, qat_ah);
+  EXPECT_LT(qat_ah, qtls);
+  // Factors (paper: 2x, 7x, +20%, +8%, 9x) with tolerance.
+  EXPECT_NEAR(qat_s / sw, 2.0, 0.7);
+  EXPECT_NEAR(qat_a / sw, 7.0, 1.5);
+  EXPECT_NEAR(qtls / sw, 9.0, 2.0);
+}
+
+TEST(PaperShapes, Fig7aPlateauAtCardLimit) {
+  const auto suite = tls::CipherSuite::kTlsRsaWithAes128CbcSha;
+  RunParams p = quick(Config::kQtls, 32, suite);
+  p.clients = 400;
+  const double qtls32 = run_simulation(p).cps;
+  // DH8970 limit ~100K CPS (paper §5.2).
+  EXPECT_GT(qtls32, 85'000);
+  EXPECT_LT(qtls32, 110'000);
+}
+
+TEST(PaperShapes, Fig7bStraightOffloadGainsNothing) {
+  const auto suite = tls::CipherSuite::kEcdheRsaWithAes128CbcSha;
+  const double sw = cps_of(Config::kSW, 8, suite);
+  const double qat_s = cps_of(Config::kQatS, 8, suite);
+  // Paper: "no CPS improvement over the SW configuration" — allow up to
+  // ~1.5x; the distinctive claim is the contrast with TLS-RSA's clear 2x
+  // and the async framework's >4x below.
+  EXPECT_LT(qat_s / sw, 1.6);
+  const double qat_a = cps_of(Config::kQatA, 8, suite);
+  EXPECT_GT(qat_a / sw, 4.0);
+}
+
+TEST(PaperShapes, Fig7cMontgomeryP256AnomalyAndBinaryGains) {
+  const auto suite = tls::CipherSuite::kEcdheEcdsaWithAes128CbcSha;
+  // P-256: SW beats straight offload (the §5.2 anomaly)...
+  RunParams sw_p = quick(Config::kSW, 4, suite);
+  sw_p.curve = CurveId::kP256;
+  RunParams qs_p = quick(Config::kQatS, 4, suite);
+  qs_p.curve = CurveId::kP256;
+  RunParams qt_p = quick(Config::kQtls, 4, suite);
+  qt_p.curve = CurveId::kP256;
+  const double sw256 = run_simulation(sw_p).cps;
+  const double qats256 = run_simulation(qs_p).cps;
+  const double qtls256 = run_simulation(qt_p).cps;
+  EXPECT_GT(sw256, qats256);
+  // ...yet QTLS still enhances CPS by more than 70%.
+  EXPECT_GT(qtls256 / sw256, 1.7);
+
+  // P-384: ~14x.
+  sw_p.curve = qt_p.curve = CurveId::kP384;
+  const double sw384 = run_simulation(sw_p).cps;
+  const double qtls384 = run_simulation(qt_p).cps;
+  EXPECT_NEAR(qtls384 / sw384, 14.0, 4.0);
+
+  // Binary curves: more than 12x (allowing sim tolerance at the margin).
+  for (CurveId curve : {CurveId::kB283, CurveId::kK409}) {
+    sw_p.curve = qt_p.curve = curve;
+    const double sw_bin = run_simulation(sw_p).cps;
+    const double qtls_bin = run_simulation(qt_p).cps;
+    EXPECT_GT(qtls_bin / sw_bin, 8.0) << curve_name(curve);
+  }
+}
+
+TEST(PaperShapes, Fig8Tls13LowerGainBecauseHkdfStaysOnCpu) {
+  const double sw12 = cps_of(Config::kSW, 8,
+                             tls::CipherSuite::kEcdheRsaWithAes128CbcSha);
+  const double qtls12 = cps_of(Config::kQtls, 8,
+                               tls::CipherSuite::kEcdheRsaWithAes128CbcSha);
+  const double sw13 =
+      cps_of(Config::kSW, 8, tls::CipherSuite::kTls13Aes128Sha256);
+  const double qtls13 =
+      cps_of(Config::kQtls, 8, tls::CipherSuite::kTls13Aes128Sha256);
+  EXPECT_NEAR(qtls13 / sw13, 3.5, 1.0);
+  // The TLS 1.3 gain must be clearly below the TLS 1.2 gain.
+  EXPECT_LT(qtls13 / sw13, qtls12 / sw12 * 0.7);
+}
+
+TEST(PaperShapes, Fig9ResumptionShapes) {
+  RunParams p = quick(Config::kSW, 8, tls::CipherSuite::kEcdheRsaWithAes128CbcSha);
+  p.full_handshake_ratio = 0.0;
+  const double sw = run_simulation(p).cps;
+  p.config = Config::kQtls;
+  const double qtls = run_simulation(p).cps;
+  p.config = Config::kQatS;
+  const double qat_s = run_simulation(p).cps;
+  // 30-40% gain for QTLS; QAT+S *loses* to SW (paper §5.3).
+  EXPECT_GT(qtls / sw, 1.2);
+  EXPECT_LT(qtls / sw, 1.6);
+  EXPECT_LT(qat_s, sw);
+
+  // 1:9 mix: more than 2x.
+  p.config = Config::kSW;
+  p.full_handshake_ratio = 0.1;
+  const double sw_mix = run_simulation(p).cps;
+  p.config = Config::kQtls;
+  const double qtls_mix = run_simulation(p).cps;
+  EXPECT_GT(qtls_mix / sw_mix, 2.0);
+}
+
+TEST(PaperShapes, Fig10TransferCrossover) {
+  auto tput = [&](Config cfg, size_t kb) {
+    RunParams p = quick(cfg, 8, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+    p.transfer_mode = true;
+    p.clients = 400;
+    p.file_bytes = kb * 1024;
+    return run_simulation(p).throughput_gbps;
+  };
+  // 4 KB: request overhead dominates — only slight gain.
+  EXPECT_LT(tput(Config::kQtls, 4) / tput(Config::kSW, 4), 1.4);
+  // 128 KB: > 2x (paper §5.4).
+  EXPECT_GT(tput(Config::kQtls, 128) / tput(Config::kSW, 128), 2.0);
+}
+
+TEST(PaperShapes, Fig11LatencyOrderingAndReduction) {
+  auto latency_ms = [&](Config cfg, int clients) {
+    RunParams p = quick(cfg, 1, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+    p.clients = clients;
+    p.include_request = true;
+    p.sync_busy_poll = true;
+    return run_simulation(p).latency.mean_nanos() / 1e6;
+  };
+  // Concurrency 1 ordering (paper §5.5).
+  const double sw1 = latency_ms(Config::kSW, 1);
+  const double qats1 = latency_ms(Config::kQatS, 1);
+  const double qata1 = latency_ms(Config::kQatA, 1);
+  const double qtls1 = latency_ms(Config::kQtls, 1);
+  EXPECT_LT(qats1, qtls1);
+  EXPECT_LE(qtls1, qata1);
+  EXPECT_LT(qata1, sw1);
+  // ~75% / ~85% reductions at concurrency 64.
+  const double sw64 = latency_ms(Config::kSW, 64);
+  const double qata64 = latency_ms(Config::kQatA, 64);
+  const double qtls64 = latency_ms(Config::kQtls, 64);
+  EXPECT_NEAR(1.0 - qata64 / sw64, 0.78, 0.10);
+  EXPECT_NEAR(1.0 - qtls64 / sw64, 0.86, 0.08);
+}
+
+TEST(PaperShapes, Fig12PollingSchemes) {
+  // CPS: heuristic beats the 10us timer by roughly the §5.6 20% gap.
+  RunParams p10 = quick(Config::kQatA, 8, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+  p10.timer_interval = 10 * kUs;
+  RunParams ph = quick(Config::kQtls, 8, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+  const double t10 = run_simulation(p10).cps;
+  const double heur = run_simulation(ph).cps;
+  EXPECT_GT(heur / t10, 1.1);
+  EXPECT_LT(heur / t10, 1.6);
+
+  // Latency: 1ms interval imposes a multi-ms floor at low concurrency.
+  RunParams l1ms = quick(Config::kQatA, 1, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+  l1ms.clients = 1;
+  l1ms.include_request = true;
+  l1ms.timer_interval = 1 * kMs;
+  RunParams lh = quick(Config::kQtls, 1, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+  lh.clients = 1;
+  lh.include_request = true;
+  const double lat_1ms = run_simulation(l1ms).latency.mean_nanos() / 1e6;
+  const double lat_h = run_simulation(lh).latency.mean_nanos() / 1e6;
+  EXPECT_GT(lat_1ms - lat_h, 2.0);  // several quanta of added latency
+}
+
+TEST(SimDeterminism, SameSeedSameResult) {
+  RunParams p = quick(Config::kQtls, 4, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+  const RunResult a = run_simulation(p);
+  const RunResult b = run_simulation(p);
+  EXPECT_EQ(a.handshakes, b.handshakes);
+  EXPECT_EQ(a.submit_retries, b.submit_retries);
+  EXPECT_EQ(a.heuristic_polls, b.heuristic_polls);
+}
+
+TEST(SimDeterminism, DifferentSeedSimilarThroughput) {
+  RunParams p = quick(Config::kQtls, 4, tls::CipherSuite::kTlsRsaWithAes128CbcSha);
+  const double a = run_simulation(p).cps;
+  p.seed = 777;
+  const double b = run_simulation(p).cps;
+  EXPECT_NEAR(a / b, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace qtls::sim

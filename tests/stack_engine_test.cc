@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <atomic>
+#include <thread>
+
+#include "crypto/keystore.h"
+#include "engine/qat_engine.h"
+#include "engine/stack_engine.h"
+
+namespace qtls::engine {
+namespace {
+
+qat::DeviceConfig small_device() {
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  return cfg;
+}
+
+void poll_until_ready(StackAsyncEngine& engine, const StackAsyncOp& op) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (op.idle() == false &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (engine.poll() > 0) return;
+    std::this_thread::yield();
+  }
+}
+
+TEST(StackEngine, Figure5HappyPath) {
+  qat::QatDevice device(small_device());
+  StackAsyncEngine engine(device.allocate_instance());
+  const RsaPrivateKey& key = test_rsa1024();
+  const Bytes digest = sha256(to_bytes("stack async"));
+
+  StackAsyncOp op;
+  Bytes signature;
+  auto compute = [&key, digest]() -> Result<Bytes> {
+    Bytes sig = rsa_sign_pkcs1(key, digest);
+    if (sig.empty()) return err(Code::kInternal, "sign failed");
+    return sig;
+  };
+
+  // First entry: submission, pause.
+  ASSERT_EQ(engine.run(&op, qat::OpKind::kRsa2048Priv, compute, &signature),
+            StackStep::kPaused);
+  // Re-entry before retrieval: still paused (the "inflight" flag).
+  EXPECT_EQ(engine.run(&op, qat::OpKind::kRsa2048Priv, compute, &signature),
+            StackStep::kPaused);
+
+  poll_until_ready(engine, op);
+
+  // Re-entry after the response: jumps over submission, consumes result.
+  ASSERT_EQ(engine.run(&op, qat::OpKind::kRsa2048Priv, compute, &signature),
+            StackStep::kDone);
+  EXPECT_TRUE(rsa_verify_pkcs1(key.pub, digest, signature).is_ok());
+  EXPECT_TRUE(op.idle());  // flag reset: the slot is reusable
+  EXPECT_EQ(engine.submitted(), 1u);
+}
+
+TEST(StackEngine, ComputeFailureSurfacesAsError) {
+  qat::QatDevice device(small_device());
+  StackAsyncEngine engine(device.allocate_instance());
+  StackAsyncOp op;
+  Bytes out;
+  auto failing = []() -> Result<Bytes> {
+    return err(Code::kCryptoError, "boom");
+  };
+  ASSERT_EQ(engine.run(&op, qat::OpKind::kPrfTls12, failing, &out),
+            StackStep::kPaused);
+  poll_until_ready(engine, op);
+  EXPECT_EQ(engine.run(&op, qat::OpKind::kPrfTls12, failing, &out),
+            StackStep::kError);
+  EXPECT_EQ(op.status().code(), Code::kCryptoError);
+}
+
+TEST(StackEngine, RingFullRetryPath) {
+  qat::DeviceConfig cfg = small_device();
+  cfg.engines_per_endpoint = 1;
+  cfg.ring_capacity = 2;
+  qat::QatDevice device(cfg);
+  StackAsyncEngine engine(device.allocate_instance());
+
+  // Saturate the 2-slot ring with slow computations.
+  std::atomic<bool> release{false};
+  auto slow = [&release]() -> Result<Bytes> {
+    while (!release.load()) std::this_thread::yield();
+    return Bytes{1};
+  };
+  std::vector<std::unique_ptr<StackAsyncOp>> ops;
+  int paused = 0, retried = 0;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(std::make_unique<StackAsyncOp>());
+    const StackStep step =
+        engine.run(ops.back().get(), qat::OpKind::kPrfTls12, slow, nullptr);
+    if (step == StackStep::kPaused) ++paused;
+    if (step == StackStep::kRetry) ++retried;
+  }
+  EXPECT_GT(retried, 0);
+  EXPECT_GT(engine.ring_full_events(), 0u);
+
+  release.store(true);
+  // Drive everything to completion, re-entering retry-flagged ops.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int done = 0;
+  while (done < 8 && std::chrono::steady_clock::now() < deadline) {
+    engine.poll();
+    done = 0;
+    for (auto& op : ops) {
+      Bytes out;
+      const StackStep step =
+          engine.run(op.get(), qat::OpKind::kPrfTls12, slow, &out);
+      if (step == StackStep::kDone || (op->idle() && step != StackStep::kRetry))
+        ++done;
+    }
+  }
+  EXPECT_EQ(done, 8);
+}
+
+TEST(StackEngine, NotifiesWaitCtx) {
+  qat::QatDevice device(small_device());
+  StackAsyncEngine engine(device.allocate_instance());
+  asyncx::WaitCtx wctx;
+  int notified = 0;
+  wctx.set_callback([](void* arg) { ++*static_cast<int*>(arg); }, &notified);
+
+  StackAsyncOp op;
+  auto compute = []() -> Result<Bytes> { return Bytes{42}; };
+  ASSERT_EQ(engine.run(&op, qat::OpKind::kPrfTls12, compute, nullptr, &wctx),
+            StackStep::kPaused);
+  poll_until_ready(engine, op);
+  EXPECT_EQ(notified, 1);
+  Bytes out;
+  EXPECT_EQ(engine.run(&op, qat::OpKind::kPrfTls12, compute, &out),
+            StackStep::kDone);
+  EXPECT_EQ(out, Bytes{42});
+}
+
+TEST(StackEngine, MatchesFiberAsyncResults) {
+  // Both §4.1 implementations must compute identical results.
+  qat::QatDevice device(small_device());
+  StackAsyncEngine stack_engine(device.allocate_instance());
+  QatEngineConfig qcfg;
+  qcfg.offload_mode = OffloadMode::kSync;  // fiber-less reference path
+  QatEngineProvider fiber_engine(device.allocate_instance(), qcfg);
+
+  const Bytes secret = to_bytes("secret");
+  const Bytes seed = to_bytes("seed");
+  auto compute = [&]() -> Result<Bytes> {
+    return tls12_prf(HashAlg::kSha256, secret, "master secret", seed, 48);
+  };
+
+  StackAsyncOp op;
+  Bytes stack_out;
+  ASSERT_EQ(stack_engine.run(&op, qat::OpKind::kPrfTls12, compute, &stack_out),
+            StackStep::kPaused);
+  poll_until_ready(stack_engine, op);
+  ASSERT_EQ(stack_engine.run(&op, qat::OpKind::kPrfTls12, compute, &stack_out),
+            StackStep::kDone);
+
+  auto fiber_out = fiber_engine.prf_tls12(HashAlg::kSha256, secret,
+                                          "master secret", seed, 48);
+  ASSERT_TRUE(fiber_out.is_ok());
+  EXPECT_EQ(stack_out, fiber_out.value());
+}
+
+}  // namespace
+}  // namespace qtls::engine

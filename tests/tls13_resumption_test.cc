@@ -1,0 +1,191 @@
+// TLS 1.3 PSK resumption (psk_dhe_ke) — the extension beyond the paper's
+// Fig. 9 (which covers TLS 1.2 resumption): NewSessionTicket issued after
+// the full handshake; a later handshake offering the ticket skips the
+// certificate and the RSA signature while keeping the ECDHE exchange.
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "tls_test_util.h"
+
+namespace qtls::tls {
+namespace {
+
+using testutil::pump_handshake;
+using testutil::pump_read;
+using testutil::pump_write;
+
+struct Rig13 {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider server_provider{1};
+  engine::SoftwareProvider client_provider{2};
+  std::unique_ptr<TlsContext> server_ctx;
+  std::unique_ptr<TlsContext> client_ctx;
+  std::unique_ptr<TlsConnection> server;
+  std::unique_ptr<TlsConnection> client;
+
+  Rig13() {
+    TlsContextConfig scfg;
+    scfg.is_server = true;
+    scfg.cipher_suites = {CipherSuite::kTls13Aes128Sha256};
+    scfg.use_session_tickets = true;
+    scfg.drbg_seed = 31;
+    server_ctx = std::make_unique<TlsContext>(scfg, &server_provider);
+    server_ctx->credentials().rsa_key = &test_rsa2048();
+
+    TlsContextConfig ccfg;
+    ccfg.cipher_suites = {CipherSuite::kTls13Aes128Sha256};
+    ccfg.drbg_seed = 32;
+    client_ctx = std::make_unique<TlsContext>(ccfg, &client_provider);
+    reset();
+  }
+
+  void reset() {
+    server = std::make_unique<TlsConnection>(server_ctx.get(), &pipe.b());
+    client = std::make_unique<TlsConnection>(client_ctx.get(), &pipe.a());
+  }
+
+  // Full handshake + one read to deliver the post-handshake ticket.
+  std::optional<ClientSession> full_handshake_and_ticket() {
+    if (!pump_handshake(client.get(), server.get()).ok) return std::nullopt;
+    // The NewSessionTicket arrives as a post-handshake record; a client
+    // read (that then would-block on app data) consumes it.
+    Bytes sink;
+    (void)pump_read(client.get(), &sink);
+    return client->established_session();
+  }
+};
+
+TEST(Tls13Resumption, TicketIssuedAfterFullHandshake) {
+  Rig13 rig;
+  auto session = rig.full_handshake_and_ticket();
+  ASSERT_TRUE(session.has_value());
+  EXPECT_FALSE(session->ticket.empty());
+  EXPECT_FALSE(session->master_secret.empty());
+  EXPECT_EQ(session->suite, CipherSuite::kTls13Aes128Sha256);
+  // The full handshake performed the RSA CertificateVerify.
+  EXPECT_EQ(rig.server->op_counters().rsa, 1);
+}
+
+TEST(Tls13Resumption, PskHandshakeSkipsAsymmetricSignature) {
+  Rig13 rig;
+  auto session = rig.full_handshake_and_ticket();
+  ASSERT_TRUE(session.has_value());
+
+  rig.reset();
+  rig.client->offer_session(*session);
+  const auto result = pump_handshake(rig.client.get(), rig.server.get());
+  ASSERT_TRUE(result.ok) << "client=" << tls_result_name(result.client_last)
+                         << " server=" << tls_result_name(result.server_last);
+  EXPECT_TRUE(rig.server->resumed_session());
+  EXPECT_TRUE(rig.client->resumed_session());
+  // §2.1: the asymmetric-key calculation is skipped; ECDHE (2 EC ops)
+  // remains for forward secrecy (psk_dhe_ke).
+  EXPECT_EQ(rig.server->op_counters().rsa, 0);
+  EXPECT_EQ(rig.server->op_counters().ecc, 2);
+
+  // Application data flows under the resumed keys.
+  ASSERT_EQ(pump_write(rig.client.get(), to_bytes("psk data")),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(rig.server.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "psk data");
+}
+
+TEST(Tls13Resumption, ResumedSessionsChainViaFreshTickets) {
+  Rig13 rig;
+  auto session = rig.full_handshake_and_ticket();
+  ASSERT_TRUE(session.has_value());
+
+  // Resume, collect the refreshed ticket, resume again.
+  for (int round = 0; round < 2; ++round) {
+    rig.reset();
+    rig.client->offer_session(*session);
+    ASSERT_TRUE(pump_handshake(rig.client.get(), rig.server.get()).ok)
+        << "round " << round;
+    EXPECT_TRUE(rig.server->resumed_session());
+    Bytes sink;
+    (void)pump_read(rig.client.get(), &sink);  // pick up the new ticket
+    session = rig.client->established_session();
+    ASSERT_TRUE(session.has_value());
+    ASSERT_FALSE(session->ticket.empty());
+  }
+}
+
+TEST(Tls13Resumption, TamperedTicketFallsBackToFullHandshake) {
+  Rig13 rig;
+  auto session = rig.full_handshake_and_ticket();
+  ASSERT_TRUE(session.has_value());
+
+  rig.reset();
+  ClientSession bad = *session;
+  bad.ticket[4] ^= 0x01;
+  rig.client->offer_session(bad);
+  ASSERT_TRUE(pump_handshake(rig.client.get(), rig.server.get()).ok);
+  EXPECT_FALSE(rig.server->resumed_session());
+  EXPECT_EQ(rig.server->op_counters().rsa, 1);  // full handshake again
+}
+
+TEST(Tls13Resumption, ExpiredTicketFallsBackToFullHandshake) {
+  Rig13 rig;
+  uint64_t fake_now = 10'000'000;
+  rig.server_ctx->set_clock([&fake_now] { return fake_now; });
+  auto session = rig.full_handshake_and_ticket();
+  ASSERT_TRUE(session.has_value());
+
+  fake_now += 2 * 3'600'000;  // beyond the 1h ticket lifetime
+  rig.reset();
+  rig.client->offer_session(*session);
+  ASSERT_TRUE(pump_handshake(rig.client.get(), rig.server.get()).ok);
+  EXPECT_FALSE(rig.server->resumed_session());
+}
+
+TEST(Tls13Resumption, WithQatAsyncOffload) {
+  // PSK resumption through the full offload pipeline: only EC ops reach the
+  // accelerator.
+  qat::DeviceConfig dcfg;
+  dcfg.num_endpoints = 1;
+  dcfg.engines_per_endpoint = 4;
+  qat::QatDevice device(dcfg);
+  engine::QatEngineConfig qcfg;
+  engine::QatEngineProvider qat(device.allocate_instance(), qcfg);
+
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.async_mode = true;
+  scfg.cipher_suites = {CipherSuite::kTls13Aes128Sha256};
+  scfg.use_session_tickets = true;
+  TlsContext sctx(scfg, &qat);
+  sctx.credentials().rsa_key = &test_rsa2048();
+
+  engine::SoftwareProvider client_provider;
+  TlsContextConfig ccfg;
+  ccfg.cipher_suites = {CipherSuite::kTls13Aes128Sha256};
+  TlsContext cctx(ccfg, &client_provider);
+
+  std::optional<ClientSession> session;
+  {
+    net::MemoryPipe pipe;
+    TlsConnection server(&sctx, &pipe.b());
+    TlsConnection client(&cctx, &pipe.a());
+    ASSERT_TRUE(pump_handshake(&client, &server, &qat).ok);
+    Bytes sink;
+    (void)pump_read(&client, &sink, &qat);
+    session = client.established_session();
+  }
+  ASSERT_TRUE(session.has_value());
+  const auto asym_before =
+      device.fw_counters().requests[static_cast<int>(qat::OpClass::kAsym)];
+
+  net::MemoryPipe pipe;
+  TlsConnection server(&sctx, &pipe.b());
+  TlsConnection client(&cctx, &pipe.a());
+  client.offer_session(*session);
+  ASSERT_TRUE(pump_handshake(&client, &server, &qat).ok);
+  EXPECT_TRUE(server.resumed_session());
+  const auto asym_after =
+      device.fw_counters().requests[static_cast<int>(qat::OpClass::kAsym)];
+  EXPECT_EQ(asym_after - asym_before, 2u);  // ECDHE only, no RSA
+}
+
+}  // namespace
+}  // namespace qtls::tls

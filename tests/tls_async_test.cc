@@ -1,0 +1,200 @@
+// Integration of the full offload pipeline: TLS state machine -> fiber async
+// jobs -> QAT engine -> device model, over in-memory transports. This is the
+// paper's four-phase framework (§3.1) exercised end to end in one thread.
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "tls_test_util.h"
+
+namespace qtls::tls {
+namespace {
+
+using testutil::pump_handshake;
+using testutil::pump_read;
+using testutil::pump_write;
+
+qat::DeviceConfig device_config() {
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 8;
+  cfg.ring_capacity = 64;
+  return cfg;
+}
+
+struct AsyncServerFixture {
+  qat::QatDevice device{device_config()};
+  std::unique_ptr<engine::QatEngineProvider> qat;
+  engine::SoftwareProvider client_provider{7};
+  std::unique_ptr<TlsContext> server_ctx;
+  std::unique_ptr<TlsContext> client_ctx;
+
+  explicit AsyncServerFixture(CipherSuite suite,
+                              engine::OffloadMode mode =
+                                  engine::OffloadMode::kAsync,
+                              CurveId curve = CurveId::kP256) {
+    engine::QatEngineConfig qcfg;
+    qcfg.offload_mode = mode;
+    qat = std::make_unique<engine::QatEngineProvider>(
+        device.allocate_instance(), qcfg);
+
+    TlsContextConfig scfg;
+    scfg.is_server = true;
+    scfg.async_mode = mode == engine::OffloadMode::kAsync;
+    scfg.cipher_suites = {suite};
+    scfg.curve = curve;
+    scfg.drbg_seed = 11;
+    server_ctx = std::make_unique<TlsContext>(scfg, qat.get());
+    server_ctx->credentials().rsa_key = &test_rsa2048();
+    server_ctx->credentials().ecdsa_p256 = &test_ec_key_p256();
+    server_ctx->credentials().ecdsa_p384 = &test_ec_key_p384();
+
+    TlsContextConfig ccfg;
+    ccfg.cipher_suites = {suite};
+    ccfg.curve = curve;
+    ccfg.drbg_seed = 12;
+    client_ctx = std::make_unique<TlsContext>(ccfg, &client_provider);
+  }
+};
+
+TEST(TlsAsync, FullHandshakeWithAsyncOffload) {
+  AsyncServerFixture fx(CipherSuite::kTlsRsaWithAes128CbcSha);
+  net::MemoryPipe pipe;
+  TlsConnection server(fx.server_ctx.get(), &pipe.b());
+  TlsConnection client(fx.client_ctx.get(), &pipe.a());
+
+  const auto result = pump_handshake(&client, &server, fx.qat.get());
+  ASSERT_TRUE(result.ok) << "server=" << tls_result_name(result.server_last);
+  // The server must have paused at least once per offloaded op.
+  EXPECT_GT(result.want_async_events, 0);
+  EXPECT_EQ(server.op_counters().rsa, 1);
+  EXPECT_EQ(server.op_counters().prf, 4);
+  // Device counters agree: 1 asym + 4 prf requests (client side is software).
+  const auto fw = fx.device.fw_counters();
+  EXPECT_EQ(fw.requests[static_cast<int>(qat::OpClass::kAsym)], 1u);
+  EXPECT_EQ(fw.requests[static_cast<int>(qat::OpClass::kPrf)], 4u);
+
+  // Encrypted echo (cipher ops offloaded too).
+  ASSERT_EQ(pump_write(&server, to_bytes("async hello"), fx.qat.get()),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(&client, &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "async hello");
+}
+
+TEST(TlsAsync, StraightOffloadAlsoCompletes) {
+  // QAT+S: same handshake, blocking offload — no kWantAsync surfaces.
+  AsyncServerFixture fx(CipherSuite::kTlsRsaWithAes128CbcSha,
+                        engine::OffloadMode::kSync);
+  net::MemoryPipe pipe;
+  TlsConnection server(fx.server_ctx.get(), &pipe.b());
+  TlsConnection client(fx.client_ctx.get(), &pipe.a());
+  const auto result = pump_handshake(&client, &server, fx.qat.get());
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.want_async_events, 0);
+  EXPECT_GT(fx.qat->stats().sync_blocks, 0u);
+}
+
+TEST(TlsAsync, EcdheRsaAsyncHandshake) {
+  AsyncServerFixture fx(CipherSuite::kEcdheRsaWithAes128CbcSha);
+  net::MemoryPipe pipe;
+  TlsConnection server(fx.server_ctx.get(), &pipe.b());
+  TlsConnection client(fx.client_ctx.get(), &pipe.a());
+  ASSERT_TRUE(pump_handshake(&client, &server, fx.qat.get()).ok);
+  EXPECT_EQ(server.op_counters().rsa, 1);
+  EXPECT_EQ(server.op_counters().ecc, 2);
+  EXPECT_EQ(server.op_counters().prf, 4);
+}
+
+TEST(TlsAsync, Tls13AsyncHandshakeKeepsHkdfOnCpu) {
+  AsyncServerFixture fx(CipherSuite::kTls13Aes128Sha256);
+  net::MemoryPipe pipe;
+  TlsConnection server(fx.server_ctx.get(), &pipe.b());
+  TlsConnection client(fx.client_ctx.get(), &pipe.a());
+  ASSERT_TRUE(pump_handshake(&client, &server, fx.qat.get()).ok);
+  EXPECT_EQ(server.version(), ProtocolVersion::kTls13);
+  EXPECT_GT(server.op_counters().hkdf, 4);
+  // HKDF must NOT appear on the device (paper §5.2): only 1 RSA + 2 EC asym
+  // requests from the server side.
+  const auto fw = fx.device.fw_counters();
+  EXPECT_EQ(fw.requests[static_cast<int>(qat::OpClass::kPrf)], 0u);
+  EXPECT_EQ(fw.requests[static_cast<int>(qat::OpClass::kAsym)], 3u);
+}
+
+TEST(TlsAsync, AbbreviatedHandshakeOffloadsPrfOnly) {
+  AsyncServerFixture fx(CipherSuite::kEcdheRsaWithAes128CbcSha);
+  std::optional<ClientSession> session;
+  {
+    net::MemoryPipe pipe;
+    TlsConnection server(fx.server_ctx.get(), &pipe.b());
+    TlsConnection client(fx.client_ctx.get(), &pipe.a());
+    ASSERT_TRUE(pump_handshake(&client, &server, fx.qat.get()).ok);
+    session = client.established_session();
+  }
+  ASSERT_TRUE(session.has_value());
+  const auto fw_before = fx.device.fw_counters();
+
+  net::MemoryPipe pipe;
+  TlsConnection server(fx.server_ctx.get(), &pipe.b());
+  TlsConnection client(fx.client_ctx.get(), &pipe.a());
+  client.offer_session(*session);
+  ASSERT_TRUE(pump_handshake(&client, &server, fx.qat.get()).ok);
+  EXPECT_TRUE(server.resumed_session());
+  const auto fw_after = fx.device.fw_counters();
+  EXPECT_EQ(fw_after.requests[static_cast<int>(qat::OpClass::kAsym)],
+            fw_before.requests[static_cast<int>(qat::OpClass::kAsym)]);
+  EXPECT_EQ(fw_after.requests[static_cast<int>(qat::OpClass::kPrf)] -
+                fw_before.requests[static_cast<int>(qat::OpClass::kPrf)],
+            3u);
+}
+
+TEST(TlsAsync, ManyConcurrentServerConnectionsInOneThread) {
+  // The headline behaviour: one thread, many connections, crypto from all
+  // of them concurrently in flight on the accelerator.
+  AsyncServerFixture fx(CipherSuite::kTlsRsaWithAes128CbcSha);
+  constexpr int kConns = 12;
+
+  std::vector<std::unique_ptr<net::MemoryPipe>> pipes;
+  std::vector<std::unique_ptr<TlsConnection>> servers;
+  std::vector<std::unique_ptr<TlsConnection>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    pipes.push_back(std::make_unique<net::MemoryPipe>());
+    servers.push_back(std::make_unique<TlsConnection>(fx.server_ctx.get(),
+                                                      &pipes.back()->b()));
+    clients.push_back(std::make_unique<TlsConnection>(fx.client_ctx.get(),
+                                                      &pipes.back()->a()));
+  }
+
+  size_t peak_inflight = 0;
+  int done = 0;
+  for (int iter = 0; iter < 100000 && done < kConns; ++iter) {
+    done = 0;
+    for (int i = 0; i < kConns; ++i) {
+      if (!clients[i]->handshake_complete()) (void)clients[i]->handshake();
+      if (!servers[i]->handshake_complete()) (void)servers[i]->handshake();
+      if (clients[i]->handshake_complete() &&
+          servers[i]->handshake_complete())
+        ++done;
+    }
+    peak_inflight = std::max(peak_inflight, fx.qat->inflight_total());
+    fx.qat->poll();
+  }
+  ASSERT_EQ(done, kConns);
+  // Multiple requests were genuinely concurrent on the device.
+  EXPECT_GE(peak_inflight, 2u);
+  const auto fw = fx.device.fw_counters();
+  EXPECT_EQ(fw.requests[static_cast<int>(qat::OpClass::kAsym)],
+            static_cast<uint64_t>(kConns));
+}
+
+TEST(TlsAsync, BinaryCurveAsyncHandshake) {
+  AsyncServerFixture fx(CipherSuite::kEcdheRsaWithAes128CbcSha,
+                        engine::OffloadMode::kAsync, CurveId::kK283);
+  net::MemoryPipe pipe;
+  TlsConnection server(fx.server_ctx.get(), &pipe.b());
+  TlsConnection client(fx.client_ctx.get(), &pipe.a());
+  ASSERT_TRUE(pump_handshake(&client, &server, fx.qat.get()).ok);
+  EXPECT_EQ(server.op_counters().ecc, 2);
+}
+
+}  // namespace
+}  // namespace qtls::tls

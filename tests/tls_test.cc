@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "tls_test_util.h"
+
+namespace qtls::tls {
+namespace {
+
+using testutil::pump_handshake;
+using testutil::pump_read;
+using testutil::pump_write;
+
+struct Pair {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider server_provider{1};
+  engine::SoftwareProvider client_provider{2};
+  std::unique_ptr<TlsContext> server_ctx;
+  std::unique_ptr<TlsContext> client_ctx;
+  std::unique_ptr<TlsConnection> server;
+  std::unique_ptr<TlsConnection> client;
+
+  explicit Pair(CipherSuite suite, CurveId curve = CurveId::kP256,
+                bool tickets = false) {
+    TlsContextConfig server_cfg;
+    server_cfg.is_server = true;
+    server_cfg.cipher_suites = {suite};
+    server_cfg.curve = curve;
+    server_cfg.use_session_tickets = tickets;
+    server_cfg.drbg_seed = 111;
+    server_ctx = std::make_unique<TlsContext>(server_cfg, &server_provider);
+    server_ctx->credentials().rsa_key = &test_rsa2048();
+    server_ctx->credentials().ecdsa_p256 = &test_ec_key_p256();
+    server_ctx->credentials().ecdsa_p384 = &test_ec_key_p384();
+
+    TlsContextConfig client_cfg;
+    client_cfg.is_server = false;
+    client_cfg.cipher_suites = {suite};
+    client_cfg.curve = curve;
+    client_cfg.drbg_seed = 222;
+    client_ctx = std::make_unique<TlsContext>(client_cfg, &client_provider);
+
+    reset_connections();
+  }
+
+  void reset_connections() {
+    server = std::make_unique<TlsConnection>(server_ctx.get(), &pipe.b());
+    client = std::make_unique<TlsConnection>(client_ctx.get(), &pipe.a());
+  }
+};
+
+TEST(TlsHandshake, TlsRsaFullHandshakeAndEcho) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  const auto result = pump_handshake(pair.client.get(), pair.server.get());
+  ASSERT_TRUE(result.ok) << "client=" << tls_result_name(result.client_last)
+                         << " server=" << tls_result_name(result.server_last);
+  EXPECT_FALSE(pair.server->resumed_session());
+  EXPECT_EQ(pair.server->version(), ProtocolVersion::kTls12);
+
+  // Echo application data both ways.
+  ASSERT_EQ(pump_write(pair.client.get(), to_bytes("hello server")),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(pair.server.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "hello server");
+
+  ASSERT_EQ(pump_write(pair.server.get(), to_bytes("hello client")),
+            TlsResult::kOk);
+  got.clear();
+  ASSERT_EQ(pump_read(pair.client.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "hello client");
+}
+
+TEST(TlsHandshake, EcdheRsaFullHandshake) {
+  Pair pair(CipherSuite::kEcdheRsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  EXPECT_EQ(pair.server->suite(), CipherSuite::kEcdheRsaWithAes128CbcSha);
+}
+
+TEST(TlsHandshake, EcdheEcdsaFullHandshake) {
+  Pair pair(CipherSuite::kEcdheEcdsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+}
+
+TEST(TlsHandshake, EcdheEcdsaP384) {
+  Pair pair(CipherSuite::kEcdheEcdsaWithAes128CbcSha, CurveId::kP384);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+}
+
+class CurveHandshakeTest : public ::testing::TestWithParam<CurveId> {};
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveHandshakeTest,
+                         ::testing::Values(CurveId::kP256, CurveId::kP384,
+                                           CurveId::kB283, CurveId::kB409,
+                                           CurveId::kK283, CurveId::kK409),
+                         [](const auto& info) {
+                           std::string n = curve_name(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST_P(CurveHandshakeTest, EcdheRsaOverEveryFig7cCurve) {
+  Pair pair(CipherSuite::kEcdheRsaWithAes128CbcSha, GetParam());
+  const auto result = pump_handshake(pair.client.get(), pair.server.get());
+  ASSERT_TRUE(result.ok) << curve_name(GetParam());
+  ASSERT_EQ(pump_write(pair.client.get(), to_bytes("x")), TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(pair.server.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "x");
+}
+
+TEST(TlsHandshake, Table1OpCounts) {
+  // The cross-validation behind the simulator's workload model: real
+  // handshakes must perform exactly the server-side op counts of Table 1.
+  {
+    Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+    ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+    const OpCounters& ops = pair.server->op_counters();
+    EXPECT_EQ(ops.rsa, 1);
+    EXPECT_EQ(ops.ecc, 0);
+    EXPECT_EQ(ops.prf, 4);
+  }
+  {
+    Pair pair(CipherSuite::kEcdheRsaWithAes128CbcSha);
+    ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+    const OpCounters& ops = pair.server->op_counters();
+    EXPECT_EQ(ops.rsa, 1);
+    EXPECT_EQ(ops.ecc, 2);
+    EXPECT_EQ(ops.prf, 4);
+  }
+  {
+    Pair pair(CipherSuite::kEcdheEcdsaWithAes128CbcSha);
+    ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+    const OpCounters& ops = pair.server->op_counters();
+    EXPECT_EQ(ops.rsa, 0);
+    EXPECT_EQ(ops.ecc, 3);
+    EXPECT_EQ(ops.prf, 4);
+  }
+  {
+    Pair pair(CipherSuite::kTls13Aes128Sha256);
+    ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+    const OpCounters& ops = pair.server->op_counters();
+    EXPECT_EQ(ops.rsa, 1);
+    EXPECT_EQ(ops.ecc, 2);
+    EXPECT_EQ(ops.prf, 0);
+    EXPECT_GT(ops.hkdf, 4);  // Table 1: "> 4" key-derivation ops
+  }
+}
+
+TEST(TlsHandshake, Tls13HandshakeAndEcho) {
+  Pair pair(CipherSuite::kTls13Aes128Sha256);
+  const auto result = pump_handshake(pair.client.get(), pair.server.get());
+  ASSERT_TRUE(result.ok) << "client=" << tls_result_name(result.client_last)
+                         << " server=" << tls_result_name(result.server_last);
+  EXPECT_EQ(pair.server->version(), ProtocolVersion::kTls13);
+  ASSERT_EQ(pump_write(pair.client.get(), to_bytes("over 1.3")),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(pair.server.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "over 1.3");
+  ASSERT_EQ(pump_write(pair.server.get(), to_bytes("resp")), TlsResult::kOk);
+  got.clear();
+  ASSERT_EQ(pump_read(pair.client.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "resp");
+}
+
+TEST(TlsHandshake, NoCommonSuiteFails) {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider sp{1}, cp{2};
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.cipher_suites = {CipherSuite::kEcdheRsaWithAes128CbcSha};
+  TlsContext sctx(scfg, &sp);
+  sctx.credentials().rsa_key = &test_rsa2048();
+  TlsContextConfig ccfg;
+  ccfg.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  TlsContext cctx(ccfg, &cp);
+  TlsConnection server(&sctx, &pipe.b());
+  TlsConnection client(&cctx, &pipe.a());
+  const auto result = pump_handshake(&client, &server);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.server_last, TlsResult::kError);
+}
+
+TEST(TlsResumption, SessionIdAbbreviatedHandshake) {
+  Pair pair(CipherSuite::kEcdheRsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  const auto session = pair.client->established_session();
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(session->session_id.size(), kSessionIdSize);
+
+  // Second connection offering the session: abbreviated handshake.
+  pair.reset_connections();
+  pair.client->offer_session(*session);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  EXPECT_TRUE(pair.server->resumed_session());
+  EXPECT_TRUE(pair.client->resumed_session());
+  const OpCounters& ops = pair.server->op_counters();
+  // Abbreviated handshake involves PRF calculations only (paper §5.3):
+  // key expansion + 2 Finished.
+  EXPECT_EQ(ops.rsa, 0);
+  EXPECT_EQ(ops.ecc, 0);
+  EXPECT_EQ(ops.prf, 3);
+  EXPECT_EQ(pair.server_ctx->session_cache().hits(), 1u);
+
+  // Data still flows.
+  ASSERT_EQ(pump_write(pair.client.get(), to_bytes("resumed")),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(pair.server.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "resumed");
+}
+
+TEST(TlsResumption, TicketAbbreviatedHandshake) {
+  Pair pair(CipherSuite::kEcdheRsaWithAes128CbcSha, CurveId::kP256,
+            /*tickets=*/true);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  const auto session = pair.client->established_session();
+  ASSERT_TRUE(session.has_value());
+  ASSERT_FALSE(session->ticket.empty());
+
+  pair.reset_connections();
+  pair.client->offer_session(*session);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  EXPECT_TRUE(pair.server->resumed_session());
+  EXPECT_EQ(pair.server->op_counters().rsa, 0);
+  EXPECT_EQ(pair.server->op_counters().prf, 3);
+}
+
+TEST(TlsResumption, ExpiredSessionFallsBackToFull) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  uint64_t fake_now = 1'000'000;
+  pair.server_ctx->set_clock([&fake_now] { return fake_now; });
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  const auto session = pair.client->established_session();
+  ASSERT_TRUE(session.has_value());
+
+  fake_now += 2 * 3'600'000;  // beyond the 1h lifetime
+  pair.reset_connections();
+  pair.client->offer_session(*session);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  EXPECT_FALSE(pair.server->resumed_session());
+  EXPECT_EQ(pair.server->op_counters().rsa, 1);  // full handshake again
+}
+
+TEST(TlsResumption, UnknownSessionIdFallsBackToFull) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  ClientSession bogus;
+  bogus.suite = CipherSuite::kTlsRsaWithAes128CbcSha;
+  bogus.session_id = Bytes(kSessionIdSize, 0xab);
+  bogus.master_secret = Bytes(kMasterSecretSize, 0xcd);
+  pair.client->offer_session(bogus);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  EXPECT_FALSE(pair.server->resumed_session());
+}
+
+TEST(TlsData, LargeTransferFragmentsAt16K) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+
+  // 100 KB -> ceil(100/16) = 7 records (paper §5.4 cipher-op accounting).
+  Bytes big(100 * 1024);
+  for (size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<uint8_t>(i * 31 + 7);
+  const int cipher_before = pair.server->op_counters().cipher;
+  ASSERT_EQ(pump_write(pair.server.get(), big), TlsResult::kOk);
+  EXPECT_EQ(pair.server->op_counters().cipher - cipher_before, 7);
+
+  Bytes got;
+  while (got.size() < big.size()) {
+    const TlsResult r = pump_read(pair.client.get(), &got);
+    ASSERT_EQ(r, TlsResult::kOk);
+  }
+  EXPECT_EQ(got, big);
+}
+
+TEST(TlsData, ShutdownDeliversCloseNotify) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  ASSERT_EQ(pair.client->shutdown(), TlsResult::kOk);
+  Bytes got;
+  EXPECT_EQ(pump_read(pair.server.get(), &got), TlsResult::kClosed);
+}
+
+TEST(TlsData, ChunkedTransportStillWorks) {
+  // Tiny transport chunks force record reassembly across many reads.
+  Pair pair(CipherSuite::kEcdheRsaWithAes128CbcSha);
+  pair.pipe.set_chunk_limit(7);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  ASSERT_EQ(pump_write(pair.client.get(), to_bytes("chunked transport")),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(pair.server.get(), &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "chunked transport");
+}
+
+TEST(TlsData, BackpressureSurfacesWantWrite) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  pair.pipe.set_capacity(64);  // tiny: one record cannot fit
+
+  Bytes payload(8 * 1024, 0x5a);
+  TlsResult r = pair.client->write(payload);
+  EXPECT_EQ(r, TlsResult::kWantWrite);
+  // Drain on the server side, then finish the write.
+  Bytes got;
+  int guard = 0;
+  while (r == TlsResult::kWantWrite && guard++ < 10000) {
+    (void)pump_read(pair.server.get(), &got);  // frees pipe capacity
+    r = pair.client->write({});
+  }
+  EXPECT_EQ(r, TlsResult::kOk);
+  while (got.size() < payload.size()) {
+    ASSERT_EQ(pump_read(pair.server.get(), &got), TlsResult::kOk);
+  }
+  EXPECT_EQ(got, payload);
+}
+
+TEST(TlsData, CorruptedRecordFailsHandshake) {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider sp{1}, cp{2};
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  TlsContext sctx(scfg, &sp);
+  sctx.credentials().rsa_key = &test_rsa2048();
+  TlsConnection server(&sctx, &pipe.b());
+  // A complete record whose handshake header claims a 16 MB message.
+  const Bytes garbage = from_hex("160303000901ffffff0000000000");
+  pipe.a().write(garbage.data(), garbage.size());
+  EXPECT_EQ(server.handshake(), TlsResult::kError);
+
+  // And a record with an impossible length field.
+  net::MemoryPipe pipe2;
+  TlsConnection server2(&sctx, &pipe2.b());
+  const Bytes bad_len = from_hex("1603037fff");
+  pipe2.a().write(bad_len.data(), bad_len.size());
+  EXPECT_EQ(server2.handshake(), TlsResult::kError);
+}
+
+TEST(TlsMessages, ClientHelloRoundTrip) {
+  ClientHello hello;
+  hello.version = ProtocolVersion::kTls12;
+  hello.random = Bytes(kRandomSize, 0x11);
+  hello.session_id = Bytes(kSessionIdSize, 0x22);
+  hello.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha,
+                         CipherSuite::kEcdheRsaWithAes128CbcSha};
+  hello.curve = CurveId::kB409;
+  hello.session_ticket = to_bytes("ticket-bytes");
+  auto parsed = ClientHello::parse(hello.encode());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().random, hello.random);
+  EXPECT_EQ(parsed.value().session_id, hello.session_id);
+  EXPECT_EQ(parsed.value().cipher_suites, hello.cipher_suites);
+  EXPECT_EQ(parsed.value().curve, CurveId::kB409);
+  EXPECT_EQ(parsed.value().session_ticket, to_bytes("ticket-bytes"));
+}
+
+TEST(TlsMessages, TruncatedMessagesRejected) {
+  ClientHello hello;
+  hello.random = Bytes(kRandomSize, 0x11);
+  hello.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  Bytes enc = hello.encode();
+  enc.pop_back();
+  EXPECT_FALSE(ClientHello::parse(enc).is_ok());
+  EXPECT_FALSE(ServerHello::parse(Bytes{0x03}).is_ok());
+  EXPECT_FALSE(ServerKeyExchange::parse(Bytes{0x17, 0x00}).is_ok());
+}
+
+TEST(TlsSession, CacheLruEvictsOldest) {
+  SessionCache cache(2, 1000000);
+  SessionState s;
+  s.master_secret = Bytes(48, 1);
+  cache.put(Bytes(32, 1), s, 0);
+  cache.put(Bytes(32, 2), s, 1);
+  EXPECT_TRUE(cache.get(Bytes(32, 1), 2).has_value());  // refresh #1
+  cache.put(Bytes(32, 3), s, 3);                        // evicts #2
+  EXPECT_FALSE(cache.get(Bytes(32, 2), 4).has_value());
+  EXPECT_TRUE(cache.get(Bytes(32, 1), 5).has_value());
+  EXPECT_TRUE(cache.get(Bytes(32, 3), 6).has_value());
+}
+
+TEST(TlsSession, TicketTamperRejected) {
+  TicketKeeper keeper(to_bytes("seed"), 1000000);
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("iv"));
+  SessionState s;
+  s.suite = CipherSuite::kEcdheRsaWithAes128CbcSha;
+  s.master_secret = Bytes(48, 0x77);
+  Bytes ticket = keeper.seal(s, 100, rng);
+  auto ok = keeper.unseal(ticket, 200);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value().master_secret, s.master_secret);
+  EXPECT_EQ(ok.value().suite, s.suite);
+
+  ticket[5] ^= 0x01;
+  EXPECT_FALSE(keeper.unseal(ticket, 200).is_ok());
+}
+
+TEST(TlsSession, TicketExpiryEnforced) {
+  TicketKeeper keeper(to_bytes("seed"), 1000);
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("iv"));
+  SessionState s;
+  s.master_secret = Bytes(48, 0x01);
+  const Bytes ticket = keeper.seal(s, 100, rng);
+  EXPECT_TRUE(keeper.unseal(ticket, 600).is_ok());
+  EXPECT_FALSE(keeper.unseal(ticket, 5000).is_ok());
+}
+
+}  // namespace
+}  // namespace qtls::tls

@@ -1,0 +1,82 @@
+// Shared harness for TLS tests and benches: drives a client/server pair over
+// an in-memory pipe in one thread, polling a QAT engine when a side reports
+// kWantAsync.
+#pragma once
+
+#include <memory>
+
+#include "engine/qat_engine.h"
+#include "net/memory_transport.h"
+#include "tls/connection.h"
+
+namespace qtls::tls::testutil {
+
+struct PumpResult {
+  bool ok = false;
+  TlsResult client_last = TlsResult::kOk;
+  TlsResult server_last = TlsResult::kOk;
+  int want_async_events = 0;
+  int iterations = 0;
+};
+
+// Steps both handshakes until completion or `max_iters`. `qat` (nullable) is
+// polled whenever either side is waiting on async crypto.
+inline PumpResult pump_handshake(TlsConnection* client, TlsConnection* server,
+                                 engine::QatEngineProvider* qat = nullptr,
+                                 int max_iters = 100000) {
+  PumpResult result;
+  for (int i = 0; i < max_iters; ++i) {
+    result.iterations = i + 1;
+    bool progress = false;
+    if (!client->handshake_complete()) {
+      result.client_last = client->handshake();
+      if (result.client_last == TlsResult::kError) return result;
+      if (result.client_last == TlsResult::kWantAsync)
+        ++result.want_async_events;
+      progress = true;
+    }
+    if (!server->handshake_complete()) {
+      result.server_last = server->handshake();
+      if (result.server_last == TlsResult::kError) return result;
+      if (result.server_last == TlsResult::kWantAsync)
+        ++result.want_async_events;
+      progress = true;
+    }
+    if (qat) qat->poll();
+    if (client->handshake_complete() && server->handshake_complete()) {
+      result.ok = true;
+      return result;
+    }
+    if (!progress) return result;
+  }
+  return result;
+}
+
+// Drives one side's pending read until data or a terminal result.
+inline TlsResult pump_read(TlsConnection* conn, Bytes* out,
+                           engine::QatEngineProvider* qat = nullptr,
+                           int max_iters = 100000) {
+  for (int i = 0; i < max_iters; ++i) {
+    const TlsResult r = conn->read(out);
+    if (r == TlsResult::kWantAsync || r == TlsResult::kWantRead) {
+      if (qat) qat->poll();
+      if (r == TlsResult::kWantRead) return r;
+      continue;
+    }
+    return r;
+  }
+  return TlsResult::kError;
+}
+
+inline TlsResult pump_write(TlsConnection* conn, BytesView data,
+                            engine::QatEngineProvider* qat = nullptr,
+                            int max_iters = 100000) {
+  TlsResult r = conn->write(data);
+  for (int i = 0; i < max_iters && r == TlsResult::kWantAsync; ++i) {
+    if (qat) qat->poll();
+    r = conn->write({});  // resume the paused job
+  }
+  return r;
+}
+
+}  // namespace qtls::tls::testutil

@@ -1,0 +1,160 @@
+// The §4.2 event-disorder scenario, forced deterministically: a read event
+// arrives on a connection's socket while the worker is expecting that
+// connection's async event. The worker must save the read event, process
+// the async resume first, then replay the read.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "crypto/keystore.h"
+#include "server_test_util.h"
+
+namespace qtls::server {
+namespace {
+
+// Client-side transport that parks outgoing bytes in a buffer; the test
+// releases them to the real socket in controlled slices.
+class HoldTransport final : public tls::Transport {
+ public:
+  explicit HoldTransport(int fd) : fd_(fd) { net::set_nonblocking(fd); }
+  ~HoldTransport() override { ::close(fd_); }
+
+  tls::IoResult read(uint8_t* buf, size_t len) override {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
+    if (n == 0) return {tls::IoStatus::kClosed, 0};
+    return {tls::IoStatus::kWouldBlock, 0};
+  }
+
+  tls::IoResult write(const uint8_t* buf, size_t len) override {
+    held_.insert(held_.end(), buf, buf + len);
+    return {tls::IoStatus::kOk, len};
+  }
+
+  size_t held() const { return held_.size(); }
+
+  // Pushes exactly the first TLS record (header + body) to the socket;
+  // returns false when no complete record is held.
+  bool release_one_record() {
+    if (held_.size() < 5) return false;
+    const size_t len = 5 + (static_cast<size_t>(held_[3]) << 8 | held_[4]);
+    if (held_.size() < len) return false;
+    send_all(held_.data(), len);
+    held_.erase(held_.begin(), held_.begin() + static_cast<ptrdiff_t>(len));
+    return true;
+  }
+
+  void release_all() {
+    send_all(held_.data(), held_.size());
+    held_.clear();
+  }
+
+ private:
+  void send_all(const uint8_t* buf, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::send(fd_, buf + off, len - off, MSG_NOSIGNAL);
+      if (n > 0) off += static_cast<size_t>(n);
+    }
+  }
+
+  int fd_;
+  Bytes held_;
+};
+
+TEST(WorkerDisorder, ReadEventDuringAsyncWaitIsSavedAndReplayed) {
+  // QTLS worker: async offload + heuristic polling + kernel bypass.
+  qat::DeviceConfig dcfg;
+  dcfg.num_endpoints = 1;
+  dcfg.engines_per_endpoint = 4;
+  qat::QatDevice device(dcfg);
+  engine::QatEngineConfig qcfg;
+  engine::QatEngineProvider qat(device.allocate_instance(), qcfg);
+
+  tls::TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.async_mode = true;
+  scfg.cipher_suites = {tls::CipherSuite::kTlsRsaWithAes128CbcSha};
+  tls::TlsContext sctx(scfg, &qat);
+  sctx.credentials().rsa_key = &test_rsa2048();
+
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kKernelBypass;
+  Worker worker(&sctx, &qat, wcfg);
+
+  auto pair = net::make_socketpair();
+  ASSERT_TRUE(pair.is_ok());
+  ASSERT_TRUE(worker.adopt(pair.value().second).is_ok());
+
+  engine::SoftwareProvider client_provider;
+  tls::TlsContextConfig ccfg;
+  ccfg.cipher_suites = scfg.cipher_suites;
+  tls::TlsContext cctx(ccfg, &client_provider);
+  HoldTransport transport(pair.value().first);
+  tls::TlsConnection client(&cctx, &transport);
+
+  // Flight 1: ClientHello. Release it, let the server answer.
+  ASSERT_EQ(client.handshake(), tls::TlsResult::kWantRead);
+  transport.release_all();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto pump_client = [&] {
+    while (std::chrono::steady_clock::now() < deadline) {
+      const tls::TlsResult r = client.handshake();
+      if (r != tls::TlsResult::kWantRead) return r;
+      if (worker.run_once(0) == 0 && transport.held() > 0) return r;
+    }
+    return tls::TlsResult::kError;
+  };
+  // Drive until the client has produced its second flight
+  // (CKE + CCS + Finished) into the hold buffer.
+  while (transport.held() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    (void)client.handshake();
+    worker.run_once(0);
+  }
+  ASSERT_GT(transport.held(), 0u);
+
+  // Release ONLY the ClientKeyExchange record: the server starts the RSA
+  // decrypt (milliseconds on the device) and parks the connection.
+  ASSERT_TRUE(transport.release_one_record());
+  while (worker.stats().async_parks == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    worker.run_once(0);
+  }
+  ASSERT_GT(worker.stats().async_parks, 0u);
+
+  // While the async event is expected, the remaining flight arrives: the
+  // §4.2 disorder. The worker must defer (not process) it.
+  transport.release_all();
+  worker.run_once(0);
+  EXPECT_GT(worker.stats().disorder_events, 0u);
+
+  // Recovery: the async event resumes the handshake handler, then the
+  // saved read event is replayed and the handshake completes.
+  while (!client.handshake_complete() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const tls::TlsResult r = pump_client();
+    if (transport.held() > 0) transport.release_all();
+    if (r == tls::TlsResult::kOk) break;
+    worker.run_once(0);
+  }
+  ASSERT_TRUE(client.handshake_complete());
+  // And the connection still works: serve one request through it.
+  ASSERT_EQ(client.write(server::build_http_request("/x", false)),
+            tls::TlsResult::kOk);
+  transport.release_all();
+  Bytes response;
+  while (response.empty() && std::chrono::steady_clock::now() < deadline) {
+    worker.run_once(0);
+    (void)client.read(&response);
+  }
+  EXPECT_FALSE(response.empty());
+  EXPECT_EQ(worker.stats().handshakes_completed, 1u);
+}
+
+}  // namespace
+}  // namespace qtls::server
