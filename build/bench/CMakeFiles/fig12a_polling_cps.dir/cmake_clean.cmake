@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_polling_cps.dir/fig12a_polling_cps.cc.o"
+  "CMakeFiles/fig12a_polling_cps.dir/fig12a_polling_cps.cc.o.d"
+  "fig12a_polling_cps"
+  "fig12a_polling_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_polling_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

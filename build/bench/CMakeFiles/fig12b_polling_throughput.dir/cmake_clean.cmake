@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_polling_throughput.dir/fig12b_polling_throughput.cc.o"
+  "CMakeFiles/fig12b_polling_throughput.dir/fig12b_polling_throughput.cc.o.d"
+  "fig12b_polling_throughput"
+  "fig12b_polling_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_polling_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12c_polling_latency.dir/fig12c_polling_latency.cc.o"
+  "CMakeFiles/fig12c_polling_latency.dir/fig12c_polling_latency.cc.o.d"
+  "fig12c_polling_latency"
+  "fig12c_polling_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_polling_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_tlsrsa_cps.dir/fig7a_tlsrsa_cps.cc.o"
+  "CMakeFiles/fig7a_tlsrsa_cps.dir/fig7a_tlsrsa_cps.cc.o.d"
+  "fig7a_tlsrsa_cps"
+  "fig7a_tlsrsa_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_tlsrsa_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

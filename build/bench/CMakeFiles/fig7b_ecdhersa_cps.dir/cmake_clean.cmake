@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_ecdhersa_cps.dir/fig7b_ecdhersa_cps.cc.o"
+  "CMakeFiles/fig7b_ecdhersa_cps.dir/fig7b_ecdhersa_cps.cc.o.d"
+  "fig7b_ecdhersa_cps"
+  "fig7b_ecdhersa_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_ecdhersa_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_ecdsa_curves.dir/fig7c_ecdsa_curves.cc.o"
+  "CMakeFiles/fig7c_ecdsa_curves.dir/fig7c_ecdsa_curves.cc.o.d"
+  "fig7c_ecdsa_curves"
+  "fig7c_ecdsa_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_ecdsa_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

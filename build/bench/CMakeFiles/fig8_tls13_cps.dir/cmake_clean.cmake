@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tls13_cps.dir/fig8_tls13_cps.cc.o"
+  "CMakeFiles/fig8_tls13_cps.dir/fig8_tls13_cps.cc.o.d"
+  "fig8_tls13_cps"
+  "fig8_tls13_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tls13_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

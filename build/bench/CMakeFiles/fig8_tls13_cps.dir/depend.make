@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_tls13_cps.
+# This may be replaced when dependencies are built.

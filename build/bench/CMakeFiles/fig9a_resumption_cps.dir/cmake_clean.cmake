@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_resumption_cps.dir/fig9a_resumption_cps.cc.o"
+  "CMakeFiles/fig9a_resumption_cps.dir/fig9a_resumption_cps.cc.o.d"
+  "fig9a_resumption_cps"
+  "fig9a_resumption_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_resumption_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_mixed_handshakes.dir/fig9b_mixed_handshakes.cc.o"
+  "CMakeFiles/fig9b_mixed_handshakes.dir/fig9b_mixed_handshakes.cc.o.d"
+  "fig9b_mixed_handshakes"
+  "fig9b_mixed_handshakes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_mixed_handshakes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

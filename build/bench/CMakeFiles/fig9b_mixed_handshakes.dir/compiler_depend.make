@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9b_mixed_handshakes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_async.dir/micro_async.cc.o"
+  "CMakeFiles/micro_async.dir/micro_async.cc.o.d"
+  "micro_async"
+  "micro_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_qat.dir/micro_qat.cc.o"
+  "CMakeFiles/micro_qat.dir/micro_qat.cc.o.d"
+  "micro_qat"
+  "micro_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

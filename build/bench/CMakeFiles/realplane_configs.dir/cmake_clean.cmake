@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realplane_configs.dir/realplane_configs.cc.o"
+  "CMakeFiles/realplane_configs.dir/realplane_configs.cc.o.d"
+  "realplane_configs"
+  "realplane_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realplane_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

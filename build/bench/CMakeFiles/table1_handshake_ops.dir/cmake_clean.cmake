@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_handshake_ops.dir/table1_handshake_ops.cc.o"
+  "CMakeFiles/table1_handshake_ops.dir/table1_handshake_ops.cc.o.d"
+  "table1_handshake_ops"
+  "table1_handshake_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_handshake_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

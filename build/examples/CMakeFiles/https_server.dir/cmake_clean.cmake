@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/https_server.dir/https_server.cpp.o"
+  "CMakeFiles/https_server.dir/https_server.cpp.o.d"
+  "https_server"
+  "https_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/https_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

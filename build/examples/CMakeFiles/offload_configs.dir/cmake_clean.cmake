@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_configs.dir/offload_configs.cpp.o"
+  "CMakeFiles/offload_configs.dir/offload_configs.cpp.o.d"
+  "offload_configs"
+  "offload_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_terminator.dir/tls_terminator.cpp.o"
+  "CMakeFiles/tls_terminator.dir/tls_terminator.cpp.o.d"
+  "tls_terminator"
+  "tls_terminator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_terminator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

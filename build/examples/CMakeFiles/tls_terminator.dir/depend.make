@@ -1,0 +1,2 @@
+# Empty dependencies file for tls_terminator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asyncx/job.cc" "src/asyncx/CMakeFiles/qtls_asyncx.dir/job.cc.o" "gcc" "src/asyncx/CMakeFiles/qtls_asyncx.dir/job.cc.o.d"
+  "/root/repo/src/asyncx/wait_ctx.cc" "src/asyncx/CMakeFiles/qtls_asyncx.dir/wait_ctx.cc.o" "gcc" "src/asyncx/CMakeFiles/qtls_asyncx.dir/wait_ctx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qtls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

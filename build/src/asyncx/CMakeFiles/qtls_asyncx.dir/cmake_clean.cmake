@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_asyncx.dir/job.cc.o"
+  "CMakeFiles/qtls_asyncx.dir/job.cc.o.d"
+  "CMakeFiles/qtls_asyncx.dir/wait_ctx.cc.o"
+  "CMakeFiles/qtls_asyncx.dir/wait_ctx.cc.o.d"
+  "libqtls_asyncx.a"
+  "libqtls_asyncx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_asyncx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_client.dir/https_client.cc.o"
+  "CMakeFiles/qtls_client.dir/https_client.cc.o.d"
+  "libqtls_client.a"
+  "libqtls_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqtls_client.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_common.dir/bytes.cc.o"
+  "CMakeFiles/qtls_common.dir/bytes.cc.o.d"
+  "CMakeFiles/qtls_common.dir/conf.cc.o"
+  "CMakeFiles/qtls_common.dir/conf.cc.o.d"
+  "CMakeFiles/qtls_common.dir/log.cc.o"
+  "CMakeFiles/qtls_common.dir/log.cc.o.d"
+  "CMakeFiles/qtls_common.dir/rng.cc.o"
+  "CMakeFiles/qtls_common.dir/rng.cc.o.d"
+  "CMakeFiles/qtls_common.dir/stats.cc.o"
+  "CMakeFiles/qtls_common.dir/stats.cc.o.d"
+  "libqtls_common.a"
+  "libqtls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/bn.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/bn.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/bn.cc.o.d"
+  "/root/repo/src/crypto/ec.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/ec.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/ec.cc.o.d"
+  "/root/repo/src/crypto/ec2m.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/ec2m.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/ec2m.cc.o.d"
+  "/root/repo/src/crypto/gcm.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/gcm.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/gcm.cc.o.d"
+  "/root/repo/src/crypto/gf2m.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/gf2m.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/gf2m.cc.o.d"
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/kdf.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/kdf.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/kdf.cc.o.d"
+  "/root/repo/src/crypto/keystore.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/keystore.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/keystore.cc.o.d"
+  "/root/repo/src/crypto/primes.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/primes.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/primes.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/qtls_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/qtls_crypto.dir/rsa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qtls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

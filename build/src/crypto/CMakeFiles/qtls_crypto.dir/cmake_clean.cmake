@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_crypto.dir/aes.cc.o"
+  "CMakeFiles/qtls_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/bn.cc.o"
+  "CMakeFiles/qtls_crypto.dir/bn.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/ec.cc.o"
+  "CMakeFiles/qtls_crypto.dir/ec.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/ec2m.cc.o"
+  "CMakeFiles/qtls_crypto.dir/ec2m.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/gcm.cc.o"
+  "CMakeFiles/qtls_crypto.dir/gcm.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/gf2m.cc.o"
+  "CMakeFiles/qtls_crypto.dir/gf2m.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/hash.cc.o"
+  "CMakeFiles/qtls_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/kdf.cc.o"
+  "CMakeFiles/qtls_crypto.dir/kdf.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/keystore.cc.o"
+  "CMakeFiles/qtls_crypto.dir/keystore.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/primes.cc.o"
+  "CMakeFiles/qtls_crypto.dir/primes.cc.o.d"
+  "CMakeFiles/qtls_crypto.dir/rsa.cc.o"
+  "CMakeFiles/qtls_crypto.dir/rsa.cc.o.d"
+  "libqtls_crypto.a"
+  "libqtls_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

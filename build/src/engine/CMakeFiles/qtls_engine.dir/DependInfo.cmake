@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/provider.cc" "src/engine/CMakeFiles/qtls_engine.dir/provider.cc.o" "gcc" "src/engine/CMakeFiles/qtls_engine.dir/provider.cc.o.d"
+  "/root/repo/src/engine/qat_engine.cc" "src/engine/CMakeFiles/qtls_engine.dir/qat_engine.cc.o" "gcc" "src/engine/CMakeFiles/qtls_engine.dir/qat_engine.cc.o.d"
+  "/root/repo/src/engine/stack_engine.cc" "src/engine/CMakeFiles/qtls_engine.dir/stack_engine.cc.o" "gcc" "src/engine/CMakeFiles/qtls_engine.dir/stack_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/qtls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/qat/CMakeFiles/qtls_qat.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncx/CMakeFiles/qtls_asyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

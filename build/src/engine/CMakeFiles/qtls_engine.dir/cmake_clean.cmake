@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_engine.dir/provider.cc.o"
+  "CMakeFiles/qtls_engine.dir/provider.cc.o.d"
+  "CMakeFiles/qtls_engine.dir/qat_engine.cc.o"
+  "CMakeFiles/qtls_engine.dir/qat_engine.cc.o.d"
+  "CMakeFiles/qtls_engine.dir/stack_engine.cc.o"
+  "CMakeFiles/qtls_engine.dir/stack_engine.cc.o.d"
+  "libqtls_engine.a"
+  "libqtls_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

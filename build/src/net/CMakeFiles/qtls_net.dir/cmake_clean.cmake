@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_net.dir/event_loop.cc.o"
+  "CMakeFiles/qtls_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/qtls_net.dir/memory_transport.cc.o"
+  "CMakeFiles/qtls_net.dir/memory_transport.cc.o.d"
+  "CMakeFiles/qtls_net.dir/socket_transport.cc.o"
+  "CMakeFiles/qtls_net.dir/socket_transport.cc.o.d"
+  "libqtls_net.a"
+  "libqtls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

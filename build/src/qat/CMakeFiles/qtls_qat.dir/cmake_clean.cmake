@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_qat.dir/device.cc.o"
+  "CMakeFiles/qtls_qat.dir/device.cc.o.d"
+  "libqtls_qat.a"
+  "libqtls_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

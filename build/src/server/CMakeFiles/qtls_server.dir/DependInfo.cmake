@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/http.cc" "src/server/CMakeFiles/qtls_server.dir/http.cc.o" "gcc" "src/server/CMakeFiles/qtls_server.dir/http.cc.o.d"
+  "/root/repo/src/server/ssl_engine_conf.cc" "src/server/CMakeFiles/qtls_server.dir/ssl_engine_conf.cc.o" "gcc" "src/server/CMakeFiles/qtls_server.dir/ssl_engine_conf.cc.o.d"
+  "/root/repo/src/server/worker.cc" "src/server/CMakeFiles/qtls_server.dir/worker.cc.o" "gcc" "src/server/CMakeFiles/qtls_server.dir/worker.cc.o.d"
+  "/root/repo/src/server/worker_pool.cc" "src/server/CMakeFiles/qtls_server.dir/worker_pool.cc.o" "gcc" "src/server/CMakeFiles/qtls_server.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tls/CMakeFiles/qtls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/qtls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/qtls_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/qtls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/qat/CMakeFiles/qtls_qat.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncx/CMakeFiles/qtls_asyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_server.dir/http.cc.o"
+  "CMakeFiles/qtls_server.dir/http.cc.o.d"
+  "CMakeFiles/qtls_server.dir/ssl_engine_conf.cc.o"
+  "CMakeFiles/qtls_server.dir/ssl_engine_conf.cc.o.d"
+  "CMakeFiles/qtls_server.dir/worker.cc.o"
+  "CMakeFiles/qtls_server.dir/worker.cc.o.d"
+  "CMakeFiles/qtls_server.dir/worker_pool.cc.o"
+  "CMakeFiles/qtls_server.dir/worker_pool.cc.o.d"
+  "libqtls_server.a"
+  "libqtls_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_sim.dir/qat_sim.cc.o"
+  "CMakeFiles/qtls_sim.dir/qat_sim.cc.o.d"
+  "CMakeFiles/qtls_sim.dir/system.cc.o"
+  "CMakeFiles/qtls_sim.dir/system.cc.o.d"
+  "libqtls_sim.a"
+  "libqtls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/connection.cc" "src/tls/CMakeFiles/qtls_tls.dir/connection.cc.o" "gcc" "src/tls/CMakeFiles/qtls_tls.dir/connection.cc.o.d"
+  "/root/repo/src/tls/context.cc" "src/tls/CMakeFiles/qtls_tls.dir/context.cc.o" "gcc" "src/tls/CMakeFiles/qtls_tls.dir/context.cc.o.d"
+  "/root/repo/src/tls/key_schedule.cc" "src/tls/CMakeFiles/qtls_tls.dir/key_schedule.cc.o" "gcc" "src/tls/CMakeFiles/qtls_tls.dir/key_schedule.cc.o.d"
+  "/root/repo/src/tls/messages.cc" "src/tls/CMakeFiles/qtls_tls.dir/messages.cc.o" "gcc" "src/tls/CMakeFiles/qtls_tls.dir/messages.cc.o.d"
+  "/root/repo/src/tls/record.cc" "src/tls/CMakeFiles/qtls_tls.dir/record.cc.o" "gcc" "src/tls/CMakeFiles/qtls_tls.dir/record.cc.o.d"
+  "/root/repo/src/tls/session.cc" "src/tls/CMakeFiles/qtls_tls.dir/session.cc.o" "gcc" "src/tls/CMakeFiles/qtls_tls.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/qtls_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/qtls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/qat/CMakeFiles/qtls_qat.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncx/CMakeFiles/qtls_asyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

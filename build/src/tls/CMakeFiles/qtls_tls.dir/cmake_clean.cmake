@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtls_tls.dir/connection.cc.o"
+  "CMakeFiles/qtls_tls.dir/connection.cc.o.d"
+  "CMakeFiles/qtls_tls.dir/context.cc.o"
+  "CMakeFiles/qtls_tls.dir/context.cc.o.d"
+  "CMakeFiles/qtls_tls.dir/key_schedule.cc.o"
+  "CMakeFiles/qtls_tls.dir/key_schedule.cc.o.d"
+  "CMakeFiles/qtls_tls.dir/messages.cc.o"
+  "CMakeFiles/qtls_tls.dir/messages.cc.o.d"
+  "CMakeFiles/qtls_tls.dir/record.cc.o"
+  "CMakeFiles/qtls_tls.dir/record.cc.o.d"
+  "CMakeFiles/qtls_tls.dir/session.cc.o"
+  "CMakeFiles/qtls_tls.dir/session.cc.o.d"
+  "libqtls_tls.a"
+  "libqtls_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtls_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncx_test.dir/asyncx_test.cc.o"
+  "CMakeFiles/asyncx_test.dir/asyncx_test.cc.o.d"
+  "asyncx_test"
+  "asyncx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_test.dir/bn_test.cc.o"
+  "CMakeFiles/bn_test.dir/bn_test.cc.o.d"
+  "bn_test"
+  "bn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec2m_test.dir/ec2m_test.cc.o"
+  "CMakeFiles/ec2m_test.dir/ec2m_test.cc.o.d"
+  "ec2m_test"
+  "ec2m_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec2m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

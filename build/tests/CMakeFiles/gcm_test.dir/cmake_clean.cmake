@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcm_test.dir/gcm_test.cc.o"
+  "CMakeFiles/gcm_test.dir/gcm_test.cc.o.d"
+  "gcm_test"
+  "gcm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf2m_test.dir/gf2m_test.cc.o"
+  "CMakeFiles/gf2m_test.dir/gf2m_test.cc.o.d"
+  "gf2m_test"
+  "gf2m_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf2m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdf_test.dir/kdf_test.cc.o"
+  "CMakeFiles/kdf_test.dir/kdf_test.cc.o.d"
+  "kdf_test"
+  "kdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

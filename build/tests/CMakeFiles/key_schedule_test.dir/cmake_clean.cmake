@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_schedule_test.dir/key_schedule_test.cc.o"
+  "CMakeFiles/key_schedule_test.dir/key_schedule_test.cc.o.d"
+  "key_schedule_test"
+  "key_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qat_device_test.dir/qat_device_test.cc.o"
+  "CMakeFiles/qat_device_test.dir/qat_device_test.cc.o.d"
+  "qat_device_test"
+  "qat_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qat_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qat_modes_test.dir/qat_modes_test.cc.o"
+  "CMakeFiles/qat_modes_test.dir/qat_modes_test.cc.o.d"
+  "qat_modes_test"
+  "qat_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qat_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

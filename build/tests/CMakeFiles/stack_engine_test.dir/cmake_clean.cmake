@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_engine_test.dir/stack_engine_test.cc.o"
+  "CMakeFiles/stack_engine_test.dir/stack_engine_test.cc.o.d"
+  "stack_engine_test"
+  "stack_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls13_resumption_test.dir/tls13_resumption_test.cc.o"
+  "CMakeFiles/tls13_resumption_test.dir/tls13_resumption_test.cc.o.d"
+  "tls13_resumption_test"
+  "tls13_resumption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls13_resumption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

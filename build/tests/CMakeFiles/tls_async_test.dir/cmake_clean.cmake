@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_async_test.dir/tls_async_test.cc.o"
+  "CMakeFiles/tls_async_test.dir/tls_async_test.cc.o.d"
+  "tls_async_test"
+  "tls_async_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_async_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_disorder_test.dir/worker_disorder_test.cc.o"
+  "CMakeFiles/worker_disorder_test.dir/worker_disorder_test.cc.o.d"
+  "worker_disorder_test"
+  "worker_disorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_disorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
