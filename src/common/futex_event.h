@@ -1,0 +1,83 @@
+// FutexEvent: a 32-bit eventcount for one-shot sleep/wake handoff.
+//
+// The waiter samples the sequence with prepare(), publishes its intent to
+// sleep, re-checks its condition, then calls wait_for(ticket, timeout). A
+// signal() that lands anywhere after prepare() bumps the sequence, so the
+// wait returns immediately instead of losing the wakeup. On Linux this maps
+// straight onto FUTEX_WAIT/FUTEX_WAKE on the 32-bit word, which both wakes
+// and times out in microseconds — unlike libstdc++'s counting_semaphore<>,
+// whose 64-bit counter falls onto the proxy-wait pool and takes multiple
+// milliseconds to wake or expire. There is also no credit counter, so
+// duplicate signals can never overflow anything.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <ctime>
+#else
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace qtls {
+
+class FutexEvent {
+ public:
+  FutexEvent() = default;
+  FutexEvent(const FutexEvent&) = delete;
+  FutexEvent& operator=(const FutexEvent&) = delete;
+
+  // Sample the sequence before publishing intent to sleep; pass the result
+  // to wait_for(). Any signal() after this call invalidates the ticket.
+  uint32_t prepare() const { return seq_.load(std::memory_order_acquire); }
+
+  // Sleep until signalled or the timeout expires. Returns immediately if a
+  // signal already landed since prepare() (sequence mismatch). Spurious
+  // returns are allowed; callers re-check their condition in a loop.
+  void wait_for(uint32_t ticket, std::chrono::nanoseconds timeout) {
+#if defined(__linux__)
+    static_assert(sizeof(seq_) == 4, "futex word must be 32 bits");
+    if (seq_.load(std::memory_order_acquire) != ticket) return;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(timeout.count() / 1000000000);
+    ts.tv_nsec = static_cast<long>(timeout.count() % 1000000000);
+    syscall(SYS_futex, reinterpret_cast<uint32_t*>(&seq_), FUTEX_WAIT_PRIVATE,
+            ticket, &ts, nullptr, 0);
+#else
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] {
+      return seq_.load(std::memory_order_acquire) != ticket;
+    });
+#endif
+  }
+
+  // Invalidate outstanding tickets and wake one waiter.
+  void signal() {
+    seq_.fetch_add(1, std::memory_order_release);
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<uint32_t*>(&seq_), FUTEX_WAKE_PRIVATE,
+            1, nullptr, nullptr, 0);
+#else
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+    }
+    cv_.notify_all();
+#endif
+  }
+
+ private:
+  std::atomic<uint32_t> seq_{0};
+#if !defined(__linux__)
+  std::mutex mutex_;
+  std::condition_variable cv_;
+#endif
+};
+
+}  // namespace qtls

@@ -6,7 +6,7 @@
 // (extended gcd for modular inverse) handles sign locally.
 //
 // This is functional cryptography, not side-channel hardened (see
-// DESIGN.md §5): branches and early exits depend on values. Performance is
+// DESIGN.md §6): branches and early exits depend on values. Performance is
 // adequate for the real-execution plane (RSA-2048 sign in the low
 // milliseconds); the figure benches charge calibrated costs instead.
 #pragma once

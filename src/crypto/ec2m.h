@@ -2,7 +2,7 @@
 // covering the B-283/B-409 (a=1, pseudo-random b) and K-283/K-409 (Koblitz,
 // a=0, b=1) classes of Figure 7c.
 //
-// Parameter provenance (see DESIGN.md §5): the *fields* are the NIST ones
+// Parameter provenance (see DESIGN.md §6): the *fields* are the NIST ones
 // (same m, same reduction polynomial — performance is field-determined), but
 // generators are derived deterministically by solving the curve equation via
 // half-trace rather than copying the NIST base points, and B-curve b values

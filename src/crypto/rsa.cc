@@ -7,6 +7,16 @@
 
 namespace qtls {
 
+void RsaPublicKey::precompute() {
+  if (!mont_n && n.is_odd()) mont_n = std::make_shared<const MontCtx>(n);
+}
+
+void RsaPrivateKey::precompute() {
+  pub.precompute();
+  if (!mont_p && p.is_odd()) mont_p = std::make_shared<const MontCtx>(p);
+  if (!mont_q && q.is_odd()) mont_q = std::make_shared<const MontCtx>(q);
+}
+
 RsaPrivateKey rsa_generate(size_t modulus_bits, HmacDrbg& rng) {
   const Bignum e(65537);
   for (;;) {
@@ -30,19 +40,23 @@ RsaPrivateKey rsa_generate(size_t modulus_bits, HmacDrbg& rng) {
     key.dq = Bignum::mod(key.d, q1);
     key.qinv = Bignum::mod_inverse(q, p);
     if (key.pub.n.bit_length() != modulus_bits) continue;
+    key.precompute();
     return key;
   }
 }
 
 Bignum rsa_public_op(const RsaPublicKey& key, const Bignum& m) {
+  if (key.mont_n) return key.mont_n->exp(m, key.e);
   return Bignum::mod_exp(m, key.e, key.n);
 }
 
 Bignum rsa_private_op(const RsaPrivateKey& key, const Bignum& c) {
   // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv (m1 - m2) mod p,
   // m = m2 + h q.
-  const Bignum m1 = Bignum::mod_exp(c, key.dp, key.p);
-  const Bignum m2 = Bignum::mod_exp(c, key.dq, key.q);
+  const Bignum m1 = key.mont_p ? key.mont_p->exp(c, key.dp)
+                               : Bignum::mod_exp(c, key.dp, key.p);
+  const Bignum m2 = key.mont_q ? key.mont_q->exp(c, key.dq)
+                               : Bignum::mod_exp(c, key.dq, key.q);
   const Bignum diff = Bignum::mod_sub(m1, m2, key.p);
   const Bignum h = Bignum::mod_mul(key.qinv, diff, key.p);
   return Bignum::add(m2, Bignum::mul(h, key.q));
@@ -167,6 +181,7 @@ Result<RsaPrivateKey> RsaPrivateKey::deserialize(const std::string& text) {
     else --fields;
   }
   if (fields != 8) return err(Code::kInvalidArgument, "missing RSA fields");
+  key.precompute();
   return key;
 }
 

@@ -3,6 +3,8 @@
 // offloads to QAT (qat_rsa_priv_dec / priv_enc in the QAT Engine).
 #pragma once
 
+#include <memory>
+
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/bn.h"
@@ -15,8 +17,12 @@ class HmacDrbg;
 struct RsaPublicKey {
   Bignum n;
   Bignum e;
+  // Montgomery context for n, built once at key load (precompute()) instead
+  // of per rsa_public_op call. Shared: key copies reuse the same context.
+  std::shared_ptr<const MontCtx> mont_n;
 
   size_t modulus_bytes() const { return n.byte_length(); }
+  void precompute();
 };
 
 struct RsaPrivateKey {
@@ -24,8 +30,16 @@ struct RsaPrivateKey {
   Bignum d;
   // CRT components.
   Bignum p, q, dp, dq, qinv;
+  // Montgomery contexts for p and q: the CRT private op costs two modular
+  // exponentiations, and rebuilding a context per call (R^2 mod m needs
+  // 2k shifted reductions) is pure per-handshake overhead.
+  std::shared_ptr<const MontCtx> mont_p, mont_q;
 
   size_t modulus_bytes() const { return pub.modulus_bytes(); }
+  // Build the cached Montgomery contexts. Key loaders (rsa_generate,
+  // deserialize, keystore) call this; rsa_private_op falls back to the
+  // uncached path when it was skipped.
+  void precompute();
 
   // Serialization for key caching (hex fields, one per line).
   std::string serialize() const;
@@ -42,7 +56,7 @@ Bignum rsa_private_op(const RsaPrivateKey& key, const Bignum& c);
 
 // PKCS#1 v1.5 signature over `digest` (DigestInfo omitted: the TLS 1.2
 // ServerKeyExchange signature input is already hash output; we sign the
-// digest bytes directly, both ends agree — see DESIGN.md §5).
+// digest bytes directly, both ends agree — see DESIGN.md §6).
 Bytes rsa_sign_pkcs1(const RsaPrivateKey& key, BytesView digest);
 Status rsa_verify_pkcs1(const RsaPublicKey& key, BytesView digest,
                         BytesView signature);

@@ -47,7 +47,7 @@ class CryptoProvider {
   virtual Result<KeyShare> ecdhe_keygen(CurveId curve) = 0;
   virtual Result<Bytes> ecdhe_derive(const KeyShare& mine,
                                      BytesView peer_point) = 0;
-  // Prime curves only (see DESIGN.md §5 on binary-curve ECDSA).
+  // Prime curves only (see DESIGN.md §6 on binary-curve ECDSA).
   virtual Result<Bytes> ecdsa_sign(CurveId curve, const Bignum& priv,
                                    BytesView digest) = 0;
 

@@ -32,11 +32,17 @@ QatEngineProvider::QatEngineProvider(
 }
 
 size_t QatEngineProvider::poll(size_t max) {
+  // One pass over every assigned instance (§2.3: a process may hold
+  // instances on several endpoints); each instance drains its MPSC
+  // response ring in batches.
   size_t got = 0;
   for (qat::CryptoInstance* inst : instances_) {
     got += inst->poll(max - got);
     if (got >= max) break;
   }
+  ++stats_.polls;
+  stats_.polled_responses += got;
+  if (got > stats_.max_poll_batch) stats_.max_poll_batch = got;
   return got;
 }
 

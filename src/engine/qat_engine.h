@@ -45,6 +45,9 @@ struct QatEngineStats {
   uint64_t completed = 0;
   uint64_t submit_retries = 0;  // request-ring-full events (§3.2 retry path)
   uint64_t sync_blocks = 0;     // blocking waits taken in kSync mode
+  uint64_t polls = 0;           // poll() passes over the instance set
+  uint64_t polled_responses = 0;
+  uint64_t max_poll_batch = 0;  // largest single-pass retrieval
 };
 
 class QatEngineProvider : public CryptoProvider {
@@ -90,8 +93,11 @@ class QatEngineProvider : public CryptoProvider {
     return total;
   }
 
-  // Drain up to `max` QAT responses (runs response callbacks; resumable jobs
-  // are signalled through their WaitCtx). Returns retrieved count.
+  // Drain up to `max` QAT responses in one batched pass across ALL assigned
+  // instances (runs response callbacks; resumable jobs are signalled through
+  // their WaitCtx). The per-instance drain is wait-free on the ring-consumer
+  // side, so one heuristic trigger retrieves every ready response without
+  // taking a lock. Returns retrieved count.
   size_t poll(size_t max = static_cast<size_t>(-1));
 
   qat::CryptoInstance* instance() const { return instances_.front(); }

@@ -1,5 +1,6 @@
 #include "qat/device.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -7,47 +8,79 @@
 
 namespace qtls::qat {
 
+namespace {
+// How many responses poll() moves out of the MPSC ring per drain pass
+// before running their callbacks (stack-allocated batch buffer).
+constexpr size_t kPollBatch = 32;
+
+size_t round_up_pow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p < 2 ? 2 : p;
+}
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // CryptoInstance
 // ---------------------------------------------------------------------------
 
 CryptoInstance::CryptoInstance(QatEndpoint* endpoint, int id,
-                               size_t ring_capacity)
-    : endpoint_(endpoint), id_(id), request_ring_(ring_capacity) {}
+                               size_t ring_capacity, size_t response_capacity)
+    : endpoint_(endpoint),
+      id_(id),
+      request_ring_(ring_capacity),
+      response_ring_(round_up_pow2(response_capacity)) {}
 
-bool CryptoInstance::submit(CryptoRequest req) {
+bool CryptoInstance::push_request(CryptoRequest& req) {
+  // Gate on the inflight bound first: it guarantees the bounded response
+  // ring always has room for every request we accept, so an engine's
+  // response push can never fail. Inflight only decreases concurrently
+  // (poll), so the check cannot admit too many.
+  if (inflight_.load(std::memory_order_acquire) >= inflight_limit())
+    return false;
   const OpClass cls = op_class_of(req.kind);
   if (!request_ring_.try_push(std::move(req))) return false;
   inflight_.fetch_add(1, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(endpoint_->counter_mutex_);
-    ++endpoint_->counters_.requests[static_cast<int>(cls)];
-  }
+  req_counters_.v[static_cast<int>(cls)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  return true;
+}
+
+bool CryptoInstance::submit(CryptoRequest req) {
+  if (!push_request(req)) return false;
   endpoint_->kick();
   return true;
 }
 
+size_t CryptoInstance::submit_batch(std::span<CryptoRequest> reqs) {
+  size_t accepted = 0;
+  for (CryptoRequest& req : reqs) {
+    if (!push_request(req)) break;
+    ++accepted;
+  }
+  if (accepted > 0) endpoint_->kick();
+  return accepted;
+}
+
 size_t CryptoInstance::poll(size_t max) {
-  // Move ready responses out under the lock, run callbacks outside it: a
-  // callback may submit a follow-up request to this same instance.
-  std::vector<std::pair<CryptoResponse, ResponseCallback>> ready;
-  {
-    std::lock_guard<std::mutex> lock(response_mutex_);
-    while (!responses_.empty() && ready.size() < max) {
-      ready.push_back(std::move(responses_.front()));
-      responses_.pop_front();
+  if (poll_guard_.test_and_set(std::memory_order_acquire)) return 0;
+  ResponseEntry batch[kPollBatch];
+  size_t total = 0;
+  while (total < max) {
+    const size_t want = std::min(kPollBatch, max - total);
+    const size_t got = response_ring_.pop_batch(batch, want);
+    if (got == 0) break;
+    total += got;
+    for (size_t i = 0; i < got; ++i) {
+      inflight_.fetch_sub(1, std::memory_order_release);
+      // Callbacks run outside any ring operation: one may submit a
+      // follow-up request to this same instance.
+      if (batch[i].callback) batch[i].callback(batch[i].response);
+      batch[i] = ResponseEntry{};
     }
   }
-  for (auto& [response, callback] : ready) {
-    inflight_.fetch_sub(1, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> lock(endpoint_->counter_mutex_);
-      ++endpoint_->counters_.responses[static_cast<int>(
-          op_class_of(response.kind))];
-    }
-    if (callback) callback(response);
-  }
-  return ready.size();
+  poll_guard_.clear(std::memory_order_release);
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -56,39 +89,70 @@ size_t CryptoInstance::poll(size_t max) {
 
 QatEndpoint::QatEndpoint(const DeviceConfig& config, int id)
     : config_(config), id_(id) {
+  instances_.resize(static_cast<size_t>(config.max_instances_per_endpoint));
+  engine_slots_.reserve(static_cast<size_t>(config.engines_per_endpoint));
   engines_.reserve(static_cast<size_t>(config.engines_per_endpoint));
+  for (int e = 0; e < config.engines_per_endpoint; ++e)
+    engine_slots_.push_back(std::make_unique<EngineSlot>());
   for (int e = 0; e < config.engines_per_endpoint; ++e)
     engines_.emplace_back([this, e] { engine_main(e); });
 }
 
 QatEndpoint::~QatEndpoint() {
-  {
-    std::lock_guard<std::mutex> lock(dispatch_mutex_);
-    stopping_ = true;
-  }
-  dispatch_cv_.notify_all();
+  stopping_.store(true, std::memory_order_release);
+  for (auto& slot : engine_slots_) slot->wake.signal();
   for (auto& t : engines_) t.join();
 }
 
 CryptoInstance* QatEndpoint::allocate_instance() {
-  std::lock_guard<std::mutex> lock(dispatch_mutex_);
-  if (static_cast<int>(instances_.size()) >= config_.max_instances_per_endpoint)
-    return nullptr;
-  instances_.push_back(std::make_unique<CryptoInstance>(
-      this, static_cast<int>(instances_.size()), config_.ring_capacity));
-  return instances_.back().get();
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  const size_t n = num_instances_.load(std::memory_order_relaxed);
+  if (n >= instances_.size()) return nullptr;
+  // The response ring must absorb every request this instance can have in
+  // flight: the request ring plus one per engine in service, with slack for
+  // submit/poll races.
+  const size_t response_capacity =
+      config_.ring_capacity * 2 +
+      static_cast<size_t>(config_.engines_per_endpoint);
+  instances_[n] = std::make_unique<CryptoInstance>(
+      this, static_cast<int>(n), config_.ring_capacity, response_capacity);
+  CryptoInstance* inst = instances_[n].get();
+  // Publish: engines load num_instances_ with acquire before indexing.
+  num_instances_.store(n + 1, std::memory_order_release);
+  return inst;
 }
 
-void QatEndpoint::kick() { dispatch_cv_.notify_one(); }
+void QatEndpoint::kick() {
+  // Wake at most one sleeping engine; if all are awake they will find the
+  // request while scanning. Flipping `asleep` false transfers ownership of
+  // exactly one wake.signal() to this submitter, so each sleep sees at most
+  // one targeted wakeup.
+  const size_t n = engine_slots_.size();
+  const size_t start = wake_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    EngineSlot& slot = *engine_slots_[(start + i) % n];
+    bool expected = true;
+    if (slot.asleep.compare_exchange_strong(expected, false,
+                                            std::memory_order_acq_rel)) {
+      slot.wake.signal();
+      return;
+    }
+  }
+}
 
-bool QatEndpoint::pop_request_locked(CryptoRequest* out,
-                                     CryptoInstance** from) {
-  const size_t n = instances_.size();
+bool QatEndpoint::claim_request(CryptoRequest* out, CryptoInstance** from) {
+  const size_t n = num_instances_.load(std::memory_order_acquire);
+  if (n == 0) return false;
+  const size_t start = rr_cursor_.fetch_add(1, std::memory_order_relaxed);
   for (size_t step = 0; step < n; ++step) {
-    CryptoInstance* inst = instances_[(rr_cursor_ + step) % n].get();
+    CryptoInstance* inst = instances_[(start + step) % n].get();
+    if (inst->request_ring_.empty_hint()) continue;
+    // Take the pop side of this instance's SPSC ring; skip, never wait, if
+    // another engine holds it.
+    if (inst->claim_.test_and_set(std::memory_order_acquire)) continue;
     auto req = inst->request_ring_.try_pop();
+    inst->claim_.clear(std::memory_order_release);
     if (req.has_value()) {
-      rr_cursor_ = (rr_cursor_ + step + 1) % n;
       *out = std::move(*req);
       *from = inst;
       return true;
@@ -97,57 +161,84 @@ bool QatEndpoint::pop_request_locked(CryptoRequest* out,
   return false;
 }
 
+void QatEndpoint::serve(EngineSlot& slot, CryptoRequest& req,
+                        CryptoInstance* from) {
+  busy_.fetch_add(1, std::memory_order_relaxed);
+
+  CryptoResponse response;
+  response.request_id = req.request_id;
+  response.kind = req.kind;
+  response.user_tag = req.user_tag;
+  response.success = req.compute ? req.compute() : true;
+  if (config_.extra_service_ns > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(config_.extra_service_ns);
+    while (std::chrono::steady_clock::now() < deadline) {
+      // busy wait: models occupancy of a computation engine
+    }
+  }
+
+  slot.responses.v[static_cast<int>(op_class_of(response.kind))].fetch_add(
+      1, std::memory_order_relaxed);
+
+  if (config_.delivery == ResponseDelivery::kInterrupt) {
+    // Interrupt-style delivery: invoked from the engine thread, like a
+    // kernel interrupt handler preempting the application.
+    from->inflight_.fetch_sub(1, std::memory_order_release);
+    if (req.on_response) req.on_response(response);
+  } else {
+    CryptoInstance::ResponseEntry entry{std::move(response),
+                                        std::move(req.on_response)};
+    // The submit-side inflight gate sizes the response ring so this push
+    // succeeds; the yield loop is a backstop, not a steady state.
+    while (!from->response_ring_.try_push(std::move(entry)))
+      std::this_thread::yield();
+  }
+  busy_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void QatEndpoint::engine_main(int engine_id) {
-  (void)engine_id;
-  std::unique_lock<std::mutex> lock(dispatch_mutex_);
-  for (;;) {
-    CryptoRequest req;
-    CryptoInstance* from = nullptr;
-    while (!stopping_ && !pop_request_locked(&req, &from)) {
-      // Timed wait: a submit that races the wait is recovered on timeout.
-      dispatch_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  EngineSlot& slot = *engine_slots_[static_cast<size_t>(engine_id)];
+  CryptoRequest req;
+  CryptoInstance* from = nullptr;
+  // No idle spinning: an idle engine goes straight to the futex sleep.
+  // Spinning (pause or sched_yield) was measured strictly harmful on
+  // low-core-count hosts — a spinner holds the core for a scheduler slice
+  // and convoys the submitter — while the futex wake is a few microseconds.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (claim_request(&req, &from)) {
+      serve(slot, req, from);
+      continue;
     }
-    if (stopping_) return;
-
-    busy_.fetch_add(1, std::memory_order_relaxed);
-    lock.unlock();
-
-    CryptoResponse response;
-    response.request_id = req.request_id;
-    response.kind = req.kind;
-    response.user_tag = req.user_tag;
-    response.success = req.compute ? req.compute() : true;
-    if (config_.extra_service_ns > 0) {
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::nanoseconds(config_.extra_service_ns);
-      while (std::chrono::steady_clock::now() < deadline) {
-        // busy wait: models occupancy of a computation engine
-      }
+    // Take a wakeup ticket, commit to sleeping, then re-scan: a submit
+    // that lands after the ticket invalidates it (wait_for returns
+    // immediately), and one that lands before the asleep store is caught by
+    // the re-scan. The timed wait is a backstop, not the wake path.
+    const uint32_t ticket = slot.wake.prepare();
+    slot.asleep.store(true, std::memory_order_seq_cst);
+    if (claim_request(&req, &from)) {
+      slot.asleep.store(false, std::memory_order_relaxed);
+      serve(slot, req, from);
+      continue;
     }
-
-    if (config_.delivery == ResponseDelivery::kInterrupt) {
-      // Interrupt-style delivery: invoked from the engine thread, like a
-      // kernel interrupt handler preempting the application.
-      from->inflight_.fetch_sub(1, std::memory_order_release);
-      {
-        std::lock_guard<std::mutex> clock_(counter_mutex_);
-        ++counters_.responses[static_cast<int>(op_class_of(response.kind))];
-      }
-      if (req.on_response) req.on_response(response);
-    } else {
-      std::lock_guard<std::mutex> rlock(from->response_mutex_);
-      from->responses_.emplace_back(std::move(response),
-                                    std::move(req.on_response));
-    }
-    busy_.fetch_sub(1, std::memory_order_relaxed);
-
-    lock.lock();
+    if (stopping_.load(std::memory_order_acquire)) return;
+    slot.wake.wait_for(ticket, std::chrono::milliseconds(1));
+    slot.asleep.store(false, std::memory_order_relaxed);
   }
 }
 
 FwCounters QatEndpoint::fw_counters() const {
-  std::lock_guard<std::mutex> lock(counter_mutex_);
-  return counters_;
+  FwCounters total;
+  const size_t n = num_instances_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i)
+    for (int c = 0; c < kNumOpClasses; ++c)
+      total.requests[c] +=
+          instances_[i]->req_counters_.v[c].load(std::memory_order_relaxed);
+  for (const auto& slot : engine_slots_)
+    for (int c = 0; c < kNumOpClasses; ++c)
+      total.responses[c] +=
+          slot->responses.v[c].load(std::memory_order_relaxed);
+  return total;
 }
 
 std::string FwCounters::to_string() const {

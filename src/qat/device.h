@@ -9,18 +9,27 @@
 // the request's `compute` closure (real crypto). The virtual-time backend
 // for the figure benches lives in src/sim/ and shares the service-time
 // model (qat/service_time.h).
+//
+// Dispatch path (see DESIGN.md "Dispatch path"): the request/response path
+// is lock-free end to end. Submits are SPSC ring pushes plus a per-engine
+// futex-eventcount wakeup; engines claim requests through an atomic
+// round-robin cursor and a per-instance claim flag (no lock while scanning);
+// responses cross a bounded MPSC ring whose consumer side — poll() — is
+// wait-free; firmware counters are striped relaxed atomics aggregated on
+// read. The only mutex left is the cold instance-allocation path.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/futex_event.h"
+#include "common/mpsc_ring.h"
 #include "common/spsc_ring.h"
 #include "common/status.h"
 #include "qat/api.h"
@@ -49,23 +58,44 @@ struct DeviceConfig {
 
 class QatEndpoint;
 
+// Per-class op counters, striped one block per engine / per instance so no
+// two threads write the same cache line on the hot path.
+struct alignas(kCacheLine) OpClassCounters {
+  std::atomic<uint64_t> v[kNumOpClasses] = {};
+};
+
 // A crypto instance: the logical unit assigned to one process/thread. The
-// submit side is wait-free (SPSC ring push). poll() drains the response
-// queue and runs callbacks in the caller's context.
+// submit side is wait-free (SPSC ring push: one producer — the owning
+// thread). poll() drains the MPSC response ring wait-free and runs
+// callbacks in the caller's context.
 class CryptoInstance {
  public:
-  CryptoInstance(QatEndpoint* endpoint, int id, size_t ring_capacity);
+  CryptoInstance(QatEndpoint* endpoint, int id, size_t ring_capacity,
+                 size_t response_capacity);
 
-  // Non-blocking submit. Returns false when the request ring is full — the
+  // Non-blocking submit. Returns false when the request ring is full or the
+  // instance is at its inflight bound (response-ring backpressure) — the
   // caller is expected to pause the offload job and retry later (§3.2).
   bool submit(CryptoRequest req);
 
+  // Batched submit: pushes a prefix of `reqs` and issues ONE engine wakeup
+  // for the whole batch. Returns the number accepted; stops at the first
+  // ring-full/backpressure rejection, leaving the remainder untouched for
+  // the §3.2 retry path.
+  size_t submit_batch(std::span<CryptoRequest> reqs);
+
   // Retrieve up to `max` responses, invoking each request's callback.
-  // Returns the number retrieved.
+  // Wait-free on the ring-consumer side; responses are drained in batches
+  // and callbacks run between batches. Returns the number retrieved.
+  // Concurrent callers are serialized by skip: a second poller gets 0.
   size_t poll(size_t max = static_cast<size_t>(-1));
 
   // Submitted but not yet retrieved (includes requests in service).
   size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+  // Hard bound on inflight requests per instance; submits beyond it fail
+  // like a full ring so the bounded response ring can never overflow.
+  size_t inflight_limit() const { return response_ring_.capacity(); }
 
   int id() const { return id_; }
   QatEndpoint* endpoint() const { return endpoint_; }
@@ -73,16 +103,33 @@ class CryptoInstance {
  private:
   friend class QatEndpoint;
 
+  struct ResponseEntry {
+    CryptoResponse response;
+    ResponseCallback callback;
+  };
+
+  // Common submit body; returns false without kicking on rejection.
+  bool push_request(CryptoRequest& req);
+
   QatEndpoint* endpoint_;
   int id_;
   SpscRing<CryptoRequest> request_ring_;
-  // Responses come from multiple engine threads: mutex-guarded queue.
-  std::mutex response_mutex_;
-  std::deque<std::pair<CryptoResponse, ResponseCallback>> responses_;
+  // Responses come from multiple engine threads: bounded MPSC ring.
+  MpscRing<ResponseEntry> response_ring_;
+  // Request-ring consumer guard: engines claim the pop side with a
+  // test_and_set and skip on contention, preserving the SPSC invariant
+  // without a shared lock.
+  std::atomic_flag claim_ = ATOMIC_FLAG_INIT;
+  // Response-ring consumer guard: serializes accidental concurrent pollers.
+  std::atomic_flag poll_guard_ = ATOMIC_FLAG_INIT;
   std::atomic<size_t> inflight_{0};
+  // Request-side firmware counters (written by the single submitter).
+  OpClassCounters req_counters_;
 };
 
 // Firmware counters, readable like /sys/kernel/debug/qat*/fw_counters.
+// Aggregated on read from the per-instance request stripes and per-engine
+// response stripes; no mutex anywhere near the hot path.
 struct FwCounters {
   uint64_t requests[kNumOpClasses] = {0, 0, 0};
   uint64_t responses[kNumOpClasses] = {0, 0, 0};
@@ -113,26 +160,41 @@ class QatEndpoint {
  private:
   friend class CryptoInstance;
 
-  void kick();  // wake engines after a submit
+  // One engine's wakeup channel + response counter stripe. Heap-allocated
+  // (the eventcount is immovable) and cache-line aligned.
+  struct alignas(kCacheLine) EngineSlot {
+    FutexEvent wake;
+    // True while the engine is committed to sleeping; a submitter that
+    // flips it false owns the matching wake.signal().
+    std::atomic<bool> asleep{false};
+    OpClassCounters responses;
+  };
+
+  void kick();  // wake one sleeping engine after a submit
   void engine_main(int engine_id);
-  // Pops one request from any instance ring, round-robin. Caller holds
-  // dispatch_mutex_.
-  bool pop_request_locked(CryptoRequest* out, CryptoInstance** from);
+  // Lock-free claim: scan instances from the shared round-robin cursor,
+  // taking each instance's pop side via its claim flag (skip on
+  // contention). Returns false when every ring is empty or contended.
+  bool claim_request(CryptoRequest* out, CryptoInstance** from);
+  void serve(EngineSlot& slot, CryptoRequest& req, CryptoInstance* from);
 
   DeviceConfig config_;
   int id_;
 
-  std::mutex dispatch_mutex_;
-  std::condition_variable dispatch_cv_;
-  bool stopping_ = false;
-  size_t rr_cursor_ = 0;
+  std::atomic<bool> stopping_{false};
+  alignas(kCacheLine) std::atomic<size_t> rr_cursor_{0};
+  alignas(kCacheLine) std::atomic<size_t> wake_cursor_{0};
 
+  // Instance slots are pre-sized to the endpoint limit so engines can scan
+  // them without synchronizing against reallocation; `num_instances_` is
+  // the release-published count. The mutex covers allocation only.
+  std::mutex alloc_mutex_;
   std::vector<std::unique_ptr<CryptoInstance>> instances_;
+  std::atomic<size_t> num_instances_{0};
+
+  std::vector<std::unique_ptr<EngineSlot>> engine_slots_;
   std::vector<std::thread> engines_;
   std::atomic<int> busy_{0};
-
-  mutable std::mutex counter_mutex_;
-  FwCounters counters_;
 };
 
 // The whole accelerator card (e.g. one DH8970 = three endpoints).

@@ -29,6 +29,7 @@ struct HeuristicPollerConfig {
 struct HeuristicPollerStats {
   uint64_t polls = 0;
   uint64_t retrieved = 0;
+  uint64_t max_batch = 0;  // largest single-trigger retrieval (coalescing)
   uint64_t efficiency_triggers = 0;
   uint64_t timeliness_triggers = 0;
   uint64_t failover_triggers = 0;
@@ -75,9 +76,13 @@ class HeuristicPoller {
 
  private:
   size_t do_poll(uint64_t now_ms) {
+    // One trigger = one batched pass over all of the engine's instances;
+    // every ready response comes back in this single call (the coalescing
+    // §3.3 argues for), wait-free on the response-ring consumer side.
     ++stats_.polls;
     const size_t got = engine_->poll();
     stats_.retrieved += got;
+    if (got > stats_.max_batch) stats_.max_batch = got;
     last_poll_ms_ = now_ms;
     return got;
   }

@@ -76,7 +76,7 @@ SOp ecdh_op(qtls::CurveId curve) {
 }
 
 SOp ecdsa_op(qtls::CurveId curve) {
-  // ECDSA stays on the prime curves (DESIGN.md §5): P-384 when the ECDHE
+  // ECDSA stays on the prime curves (DESIGN.md §6): P-384 when the ECDHE
   // group is P-384, else the Montgomery-friendly P-256 path.
   return curve == qtls::CurveId::kP384 ? SOp::kEcdsaP384 : SOp::kEcdsaP256;
 }

@@ -1,6 +1,6 @@
 // Shared TLS protocol types. The wire format is TLS-shaped (record framing,
 // handshake message framing, cipher-suite ids) but both ends are this stack;
-// see DESIGN.md §5 for the declared divergences (no X.509, CBC-HMAC record
+// see DESIGN.md §6 for the declared divergences (no X.509, CBC-HMAC record
 // protection also used for the TLS 1.3 experiments).
 #pragma once
 

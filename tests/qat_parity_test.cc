@@ -1,0 +1,228 @@
+// Behavioral parity between the real-time QAT backend (src/qat/, worker
+// threads) and the virtual-time backend (src/sim/, DES clock). The lock-free
+// dispatch rework touched only the real-time plane; these tests pin the
+// contract both planes must keep sharing: non-blocking submit with
+// ring-full -> false (§3.2 retry), FIFO retrieval within an instance,
+// inflight accounting from submit to poll, and one service-time model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "qat/device.h"
+#include "qat/service_time.h"
+#include "sim/costs.h"
+#include "sim/qat_sim.h"
+
+namespace qtls {
+namespace {
+
+// --- shared service-time model ---------------------------------------------
+
+// The sim's CostModel embeds qat::ServiceTimeModel and must route every op
+// through it — the planes may not drift apart on engine occupancy.
+TEST(QatParity, ServiceTimeModelIsShared) {
+  const sim::CostModel costs;
+  const qat::ServiceTimeModel reference;
+  using sim::SOp;
+  EXPECT_EQ(costs.qat_service(SOp::kRsaPriv),
+            reference.service_ns(qat::OpKind::kRsa2048Priv));
+  EXPECT_EQ(costs.qat_service(SOp::kEcdhP256),
+            reference.service_ns(qat::OpKind::kEcP256));
+  EXPECT_EQ(costs.qat_service(SOp::kEcdhB283),
+            reference.service_ns(qat::OpKind::kEcBinary283));
+  EXPECT_EQ(costs.qat_service(SOp::kPrf),
+            reference.service_ns(qat::OpKind::kPrfTls12));
+  EXPECT_EQ(costs.qat_service(SOp::kCipher16k),
+            reference.service_ns(qat::OpKind::kCipher16k));
+}
+
+// --- ring-full -> retry semantics ------------------------------------------
+
+// Real backend: with the engines wedged on a gated compute, submits fail
+// once the bounded ring is full; draining responses re-admits submissions.
+TEST(QatParity, RealRingFullThenRetrySucceeds) {
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 1;
+  cfg.ring_capacity = 2;
+  qat::QatDevice device(cfg);
+  qat::CryptoInstance* inst = device.allocate_instance();
+
+  std::atomic<bool> gate{false};
+  std::atomic<int> responded{0};
+  auto request = [&](uint64_t id, bool gated) {
+    qat::CryptoRequest req;
+    req.request_id = id;
+    req.kind = qat::OpKind::kPrfTls12;
+    req.compute = [&gate, gated] {
+      if (gated)
+        while (!gate.load(std::memory_order_acquire))
+          std::this_thread::yield();
+      return true;
+    };
+    req.on_response = [&responded](const qat::CryptoResponse&) {
+      responded.fetch_add(1, std::memory_order_relaxed);
+    };
+    return req;
+  };
+
+  // First request wedges the single engine; subsequent ones queue until
+  // the ring (plus the in-service slot) is exhausted.
+  size_t accepted = 0;
+  uint64_t id = 1;
+  while (inst->submit(request(id, id == 1))) {
+    ++accepted;
+    ++id;
+    ASSERT_LT(accepted, 100u) << "submit never rejected";
+  }
+  // Ring full: the rejection is a return value, not a block or a throw —
+  // same contract as the sim below.
+  EXPECT_FALSE(inst->submit(request(id, false)));
+  EXPECT_GE(accepted, cfg.ring_capacity);
+
+  // Drain and retry: the §3.2 path. Release the gate, poll everything back.
+  gate.store(true, std::memory_order_release);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (responded.load() < static_cast<int>(accepted) &&
+         std::chrono::steady_clock::now() < deadline) {
+    inst->poll();
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(responded.load(), static_cast<int>(accepted));
+  EXPECT_TRUE(inst->submit(request(id, false)));
+}
+
+// Virtual-time backend: same shape, same contract.
+TEST(QatParity, SimRingFullThenRetrySucceeds) {
+  sim::Simulator simulator;
+  const sim::CostModel costs;
+  sim::SimQatEndpoint endpoint(&simulator, &costs, /*engines=*/1);
+  sim::SimQatInstance* inst = endpoint.make_instance(/*ring_capacity=*/2);
+
+  int retrieved = 0;
+  auto on_retrieved = [&retrieved] { ++retrieved; };
+
+  EXPECT_TRUE(inst->submit(sim::SOp::kPrf, on_retrieved));
+  EXPECT_TRUE(inst->submit(sim::SOp::kPrf, on_retrieved));
+  EXPECT_FALSE(inst->submit(sim::SOp::kPrf, on_retrieved));  // ring full
+
+  // Advance virtual time past both completions, drain, retry.
+  simulator.run_until(10 * costs.qat_service(sim::SOp::kPrf));
+  EXPECT_EQ(inst->poll(), 2u);
+  EXPECT_EQ(retrieved, 2);
+  EXPECT_TRUE(inst->submit(sim::SOp::kPrf, on_retrieved));
+}
+
+// --- FIFO retrieval within an instance -------------------------------------
+
+TEST(QatParity, RealFifoWithinInstance) {
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 1;  // one engine => service order == ring order
+  cfg.ring_capacity = 16;
+  qat::QatDevice device(cfg);
+  qat::CryptoInstance* inst = device.allocate_instance();
+
+  std::vector<uint64_t> order;
+  std::atomic<int> responded{0};
+  for (uint64_t id = 1; id <= 8; ++id) {
+    qat::CryptoRequest req;
+    req.request_id = id;
+    req.kind = qat::OpKind::kPrfTls12;
+    req.compute = [] { return true; };
+    req.on_response = [&order, &responded](const qat::CryptoResponse& r) {
+      order.push_back(r.request_id);  // poll() runs callbacks sequentially
+      responded.fetch_add(1, std::memory_order_release);
+    };
+    ASSERT_TRUE(inst->submit(req));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (responded.load(std::memory_order_acquire) < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    inst->poll();
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(order.size(), 8u);
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i + 1);
+}
+
+TEST(QatParity, SimFifoWithinInstance) {
+  sim::Simulator simulator;
+  const sim::CostModel costs;
+  sim::SimQatEndpoint endpoint(&simulator, &costs, /*engines=*/1);
+  sim::SimQatInstance* inst = endpoint.make_instance(/*ring_capacity=*/16);
+
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(inst->submit(sim::SOp::kPrf, [&order, i] {
+      order.push_back(i);
+    }));
+  simulator.run_until(100 * costs.qat_service(sim::SOp::kPrf));
+  EXPECT_EQ(inst->poll(), 8u);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+// --- inflight accounting ----------------------------------------------------
+
+// Both planes count a request as inflight from accepted submit until the
+// poll that retrieves it — the invariant the heuristic poller (§4.3) reads.
+TEST(QatParity, InflightCountsUntilPolled) {
+  // Real plane.
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  cfg.ring_capacity = 8;
+  qat::QatDevice device(cfg);
+  qat::CryptoInstance* inst = device.allocate_instance();
+
+  std::atomic<int> computed{0};
+  for (uint64_t id = 1; id <= 4; ++id) {
+    qat::CryptoRequest req;
+    req.request_id = id;
+    req.kind = qat::OpKind::kPrfTls12;
+    req.compute = [&computed] {
+      computed.fetch_add(1, std::memory_order_release);
+      return true;
+    };
+    ASSERT_TRUE(inst->submit(req));
+  }
+  // Even after all compute closures ran, the requests stay inflight until
+  // retrieved by poll().
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (computed.load(std::memory_order_acquire) < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(computed.load(), 4);
+  EXPECT_EQ(inst->inflight(), 4u);
+  size_t polled = 0;
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (polled < 4 && std::chrono::steady_clock::now() < poll_deadline)
+    polled += inst->poll();
+  EXPECT_EQ(polled, 4u);
+  EXPECT_EQ(inst->inflight(), 0u);
+
+  // Virtual-time plane.
+  sim::Simulator simulator;
+  const sim::CostModel costs;
+  sim::SimQatEndpoint endpoint(&simulator, &costs, /*engines=*/2);
+  sim::SimQatInstance* sinst = endpoint.make_instance(/*ring_capacity=*/8);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(sinst->submit(sim::SOp::kPrf, [] {}));
+  EXPECT_EQ(sinst->inflight_total(), 4u);
+  simulator.run_until(100 * costs.qat_service(sim::SOp::kPrf));
+  EXPECT_EQ(sinst->inflight_total(), 4u);  // completed but unpolled
+  EXPECT_EQ(sinst->poll(), 4u);
+  EXPECT_EQ(sinst->inflight_total(), 0u);
+}
+
+}  // namespace
+}  // namespace qtls
