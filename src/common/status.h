@@ -25,6 +25,7 @@ enum class Code {
   kProtocolError,   // malformed/unexpected TLS message
   kCryptoError,     // signature/MAC/padding verification failure
   kIoError,
+  kUnavailable,     // device/offload path failed; retry or fall back
 };
 
 inline const char* code_name(Code c) {
@@ -41,6 +42,7 @@ inline const char* code_name(Code c) {
     case Code::kProtocolError: return "PROTOCOL_ERROR";
     case Code::kCryptoError: return "CRYPTO_ERROR";
     case Code::kIoError: return "IO_ERROR";
+    case Code::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -1,6 +1,8 @@
 #include "engine/qat_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 #include "common/log.h"
@@ -9,14 +11,18 @@
 namespace qtls::engine {
 
 namespace {
+constexpr uint8_t kClosed = static_cast<uint8_t>(BreakerState::kClosed);
+constexpr uint8_t kOpen = static_cast<uint8_t>(BreakerState::kOpen);
+constexpr uint8_t kHalfOpen = static_cast<uint8_t>(BreakerState::kHalfOpen);
+}  // namespace
+
 // Generic holder for a completed offload; `done` flips in the response
 // callback (polling context), after `compute` ran on an engine thread.
+// Derives the type-erased OpStateBase so the deadline sweep can track it.
 template <typename T>
-struct TypedOpState {
-  std::atomic<bool> done{false};
+struct TypedOpState : QatEngineProvider::OpStateBase {
   Result<T> result = Status(Code::kInternal, "not computed");
 };
-}  // namespace
 
 QatEngineProvider::QatEngineProvider(qat::CryptoInstance* instance,
                                      QatEngineConfig config)
@@ -43,7 +49,100 @@ size_t QatEngineProvider::poll(size_t max) {
   ++stats_.polls;
   stats_.polled_responses += got;
   if (got > stats_.max_poll_batch) stats_.max_poll_batch = got;
+  // The deadline sweep piggybacks on the poll cadence: the worker's
+  // failover poll timer keeps polling while ops are in flight, which bounds
+  // how late an expiry is observed.
+  if (config_.op_deadline_us != 0) sweep_deadlines(steady_now_ns());
   return got;
+}
+
+uint64_t QatEngineProvider::steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t QatEngineProvider::pending_deadline_ops() const {
+  std::lock_guard<std::mutex> lk(pending_mu_);
+  return pending_.size();
+}
+
+void QatEngineProvider::sweep_deadlines(uint64_t now) {
+  std::lock_guard<std::mutex> lk(pending_mu_);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    OpStateBase* s = it->get();
+    if (s->done.load(std::memory_order_acquire) ||
+        s->abandoned.load(std::memory_order_acquire)) {
+      it = pending_.erase(it);
+      continue;
+    }
+    if (now >= s->deadline_ns) {
+      // Expire: release the heuristic-poller slot here because the response
+      // callback (if a late response ever shows up) returns early on the
+      // abandoned flag without touching the counter.
+      s->abandoned.store(true, std::memory_order_release);
+      inflight_[s->cls].fetch_sub(1, std::memory_order_release);
+      ++stats_.deadline_expiries;
+      if (s->wctx) s->wctx->notify();
+      it = pending_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+bool QatEngineProvider::offload_allowed(qat::OpClass cls) {
+  ClassBreaker& b = breakers_[static_cast<int>(cls)];
+  const uint8_t st = b.state.load(std::memory_order_acquire);
+  if (st == kClosed) return true;  // hot path: one load, no clock read
+  if (st == kOpen) {
+    if (steady_now_ns() >= b.open_until_ns.load(std::memory_order_acquire)) {
+      // Cooldown elapsed: exactly one op wins the CAS and becomes the
+      // half-open probe; everyone else keeps falling back until it lands.
+      uint8_t expected = kOpen;
+      return b.state.compare_exchange_strong(expected, kHalfOpen,
+                                             std::memory_order_acq_rel);
+    }
+    return false;
+  }
+  return false;  // kHalfOpen: probe in flight
+}
+
+void QatEngineProvider::breaker_on_success(qat::OpClass cls) {
+  ClassBreaker& b = breakers_[static_cast<int>(cls)];
+  if (b.consecutive_failures.load(std::memory_order_relaxed) != 0)
+    b.consecutive_failures.store(0, std::memory_order_relaxed);
+  if (b.state.load(std::memory_order_acquire) != kClosed) {
+    b.state.store(kClosed, std::memory_order_release);
+    ++stats_.breaker_closes;
+    QTLS_INFO << "qat breaker closed for class " << static_cast<int>(cls)
+              << " (re-probe succeeded)";
+  }
+}
+
+void QatEngineProvider::breaker_on_failure(qat::OpClass cls) {
+  ClassBreaker& b = breakers_[static_cast<int>(cls)];
+  const int fails =
+      b.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint8_t st = b.state.load(std::memory_order_acquire);
+  if (st == kHalfOpen) {
+    // Probe failed: reopen for another cooldown.
+    b.open_until_ns.store(
+        steady_now_ns() + config_.breaker_cooldown_ms * 1'000'000ULL,
+        std::memory_order_release);
+    b.state.store(kOpen, std::memory_order_release);
+    ++stats_.breaker_opens;
+  } else if (st == kClosed && fails >= config_.breaker_threshold) {
+    b.open_until_ns.store(
+        steady_now_ns() + config_.breaker_cooldown_ms * 1'000'000ULL,
+        std::memory_order_release);
+    b.state.store(kOpen, std::memory_order_release);
+    ++stats_.breaker_opens;
+    QTLS_WARN << "qat breaker open for class " << static_cast<int>(cls)
+              << " after " << fails
+              << " consecutive failures; degrading to software";
+  }
 }
 
 qat::OpKind QatEngineProvider::ec_op_kind(CurveId curve) {
@@ -62,74 +161,157 @@ template <typename T>
 Result<T> QatEngineProvider::offload(qat::OpKind kind,
                                      std::function<Result<T>()> compute) {
   using State = TypedOpState<T>;
-  auto state = std::make_shared<State>();
+
+  const qat::OpClass cls = qat::op_class_of(kind);
+
+  if (!offload_allowed(cls)) {
+    // Breaker open: degrade to software. The compute closures are
+    // self-contained, so running one on the calling thread IS the
+    // SoftwareProvider path (same primitives, no device round trip).
+    ++stats_.sw_fallbacks;
+    return compute();
+  }
 
   asyncx::AsyncJob* job = asyncx::get_current_job();
   const bool async = config_.offload_mode == OffloadMode::kAsync && job;
   asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
 
-  const qat::OpClass cls = qat::op_class_of(kind);
-  // Counted before submission so the heuristic poller sees the request the
-  // instant it exists (paper §4.3 counts at crypto-function invocation).
-  inflight_[static_cast<int>(cls)].fetch_add(1, std::memory_order_release);
+  const int max_attempts = 1 + std::max(0, config_.max_retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // Fresh per-attempt state: an abandoned attempt's shared state may still
+    // be referenced by a late device response, so it is never reused.
+    auto state = std::make_shared<State>();
+    state->wctx = wctx;
+    state->cls = static_cast<int>(cls);
 
-  auto build_request = [&] {
-    qat::CryptoRequest req;
-    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    req.kind = kind;
-    req.compute = [state, compute] {
-      state->result = compute();
-      return state->result.is_ok();
+    // Counted before submission so the heuristic poller sees the request the
+    // instant it exists (paper §4.3 counts at crypto-function invocation).
+    inflight_[static_cast<int>(cls)].fetch_add(1, std::memory_order_release);
+
+    auto build_request = [&] {
+      qat::CryptoRequest req;
+      req.request_id =
+          next_request_id_.fetch_add(1, std::memory_order_relaxed);
+      req.kind = kind;
+      req.compute = [state, compute] {
+        state->result = compute();
+        return state->result.is_ok();
+      };
+      req.on_response = [this, state](const qat::CryptoResponse& resp) {
+        if (state->abandoned.load(std::memory_order_acquire))
+          return;  // deadline already recovered this op; slot released there
+        state->dev_status = resp.status;
+        inflight_[state->cls].fetch_sub(1, std::memory_order_release);
+        state->done.store(true, std::memory_order_release);
+        // Async event notification (§3.4): kernel-bypass callback if set on
+        // the wait context, otherwise the notification FD.
+        if (state->wctx) state->wctx->notify();
+      };
+      return req;
     };
-    req.on_response = [this, state, wctx, cls](const qat::CryptoResponse&) {
-      inflight_[static_cast<int>(cls)].fetch_sub(1, std::memory_order_release);
-      state->done.store(true, std::memory_order_release);
-      // Async event notification (§3.4): kernel-bypass callback if set on
-      // the wait context, otherwise the notification FD.
-      if (wctx) wctx->notify();
-    };
-    return req;
-  };
 
-  // Requests round-robin across the assigned instances (§2.3); submission
-  // retains the §3.2 failure path: a full request ring pauses the job
-  // (async) or backs off (sync) and retries.
-  qat::CryptoInstance* target = instances_[
-      next_instance_.fetch_add(1, std::memory_order_relaxed) %
-      instances_.size()];
-  while (!target->submit(build_request())) {
-    ++stats_.submit_retries;
-    if (async) {
-      // Notify immediately so the application reschedules this handler to
-      // retry the submission.
-      if (wctx) wctx->notify();
-      asyncx::pause_job();
-    } else {
-      target->poll();
-      std::this_thread::yield();
-    }
-  }
-  ++stats_.submitted;
-
-  if (async) {
-    // Pre-processing ends here: pause until the async event arrives. The
-    // loop tolerates spurious resumes (e.g. a resume triggered by the
-    // retry-notification racing an actual response).
-    while (!state->done.load(std::memory_order_acquire)) asyncx::pause_job();
-  } else {
-    ++stats_.sync_blocks;
-    // Straight offload (QAT+S): burn the event loop until the response is
-    // back — this is precisely Figure 3's blocking.
-    while (!state->done.load(std::memory_order_acquire)) {
-      if (config_.self_poll_when_blocking) {
-        target->poll();
+    // Requests round-robin across the assigned instances (§2.3); submission
+    // retains the §3.2 failure path: a full request ring pauses the job
+    // (async) or backs off (sync) and retries.
+    qat::CryptoInstance* target = instances_[
+        next_instance_.fetch_add(1, std::memory_order_relaxed) %
+        instances_.size()];
+    while (!target->submit(build_request())) {
+      ++stats_.submit_retries;
+      if (async) {
+        // Notify immediately so the application reschedules this handler to
+        // retry the submission.
+        if (wctx) wctx->notify();
+        asyncx::pause_job();
       } else {
-        std::this_thread::yield();  // an external polling thread retrieves
+        target->poll();
+        std::this_thread::yield();
+      }
+    }
+    ++stats_.submitted;
+
+    const uint64_t deadline_ns =
+        config_.op_deadline_us == 0
+            ? 0
+            : steady_now_ns() + config_.op_deadline_us * 1'000ULL;
+
+    if (async) {
+      if (deadline_ns != 0) {
+        state->deadline_ns = deadline_ns;
+        std::lock_guard<std::mutex> lk(pending_mu_);
+        pending_.push_back(state);
+      }
+      // Pre-processing ends here: pause until the async event arrives. The
+      // loop tolerates spurious resumes (e.g. a resume triggered by the
+      // retry-notification racing an actual response). A deadline expiry
+      // (sweep_deadlines) sets `abandoned` and notifies, ending the wait.
+      while (!state->done.load(std::memory_order_acquire) &&
+             !state->abandoned.load(std::memory_order_acquire))
+        asyncx::pause_job();
+    } else {
+      ++stats_.sync_blocks;
+      // Straight offload (QAT+S): burn the event loop until the response is
+      // back — this is precisely Figure 3's blocking. With a deadline set,
+      // the spin checks the clock itself (no registry involvement).
+      while (!state->done.load(std::memory_order_acquire)) {
+        if (config_.self_poll_when_blocking) {
+          target->poll();
+        } else {
+          std::this_thread::yield();  // an external polling thread retrieves
+        }
+        if (deadline_ns != 0 && steady_now_ns() >= deadline_ns &&
+            !state->done.load(std::memory_order_acquire)) {
+          state->abandoned.store(true, std::memory_order_release);
+          inflight_[state->cls].fetch_sub(1, std::memory_order_release);
+          ++stats_.deadline_expiries;
+          break;
+        }
+      }
+    }
+
+    if (state->abandoned.load(std::memory_order_acquire)) {
+      // Deadline expired (likely a dropped response). No resubmit: the op
+      // may still complete device-side and a duplicate would double-apply.
+      breaker_on_failure(cls);
+      if (config_.sw_fallback_on_device_error) {
+        ++stats_.sw_fallbacks;
+        return compute();
+      }
+      return err(Code::kUnavailable, "qat op deadline expired");
+    }
+
+    ++stats_.completed;  // one per retrieved response, on the calling thread
+
+    if (!qat::is_device_failure(state->dev_status)) {
+      // kSuccess, or kComputeError (a deterministic input failure — the
+      // device worked; state->result carries the error to the caller).
+      breaker_on_success(cls);
+      return std::move(state->result);
+    }
+
+    // Transient device failure (CPA_STATUS_FAIL / reset-in-flight).
+    ++stats_.device_errors;
+    if (attempt < max_attempts) {
+      ++stats_.op_retries;
+      if (!async) {
+        // Capped exponential backoff on the blocking path. The fiber path
+        // resubmits immediately instead — it must not block the worker
+        // thread, and the resubmission round-robins to another instance.
+        const uint64_t backoff_us =
+            std::min(config_.retry_backoff_cap_us,
+                     config_.retry_backoff_base_us << (attempt - 1));
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
     }
   }
-  ++stats_.completed;  // incremented on the calling thread, not the poller
-  return std::move(state->result);
+
+  // Retries exhausted: terminal device failure for this op.
+  breaker_on_failure(cls);
+  if (config_.sw_fallback_on_device_error) {
+    ++stats_.sw_fallbacks;
+    return compute();
+  }
+  return err(Code::kUnavailable, "qat device error; retries exhausted");
 }
 
 Result<Bytes> QatEngineProvider::rsa_sign(const RsaPrivateKey& key,

@@ -13,10 +13,22 @@
 // feed the heuristic polling scheme (§4.3), counted exactly as the paper
 // prescribes: incremented when a crypto function is invoked, decremented in
 // the response callback.
+//
+// Failure handling (DESIGN.md "Failure model & degradation"), mirroring the
+// real QAT_Engine's sw-fallback semantics:
+//  * per-op deadline: a response that never arrives (dropped by the device)
+//    expires the op instead of hanging the fiber/event loop;
+//  * bounded retry: transient device errors are resubmitted up to
+//    max_retries times (capped exponential backoff on the blocking path);
+//  * circuit breaker per op class: K consecutive terminal device failures
+//    flip the class to the SoftwareProvider fallback; after a cooldown the
+//    next op re-probes the device and recovers offload on success.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "asyncx/job.h"
 #include "engine/provider.h"
@@ -38,6 +50,29 @@ struct QatEngineConfig {
   // (engine/polling_thread.h) to retrieve the response.
   bool self_poll_when_blocking = true;
   uint64_t drbg_seed = 0x716174656e67ULL;
+
+  // --- failure handling -------------------------------------------------
+  // Per-op deadline in microseconds; 0 disables deadlines entirely (no
+  // clock reads on the hot path). With polled delivery the deadline sweep
+  // runs inside poll(), so the worker's failover poll timer bounds how late
+  // an expiry is observed. Requires kPolled delivery.
+  uint64_t op_deadline_us = 0;
+  // Resubmissions after a transient device error before the op is terminal.
+  int max_retries = 3;
+  // Blocking-path backoff between retries: base << attempt, capped.
+  // (The async path reschedules through the event loop instead of
+  // sleeping — it must not block the worker thread.)
+  uint64_t retry_backoff_base_us = 50;
+  uint64_t retry_backoff_cap_us = 2'000;
+  // Circuit breaker: consecutive terminal failures per op class before the
+  // class degrades to software, and how long it stays degraded before the
+  // next op re-probes the device.
+  int breaker_threshold = 8;
+  uint64_t breaker_cooldown_ms = 100;
+  // Complete an op in software when the device fails it terminally. When
+  // false, the failure surfaces to the caller as Code::kUnavailable (the
+  // TLS layer turns it into a clean connection teardown).
+  bool sw_fallback_on_device_error = true;
 };
 
 struct QatEngineStats {
@@ -48,7 +83,23 @@ struct QatEngineStats {
   uint64_t polls = 0;           // poll() passes over the instance set
   uint64_t polled_responses = 0;
   uint64_t max_poll_batch = 0;  // largest single-pass retrieval
+
+  // --- failure handling -------------------------------------------------
+  uint64_t device_errors = 0;      // responses with a device failure status
+  uint64_t op_retries = 0;         // resubmissions after transient errors
+  uint64_t deadline_expiries = 0;  // ops abandoned after op_deadline_us
+  uint64_t sw_fallbacks = 0;       // ops completed by the software provider
+                                   // (breaker open or terminal failure)
+  uint64_t breaker_opens = 0;      // class flips to software fallback
+  uint64_t breaker_closes = 0;     // successful re-probe restored offload
 };
+
+// Circuit-breaker state, per op class (QAT_Engine's sw-fallback mirror).
+enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
+
+// Defined in qat_engine.cc; derives QatEngineProvider::OpStateBase.
+template <typename T>
+struct TypedOpState;
 
 class QatEngineProvider : public CryptoProvider {
  public:
@@ -107,14 +158,59 @@ class QatEngineProvider : public CryptoProvider {
   const QatEngineStats& stats() const { return stats_; }
   const QatEngineConfig& config() const { return config_; }
 
+  // Current breaker state for an op class (observability + tests).
+  BreakerState breaker_state(qat::OpClass cls) const {
+    return static_cast<BreakerState>(
+        breakers_[static_cast<int>(cls)].state.load(
+            std::memory_order_acquire));
+  }
+  // Ops registered for deadline tracking but not yet completed/expired.
+  size_t pending_deadline_ops() const;
+
  private:
-  struct OpState;
+  template <typename T>
+  friend struct TypedOpState;
+
+  // Type-erased base of an in-flight offload. `done` flips in the response
+  // callback; `abandoned` flips in the deadline sweep. Both the callback and
+  // the sweep run in poll() on the polling (worker) thread — the polled
+  // delivery contract is what makes abandon-vs-late-response handling
+  // race-free without a per-op lock. Deadlines are NOT supported with
+  // kInterrupt delivery or an external polling thread.
+  struct OpStateBase {
+    std::atomic<bool> done{false};
+    std::atomic<bool> abandoned{false};  // deadline expired; drop late resp.
+    qat::CryptoStatus dev_status = qat::CryptoStatus::kSuccess;
+    asyncx::WaitCtx* wctx = nullptr;  // cleared/unused after abandonment
+    uint64_t deadline_ns = 0;         // absolute steady-clock ns; 0 = none
+    int cls = 0;                      // op class, for inflight accounting
+  };
+
+  struct ClassBreaker {
+    std::atomic<uint8_t> state{static_cast<uint8_t>(BreakerState::kClosed)};
+    std::atomic<int> consecutive_failures{0};
+    std::atomic<uint64_t> open_until_ns{0};
+  };
 
   // Generic offload runner. `compute` executes on a QAT engine thread; the
   // calling thread blocks (kSync) or fiber-pauses (kAsync) until the
-  // response callback fires.
+  // response callback fires. Handles deadline expiry, bounded retry on
+  // transient device errors, and breaker-driven software fallback (running
+  // `compute` on the calling thread IS the software path — the closures are
+  // self-contained).
   template <typename T>
   Result<T> offload(qat::OpKind kind, std::function<Result<T>()> compute);
+
+  // Circuit breaker (cheap on the happy path: one relaxed load per op).
+  bool offload_allowed(qat::OpClass cls);
+  void breaker_on_success(qat::OpClass cls);
+  void breaker_on_failure(qat::OpClass cls);
+
+  // Expire past-deadline ops: mark abandoned, release the inflight slot,
+  // wake the waiting fiber. Called from poll().
+  void sweep_deadlines(uint64_t now);
+
+  static uint64_t steady_now_ns();
 
   // Curve -> modelled op kind.
   static qat::OpKind ec_op_kind(CurveId curve);
@@ -127,6 +223,11 @@ class QatEngineProvider : public CryptoProvider {
   std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> engine_drbg_nonce_{1};
   QatEngineStats stats_;
+  ClassBreaker breakers_[qat::kNumOpClasses];
+  // Deadline registry (async ops only; sync ops check the clock in their
+  // own spin loop). Touched only when op_deadline_us != 0.
+  mutable std::mutex pending_mu_;
+  std::vector<std::shared_ptr<OpStateBase>> pending_;
 };
 
 }  // namespace qtls::engine

@@ -1,6 +1,18 @@
 #include "engine/stack_engine.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace qtls::engine {
+
+namespace {
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 StackStep StackAsyncEngine::run(StackAsyncOp* op, qat::OpKind kind,
                                 std::function<Result<Bytes>()> compute,
@@ -9,6 +21,8 @@ StackStep StackAsyncEngine::run(StackAsyncOp* op, qat::OpKind kind,
   // crypto result (Figure 5's right-hand path).
   if (op->slot_.ready()) {
     Result<Bytes> result = op->slot_.take();
+    op->attempts_ = 0;
+    op->backoff_until_ns_ = 0;
     if (!result.is_ok()) {
       op->status_ = result.status();
       return StackStep::kError;
@@ -19,7 +33,15 @@ StackStep StackAsyncEngine::run(StackAsyncOp* op, qat::OpKind kind,
   }
   if (op->slot_.inflight()) return StackStep::kPaused;
 
+  // Backing off after a transient device error: stay in retry state without
+  // submitting. Non-blocking backoff — the caller re-enters from its event
+  // loop until the window has passed.
+  if (op->slot_.want_retry() && op->backoff_until_ns_ != 0 &&
+      steady_now_ns() < op->backoff_until_ns_)
+    return StackStep::kRetry;
+
   // Idle or retry: (re)submit.
+  if (op->slot_.idle()) op->attempts_ = 0;
   auto result_box = std::make_shared<Result<Bytes>>(
       Status(Code::kInternal, "not computed"));
   qat::CryptoRequest req;
@@ -29,7 +51,31 @@ StackStep StackAsyncEngine::run(StackAsyncOp* op, qat::OpKind kind,
     *result_box = compute();
     return result_box->is_ok();
   };
-  req.on_response = [op, result_box, wctx](const qat::CryptoResponse&) {
+  req.on_response = [this, op, result_box,
+                     wctx](const qat::CryptoResponse& resp) {
+    if (qat::is_device_failure(resp.status)) {
+      ++device_errors_;
+      if (op->attempts_ <= config_.max_retries) {
+        // Transient: schedule a resubmission with capped exponential
+        // backoff. mark_retry() sends the state machine back through the
+        // submission block on the next entry past the backoff window.
+        ++op_retries_;
+        const uint64_t backoff_us = std::min(
+            config_.retry_backoff_cap_us,
+            config_.retry_backoff_base_us
+                << std::min(op->attempts_ - 1, 30));
+        op->backoff_until_ns_ = steady_now_ns() + backoff_us * 1'000ULL;
+        op->slot_.mark_retry();
+        if (wctx) wctx->notify();
+        return;
+      }
+      // Retries exhausted: surface a terminal error; the TLS layer turns it
+      // into a clean connection teardown, not a hang.
+      op->slot_.complete(
+          err(Code::kUnavailable, "qat device error; retries exhausted"));
+      if (wctx) wctx->notify();
+      return;
+    }
     op->slot_.complete(std::move(*result_box));
     if (wctx) wctx->notify();
   };
@@ -42,6 +88,8 @@ StackStep StackAsyncEngine::run(StackAsyncOp* op, qat::OpKind kind,
     return StackStep::kRetry;
   }
   ++submitted_;
+  ++op->attempts_;
+  op->backoff_until_ns_ = 0;
   op->slot_.mark_inflight();
   return StackStep::kPaused;
 }

@@ -31,17 +31,32 @@ class StackAsyncOp {
  public:
   bool idle() const { return slot_.idle(); }
   Status status() const { return status_; }
+  // Submissions made for the current logical op (1 + retries so far).
+  int attempts() const { return attempts_; }
 
  private:
   friend class StackAsyncEngine;
   asyncx::StackAsyncSlot<Result<Bytes>> slot_;
   Status status_;
+  int attempts_ = 0;
+  uint64_t backoff_until_ns_ = 0;  // earliest resubmission (steady clock)
+};
+
+struct StackEngineConfig {
+  // Transient device errors resubmit up to max_retries times with capped
+  // exponential backoff — non-blocking: during backoff run() returns
+  // kRetry without submitting, so the event loop keeps turning and the
+  // caller simply re-enters later (the natural stack-async idiom).
+  int max_retries = 3;
+  uint64_t retry_backoff_base_us = 50;
+  uint64_t retry_backoff_cap_us = 2'000;
 };
 
 class StackAsyncEngine {
  public:
-  explicit StackAsyncEngine(qat::CryptoInstance* instance)
-      : instance_(instance) {}
+  explicit StackAsyncEngine(qat::CryptoInstance* instance,
+                            StackEngineConfig config = {})
+      : instance_(instance), config_(config) {}
 
   // Start-or-resume `op`. On first entry (idle/retry) submits `compute` as
   // an offload of the given kind; on re-entry after the response callback,
@@ -62,12 +77,17 @@ class StackAsyncEngine {
 
   uint64_t submitted() const { return submitted_; }
   uint64_t ring_full_events() const { return ring_full_; }
+  uint64_t device_errors() const { return device_errors_; }
+  uint64_t op_retries() const { return op_retries_; }
 
  private:
   qat::CryptoInstance* instance_;
+  StackEngineConfig config_;
   uint64_t next_id_ = 1;
   uint64_t submitted_ = 0;
   uint64_t ring_full_ = 0;
+  uint64_t device_errors_ = 0;  // responses with a device failure status
+  uint64_t op_retries_ = 0;     // resubmissions after transient errors
 };
 
 }  // namespace qtls::engine

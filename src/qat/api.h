@@ -39,6 +39,8 @@ enum class OpKind : uint8_t {
   kCipher16k,   // chained cipher on up to a 16 KB record
 };
 
+constexpr int kNumOpKinds = 9;
+
 inline OpClass op_class_of(OpKind kind) {
   switch (kind) {
     case OpKind::kRsa2048Priv:
@@ -57,10 +59,38 @@ inline OpClass op_class_of(OpKind kind) {
   return OpClass::kPrf;
 }
 
+// Completion status of one request — the model's reduction of the driver's
+// CpaStatus. kSuccess/kComputeError describe the computation itself;
+// kDeviceError/kDeviceReset are device-level failures (the computation never
+// ran) and are the retry/fallback triggers for the engine layer.
+enum class CryptoStatus : uint8_t {
+  kSuccess = 0,
+  kComputeError,  // compute() returned false: deterministic input failure
+  kDeviceError,   // CPA_STATUS_FAIL-style firmware error (transient)
+  kDeviceReset,   // failed because the device reset with the op in flight
+};
+
+inline const char* crypto_status_name(CryptoStatus s) {
+  switch (s) {
+    case CryptoStatus::kSuccess: return "success";
+    case CryptoStatus::kComputeError: return "compute_error";
+    case CryptoStatus::kDeviceError: return "device_error";
+    case CryptoStatus::kDeviceReset: return "device_reset";
+  }
+  return "?";
+}
+
+// True for statuses the engine may retry or degrade to software for —
+// the computation itself never ran.
+inline bool is_device_failure(CryptoStatus s) {
+  return s == CryptoStatus::kDeviceError || s == CryptoStatus::kDeviceReset;
+}
+
 struct CryptoResponse {
   uint64_t request_id = 0;
   OpKind kind = OpKind::kPrfTls12;
-  bool success = false;
+  bool success = false;  // status == kSuccess (kept for existing callers)
+  CryptoStatus status = CryptoStatus::kComputeError;
   void* user_tag = nullptr;
 };
 

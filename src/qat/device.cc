@@ -161,22 +161,58 @@ bool QatEndpoint::claim_request(CryptoRequest* out, CryptoInstance** from) {
   return false;
 }
 
+namespace {
+// Busy wait: models occupancy of a computation engine.
+void engine_busy_wait(uint64_t ns) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+}  // namespace
+
 void QatEndpoint::serve(EngineSlot& slot, CryptoRequest& req,
                         CryptoInstance* from) {
   busy_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fault injection (qat/fault.h): the service point is where firmware
+  // errors, lost responses, and stalls happen on a real card.
+  FaultDecision fault;
+  if (config_.fault_plan) fault = config_.fault_plan->decide(req.kind);
+  if (fault.kind == FaultKind::kStall && fault.stall_ns > 0)
+    engine_busy_wait(fault.stall_ns);  // stuck engine, then serves normally
 
   CryptoResponse response;
   response.request_id = req.request_id;
   response.kind = req.kind;
   response.user_tag = req.user_tag;
-  response.success = req.compute ? req.compute() : true;
-  if (config_.extra_service_ns > 0) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::nanoseconds(config_.extra_service_ns);
-    while (std::chrono::steady_clock::now() < deadline) {
-      // busy wait: models occupancy of a computation engine
+  switch (fault.kind) {
+    case FaultKind::kError:
+      // CPA-style error status: the computation never ran.
+      response.status = CryptoStatus::kDeviceError;
+      break;
+    case FaultKind::kReset:
+      response.status = CryptoStatus::kDeviceReset;
+      break;
+    case FaultKind::kDrop:
+      // Lost response: free the device-side slot but never deliver. The
+      // response stripe is NOT incremented, so fw_counters shows
+      // requests - responses == drops; only an engine-level deadline
+      // recovers the submitter.
+      from->inflight_.fetch_sub(1, std::memory_order_release);
+      busy_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    case FaultKind::kNone:
+    case FaultKind::kStall: {
+      const bool ok = req.compute ? req.compute() : true;
+      response.status =
+          ok ? CryptoStatus::kSuccess : CryptoStatus::kComputeError;
+      if (config_.extra_service_ns > 0)
+        engine_busy_wait(config_.extra_service_ns);
+      break;
     }
   }
+  response.success = response.status == CryptoStatus::kSuccess;
 
   slot.responses.v[static_cast<int>(op_class_of(response.kind))].fetch_add(
       1, std::memory_order_relaxed);

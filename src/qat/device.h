@@ -33,6 +33,7 @@
 #include "common/spsc_ring.h"
 #include "common/status.h"
 #include "qat/api.h"
+#include "qat/fault.h"
 
 namespace qtls::qat {
 
@@ -54,6 +55,9 @@ struct DeviceConfig {
   // engine to emulate device latency in integration tests. 0 = compute time
   // only.
   uint64_t extra_service_ns = 0;
+  // Optional fault-injection plan, consulted at the service point (see
+  // qat/fault.h). Non-owning; must outlive the device. nullptr = fault-free.
+  FaultPlan* fault_plan = nullptr;
 };
 
 class QatEndpoint;

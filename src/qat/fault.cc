@@ -1,0 +1,83 @@
+#include "qat/fault.h"
+
+namespace qtls::qat {
+
+FaultPlan::FaultPlan(uint64_t seed) : rng_(seed) {}
+
+void FaultPlan::set_rates(OpKind kind, const FaultRates& rates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rates_[static_cast<int>(kind)] = rates;
+}
+
+void FaultPlan::set_rates_all(const FaultRates& rates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : rates_) r = rates;
+}
+
+void FaultPlan::schedule(OpKind kind, uint64_t nth, FaultKind fault,
+                         uint64_t stall_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_[{static_cast<uint8_t>(kind), nth}] =
+      FaultDecision{fault, stall_ns};
+}
+
+uint64_t FaultPlan::ops_seen(OpKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_[static_cast<int>(kind)];
+}
+
+FaultDecision FaultPlan::decide(OpKind kind) {
+  counters_.decisions.fetch_add(1, std::memory_order_relaxed);
+
+  // A reset outranks everything: the device is down, nothing is served.
+  if (reset_active()) {
+    counters_.reset_failures.fetch_add(1, std::memory_order_relaxed);
+    return {FaultKind::kReset, 0};
+  }
+
+  FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int idx = static_cast<int>(kind);
+    const uint64_t nth = ++seen_[idx];
+
+    const auto it = scheduled_.find({static_cast<uint8_t>(kind), nth});
+    if (it != scheduled_.end()) {
+      decision = it->second;
+    } else {
+      const FaultRates& r = rates_[idx];
+      if (r.error_rate > 0 || r.drop_rate > 0 || r.stall_rate > 0) {
+        // One draw, stacked thresholds — keeps the per-kind decision stream
+        // a function of (seed, service order) alone.
+        const double u = rng_.uniform01();
+        if (u < r.error_rate) {
+          decision = {FaultKind::kError, 0};
+        } else if (u < r.error_rate + r.drop_rate) {
+          decision = {FaultKind::kDrop, 0};
+        } else if (u < r.error_rate + r.drop_rate + r.stall_rate) {
+          decision = {FaultKind::kStall, r.stall_ns};
+        }
+      }
+    }
+  }
+
+  switch (decision.kind) {
+    case FaultKind::kError:
+      counters_.injected_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kDrop:
+      counters_.injected_drops.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kStall:
+      counters_.injected_stalls.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kReset:
+      counters_.reset_failures.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return decision;
+}
+
+}  // namespace qtls::qat

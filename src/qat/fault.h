@@ -1,0 +1,130 @@
+// Deterministic fault injection for the QAT device model.
+//
+// The offload discipline (paper §3.2) already models the accelerator
+// *refusing* work (ring full -> submit returns false); this layer models the
+// accelerator *failing* work the way a real card does — firmware errors,
+// lost responses, stuck engines, device resets — so the engine, worker and
+// TLS layers have exercised error paths (the real QAT_Engine degrades to
+// software crypto on exactly these conditions).
+//
+// A FaultPlan is a seeded, schedulable fault source consulted at the device
+// model's service point. Both backends honor the same plan:
+//   * real-time (qat/device.cc): QatEndpoint::serve() asks the plan before
+//     executing a request's compute closure (engine threads; thread-safe);
+//   * virtual-time (sim/qat_sim.cc): SimQatInstance::submit() asks the plan
+//     when the op is dispatched onto a virtual engine.
+//
+// Fault taxonomy (DESIGN.md "Failure model & degradation"):
+//   kError  respond with a CPA-style error status; compute never runs
+//   kDrop   the response is lost: the device-side slot is freed but no
+//           response is ever delivered — only an engine-level deadline
+//           recovers the caller
+//   kStall  the engine is stuck for stall_ns before serving normally
+//   kReset  device reset: every op at the service point fails with
+//           kDeviceReset until clear_reset() (re-probe) is called
+//
+// Faults come from two sources that compose:
+//   * per-OpKind rates (Bernoulli draws from a seeded xoshiro stream), and
+//   * scheduled one-shots ("the Nth op of this kind fails like so") for
+//     table-driven deterministic tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/rng.h"
+#include "qat/api.h"
+
+namespace qtls::qat {
+
+enum class FaultKind : uint8_t { kNone, kError, kDrop, kStall, kReset };
+
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kError: return "error";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kReset: return "reset";
+  }
+  return "?";
+}
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t stall_ns = 0;  // engine occupancy added before serving (kStall)
+};
+
+// Per-OpKind fault probabilities. Rates are evaluated in the order
+// error, drop, stall over a single uniform draw, so they may sum to at
+// most 1.0.
+struct FaultRates {
+  double error_rate = 0.0;
+  double drop_rate = 0.0;
+  double stall_rate = 0.0;
+  uint64_t stall_ns = 0;
+};
+
+// Injection counters, written at the service point (engine threads in the
+// real backend) — relaxed atomics, aggregated on read like FwCounters.
+struct FaultCounters {
+  std::atomic<uint64_t> decisions{0};        // service-point consultations
+  std::atomic<uint64_t> injected_errors{0};
+  std::atomic<uint64_t> injected_drops{0};
+  std::atomic<uint64_t> injected_stalls{0};
+  std::atomic<uint64_t> reset_failures{0};   // ops failed by an open reset
+
+  uint64_t injected_total() const {
+    return injected_errors.load(std::memory_order_relaxed) +
+           injected_drops.load(std::memory_order_relaxed) +
+           injected_stalls.load(std::memory_order_relaxed) +
+           reset_failures.load(std::memory_order_relaxed);
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0x6661756c74ULL);  // "fault"
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // Rate-based faults for one op kind / every op kind.
+  void set_rates(OpKind kind, const FaultRates& rates);
+  void set_rates_all(const FaultRates& rates);
+
+  // Schedule a one-shot fault on the `nth` (1-based) op of `kind` observed
+  // at the service point. Scheduled faults win over rate draws.
+  void schedule(OpKind kind, uint64_t nth, FaultKind fault,
+                uint64_t stall_ns = 0);
+
+  // Device reset: every decide() fails with kReset until clear_reset().
+  // clear_reset() models the device coming back after a re-probe window.
+  void trigger_reset() { reset_.store(true, std::memory_order_release); }
+  void clear_reset() { reset_.store(false, std::memory_order_release); }
+  bool reset_active() const { return reset_.load(std::memory_order_acquire); }
+
+  // The service-point consultation. Thread-safe (engine threads in the
+  // real-time backend); the decision stream is deterministic given the seed
+  // and the per-kind service order.
+  FaultDecision decide(OpKind kind);
+
+  const FaultCounters& counters() const { return counters_; }
+  // Ops of `kind` seen at the service point so far.
+  uint64_t ops_seen(OpKind kind) const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultRates rates_[kNumOpKinds];
+  // (kind, 1-based nth op of that kind) -> decision.
+  std::map<std::pair<uint8_t, uint64_t>, FaultDecision> scheduled_;
+  uint64_t seen_[kNumOpKinds] = {};
+  std::atomic<bool> reset_{false};
+  FaultCounters counters_;
+};
+
+}  // namespace qtls::qat

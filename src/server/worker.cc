@@ -22,6 +22,7 @@ struct Worker::Conn {
   bool deferred_read = false;        // saved read event (event disorder)
   bool fd_registered = false;        // wait-ctx eventfd added to epoll
 
+  bool in_async_resume = false;      // handler running off an async event
   bool idle = false;
   uint64_t id = 0;
   Worker* worker = nullptr;
@@ -141,10 +142,17 @@ void Worker::setup_connection(int fd) {
 }
 
 void Worker::close_connection(Conn* conn, bool error) {
-  if (error)
+  if (error) {
     ++stats_.errors;
-  else
+    // A connection dying while resuming from an async event means the
+    // offload op it was parked on failed terminally (device error past the
+    // retry budget, or deadline expiry with sw-fallback disabled). Counted
+    // separately so run_until callers can observe permanent offload
+    // failures instead of waiting on a completion that will never come.
+    if (conn->in_async_resume) ++stats_.async_failures;
+  } else {
     ++stats_.closed;
+  }
   set_idle(conn, false);
   // Retire the id first so async-queue entries referencing this connection
   // become no-ops, then run any paused offload job to completion — its
@@ -204,14 +212,18 @@ void Worker::on_async_event(Conn* conn) {
   if (!conn->expecting_async) return;  // stale event (connection moved on)
   const int fd = conn->fd;  // captured before the handler may destroy conn
   conn->expecting_async = false;
+  conn->in_async_resume = true;
   Handler handler = conn->async_handler;
   conn->async_handler = nullptr;
   if (handler) (this->*handler)(conn);
 
   // §4.2: restore the saved read event, if one arrived out of order.
+  // The map lookup also tells us whether the handler destroyed the
+  // connection (terminal offload failure path) — only touch conn if alive.
   auto it = conns_.find(fd);
-  if (it != conns_.end() && it->second.get() == conn && conn->deferred_read &&
-      !conn->expecting_async) {
+  if (it == conns_.end() || it->second.get() != conn) return;
+  conn->in_async_resume = false;
+  if (conn->deferred_read && !conn->expecting_async) {
     conn->deferred_read = false;
     net::FdEvents ev;
     ev.readable = true;
@@ -352,6 +364,12 @@ int Worker::run_once(int timeout_ms) {
   return n;
 }
 
+// Failure observation contract: a connection whose offload op fails
+// terminally is torn down inside some run_once iteration (the deadline
+// sweep rides the failover poll, so even a dropped response resolves within
+// ~failover_interval_ms + op_deadline_us). `stop` predicates waiting on
+// progress counters should also watch stats().errors / async_failures —
+// a failed connection advances those, never the progress counters.
 void Worker::run_until(const std::function<bool()>& stop, int timeout_ms) {
   while (!stop()) run_once(timeout_ms);
 }

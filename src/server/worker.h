@@ -41,6 +41,8 @@ struct WorkerStats {
   uint64_t errors = 0;
   uint64_t disorder_events = 0;   // §4.2 read-before-async occurrences
   uint64_t async_parks = 0;       // WANT_ASYNC occurrences
+  uint64_t async_failures = 0;    // connections torn down because the async
+                                  // op they were parked on erred/expired
 };
 
 class Worker {

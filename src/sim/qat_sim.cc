@@ -9,6 +9,14 @@ bool SimQatInstance::submit(SOp op, std::function<void()> on_retrieved) {
                 std::move(on_retrieved));
 }
 
+bool SimQatInstance::submit(SOp op, SimTime service,
+                            std::function<void()> on_retrieved) {
+  std::function<void(qat::CryptoStatus)> cb;
+  if (on_retrieved)
+    cb = [f = std::move(on_retrieved)](qat::CryptoStatus) { f(); };
+  return submit_with_status(op, service, std::move(cb));
+}
+
 SimTime SimQatInstance::submit_blocking(SOp op, SimTime service) {
   if (ring_occupancy_ >= ring_capacity_) return 0;
   ++ring_occupancy_;
@@ -21,9 +29,37 @@ SimTime SimQatInstance::submit_blocking(SOp op, SimTime service) {
   return done_at;
 }
 
-bool SimQatInstance::submit(SOp op, SimTime service,
-                            std::function<void()> on_retrieved) {
+bool SimQatInstance::submit_with_status(
+    SOp op, SimTime service,
+    std::function<void(qat::CryptoStatus)> on_retrieved) {
   if (ring_occupancy_ >= ring_capacity_) return false;
+
+  // Service-point fault injection — the same plan contract as the real-time
+  // backend's QatEndpoint::serve() (qat/fault.h). In virtual time the
+  // service point is the dispatch onto an engine, decided here so the fault
+  // stream is a pure function of submit order.
+  qat::FaultDecision fault;
+  if (endpoint_->fault_plan_)
+    fault = endpoint_->fault_plan_->decide(endpoint_->costs_->qat_kind(op));
+
+  qat::CryptoStatus status = qat::CryptoStatus::kSuccess;
+  switch (fault.kind) {
+    case qat::FaultKind::kError:
+      status = qat::CryptoStatus::kDeviceError;
+      service = 0;  // failed fast: the computation never ran
+      break;
+    case qat::FaultKind::kReset:
+      status = qat::CryptoStatus::kDeviceReset;
+      service = 0;
+      break;
+    case qat::FaultKind::kStall:
+      service += fault.stall_ns;  // stuck engine, then serves normally
+      break;
+    case qat::FaultKind::kDrop:
+    case qat::FaultKind::kNone:
+      break;
+  }
+
   ++ring_occupancy_;
   ++inflight_total_;
   if (CostModel::is_asym(op)) ++inflight_asym_;
@@ -31,15 +67,32 @@ bool SimQatInstance::submit(SOp op, SimTime service,
   const SimTime done_at = endpoint_->dispatch(service);
   const uint64_t id = endpoint_->next_request_id_++;
 
+  if (fault.kind == qat::FaultKind::kDrop) {
+    // Lost response: the device-side slot is freed at completion but no
+    // response is ever deliverable — parity with the real backend, where
+    // only an engine-level deadline recovers the caller.
+    endpoint_->sim_->schedule_at(done_at, [this, op] {
+      --ring_occupancy_;
+      --inflight_total_;
+      if (CostModel::is_asym(op)) --inflight_asym_;
+      ++dropped_;
+      ++endpoint_->completed_;
+    });
+    return true;
+  }
+
   // The hardware reads the request off the ring when an engine starts it;
   // modelling the slot release at dispatch-time start is equivalent here to
   // releasing at completion for the failure path, so release at completion
   // event for simplicity.
   endpoint_->sim_->schedule_at(
-      done_at, [this, id, op, done_at, cb = std::move(on_retrieved)]() mutable {
+      done_at,
+      [this, id, op, done_at, status,
+       cb = std::move(on_retrieved)]() mutable {
         --ring_occupancy_;
         ++endpoint_->completed_;
-        ready_.push_back(SimResponse{id, op, done_at, std::move(cb)});
+        ready_.push_back(
+            SimResponse{id, op, done_at, status, nullptr, std::move(cb)});
       });
   return true;
 }
@@ -52,7 +105,10 @@ size_t SimQatInstance::poll(size_t max) {
     --inflight_total_;
     if (CostModel::is_asym(resp.op)) --inflight_asym_;
     ++got;
-    if (resp.on_retrieved) resp.on_retrieved();
+    if (resp.on_retrieved_status)
+      resp.on_retrieved_status(resp.status);
+    else if (resp.on_retrieved)
+      resp.on_retrieved();
   }
   return got;
 }

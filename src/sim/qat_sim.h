@@ -1,13 +1,14 @@
 // Virtual-time QAT device: same semantics as the real-time backend in
 // src/qat/ (endpoints with parallel engines, per-instance bounded request
-// rings, response-by-polling, hardware load balancing), driven by the DES
-// clock instead of threads.
+// rings, response-by-polling, hardware load balancing, fault injection at
+// the service point), driven by the DES clock instead of threads.
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "qat/fault.h"
 #include "sim/costs.h"
 #include "sim/des.h"
 
@@ -20,7 +21,11 @@ struct SimResponse {
   uint64_t request_id;
   SOp op;
   SimTime ready_at;
+  qat::CryptoStatus status = qat::CryptoStatus::kSuccess;
   std::function<void()> on_retrieved;  // runs when the poll delivers it
+  // Status-aware form (fault-injected runs); runs instead of on_retrieved
+  // when set.
+  std::function<void(qat::CryptoStatus)> on_retrieved_status;
 };
 
 class SimQatInstance {
@@ -33,6 +38,10 @@ class SimQatInstance {
   // full.
   bool submit(SOp op, SimTime service, std::function<void()> on_retrieved);
   bool submit(SOp op, std::function<void()> on_retrieved);
+  // Status-aware submit: the callback observes the response's CryptoStatus
+  // (fault-injected runs). The void-callback overloads delegate here.
+  bool submit_with_status(SOp op, SimTime service,
+                          std::function<void(qat::CryptoStatus)> on_retrieved);
 
   // Straight-offload helper: submit and return the completion time (the
   // caller blocks until then); 0 when the ring is full. The response is
@@ -49,6 +58,9 @@ class SimQatInstance {
   size_t inflight_total() const { return inflight_total_; }
   size_t inflight_asym() const { return inflight_asym_; }
   size_t ready_count(SimTime now) const;
+  // Responses lost to injected kDrop faults (device slot freed, nothing to
+  // poll) — the sim mirror of the real backend's fw request/response gap.
+  uint64_t dropped_responses() const { return dropped_; }
 
   SimQatEndpoint* endpoint() const { return endpoint_; }
 
@@ -60,6 +72,7 @@ class SimQatInstance {
   size_t ring_occupancy_ = 0;  // submitted, not yet taken by an engine
   size_t inflight_total_ = 0;  // submitted, not yet retrieved
   size_t inflight_asym_ = 0;
+  uint64_t dropped_ = 0;
   std::deque<SimResponse> ready_;  // completed, awaiting poll (FIFO)
 };
 
@@ -78,6 +91,11 @@ class SimQatEndpoint {
   // Engine-time utilization over [0, now].
   double utilization(SimTime now) const;
 
+  // Fault-injection plan consulted when ops are dispatched (same contract
+  // as DeviceConfig::fault_plan on the real-time backend). Non-owning.
+  void set_fault_plan(qat::FaultPlan* plan) { fault_plan_ = plan; }
+  qat::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   friend class SimQatInstance;
 
@@ -91,6 +109,7 @@ class SimQatEndpoint {
   uint64_t completed_ = 0;
   SimTime engine_busy_accum_ = 0;
   uint64_t next_request_id_ = 1;
+  qat::FaultPlan* fault_plan_ = nullptr;
 };
 
 // The whole card.
@@ -113,6 +132,11 @@ class SimQatDevice {
     uint64_t total = 0;
     for (const auto& ep : endpoints_) total += ep->completed_ops();
     return total;
+  }
+
+  // Install one fault plan across every endpoint (the card fails as a unit).
+  void set_fault_plan(qat::FaultPlan* plan) {
+    for (auto& ep : endpoints_) ep->set_fault_plan(plan);
   }
 
  private:

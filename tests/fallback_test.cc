@@ -1,0 +1,236 @@
+// Software-fallback degradation (QAT_Engine sw-fallback semantics): the
+// per-op-class circuit breaker flips to the software path after K
+// consecutive terminal device failures, TLS handshakes keep completing end
+// to end while the device is dead, and a re-probe after the cooldown
+// restores offload.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "crypto/keystore.h"
+#include "qat/fault.h"
+#include "tls_test_util.h"
+
+namespace qtls::tls {
+namespace {
+
+using testutil::pump_handshake;
+using testutil::pump_read;
+using testutil::pump_write;
+
+qat::DeviceConfig faulty_device_config(qat::FaultPlan* plan) {
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 4;
+  cfg.fault_plan = plan;
+  return cfg;
+}
+
+// --- breaker unit behaviour (sync engine, no TLS) ---------------------------
+
+TEST(Fallback, BreakerOpensAfterKConsecutiveFailures) {
+  qat::FaultPlan plan(11);
+  qat::FaultRates always_fail;
+  always_fail.error_rate = 1.0;
+  plan.set_rates(qat::OpKind::kPrfTls12, always_fail);
+
+  qat::QatDevice device(faulty_device_config(&plan));
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 0;
+  ecfg.breaker_threshold = 3;
+  ecfg.breaker_cooldown_ms = 10'000;  // long: must not re-probe in this test
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  auto prf = [&] {
+    return qat_engine.prf_tls12(HashAlg::kSha256, to_bytes("s"), "t",
+                                to_bytes("x"), 32);
+  };
+
+  // K-1 failures: breaker still closed, every op went to the device.
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(prf().is_ok());
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kClosed);
+  EXPECT_EQ(qat_engine.stats().breaker_opens, 0u);
+
+  // Kth failure flips the class open.
+  ASSERT_TRUE(prf().is_ok());
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kOpen);
+  EXPECT_EQ(qat_engine.stats().breaker_opens, 1u);
+  const uint64_t submitted_at_open = qat_engine.stats().submitted;
+
+  // Open: ops complete in software without touching the device.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(prf().is_ok());
+  EXPECT_EQ(qat_engine.stats().submitted, submitted_at_open);
+  EXPECT_EQ(qat_engine.stats().sw_fallbacks, 3u + 4u);
+
+  // Other classes are unaffected.
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kAsym),
+            engine::BreakerState::kClosed);
+  auto keygen = qat_engine.ecdhe_keygen(CurveId::kP256);
+  ASSERT_TRUE(keygen.is_ok());
+  EXPECT_GT(qat_engine.stats().submitted, submitted_at_open);
+}
+
+TEST(Fallback, ReProbeClosesBreakerWhenDeviceRecovers) {
+  qat::FaultPlan plan(12);
+  qat::FaultRates always_fail;
+  always_fail.error_rate = 1.0;
+  plan.set_rates(qat::OpKind::kPrfTls12, always_fail);
+
+  qat::QatDevice device(faulty_device_config(&plan));
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 0;
+  ecfg.breaker_threshold = 2;
+  ecfg.breaker_cooldown_ms = 20;
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  auto prf = [&] {
+    return qat_engine.prf_tls12(HashAlg::kSha256, to_bytes("s"), "t",
+                                to_bytes("x"), 32);
+  };
+
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(prf().is_ok());
+  ASSERT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kOpen);
+
+  // Device still broken at the first re-probe: the probe fails and the
+  // breaker reopens for another cooldown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(prf().is_ok());
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kOpen);
+  EXPECT_EQ(qat_engine.stats().breaker_opens, 2u);
+  EXPECT_EQ(qat_engine.stats().breaker_closes, 0u);
+
+  // Heal the device; after the cooldown the next op re-probes and offload
+  // recovers.
+  plan.set_rates_all(qat::FaultRates{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const uint64_t submitted_before = qat_engine.stats().submitted;
+  ASSERT_TRUE(prf().is_ok());
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kClosed);
+  EXPECT_EQ(qat_engine.stats().breaker_closes, 1u);
+  EXPECT_EQ(qat_engine.stats().submitted, submitted_before + 1);
+
+  // Closed again: subsequent ops offload normally.
+  ASSERT_TRUE(prf().is_ok());
+  EXPECT_EQ(qat_engine.stats().submitted, submitted_before + 2);
+}
+
+// --- end-to-end: handshakes complete while the device is dead ---------------
+
+TEST(Fallback, HandshakeCompletesWithDeadDevice) {
+  qat::FaultPlan plan(13);
+  qat::FaultRates always_fail;
+  always_fail.error_rate = 1.0;
+  plan.set_rates_all(always_fail);  // every op class fails on the device
+
+  qat::QatDevice device(faulty_device_config(&plan));
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kAsync;
+  ecfg.max_retries = 1;
+  ecfg.breaker_threshold = 2;
+  ecfg.breaker_cooldown_ms = 60'000;  // stays degraded for the whole test
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.async_mode = true;
+  scfg.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  scfg.drbg_seed = 21;
+  TlsContext server_ctx(scfg, &qat_engine);
+  server_ctx.credentials().rsa_key = &test_rsa2048();
+
+  engine::SoftwareProvider client_provider(7);
+  TlsContextConfig ccfg;
+  ccfg.cipher_suites = scfg.cipher_suites;
+  ccfg.drbg_seed = 22;
+  TlsContext client_ctx(ccfg, &client_provider);
+
+  net::MemoryPipe pipe;
+  TlsConnection server(&server_ctx, &pipe.b());
+  TlsConnection client(&client_ctx, &pipe.a());
+
+  const auto result = pump_handshake(&client, &server, &qat_engine);
+  ASSERT_TRUE(result.ok) << "client=" << tls_result_name(result.client_last)
+                         << " server=" << tls_result_name(result.server_last);
+
+  // The handshake was carried by the fallback path, not the device.
+  EXPECT_GT(qat_engine.stats().device_errors, 0u);
+  EXPECT_GT(qat_engine.stats().sw_fallbacks, 0u);
+  EXPECT_GT(qat_engine.stats().breaker_opens, 0u);
+
+  // Record protection also survives (cipher class degraded too).
+  ASSERT_EQ(pump_write(&server, to_bytes("degraded but serving"),
+                       &qat_engine),
+            TlsResult::kOk);
+  Bytes got;
+  ASSERT_EQ(pump_read(&client, &got), TlsResult::kOk);
+  EXPECT_EQ(to_string(got), "degraded but serving");
+  EXPECT_EQ(qat_engine.inflight_total(), 0u);
+}
+
+// --- end-to-end: recovery after the device comes back -----------------------
+
+TEST(Fallback, HandshakeOffloadRecoversAfterReProbe) {
+  qat::FaultPlan plan(14);
+  qat::FaultRates always_fail;
+  always_fail.error_rate = 1.0;
+  plan.set_rates_all(always_fail);
+
+  qat::QatDevice device(faulty_device_config(&plan));
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kAsync;
+  ecfg.max_retries = 0;
+  ecfg.breaker_threshold = 2;
+  ecfg.breaker_cooldown_ms = 20;
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.async_mode = true;
+  scfg.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  scfg.drbg_seed = 31;
+  TlsContext server_ctx(scfg, &qat_engine);
+  server_ctx.credentials().rsa_key = &test_rsa2048();
+
+  engine::SoftwareProvider client_provider(7);
+  TlsContextConfig ccfg;
+  ccfg.cipher_suites = scfg.cipher_suites;
+  ccfg.drbg_seed = 32;
+  TlsContext client_ctx(ccfg, &client_provider);
+
+  // First handshake degrades to software.
+  {
+    net::MemoryPipe pipe;
+    TlsConnection server(&server_ctx, &pipe.b());
+    TlsConnection client(&client_ctx, &pipe.a());
+    ASSERT_TRUE(pump_handshake(&client, &server, &qat_engine).ok);
+  }
+  ASSERT_GT(qat_engine.stats().breaker_opens, 0u);
+  const uint64_t submitted_degraded = qat_engine.stats().submitted;
+
+  // Device heals; cooldown passes; a fresh handshake re-probes per class and
+  // restores offload.
+  plan.set_rates_all(qat::FaultRates{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    net::MemoryPipe pipe;
+    TlsConnection server(&server_ctx, &pipe.b());
+    TlsConnection client(&client_ctx, &pipe.a());
+    ASSERT_TRUE(pump_handshake(&client, &server, &qat_engine).ok);
+  }
+  EXPECT_GT(qat_engine.stats().submitted, submitted_degraded);
+  EXPECT_GT(qat_engine.stats().breaker_closes, 0u);
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kClosed);
+  EXPECT_EQ(qat_engine.inflight_total(), 0u);
+}
+
+}  // namespace
+}  // namespace qtls::tls

@@ -1,0 +1,456 @@
+// Deterministic fault-injection coverage: every fault kind (error response,
+// dropped response, engine stall, device reset) exercised on BOTH backends —
+// the real-time device model (src/qat/, engine threads) and the virtual-time
+// DES model (src/sim/) — extending qat_parity_test's discipline to faulty
+// runs: the two planes must agree on what a fault does to the response
+// stream, the inflight accounting and the firmware counters. Plus the
+// engine-level recovery paths: per-op deadline on dropped responses and
+// bounded retry on transient errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "engine/qat_engine.h"
+#include "qat/device.h"
+#include "qat/fault.h"
+#include "sim/costs.h"
+#include "sim/qat_sim.h"
+
+namespace qtls {
+namespace {
+
+using qat::CryptoStatus;
+using qat::FaultKind;
+
+// --- decision-stream determinism -------------------------------------------
+
+TEST(FaultPlan, SameSeedSameDecisionStream) {
+  qat::FaultPlan a(/*seed=*/42), b(/*seed=*/42);
+  qat::FaultRates rates;
+  rates.error_rate = 0.2;
+  rates.drop_rate = 0.1;
+  rates.stall_rate = 0.1;
+  rates.stall_ns = 500;
+  a.set_rates_all(rates);
+  b.set_rates_all(rates);
+
+  int injected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto da = a.decide(qat::OpKind::kRsa2048Priv);
+    const auto db = b.decide(qat::OpKind::kRsa2048Priv);
+    ASSERT_EQ(da.kind, db.kind) << "diverged at op " << i;
+    ASSERT_EQ(da.stall_ns, db.stall_ns);
+    if (da.kind != FaultKind::kNone) ++injected;
+  }
+  // ~40% fault rate over 1000 draws: statistically impossible to be zero.
+  EXPECT_GT(injected, 0);
+  EXPECT_EQ(a.counters().decisions.load(), 1000u);
+  EXPECT_EQ(a.counters().injected_total(), b.counters().injected_total());
+  EXPECT_EQ(a.ops_seen(qat::OpKind::kRsa2048Priv), 1000u);
+}
+
+TEST(FaultPlan, ScheduledFaultsWinOverRates) {
+  qat::FaultPlan plan(7);
+  plan.schedule(qat::OpKind::kPrfTls12, 2, FaultKind::kError);
+  EXPECT_EQ(plan.decide(qat::OpKind::kPrfTls12).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.decide(qat::OpKind::kPrfTls12).kind, FaultKind::kError);
+  EXPECT_EQ(plan.decide(qat::OpKind::kPrfTls12).kind, FaultKind::kNone);
+  // Other kinds have their own service-order counters.
+  EXPECT_EQ(plan.decide(qat::OpKind::kRsa2048Priv).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.counters().injected_errors.load(), 1u);
+}
+
+// --- table-driven: every fault kind, real-time backend ----------------------
+
+struct FaultCase {
+  const char* name;
+  FaultKind kind;
+  uint64_t stall_ns;
+  CryptoStatus expect_status;  // status of the faulted op (if delivered)
+  bool delivered;              // false => dropped (no response ever)
+};
+
+const FaultCase kFaultCases[] = {
+    {"error", FaultKind::kError, 0, CryptoStatus::kDeviceError, true},
+    {"reset", FaultKind::kReset, 0, CryptoStatus::kDeviceReset, true},
+    {"stall", FaultKind::kStall, 200'000, CryptoStatus::kSuccess, true},
+    {"drop", FaultKind::kDrop, 0, CryptoStatus::kSuccess, false},
+};
+
+TEST(QatFault, RealBackendEveryFaultKind) {
+  for (const FaultCase& fc : kFaultCases) {
+    SCOPED_TRACE(fc.name);
+    qat::FaultPlan plan(1);
+    // Fault the 2nd of 3 PRF ops; neighbours must be untouched.
+    plan.schedule(qat::OpKind::kPrfTls12, 2, fc.kind, fc.stall_ns);
+
+    qat::DeviceConfig cfg;
+    cfg.num_endpoints = 1;
+    cfg.engines_per_endpoint = 1;  // one engine => service order == ring order
+    cfg.ring_capacity = 8;
+    cfg.fault_plan = &plan;
+    qat::QatDevice device(cfg);
+    qat::CryptoInstance* inst = device.allocate_instance();
+
+    std::vector<std::pair<uint64_t, CryptoStatus>> responses;
+    std::atomic<int> responded{0};
+    std::atomic<int> computed{0};
+    for (uint64_t id = 1; id <= 3; ++id) {
+      qat::CryptoRequest req;
+      req.request_id = id;
+      req.kind = qat::OpKind::kPrfTls12;
+      req.compute = [&computed] {
+        computed.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      };
+      req.on_response = [&responses,
+                         &responded](const qat::CryptoResponse& r) {
+        responses.emplace_back(r.request_id, r.status);
+        responded.fetch_add(1, std::memory_order_release);
+      };
+      ASSERT_TRUE(inst->submit(req));
+    }
+
+    const int expect_responses = fc.delivered ? 3 : 2;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (responded.load(std::memory_order_acquire) < expect_responses &&
+           std::chrono::steady_clock::now() < deadline) {
+      inst->poll();
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(responded.load(), expect_responses);
+
+    if (fc.delivered) {
+      ASSERT_EQ(responses.size(), 3u);
+      EXPECT_EQ(responses[0].second, CryptoStatus::kSuccess);
+      EXPECT_EQ(responses[1].second, fc.expect_status);
+      EXPECT_EQ(responses[2].second, CryptoStatus::kSuccess);
+      if (fc.kind == FaultKind::kError || fc.kind == FaultKind::kReset) {
+        // CPA-style failure: the computation never ran for the faulted op.
+        EXPECT_EQ(computed.load(), 2);
+      } else {
+        EXPECT_EQ(computed.load(), 3);
+      }
+    } else {
+      // Dropped: ops 1 and 3 respond; op 2 never will. The device freed its
+      // slot (no inflight leak) and the firmware counters show the gap.
+      ASSERT_EQ(responses.size(), 2u);
+      EXPECT_EQ(responses[0].first, 1u);
+      EXPECT_EQ(responses[1].first, 3u);
+      EXPECT_EQ(inst->inflight(), 0u);
+      const auto fw = device.fw_counters();
+      const int prf = static_cast<int>(qat::OpClass::kPrf);
+      EXPECT_EQ(fw.requests[prf] - fw.responses[prf], 1u);
+      EXPECT_EQ(inst->poll(), 0u);
+    }
+
+    // Exactly one injection of the scheduled kind.
+    const qat::FaultCounters& fcnt = plan.counters();
+    EXPECT_EQ(fcnt.injected_total(), 1u);
+    if (fc.kind == FaultKind::kReset) {
+      EXPECT_EQ(fcnt.reset_failures.load(), 1u);
+    }
+  }
+}
+
+// --- table-driven: every fault kind, virtual-time backend -------------------
+
+TEST(QatFault, SimBackendEveryFaultKind) {
+  for (const FaultCase& fc : kFaultCases) {
+    SCOPED_TRACE(fc.name);
+    qat::FaultPlan plan(1);
+    plan.schedule(qat::OpKind::kPrfTls12, 2, fc.kind, fc.stall_ns);
+
+    sim::Simulator simulator;
+    const sim::CostModel costs;
+    sim::SimQatEndpoint endpoint(&simulator, &costs, /*engines=*/1);
+    endpoint.set_fault_plan(&plan);
+    sim::SimQatInstance* inst = endpoint.make_instance(/*ring_capacity=*/8);
+
+    std::vector<CryptoStatus> statuses;
+    for (int i = 0; i < 3; ++i)
+      ASSERT_TRUE(inst->submit_with_status(
+          sim::SOp::kPrf, costs.qat_service(sim::SOp::kPrf),
+          [&statuses](CryptoStatus s) { statuses.push_back(s); }));
+
+    simulator.run_until(100 * costs.qat_service(sim::SOp::kPrf) +
+                        10 * fc.stall_ns);
+    const size_t expect = fc.delivered ? 3u : 2u;
+    EXPECT_EQ(inst->poll(), expect);
+    ASSERT_EQ(statuses.size(), expect);
+
+    if (fc.delivered) {
+      EXPECT_EQ(statuses[0], CryptoStatus::kSuccess);
+      EXPECT_EQ(statuses[1], fc.expect_status);
+      EXPECT_EQ(statuses[2], CryptoStatus::kSuccess);
+      EXPECT_EQ(inst->dropped_responses(), 0u);
+    } else {
+      EXPECT_EQ(statuses[0], CryptoStatus::kSuccess);
+      EXPECT_EQ(statuses[1], CryptoStatus::kSuccess);
+      EXPECT_EQ(inst->dropped_responses(), 1u);
+    }
+    // No inflight leak in either delivery outcome.
+    EXPECT_EQ(inst->inflight_total(), 0u);
+    EXPECT_EQ(plan.counters().injected_total(), 1u);
+  }
+}
+
+// --- cross-plane parity on a faulty run -------------------------------------
+
+// Identically-configured plans (same seed, same schedules) against the same
+// op sequence must produce the same per-op outcome on both planes.
+TEST(QatFault, FaultOutcomeParityAcrossPlanes) {
+  auto configure = [](qat::FaultPlan* plan) {
+    plan->schedule(qat::OpKind::kPrfTls12, 2, FaultKind::kError);
+    plan->schedule(qat::OpKind::kPrfTls12, 4, FaultKind::kDrop);
+    plan->schedule(qat::OpKind::kPrfTls12, 5, FaultKind::kReset);
+  };
+  constexpr int kOps = 6;
+
+  // Real plane.
+  qat::FaultPlan real_plan(3);
+  configure(&real_plan);
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 1;
+  cfg.ring_capacity = 16;
+  cfg.fault_plan = &real_plan;
+  qat::QatDevice device(cfg);
+  qat::CryptoInstance* inst = device.allocate_instance();
+
+  std::vector<std::pair<uint64_t, CryptoStatus>> real_out;
+  std::atomic<int> responded{0};
+  for (uint64_t id = 1; id <= kOps; ++id) {
+    qat::CryptoRequest req;
+    req.request_id = id;
+    req.kind = qat::OpKind::kPrfTls12;
+    req.compute = [] { return true; };
+    req.on_response = [&real_out, &responded](const qat::CryptoResponse& r) {
+      real_out.emplace_back(r.request_id, r.status);
+      responded.fetch_add(1, std::memory_order_release);
+    };
+    ASSERT_TRUE(inst->submit(req));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (responded.load(std::memory_order_acquire) < kOps - 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    inst->poll();
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(responded.load(), kOps - 1);  // one op dropped
+
+  // Virtual plane, same plan configuration.
+  qat::FaultPlan sim_plan(3);
+  configure(&sim_plan);
+  sim::Simulator simulator;
+  const sim::CostModel costs;
+  sim::SimQatEndpoint endpoint(&simulator, &costs, /*engines=*/1);
+  endpoint.set_fault_plan(&sim_plan);
+  sim::SimQatInstance* sinst = endpoint.make_instance(/*ring_capacity=*/16);
+
+  std::vector<std::pair<uint64_t, CryptoStatus>> sim_out;
+  for (uint64_t id = 1; id <= kOps; ++id)
+    ASSERT_TRUE(sinst->submit_with_status(
+        sim::SOp::kPrf, costs.qat_service(sim::SOp::kPrf),
+        [&sim_out, id](CryptoStatus s) { sim_out.emplace_back(id, s); }));
+  simulator.run_until(1000 * costs.qat_service(sim::SOp::kPrf));
+  EXPECT_EQ(sinst->poll(), static_cast<size_t>(kOps - 1));
+
+  // Same delivered ids in the same order with the same statuses.
+  ASSERT_EQ(real_out.size(), sim_out.size());
+  for (size_t i = 0; i < real_out.size(); ++i) {
+    EXPECT_EQ(real_out[i].first, sim_out[i].first) << "op index " << i;
+    EXPECT_EQ(real_out[i].second, sim_out[i].second) << "op index " << i;
+  }
+  EXPECT_EQ(real_plan.counters().injected_total(),
+            sim_plan.counters().injected_total());
+}
+
+// --- global device reset ----------------------------------------------------
+
+TEST(QatFault, TriggeredResetFailsAllUntilCleared) {
+  qat::FaultPlan plan(9);
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  cfg.ring_capacity = 16;
+  cfg.fault_plan = &plan;
+  qat::QatDevice device(cfg);
+  qat::CryptoInstance* inst = device.allocate_instance();
+
+  std::atomic<int> reset_failed{0};
+  std::atomic<int> succeeded{0};
+  std::atomic<int> responded{0};
+  auto submit_one = [&](uint64_t id) {
+    qat::CryptoRequest req;
+    req.request_id = id;
+    req.kind = qat::OpKind::kRsa2048Priv;
+    req.compute = [] { return true; };
+    req.on_response = [&](const qat::CryptoResponse& r) {
+      if (r.status == CryptoStatus::kDeviceReset)
+        reset_failed.fetch_add(1, std::memory_order_relaxed);
+      else if (r.status == CryptoStatus::kSuccess)
+        succeeded.fetch_add(1, std::memory_order_relaxed);
+      responded.fetch_add(1, std::memory_order_release);
+    };
+    ASSERT_TRUE(inst->submit(req));
+  };
+  auto drain_to = [&](int n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (responded.load(std::memory_order_acquire) < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      inst->poll();
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(responded.load(), n);
+  };
+
+  plan.trigger_reset();
+  for (uint64_t id = 1; id <= 4; ++id) submit_one(id);
+  drain_to(4);
+  EXPECT_EQ(reset_failed.load(), 4);
+  EXPECT_EQ(succeeded.load(), 0);
+  EXPECT_EQ(plan.counters().reset_failures.load(), 4u);
+
+  // Re-probe window: the device comes back and serves normally.
+  plan.clear_reset();
+  submit_one(5);
+  drain_to(5);
+  EXPECT_EQ(succeeded.load(), 1);
+  EXPECT_EQ(inst->inflight(), 0u);
+}
+
+// --- engine-level recovery: deadline on dropped response --------------------
+
+TEST(QatFault, DroppedResponseDeadlineFiresAndFallsBack) {
+  qat::FaultPlan plan(5);
+  plan.schedule(qat::OpKind::kPrfTls12, 1, FaultKind::kDrop);
+
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  cfg.fault_plan = &plan;
+  qat::QatDevice device(cfg);
+
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.op_deadline_us = 2'000;
+  ecfg.max_retries = 0;
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  const Bytes secret = to_bytes("secret");
+  const Bytes seed = to_bytes("seed");
+  auto result =
+      qat_engine.prf_tls12(HashAlg::kSha256, secret, "test", seed, 32);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  // The fallback result is the same PRF the device would have produced.
+  engine::SoftwareProvider sw;
+  auto expect = sw.prf_tls12(HashAlg::kSha256, secret, "test", seed, 32);
+  ASSERT_TRUE(expect.is_ok());
+  EXPECT_EQ(result.value(), expect.value());
+
+  const engine::QatEngineStats& stats = qat_engine.stats();
+  EXPECT_EQ(stats.deadline_expiries, 1u);
+  EXPECT_EQ(stats.sw_fallbacks, 1u);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 0u);  // the response never arrived
+  EXPECT_EQ(qat_engine.inflight_total(), 0u);  // no leaked slot
+}
+
+TEST(QatFault, DeadlineExpiryWithoutFallbackSurfacesUnavailable) {
+  qat::FaultPlan plan(5);
+  plan.schedule(qat::OpKind::kPrfTls12, 1, FaultKind::kDrop);
+
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  cfg.fault_plan = &plan;
+  qat::QatDevice device(cfg);
+
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.op_deadline_us = 2'000;
+  ecfg.max_retries = 0;
+  ecfg.sw_fallback_on_device_error = false;
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  auto result = qat_engine.prf_tls12(HashAlg::kSha256, to_bytes("secret"),
+                                     "test", to_bytes("seed"), 32);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), Code::kUnavailable);
+  EXPECT_EQ(qat_engine.stats().deadline_expiries, 1u);
+  EXPECT_EQ(qat_engine.stats().sw_fallbacks, 0u);
+  EXPECT_EQ(qat_engine.inflight_total(), 0u);
+}
+
+// --- engine-level recovery: bounded retry on transient error ----------------
+
+TEST(QatFault, TransientErrorRetriesAndSucceeds) {
+  qat::FaultPlan plan(5);
+  plan.schedule(qat::OpKind::kPrfTls12, 1, FaultKind::kError);
+
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  cfg.fault_plan = &plan;
+  qat::QatDevice device(cfg);
+
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 3;
+  ecfg.retry_backoff_base_us = 10;  // keep the test fast
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  auto result = qat_engine.prf_tls12(HashAlg::kSha256, to_bytes("secret"),
+                                     "test", to_bytes("seed"), 32);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  const engine::QatEngineStats& stats = qat_engine.stats();
+  EXPECT_EQ(stats.device_errors, 1u);
+  EXPECT_EQ(stats.op_retries, 1u);
+  EXPECT_EQ(stats.submitted, 2u);  // original + one resubmission
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.sw_fallbacks, 0u);  // recovered on the device itself
+  EXPECT_EQ(qat_engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kClosed);
+  EXPECT_EQ(qat_engine.inflight_total(), 0u);
+}
+
+TEST(QatFault, RetriesExhaustedFallsBackToSoftware) {
+  qat::FaultPlan plan(5);
+  qat::FaultRates always_fail;
+  always_fail.error_rate = 1.0;
+  plan.set_rates(qat::OpKind::kPrfTls12, always_fail);
+
+  qat::DeviceConfig cfg;
+  cfg.num_endpoints = 1;
+  cfg.engines_per_endpoint = 2;
+  cfg.fault_plan = &plan;
+  qat::QatDevice device(cfg);
+
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 2;
+  ecfg.retry_backoff_base_us = 10;
+  engine::QatEngineProvider qat_engine(device.allocate_instance(), ecfg);
+
+  auto result = qat_engine.prf_tls12(HashAlg::kSha256, to_bytes("secret"),
+                                     "test", to_bytes("seed"), 32);
+  ASSERT_TRUE(result.is_ok());  // completed in software
+
+  const engine::QatEngineStats& stats = qat_engine.stats();
+  EXPECT_EQ(stats.device_errors, 3u);  // initial + 2 retries, all failed
+  EXPECT_EQ(stats.op_retries, 2u);
+  EXPECT_EQ(stats.sw_fallbacks, 1u);
+  EXPECT_EQ(qat_engine.inflight_total(), 0u);
+}
+
+}  // namespace
+}  // namespace qtls
