@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "sim/system.h"
 
 namespace qtls::bench {
@@ -43,11 +44,36 @@ inline RunParams base_params() {
 
 inline std::string kcps(double cps) { return format_double(cps / 1000.0, 1); }
 
+// At-exit per-stage breakdown: every figure bench that drove the sim (or
+// real) offload pipeline gets its stage histograms emitted as BENCH_JSON
+// lines for free, one per non-empty "…stage.*" histogram in the global
+// registry. grep '^BENCH_JSON' to harvest.
+inline void print_stage_bench_json() {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.hist.count() == 0) continue;
+    if (h.name.find(".stage.") == std::string::npos) continue;
+    std::printf(
+        "BENCH_JSON {\"metric\":\"%s\",\"count\":%llu,\"mean_ns\":%.1f,"
+        "\"p50_ns\":%llu,\"p99_ns\":%llu,\"max_ns\":%llu}\n",
+        h.name.c_str(), static_cast<unsigned long long>(h.hist.count()),
+        h.hist.mean_nanos(),
+        static_cast<unsigned long long>(h.hist.percentile_nanos(50)),
+        static_cast<unsigned long long>(h.hist.percentile_nanos(99)),
+        static_cast<unsigned long long>(h.hist.max_nanos()));
+  }
+}
+
 inline void print_header(const char* figure, const char* description) {
   std::printf("=== %s — %s ===\n", figure, description);
   std::printf(
       "(virtual-time reproduction; shapes and ratios are the claim, not "
       "absolute numbers — see EXPERIMENTS.md)\n\n");
+  static const bool registered = [] {
+    std::atexit(print_stage_bench_json);
+    return true;
+  }();
+  (void)registered;
 }
 
 inline void print_ratio(const char* label, double measured, double paper) {

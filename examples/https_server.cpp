@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   int listen_port = -1;
   int seconds = 3;
   int clients = 8;
+  bool show_stats = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc)
       listen_port = std::atoi(argv[++i]);
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
       seconds = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
       clients = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--stats") == 0)
+      show_stats = true;
   }
 
   // Accelerator + engine from the configuration framework.
@@ -145,5 +148,26 @@ int main(int argc, char** argv) {
                     worker.poller_stats()->efficiency_triggers));
   }
   std::printf("  device: %s\n", device.fw_counters().to_string().c_str());
+
+  if (show_stats) {
+    // Fetch the worker's own GET /stats endpoint (DESIGN.md §8) the way an
+    // operator would, over a fresh connection.
+    client::ClientOptions sopts;
+    sopts.path = "/stats";
+    sopts.max_requests = 1;
+    client::HttpsClient stats_client(
+        &client_ctx,
+        [&worker]() -> int {
+          auto pair = net::make_socketpair();
+          if (!pair.is_ok()) return -1;
+          (void)worker.adopt(pair.value().second);
+          return pair.value().first;
+        },
+        sopts, 9999);
+    while (stats_client.step()) worker.run_once(0);
+    std::printf("\nGET /stats:\n%.*s\n",
+                static_cast<int>(stats_client.last_body().size()),
+                reinterpret_cast<const char*>(stats_client.last_body().data()));
+  }
   return stats.errors == 0 ? 0 : 1;
 }

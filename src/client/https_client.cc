@@ -122,6 +122,7 @@ bool HttpsClient::step() {
         return true;
       }
       rx_buffer_.clear();
+      last_body_.clear();
       state_ = State::kRecvHead;
       return true;
     }
@@ -141,6 +142,9 @@ bool HttpsClient::step() {
       }
       const size_t body_got = rx_buffer_.size() - head->header_bytes;
       stats_.bytes_received += rx_buffer_.size();
+      last_body_.assign(rx_buffer_.begin() +
+                            static_cast<ptrdiff_t>(head->header_bytes),
+                        rx_buffer_.end());
       if (body_got >= head->content_length) {
         finish_request();
         return !finished_;
@@ -159,6 +163,7 @@ bool HttpsClient::step() {
         return true;
       }
       stats_.bytes_received += body_buffer_.size();
+      append(last_body_, body_buffer_);
       if (body_buffer_.size() >= body_remaining_) {
         body_remaining_ = 0;
         finish_request();

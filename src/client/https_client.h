@@ -57,6 +57,8 @@ class HttpsClient {
 
   const ClientStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
+  // Body of the most recently completed response (e.g. the GET /stats JSON).
+  const Bytes& last_body() const { return last_body_; }
 
  private:
   enum class State {
@@ -85,6 +87,7 @@ class HttpsClient {
 
   Bytes rx_buffer_;
   Bytes body_buffer_;
+  Bytes last_body_;
   size_t body_remaining_ = 0;
   bool head_parsed_ = false;
   bool request_sent_ = false;

@@ -31,14 +31,31 @@ class OnlineStats {
 };
 
 // Latency histogram over [1ns, ~1000s] with ~2.4% relative bucket error:
-// 64 major (power-of-two) buckets x 32 linear sub-buckets.
+// 64 major (power-of-two) buckets x 32 linear sub-buckets. Percentile
+// queries return the bucket midpoint, so the worst-case relative error is
+// half a bucket width — (1/64)/(1+1/64) ≈ 1.54%, comfortably inside the
+// documented ~2.4% bound (tests/stats_property_test.cc is the regression).
+//
+// record() never heap-allocates: the bucket array is sized at construction
+// and only incremented afterwards (the obs registry's no-allocation
+// recording contract leans on this; regression in tests/obs_test.cc).
 class LatencyHistogram {
  public:
   static constexpr int kSubBits = 5;
   static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  // Bucket mapping, public so external sharded accumulators (src/obs) can
+  // bucket with identical geometry and merge raw cells back in.
+  static size_t bucket_index(uint64_t v);
+  static uint64_t bucket_low(size_t idx);
 
   void record(uint64_t nanos);
   void merge(const LatencyHistogram& other);
+  // Merge raw bucket cells produced with bucket_index() geometry (`n` may
+  // be <= kNumBuckets; missing tail buckets count as empty).
+  void merge_counts(const uint64_t* bucket_counts, size_t n, uint64_t count,
+                    uint64_t sum, uint64_t max);
 
   uint64_t count() const { return count_; }
   double mean_nanos() const {
@@ -51,10 +68,7 @@ class LatencyHistogram {
   std::string summary() const;  // "p50=... p95=... p99=... max=..."
 
  private:
-  static size_t bucket_index(uint64_t v);
-  static uint64_t bucket_low(size_t idx);
-
-  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(64 * kSubBuckets, 0);
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kNumBuckets, 0);
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t max_ = 0;

@@ -14,6 +14,32 @@ namespace {
 constexpr uint8_t kClosed = static_cast<uint8_t>(BreakerState::kClosed);
 constexpr uint8_t kOpen = static_cast<uint8_t>(BreakerState::kOpen);
 constexpr uint8_t kHalfOpen = static_cast<uint8_t>(BreakerState::kHalfOpen);
+
+// Global-registry mirrors of the QatEngineStats failure counters, so the
+// /stats endpoint and periodic dumps see every provider's totals without
+// walking provider instances. Interned once; increments are shard-local.
+struct EngineObsCounters {
+  obs::Counter submitted, completed, submit_retry, device_error, retry,
+      deadline_expiry, sw_fallback, breaker_open, breaker_close;
+
+  EngineObsCounters() {
+    auto& reg = obs::MetricsRegistry::global();
+    submitted = reg.counter("qat.engine.submitted");
+    completed = reg.counter("qat.engine.completed");
+    submit_retry = reg.counter("qat.engine.submit_retry");
+    device_error = reg.counter("qat.engine.device_error");
+    retry = reg.counter("qat.engine.retry");
+    deadline_expiry = reg.counter("qat.engine.deadline_expiry");
+    sw_fallback = reg.counter("qat.engine.sw_fallback");
+    breaker_open = reg.counter("qat.engine.breaker_open");
+    breaker_close = reg.counter("qat.engine.breaker_close");
+  }
+};
+
+EngineObsCounters& obs_counters() {
+  static EngineObsCounters counters;
+  return counters;
+}
 }  // namespace
 
 // Generic holder for a completed offload; `done` flips in the response
@@ -84,6 +110,7 @@ void QatEngineProvider::sweep_deadlines(uint64_t now) {
       s->abandoned.store(true, std::memory_order_release);
       inflight_[s->cls].fetch_sub(1, std::memory_order_release);
       ++stats_.deadline_expiries;
+      obs_counters().deadline_expiry.inc();
       if (s->wctx) s->wctx->notify();
       it = pending_.erase(it);
       continue;
@@ -116,6 +143,7 @@ void QatEngineProvider::breaker_on_success(qat::OpClass cls) {
   if (b.state.load(std::memory_order_acquire) != kClosed) {
     b.state.store(kClosed, std::memory_order_release);
     ++stats_.breaker_closes;
+    obs_counters().breaker_close.inc();
     QTLS_INFO << "qat breaker closed for class " << static_cast<int>(cls)
               << " (re-probe succeeded)";
   }
@@ -133,12 +161,14 @@ void QatEngineProvider::breaker_on_failure(qat::OpClass cls) {
         std::memory_order_release);
     b.state.store(kOpen, std::memory_order_release);
     ++stats_.breaker_opens;
+    obs_counters().breaker_open.inc();
   } else if (st == kClosed && fails >= config_.breaker_threshold) {
     b.open_until_ns.store(
         steady_now_ns() + config_.breaker_cooldown_ms * 1'000'000ULL,
         std::memory_order_release);
     b.state.store(kOpen, std::memory_order_release);
     ++stats_.breaker_opens;
+    obs_counters().breaker_open.inc();
     QTLS_WARN << "qat breaker open for class " << static_cast<int>(cls)
               << " after " << fails
               << " consecutive failures; degrading to software";
@@ -169,6 +199,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
     // self-contained, so running one on the calling thread IS the
     // SoftwareProvider path (same primitives, no device round trip).
     ++stats_.sw_fallbacks;
+    obs_counters().sw_fallback.inc();
     return compute();
   }
 
@@ -193,6 +224,10 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
       req.request_id =
           next_request_id_.fetch_add(1, std::memory_order_relaxed);
       req.kind = kind;
+      // Sampling decision + submit stamp; the device stamps the rest of the
+      // pipeline as the request moves through it.
+      obs::trace_begin(req.trace);
+      state->req_id = req.request_id;
       req.compute = [state, compute] {
         state->result = compute();
         return state->result.is_ok();
@@ -201,6 +236,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
         if (state->abandoned.load(std::memory_order_acquire))
           return;  // deadline already recovered this op; slot released there
         state->dev_status = resp.status;
+        if (resp.trace.sampled) state->trace = resp.trace;
         inflight_[state->cls].fetch_sub(1, std::memory_order_release);
         state->done.store(true, std::memory_order_release);
         // Async event notification (§3.4): kernel-bypass callback if set on
@@ -218,6 +254,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
         instances_.size()];
     while (!target->submit(build_request())) {
       ++stats_.submit_retries;
+      obs_counters().submit_retry.inc();
       if (async) {
         // Notify immediately so the application reschedules this handler to
         // retry the submission.
@@ -229,6 +266,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
       }
     }
     ++stats_.submitted;
+    obs_counters().submitted.inc();
 
     const uint64_t deadline_ns =
         config_.op_deadline_us == 0
@@ -264,6 +302,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
           state->abandoned.store(true, std::memory_order_release);
           inflight_[state->cls].fetch_sub(1, std::memory_order_release);
           ++stats_.deadline_expiries;
+          obs_counters().deadline_expiry.inc();
           break;
         }
       }
@@ -275,12 +314,21 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
       breaker_on_failure(cls);
       if (config_.sw_fallback_on_device_error) {
         ++stats_.sw_fallbacks;
+        obs_counters().sw_fallback.inc();
         return compute();
       }
       return err(Code::kUnavailable, "qat op deadline expired");
     }
 
     ++stats_.completed;  // one per retrieved response, on the calling thread
+    obs_counters().completed.inc();
+    if (state->trace.sampled) {
+      // Post-processing resumes here: close the trace and fold the stage
+      // deltas into the per-stage histograms.
+      obs::stamp_now(state->trace, obs::Stage::kFiberResume);
+      obs::record_pipeline(state->trace, state->req_id, state->cls,
+                           /*sim=*/false);
+    }
 
     if (!qat::is_device_failure(state->dev_status)) {
       // kSuccess, or kComputeError (a deterministic input failure — the
@@ -291,8 +339,10 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
 
     // Transient device failure (CPA_STATUS_FAIL / reset-in-flight).
     ++stats_.device_errors;
+    obs_counters().device_error.inc();
     if (attempt < max_attempts) {
       ++stats_.op_retries;
+      obs_counters().retry.inc();
       if (!async) {
         // Capped exponential backoff on the blocking path. The fiber path
         // resubmits immediately instead — it must not block the worker
@@ -309,6 +359,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
   breaker_on_failure(cls);
   if (config_.sw_fallback_on_device_error) {
     ++stats_.sw_fallbacks;
+    obs_counters().sw_fallback.inc();
     return compute();
   }
   return err(Code::kUnavailable, "qat device error; retries exhausted");

@@ -32,6 +32,7 @@
 
 #include "asyncx/job.h"
 #include "engine/provider.h"
+#include "obs/trace.h"
 #include "qat/device.h"
 
 namespace qtls::engine {
@@ -184,6 +185,11 @@ class QatEngineProvider : public CryptoProvider {
     asyncx::WaitCtx* wctx = nullptr;  // cleared/unused after abandonment
     uint64_t deadline_ns = 0;         // absolute steady-clock ns; 0 = none
     int cls = 0;                      // op class, for inflight accounting
+    uint64_t req_id = 0;              // device request id (trace records)
+    // Lifecycle stamps copied from the response in the callback; the
+    // resuming thread stamps fiber-resume and folds them into the global
+    // per-stage histograms (obs/trace.h).
+    obs::TraceStamps trace;
   };
 
   struct ClassBreaker {

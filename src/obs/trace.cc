@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#if QTLS_OBS_ENABLED
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace qtls::obs {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kSubmit: return "submit";
+    case Stage::kRingEnqueue: return "ring_enqueue";
+    case Stage::kEngineClaim: return "engine_claim";
+    case Stage::kServiceStart: return "service_start";
+    case Stage::kServiceDone: return "service_done";
+    case Stage::kPollDrain: return "poll_drain";
+    case Stage::kFiberResume: return "fiber_resume";
+    case Stage::kSpare: return "spare";
+  }
+  return "?";
+}
+
+#if QTLS_OBS_ENABLED
+
+inline namespace obs_enabled {
+
+namespace {
+
+constexpr const char* kOpClassNames[3] = {"asym", "cipher", "prf"};
+
+// Sampling state: a global power-of-two mask plus a per-thread counter, so
+// the decision is one TLS increment and an AND — no shared-cacheline
+// traffic on the submit path.
+std::atomic<uint64_t> g_sample_mask{63};   // period 64
+std::atomic<bool> g_trace_enabled{true};
+
+bool sample_this_request() {
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return false;
+  thread_local uint64_t counter = 0;
+  return (counter++ & g_sample_mask.load(std::memory_order_relaxed)) == 0;
+}
+
+// Per-stage histogram handles for one plane (real or sim), interned once.
+struct PlaneHists {
+  Histogram queue, service, drain, resume, total;
+  Histogram cls_total[3];
+  Counter cls_completed[3];
+
+  explicit PlaneHists(const char* prefix) {
+    auto& reg = MetricsRegistry::global();
+    std::string p(prefix);
+    queue = reg.histogram(p + ".stage.queue");
+    service = reg.histogram(p + ".stage.service");
+    drain = reg.histogram(p + ".stage.drain");
+    resume = reg.histogram(p + ".stage.resume");
+    total = reg.histogram(p + ".stage.total");
+    for (int c = 0; c < 3; ++c) {
+      cls_total[c] =
+          reg.histogram(p + ".op." + kOpClassNames[c] + ".total_ns");
+      cls_completed[c] =
+          reg.counter(p + ".op." + std::string(kOpClassNames[c]) +
+                      ".completed");
+    }
+  }
+};
+
+PlaneHists& plane_hists(bool sim) {
+  static PlaneHists real("qat");
+  static PlaneHists virt("sim.qat");
+  return sim ? virt : real;
+}
+
+uint64_t delta(const TraceStamps& t, Stage from, Stage to) {
+  const uint64_t a = t[from];
+  const uint64_t b = t[to];
+  if (a == 0 || b == 0 || b < a) return 0;
+  return b - a;
+}
+
+// Bounded ring of raw records. Only sampled requests reach here, so a
+// mutex is fine; the storage is a fixed array (no allocation per push).
+struct TraceRing {
+  std::mutex mu;
+  TraceRecord records[kTraceRingCapacity];
+  size_t next = 0;
+  size_t size = 0;
+};
+
+TraceRing& trace_ring() {
+  static auto* ring = new TraceRing;  // leaked, same lifetime rules as the
+  return *ring;                       // global registry
+}
+
+}  // namespace
+
+uint64_t trace_now_nanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_trace_sample_period(uint64_t period) {
+  if (period == 0) {
+    g_trace_enabled.store(false, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t pow2 = 1;
+  while (pow2 < period && pow2 < (1ULL << 62)) pow2 <<= 1;
+  g_sample_mask.store(pow2 - 1, std::memory_order_relaxed);
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+uint64_t trace_sample_period() {
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return 0;
+  return g_sample_mask.load(std::memory_order_relaxed) + 1;
+}
+
+void trace_begin(TraceStamps& t) {
+  t.sampled = sample_this_request();
+  if (t.sampled)
+    t.ts[static_cast<size_t>(Stage::kSubmit)] = trace_now_nanos();
+}
+
+void trace_begin_at(TraceStamps& t, uint64_t now_nanos) {
+  t.sampled = sample_this_request();
+  if (t.sampled) t.ts[static_cast<size_t>(Stage::kSubmit)] = now_nanos;
+}
+
+void record_pipeline(const TraceStamps& t, uint64_t request_id,
+                     int op_class_idx, bool sim) {
+  if (!t.sampled) return;
+  if (op_class_idx < 0 || op_class_idx >= 3) op_class_idx = 2;
+  PlaneHists& h = plane_hists(sim);
+
+  h.queue.record(delta(t, Stage::kRingEnqueue, Stage::kEngineClaim));
+  h.service.record(delta(t, Stage::kServiceStart, Stage::kServiceDone));
+  h.drain.record(delta(t, Stage::kServiceDone, Stage::kPollDrain));
+  if (t[Stage::kFiberResume] != 0)
+    h.resume.record(delta(t, Stage::kPollDrain, Stage::kFiberResume));
+
+  // Total: submit to the last stamped stage (fiber-resume through the
+  // engine; poll-drain for raw device users).
+  const Stage last = t[Stage::kFiberResume] != 0 ? Stage::kFiberResume
+                                                 : Stage::kPollDrain;
+  const uint64_t total = delta(t, Stage::kSubmit, last);
+  h.total.record(total);
+  h.cls_total[op_class_idx].record(total);
+  h.cls_completed[op_class_idx].inc();
+
+  TraceRing& ring = trace_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  TraceRecord& rec = ring.records[ring.next];
+  rec.request_id = request_id;
+  rec.op_class = static_cast<uint8_t>(op_class_idx);
+  rec.sim = sim;
+  for (size_t i = 0; i < kNumStages; ++i) rec.ts[i] = t.ts[i];
+  ring.next = (ring.next + 1) % kTraceRingCapacity;
+  if (ring.size < kTraceRingCapacity) ++ring.size;
+}
+
+std::vector<TraceRecord> trace_ring_snapshot() {
+  TraceRing& ring = trace_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  std::vector<TraceRecord> out;
+  out.reserve(ring.size);
+  // Oldest first.
+  const size_t start =
+      ring.size < kTraceRingCapacity ? 0 : ring.next;
+  for (size_t i = 0; i < ring.size; ++i)
+    out.push_back(ring.records[(start + i) % kTraceRingCapacity]);
+  return out;
+}
+
+void trace_ring_clear() {
+  TraceRing& ring = trace_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.next = 0;
+  ring.size = 0;
+}
+
+}  // inline namespace obs_enabled
+
+#endif  // QTLS_OBS_ENABLED
+
+}  // namespace qtls::obs

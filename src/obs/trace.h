@@ -1,0 +1,122 @@
+// Request lifecycle tracing for the offload pipeline (DESIGN.md §8).
+//
+// Every CryptoRequest/CryptoResponse carries a TraceStamps — a fixed 8-slot
+// nanosecond timestamp array stamped at the pipeline's stage boundaries:
+//
+//   submit -> ring-enqueue -> engine-claim -> service-start -> service-done
+//          -> poll-drain -> fiber-resume
+//
+// The real-time backend stamps with the steady clock; the virtual-time
+// backend (src/sim) stamps with the DES clock, which makes its stage deltas
+// exactly predictable from sim/costs.h (tests/trace_sim_test.cc is the
+// oracle). record_pipeline() folds a completed request's stamps into the
+// per-stage histograms of the global MetricsRegistry and appends a raw
+// TraceRecord to a bounded in-memory ring.
+//
+// Sampling: stamping costs ~7 clock reads per request (~175ns), which would
+// be ~36% of a batched 0.48us/op device RTT if taken on every request. The
+// sampling decision is therefore made once, at trace_begin() (period
+// 1-in-64 by default, power-of-two); unsampled requests carry
+// sampled=false and every later stamp is a single predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace qtls::obs {
+
+// Stage slots. kSpare is reserved so the array stays 8 wide (one cache line
+// including the sampled flag).
+enum class Stage : uint8_t {
+  kSubmit = 0,
+  kRingEnqueue,
+  kEngineClaim,
+  kServiceStart,
+  kServiceDone,
+  kPollDrain,
+  kFiberResume,
+  kSpare,
+};
+constexpr size_t kNumStages = 8;
+
+const char* stage_name(Stage s);
+
+// Layout is identical in both build modes (the struct is embedded in
+// CryptoRequest/CryptoResponse, which mixed-mode TUs share); with
+// QTLS_OBS=OFF trace_begin() is a no-op, sampled stays false, and stamping
+// is dead code.
+struct TraceStamps {
+  uint64_t ts[kNumStages] = {};
+  bool sampled = false;
+
+  void stamp_at(Stage s, uint64_t nanos) {
+    if (sampled) ts[static_cast<size_t>(s)] = nanos;
+  }
+  uint64_t operator[](Stage s) const { return ts[static_cast<size_t>(s)]; }
+};
+
+// One completed sampled request, as kept in the bounded trace ring.
+struct TraceRecord {
+  uint64_t request_id = 0;
+  uint8_t op_class = 0;  // index into {"asym", "cipher", "prf"}
+  bool sim = false;
+  uint64_t ts[kNumStages] = {};
+};
+
+constexpr size_t kTraceRingCapacity = 1024;
+
+#if QTLS_OBS_ENABLED
+
+inline namespace obs_enabled {
+
+uint64_t trace_now_nanos();  // steady clock, ns
+
+// Sampling period: 1-in-N requests carry stamps. Rounded up to a power of
+// two; 0 disables tracing entirely, 1 samples every request (tests).
+void set_trace_sample_period(uint64_t period);
+uint64_t trace_sample_period();
+
+// Make the sampling decision and stamp kSubmit. The real-time overload
+// reads the steady clock; the _at overload takes the caller's (virtual)
+// clock.
+void trace_begin(TraceStamps& t);
+void trace_begin_at(TraceStamps& t, uint64_t now_nanos);
+
+inline void stamp_now(TraceStamps& t, Stage s) {
+  if (t.sampled) t.ts[static_cast<size_t>(s)] = trace_now_nanos();
+}
+
+// Fold one completed request into the global registry's per-stage
+// histograms ("qat.stage.*" real plane, "sim.qat.stage.*" virtual plane;
+// per-class "…op.<class>.total_ns" histograms and completion counters) and
+// push a raw TraceRecord onto the bounded ring. No-op when !t.sampled.
+void record_pipeline(const TraceStamps& t, uint64_t request_id,
+                     int op_class_idx, bool sim);
+
+// Bounded ring of raw records (overwrites oldest when full).
+std::vector<TraceRecord> trace_ring_snapshot();
+void trace_ring_clear();
+
+}  // inline namespace obs_enabled
+
+#else  // !QTLS_OBS_ENABLED
+
+inline namespace obs_disabled {
+
+inline uint64_t trace_now_nanos() { return 0; }
+inline void set_trace_sample_period(uint64_t) {}
+inline uint64_t trace_sample_period() { return 0; }
+inline void trace_begin(TraceStamps&) {}
+inline void trace_begin_at(TraceStamps&, uint64_t) {}
+inline void stamp_now(TraceStamps&, Stage) {}
+inline void record_pipeline(const TraceStamps&, uint64_t, int, bool) {}
+inline std::vector<TraceRecord> trace_ring_snapshot() { return {}; }
+inline void trace_ring_clear() {}
+
+}  // inline namespace obs_disabled
+
+#endif  // QTLS_OBS_ENABLED
+
+}  // namespace qtls::obs

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.h"
+
 namespace qtls::qat {
 
 // The three inflight classes the heuristic polling scheme counts
@@ -92,6 +94,9 @@ struct CryptoResponse {
   bool success = false;  // status == kSuccess (kept for existing callers)
   CryptoStatus status = CryptoStatus::kComputeError;
   void* user_tag = nullptr;
+  // Lifecycle stamps copied from the request at service time (sampled
+  // requests only; obs/trace.h).
+  obs::TraceStamps trace;
 };
 
 using ResponseCallback = std::function<void(const CryptoResponse&)>;
@@ -108,6 +113,10 @@ struct CryptoRequest {
   // context.
   ResponseCallback on_response;
   void* user_tag = nullptr;
+  // Lifecycle stamps (obs/trace.h): the submitter calls obs::trace_begin()
+  // to make the sampling decision; the device stamps ring-enqueue through
+  // poll-drain as the request moves.
+  obs::TraceStamps trace;
 };
 
 }  // namespace qtls::qat

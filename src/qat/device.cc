@@ -39,6 +39,7 @@ bool CryptoInstance::push_request(CryptoRequest& req) {
   if (inflight_.load(std::memory_order_acquire) >= inflight_limit())
     return false;
   const OpClass cls = op_class_of(req.kind);
+  obs::stamp_now(req.trace, obs::Stage::kRingEnqueue);
   if (!request_ring_.try_push(std::move(req))) return false;
   inflight_.fetch_add(1, std::memory_order_release);
   req_counters_.v[static_cast<int>(cls)].fetch_add(1,
@@ -73,6 +74,7 @@ size_t CryptoInstance::poll(size_t max) {
     total += got;
     for (size_t i = 0; i < got; ++i) {
       inflight_.fetch_sub(1, std::memory_order_release);
+      obs::stamp_now(batch[i].response.trace, obs::Stage::kPollDrain);
       // Callbacks run outside any ring operation: one may submit a
       // follow-up request to this same instance.
       if (batch[i].callback) batch[i].callback(batch[i].response);
@@ -155,6 +157,7 @@ bool QatEndpoint::claim_request(CryptoRequest* out, CryptoInstance** from) {
     if (req.has_value()) {
       *out = std::move(*req);
       *from = inst;
+      obs::stamp_now(out->trace, obs::Stage::kEngineClaim);
       return true;
     }
   }
@@ -174,6 +177,7 @@ void engine_busy_wait(uint64_t ns) {
 void QatEndpoint::serve(EngineSlot& slot, CryptoRequest& req,
                         CryptoInstance* from) {
   busy_.fetch_add(1, std::memory_order_relaxed);
+  obs::stamp_now(req.trace, obs::Stage::kServiceStart);
 
   // Fault injection (qat/fault.h): the service point is where firmware
   // errors, lost responses, and stalls happen on a real card.
@@ -213,6 +217,10 @@ void QatEndpoint::serve(EngineSlot& slot, CryptoRequest& req,
     }
   }
   response.success = response.status == CryptoStatus::kSuccess;
+  if (req.trace.sampled) {
+    obs::stamp_now(req.trace, obs::Stage::kServiceDone);
+    response.trace = req.trace;
+  }
 
   slot.responses.v[static_cast<int>(op_class_of(response.kind))].fetch_add(
       1, std::memory_order_relaxed);
@@ -221,6 +229,7 @@ void QatEndpoint::serve(EngineSlot& slot, CryptoRequest& req,
     // Interrupt-style delivery: invoked from the engine thread, like a
     // kernel interrupt handler preempting the application.
     from->inflight_.fetch_sub(1, std::memory_order_release);
+    obs::stamp_now(response.trace, obs::Stage::kPollDrain);
     if (req.on_response) req.on_response(response);
   } else {
     CryptoInstance::ResponseEntry entry{std::move(response),

@@ -1,8 +1,10 @@
 #include "server/worker.h"
 
 #include <chrono>
+#include <sstream>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace qtls::server {
 
@@ -12,6 +14,7 @@ struct Worker::Conn {
   std::unique_ptr<tls::TlsConnection> tls;
   HttpRequestParser parser;
   Bytes inbound;           // decrypted bytes pending HTTP parsing
+  bool stats_request = false;       // current request is GET /stats
   bool response_inflight = false;   // response built but write not started
   bool write_in_progress = false;   // write started, not yet completed
   bool response_keepalive = true;
@@ -292,6 +295,7 @@ void Worker::read_handler(Conn* conn) {
     }
     if (request.has_value()) {
       conn->response_keepalive = request->keepalive;
+      conn->stats_request = request->path == "/stats";
       conn->response_inflight = true;
       write_handler(conn);
       return;
@@ -309,8 +313,14 @@ void Worker::write_handler(Conn* conn) {
   if (conn->response_inflight) {
     // First call builds and queues the response; resumed calls pass empty
     // (the connection's write buffer already holds the data).
-    const Bytes response = build_http_response(200, response_body_,
-                                               conn->response_keepalive);
+    Bytes body;
+    if (conn->stats_request) {
+      const std::string json = stats_json();
+      body.assign(json.begin(), json.end());
+    }
+    const Bytes response = build_http_response(
+        200, conn->stats_request ? BytesView(body) : BytesView(response_body_),
+        conn->response_keepalive);
     conn->response_inflight = false;
     conn->write_in_progress = true;
     r = conn->tls->write(response);
@@ -340,6 +350,60 @@ void Worker::write_handler(Conn* conn) {
   // A pipelined next request may already be buffered in the TLS layer;
   // read_handler settles the connection back to idle if there is none.
   read_handler(conn);
+}
+
+namespace {
+const char* breaker_name(engine::BreakerState s) {
+  switch (s) {
+    case engine::BreakerState::kClosed: return "closed";
+    case engine::BreakerState::kOpen: return "open";
+    case engine::BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Worker::stats_json() const {
+  std::ostringstream os;
+  os << "{\"worker\":{"
+     << "\"accepted\":" << stats_.accepted
+     << ",\"handshakes_completed\":" << stats_.handshakes_completed
+     << ",\"requests_served\":" << stats_.requests_served
+     << ",\"closed\":" << stats_.closed << ",\"errors\":" << stats_.errors
+     << ",\"disorder_events\":" << stats_.disorder_events
+     << ",\"async_parks\":" << stats_.async_parks
+     << ",\"async_failures\":" << stats_.async_failures
+     << ",\"alive\":" << alive_connections()
+     << ",\"active\":" << active_connections() << "}";
+  if (qat_) {
+    const engine::QatEngineStats& e = qat_->stats();
+    os << ",\"engine\":{"
+       << "\"submitted\":" << e.submitted << ",\"completed\":" << e.completed
+       << ",\"device_errors\":" << e.device_errors
+       << ",\"op_retries\":" << e.op_retries
+       << ",\"deadline_expiries\":" << e.deadline_expiries
+       << ",\"sw_fallbacks\":" << e.sw_fallbacks
+       << ",\"breaker_opens\":" << e.breaker_opens
+       << ",\"breaker_closes\":" << e.breaker_closes << ",\"breaker\":{";
+    for (int c = 0; c < qat::kNumOpClasses; ++c) {
+      os << (c ? "," : "") << '"'
+         << qat::op_class_name(static_cast<qat::OpClass>(c)) << "\":\""
+         << breaker_name(qat_->breaker_state(static_cast<qat::OpClass>(c)))
+         << '"';
+    }
+    os << "}}";
+  }
+  if (const HeuristicPollerStats* p = poller_stats()) {
+    os << ",\"poller\":{"
+       << "\"polls\":" << p->polls << ",\"retrieved\":" << p->retrieved
+       << ",\"max_batch\":" << p->max_batch
+       << ",\"efficiency_triggers\":" << p->efficiency_triggers
+       << ",\"timeliness_triggers\":" << p->timeliness_triggers
+       << ",\"failover_triggers\":" << p->failover_triggers << "}";
+  }
+  os << ",\"metrics\":" << obs::MetricsRegistry::global().snapshot().to_json()
+     << "}";
+  return os.str();
 }
 
 // ---------------------------------------------------------------- loop ----

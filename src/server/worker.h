@@ -82,6 +82,12 @@ class Worker {
   }
   const AsyncEventQueue& async_queue() const { return async_queue_; }
 
+  // The GET /stats payload: worker counters, engine failure/fallback
+  // counters and breaker states, poller stats, and the global metrics
+  // registry snapshot (per-stage latency histograms). Runs on the worker
+  // thread (it serves the request), so worker state needs no locking.
+  std::string stats_json() const;
+
  private:
   struct Conn;
   using Handler = void (Worker::*)(Conn*);

@@ -1,6 +1,11 @@
 #include "server/worker_pool.h"
 
+#include <chrono>
+#include <sstream>
+
+#include "common/log.h"
 #include "crypto/keystore.h"
+#include "obs/metrics.h"
 
 namespace qtls::server {
 
@@ -54,6 +59,20 @@ Status WorkerPool::start(uint16_t port) {
       worker->run_until([this] { return stopping_.load(); }, /*timeout_ms=*/5);
     });
   }
+  if (options_.stats_dump_interval_ms > 0) {
+    dump_thread_ = std::thread([this] {
+      const auto interval =
+          std::chrono::milliseconds(options_.stats_dump_interval_ms);
+      auto next = std::chrono::steady_clock::now() + interval;
+      // Sleep in short slices so stop() is never held up by a long interval.
+      while (!stopping_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += interval;
+        QTLS_INFO << "stats dump\n" << stats_text();
+      }
+    });
+  }
   started_ = true;
   return Status::ok();
 }
@@ -64,6 +83,7 @@ void WorkerPool::stop() {
   for (auto& cell : cells_) {
     if (cell->thread.joinable()) cell->thread.join();
   }
+  if (dump_thread_.joinable()) dump_thread_.join();
   started_ = false;
 }
 
@@ -82,6 +102,18 @@ WorkerPoolStats WorkerPool::stats() const {
     out.per_worker_handshakes.push_back(s.handshakes_completed);
   }
   return out;
+}
+
+std::string WorkerPool::stats_text() const {
+  const WorkerPoolStats s = stats();
+  std::ostringstream os;
+  os << "pool: workers=" << cells_.size()
+     << " handshakes=" << s.totals.handshakes_completed
+     << " requests=" << s.totals.requests_served
+     << " errors=" << s.totals.errors
+     << " async_parks=" << s.totals.async_parks << '\n';
+  os << obs::MetricsRegistry::global().snapshot().to_text();
+  return os.str();
 }
 
 }  // namespace qtls::server

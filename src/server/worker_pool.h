@@ -24,6 +24,9 @@ struct WorkerPoolOptions {
   // Instances assigned per worker (paper: one each; §2.3 allows more).
   int instances_per_worker = 1;
   size_t response_body_size = 1024;
+  // Periodic observability dump: every interval the pool logs stats_text()
+  // (pool totals + the global metrics registry). 0 disables the dump thread.
+  uint64_t stats_dump_interval_ms = 0;
 };
 
 struct WorkerPoolStats {
@@ -50,6 +53,11 @@ class WorkerPool {
   int workers() const { return static_cast<int>(cells_.size()); }
   WorkerPoolStats stats() const;
 
+  // Human-readable dump: pool totals followed by the global metrics
+  // registry (per-stage histograms, fault counters). What the periodic
+  // dump thread logs; also usable on demand.
+  std::string stats_text() const;
+
  private:
   struct Cell {
     std::unique_ptr<engine::QatEngineProvider> engine;
@@ -65,6 +73,7 @@ class WorkerPool {
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   uint16_t port_ = 0;
+  std::thread dump_thread_;
 };
 
 }  // namespace qtls::server

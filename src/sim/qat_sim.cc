@@ -4,6 +4,29 @@
 
 namespace qtls::sim {
 
+namespace {
+// Virtual-plane fault counters, mirroring FaultPlan's own tallies so
+// tests/trace_sim_test.cc can prove conservation: every injected decision
+// shows up exactly once in the global registry.
+struct SimObsCounters {
+  obs::Counter submitted, error, reset, drop, stall;
+
+  SimObsCounters() {
+    auto& reg = obs::MetricsRegistry::global();
+    submitted = reg.counter("sim.qat.submitted");
+    error = reg.counter("sim.qat.error");
+    reset = reg.counter("sim.qat.reset");
+    drop = reg.counter("sim.qat.drop");
+    stall = reg.counter("sim.qat.stall");
+  }
+};
+
+SimObsCounters& obs_counters() {
+  static SimObsCounters counters;
+  return counters;
+}
+}  // namespace
+
 bool SimQatInstance::submit(SOp op, std::function<void()> on_retrieved) {
   return submit(op, endpoint_->costs_->qat_service(op),
                 std::move(on_retrieved));
@@ -47,24 +70,43 @@ bool SimQatInstance::submit_with_status(
     case qat::FaultKind::kError:
       status = qat::CryptoStatus::kDeviceError;
       service = 0;  // failed fast: the computation never ran
+      obs_counters().error.inc();
       break;
     case qat::FaultKind::kReset:
       status = qat::CryptoStatus::kDeviceReset;
       service = 0;
+      obs_counters().reset.inc();
       break;
     case qat::FaultKind::kStall:
       service += fault.stall_ns;  // stuck engine, then serves normally
+      obs_counters().stall.inc();
       break;
     case qat::FaultKind::kDrop:
+      obs_counters().drop.inc();
+      break;
     case qat::FaultKind::kNone:
       break;
   }
+  obs_counters().submitted.inc();
 
   ++ring_occupancy_;
   ++inflight_total_;
   if (CostModel::is_asym(op)) ++inflight_asym_;
 
-  const SimTime done_at = endpoint_->dispatch(service);
+  // Virtual-time stamping: every stage boundary is already known here.
+  // Submission and ring-enqueue coincide (the sim ring has no submit/push
+  // gap); engine claim and service start coincide (engines never sit on a
+  // claimed request).
+  const SimTime now = endpoint_->sim_->now();
+  obs::TraceStamps trace;
+  obs::trace_begin_at(trace, now);
+  trace.stamp_at(obs::Stage::kRingEnqueue, now);
+
+  SimTime service_start = 0;
+  const SimTime done_at = endpoint_->dispatch(service, &service_start);
+  trace.stamp_at(obs::Stage::kEngineClaim, service_start);
+  trace.stamp_at(obs::Stage::kServiceStart, service_start);
+  trace.stamp_at(obs::Stage::kServiceDone, done_at);
   const uint64_t id = endpoint_->next_request_id_++;
 
   if (fault.kind == qat::FaultKind::kDrop) {
@@ -87,12 +129,12 @@ bool SimQatInstance::submit_with_status(
   // event for simplicity.
   endpoint_->sim_->schedule_at(
       done_at,
-      [this, id, op, done_at, status,
+      [this, id, op, done_at, status, trace,
        cb = std::move(on_retrieved)]() mutable {
         --ring_occupancy_;
         ++endpoint_->completed_;
-        ready_.push_back(
-            SimResponse{id, op, done_at, status, nullptr, std::move(cb)});
+        ready_.push_back(SimResponse{id, op, done_at, status, nullptr,
+                                     std::move(cb), trace});
       });
   return true;
 }
@@ -105,6 +147,14 @@ size_t SimQatInstance::poll(size_t max) {
     --inflight_total_;
     if (CostModel::is_asym(resp.op)) --inflight_asym_;
     ++got;
+    if (resp.trace.sampled) {
+      resp.trace.stamp_at(obs::Stage::kPollDrain, endpoint_->sim_->now());
+      obs::record_pipeline(
+          resp.trace, resp.request_id,
+          static_cast<int>(
+              qat::op_class_of(endpoint_->costs_->qat_kind(resp.op))),
+          /*sim=*/true);
+    }
     if (resp.on_retrieved_status)
       resp.on_retrieved_status(resp.status);
     else if (resp.on_retrieved)
@@ -124,11 +174,12 @@ size_t SimQatInstance::ready_count(SimTime now) const {
   return n;
 }
 
-SimTime SimQatEndpoint::dispatch(SimTime service) {
+SimTime SimQatEndpoint::dispatch(SimTime service, SimTime* start_out) {
   auto it = std::min_element(engine_free_.begin(), engine_free_.end());
   const SimTime start = std::max(sim_->now(), *it);
   *it = start + service;
   engine_busy_accum_ += service;
+  if (start_out) *start_out = start;
   return *it;
 }
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "qat/fault.h"
 #include "sim/costs.h"
 #include "sim/des.h"
@@ -26,6 +27,11 @@ struct SimResponse {
   // Status-aware form (fault-injected runs); runs instead of on_retrieved
   // when set.
   std::function<void(qat::CryptoStatus)> on_retrieved_status;
+  // Virtual-time lifecycle stamps (obs/trace.h): submit/enqueue at the
+  // submit call, claim/service-start at engine dispatch, service-done at
+  // completion — all in DES nanoseconds, so stage deltas are exactly the
+  // sim/costs.h model (tests/trace_sim_test.cc).
+  obs::TraceStamps trace;
 };
 
 class SimQatInstance {
@@ -99,8 +105,9 @@ class SimQatEndpoint {
  private:
   friend class SimQatInstance;
 
-  // Assign the earliest-free engine; returns completion time.
-  SimTime dispatch(SimTime service);
+  // Assign the earliest-free engine; returns completion time. When
+  // `start_out` is set it receives the service start time (engine claim).
+  SimTime dispatch(SimTime service, SimTime* start_out = nullptr);
 
   Simulator* sim_;
   const CostModel* costs_;

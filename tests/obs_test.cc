@@ -1,0 +1,344 @@
+// Observability-plane unit tests (src/obs): interning, shard-and-merge
+// under concurrency, snapshot-while-writing, the no-allocation recording
+// contract, lifecycle trace plumbing, and the live GET /stats endpoint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server_test_util.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: global operator new/delete tallies allocations so
+// the no-allocation recording contract is a hard regression, not a comment.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace qtls {
+namespace {
+
+#if !QTLS_OBS_ENABLED
+
+// Whole-tree -DQTLS_OBS=OFF build: the enabled-plane behaviors below are
+// compiled out (tests/obs_noop_test.cc covers the disabled contract).
+TEST(ObsTest, SkippedObservabilityBuiltOut) { SUCCEED(); }
+
+#else
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+// ------------------------------------------------------------ interning ----
+
+TEST(MetricsRegistry, InterningAssignsStableIds) {
+  MetricsRegistry reg;
+  obs::Counter a = reg.counter("requests");
+  obs::Counter b = reg.counter("errors");
+  obs::Counter a2 = reg.counter("requests");
+  EXPECT_EQ(a.id(), a2.id());
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(reg.num_counters(), 2u);
+
+  obs::Histogram h = reg.histogram("latency");
+  obs::Histogram h2 = reg.histogram("latency");
+  EXPECT_EQ(h.id(), h2.id());
+  EXPECT_EQ(reg.num_histograms(), 1u);
+
+  // Counter/gauge/histogram namespaces are independent.
+  obs::Gauge g = reg.gauge("requests");
+  (void)g;
+  EXPECT_EQ(reg.num_gauges(), 1u);
+  EXPECT_EQ(reg.num_counters(), 2u);
+}
+
+TEST(MetricsRegistry, RegistrationBeyondCapClampsToLastId) {
+  MetricsRegistry reg;
+  obs::Gauge last;
+  for (size_t i = 0; i < MetricsRegistry::kMaxGauges + 8; ++i)
+    last = reg.gauge("g" + std::to_string(i));
+  EXPECT_EQ(reg.num_gauges(), MetricsRegistry::kMaxGauges);
+  EXPECT_EQ(last.id(), static_cast<uint32_t>(MetricsRegistry::kMaxGauges - 1));
+  last.set(7);  // must not write out of bounds
+  (void)reg.snapshot();
+}
+
+// ---------------------------------------------------------- shard merge ----
+
+TEST(MetricsRegistry, ShardMergeAcrossEightThreads) {
+  MetricsRegistry reg;
+  obs::Counter ops = reg.counter("ops");
+  obs::Gauge queue = reg.gauge("queue_depth");
+  obs::Histogram lat = reg.histogram("lat");
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        ops.add(1);
+        lat.record(1'000 + i % 64);
+      }
+      queue.set(t);  // per-thread contribution; snapshot sums
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("ops"), kThreads * kPerThread);
+  const LatencyHistogram* h = snap.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  EXPECT_GE(h->max_nanos(), 1'000u);
+  EXPECT_EQ(reg.num_shards(), static_cast<size_t>(kThreads));
+  // Gauges sum across shards: 0+1+...+7.
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(MetricsRegistry, SnapshotWhileWriting) {
+  MetricsRegistry reg;
+  obs::Counter ops = reg.counter("ops");
+  obs::Histogram lat = reg.histogram("lat");
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> written{0};
+  std::thread writer([&] {
+    uint64_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ops.add(1);
+      lat.record(500);
+      ++n;
+    }
+    written.store(n, std::memory_order_release);
+  });
+
+  // Concurrent snapshots must observe monotonically non-decreasing,
+  // never-torn values per metric. (Different metrics are summed at
+  // different instants, so no cross-metric ordering is guaranteed.)
+  uint64_t prev_ops = 0, prev_lat = 0;
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    const uint64_t v = snap.counter_value("ops");
+    EXPECT_GE(v, prev_ops);
+    prev_ops = v;
+    const LatencyHistogram* h = snap.histogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_GE(h->count(), prev_lat);
+    prev_lat = h->count();
+  }
+  stop.store(true);
+  writer.join();
+
+  const MetricsSnapshot final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counter_value("ops"),
+            written.load(std::memory_order_acquire));
+  EXPECT_EQ(final_snap.histogram("lat")->count(),
+            written.load(std::memory_order_acquire));
+}
+
+TEST(MetricsRegistry, ResetZeroesAllCells) {
+  MetricsRegistry reg;
+  obs::Counter c = reg.counter("c");
+  obs::Histogram h = reg.histogram("h");
+  c.add(42);
+  h.record(1234);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("c"), 0u);
+  EXPECT_EQ(snap.histogram("h")->count(), 0u);
+}
+
+// ------------------------------------------------------- no-allocation ----
+
+TEST(MetricsRegistry, RecordPathDoesNotAllocate) {
+  MetricsRegistry reg;
+  obs::Counter c = reg.counter("hot_counter");
+  obs::Gauge g = reg.gauge("hot_gauge");
+  obs::Histogram h = reg.histogram("hot_hist");
+  // Warm-up: the first record on a thread creates its shard (the only
+  // allocation the record path may ever trigger).
+  c.add(1);
+  g.set(1);
+  h.record(1);
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < 50'000; ++i) {
+    c.add(1);
+    g.add(1);
+    h.record(i % 100'000);
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "metrics record path allocated";
+}
+
+TEST(LatencyHistogram, RecordAndSummaryDoNotAllocateOnRecordPath) {
+  LatencyHistogram h;
+  h.record(1);  // buckets are sized at construction; nothing grows later
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < 100'000; ++i) h.record(i);
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "LatencyHistogram::record allocated";
+  // summary() runs on the reader side and may allocate its string, but must
+  // not disturb recorded state.
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_EQ(h.count(), 100'001u);
+}
+
+// ----------------------------------------------------------- tracing ----
+
+TEST(Trace, SamplePeriodRoundsToPowerOfTwo) {
+  obs::set_trace_sample_period(3);
+  EXPECT_EQ(obs::trace_sample_period(), 4u);
+  obs::set_trace_sample_period(64);
+  EXPECT_EQ(obs::trace_sample_period(), 64u);
+  obs::set_trace_sample_period(0);
+  EXPECT_EQ(obs::trace_sample_period(), 0u);
+  obs::TraceStamps t;
+  obs::trace_begin(t);
+  EXPECT_FALSE(t.sampled);  // period 0: tracing disabled
+  obs::set_trace_sample_period(64);  // restore default
+}
+
+TEST(Trace, StampsAndRingRoundTrip) {
+  obs::set_trace_sample_period(1);
+  obs::trace_ring_clear();
+
+  obs::TraceStamps t;
+  obs::trace_begin_at(t, 100);
+  ASSERT_TRUE(t.sampled);
+  t.stamp_at(obs::Stage::kRingEnqueue, 100);
+  t.stamp_at(obs::Stage::kEngineClaim, 150);
+  t.stamp_at(obs::Stage::kServiceStart, 150);
+  t.stamp_at(obs::Stage::kServiceDone, 450);
+  t.stamp_at(obs::Stage::kPollDrain, 500);
+  obs::record_pipeline(t, /*request_id=*/77, /*op_class_idx=*/0,
+                       /*sim=*/true);
+
+  const auto records = obs::trace_ring_snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].request_id, 77u);
+  EXPECT_EQ(records[0].op_class, 0);
+  EXPECT_TRUE(records[0].sim);
+  EXPECT_EQ(records[0].ts[static_cast<size_t>(obs::Stage::kServiceDone)] -
+                records[0].ts[static_cast<size_t>(obs::Stage::kServiceStart)],
+            300u);
+
+  // The per-stage histograms got the deltas.
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const LatencyHistogram* service = snap.histogram("sim.qat.stage.service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_GE(service->count(), 1u);
+
+  obs::trace_ring_clear();
+  EXPECT_TRUE(obs::trace_ring_snapshot().empty());
+  obs::set_trace_sample_period(64);
+}
+
+TEST(Trace, UnsampledRequestsRecordNothing) {
+  obs::set_trace_sample_period(0);
+  obs::trace_ring_clear();
+  obs::TraceStamps t;
+  obs::trace_begin(t);
+  EXPECT_FALSE(t.sampled);
+  t.stamp_at(obs::Stage::kRingEnqueue, 5);  // no-op when unsampled
+  EXPECT_EQ(t[obs::Stage::kRingEnqueue], 0u);
+  obs::record_pipeline(t, 1, 0, false);
+  EXPECT_TRUE(obs::trace_ring_snapshot().empty());
+  obs::set_trace_sample_period(64);
+}
+
+// ------------------------------------------------------- GET /stats e2e ----
+
+TEST(StatsEndpoint, LiveWorkerServesStatsJson) {
+  using namespace qtls::server;
+  obs::set_trace_sample_period(1);  // deterministic: every op traced
+
+  qat::DeviceConfig dcfg;
+  dcfg.num_endpoints = 1;
+  dcfg.engines_per_endpoint = 8;
+  qat::QatDevice device(dcfg);
+
+  engine::QatEngineConfig qcfg;
+  qcfg.offload_mode = engine::OffloadMode::kAsync;
+  engine::QatEngineProvider qat(device.allocate_instance(), qcfg);
+
+  tls::TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.drbg_seed = 1;
+  scfg.async_mode = true;
+  tls::TlsContext server_ctx(scfg, &qat);
+  server_ctx.credentials().rsa_key = &test_rsa2048();
+  server_ctx.credentials().ecdsa_p256 = &test_ec_key_p256();
+  server_ctx.credentials().ecdsa_p384 = &test_ec_key_p384();
+
+  engine::SoftwareProvider client_provider(99);
+  tls::TlsContextConfig ccfg;
+  ccfg.drbg_seed = 2;
+  tls::TlsContext client_ctx(ccfg, &client_provider);
+
+  WorkerConfig wcfg;
+  wcfg.notify = NotifyScheme::kKernelBypass;
+  wcfg.poll = PollScheme::kHeuristic;
+  Worker worker(&server_ctx, &qat, wcfg);
+
+  client::Pool pool;
+  client::ClientOptions copts;
+  copts.path = "/stats";
+  copts.max_requests = 1;
+  pool.add(std::make_unique<client::HttpsClient>(
+      &client_ctx, testutil::socketpair_connector(&worker), copts));
+
+  ASSERT_TRUE(testutil::run_to_completion(&worker, &pool));
+  ASSERT_EQ(pool.aggregate().errors, 0u);
+  EXPECT_EQ(worker.stats().requests_served, 1u);
+
+  client::HttpsClient* c = pool.clients().front().get();
+  const std::string body(c->last_body().begin(), c->last_body().end());
+  // Worker counters, engine fault/fallback counters, breaker states, and
+  // the registry snapshot (per-stage histograms) are all present.
+  EXPECT_NE(body.find("\"worker\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"requests_served\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"engine\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"sw_fallbacks\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"breaker\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"asym\":\"closed\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"metrics\""), std::string::npos) << body;
+  EXPECT_NE(body.find("qat.engine.submitted"), std::string::npos) << body;
+  // The handshake offloaded at least one op with tracing on, so the
+  // real-plane per-stage histograms exist in the snapshot.
+  EXPECT_NE(body.find("qat.stage.total"), std::string::npos) << body;
+  obs::set_trace_sample_period(64);
+}
+
+#endif  // QTLS_OBS_ENABLED
+
+}  // namespace
+}  // namespace qtls

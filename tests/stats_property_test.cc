@@ -1,0 +1,154 @@
+// Property tests for the LatencyHistogram the observability plane leans on:
+// percentile queries stay inside the documented ~2.4% relative-error bound
+// (bucket-midpoint answers are in fact within half a bucket, ~1.54%), and
+// merge() / merge_counts() are exactly equivalent to recording the union.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace qtls {
+namespace {
+
+// The documented relative-error bound for percentile queries (half a bucket
+// width at kSubBits=5 is (1/64)/(1+1/64) ~ 1.54%; the public contract says
+// ~2.4%).
+constexpr double kRelErrorBound = 0.024;
+
+double rel_error(uint64_t reported, uint64_t exact) {
+  if (exact == 0) return reported == 0 ? 0.0 : 1.0;
+  return std::abs(static_cast<double>(reported) -
+                  static_cast<double>(exact)) /
+         static_cast<double>(exact);
+}
+
+uint64_t exact_percentile(const std::vector<uint64_t>& sorted, double p) {
+  // Mirrors LatencyHistogram's rank convention: the first element whose
+  // 1-based cumulative count reaches p/100 * n.
+  const double target = p / 100.0 * static_cast<double>(sorted.size());
+  uint64_t seen = 0;
+  for (const uint64_t v : sorted) {
+    if (static_cast<double>(++seen) >= target) return v;
+  }
+  return sorted.back();
+}
+
+TEST(StatsProperty, PercentilesWithinDocumentedBound) {
+  Rng rng(0x51a75);
+  // Several distributions spanning the histogram's range: uniform,
+  // exponential-ish (via squaring), and bimodal latencies.
+  for (int dist = 0; dist < 3; ++dist) {
+    LatencyHistogram h;
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 20'000; ++i) {
+      uint64_t v = 0;
+      const double u = rng.uniform01();
+      switch (dist) {
+        case 0: v = 1 + static_cast<uint64_t>(u * 1e6); break;        // µs-ish
+        case 1: v = 1 + static_cast<uint64_t>(u * u * u * 1e9); break; // tail
+        case 2:  // bimodal: fast path vs stall
+          v = (i % 10 == 0) ? 8'000'000 + static_cast<uint64_t>(u * 1e6)
+                            : 500 + static_cast<uint64_t>(u * 1000);
+          break;
+      }
+      samples.push_back(v);
+      h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0,
+                           99.9}) {
+      const uint64_t exact = exact_percentile(samples, p);
+      const uint64_t got = h.percentile_nanos(p);
+      EXPECT_LE(rel_error(got, exact), kRelErrorBound)
+          << "dist=" << dist << " p=" << p << " exact=" << exact
+          << " got=" << got;
+    }
+    EXPECT_EQ(h.count(), samples.size());
+    EXPECT_EQ(h.max_nanos(), samples.back());
+  }
+}
+
+TEST(StatsProperty, SmallValuesAreExact) {
+  // Values below 2^(kSubBits+1) land in width-1 buckets: percentiles are
+  // exact there, not just within the bound.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 63; ++v) h.record(v);
+  EXPECT_EQ(h.percentile_nanos(50), 32u);
+  EXPECT_EQ(h.percentile_nanos(100), 63u);
+}
+
+TEST(StatsProperty, MergeEqualsRecordingTheUnion) {
+  Rng rng(0xabcdef);
+  LatencyHistogram a, b, unioned;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t va = 1 + static_cast<uint64_t>(rng.uniform01() * 1e8);
+    const uint64_t vb = 1 + static_cast<uint64_t>(rng.uniform01() * 1e5);
+    a.record(va);
+    b.record(vb);
+    unioned.record(va);
+    unioned.record(vb);
+  }
+  LatencyHistogram merged = a;
+  merged.merge(b);
+
+  EXPECT_EQ(merged.count(), unioned.count());
+  EXPECT_EQ(merged.max_nanos(), unioned.max_nanos());
+  EXPECT_DOUBLE_EQ(merged.mean_nanos(), unioned.mean_nanos());
+  // Bucketed state is identical, so every percentile agrees exactly.
+  for (double p = 0.5; p <= 100.0; p += 0.5)
+    EXPECT_EQ(merged.percentile_nanos(p), unioned.percentile_nanos(p)) << p;
+}
+
+TEST(StatsProperty, MergeCountsEqualsMerge) {
+  // merge_counts() (the obs registry's shard-merge path) must agree with
+  // merge() given the same bucket geometry.
+  Rng rng(0x777);
+  std::vector<uint64_t> cells(LatencyHistogram::kNumBuckets, 0);
+  uint64_t count = 0, sum = 0, max = 0;
+  LatencyHistogram direct;
+  for (int i = 0; i < 5'000; ++i) {
+    const uint64_t v = 1 + static_cast<uint64_t>(rng.uniform01() * 1e7);
+    direct.record(v);
+    ++cells[LatencyHistogram::bucket_index(v)];
+    ++count;
+    sum += v;
+    max = std::max(max, v);
+  }
+  LatencyHistogram rebuilt;
+  rebuilt.merge_counts(cells.data(), cells.size(), count, sum, max);
+
+  EXPECT_EQ(rebuilt.count(), direct.count());
+  EXPECT_EQ(rebuilt.max_nanos(), direct.max_nanos());
+  EXPECT_DOUBLE_EQ(rebuilt.mean_nanos(), direct.mean_nanos());
+  for (const double p : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(rebuilt.percentile_nanos(p), direct.percentile_nanos(p));
+
+  // A truncated cell array (missing empty tail) is accepted.
+  LatencyHistogram truncated;
+  truncated.merge_counts(cells.data(), cells.size() / 2, 0, 0, 0);
+  (void)truncated;
+}
+
+TEST(StatsProperty, BucketGeometryRoundTrips) {
+  // bucket_low(bucket_index(v)) <= v for all v, and bucket boundaries map to
+  // themselves.
+  Rng rng(0x9e3779b9);
+  for (int i = 0; i < 100'000; ++i) {
+    const uint64_t v =
+        1 + static_cast<uint64_t>(rng.uniform01() * 1.8e18);
+    const size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    EXPECT_LE(LatencyHistogram::bucket_low(idx), v);
+    if (idx + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_GT(LatencyHistogram::bucket_low(idx + 1), v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qtls
