@@ -3,6 +3,7 @@
 // gain grows with the full-handshake percentage (1.3x at 0% full to 5.5x at
 // 100%, which the extra sweep at the bottom shows).
 #include "figlib.h"
+#include "resumption_multiworker.h"
 
 using namespace qtls;
 using namespace qtls::bench;
@@ -59,5 +60,17 @@ int main() {
                    format_double(qtls / sw, 2) + "x"});
   }
   std::printf("%s", sweep.render().c_str());
-  return 0;
+
+  // Cross-worker variant on the real stack with session tickets and the
+  // figure's 1:9 full:abbreviated mix: tickets sealed by one worker's
+  // context unseal on any other because the key ring is pool-wide.
+  std::printf("\nCross-worker resumption (real stack, session tickets):\n");
+  const CrossWorkerResult x = run_cross_worker_resumption(
+      "fig9b", /*workers=*/4, /*session_tickets=*/true,
+      /*full_handshake_ratio=*/0.1, /*clients=*/32,
+      /*requests_per_client=*/8);
+  std::printf("  workers_hit=%d offered=%llu resumed=%llu hit_rate=%.1f%%\n",
+              x.workers_hit, static_cast<unsigned long long>(x.offered),
+              static_cast<unsigned long long>(x.resumed), x.hit_rate * 100.0);
+  return x.errors == 0 && x.hit_rate > 0.9 ? 0 : 1;
 }

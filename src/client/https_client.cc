@@ -43,6 +43,7 @@ void HttpsClient::open_connection() {
       rng_.uniform01() >= options_.full_handshake_ratio) {
     tls_->offer_session(*session_);
     offered_resumption_ = true;
+    ++stats_.offered;
   }
   state_ = State::kHandshake;
   request_start_ns_ = now_ns();
@@ -181,6 +182,7 @@ ClientStats Pool::aggregate() const {
   for (const auto& c : clients_) {
     const ClientStats& s = c->stats();
     total.connections += s.connections;
+    total.offered += s.offered;
     total.resumed += s.resumed;
     total.requests += s.requests;
     total.bytes_received += s.bytes_received;

@@ -38,7 +38,8 @@ struct ClientOptions {
 
 struct ClientStats {
   uint64_t connections = 0;        // completed handshakes
-  uint64_t resumed = 0;
+  uint64_t offered = 0;            // connections that offered resumption
+  uint64_t resumed = 0;            // offers the server actually accepted
   uint64_t requests = 0;           // completed request/response pairs
   uint64_t bytes_received = 0;
   uint64_t errors = 0;

@@ -18,6 +18,40 @@ Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
   if (out.worker_processes < 1)
     return err(Code::kInvalidArgument, "worker_processes must be >= 1");
 
+  // session_cache{} shapes the shared resumption plane; parsed before the
+  // ssl_engine block so a software-only configuration still gets it.
+  if (const ConfBlock* sc = root.find_block("session_cache")) {
+    const int64_t shards = sc->get_int(
+        "shards", static_cast<int64_t>(out.session.cache_shards));
+    if (shards < 1 || shards > 4096)
+      return err(Code::kInvalidArgument, "session_cache shards out of range");
+    out.session.cache_shards = static_cast<size_t>(shards);
+    const int64_t capacity = sc->get_int(
+        "capacity", static_cast<int64_t>(out.session.cache_capacity));
+    if (capacity < 0)
+      return err(Code::kInvalidArgument, "session_cache capacity < 0");
+    out.session.cache_capacity = static_cast<size_t>(capacity);
+    const int64_t lifetime = sc->get_int(
+        "lifetime_ms", static_cast<int64_t>(out.session.lifetime_ms));
+    if (lifetime < 1)
+      return err(Code::kInvalidArgument, "session_cache lifetime_ms < 1");
+    out.session.lifetime_ms = static_cast<uint64_t>(lifetime);
+    const int64_t rotate = sc->get_int(
+        "ticket_rotate_interval_ms",
+        static_cast<int64_t>(out.session.ticket_rotate_interval_ms));
+    if (rotate < 0)
+      return err(Code::kInvalidArgument,
+                 "session_cache ticket_rotate_interval_ms < 0");
+    out.session.ticket_rotate_interval_ms = static_cast<uint64_t>(rotate);
+    const int64_t accept = sc->get_int(
+        "ticket_accept_epochs",
+        static_cast<int64_t>(out.session.ticket_accept_epochs));
+    if (accept < 0 || accept > 64)
+      return err(Code::kInvalidArgument,
+                 "session_cache ticket_accept_epochs out of range");
+    out.session.ticket_accept_epochs = static_cast<uint32_t>(accept);
+  }
+
   const ConfBlock* engine_block = root.find_block("ssl_engine");
   if (!engine_block) return out;  // software-only configuration
 

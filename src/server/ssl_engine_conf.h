@@ -14,6 +14,13 @@
 //           qat_heuristic_poll_sym_threshold 24;
 //       }
 //   }
+//   session_cache {
+//       shards 16;                         # sharded cross-worker cache
+//       capacity 10000;
+//       lifetime_ms 3600000;
+//       ticket_rotate_interval_ms 900000;  # ticket-key epoch length
+//       ticket_accept_epochs 1;            # current + N previous keys
+//   }
 #pragma once
 
 #include <chrono>
@@ -22,6 +29,7 @@
 #include "common/conf.h"
 #include "engine/qat_engine.h"
 #include "server/heuristic_poller.h"
+#include "tls/session_plane.h"
 
 namespace qtls::server {
 
@@ -44,9 +52,12 @@ struct SslEngineSettings {
   PollScheme poll = PollScheme::kHeuristic;
   std::chrono::microseconds timer_interval{10};
   HeuristicPollerConfig heuristic;
+  // The shared resumption plane (session_cache{} block).
+  tls::SessionPlaneConfig session;
 };
 
-// Parses the root config block (worker_processes + ssl_engine{}).
+// Parses the root config block (worker_processes + ssl_engine{} +
+// session_cache{}).
 Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root);
 Result<SslEngineSettings> parse_ssl_engine_settings(const std::string& text);
 

@@ -401,6 +401,8 @@ std::string Worker::stats_json() const {
        << ",\"timeliness_triggers\":" << p->timeliness_triggers
        << ",\"failover_triggers\":" << p->failover_triggers << "}";
   }
+  os << ",\"session\":"
+     << tls_ctx_->session_plane().stats_json(tls_ctx_->now_ms());
   os << ",\"metrics\":" << obs::MetricsRegistry::global().snapshot().to_json()
      << "}";
   return os.str();

@@ -17,6 +17,22 @@ WorkerPool::~WorkerPool() { stop(); }
 
 Status WorkerPool::start(uint16_t port) {
   if (started_) return err(Code::kFailedPrecondition, "already started");
+
+  // One resumption plane for the whole pool, seeded from the BASE config
+  // seed (per-worker contexts get perturbed seeds below, which is exactly
+  // why per-context ticket keys could never unseal across workers).
+  {
+    tls::SessionPlaneConfig pcfg;
+    pcfg.cache_shards = options_.tls_config.session_cache_shards;
+    pcfg.cache_capacity = options_.tls_config.session_cache_capacity;
+    pcfg.lifetime_ms = options_.tls_config.session_lifetime_ms;
+    pcfg.ticket_rotate_interval_ms =
+        options_.tls_config.ticket_rotate_interval_ms;
+    pcfg.ticket_accept_epochs = options_.tls_config.ticket_accept_epochs;
+    pcfg.seed = options_.tls_config.drbg_seed;
+    session_plane_ = std::make_unique<tls::SessionPlane>(pcfg);
+  }
+
   for (int i = 0; i < options_.workers; ++i) {
     auto cell = std::make_unique<Cell>();
 
@@ -35,6 +51,7 @@ Status WorkerPool::start(uint16_t port) {
     tcfg.is_server = true;
     tcfg.drbg_seed ^= static_cast<uint64_t>(i + 1) * 0xc2b2ae3d27d4eb4fULL;
     cell->ctx = std::make_unique<tls::TlsContext>(tcfg, cell->engine.get());
+    cell->ctx->set_session_plane(session_plane_.get());
     cell->ctx->credentials().rsa_key = rsa_key_;
     cell->ctx->credentials().ecdsa_p256 = &test_ec_key_p256();
     cell->ctx->credentials().ecdsa_p384 = &test_ec_key_p384();
@@ -101,6 +118,11 @@ WorkerPoolStats WorkerPool::stats() const {
     out.totals.async_parks += s.async_parks;
     out.per_worker_handshakes.push_back(s.handshakes_completed);
   }
+  if (session_plane_) {
+    out.session_hits = session_plane_->cache().hits();
+    out.session_misses = session_plane_->cache().misses();
+    out.tickets_unsealed = session_plane_->tickets().unseal_ok();
+  }
   return out;
 }
 
@@ -112,6 +134,8 @@ std::string WorkerPool::stats_text() const {
      << " requests=" << s.totals.requests_served
      << " errors=" << s.totals.errors
      << " async_parks=" << s.totals.async_parks << '\n';
+  os << "session: hits=" << s.session_hits << " misses=" << s.session_misses
+     << " tickets_unsealed=" << s.tickets_unsealed << '\n';
   os << obs::MetricsRegistry::global().snapshot().to_text();
   return os.str();
 }

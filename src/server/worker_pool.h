@@ -32,6 +32,10 @@ struct WorkerPoolOptions {
 struct WorkerPoolStats {
   WorkerStats totals;
   std::vector<uint64_t> per_worker_handshakes;
+  // Shared resumption plane (one cache/ring for the whole pool).
+  uint64_t session_hits = 0;
+  uint64_t session_misses = 0;
+  uint64_t tickets_unsealed = 0;
 };
 
 class WorkerPool {
@@ -53,6 +57,11 @@ class WorkerPool {
   int workers() const { return static_cast<int>(cells_.size()); }
   WorkerPoolStats stats() const;
 
+  // The pool-wide resumption plane every worker's context points at; a
+  // session established on any worker resumes on any other.
+  tls::SessionPlane& session_plane() { return *session_plane_; }
+  const tls::SessionPlane& session_plane() const { return *session_plane_; }
+
   // Human-readable dump: pool totals followed by the global metrics
   // registry (per-stage histograms, fault counters). What the periodic
   // dump thread logs; also usable on demand.
@@ -69,6 +78,7 @@ class WorkerPool {
   qat::QatDevice* device_;
   const RsaPrivateKey* rsa_key_;
   WorkerPoolOptions options_;
+  std::unique_ptr<tls::SessionPlane> session_plane_;
   std::vector<std::unique_ptr<Cell>> cells_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;

@@ -296,9 +296,10 @@ TlsResult TlsConnection::server_on_client_hello(const HandshakeHeader& msg) {
     // psk_dhe_ke resumption: a valid ticket supplies the PSK; the handshake
     // still runs ECDHE (forward secrecy) but skips certificate/signature.
     if (!hello.session_ticket.empty()) {
-      auto state = ctx_->tickets().unseal(hello.session_ticket, ctx_->now_ms());
-      if (state.is_ok() && state.value().suite == suite_)
-        return server_step13(hello, state.value().master_secret);
+      auto unsealed =
+          ctx_->tickets().unseal(hello.session_ticket, ctx_->now_ms());
+      if (unsealed.is_ok() && unsealed.value().state.suite == suite_)
+        return server_step13(hello, unsealed.value().state.master_secret);
     }
     return server_step13(hello, {});
   }
@@ -307,9 +308,9 @@ TlsResult TlsConnection::server_on_client_hello(const HandshakeHeader& msg) {
   // Resumption: ticket first (self-contained), then the session-ID cache.
   const uint64_t now = ctx_->now_ms();
   if (!hello.session_ticket.empty()) {
-    auto state = ctx_->tickets().unseal(hello.session_ticket, now);
-    if (state.is_ok() && state.value().suite == suite_)
-      return server_resume_flight(hello, state.value());
+    auto unsealed = ctx_->tickets().unseal(hello.session_ticket, now);
+    if (unsealed.is_ok() && unsealed.value().state.suite == suite_)
+      return server_resume_flight(hello, unsealed.value().state);
   }
   if (hello.session_id.size() == kSessionIdSize) {
     auto state = ctx_->session_cache().get(hello.session_id, now);
@@ -418,10 +419,13 @@ TlsResult TlsConnection::server_resume_flight(const ClientHello& hello,
     return TlsResult::kError;
 
   if (ctx_->config().use_session_tickets) {
-    // Refresh the ticket so its lifetime restarts (standard practice).
+    // Re-seal under the current ticket-key epoch, but carry the ORIGINAL
+    // creation time forward: the total master-secret lifetime is capped
+    // from first establishment, not from the latest resumption.
     SessionState fresh;
     fresh.suite = suite_;
     fresh.master_secret = master_secret_;
+    fresh.created_at_ms = session.created_at_ms;
     NewSessionTicketMsg nst;
     nst.ticket = ctx_->tickets().seal(fresh, ctx_->now_ms(), ctx_->rng());
     if (!send_handshake(HandshakeType::kNewSessionTicket, nst.encode())

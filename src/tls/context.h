@@ -1,6 +1,9 @@
 // TlsContext: per-role (server/client) long-lived configuration — the
-// SSL_CTX analogue. Owns credentials, cipher preferences, the session cache
-// / ticket keys, and the crypto provider binding (software or QAT engine).
+// SSL_CTX analogue. Owns credentials, cipher preferences, the crypto
+// provider binding (software or QAT engine), and a resumption plane
+// (session cache + ticket key ring). A standalone context owns a private
+// plane; a WorkerPool points every worker's context at one shared plane so
+// sessions resume across workers.
 #pragma once
 
 #include <functional>
@@ -10,6 +13,7 @@
 #include "crypto/keystore.h"
 #include "engine/provider.h"
 #include "tls/session.h"
+#include "tls/session_plane.h"
 #include "tls/types.h"
 
 namespace qtls::tls {
@@ -32,6 +36,12 @@ struct TlsContextConfig {
   // Server: issue session tickets (else session-ID cache only).
   bool use_session_tickets = false;
   uint64_t session_lifetime_ms = 3'600'000;
+  // Resumption-plane shape (used when the context builds its own plane; a
+  // pool-shared plane is configured by the pool instead).
+  size_t session_cache_shards = 16;
+  size_t session_cache_capacity = 10'000;
+  uint64_t ticket_rotate_interval_ms = 900'000;
+  uint32_t ticket_accept_epochs = 1;
   uint64_t drbg_seed = 0x746c73637478ULL;
 };
 
@@ -46,8 +56,17 @@ class TlsContext {
   ServerCredentials& credentials() { return creds_; }
   const ServerCredentials& credentials() const { return creds_; }
 
-  SessionCache& session_cache() { return session_cache_; }
-  const TicketKeeper& tickets() const { return tickets_; }
+  // Resumption plane: private by default, pool-shared after
+  // set_session_plane(). The caller must keep a shared plane alive for the
+  // lifetime of every context pointed at it.
+  SessionPlane& session_plane() { return *plane_; }
+  const SessionPlane& session_plane() const { return *plane_; }
+  void set_session_plane(SessionPlane* plane) {
+    plane_ = plane != nullptr ? plane : owned_plane_.get();
+  }
+
+  ShardedSessionCache& session_cache() { return plane_->cache(); }
+  const TicketKeyRing& tickets() const { return plane_->tickets(); }
   HmacDrbg& rng() { return rng_; }
 
   // Injectable clock (milliseconds) so session expiry is testable.
@@ -62,8 +81,8 @@ class TlsContext {
   TlsContextConfig config_;
   engine::CryptoProvider* provider_;
   ServerCredentials creds_;
-  SessionCache session_cache_;
-  TicketKeeper tickets_;
+  std::unique_ptr<SessionPlane> owned_plane_;
+  SessionPlane* plane_;  // == owned_plane_.get() unless pool-shared
   HmacDrbg rng_;
   std::function<uint64_t()> clock_;
 };

@@ -9,10 +9,33 @@ namespace {
 std::string key_of(const Bytes& id) {
   return std::string(id.begin(), id.end());
 }
+
+// Bounded probe window for expired-first eviction (see evict_one).
+constexpr int kEvictProbes = 8;
 }  // namespace
+
+void SessionCache::evict_one(uint64_t now_ms) {
+  if (lru_.empty()) return;
+  // Prefer evicting an expired entry over the LRU-tail live one. Expired
+  // entries drift toward the tail (get() removes any it touches and
+  // refreshes live ones), so a bounded probe from the tail finds them
+  // without an O(n) sweep on every insert.
+  auto victim = std::prev(lru_.end());
+  int probes = kEvictProbes;
+  for (auto rit = lru_.rbegin(); rit != lru_.rend() && probes-- > 0; ++rit) {
+    if (expired(map_.find(*rit)->second.state, now_ms)) {
+      victim = std::prev(rit.base());
+      break;
+    }
+  }
+  map_.erase(*victim);
+  lru_.erase(victim);
+  ++evictions_;
+}
 
 void SessionCache::put(const Bytes& session_id, SessionState state,
                        uint64_t now_ms) {
+  if (capacity_ == 0) return;  // cache disabled: never hold an entry
   state.created_at_ms = now_ms;
   const std::string key = key_of(session_id);
   auto it = map_.find(key);
@@ -22,10 +45,7 @@ void SessionCache::put(const Bytes& session_id, SessionState state,
     it->second = Entry{std::move(state), lru_.begin()};
     return;
   }
-  if (map_.size() >= capacity_ && !lru_.empty()) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
-  }
+  if (map_.size() >= capacity_) evict_one(now_ms);
   lru_.push_front(key);
   map_.emplace(key, Entry{std::move(state), lru_.begin()});
 }
@@ -38,7 +58,7 @@ std::optional<SessionState> SessionCache::get(const Bytes& session_id,
     return std::nullopt;
   }
   const SessionState& state = it->second.state;
-  if (now_ms - state.created_at_ms > lifetime_ms_) {
+  if (expired(state, now_ms)) {
     lru_.erase(it->second.lru_it);
     map_.erase(it);
     ++misses_;
@@ -70,9 +90,14 @@ TicketKeeper::TicketKeeper(BytesView key_seed, uint64_t lifetime_ms)
 
 Bytes TicketKeeper::seal(const SessionState& state, uint64_t now_ms,
                          HmacDrbg& iv_rng) const {
+  // A refreshed ticket (resumption) carries the ORIGINAL creation time so
+  // the total master-secret lifetime stays capped; only genuinely new state
+  // (created_at_ms == 0) is stamped with now.
+  const uint64_t created_at =
+      state.created_at_ms != 0 ? state.created_at_ms : now_ms;
   Bytes plain;
   append_u16(plain, static_cast<uint16_t>(state.suite));
-  append_u64(plain, now_ms);
+  append_u64(plain, created_at);
   append_u16(plain, static_cast<uint16_t>(state.master_secret.size()));
   append(plain, state.master_secret);
   // PKCS7-ish pad to block size.
@@ -97,6 +122,9 @@ Result<SessionState> TicketKeeper::unseal(BytesView ticket,
   constexpr size_t kIvLen = 16;
   if (ticket.size() < kIvLen + 16 + kTagLen)
     return err(Code::kCryptoError, "ticket too short");
+  // The ciphertext must be whole AES blocks; check before decrypting.
+  if ((ticket.size() - kIvLen - kTagLen) % 16 != 0)
+    return err(Code::kCryptoError, "ticket ciphertext not block-aligned");
   BytesView body = ticket.subspan(0, ticket.size() - kTagLen);
   BytesView tag = ticket.subspan(ticket.size() - kTagLen);
   if (!ct_equal(tag, hmac(HashAlg::kSha256, mac_key_, body)))
@@ -106,9 +134,16 @@ Result<SessionState> TicketKeeper::unseal(BytesView ticket,
   QTLS_ASSIGN_OR_RETURN(
       Bytes plain,
       aes_cbc_decrypt(aes, body.subspan(0, kIvLen), body.subspan(kIvLen)));
-  if (plain.empty() || plain.back() > 16 || plain.back() == 0)
+  if (plain.empty()) return err(Code::kCryptoError, "bad ticket padding");
+  const uint8_t pad = plain.back();
+  if (pad == 0 || pad > 16 || plain.size() < pad)
     return err(Code::kCryptoError, "bad ticket padding");
-  plain.resize(plain.size() - plain.back());
+  // Verify every pad byte (not just the last) in constant time.
+  uint8_t diff = 0;
+  for (size_t i = plain.size() - pad; i < plain.size(); ++i)
+    diff = static_cast<uint8_t>(diff | (plain[i] ^ pad));
+  if (diff != 0) return err(Code::kCryptoError, "bad ticket padding");
+  plain.resize(plain.size() - pad);
 
   ByteReader r(plain);
   SessionState state;
@@ -116,7 +151,10 @@ Result<SessionState> TicketKeeper::unseal(BytesView ticket,
   state.created_at_ms = r.u64();
   state.master_secret = r.bytes(r.u16());
   if (!r.ok()) return err(Code::kCryptoError, "bad ticket body");
-  if (now_ms - state.created_at_ms > lifetime_ms_)
+  // Age clamps to 0 when the ticket is dated ahead of our clock (skew
+  // between workers, virtual-time restart) — underflow must not expire it.
+  if (now_ms >= state.created_at_ms &&
+      now_ms - state.created_at_ms > lifetime_ms_)
     return err(Code::kFailedPrecondition, "ticket expired");
   return state;
 }

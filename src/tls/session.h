@@ -4,6 +4,14 @@
 //    so resumption needs no server-side store.
 // Lifetimes are enforced (the paper notes providers restrict ticket
 // lifetimes, generally under an hour, to bound the forward-secrecy loss).
+// The lifetime is measured from when the session state was FIRST
+// established: re-sealing a ticket on resumption must carry the original
+// created_at_ms forward, so a chatty client cannot keep one master secret
+// alive indefinitely by resuming just before every expiry.
+//
+// These are the single-threaded building blocks; the process-wide sharded
+// cache and rotating key ring that multiple workers share live in
+// tls/session_plane.h and are built out of them.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +34,10 @@ struct SessionState {
 };
 
 // LRU session-ID cache with TTL. Single-threaded by design: one cache per
-// worker process, like Nginx's per-worker session cache default.
+// shard (tls/session_plane.h), each shard guarded by its own mutex.
+// Expiry clamps clock skew: an entry dated in the future (virtual-time
+// restart, cross-worker skew) has age 0, it is never treated as expired by
+// unsigned underflow. Eviction prefers expired entries over the LRU tail.
 class SessionCache {
  public:
   explicit SessionCache(size_t capacity = 10'000,
@@ -40,6 +51,7 @@ class SessionCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -47,23 +59,36 @@ class SessionCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  bool expired(const SessionState& state, uint64_t now_ms) const {
+    // Future-dated entries clamp to age 0 rather than underflowing.
+    return now_ms >= state.created_at_ms &&
+           now_ms - state.created_at_ms > lifetime_ms_;
+  }
+  void evict_one(uint64_t now_ms);
+
   size_t capacity_;
   uint64_t lifetime_ms_;
   std::unordered_map<std::string, Entry> map_;
   std::list<std::string> lru_;  // front = most recent
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 // Session tickets: seal/unseal SessionState under a ticket key (AES-128-CBC
-// + HMAC-SHA256, like the RFC 5077 recommended construction).
+// + HMAC-SHA256, like the RFC 5077 recommended construction). One keeper is
+// one key; the epoch-rotating ring (tls/session_plane.h) owns several.
 class TicketKeeper {
  public:
   explicit TicketKeeper(BytesView key_seed, uint64_t lifetime_ms = 3'600'000);
 
+  // Seals with created_at = state.created_at_ms when set (ticket refresh on
+  // resumption keeps the original establishment time), else now_ms.
   Bytes seal(const SessionState& state, uint64_t now_ms, HmacDrbg& iv_rng) const;
-  // Fails on tamper or expiry.
+  // Fails on tamper or expiry (age clamps to 0 for future-dated tickets).
   Result<SessionState> unseal(BytesView ticket, uint64_t now_ms) const;
+
+  uint64_t lifetime_ms() const { return lifetime_ms_; }
 
  private:
   Bytes enc_key_;

@@ -1,0 +1,467 @@
+// Resumption-plane tests (ctest label "session"): the four session-lifetime
+// /eviction bugfix regressions, the sharded cache under concurrency, the
+// rotating ticket-key ring matrix, and end-to-end cross-worker resumption
+// through a WorkerPool's shared plane.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "client/https_client.h"
+#include "crypto/aes.h"
+#include "crypto/hash.h"
+#include "crypto/keystore.h"
+#include "server/ssl_engine_conf.h"
+#include "server/worker_pool.h"
+#include "tls/session_plane.h"
+#include "tls_test_util.h"
+
+namespace qtls::tls {
+namespace {
+
+using testutil::pump_handshake;
+
+SessionState make_state(uint8_t fill = 0xab) {
+  SessionState state;
+  state.suite = CipherSuite::kEcdheRsaWithAes128CbcSha;
+  state.master_secret.assign(48, fill);
+  return state;
+}
+
+Bytes id_of(uint32_t n) {
+  Bytes id(kSessionIdSize, 0);
+  id[0] = static_cast<uint8_t>(n);
+  id[1] = static_cast<uint8_t>(n >> 8);
+  id[2] = static_cast<uint8_t>(n >> 16);
+  id[3] = static_cast<uint8_t>(n >> 24);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix 1: re-sealing a ticket on resumption must NOT restart its lifetime.
+
+struct TicketPair {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider server_provider{1};
+  engine::SoftwareProvider client_provider{2};
+  std::unique_ptr<TlsContext> server_ctx;
+  std::unique_ptr<TlsContext> client_ctx;
+  std::unique_ptr<TlsConnection> server;
+  std::unique_ptr<TlsConnection> client;
+
+  TicketPair() {
+    TlsContextConfig scfg;
+    scfg.is_server = true;
+    scfg.cipher_suites = {CipherSuite::kEcdheRsaWithAes128CbcSha};
+    scfg.use_session_tickets = true;
+    // Park the key ring in epoch 0 for the whole test so only the ticket
+    // LIFETIME decides acceptance, not key rotation.
+    scfg.ticket_rotate_interval_ms = 1ULL << 40;
+    scfg.drbg_seed = 111;
+    server_ctx = std::make_unique<TlsContext>(scfg, &server_provider);
+    server_ctx->credentials().rsa_key = &test_rsa2048();
+
+    TlsContextConfig ccfg;
+    ccfg.cipher_suites = scfg.cipher_suites;
+    ccfg.drbg_seed = 222;
+    client_ctx = std::make_unique<TlsContext>(ccfg, &client_provider);
+    reset_connections();
+  }
+
+  void reset_connections() {
+    server = std::make_unique<TlsConnection>(server_ctx.get(), &pipe.b());
+    client = std::make_unique<TlsConnection>(client_ctx.get(), &pipe.a());
+  }
+};
+
+TEST(TicketLifetime, ResumptionDoesNotExtendLifetime) {
+  TicketPair pair;
+  uint64_t fake_now = 1'000'000;
+  pair.server_ctx->set_clock([&fake_now] { return fake_now; });
+  const uint64_t lifetime = pair.server_ctx->config().session_lifetime_ms;
+
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  auto session = pair.client->established_session();
+  ASSERT_TRUE(session.has_value());
+  ASSERT_FALSE(session->ticket.empty());
+
+  // Resume at 3/4 of the lifetime: accepted, and the server issues a
+  // refreshed ticket. The refreshed ticket must carry the ORIGINAL creation
+  // time forward.
+  fake_now += lifetime * 3 / 4;
+  pair.reset_connections();
+  pair.client->offer_session(*session);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  ASSERT_TRUE(pair.server->resumed_session());
+  session = pair.client->established_session();
+  ASSERT_TRUE(session.has_value());
+  ASSERT_FALSE(session->ticket.empty());
+
+  // Another 3/4 lifetime later the cumulative age exceeds the cap, so the
+  // refreshed ticket must be rejected and the handshake falls back to full.
+  // (Pre-fix, every refresh restarted the clock and a chatty client could
+  // keep one master secret alive forever.)
+  fake_now += lifetime * 3 / 4;
+  pair.reset_connections();
+  pair.client->offer_session(*session);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  EXPECT_FALSE(pair.server->resumed_session());
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix 2: expiry checks must clamp, not underflow, when the clock reads
+// EARLIER than the entry's creation time (cross-worker skew, sim restart).
+
+TEST(SessionCacheExpiry, FutureDatedEntryIsNotExpired) {
+  SessionCache cache(16, /*lifetime_ms=*/1000);
+  cache.put(id_of(1), make_state(), /*now_ms=*/10'000);
+  // Clock behind creation: age clamps to 0. Pre-fix the unsigned
+  // subtraction wrapped to ~2^64 and the live entry was dropped.
+  EXPECT_TRUE(cache.get(id_of(1), /*now_ms=*/5'000).has_value());
+  // Normal forward expiry is unchanged.
+  EXPECT_TRUE(cache.get(id_of(1), 11'000).has_value());
+  EXPECT_FALSE(cache.get(id_of(1), 11'001).has_value());
+}
+
+TEST(TicketExpiry, FutureDatedTicketIsNotExpired) {
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("iv-seed"));
+  TicketKeeper keeper(to_bytes("seed"), /*lifetime_ms=*/1000);
+  SessionState state = make_state();
+  state.created_at_ms = 10'000;
+  const Bytes ticket = keeper.seal(state, 10'000, rng);
+  EXPECT_TRUE(keeper.unseal(ticket, /*now_ms=*/5'000).is_ok());
+  EXPECT_TRUE(keeper.unseal(ticket, 11'000).is_ok());
+  EXPECT_FALSE(keeper.unseal(ticket, 11'001).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix 3: capacity 0 disables the cache outright, and eviction prefers an
+// expired entry over the live LRU tail.
+
+TEST(SessionCacheEviction, CapacityZeroNeverInserts) {
+  SessionCache cache(0, 1000);
+  cache.put(id_of(1), make_state(), 0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(id_of(1), 0).has_value());
+}
+
+TEST(SessionCacheEviction, PrefersExpiredOverLruTail) {
+  SessionCache cache(/*capacity=*/2, /*lifetime_ms=*/10);
+  cache.put(id_of(1), make_state(), /*now_ms=*/0);  // A: expires after t=10
+  cache.put(id_of(2), make_state(), 8);             // B: expires after t=18
+  // Touch A so it is MRU and live B sits at the LRU tail.
+  ASSERT_TRUE(cache.get(id_of(1), 9).has_value());
+  // At t=12, A is expired. Inserting C at capacity must evict expired A,
+  // not the live LRU-tail entry B (which pre-fix eviction removed).
+  cache.put(id_of(3), make_state(), 12);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get(id_of(1), 12).has_value());
+  EXPECT_TRUE(cache.get(id_of(2), 12).has_value());
+  EXPECT_TRUE(cache.get(id_of(3), 12).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix 4: unseal must verify EVERY PKCS7 pad byte and reject ciphertext
+// that is not a whole number of AES blocks.
+
+// Re-derive the keeper's enc/mac keys (the derivation is deterministic) so
+// the test can forge tickets that pass the MAC with corrupted plaintext.
+struct KeeperKeys {
+  Bytes enc;
+  Bytes mac;
+  explicit KeeperKeys(BytesView seed) {
+    const Bytes prk =
+        hkdf_extract(HashAlg::kSha256, to_bytes("qtls-ticket-key"), seed);
+    enc = hkdf_expand(HashAlg::kSha256, prk, to_bytes("enc"), 16);
+    mac = hkdf_expand(HashAlg::kSha256, prk, to_bytes("mac"), 32);
+  }
+};
+
+TEST(TicketPadding, RejectsCorruptInteriorPadBytes) {
+  const Bytes seed = to_bytes("pad-test-seed");
+  TicketKeeper keeper(seed, 3'600'000);
+  KeeperKeys keys(seed);
+
+  // Valid ticket body: suite(2) + created_at(8) + len(2) + secret(32) = 44
+  // bytes, so PKCS7 pad is 4. Corrupt the two interior pad bytes while
+  // keeping the final one: {4, 9, 9, 4} instead of {4, 4, 4, 4}.
+  Bytes plain;
+  append_u16(plain, static_cast<uint16_t>(
+                        CipherSuite::kEcdheRsaWithAes128CbcSha));
+  append_u64(plain, 1'000);
+  Bytes secret(32, 0x5a);
+  append_u16(plain, static_cast<uint16_t>(secret.size()));
+  append(plain, secret);
+  ASSERT_EQ(plain.size(), 44u);
+  plain.insert(plain.end(), {4, 9, 9, 4});
+
+  Bytes iv(16, 0x11);
+  Aes aes(keys.enc);
+  Bytes forged = iv;
+  append(forged, aes_cbc_encrypt(aes, iv, plain));
+  append(forged, hmac(HashAlg::kSha256, keys.mac, forged));
+
+  // The MAC is genuine, so only full pad verification can catch this.
+  // Pre-fix unseal checked plain.back() alone and ACCEPTED the ticket.
+  auto result = keeper.unseal(forged, 2'000);
+  EXPECT_FALSE(result.is_ok());
+
+  // Control: the same forge with correct padding unseals fine.
+  plain.resize(44);
+  plain.insert(plain.end(), {4, 4, 4, 4});
+  Bytes good = iv;
+  append(good, aes_cbc_encrypt(aes, iv, plain));
+  append(good, hmac(HashAlg::kSha256, keys.mac, good));
+  EXPECT_TRUE(keeper.unseal(good, 2'000).is_ok());
+}
+
+TEST(TicketPadding, RejectsNonBlockAlignedCiphertext) {
+  const Bytes seed = to_bytes("pad-test-seed");
+  TicketKeeper keeper(seed, 3'600'000);
+  KeeperKeys keys(seed);
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("iv-seed"));
+
+  const Bytes ticket = keeper.seal(make_state(), 1'000, rng);
+  // Chop 8 bytes off the ciphertext and re-MAC so the forgery reaches the
+  // decrypt stage; the up-front block-size check must reject it.
+  Bytes chopped(ticket.begin(), ticket.end() - 32 - 8);
+  append(chopped, hmac(HashAlg::kSha256, keys.mac, chopped));
+  EXPECT_FALSE(keeper.unseal(chopped, 2'000).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cache under concurrency: run under -DQTLS_SANITIZE=thread for the
+// race check; the counter-conservation invariants hold either way.
+
+TEST(ShardedSessionCache, ConcurrentCountersConserve) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4'000;
+  constexpr uint32_t kKeySpace = 256;
+  ShardedSessionCache cache(16, /*capacity=*/128, /*lifetime_ms=*/1ULL << 40);
+
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> gets{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &gets, t] {
+      uint64_t rng = 0x9e3779b9u * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint32_t key = static_cast<uint32_t>(rng >> 33) % kKeySpace;
+        if ((rng & 3) == 0) {
+          cache.put(id_of(key), make_state(), /*now_ms=*/1'000);
+        } else {
+          (void)cache.get(id_of(key), 1'000);
+          gets.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every get was either a hit or a miss — nothing lost across shards.
+  EXPECT_EQ(cache.hits() + cache.misses(), gets.load());
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+  // Capacity is honored (ceil(128/16) = 8 per shard, 16 shards).
+  EXPECT_LE(cache.size(), 128u);
+  // 256 keys into 128 slots must have evicted.
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ticket-key ring rotation matrix.
+
+TEST(TicketKeyRing, RotationMatrix) {
+  TicketKeyRing ring(to_bytes("ring-seed"), /*rotate_interval_ms=*/1000,
+                     /*accept_epochs=*/1, /*lifetime_ms=*/3'600'000);
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("iv-seed"));
+  const SessionState state = make_state();
+
+  // Sealed in epoch 0; the ticket leads with epoch 0's key name.
+  const Bytes ticket = ring.seal(state, /*now_ms=*/500, rng);
+  ASSERT_GE(ticket.size(), TicketKeyRing::kKeyNameLen);
+  EXPECT_TRUE(std::equal(ticket.begin(),
+                         ticket.begin() + TicketKeyRing::kKeyNameLen,
+                         ring.key_name(0).begin()));
+
+  // Same epoch: accepted as current.
+  auto same = ring.unseal(ticket, 999);
+  ASSERT_TRUE(same.is_ok());
+  EXPECT_EQ(same.value().epoch, 0u);
+  EXPECT_TRUE(same.value().current);
+
+  // One epoch later: still accepted (accept_epochs = 1) but flagged stale,
+  // and a re-seal now uses epoch 1's key.
+  auto old = ring.unseal(ticket, 1'500);
+  ASSERT_TRUE(old.is_ok());
+  EXPECT_EQ(old.value().epoch, 0u);
+  EXPECT_FALSE(old.value().current);
+  EXPECT_EQ(old.value().state.master_secret, state.master_secret);
+  const Bytes resealed = ring.seal(old.value().state, 1'500, rng);
+  EXPECT_TRUE(std::equal(resealed.begin(),
+                         resealed.begin() + TicketKeyRing::kKeyNameLen,
+                         ring.key_name(1).begin()));
+  auto fresh = ring.unseal(resealed, 1'600);
+  ASSERT_TRUE(fresh.is_ok());
+  EXPECT_EQ(fresh.value().epoch, 1u);
+  EXPECT_TRUE(fresh.value().current);
+
+  // Two epochs later: outside the accept window.
+  EXPECT_FALSE(ring.unseal(ticket, 2'500).is_ok());
+
+  EXPECT_EQ(ring.unseal_ok(), 3u);
+  EXPECT_EQ(ring.unseal_old_epoch(), 1u);
+  EXPECT_EQ(ring.unseal_rejects(), 1u);
+}
+
+TEST(TicketKeyRing, ZeroIntervalDisablesRotationNotLifetime) {
+  TicketKeyRing ring(to_bytes("ring-seed"), /*rotate_interval_ms=*/0,
+                     /*accept_epochs=*/0, /*lifetime_ms=*/10'000);
+  HmacDrbg rng(HashAlg::kSha256, to_bytes("iv-seed"));
+  EXPECT_EQ(ring.epoch_at(0), 0u);
+  EXPECT_EQ(ring.epoch_at(1ULL << 50), 0u);
+  const Bytes ticket = ring.seal(make_state(), 0, rng);
+  // No epoch ever rejects it, but the lifetime still does.
+  EXPECT_TRUE(ring.unseal(ticket, 10'000).is_ok());
+  EXPECT_FALSE(ring.unseal(ticket, 10'001).is_ok());
+}
+
+TEST(TicketKeyRing, EpochKeysDifferAndAreDeterministic) {
+  TicketKeyRing a(to_bytes("ring-seed"), 1000, 1, 1000);
+  TicketKeyRing b(to_bytes("ring-seed"), 1000, 1, 1000);
+  TicketKeyRing c(to_bytes("other-seed"), 1000, 1, 1000);
+  EXPECT_EQ(a.key_name(7), b.key_name(7));   // same seed: same ring
+  EXPECT_NE(a.key_name(7), a.key_name(8));   // epochs are distinct
+  EXPECT_NE(a.key_name(7), c.key_name(7));   // seeds are distinct
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a WorkerPool's shared plane resumes sessions across workers.
+
+client::ClientStats drive_pool_clients(server::WorkerPool& pool,
+                                       bool session_tickets, int clients,
+                                       uint64_t requests_per_client) {
+  engine::SoftwareProvider client_provider;
+  TlsContextConfig ccfg;
+  ccfg.cipher_suites = {CipherSuite::kEcdheRsaWithAes128CbcSha};
+  TlsContext cctx(ccfg, &client_provider);
+
+  client::Pool cpool;
+  const uint16_t port = pool.port();
+  for (int i = 0; i < clients; ++i) {
+    client::ClientOptions copts;
+    copts.full_handshake_ratio = 0.0;  // offer whenever a session exists
+    copts.max_requests = requests_per_client;
+    cpool.add(std::make_unique<client::HttpsClient>(
+        &cctx,
+        [port]() -> int {
+          auto fd = net::tcp_connect(port);
+          return fd.is_ok() ? fd.value() : -1;
+        },
+        copts, 5000 + static_cast<uint64_t>(i) +
+                   (session_tickets ? 100'000 : 0)));
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool all_done = false;
+  while (!all_done && std::chrono::steady_clock::now() < deadline) {
+    all_done = true;
+    for (auto& c : cpool.clients()) {
+      if (c->step()) all_done = false;
+    }
+  }
+  EXPECT_TRUE(all_done) << "clients did not finish before the deadline";
+  return cpool.aggregate();
+}
+
+void run_cross_worker(bool session_tickets) {
+  qat::QatDevice device;
+  server::WorkerPoolOptions options;
+  options.workers = 4;
+  options.tls_config.async_mode = true;
+  options.tls_config.use_session_tickets = session_tickets;
+  options.tls_config.cipher_suites = {
+      CipherSuite::kEcdheRsaWithAes128CbcSha};
+
+  server::WorkerPool pool(&device, &test_rsa2048(), options);
+  ASSERT_TRUE(pool.start(0).is_ok());
+  const client::ClientStats cstats =
+      drive_pool_clients(pool, session_tickets, /*clients=*/12,
+                         /*requests_per_client=*/5);
+  pool.stop();
+
+  EXPECT_EQ(cstats.errors, 0u);
+  // Each client's first connection is full; every later one offers, and
+  // with the pool-shared plane EVERY offer must land no matter which
+  // SO_REUSEPORT worker accepted it.
+  EXPECT_EQ(cstats.offered, 12u * 4u);
+  EXPECT_EQ(cstats.resumed, cstats.offered);
+
+  // The kernel spread 60 connections over the listeners, so more than one
+  // worker must have handled handshakes (otherwise this test proves
+  // nothing about CROSS-worker resumption).
+  const server::WorkerPoolStats wstats = pool.stats();
+  int workers_hit = 0;
+  for (uint64_t h : wstats.per_worker_handshakes) {
+    if (h > 0) ++workers_hit;
+  }
+  EXPECT_GE(workers_hit, 2);
+  if (session_tickets) {
+    EXPECT_GE(pool.session_plane().tickets().unseal_ok(), cstats.resumed);
+  } else {
+    EXPECT_GE(wstats.session_hits, cstats.resumed);
+  }
+}
+
+TEST(CrossWorkerResumption, SessionIdCacheSharedAcrossWorkers) {
+  run_cross_worker(/*session_tickets=*/false);
+}
+
+TEST(CrossWorkerResumption, TicketRingSharedAcrossWorkers) {
+  run_cross_worker(/*session_tickets=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Conf plumbing: the session_cache{} block shapes the plane.
+
+TEST(SessionCacheConf, ParsesBlock) {
+  const char* text = R"(
+worker_processes 2;
+session_cache {
+    shards 8;
+    capacity 512;
+    lifetime_ms 60000;
+    ticket_rotate_interval_ms 5000;
+    ticket_accept_epochs 2;
+}
+)";
+  auto settings = server::parse_ssl_engine_settings(text);
+  ASSERT_TRUE(settings.is_ok()) << settings.status().message();
+  EXPECT_EQ(settings.value().session.cache_shards, 8u);
+  EXPECT_EQ(settings.value().session.cache_capacity, 512u);
+  EXPECT_EQ(settings.value().session.lifetime_ms, 60'000u);
+  EXPECT_EQ(settings.value().session.ticket_rotate_interval_ms, 5'000u);
+  EXPECT_EQ(settings.value().session.ticket_accept_epochs, 2u);
+}
+
+TEST(SessionCacheConf, DefaultsWithoutBlockAndRejectsBadValues) {
+  auto defaults = server::parse_ssl_engine_settings("worker_processes 1;");
+  ASSERT_TRUE(defaults.is_ok());
+  EXPECT_EQ(defaults.value().session.cache_shards, 16u);
+  EXPECT_EQ(defaults.value().session.cache_capacity, 10'000u);
+
+  EXPECT_FALSE(server::parse_ssl_engine_settings(
+                   "session_cache { shards 0; }")
+                   .is_ok());
+  EXPECT_FALSE(server::parse_ssl_engine_settings(
+                   "session_cache { lifetime_ms 0; }")
+                   .is_ok());
+  EXPECT_FALSE(server::parse_ssl_engine_settings(
+                   "session_cache { ticket_accept_epochs 100; }")
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace qtls::tls
