@@ -5,23 +5,27 @@
 //
 // Default ("self test"): drive N clients over AF_UNIX socketpairs for a few
 // seconds and print throughput/latency stats. With --listen <port> it
-// instead serves HTTPS on 127.0.0.1:<port> until interrupted (connect with
-// the tls_terminator example or this binary's own client mode is left as an
-// exercise — the wire format is this library's own; see DESIGN.md §5).
+// instead serves HTTPS on 127.0.0.1:<port> through a WorkerPool until
+// SIGTERM/SIGINT, then drains gracefully: accepts stop, in-flight requests
+// finish, and stragglers are force-closed at the drain deadline (connect
+// with the tls_terminator example or this binary's own client mode is left
+// as an exercise — the wire format is this library's own; see DESIGN.md §5).
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "client/https_client.h"
 #include "crypto/keystore.h"
-#include "server/worker.h"
+#include "server/worker_pool.h"
 
 using namespace qtls;
 
 namespace {
 
 const char* kConf = R"(
-worker_processes 1;
+worker_processes 2;
 ssl_engine {
     use qat_engine;
     default_algorithm RSA,EC,DH,PKEY_CRYPTO;
@@ -33,7 +37,22 @@ ssl_engine {
         qat_heuristic_poll_sym_threshold 24;
     }
 }
+overload {
+    handshake_timeout_ms 5000;         # accept -> handshake complete
+    idle_timeout_ms 30000;             # keepalive wait / request trickle
+    write_stall_timeout_ms 10000;      # peers that stop reading responses
+    max_handshaking 256;               # admission cap per worker
+    past_cap shed;                     # excess accepts get a clean close
+    max_header_bytes 8192;             # HTTP parser bounds (431 past them)
+    max_header_count 100;
+}
 )";
+
+// SIGTERM/SIGINT set the flag; the main thread notices and drains the pool.
+volatile std::sig_atomic_t g_shutdown = 0;
+void on_signal(int) { g_shutdown = 1; }
+
+constexpr uint64_t kDrainDeadlineMs = 5000;
 
 }  // namespace
 
@@ -78,20 +97,44 @@ int main(int argc, char** argv) {
   worker_config.notify = settings.value().notify;
   worker_config.poll = settings.value().poll;
   worker_config.heuristic = settings.value().heuristic;
+  worker_config.overload = settings.value().overload;
+  worker_config.http_limits = settings.value().http_limits;
   worker_config.response_body_size = 1024;
-  server::Worker worker(&tls_ctx, &qat_engine, worker_config);
 
   if (listen_port >= 0) {
-    auto status = worker.add_listener(static_cast<uint16_t>(listen_port));
+    // Serving mode: a WorkerPool (SO_REUSEPORT accept sharing, one QAT
+    // instance per worker) with SIGTERM/SIGINT wired to graceful drain.
+    server::WorkerPoolOptions options;
+    options.workers = settings.value().worker_processes;
+    options.worker_config = worker_config;
+    options.tls_config = tls_config;
+    options.engine_config = settings.value().engine;
+    auto pool = std::make_unique<server::WorkerPool>(&device, &test_rsa2048(),
+                                                     options);
+    auto status = pool->start(static_cast<uint16_t>(listen_port));
     if (!status.is_ok()) {
       std::fprintf(stderr, "listen failed: %s\n", status.to_string().c_str());
       return 1;
     }
-    std::printf("serving HTTPS on 127.0.0.1:%u (ctrl-c to stop)\n",
-                worker.listen_port());
-    worker.run_until([] { return false; });
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::printf(
+        "serving HTTPS on 127.0.0.1:%u with %d workers "
+        "(SIGTERM/ctrl-c drains, deadline %llu ms)\n",
+        pool->port(), pool->workers(),
+        static_cast<unsigned long long>(kDrainDeadlineMs));
+    while (!g_shutdown)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::printf("draining: accepts stopped, in-flight requests finishing\n");
+    pool->shutdown(kDrainDeadlineMs);
+    const auto pstats = pool->stats();
+    std::printf("drained: %llu connections accepted over the run\n%s",
+                static_cast<unsigned long long>(pstats.totals.accepted),
+                pool->stats_text().c_str());
     return 0;
   }
+
+  server::Worker worker(&tls_ctx, &qat_engine, worker_config);
 
   // Self test: in-process clients over socketpairs.
   engine::SoftwareProvider client_provider;

@@ -98,6 +98,7 @@ bool HttpsClient::step() {
         return true;
       }
       ++stats_.connections;
+      stats_.handshake_time.record(now_ns() - request_start_ns_);
       if (tls_->resumed_session()) ++stats_.resumed;
       if (tls_->established_session().has_value())
         session_ = tls_->established_session();
@@ -188,6 +189,7 @@ ClientStats Pool::aggregate() const {
     total.bytes_received += s.bytes_received;
     total.errors += s.errors;
     total.response_time.merge(s.response_time);
+    total.handshake_time.merge(s.handshake_time);
   }
   return total;
 }

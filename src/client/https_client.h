@@ -43,7 +43,8 @@ struct ClientStats {
   uint64_t requests = 0;           // completed request/response pairs
   uint64_t bytes_received = 0;
   uint64_t errors = 0;
-  LatencyHistogram response_time;  // request -> full response
+  LatencyHistogram response_time;   // request -> full response
+  LatencyHistogram handshake_time;  // connect -> handshake complete
 };
 
 class HttpsClient {

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/log.h"
@@ -17,6 +18,13 @@ uint32_t to_epoll(bool want_read, bool want_write) {
   if (want_read) events |= EPOLLIN;
   if (want_write) events |= EPOLLOUT;
   return events;
+}
+
+uint64_t monotonic_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 }  // namespace
 
@@ -53,7 +61,25 @@ Status EventLoop::remove(int fd) {
   return Status::ok();
 }
 
+void EventLoop::set_clock(std::function<uint64_t()> clock) {
+  clock_ = std::move(clock);
+}
+
+uint64_t EventLoop::now_ms() const {
+  return clock_ ? clock_() : monotonic_ms();
+}
+
 int EventLoop::run_once(int timeout_ms) {
+  // Never sleep past the earliest armed deadline.
+  if (timers_.armed() > 0) {
+    const uint64_t next = timers_.until_next(now_ms());
+    if (next != UINT64_MAX) {
+      const int next_ms =
+          next > static_cast<uint64_t>(INT32_MAX) ? INT32_MAX
+                                                  : static_cast<int>(next);
+      if (timeout_ms < 0 || next_ms < timeout_ms) timeout_ms = next_ms;
+    }
+  }
   std::array<epoll_event, 128> events;
   const int n = ::epoll_wait(epoll_fd_, events.data(),
                              static_cast<int>(events.size()), timeout_ms);
@@ -61,6 +87,7 @@ int EventLoop::run_once(int timeout_ms) {
     if (errno != EINTR) {
       QTLS_WARN << "epoll_wait: " << std::strerror(errno);
     }
+    if (timers_.armed() > 0) timers_.advance(now_ms());
     return 0;
   }
   for (int i = 0; i < n; ++i) {
@@ -76,6 +103,7 @@ int EventLoop::run_once(int timeout_ms) {
     Handler handler = it->second;
     handler(fe);
   }
+  if (timers_.armed() > 0) timers_.advance(now_ms());
   return n;
 }
 

@@ -1,6 +1,11 @@
 // Thin epoll wrapper — the I/O multiplexing core of the event-driven web
 // architecture (paper §2.2). Handlers are per-fd callbacks invoked from
-// run_once(); the worker layers connection state machines on top.
+// run_once(); the worker layers connection state machines on top. The loop
+// also owns a hashed timer wheel (DESIGN.md §10) so any layer can arm
+// per-connection millisecond deadlines: the epoll sleep is clamped to the
+// next deadline and the wheel advances after dispatch. The wheel's clock is
+// injectable — CLOCK_MONOTONIC by default, a virtual clock in tests — so
+// timeout behaviour is deterministic where it needs to be.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "net/timer_wheel.h"
 
 namespace qtls::net {
 
@@ -32,15 +38,27 @@ class EventLoop {
   Status remove(int fd);
   bool watching(int fd) const { return handlers_.count(fd) > 0; }
 
-  // Waits up to timeout_ms (-1 = forever, 0 = poll) and dispatches handlers.
-  // Returns the number of fds dispatched.
+  // Waits up to timeout_ms (-1 = forever, 0 = poll) and dispatches handlers,
+  // then advances the timer wheel. The actual epoll sleep never overshoots
+  // the earliest armed deadline. Returns the number of fds dispatched.
   int run_once(int timeout_ms);
 
   size_t watched_count() const { return handlers_.size(); }
 
+  // Deadline plane. Timer callbacks run inside run_once, after fd dispatch.
+  TimerWheel& timers() { return timers_; }
+  const TimerWheel& timers() const { return timers_; }
+
+  // Millisecond clock feeding the wheel (monotonic by default). Null
+  // restores the monotonic clock.
+  void set_clock(std::function<uint64_t()> clock);
+  uint64_t now_ms() const;
+
  private:
   int epoll_fd_ = -1;
   std::unordered_map<int, Handler> handlers_;
+  TimerWheel timers_;
+  std::function<uint64_t()> clock_;
 };
 
 }  // namespace qtls::net

@@ -1,0 +1,98 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace qtls::net {
+
+namespace {
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TimerWheel::TimerWheel(uint64_t tick_ms, size_t num_slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(round_up_pow2(std::max<size_t>(num_slots, 2))) {}
+
+TimerWheel::TimerId TimerWheel::arm(uint64_t now_ms, uint64_t delay_ms,
+                                    Callback cb) {
+  const TimerId id = next_id_++;
+  const uint64_t deadline = now_ms + delay_ms;
+  const size_t slot = slot_of(deadline);
+  slots_[slot].push_back(Entry{id, deadline});
+  timers_.emplace(id, Timer{deadline, slot, std::move(cb)});
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  // The slot entry is left behind and skipped lazily during advance — a
+  // cancel is O(1), the stale entry costs one map miss later.
+  timers_.erase(it);
+  ++cancelled_total_;
+  return true;
+}
+
+void TimerWheel::collect_slot(size_t slot, uint64_t now_ms,
+                              std::vector<TimerId>* due) {
+  auto& bucket = slots_[slot];
+  size_t kept = 0;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    const Entry& e = bucket[i];
+    auto it = timers_.find(e.id);
+    if (it == timers_.end()) continue;  // cancelled: drop the stale entry
+    if (e.deadline_ms <= now_ms) {
+      due->push_back(e.id);
+      continue;  // fires: drop from the bucket now
+    }
+    bucket[kept++] = e;  // future round: stays armed
+  }
+  bucket.resize(kept);
+}
+
+size_t TimerWheel::advance(uint64_t now_ms) {
+  const uint64_t cur_tick = now_ms / tick_ms_;
+  std::vector<TimerId> due;
+
+  if (!ticked_ || cur_tick - last_tick_ >= slots_.size()) {
+    // First advance, or the clock jumped a whole revolution (virtual-time
+    // tests): one full sweep instead of walking every elapsed tick.
+    for (size_t s = 0; s < slots_.size(); ++s) collect_slot(s, now_ms, &due);
+  } else {
+    for (uint64_t t = last_tick_ + 1; t <= cur_tick; ++t)
+      collect_slot(static_cast<size_t>(t) & (slots_.size() - 1), now_ms, &due);
+    // An entry armed within the current tick (e.g. zero delay) lands in the
+    // current slot, which the walk above missed when the tick didn't move.
+    collect_slot(static_cast<size_t>(cur_tick) & (slots_.size() - 1), now_ms,
+                 &due);
+  }
+  ticked_ = true;
+  last_tick_ = cur_tick;
+
+  size_t fired = 0;
+  for (TimerId id : due) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled by an earlier callback
+    Callback cb = std::move(it->second.cb);
+    timers_.erase(it);
+    ++fired;
+    ++fired_total_;
+    if (cb) cb();
+  }
+  return fired;
+}
+
+uint64_t TimerWheel::until_next(uint64_t now_ms) const {
+  uint64_t best = UINT64_MAX;
+  for (const auto& [id, timer] : timers_) {
+    (void)id;
+    if (timer.deadline_ms <= now_ms) return 0;
+    best = std::min(best, timer.deadline_ms - now_ms);
+  }
+  return best;
+}
+
+}  // namespace qtls::net

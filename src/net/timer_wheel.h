@@ -1,0 +1,87 @@
+// Hashed timer wheel — the per-connection deadline substrate of the
+// overload-control plane (DESIGN.md §10). Any layer that owns a clock can
+// arm millisecond deadlines against it: the real-time event loop drives the
+// wheel from CLOCK_MONOTONIC, tests and the sim drive it from a virtual
+// clock, so timeout behaviour is deterministic where it needs to be.
+//
+// Design: classic hashed wheel (Varghese & Lauck). Deadlines hash into
+// `num_slots` buckets by tick index; advance() walks only the buckets
+// between the last observed tick and now, firing entries whose deadline has
+// passed and leaving future-round entries in place. Arm/cancel are O(1);
+// advance is O(buckets walked + entries fired). A clock jump larger than
+// one wheel revolution degrades to a single full sweep instead of walking
+// every elapsed tick, so huge virtual-time steps stay cheap.
+//
+// Single-threaded by design, like the event loop that owns it. Callbacks
+// may arm and cancel timers (including ones already collected for this
+// advance: a cancelled-but-collected timer does not fire).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace qtls::net {
+
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;  // 0 is never a valid id
+  using Callback = std::function<void()>;
+
+  // `tick_ms` is the wheel resolution: deadlines fire on the first
+  // advance() whose `now_ms` reaches them, so accuracy is bounded by how
+  // often the owner advances, not by the tick. `num_slots` is rounded up to
+  // a power of two.
+  explicit TimerWheel(uint64_t tick_ms = 4, size_t num_slots = 256);
+
+  // Arms a timer `delay_ms` from `now_ms`. A zero delay fires on the next
+  // advance. Returns the id to cancel with.
+  TimerId arm(uint64_t now_ms, uint64_t delay_ms, Callback cb);
+
+  // Cancels an armed timer. False when the id already fired or was
+  // cancelled (safe to call redundantly).
+  bool cancel(TimerId id);
+
+  // Fires every timer whose deadline is <= now_ms. Returns how many fired.
+  size_t advance(uint64_t now_ms);
+
+  size_t armed() const { return timers_.size(); }
+
+  // Milliseconds from `now_ms` until the earliest armed deadline (0 when
+  // one is already due), or UINT64_MAX when the wheel is empty. O(armed);
+  // used to bound the event loop's epoll sleep, where armed counts are
+  // per-connection and the loop is about to block anyway.
+  uint64_t until_next(uint64_t now_ms) const;
+
+  uint64_t fired_total() const { return fired_total_; }
+  uint64_t cancelled_total() const { return cancelled_total_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    uint64_t deadline_ms;
+  };
+  struct Timer {
+    uint64_t deadline_ms;
+    size_t slot;
+    Callback cb;
+  };
+
+  size_t slot_of(uint64_t deadline_ms) const {
+    return static_cast<size_t>(deadline_ms / tick_ms_) & (slots_.size() - 1);
+  }
+  void collect_slot(size_t slot, uint64_t now_ms,
+                    std::vector<TimerId>* due);
+
+  uint64_t tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  std::unordered_map<TimerId, Timer> timers_;
+  TimerId next_id_ = 1;
+  uint64_t last_tick_ = 0;
+  bool ticked_ = false;  // last_tick_ is meaningful only after first advance
+  uint64_t fired_total_ = 0;
+  uint64_t cancelled_total_ = 0;
+};
+
+}  // namespace qtls::net

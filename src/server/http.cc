@@ -21,10 +21,31 @@ std::optional<HttpRequest> HttpRequestParser::next() {
   const std::string text(buffer_.begin(), buffer_.end());
   const size_t end = text.find("\r\n\r\n");
   if (end == std::string::npos) {
-    if (buffer_.size() > 64 * 1024) error_ = true;  // header bomb
+    // Bound the buffer while the header is still incomplete: a peer that
+    // has sent max_header_bytes without a terminator can never produce a
+    // request we would accept.
+    if (buffer_.size() > limits_.max_header_bytes) {
+      error_ = true;
+      too_large_ = true;
+    }
+    return std::nullopt;
+  }
+  if (end + 4 > limits_.max_header_bytes) {
+    error_ = true;
+    too_large_ = true;
     return std::nullopt;
   }
   const std::string head = text.substr(0, end);
+  // Header-count cap: lines beyond the request line.
+  size_t lines = 0;
+  for (size_t pos = head.find("\r\n"); pos != std::string::npos;
+       pos = head.find("\r\n", pos + 2))
+    ++lines;
+  if (lines > limits_.max_header_count) {
+    error_ = true;
+    too_large_ = true;
+    return std::nullopt;
+  }
   const size_t line_end = head.find("\r\n");
   const std::string request_line =
       line_end == std::string::npos ? head : head.substr(0, line_end);
@@ -57,6 +78,8 @@ Bytes build_http_request(const std::string& path, bool keepalive) {
 }
 
 Bytes build_http_response(int status, BytesView body, bool keepalive) {
+  if (body.size() > kMaxResponseBody)
+    body = body.subspan(0, kMaxResponseBody);
   char head[256];
   std::snprintf(head, sizeof(head),
                 "HTTP/1.1 %d %s\r\nServer: qtls\r\nContent-Length: %zu\r\n"

@@ -1,5 +1,8 @@
 // Minimal HTTP/1.1: enough for the paper's workloads — GET of a fixed
-// object, keepalive on/off, content-length framing.
+// object, keepalive on/off, content-length framing. Parser buffers are
+// bounded (DESIGN.md §10): past the header-size or header-count caps the
+// request is flagged `too_large` so the worker can answer 431 and close
+// instead of growing memory under a hostile peer.
 #pragma once
 
 #include <optional>
@@ -8,6 +11,13 @@
 #include "common/bytes.h"
 
 namespace qtls::server {
+
+// Parser bounds. Defaults are deliberately far above anything the benchmark
+// clients send and far below the old 64 KB header-bomb tripwire.
+struct HttpLimits {
+  size_t max_header_bytes = 8 * 1024;  // request line + headers + CRLFCRLF
+  size_t max_header_count = 100;       // lines after the request line
+};
 
 struct HttpRequest {
   std::string method;
@@ -19,20 +29,32 @@ struct HttpRequest {
 // Incremental request parser: feed bytes, poll for a complete request.
 class HttpRequestParser {
  public:
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(HttpLimits limits) : limits_(limits) {}
+
   void feed(BytesView data) { append(buffer_, data); }
   // Returns a parsed request once the header is complete (bodies are not
   // used by the benchmark workloads). nullopt = need more bytes.
   std::optional<HttpRequest> next();
   bool error() const { return error_; }
+  // Limit violation (oversized or too many headers): the connection
+  // deserves a 431 and a close. Implies error().
+  bool too_large() const { return too_large_; }
   size_t buffered() const { return buffer_.size(); }
+  const HttpLimits& limits() const { return limits_; }
 
  private:
+  HttpLimits limits_;
   Bytes buffer_;
   bool error_ = false;
+  bool too_large_ = false;
 };
 
 Bytes build_http_request(const std::string& path, bool keepalive);
+// Body is clamped to kMaxResponseBody — the echo path must not amplify an
+// attacker-sized input into an attacker-sized allocation chain.
 Bytes build_http_response(int status, BytesView body, bool keepalive);
+constexpr size_t kMaxResponseBody = 4 * 1024 * 1024;
 
 // Parses a response header; returns body length and header size.
 struct HttpResponseHead {

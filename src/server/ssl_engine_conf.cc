@@ -52,6 +52,71 @@ Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
     out.session.ticket_accept_epochs = static_cast<uint32_t>(accept);
   }
 
+  // overload{} shapes the server-side overload-control plane (DESIGN.md
+  // §10); like session_cache{} it applies to software-only configs too.
+  if (const ConfBlock* ov = root.find_block("overload")) {
+    auto get_ms = [&](const char* key, uint64_t dflt,
+                      uint64_t* out) -> Status {
+      const int64_t v = ov->get_int(key, static_cast<int64_t>(dflt));
+      if (v < 0)
+        return err(Code::kInvalidArgument, std::string("overload ") + key +
+                                               " must be >= 0");
+      *out = static_cast<uint64_t>(v);
+      return Status::ok();
+    };
+    QTLS_RETURN_IF_ERROR(get_ms("handshake_timeout_ms",
+                                out.overload.handshake_timeout_ms,
+                                &out.overload.handshake_timeout_ms));
+    QTLS_RETURN_IF_ERROR(get_ms("idle_timeout_ms",
+                                out.overload.idle_timeout_ms,
+                                &out.overload.idle_timeout_ms));
+    QTLS_RETURN_IF_ERROR(get_ms("write_stall_timeout_ms",
+                                out.overload.write_stall_timeout_ms,
+                                &out.overload.write_stall_timeout_ms));
+
+    const int64_t max_hs = ov->get_int(
+        "max_handshaking", static_cast<int64_t>(out.overload.max_handshaking));
+    if (max_hs < 0)
+      return err(Code::kInvalidArgument, "overload max_handshaking < 0");
+    out.overload.max_handshaking = static_cast<size_t>(max_hs);
+
+    const int64_t max_async = ov->get_int(
+        "max_async_inflight",
+        static_cast<int64_t>(out.overload.max_async_inflight));
+    if (max_async < 0)
+      return err(Code::kInvalidArgument, "overload max_async_inflight < 0");
+    out.overload.max_async_inflight = static_cast<size_t>(max_async);
+
+    const std::string past_cap = ov->get_string("past_cap", "shed");
+    if (past_cap == "shed") {
+      out.overload.past_cap = OverloadConfig::PastCap::kShed;
+    } else if (past_cap == "park") {
+      out.overload.past_cap = OverloadConfig::PastCap::kPark;
+    } else {
+      return err(Code::kInvalidArgument, "bad overload past_cap: " + past_cap);
+    }
+
+    const int64_t backlog = ov->get_int(
+        "park_backlog", static_cast<int64_t>(out.overload.park_backlog));
+    if (backlog < 0)
+      return err(Code::kInvalidArgument, "overload park_backlog < 0");
+    out.overload.park_backlog = static_cast<size_t>(backlog);
+
+    const int64_t hdr_bytes = ov->get_int(
+        "max_header_bytes",
+        static_cast<int64_t>(out.http_limits.max_header_bytes));
+    if (hdr_bytes < 64)
+      return err(Code::kInvalidArgument, "overload max_header_bytes < 64");
+    out.http_limits.max_header_bytes = static_cast<size_t>(hdr_bytes);
+
+    const int64_t hdr_count = ov->get_int(
+        "max_header_count",
+        static_cast<int64_t>(out.http_limits.max_header_count));
+    if (hdr_count < 1)
+      return err(Code::kInvalidArgument, "overload max_header_count < 1");
+    out.http_limits.max_header_count = static_cast<size_t>(hdr_count);
+  }
+
   const ConfBlock* engine_block = root.find_block("ssl_engine");
   if (!engine_block) return out;  // software-only configuration
 

@@ -21,6 +21,17 @@
 //       ticket_rotate_interval_ms 900000;  # ticket-key epoch length
 //       ticket_accept_epochs 1;            # current + N previous keys
 //   }
+//   overload {
+//       handshake_timeout_ms 5000;         # accept -> handshake complete
+//       idle_timeout_ms 30000;             # keepalive / request trickle
+//       write_stall_timeout_ms 10000;      # slowloris response readers
+//       max_handshaking 256;               # admission cap per worker
+//       max_async_inflight 1024;           # in-flight engine ops per worker
+//       past_cap shed;                     # shed | park
+//       park_backlog 64;                   # bounded accept backlog (park)
+//       max_header_bytes 8192;             # HTTP parser bounds (431 past)
+//       max_header_count 100;
+//   }
 #pragma once
 
 #include <chrono>
@@ -29,6 +40,8 @@
 #include "common/conf.h"
 #include "engine/qat_engine.h"
 #include "server/heuristic_poller.h"
+#include "server/http.h"
+#include "server/overload.h"
 #include "tls/session_plane.h"
 
 namespace qtls::server {
@@ -54,6 +67,9 @@ struct SslEngineSettings {
   HeuristicPollerConfig heuristic;
   // The shared resumption plane (session_cache{} block).
   tls::SessionPlaneConfig session;
+  // Overload-control plane (overload{} block; DESIGN.md §10).
+  OverloadConfig overload;
+  HttpLimits http_limits;
 };
 
 // Parses the root config block (worker_processes + ssl_engine{} +

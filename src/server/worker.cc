@@ -1,12 +1,41 @@
 #include "server/worker.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <sstream>
+#include <vector>
 
 #include "common/log.h"
 #include "obs/metrics.h"
 
 namespace qtls::server {
+
+namespace {
+// Global-registry mirrors of the per-worker OverloadStats, so /stats and
+// the periodic dumps see pool-wide overload pressure (same idiom as the
+// engine failure counters).
+struct OverloadObsCounters {
+  obs::Counter shed, parked, handshake_timeout, idle_timeout,
+      write_stall_timeout, drain_refused, drain_force_closed;
+
+  OverloadObsCounters() {
+    auto& reg = obs::MetricsRegistry::global();
+    shed = reg.counter("overload.shed");
+    parked = reg.counter("overload.parked");
+    handshake_timeout = reg.counter("overload.handshake_timeout");
+    idle_timeout = reg.counter("overload.idle_timeout");
+    write_stall_timeout = reg.counter("overload.write_stall_timeout");
+    drain_refused = reg.counter("overload.drain_refused");
+    drain_force_closed = reg.counter("overload.drain_force_closed");
+  }
+};
+
+OverloadObsCounters& overload_obs() {
+  static OverloadObsCounters counters;
+  return counters;
+}
+}  // namespace
 
 struct Worker::Conn {
   int fd = -1;
@@ -29,6 +58,11 @@ struct Worker::Conn {
   bool idle = false;
   uint64_t id = 0;
   Worker* worker = nullptr;
+
+  // Overload plane (DESIGN.md §10).
+  net::TimerWheel::TimerId deadline_timer = 0;  // 0 = none armed
+  DeadlineKind deadline_kind = DeadlineKind::kNone;
+  bool counted_handshaking = false;  // contributes to handshaking_
 };
 
 Worker::Conn* Worker::find_by_id(uint64_t conn_id) {
@@ -41,6 +75,7 @@ Worker::Worker(tls::TlsContext* tls_ctx, engine::QatEngineProvider* qat,
     : tls_ctx_(tls_ctx), qat_(qat), config_(config) {
   if (qat_ && config_.poll == PollScheme::kHeuristic)
     poller_ = std::make_unique<HeuristicPoller>(qat_, config_.heuristic);
+  if (config_.clock) loop_.set_clock(config_.clock);
   response_body_.resize(config_.response_body_size);
   for (size_t i = 0; i < response_body_.size(); ++i)
     response_body_[i] = static_cast<uint8_t>('a' + i % 26);
@@ -57,14 +92,10 @@ Worker::~Worker() {
         if (qat_) qat_->poll();
       });
   }
+  for (int fd : parked_) ::close(fd);
 }
 
-uint64_t Worker::now_ms() const {
-  using namespace std::chrono;
-  return static_cast<uint64_t>(
-      duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
-          .count());
-}
+uint64_t Worker::now_ms() const { return loop_.now_ms(); }
 
 Status Worker::add_listener(uint16_t port, bool reuseport) {
   QTLS_RETURN_IF_ERROR(listener_.listen(port, 512, reuseport));
@@ -79,14 +110,68 @@ void Worker::on_listener_readable() {
   for (;;) {
     const int fd = listener_.accept_fd();
     if (fd < 0) return;
-    setup_connection(fd);
+    admit_or_reject(fd);
   }
 }
 
 Status Worker::adopt(int fd) {
   net::set_nonblocking(fd);
-  setup_connection(fd);
+  admit_or_reject(fd);
   return Status::ok();
+}
+
+// ---------------------------------------------------------- admission ----
+
+bool Worker::admission_ok() const {
+  if (draining_) return false;
+  const OverloadConfig& oc = config_.overload;
+  if (oc.max_handshaking != 0 && handshaking_ >= oc.max_handshaking)
+    return false;
+  if (oc.max_async_inflight != 0 && qat_ &&
+      qat_->inflight_total() >= oc.max_async_inflight)
+    return false;
+  return true;
+}
+
+void Worker::admit_or_reject(int fd) {
+  if (admission_ok()) {
+    setup_connection(fd);
+    return;
+  }
+  if (draining_) {
+    // Drain refuses everything: the listener is disarmed, but a connect may
+    // have raced the disarm (or arrived via adopt).
+    ++overload_stats_.drain_refused;
+    overload_obs().drain_refused.inc();
+    ::close(fd);
+    return;
+  }
+  const OverloadConfig& oc = config_.overload;
+  if (oc.past_cap == OverloadConfig::PastCap::kPark &&
+      parked_.size() < oc.park_backlog) {
+    // Parked: the fd stays accepted (the peer sees an established TCP
+    // connection) but no TLS state exists yet; admitted as capacity frees.
+    parked_.push_back(fd);
+    ++overload_stats_.parked;
+    overload_obs().parked.inc();
+    return;
+  }
+  if (oc.past_cap == OverloadConfig::PastCap::kPark)
+    ++overload_stats_.park_overflow;
+  // Shed pre-handshake: a plain close is a clean FIN — cheaper for both
+  // sides than a TLS alert the handshake never earned.
+  ++overload_stats_.shed;
+  overload_obs().shed.inc();
+  ::close(fd);
+}
+
+void Worker::admit_parked() {
+  while (!parked_.empty() && admission_ok()) {
+    const int fd = parked_.front();
+    parked_.pop_front();
+    ++overload_stats_.admitted_from_park;
+    setup_connection(fd);
+  }
 }
 
 void Worker::setup_connection(int fd) {
@@ -97,9 +182,14 @@ void Worker::setup_connection(int fd) {
   c->worker = this;
   c->transport = std::make_unique<net::SocketTransport>(fd);
   c->tls = std::make_unique<tls::TlsConnection>(tls_ctx_, c->transport.get());
+  c->parser = HttpRequestParser(config_.http_limits);
   conns_.emplace(fd, std::move(conn));
   conns_by_id_.emplace(c->id, c);
   ++stats_.accepted;
+  c->counted_handshaking = true;
+  ++handshaking_;
+  arm_deadline(c, DeadlineKind::kHandshake,
+               config_.overload.handshake_timeout_ms);
 
   if (config_.notify == NotifyScheme::kKernelBypass) {
     // §4.4: application-level callback inserted into the ASYNC_WAIT_CTX;
@@ -157,6 +247,8 @@ void Worker::close_connection(Conn* conn, bool error) {
     ++stats_.closed;
   }
   set_idle(conn, false);
+  cancel_deadline(conn);
+  note_handshake_over(conn);
   // Retire the id first so async-queue entries referencing this connection
   // become no-ops, then run any paused offload job to completion — its
   // response callback references this connection's wait context.
@@ -171,6 +263,72 @@ void Worker::close_connection(Conn* conn, bool error) {
     (void)loop_.remove(conn->tls->wait_ctx()->fd());
   (void)loop_.remove(conn->fd);
   conns_.erase(conn->fd);  // destroys conn
+  // Capacity freed: pull a parked accept in, and let a drain in progress
+  // observe the shrinking population.
+  admit_parked();
+  finish_drain_check();
+}
+
+void Worker::note_handshake_over(Conn* conn) {
+  if (!conn->counted_handshaking) return;
+  conn->counted_handshaking = false;
+  --handshaking_;
+}
+
+// ---------------------------------------------------------- deadlines ----
+
+void Worker::arm_deadline(Conn* conn, DeadlineKind kind, uint64_t delay_ms) {
+  cancel_deadline(conn);
+  if (delay_ms == 0) return;  // disabled
+  conn->deadline_kind = kind;
+  conn->deadline_timer =
+      loop_.timers().arm(now_ms(), delay_ms, [this, id = conn->id] {
+        if (Conn* live = find_by_id(id)) on_deadline(live);
+      });
+}
+
+void Worker::cancel_deadline(Conn* conn) {
+  if (conn->deadline_timer != 0) {
+    (void)loop_.timers().cancel(conn->deadline_timer);
+    conn->deadline_timer = 0;
+  }
+  conn->deadline_kind = DeadlineKind::kNone;
+}
+
+void Worker::on_deadline(Conn* conn) {
+  const DeadlineKind kind = conn->deadline_kind;
+  conn->deadline_timer = 0;  // fired, nothing to cancel
+  conn->deadline_kind = DeadlineKind::kNone;
+  // Pick the alert the teardown deserves (DESIGN.md §10). A paused fiber
+  // owns the record stream — calling any entry point would resume the wrong
+  // operation — so alerts are skipped there; close_connection drains the
+  // job and the pending offload slot via the PR 2 sweep.
+  const bool can_alert = !conn->tls->has_paused_job();
+  switch (kind) {
+    case DeadlineKind::kHandshake:
+      ++overload_stats_.handshake_timeouts;
+      overload_obs().handshake_timeout.inc();
+      if (can_alert)
+        (void)conn->tls->send_alert(tls::AlertLevel::kFatal,
+                                    tls::AlertDescription::kUserCanceled);
+      break;
+    case DeadlineKind::kIdle:
+      ++overload_stats_.idle_timeouts;
+      overload_obs().idle_timeout.inc();
+      if (can_alert)
+        (void)conn->tls->send_alert(tls::AlertLevel::kWarning,
+                                    tls::AlertDescription::kCloseNotify);
+      break;
+    case DeadlineKind::kWriteStall:
+      // The peer is not draining our bytes — an alert would only join the
+      // queue it refuses to read. Close without ceremony.
+      ++overload_stats_.write_stall_timeouts;
+      overload_obs().write_stall_timeout.inc();
+      break;
+    case DeadlineKind::kNone:
+      return;  // cancelled in the same advance; nothing to do
+  }
+  close_connection(conn, /*error=*/false);
 }
 
 void Worker::set_idle(Conn* conn, bool idle) {
@@ -265,6 +423,11 @@ void Worker::handshake_handler(Conn* conn) {
   if (!dispatch_result(conn, r, &Worker::handshake_handler)) return;
   ++stats_.handshakes_completed;
   if (conn->tls->resumed_session()) ++stats_.resumed_handshakes;
+  // Handshake capacity freed: admit parked accepts, swap the handshake
+  // deadline for the idle/request one.
+  note_handshake_over(conn);
+  arm_deadline(conn, DeadlineKind::kIdle, config_.overload.idle_timeout_ms);
+  admit_parked();
   (void)loop_.modify(conn->fd, true, false);
   // The client's first request may already sit decoded in the TLS buffers
   // (sent back-to-back with its Finished); epoll would never fire for it.
@@ -290,6 +453,12 @@ void Worker::read_handler(Conn* conn) {
     conn->inbound.clear();
     auto request = conn->parser.next();
     if (conn->parser.error()) {
+      if (conn->parser.too_large() && !conn->tls->has_paused_job()) {
+        // Parser bound exceeded: answer 431 before closing so a
+        // misconfigured (rather than hostile) client learns why. Best
+        // effort — a kWantAsync seal is drained by close_connection.
+        (void)conn->tls->write(build_http_response(431, {}, false));
+      }
       close_connection(conn, true);
       return;
     }
@@ -331,6 +500,12 @@ void Worker::write_handler(Conn* conn) {
     if (r == tls::TlsResult::kWantAsync) {
       park_async(conn, &Worker::write_handler);
     } else {
+      // Transport backpressure: the slowloris window. The stall deadline is
+      // armed once and NOT reset by partial progress — a peer draining one
+      // byte per second never pushes it out.
+      if (conn->deadline_kind != DeadlineKind::kWriteStall)
+        arm_deadline(conn, DeadlineKind::kWriteStall,
+                     config_.overload.write_stall_timeout_ms);
       (void)loop_.modify(conn->fd, true, true);
     }
     return;
@@ -341,6 +516,8 @@ void Worker::write_handler(Conn* conn) {
     return;
   }
   ++stats_.requests_served;
+  // Response fully flushed: back to the keepalive wait.
+  arm_deadline(conn, DeadlineKind::kIdle, config_.overload.idle_timeout_ms);
   if (!conn->response_keepalive) {
     (void)conn->tls->shutdown();
     close_connection(conn, false);
@@ -375,6 +552,19 @@ std::string Worker::stats_json() const {
      << ",\"async_failures\":" << stats_.async_failures
      << ",\"alive\":" << alive_connections()
      << ",\"active\":" << active_connections() << "}";
+  os << ",\"overload\":{"
+     << "\"shed\":" << overload_stats_.shed
+     << ",\"parked\":" << overload_stats_.parked
+     << ",\"park_overflow\":" << overload_stats_.park_overflow
+     << ",\"admitted_from_park\":" << overload_stats_.admitted_from_park
+     << ",\"handshake_timeouts\":" << overload_stats_.handshake_timeouts
+     << ",\"idle_timeouts\":" << overload_stats_.idle_timeouts
+     << ",\"write_stall_timeouts\":" << overload_stats_.write_stall_timeouts
+     << ",\"drain_refused\":" << overload_stats_.drain_refused
+     << ",\"drain_force_closed\":" << overload_stats_.drain_force_closed
+     << ",\"handshaking\":" << handshaking_
+     << ",\"parked_now\":" << parked_.size()
+     << ",\"draining\":" << (draining_ ? "true" : "false") << "}";
   if (qat_) {
     const engine::QatEngineStats& e = qat_->stats();
     os << ",\"engine\":{"
@@ -408,6 +598,69 @@ std::string Worker::stats_json() const {
   return os.str();
 }
 
+// --------------------------------------------------------------- drain ----
+
+void Worker::request_drain(uint64_t deadline_ms) {
+  drain_delay_ms_.store(deadline_ms, std::memory_order_release);
+  drain_requested_.store(true, std::memory_order_release);
+}
+
+void Worker::begin_drain() {
+  draining_ = true;
+  // The absolute deadline is computed HERE, on the worker's own (possibly
+  // virtual) clock — request_drain may have been called from another thread
+  // against a different clock entirely.
+  const uint64_t delay = drain_delay_ms_.load(std::memory_order_acquire);
+  drain_deadline_ms_ = now_ms() + delay;
+
+  // No new accepts: disarm the listener and refuse the parked backlog.
+  if (listener_armed_) {
+    (void)loop_.remove(listener_.fd());
+    listener_armed_ = false;
+  }
+  for (int fd : parked_) {
+    ++overload_stats_.drain_refused;
+    overload_obs().drain_refused.inc();
+    ::close(fd);
+  }
+  parked_.clear();
+
+  // Idle keepalive connections have nothing in flight: close them now with
+  // an orderly close_notify. In-flight handshakes and requests keep going
+  // until they finish or the deadline force-closes them.
+  std::vector<uint64_t> idle_ids;
+  for (auto& [fd, conn] : conns_)
+    if (conn->idle) idle_ids.push_back(conn->id);
+  for (uint64_t id : idle_ids) {
+    Conn* conn = find_by_id(id);
+    if (!conn) continue;
+    if (!conn->tls->has_paused_job())
+      (void)conn->tls->send_alert(tls::AlertLevel::kWarning,
+                                  tls::AlertDescription::kCloseNotify);
+    close_connection(conn, /*error=*/false);
+  }
+
+  // Force-close whatever survives the deadline.
+  loop_.timers().arm(now_ms(), delay, [this] {
+    std::vector<uint64_t> ids;
+    for (auto& [fd, conn] : conns_) ids.push_back(conn->id);
+    for (uint64_t id : ids) {
+      Conn* conn = find_by_id(id);
+      if (!conn) continue;
+      ++overload_stats_.drain_force_closed;
+      overload_obs().drain_force_closed.inc();
+      close_connection(conn, /*error=*/false);
+    }
+    finish_drain_check();
+  });
+  finish_drain_check();
+}
+
+void Worker::finish_drain_check() {
+  if (draining_ && conns_.empty() && parked_.empty())
+    drained_.store(true, std::memory_order_release);
+}
+
 // ---------------------------------------------------------------- loop ----
 
 void Worker::maybe_heuristic_poll() {
@@ -415,6 +668,8 @@ void Worker::maybe_heuristic_poll() {
 }
 
 int Worker::run_once(int timeout_ms) {
+  if (drain_requested_.load(std::memory_order_acquire) && !draining_)
+    begin_drain();
   // §3.4: as long as async work is pending, keep the loop spinning rather
   // than sleep-waiting in epoll.
   const bool work_pending =

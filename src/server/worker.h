@@ -12,6 +12,8 @@
 //  * stub_status-style accounting: TC_active = TC_alive - TC_idle.
 #pragma once
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 
@@ -20,6 +22,7 @@
 #include "server/async_queue.h"
 #include "server/heuristic_poller.h"
 #include "server/http.h"
+#include "server/overload.h"
 #include "server/ssl_engine_conf.h"
 #include "tls/connection.h"
 
@@ -30,6 +33,11 @@ struct WorkerConfig {
   PollScheme poll = PollScheme::kHeuristic;
   HeuristicPollerConfig heuristic;
   size_t response_body_size = 1024;  // the served "file"
+  OverloadConfig overload;           // timeouts + admission (DESIGN.md §10)
+  HttpLimits http_limits;            // parser bounds (431 past them)
+  // Millisecond clock for deadlines (null = CLOCK_MONOTONIC). Tests inject
+  // virtual time so timeout behaviour is deterministic.
+  std::function<uint64_t()> clock;
 };
 
 struct WorkerStats {
@@ -75,8 +83,21 @@ class Worker {
   size_t alive_connections() const { return conns_.size(); }
   size_t idle_connections() const { return idle_count_; }
   size_t active_connections() const { return conns_.size() - idle_count_; }
+  size_t handshaking_connections() const { return handshaking_; }
+  size_t parked_accepts() const { return parked_.size(); }
+
+  // Graceful drain (DESIGN.md §10). Cross-thread-safe: the worker thread
+  // observes the request at its next run_once, stops accepting (listener
+  // disarmed, parked accepts closed), lets in-flight handshakes and
+  // keepalive requests finish, and force-closes whatever is still alive
+  // `deadline_ms` later (measured on the worker's own clock). Once every
+  // connection is gone, drained() flips — the pool's run loop exits on it.
+  void request_drain(uint64_t deadline_ms);
+  bool draining() const { return drain_requested_.load(std::memory_order_acquire); }
+  bool drained() const { return drained_.load(std::memory_order_acquire); }
 
   const WorkerStats& stats() const { return stats_; }
+  const OverloadStats& overload_stats() const { return overload_stats_; }
   const HeuristicPollerStats* poller_stats() const {
     return poller_ ? &poller_->stats() : nullptr;
   }
@@ -92,9 +113,22 @@ class Worker {
   struct Conn;
   using Handler = void (Worker::*)(Conn*);
 
+  enum class DeadlineKind : uint8_t { kNone, kHandshake, kIdle, kWriteStall };
+
   void on_listener_readable();
   void setup_connection(int fd);
   void close_connection(Conn* conn, bool error);
+
+  // Overload plane.
+  bool admission_ok() const;
+  void admit_or_reject(int fd);   // shed/park/setup per the overload config
+  void admit_parked();            // pull parked accepts as capacity frees
+  void arm_deadline(Conn* conn, DeadlineKind kind, uint64_t delay_ms);
+  void cancel_deadline(Conn* conn);
+  void on_deadline(Conn* conn);
+  void note_handshake_over(Conn* conn);  // handshaking_ bookkeeping
+  void begin_drain();
+  void finish_drain_check();
 
   // The TLS handlers — counterparts of ngx_ssl_handshake_handler etc.
   void handshake_handler(Conn* conn);
@@ -131,6 +165,16 @@ class Worker {
   std::unique_ptr<HeuristicPoller> poller_;
   Bytes response_body_;
   WorkerStats stats_;
+
+  // Overload plane state (worker-thread-owned except the two atomics).
+  OverloadStats overload_stats_;
+  size_t handshaking_ = 0;          // connections with incomplete handshakes
+  std::deque<int> parked_;          // accepted fds awaiting admission
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<uint64_t> drain_delay_ms_{0};
+  std::atomic<bool> drained_{false};
+  bool draining_ = false;           // worker-thread view of the drain
+  uint64_t drain_deadline_ms_ = 0;
 };
 
 }  // namespace qtls::server

@@ -73,7 +73,11 @@ Status WorkerPool::start(uint16_t port) {
   for (auto& cell : cells_) {
     Worker* worker = cell->worker.get();
     cell->thread = std::thread([this, worker] {
-      worker->run_until([this] { return stopping_.load(); }, /*timeout_ms=*/5);
+      // The loop also exits when a requested drain completes — the worker
+      // drives its own deadline; the pool just waits for the thread.
+      worker->run_until(
+          [this, worker] { return stopping_.load() || worker->drained(); },
+          /*timeout_ms=*/5);
     });
   }
   if (options_.stats_dump_interval_ms > 0) {
@@ -100,6 +104,19 @@ void WorkerPool::stop() {
   for (auto& cell : cells_) {
     if (cell->thread.joinable()) cell->thread.join();
   }
+  if (dump_thread_.joinable()) dump_thread_.join();
+  started_ = false;
+}
+
+void WorkerPool::shutdown(uint64_t deadline_ms) {
+  if (!started_) return;
+  for (auto& cell : cells_) cell->worker->request_drain(deadline_ms);
+  // Worker threads exit on their own once drained (force-close at the
+  // deadline bounds this); the join is the wait.
+  for (auto& cell : cells_) {
+    if (cell->thread.joinable()) cell->thread.join();
+  }
+  stopping_.store(true);  // ends the dump thread; makes stop() a no-op join
   if (dump_thread_.joinable()) dump_thread_.join();
   started_ = false;
 }

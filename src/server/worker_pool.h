@@ -53,6 +53,13 @@ class WorkerPool {
   Status start(uint16_t port);
   void stop();
 
+  // Graceful drain (DESIGN.md §10): every worker stops accepting, finishes
+  // in-flight handshakes and keepalive requests, and force-closes whatever
+  // is still alive `deadline_ms` after the drain begins. Blocks until all
+  // worker threads have exited (bounded by the deadline plus one loop
+  // iteration). Safe to call once; stop() afterwards is a no-op.
+  void shutdown(uint64_t deadline_ms);
+
   uint16_t port() const { return port_; }
   int workers() const { return static_cast<int>(cells_.size()); }
   WorkerPoolStats stats() const;

@@ -75,7 +75,16 @@ int TlsConnection::handshake_entry(TlsConnection* self) {
     }
     const TlsResult r = self->handshake_step();
     if (r != TlsResult::kOk) {
-      if (r == TlsResult::kError) self->hs_state_ = HsState::kFailed;
+      if (r == TlsResult::kError) {
+        // Tell the peer why before failing (RFC 5246 §7.2.2). We are still
+        // inside the entry fiber, so an encrypted alert may legitimately
+        // pause on the seal and surface as kWantAsync to the caller.
+        auto alert = self->pending_alert_ ? self->pending_alert_
+                                          : self->records_.last_error_alert();
+        self->pending_alert_.reset();
+        if (alert) self->queue_alert_inline(AlertLevel::kFatal, *alert);
+        self->hs_state_ = HsState::kFailed;
+      }
       return to_int(r);
     }
   }
@@ -102,11 +111,16 @@ TlsResult TlsConnection::next_record(Record* out) {
 TlsResult TlsConnection::next_handshake_message(HandshakeHeader* out) {
   for (;;) {
     if (hs_buffer_.size() >= 4) {
-      // Sanity-bound the claimed message length before waiting for it.
+      // Reassembly cap: the claimed message length bounds hs_buffer_ growth
+      // (buffer never exceeds cap + one record). A hostile claim is a
+      // fatal decode_error before any of it is buffered.
       const uint32_t claimed = static_cast<uint32_t>(hs_buffer_[1]) << 16 |
                                static_cast<uint32_t>(hs_buffer_[2]) << 8 |
                                hs_buffer_[3];
-      if (claimed > 64 * 1024) return TlsResult::kError;
+      if (claimed > kMaxHandshakeMessage) {
+        pending_alert_ = AlertDescription::kDecodeError;
+        return TlsResult::kError;
+      }
       size_t consumed = 0;
       auto parsed = parse_handshake(hs_buffer_, &consumed);
       if (parsed.is_ok()) {
@@ -127,6 +141,7 @@ TlsResult TlsConnection::next_handshake_message(HandshakeHeader* out) {
     if (record.type != ContentType::kHandshake) {
       QTLS_WARN << "unexpected record type "
                 << static_cast<int>(record.type) << " during handshake";
+      pending_alert_ = AlertDescription::kUnexpectedMessage;
       return TlsResult::kError;
     }
     append(hs_buffer_, record.payload);
@@ -983,7 +998,13 @@ int TlsConnection::read_entry(TlsConnection* self) {
   Record record;
   for (;;) {
     const TlsResult r = self->next_record(&record);
-    if (r != TlsResult::kOk) return to_int(r);
+    if (r != TlsResult::kOk) {
+      if (r == TlsResult::kError) {
+        if (auto alert = self->records_.last_error_alert())
+          self->queue_alert_inline(AlertLevel::kFatal, *alert);
+      }
+      return to_int(r);
+    }
     switch (record.type) {
       case ContentType::kApplicationData:
         append(*self->read_out_, record.payload);
@@ -1048,9 +1069,38 @@ int TlsConnection::shutdown_entry(TlsConnection* self) {
   const Bytes alert = {kAlertLevelWarning, kAlertCloseNotify};
   if (!self->records_.queue(ContentType::kAlert, alert).is_ok())
     return to_int(TlsResult::kError);
+  self->last_alert_sent_ = AlertDescription::kCloseNotify;
   const TlsResult r = self->records_.flush();
   if (r == TlsResult::kOk) self->hs_state_ = HsState::kClosed;
   return to_int(r);
+}
+
+// --------------------------------------------------------------- alerts ----
+
+void TlsConnection::queue_alert_inline(AlertLevel level,
+                                       AlertDescription desc) {
+  const Bytes alert = {static_cast<uint8_t>(level),
+                       static_cast<uint8_t>(desc)};
+  if (records_.queue(ContentType::kAlert, alert).is_ok()) {
+    last_alert_sent_ = desc;
+    (void)records_.flush();  // best-effort: the owner is tearing down anyway
+  }
+}
+
+TlsResult TlsConnection::send_alert(AlertLevel level, AlertDescription desc) {
+  if (job_ != nullptr) return TlsResult::kError;  // paused fiber owns the stream
+  alert_level_ = level;
+  alert_desc_ = desc;
+  return run_entry(&alert_entry);
+}
+
+int TlsConnection::alert_entry(TlsConnection* self) {
+  self->queue_alert_inline(self->alert_level_, self->alert_desc_);
+  if (self->alert_desc_ == AlertDescription::kCloseNotify)
+    self->hs_state_ = HsState::kClosed;
+  else if (self->alert_level_ == AlertLevel::kFatal)
+    self->hs_state_ = HsState::kFailed;
+  return to_int(TlsResult::kOk);
 }
 
 }  // namespace qtls::tls

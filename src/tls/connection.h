@@ -58,6 +58,17 @@ class TlsConnection {
   TlsResult write(BytesView data);
   // Send close_notify.
   TlsResult shutdown();
+  // Queue + flush one alert through the normal entry machinery (async mode
+  // may return kWantAsync when the record seal offloads; resume by closing
+  // through drain_paused_job). Used by the overload plane to tell the peer
+  // *why* a connection is being torn down. Fails when an entry point is
+  // paused mid-crypto — the fiber owns the record stream.
+  TlsResult send_alert(AlertLevel level, AlertDescription desc);
+  // Description of the last alert actually queued to the peer (by
+  // send_alert or by an entry point reacting to a fatal parse error).
+  std::optional<AlertDescription> last_alert_sent() const {
+    return last_alert_sent_;
+  }
 
   bool handshake_complete() const { return hs_state_ == HsState::kDone; }
   bool resumed_session() const { return resumed_; }
@@ -113,6 +124,10 @@ class TlsConnection {
   static int read_entry(TlsConnection* self);
   static int write_entry(TlsConnection* self);
   static int shutdown_entry(TlsConnection* self);
+  static int alert_entry(TlsConnection* self);
+
+  // Best-effort alert emission from inside an entry fiber.
+  void queue_alert_inline(AlertLevel level, AlertDescription desc);
 
   TlsResult handshake_step();      // one state transition
   TlsResult server_step();
@@ -190,6 +205,13 @@ class TlsConnection {
   // the fiber can be resumed by re-invoking the same entry point.
   Bytes* read_out_ = nullptr;
   Bytes write_data_;
+  AlertLevel alert_level_ = AlertLevel::kFatal;
+  AlertDescription alert_desc_ = AlertDescription::kInternalError;
+
+  // Alert chosen by a parse path for the entry wrapper to emit on failure,
+  // and the last alert actually queued to the peer.
+  std::optional<AlertDescription> pending_alert_;
+  std::optional<AlertDescription> last_alert_sent_;
 
   OpCounters ops_;
 };

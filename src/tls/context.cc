@@ -82,4 +82,17 @@ const char* tls_result_name(TlsResult r) {
   return "?";
 }
 
+const char* alert_description_name(AlertDescription d) {
+  switch (d) {
+    case AlertDescription::kCloseNotify: return "close_notify";
+    case AlertDescription::kUnexpectedMessage: return "unexpected_message";
+    case AlertDescription::kBadRecordMac: return "bad_record_mac";
+    case AlertDescription::kRecordOverflow: return "record_overflow";
+    case AlertDescription::kDecodeError: return "decode_error";
+    case AlertDescription::kInternalError: return "internal_error";
+    case AlertDescription::kUserCanceled: return "user_canceled";
+  }
+  return "?";
+}
+
 }  // namespace qtls::tls

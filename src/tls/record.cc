@@ -106,8 +106,16 @@ RecordLayer::ReadOutcome RecordLayer::read_record() {
     if (recv_buffer_.size() >= kHeaderSize) {
       const size_t len = static_cast<size_t>(recv_buffer_[3]) << 8 |
                          recv_buffer_[4];
-      if (len > kMaxCiphertextFragment)
+      // RFC 5246 §6.2.1/§6.2.3: plaintext records are bounded by 2^14, and
+      // protected records by 2^14 + expansion. Violations are fatal
+      // record_overflow — the bytes are never buffered past this check.
+      const size_t wire_cap = rx_.kind == DirectionState::Kind::kNone
+                                  ? kMaxPlaintextFragment
+                                  : kMaxCiphertextFragment;
+      if (len > wire_cap) {
+        last_error_alert_ = AlertDescription::kRecordOverflow;
         return {TlsResult::kError, std::nullopt};
+      }
       if (recv_buffer_.size() >= kHeaderSize + len) {
         const auto type = static_cast<ContentType>(recv_buffer_[0]);
         Bytes wire_payload(recv_buffer_.begin() + kHeaderSize,
@@ -129,13 +137,16 @@ RecordLayer::ReadOutcome RecordLayer::read_record() {
           if (!opened.is_ok()) {
             QTLS_WARN << "AEAD record open failed: "
                       << opened.status().to_string();
+            last_error_alert_ = AlertDescription::kBadRecordMac;
             return {TlsResult::kError, std::nullopt};
           }
           ++rx_.seq;
           record.payload = std::move(opened).take();
         } else if (rx_.kind == DirectionState::Kind::kCbcHmac) {
-          if (wire_payload.size() < kIvSize)
+          if (wire_payload.size() < kIvSize) {
+            last_error_alert_ = AlertDescription::kDecodeError;
             return {TlsResult::kError, std::nullopt};
+          }
           BytesView iv(wire_payload.data(), kIvSize);
           BytesView ct(wire_payload.data() + kIvSize,
                        wire_payload.size() - kIvSize);
@@ -147,12 +158,20 @@ RecordLayer::ReadOutcome RecordLayer::read_record() {
           if (!opened.is_ok()) {
             QTLS_WARN << "record open failed: "
                       << opened.status().to_string();
+            last_error_alert_ = AlertDescription::kBadRecordMac;
             return {TlsResult::kError, std::nullopt};
           }
           ++rx_.seq;
           record.payload = std::move(opened).take();
         } else {
           record.payload = std::move(wire_payload);
+        }
+        // The *decrypted* fragment is also bounded by 2^14 (RFC 5246
+        // §6.2.3): a protected record may not smuggle an oversized
+        // plaintext inside the ciphertext expansion allowance.
+        if (record.payload.size() > kMaxPlaintextFragment) {
+          last_error_alert_ = AlertDescription::kRecordOverflow;
+          return {TlsResult::kError, std::nullopt};
         }
         ++records_received_;
         return {TlsResult::kOk, std::move(record)};

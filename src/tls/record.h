@@ -72,6 +72,13 @@ class RecordLayer {
   uint64_t records_sent() const { return records_sent_; }
   uint64_t records_received() const { return records_received_; }
 
+  // The alert the last kError from read_record() deserves (RFC 5246 §7.2):
+  // record_overflow for length-bound violations, bad_record_mac for failed
+  // record protection. Unset when no read error has occurred.
+  std::optional<AlertDescription> last_error_alert() const {
+    return last_error_alert_;
+  }
+
  private:
   Status queue_one(ContentType type, BytesView fragment);
 
@@ -88,6 +95,7 @@ class RecordLayer {
 
   uint64_t records_sent_ = 0;
   uint64_t records_received_ = 0;
+  std::optional<AlertDescription> last_error_alert_;
 };
 
 }  // namespace qtls::tls

@@ -76,7 +76,28 @@ enum class TlsResult : uint8_t {
 
 const char* tls_result_name(TlsResult r);
 
+// Alert plane (RFC 5246 §7.2 / RFC 8446 §6). Only the descriptions this
+// stack actually emits; the overload plane (DESIGN.md §10) picks them when
+// tearing a connection down so the peer learns *why*.
+enum class AlertLevel : uint8_t { kWarning = 1, kFatal = 2 };
+
+enum class AlertDescription : uint8_t {
+  kCloseNotify = 0,
+  kUnexpectedMessage = 10,
+  kBadRecordMac = 20,
+  kRecordOverflow = 22,
+  kDecodeError = 50,
+  kInternalError = 80,
+  kUserCanceled = 90,
+};
+
+const char* alert_description_name(AlertDescription d);
+
 constexpr size_t kMaxPlaintextFragment = 16 * 1024;  // RFC fragment limit
+// Handshake-message reassembly cap: bounds hs_buffer_ growth against hostile
+// claimed lengths. Generous for this stack (largest real message is a
+// Certificate, well under 16 KB) yet small enough to starve a buffer bomb.
+constexpr size_t kMaxHandshakeMessage = 64 * 1024;
 constexpr size_t kRandomSize = 32;
 constexpr size_t kMasterSecretSize = 48;
 constexpr size_t kVerifyDataSize = 12;

@@ -24,6 +24,7 @@
 
 #include "client/https_client.h"
 #include "crypto/keystore.h"
+#include "obs/metrics.h"
 #include "qat/fault.h"
 #include "server/worker_pool.h"
 #include "tls_test_util.h"
@@ -86,6 +87,17 @@ TEST(ChaosSoak, WorkerPoolSurvivesFaultyDevice) {
   options.engine_config.max_retries = 3;
   options.engine_config.breaker_cooldown_ms = 50;
   options.engine_config.sw_fallback_on_device_error = true;
+  // Connection deadlines armed throughout the soak (generous enough never
+  // to fire under sanitizers): every accept arms and every completion
+  // cancels a timer-wheel entry while the fault plan misbehaves — the
+  // overload plane must stay TSan-clean and must not cost a single request.
+  options.worker_config.overload.handshake_timeout_ms = 60'000;
+  options.worker_config.overload.idle_timeout_ms = 60'000;
+  options.worker_config.overload.write_stall_timeout_ms = 60'000;
+
+  const uint64_t timeouts_before =
+      obs::MetricsRegistry::global().snapshot().counter_value(
+          "overload.handshake_timeout");
 
   WorkerPool pool(&device, &test_rsa2048(), options);
   ASSERT_TRUE(pool.start(0).is_ok());
@@ -133,6 +145,11 @@ TEST(ChaosSoak, WorkerPoolSurvivesFaultyDevice) {
   EXPECT_EQ(wstats.totals.requests_served, per_client * 8);
   EXPECT_EQ(wstats.totals.errors, 0u);
   EXPECT_EQ(wstats.totals.async_failures, 0u);
+  // The armed deadlines never fired: retries and fallback kept every
+  // connection inside the (generous) handshake budget.
+  EXPECT_EQ(obs::MetricsRegistry::global().snapshot().counter_value(
+                "overload.handshake_timeout"),
+            timeouts_before);
 
   // The plan actually did something.
   const qat::FaultCounters& fcnt = plan.counters();

@@ -4,10 +4,12 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <vector>
 
 #include "net/event_loop.h"
 #include "net/memory_transport.h"
 #include "net/socket_transport.h"
+#include "net/timer_wheel.h"
 
 namespace qtls::net {
 namespace {
@@ -172,6 +174,124 @@ TEST(EventLoopTest, HandlerCanRemoveItself) {
   EXPECT_EQ(calls, 1);
   ::close(a);
   ::close(b);
+}
+
+TEST(TimerWheelTest, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel(/*tick_ms=*/4, /*num_slots=*/64);
+  int fired = 0;
+  wheel.arm(1000, 50, [&] { ++fired; });
+  EXPECT_EQ(wheel.armed(), 1u);
+  EXPECT_EQ(wheel.advance(1049), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.advance(1050), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.armed(), 0u);
+  EXPECT_EQ(wheel.advance(2000), 0u);  // one-shot
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextAdvance) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.advance(500);  // establish the current tick
+  wheel.arm(500, 0, [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(500), 1u);  // same now: still fires
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CancelPreventsFire) {
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.arm(0, 10, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // redundant cancel is safe
+  EXPECT_EQ(wheel.armed(), 0u);
+  EXPECT_EQ(wheel.advance(100), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.cancelled_total(), 1u);
+  EXPECT_EQ(wheel.fired_total(), 0u);
+}
+
+TEST(TimerWheelTest, FutureRoundEntriesSurviveCollision) {
+  // Two deadlines a full wheel revolution apart hash to the same slot; the
+  // near one must fire without disturbing the far one.
+  TimerWheel wheel(/*tick_ms=*/1, /*num_slots=*/8);
+  std::vector<int> order;
+  wheel.arm(0, 3, [&] { order.push_back(3); });
+  wheel.arm(0, 3 + 8, [&] { order.push_back(11); });
+  wheel.advance(3);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(wheel.armed(), 1u);
+  wheel.advance(10);  // incremental walk passes other slots; nothing due
+  EXPECT_EQ(order.size(), 1u);
+  wheel.advance(11);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 11);
+}
+
+TEST(TimerWheelTest, LargeClockJumpFiresEverythingDue) {
+  // Virtual-time tests jump the clock by many revolutions at once.
+  TimerWheel wheel(/*tick_ms=*/4, /*num_slots=*/16);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i)
+    wheel.arm(0, static_cast<uint64_t>(10 + i * 37), [&] { ++fired; });
+  wheel.advance(0);
+  EXPECT_EQ(fired, 0);
+  wheel.advance(1'000'000);
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, CallbackMayArmAndCancel) {
+  TimerWheel wheel;
+  int chained = 0;
+  TimerWheel::TimerId victim = 0;
+  victim = wheel.arm(0, 20, [&] { ADD_FAILURE() << "cancelled timer fired"; });
+  wheel.arm(0, 10, [&] {
+    // Cancel a peer already collected as due, and arm a follow-up.
+    wheel.cancel(victim);
+    wheel.arm(20, 5, [&] { ++chained; });
+  });
+  wheel.advance(20);  // both due; the callback kills the victim first
+  EXPECT_EQ(chained, 0);
+  wheel.advance(25);
+  EXPECT_EQ(chained, 1);
+}
+
+TEST(TimerWheelTest, UntilNextBoundsSleep) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.until_next(0), UINT64_MAX);
+  wheel.arm(100, 40, [] {});
+  wheel.arm(100, 90, [] {});
+  EXPECT_EQ(wheel.until_next(100), 40u);
+  EXPECT_EQ(wheel.until_next(135), 5u);
+  EXPECT_EQ(wheel.until_next(140), 0u);  // already due
+  EXPECT_EQ(wheel.until_next(170), 0u);
+}
+
+TEST(EventLoopTest, TimerFiresWithVirtualClock) {
+  EventLoop loop;
+  uint64_t now = 1000;
+  loop.set_clock([&] { return now; });
+  int fired = 0;
+  loop.timers().arm(loop.now_ms(), 50, [&] { ++fired; });
+  loop.run_once(0);
+  EXPECT_EQ(fired, 0);
+  now = 1050;
+  loop.run_once(0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, SleepClampedToNextDeadline) {
+  EventLoop loop;
+  loop.timers().arm(loop.now_ms(), 20, [] {});
+  const auto start = std::chrono::steady_clock::now();
+  loop.run_once(-1);  // "forever" must wake for the timer
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
 }
 
 TEST(EventLoopTest, TimeoutReturnsZero) {

@@ -207,6 +207,81 @@ TEST(RecordLayer, OversizedLengthRejected) {
   rig.pipe.a().write(bogus.data(), bogus.size());
   auto outcome = rig.b.read_record();
   EXPECT_EQ(outcome.result, TlsResult::kError);
+  ASSERT_TRUE(rig.b.last_error_alert().has_value());
+  EXPECT_EQ(*rig.b.last_error_alert(), AlertDescription::kRecordOverflow);
+}
+
+TEST(RecordLayer, PlaintextRecordAboveRfcLimitRejected) {
+  // RFC 5246 §6.2.1: an *unprotected* record is bounded by 2^14 exactly —
+  // the ciphertext expansion allowance does not apply before encryption is
+  // on. 2^14 + 1 must be rejected even though the bytes are all present.
+  RecordRig rig;
+  Bytes wire;
+  append_u8(wire, static_cast<uint8_t>(ContentType::kHandshake));
+  append_u16(wire, static_cast<uint16_t>(ProtocolVersion::kTls12));
+  append_u16(wire, static_cast<uint16_t>(kMaxPlaintextFragment + 1));
+  wire.resize(wire.size() + kMaxPlaintextFragment + 1, 0xab);
+  rig.pipe.set_capacity(wire.size());
+  rig.pipe.a().write(wire.data(), wire.size());
+  auto outcome = rig.b.read_record();
+  EXPECT_EQ(outcome.result, TlsResult::kError);
+  EXPECT_FALSE(outcome.record.has_value());
+  ASSERT_TRUE(rig.b.last_error_alert().has_value());
+  EXPECT_EQ(*rig.b.last_error_alert(), AlertDescription::kRecordOverflow);
+}
+
+TEST(RecordLayer, CbcDecryptedPlaintextAboveRfcLimitRejected) {
+  // A protected record whose wire length fits the expansion bound but whose
+  // *decrypted* fragment exceeds 2^14 (RFC 5246 §6.2.3) must be rejected —
+  // the expansion allowance is for IV/MAC/padding, not smuggled plaintext.
+  RecordRig rig;
+  const CbcHmacKeys keys = rig.keys();
+  rig.b.enable_encryption_rx(keys);
+
+  const Bytes fragment(kMaxPlaintextFragment + 1, 0xcd);
+  Bytes header;
+  append_u8(header, static_cast<uint8_t>(ContentType::kApplicationData));
+  append_u16(header, static_cast<uint16_t>(ProtocolVersion::kTls12));
+  append_u16(header, static_cast<uint16_t>(fragment.size()));
+  Bytes iv(16);
+  rig.rng_a.generate(iv.data(), iv.size());
+  auto sealed = rig.provider.cipher_seal(keys, /*seq=*/0, header, iv, fragment);
+  ASSERT_TRUE(sealed.is_ok());
+
+  Bytes wire;
+  append_u8(wire, static_cast<uint8_t>(ContentType::kApplicationData));
+  append_u16(wire, static_cast<uint16_t>(ProtocolVersion::kTls12));
+  append_u16(wire, static_cast<uint16_t>(iv.size() + sealed.value().size()));
+  append(wire, iv);
+  append(wire, sealed.value());
+  rig.pipe.set_capacity(wire.size());
+  rig.pipe.a().write(wire.data(), wire.size());
+
+  auto outcome = rig.b.read_record();
+  EXPECT_EQ(outcome.result, TlsResult::kError);
+  EXPECT_FALSE(outcome.record.has_value());
+  ASSERT_TRUE(rig.b.last_error_alert().has_value());
+  EXPECT_EQ(*rig.b.last_error_alert(), AlertDescription::kRecordOverflow);
+}
+
+TEST(RecordLayer, TamperSetsBadRecordMacAlert) {
+  RecordRig rig;
+  AeadKeys keys;
+  keys.key = Bytes(16, 0x81);
+  keys.iv = Bytes(12, 0x82);
+  rig.a.enable_encryption_tx(keys);
+  rig.b.enable_encryption_rx(keys);
+  ASSERT_TRUE(
+      rig.a.queue(ContentType::kApplicationData, to_bytes("data")).is_ok());
+  ASSERT_EQ(rig.a.flush(), TlsResult::kOk);
+  uint8_t wire[256];
+  auto io = rig.pipe.b().read(wire, sizeof(wire));
+  ASSERT_EQ(io.status, IoStatus::kOk);
+  wire[io.bytes - 1] ^= 0x01;
+  rig.pipe.a().write(wire, io.bytes);
+  EXPECT_EQ(rig.b.read_record().result, TlsResult::kError);
+  ASSERT_TRUE(rig.b.last_error_alert().has_value());
+  EXPECT_EQ(*rig.b.last_error_alert(), AlertDescription::kBadRecordMac);
 }
 
 TEST(RecordLayer, PeerCloseSurfacesClosed) {

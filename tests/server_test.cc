@@ -71,6 +71,65 @@ TEST(Http, MalformedRequestSetsError) {
   EXPECT_TRUE(parser.error());
 }
 
+// ------------------------------------------------- parser hardening ----
+
+TEST(HttpLimits, OversizedHeaderBlockFlagsTooLarge) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  HttpRequestParser parser(limits);
+  // A single giant header pushes the buffered-but-incomplete header block
+  // past the cap: the parser must flag it without waiting for CRLFCRLF.
+  parser.feed(to_bytes("GET / HTTP/1.1\r\nX-Bomb: " +
+                       std::string(1024, 'a')));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  EXPECT_TRUE(parser.too_large());
+}
+
+TEST(HttpLimits, CompleteHeaderOverCapFlagsTooLarge) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpRequestParser parser(limits);
+  // Complete (terminated) header that still exceeds the byte cap.
+  parser.feed(to_bytes("GET / HTTP/1.1\r\nX-Pad: " + std::string(64, 'b') +
+                       "\r\n\r\n"));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.too_large());
+}
+
+TEST(HttpLimits, TooManyHeaderLinesFlagsTooLarge) {
+  HttpLimits limits;
+  limits.max_header_count = 4;
+  HttpRequestParser parser(limits);
+  std::string req = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i)
+    req += "X-H" + std::to_string(i) + ": v\r\n";
+  req += "\r\n";
+  parser.feed(to_bytes(req));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.too_large());
+}
+
+TEST(HttpLimits, DefaultsAcceptOrdinaryRequests) {
+  HttpRequestParser parser;  // default limits
+  std::string req = "GET /index.html HTTP/1.1\r\n";
+  for (int i = 0; i < 20; ++i)
+    req += "X-H" + std::to_string(i) + ": value\r\n";
+  req += "\r\n";
+  parser.feed(to_bytes(req));
+  ASSERT_TRUE(parser.next().has_value());
+  EXPECT_FALSE(parser.too_large());
+}
+
+TEST(HttpLimits, ResponseBodyClamped) {
+  const Bytes huge(kMaxResponseBody + 4096, 0x5a);
+  const Bytes resp = build_http_response(200, huge, false);
+  auto head = parse_http_response_head(resp);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->content_length, kMaxResponseBody);
+  EXPECT_EQ(resp.size(), head->header_bytes + kMaxResponseBody);
+}
+
 // ------------------------------------------------------------- conf ----
 
 TEST(SslEngineConf, ParsesPaperExample) {
@@ -134,6 +193,53 @@ TEST(SslEngineConf, SoftwareOnlyWhenNoEngineBlock) {
   ASSERT_TRUE(settings.is_ok());
   EXPECT_FALSE(settings.value().use_qat);
   EXPECT_EQ(settings.value().worker_processes, 4);
+}
+
+TEST(SslEngineConf, ParsesOverloadBlock) {
+  auto settings = parse_ssl_engine_settings(R"(
+    overload {
+        handshake_timeout_ms 5000;
+        idle_timeout_ms 30000;
+        write_stall_timeout_ms 10000;
+        max_handshaking 256;
+        max_async_inflight 1024;
+        past_cap park;
+        park_backlog 32;
+        max_header_bytes 4096;
+        max_header_count 50;
+    }
+  )");
+  ASSERT_TRUE(settings.is_ok()) << settings.status().to_string();
+  const OverloadConfig& ov = settings.value().overload;
+  EXPECT_EQ(ov.handshake_timeout_ms, 5000u);
+  EXPECT_EQ(ov.idle_timeout_ms, 30000u);
+  EXPECT_EQ(ov.write_stall_timeout_ms, 10000u);
+  EXPECT_EQ(ov.max_handshaking, 256u);
+  EXPECT_EQ(ov.max_async_inflight, 1024u);
+  EXPECT_EQ(ov.past_cap, OverloadConfig::PastCap::kPark);
+  EXPECT_EQ(ov.park_backlog, 32u);
+  EXPECT_EQ(settings.value().http_limits.max_header_bytes, 4096u);
+  EXPECT_EQ(settings.value().http_limits.max_header_count, 50u);
+}
+
+TEST(SslEngineConf, OverloadDefaultsWhenBlockAbsent) {
+  auto settings = parse_ssl_engine_settings("worker_processes 1;");
+  ASSERT_TRUE(settings.is_ok());
+  const OverloadConfig& ov = settings.value().overload;
+  EXPECT_EQ(ov.handshake_timeout_ms, 0u);  // timeouts disabled by default
+  EXPECT_EQ(ov.max_handshaking, 0u);       // unlimited by default
+  EXPECT_EQ(ov.past_cap, OverloadConfig::PastCap::kShed);
+}
+
+TEST(SslEngineConf, RejectsBadOverloadValues) {
+  EXPECT_FALSE(parse_ssl_engine_settings(
+                   "overload { handshake_timeout_ms -1; }").is_ok());
+  EXPECT_FALSE(parse_ssl_engine_settings(
+                   "overload { past_cap maybe; }").is_ok());
+  EXPECT_FALSE(parse_ssl_engine_settings(
+                   "overload { max_header_bytes 8; }").is_ok());
+  EXPECT_FALSE(parse_ssl_engine_settings(
+                   "overload { max_header_count 0; }").is_ok());
 }
 
 // ------------------------------------------------------ async queue ----

@@ -338,6 +338,79 @@ TEST(TlsData, CorruptedRecordFailsHandshake) {
   EXPECT_EQ(server2.handshake(), TlsResult::kError);
 }
 
+namespace {
+Bytes drain_raw(Transport& t) {
+  Bytes out;
+  uint8_t buf[4096];
+  for (;;) {
+    auto io = t.read(buf, sizeof(buf));
+    if (io.status != IoStatus::kOk) break;
+    out.insert(out.end(), buf, buf + io.bytes);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(TlsAlerts, OversizedHandshakeClaimSendsDecodeError) {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider sp{1};
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  TlsContext sctx(scfg, &sp);
+  sctx.credentials().rsa_key = &test_rsa2048();
+  TlsConnection server(&sctx, &pipe.b());
+  // Handshake header claiming a 16 MB message: fatal, and the peer must be
+  // told why — a fatal decode_error alert on the wire, not a silent close.
+  const Bytes garbage = from_hex("160303000901ffffff0000000000");
+  pipe.a().write(garbage.data(), garbage.size());
+  EXPECT_EQ(server.handshake(), TlsResult::kError);
+  ASSERT_TRUE(server.last_alert_sent().has_value());
+  EXPECT_EQ(*server.last_alert_sent(), AlertDescription::kDecodeError);
+  const Bytes wire = drain_raw(pipe.a());
+  // 5-byte record header (alert, TLS1.2, len 2) + level fatal + decode_error.
+  ASSERT_EQ(wire.size(), 7u);
+  EXPECT_EQ(wire[0], static_cast<uint8_t>(ContentType::kAlert));
+  EXPECT_EQ(wire[5], static_cast<uint8_t>(AlertLevel::kFatal));
+  EXPECT_EQ(wire[6], static_cast<uint8_t>(AlertDescription::kDecodeError));
+}
+
+TEST(TlsAlerts, OversizedRecordSendsRecordOverflow) {
+  net::MemoryPipe pipe;
+  engine::SoftwareProvider sp{1};
+  TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.cipher_suites = {CipherSuite::kTlsRsaWithAes128CbcSha};
+  TlsContext sctx(scfg, &sp);
+  sctx.credentials().rsa_key = &test_rsa2048();
+  TlsConnection server(&sctx, &pipe.b());
+  // Unprotected record claiming 0x7fff bytes: above the 2^14 plaintext
+  // bound, rejected from the header alone with record_overflow.
+  const Bytes bad_len = from_hex("1603037fff");
+  pipe.a().write(bad_len.data(), bad_len.size());
+  EXPECT_EQ(server.handshake(), TlsResult::kError);
+  ASSERT_TRUE(server.last_alert_sent().has_value());
+  EXPECT_EQ(*server.last_alert_sent(), AlertDescription::kRecordOverflow);
+  const Bytes wire = drain_raw(pipe.a());
+  ASSERT_EQ(wire.size(), 7u);
+  EXPECT_EQ(wire[6], static_cast<uint8_t>(AlertDescription::kRecordOverflow));
+}
+
+TEST(TlsAlerts, SendAlertTearsDownWithReason) {
+  Pair pair(CipherSuite::kTlsRsaWithAes128CbcSha);
+  ASSERT_TRUE(pump_handshake(pair.client.get(), pair.server.get()).ok);
+  // The overload plane's handshake/idle teardown path: an explicit alert.
+  EXPECT_EQ(pair.server->send_alert(AlertLevel::kFatal,
+                                    AlertDescription::kUserCanceled),
+            TlsResult::kOk);
+  ASSERT_TRUE(pair.server->last_alert_sent().has_value());
+  EXPECT_EQ(*pair.server->last_alert_sent(),
+            AlertDescription::kUserCanceled);
+  // The peer observes the (encrypted) alert as an orderly close.
+  Bytes got;
+  EXPECT_EQ(pair.client->read(&got), TlsResult::kClosed);
+}
+
 TEST(TlsMessages, ClientHelloRoundTrip) {
   ClientHello hello;
   hello.version = ProtocolVersion::kTls12;
