@@ -3,6 +3,12 @@
 // clients (paper §5.4). Expected shapes: near-parity at 4 KB (request
 // overhead dominates), growing to >2x for QTLS at large sizes; QAT+A ~1.6x
 // at 128 KB.
+//
+// Also the record-data-plane gate (DESIGN.md §11): every size runs QTLS a
+// second time on the legacy coalesced TX plane. The bench FAILS (non-zero
+// exit) unless the iovec-chain plane copies strictly fewer bytes per wire
+// byte and is at least as fast at 128 KB and above — this is the regression
+// tripwire `ctest -L bench-smoke` runs.
 #include "figlib.h"
 
 using namespace qtls;
@@ -13,12 +19,13 @@ int main() {
 
   const std::vector<size_t> sizes_kb = {4, 16, 32, 64, 128, 256, 512, 1024};
   TextTable table({"file", "SW", "QAT+S", "QAT+A", "QAT+AH", "QTLS",
-                   "QTLS/SW"});
+                   "QTLS-legacy", "QTLS/SW"});
   double sw128 = 0, qtls128 = 0, qata128 = 0, sw1m = 0, qtls1m = 0;
+  bool gate_ok = true;
 
   for (size_t kb : sizes_kb) {
     std::vector<std::string> row = {std::to_string(kb) + "KB"};
-    double sw = 0, qtls = 0;
+    double sw = 0, qtls = 0, qtls_copies = 0;
     for (Config cfg : all_configs()) {
       RunParams p = base_params();
       p.config = cfg;
@@ -28,10 +35,50 @@ int main() {
       p.file_bytes = kb * 1024;
       const RunResult r = sim::run_simulation(p);
       row.push_back(format_double(r.throughput_gbps, 1));
+      std::printf(
+          "BENCH_JSON {\"metric\":\"fig10.throughput_gbps\",\"config\":"
+          "\"%s\",\"file_kb\":%zu,\"gbps\":%.3f,"
+          "\"bytes_copied_per_byte\":%.3f}\n",
+          sim::config_name(cfg), kb, r.throughput_gbps,
+          r.bytes_copied_per_byte);
       if (cfg == Config::kSW) sw = r.throughput_gbps;
-      if (cfg == Config::kQtls) qtls = r.throughput_gbps;
+      if (cfg == Config::kQtls) {
+        qtls = r.throughput_gbps;
+        qtls_copies = r.bytes_copied_per_byte;
+      }
       if (kb == 128 && cfg == Config::kQatA) qata128 = r.throughput_gbps;
     }
+    // Pre-change baseline: QTLS on the legacy coalesced TX plane.
+    RunParams lp = base_params();
+    lp.config = Config::kQtls;
+    lp.workers = 8;
+    lp.clients = 400;
+    lp.transfer_mode = true;
+    lp.file_bytes = kb * 1024;
+    lp.legacy_dataplane = true;
+    const RunResult legacy = sim::run_simulation(lp);
+    row.push_back(format_double(legacy.throughput_gbps, 1));
+    std::printf(
+        "BENCH_JSON {\"metric\":\"fig10.throughput_gbps\",\"config\":"
+        "\"QTLS-legacy\",\"file_kb\":%zu,\"gbps\":%.3f,"
+        "\"bytes_copied_per_byte\":%.3f}\n",
+        kb, legacy.throughput_gbps, legacy.bytes_copied_per_byte);
+
+    // Data-plane gate: fewer copies everywhere, no throughput regression
+    // at the sizes the batched plane targets (128 KB+).
+    if (qtls_copies >= legacy.bytes_copied_per_byte) {
+      std::printf(
+          "GATE FAIL at %zuKB: copies/byte %.3f (new) >= %.3f (legacy)\n", kb,
+          qtls_copies, legacy.bytes_copied_per_byte);
+      gate_ok = false;
+    }
+    if (kb >= 128 && qtls < legacy.throughput_gbps) {
+      std::printf(
+          "GATE FAIL at %zuKB: throughput %.3f Gbps (new) < %.3f (legacy)\n",
+          kb, qtls, legacy.throughput_gbps);
+      gate_ok = false;
+    }
+
     if (kb == 128) {
       sw128 = sw;
       qtls128 = qtls;
@@ -48,5 +95,6 @@ int main() {
   print_ratio("QAT+A / SW at 128KB (~1.6x)", qata128 / sw128, 1.6);
   print_ratio("QTLS / SW at 128KB (>2x)", qtls128 / sw128, 2.0);
   print_ratio("QTLS / SW at 1024KB (>2x)", qtls1m / sw1m, 2.2);
-  return 0;
+  std::printf("data-plane gate: %s\n", gate_ok ? "PASS" : "FAIL");
+  return gate_ok ? 0 : 1;
 }

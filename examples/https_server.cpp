@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   int seconds = 3;
   int clients = 8;
   bool show_stats = false;
+  const char* file_root = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc)
       listen_port = std::atoi(argv[++i]);
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
       seconds = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
       clients = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--file-root") == 0 && i + 1 < argc)
+      file_root = argv[++i];
     else if (std::strcmp(argv[i], "--stats") == 0)
       show_stats = true;
   }
@@ -100,6 +103,10 @@ int main(int argc, char** argv) {
   worker_config.overload = settings.value().overload;
   worker_config.http_limits = settings.value().http_limits;
   worker_config.response_body_size = 1024;
+  // Static-file streaming (DESIGN.md §11): --file-root overrides the conf's
+  // http{file_root} knob; paths resolve under the root, misses answer 404.
+  worker_config.file_root =
+      file_root != nullptr ? file_root : settings.value().file_root;
 
   if (listen_port >= 0) {
     // Serving mode: a WorkerPool (SO_REUSEPORT accept sharing, one QAT

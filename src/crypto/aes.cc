@@ -185,19 +185,24 @@ void Aes::decrypt_block(const uint8_t in[16], uint8_t out[16]) const {
   std::memcpy(out, s, 16);
 }
 
-Bytes aes_cbc_encrypt(const Aes& aes, BytesView iv, BytesView plaintext) {
+void aes_cbc_encrypt_into(const Aes& aes, BytesView iv, BytesView plaintext,
+                          uint8_t* out) {
   if (iv.size() != 16 || plaintext.size() % 16 != 0)
     throw std::invalid_argument("CBC: bad iv/plaintext size");
-  Bytes out(plaintext.size());
   uint8_t chain[16];
   std::memcpy(chain, iv.data(), 16);
   for (size_t off = 0; off < plaintext.size(); off += 16) {
     uint8_t block[16];
     for (int i = 0; i < 16; ++i)
       block[i] = plaintext[off + static_cast<size_t>(i)] ^ chain[i];
-    aes.encrypt_block(block, &out[off]);
-    std::memcpy(chain, &out[off], 16);
+    aes.encrypt_block(block, out + off);
+    std::memcpy(chain, out + off, 16);
   }
+}
+
+Bytes aes_cbc_encrypt(const Aes& aes, BytesView iv, BytesView plaintext) {
+  Bytes out(plaintext.size());
+  aes_cbc_encrypt_into(aes, iv, plaintext, out.data());
   return out;
 }
 
@@ -219,8 +224,9 @@ Result<Bytes> aes_cbc_decrypt(const Aes& aes, BytesView iv,
   return out;
 }
 
-Bytes cbc_hmac_seal(const CbcHmacKeys& keys, uint64_t seq, BytesView header,
-                    BytesView iv, BytesView fragment) {
+void cbc_hmac_seal_into(const CbcHmacKeys& keys, uint64_t seq,
+                        BytesView header, BytesView iv, BytesView fragment,
+                        Bytes* out) {
   // MAC over seq || header(with true fragment length) || fragment.
   HmacCtx mac(keys.mac_alg, keys.mac_key);
   Bytes seq_bytes;
@@ -236,7 +242,21 @@ Bytes cbc_hmac_seal(const CbcHmacKeys& keys, uint64_t seq, BytesView header,
   padded.insert(padded.end(), pad_len + 1, static_cast<uint8_t>(pad_len));
 
   Aes aes(keys.enc_key);
-  return aes_cbc_encrypt(aes, iv, padded);
+  // `iv` may alias *out (the record layer seals after the explicit IV it
+  // wrote into the output block) — copy it before the resize can relocate.
+  uint8_t iv_copy[16];
+  if (iv.size() == 16) std::memcpy(iv_copy, iv.data(), 16);
+  const size_t base = out->size();
+  out->resize(base + padded.size());
+  aes_cbc_encrypt_into(aes, BytesView(iv_copy, iv.size() == 16 ? 16 : 0),
+                       padded, out->data() + base);
+}
+
+Bytes cbc_hmac_seal(const CbcHmacKeys& keys, uint64_t seq, BytesView header,
+                    BytesView iv, BytesView fragment) {
+  Bytes out;
+  cbc_hmac_seal_into(keys, seq, header, iv, fragment, &out);
+  return out;
 }
 
 Result<Bytes> cbc_hmac_open(const CbcHmacKeys& keys, uint64_t seq,

@@ -30,6 +30,9 @@ class Aes {
 
 // CBC with explicit IV; input must be a multiple of 16 (TLS pads first).
 Bytes aes_cbc_encrypt(const Aes& aes, BytesView iv, BytesView plaintext);
+// Same, writing into caller storage (out must hold plaintext.size() bytes).
+void aes_cbc_encrypt_into(const Aes& aes, BytesView iv, BytesView plaintext,
+                          uint8_t* out);
 Result<Bytes> aes_cbc_decrypt(const Aes& aes, BytesView iv, BytesView ciphertext);
 
 // TLS 1.2 CBC record protection, MAC-then-encrypt (RFC 5246 §6.2.3.2):
@@ -44,6 +47,11 @@ struct CbcHmacKeys {
 
 Bytes cbc_hmac_seal(const CbcHmacKeys& keys, uint64_t seq, BytesView header,
                     BytesView iv, BytesView fragment);
+// Appends the sealed record (same bytes as cbc_hmac_seal) to *out — the
+// zero-copy path: ciphertext is encrypted directly into the output block.
+void cbc_hmac_seal_into(const CbcHmacKeys& keys, uint64_t seq,
+                        BytesView header, BytesView iv, BytesView fragment,
+                        Bytes* out);
 Result<Bytes> cbc_hmac_open(const CbcHmacKeys& keys, uint64_t seq,
                             BytesView header_without_len, BytesView iv,
                             BytesView ciphertext);

@@ -112,17 +112,25 @@ Block compute_tag_block(const Aes& aes, BytesView nonce12, BytesView aad,
 
 }  // namespace
 
-Bytes gcm_seal(const Aes& aes, BytesView nonce12, BytesView aad,
-               BytesView plaintext) {
-  Bytes out(plaintext.size() + kGcmTagSize);
+void gcm_seal_into(const Aes& aes, BytesView nonce12, BytesView aad,
+                   BytesView plaintext, Bytes* out) {
+  const size_t base = out->size();
+  out->resize(base + plaintext.size() + kGcmTagSize);
+  uint8_t* dst = out->data() + base;
   uint8_t counter[16] = {0};
   std::memcpy(counter, nonce12.data(), kGcmNonceSize);
   counter[15] = 1;  // J0; data blocks start at inc32(J0)
-  ctr_xor(aes, counter, plaintext, out.data());
+  ctr_xor(aes, counter, plaintext, dst);
 
-  const Block tag = compute_tag_block(
-      aes, nonce12, aad, BytesView(out.data(), plaintext.size()));
-  tag.to_bytes(out.data() + plaintext.size());
+  const Block tag =
+      compute_tag_block(aes, nonce12, aad, BytesView(dst, plaintext.size()));
+  tag.to_bytes(dst + plaintext.size());
+}
+
+Bytes gcm_seal(const Aes& aes, BytesView nonce12, BytesView aad,
+               BytesView plaintext) {
+  Bytes out;
+  gcm_seal_into(aes, nonce12, aad, plaintext, &out);
   return out;
 }
 
@@ -152,6 +160,12 @@ Bytes gcm_seal(BytesView key, BytesView nonce12, BytesView aad,
                BytesView plaintext) {
   Aes aes(key);
   return gcm_seal(aes, nonce12, aad, plaintext);
+}
+
+void gcm_seal_into(BytesView key, BytesView nonce12, BytesView aad,
+                   BytesView plaintext, Bytes* out) {
+  Aes aes(key);
+  gcm_seal_into(aes, nonce12, aad, plaintext, out);
 }
 
 Result<Bytes> gcm_open(BytesView key, BytesView nonce12, BytesView aad,

@@ -15,6 +15,12 @@ constexpr size_t kGcmNonceSize = 12;
 // Seals plaintext: returns ciphertext || 16-byte tag.
 Bytes gcm_seal(const Aes& aes, BytesView nonce12, BytesView aad,
                BytesView plaintext);
+// Appends ciphertext || tag to *out — the zero-copy path: ciphertext is
+// encrypted directly into the output block.
+void gcm_seal_into(const Aes& aes, BytesView nonce12, BytesView aad,
+                   BytesView plaintext, Bytes* out);
+void gcm_seal_into(BytesView key, BytesView nonce12, BytesView aad,
+                   BytesView plaintext, Bytes* out);
 // Opens ciphertext||tag; fails on authentication mismatch.
 Result<Bytes> gcm_open(const Aes& aes, BytesView nonce12, BytesView aad,
                        BytesView ciphertext_and_tag);

@@ -12,6 +12,7 @@
 // as OpenSSL's QAT Engine does, so the TLS code is identical either way.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/bytes.h"
@@ -31,6 +32,24 @@ struct KeyShare {
   CurveId curve = CurveId::kP256;
   Bytes priv;       // big-endian scalar
   Bytes pub_point;  // SEC1 uncompressed encoding
+};
+
+// One record of a batched seal: sealed bytes are APPENDED to *out (the
+// caller pre-fills any prefix, e.g. the CBC explicit IV), so a provider can
+// encrypt directly into the output block with no staging copy.
+struct CipherSealJob {
+  uint64_t seq = 0;
+  BytesView header;    // 5-byte record header with the true fragment length
+  BytesView iv;        // explicit IV (also the first bytes of *out)
+  BytesView fragment;  // plaintext
+  Bytes* out = nullptr;
+};
+
+struct AeadSealJob {
+  BytesView nonce;      // per-record nonce (static iv XOR seq)
+  BytesView aad;        // additional data with the protected length
+  BytesView plaintext;  // fragment
+  Bytes* out = nullptr;
 };
 
 class CryptoProvider {
@@ -68,6 +87,14 @@ class CryptoProvider {
                                   BytesView aad, BytesView plaintext) = 0;
   virtual Result<Bytes> aead_open(BytesView key, BytesView nonce,
                                   BytesView aad, BytesView ciphertext) = 0;
+
+  // Batched record seal: seal every job, appending into job.out. The
+  // defaults loop the single-record virtuals (one result copy per record);
+  // the software provider seals straight into job.out and the QAT engine
+  // submits the whole span as ONE device batch (qat submit_batch, §3.2).
+  virtual Status cipher_seal_batch(const CbcHmacKeys& keys,
+                                   std::span<CipherSealJob> jobs);
+  virtual Status aead_seal_batch(BytesView key, std::span<AeadSealJob> jobs);
 };
 
 // Pure-CPU provider; also the fallback inside the QAT engine for algorithms
@@ -101,6 +128,10 @@ class SoftwareProvider : public CryptoProvider {
                           BytesView plaintext) override;
   Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
                           BytesView ciphertext) override;
+  // Seals each record directly into job.out (no staging copies).
+  Status cipher_seal_batch(const CbcHmacKeys& keys,
+                           std::span<CipherSealJob> jobs) override;
+  Status aead_seal_batch(BytesView key, std::span<AeadSealJob> jobs) override;
 
   HmacDrbg& drbg() { return drbg_; }
 

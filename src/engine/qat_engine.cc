@@ -20,7 +20,8 @@ constexpr uint8_t kHalfOpen = static_cast<uint8_t>(BreakerState::kHalfOpen);
 // walking provider instances. Interned once; increments are shard-local.
 struct EngineObsCounters {
   obs::Counter submitted, completed, submit_retry, device_error, retry,
-      deadline_expiry, sw_fallback, breaker_open, breaker_close;
+      deadline_expiry, sw_fallback, breaker_open, breaker_close, seal_batch,
+      seal_batch_op;
 
   EngineObsCounters() {
     auto& reg = obs::MetricsRegistry::global();
@@ -33,12 +34,24 @@ struct EngineObsCounters {
     sw_fallback = reg.counter("qat.engine.sw_fallback");
     breaker_open = reg.counter("qat.engine.breaker_open");
     breaker_close = reg.counter("qat.engine.breaker_close");
+    seal_batch = reg.counter("qat.engine.seal_batch");
+    seal_batch_op = reg.counter("qat.engine.seal_batch_op");
   }
 };
 
 EngineObsCounters& obs_counters() {
   static EngineObsCounters counters;
   return counters;
+}
+
+// TX copy meter shared with tls/record.cc and engine/provider.cc — the
+// engine appending a retrieved seal result into the output block is a
+// staging copy on the TX path (the input marshalling into the compute
+// closure models the device DMA and is deliberately not counted).
+obs::Counter& record_bytes_copied() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("record.bytes_copied");
+  return c;
 }
 }  // namespace
 
@@ -511,6 +524,259 @@ Result<Bytes> QatEngineProvider::aead_open(BytesView key, BytesView nonce,
                         [k, n, a, ct]() -> Result<Bytes> {
                           return gcm_open(k, n, a, ct);
                         });
+}
+
+Status QatEngineProvider::run_seal_batch(
+    const std::vector<std::function<Result<Bytes>()>>& computes,
+    const std::vector<Bytes*>& outs) {
+  using State = TypedOpState<Bytes>;
+  const qat::OpClass cls = qat::op_class_of(qat::OpKind::kCipher16k);
+  const size_t n = computes.size();
+
+  if (!offload_allowed(cls)) {
+    // Breaker open: the whole batch degrades to software on the calling
+    // thread (the closures are self-contained).
+    for (size_t i = 0; i < n; ++i) {
+      ++stats_.sw_fallbacks;
+      obs_counters().sw_fallback.inc();
+      QTLS_ASSIGN_OR_RETURN(Bytes sealed, computes[i]());
+      record_bytes_copied().add(sealed.size());
+      append(*outs[i], sealed);
+    }
+    return Status::ok();
+  }
+
+  asyncx::AsyncJob* job = asyncx::get_current_job();
+  const bool async = config_.offload_mode == OffloadMode::kAsync && job;
+  asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
+
+  // One shared state per record; every response callback decrements the
+  // inflight slot and notifies the (single) waiting fiber.
+  std::vector<std::shared_ptr<State>> states;
+  states.reserve(n);
+  std::vector<qat::CryptoRequest> reqs;
+  reqs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto state = std::make_shared<State>();
+    state->wctx = wctx;
+    state->cls = static_cast<int>(cls);
+    inflight_[static_cast<int>(cls)].fetch_add(1, std::memory_order_release);
+
+    qat::CryptoRequest req;
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.kind = qat::OpKind::kCipher16k;
+    obs::trace_begin(req.trace);
+    state->req_id = req.request_id;
+    const auto& compute = computes[i];
+    req.compute = [state, compute] {
+      state->result = compute();
+      return state->result.is_ok();
+    };
+    req.on_response = [this, state](const qat::CryptoResponse& resp) {
+      if (state->abandoned.load(std::memory_order_acquire)) return;
+      state->dev_status = resp.status;
+      if (resp.trace.sampled) state->trace = resp.trace;
+      inflight_[state->cls].fetch_sub(1, std::memory_order_release);
+      state->done.store(true, std::memory_order_release);
+      if (state->wctx) state->wctx->notify();
+    };
+    states.push_back(std::move(state));
+    reqs.push_back(std::move(req));
+  }
+
+  // The whole span goes to one instance as a single submit_batch() dispatch
+  // (one engine wakeup for N records); a full request ring accepts a prefix
+  // and the remainder retries after the loop turns (§3.2).
+  qat::CryptoInstance* target =
+      instances_[next_instance_.fetch_add(1, std::memory_order_relaxed) %
+                 instances_.size()];
+  size_t accepted = 0;
+  while (accepted < n) {
+    accepted +=
+        target->submit_batch(std::span<qat::CryptoRequest>(reqs).subspan(
+            accepted));
+    if (accepted < n) {
+      ++stats_.submit_retries;
+      obs_counters().submit_retry.inc();
+      if (async) {
+        if (wctx) wctx->notify();
+        asyncx::pause_job();
+      } else {
+        target->poll();
+        std::this_thread::yield();
+      }
+    }
+  }
+  stats_.submitted += n;
+  obs_counters().submitted.add(n);
+  ++stats_.seal_batches;
+  stats_.seal_batch_ops += n;
+  if (n > stats_.max_seal_batch) stats_.max_seal_batch = n;
+  obs_counters().seal_batch.inc();
+  obs_counters().seal_batch_op.add(n);
+
+  const uint64_t deadline_ns =
+      config_.op_deadline_us == 0
+          ? 0
+          : steady_now_ns() + config_.op_deadline_us * 1'000ULL;
+
+  auto settled = [](const State& s) {
+    return s.done.load(std::memory_order_acquire) ||
+           s.abandoned.load(std::memory_order_acquire);
+  };
+  auto all_settled = [&] {
+    for (const auto& s : states)
+      if (!settled(*s)) return false;
+    return true;
+  };
+
+  if (async) {
+    if (deadline_ns != 0) {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      for (auto& s : states) {
+        s->deadline_ns = deadline_ns;
+        pending_.push_back(s);
+      }
+    }
+    // Every response (and any deadline expiry in sweep_deadlines) notifies
+    // this fiber; the loop tolerates spurious resumes.
+    while (!all_settled()) asyncx::pause_job();
+  } else {
+    ++stats_.sync_blocks;
+    while (!all_settled()) {
+      if (config_.self_poll_when_blocking) {
+        target->poll();
+      } else {
+        std::this_thread::yield();
+      }
+      if (deadline_ns != 0 && steady_now_ns() >= deadline_ns) {
+        for (auto& s : states) {
+          if (settled(*s)) continue;
+          s->abandoned.store(true, std::memory_order_release);
+          inflight_[s->cls].fetch_sub(1, std::memory_order_release);
+          ++stats_.deadline_expiries;
+          obs_counters().deadline_expiry.inc();
+        }
+      }
+    }
+  }
+
+  // Settle per record, preserving wire order (outs[i] append order is the
+  // caller's record order regardless of device completion order).
+  for (size_t i = 0; i < n; ++i) {
+    State& s = *states[i];
+    if (s.abandoned.load(std::memory_order_acquire)) {
+      // Deadline expired: no resubmit (a late response may still land
+      // device-side), mirror the single-op path.
+      breaker_on_failure(cls);
+      if (!config_.sw_fallback_on_device_error)
+        return err(Code::kUnavailable, "qat op deadline expired");
+      ++stats_.sw_fallbacks;
+      obs_counters().sw_fallback.inc();
+      QTLS_ASSIGN_OR_RETURN(Bytes sealed, computes[i]());
+      record_bytes_copied().add(sealed.size());
+      append(*outs[i], sealed);
+      continue;
+    }
+
+    ++stats_.completed;
+    obs_counters().completed.inc();
+    if (s.trace.sampled) {
+      obs::stamp_now(s.trace, obs::Stage::kFiberResume);
+      obs::record_pipeline(s.trace, s.req_id, s.cls, /*sim=*/false);
+    }
+
+    if (!qat::is_device_failure(s.dev_status)) {
+      breaker_on_success(cls);
+      QTLS_ASSIGN_OR_RETURN(Bytes sealed, std::move(s.result));
+      record_bytes_copied().add(sealed.size());
+      append(*outs[i], sealed);
+      continue;
+    }
+
+    // Transient device failure on this record: retry it through the
+    // single-op runner, which owns the backoff/breaker/fallback semantics.
+    ++stats_.device_errors;
+    obs_counters().device_error.inc();
+    ++stats_.op_retries;
+    obs_counters().retry.inc();
+    QTLS_ASSIGN_OR_RETURN(
+        Bytes sealed, offload<Bytes>(qat::OpKind::kCipher16k, computes[i]));
+    record_bytes_copied().add(sealed.size());
+    append(*outs[i], sealed);
+  }
+  return Status::ok();
+}
+
+Status QatEngineProvider::cipher_seal_batch(const CbcHmacKeys& keys,
+                                            std::span<CipherSealJob> jobs) {
+  if (jobs.empty()) return Status::ok();
+  if (!config_.offload_cipher) return fallback_.cipher_seal_batch(keys, jobs);
+  if (jobs.size() == 1) {
+    CipherSealJob& job = jobs.front();
+    QTLS_ASSIGN_OR_RETURN(
+        Bytes sealed,
+        cipher_seal(keys, job.seq, job.header, job.iv, job.fragment));
+    record_bytes_copied().add(sealed.size());
+    append(*job.out, sealed);
+    return Status::ok();
+  }
+
+  struct In {
+    uint64_t seq;
+    Bytes header, iv, fragment;
+  };
+  auto keys_copy = std::make_shared<CbcHmacKeys>(keys);
+  std::vector<std::function<Result<Bytes>()>> computes;
+  std::vector<Bytes*> outs;
+  computes.reserve(jobs.size());
+  outs.reserve(jobs.size());
+  for (CipherSealJob& job : jobs) {
+    auto in = std::make_shared<In>(
+        In{job.seq, Bytes(job.header.begin(), job.header.end()),
+           Bytes(job.iv.begin(), job.iv.end()),
+           Bytes(job.fragment.begin(), job.fragment.end())});
+    computes.push_back([keys_copy, in]() -> Result<Bytes> {
+      return cbc_hmac_seal(*keys_copy, in->seq, in->header, in->iv,
+                           in->fragment);
+    });
+    outs.push_back(job.out);
+  }
+  return run_seal_batch(computes, outs);
+}
+
+Status QatEngineProvider::aead_seal_batch(BytesView key,
+                                          std::span<AeadSealJob> jobs) {
+  if (jobs.empty()) return Status::ok();
+  if (!config_.offload_cipher) return fallback_.aead_seal_batch(key, jobs);
+  if (jobs.size() == 1) {
+    AeadSealJob& job = jobs.front();
+    QTLS_ASSIGN_OR_RETURN(Bytes sealed,
+                          aead_seal(key, job.nonce, job.aad, job.plaintext));
+    record_bytes_copied().add(sealed.size());
+    append(*job.out, sealed);
+    return Status::ok();
+  }
+
+  struct In {
+    Bytes nonce, aad, plaintext;
+  };
+  auto key_copy = std::make_shared<Bytes>(key.begin(), key.end());
+  std::vector<std::function<Result<Bytes>()>> computes;
+  std::vector<Bytes*> outs;
+  computes.reserve(jobs.size());
+  outs.reserve(jobs.size());
+  for (AeadSealJob& job : jobs) {
+    auto in = std::make_shared<In>(
+        In{Bytes(job.nonce.begin(), job.nonce.end()),
+           Bytes(job.aad.begin(), job.aad.end()),
+           Bytes(job.plaintext.begin(), job.plaintext.end())});
+    computes.push_back([key_copy, in]() -> Result<Bytes> {
+      return gcm_seal(*key_copy, in->nonce, in->aad, in->plaintext);
+    });
+    outs.push_back(job.out);
+  }
+  return run_seal_batch(computes, outs);
 }
 
 }  // namespace qtls::engine

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -85,6 +86,11 @@ struct QatEngineStats {
   uint64_t polled_responses = 0;
   uint64_t max_poll_batch = 0;  // largest single-pass retrieval
 
+  // --- batched record seal (submit_batch data plane) ----------------------
+  uint64_t seal_batches = 0;    // multi-record submit_batch() dispatches
+  uint64_t seal_batch_ops = 0;  // records carried by those dispatches
+  uint64_t max_seal_batch = 0;  // largest single dispatch
+
   // --- failure handling -------------------------------------------------
   uint64_t device_errors = 0;      // responses with a device failure status
   uint64_t op_retries = 0;         // resubmissions after transient errors
@@ -134,6 +140,11 @@ class QatEngineProvider : public CryptoProvider {
                           BytesView plaintext) override;
   Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
                           BytesView ciphertext) override;
+  // Batched record seal: the whole span goes to the device as ONE
+  // submit_batch() dispatch (one engine wakeup for N records, §3.2).
+  Status cipher_seal_batch(const CbcHmacKeys& keys,
+                           std::span<CipherSealJob> jobs) override;
+  Status aead_seal_batch(BytesView key, std::span<AeadSealJob> jobs) override;
 
   // --- engine commands (paper §4.3's new command surface) -----------------
   size_t inflight(qat::OpClass cls) const {
@@ -206,6 +217,15 @@ class QatEngineProvider : public CryptoProvider {
   // self-contained).
   template <typename T>
   Result<T> offload(qat::OpKind kind, std::function<Result<T>()> compute);
+
+  // Batched variant for record seals: submits all computes as one device
+  // batch, waits for every response, appends each result to outs[i]. Items
+  // the device fails are retried through the single-op offload() runner
+  // (which owns the backoff/breaker/fallback semantics); abandoned items
+  // (deadline) fall back to inline compute like the single path.
+  Status run_seal_batch(
+      const std::vector<std::function<Result<Bytes>()>>& computes,
+      const std::vector<Bytes*>& outs);
 
   // Circuit breaker (cheap on the happy path: one relaxed load per op).
   bool offload_allowed(qat::OpClass cls);

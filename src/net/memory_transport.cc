@@ -40,6 +40,31 @@ tls::IoResult MemoryEndpoint::write(const uint8_t* buf, size_t len) {
   return {tls::IoStatus::kOk, take};
 }
 
+tls::IoResult MemoryEndpoint::writev(const struct iovec* iov, int iovcnt) {
+  if (pipe_->closed_[side_]) return {tls::IoStatus::kError, 0};
+  auto& queue = pipe_->dir_[side_];
+  // Budget for this call: capacity headroom and the per-call chunk limit
+  // apply to the vector as a whole, matching one flat write().
+  size_t budget = static_cast<size_t>(-1);
+  if (pipe_->capacity_ > 0) {
+    if (queue.size() >= pipe_->capacity_)
+      return {tls::IoStatus::kWouldBlock, 0};
+    budget = pipe_->capacity_ - queue.size();
+  }
+  if (pipe_->chunk_limit_ > 0) budget = std::min(budget, pipe_->chunk_limit_);
+  size_t total = 0;
+  for (int i = 0; i < iovcnt && budget > 0; ++i) {
+    const auto* base = static_cast<const uint8_t*>(iov[i].iov_base);
+    const size_t take = std::min(iov[i].iov_len, budget);
+    queue.insert(queue.end(), base, base + take);
+    total += take;
+    budget -= take;
+  }
+  pipe_->bytes_transferred_ += total;
+  if (total == 0) return {tls::IoStatus::kWouldBlock, 0};
+  return {tls::IoStatus::kOk, total};
+}
+
 size_t MemoryEndpoint::readable() const {
   return pipe_->dir_[1 - side_].size();
 }

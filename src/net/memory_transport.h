@@ -17,6 +17,10 @@ class MemoryEndpoint final : public tls::Transport {
  public:
   tls::IoResult read(uint8_t* buf, size_t len) override;
   tls::IoResult write(const uint8_t* buf, size_t len) override;
+  // Gathering write with the same chunk_limit/capacity semantics as a
+  // single write() call (the whole vector counts as one call), so tests
+  // exercising kWouldBlock see identical pacing via either entry point.
+  tls::IoResult writev(const struct iovec* iov, int iovcnt) override;
 
   // Bytes readable right now.
   size_t readable() const;

@@ -40,6 +40,17 @@ tls::IoResult SocketTransport::write(const uint8_t* buf, size_t len) {
   return {tls::IoStatus::kError, 0};
 }
 
+tls::IoResult SocketTransport::writev(const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+  if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    return {tls::IoStatus::kWouldBlock, 0};
+  return {tls::IoStatus::kError, 0};
+}
+
 TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
 }

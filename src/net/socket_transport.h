@@ -22,6 +22,8 @@ class SocketTransport final : public tls::Transport {
 
   tls::IoResult read(uint8_t* buf, size_t len) override;
   tls::IoResult write(const uint8_t* buf, size_t len) override;
+  // Native scatter-gather via sendmsg (writev cannot carry MSG_NOSIGNAL).
+  tls::IoResult writev(const struct iovec* iov, int iovcnt) override;
 
   int fd() const { return fd_; }
 

@@ -77,16 +77,21 @@ Bytes build_http_request(const std::string& path, bool keepalive) {
   return to_bytes(req);
 }
 
-Bytes build_http_response(int status, BytesView body, bool keepalive) {
-  if (body.size() > kMaxResponseBody)
-    body = body.subspan(0, kMaxResponseBody);
+Bytes build_http_response_head(int status, size_t content_length,
+                               bool keepalive) {
   char head[256];
   std::snprintf(head, sizeof(head),
                 "HTTP/1.1 %d %s\r\nServer: qtls\r\nContent-Length: %zu\r\n"
                 "Connection: %s\r\n\r\n",
-                status, status == 200 ? "OK" : "Error", body.size(),
+                status, status == 200 ? "OK" : "Error", content_length,
                 keepalive ? "keep-alive" : "close");
-  Bytes out = to_bytes(std::string(head));
+  return to_bytes(std::string(head));
+}
+
+Bytes build_http_response(int status, BytesView body, bool keepalive) {
+  if (body.size() > kMaxResponseBody)
+    body = body.subspan(0, kMaxResponseBody);
+  Bytes out = build_http_response_head(status, body.size(), keepalive);
   append(out, body);
   return out;
 }

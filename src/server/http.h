@@ -54,6 +54,11 @@ Bytes build_http_request(const std::string& path, bool keepalive);
 // Body is clamped to kMaxResponseBody — the echo path must not amplify an
 // attacker-sized input into an attacker-sized allocation chain.
 Bytes build_http_response(int status, BytesView body, bool keepalive);
+// Header-only variant for the streamed static-file path (DESIGN.md §11):
+// the body follows in bounded chunks, so Content-Length is supplied by the
+// caller and nothing is buffered here.
+Bytes build_http_response_head(int status, size_t content_length,
+                               bool keepalive);
 constexpr size_t kMaxResponseBody = 4 * 1024 * 1024;
 
 // Parses a response header; returns body length and header size.

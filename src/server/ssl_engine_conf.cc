@@ -117,6 +117,10 @@ Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
     out.http_limits.max_header_count = static_cast<size_t>(hdr_count);
   }
 
+  // http{}: static-file streaming root (DESIGN.md §11).
+  if (const ConfBlock* http = root.find_block("http"))
+    out.file_root = http->get_string("file_root", "");
+
   const ConfBlock* engine_block = root.find_block("ssl_engine");
   if (!engine_block) return out;  // software-only configuration
 

@@ -32,6 +32,10 @@
 //       max_header_bytes 8192;             # HTTP parser bounds (431 past)
 //       max_header_count 100;
 //   }
+//   http {
+//       file_root /srv/www;                # static-file streaming root
+//   }                                      # (DESIGN.md §11); empty = the
+//                                          # synthetic benchmark object
 #pragma once
 
 #include <chrono>
@@ -70,6 +74,8 @@ struct SslEngineSettings {
   // Overload-control plane (overload{} block; DESIGN.md §10).
   OverloadConfig overload;
   HttpLimits http_limits;
+  // Static-file root (http{} block; DESIGN.md §11). Empty = disabled.
+  std::string file_root;
 };
 
 // Parses the root config block (worker_processes + ssl_engine{} +

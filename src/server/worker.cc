@@ -1,7 +1,10 @@
 #include "server/worker.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <vector>
@@ -44,9 +47,22 @@ struct Worker::Conn {
   HttpRequestParser parser;
   Bytes inbound;           // decrypted bytes pending HTTP parsing
   bool stats_request = false;       // current request is GET /stats
+  std::string request_path;         // path of the request being answered
   bool response_inflight = false;   // response built but write not started
   bool write_in_progress = false;   // write started, not yet completed
   bool response_keepalive = true;
+
+  // Static-file streaming state (DESIGN.md §11). The fd stays open across
+  // kWantAsync/kWantWrite parks; `file_staging` is the bounded chunk buffer
+  // (at most one chunk of the file is ever in memory).
+  int file_fd = -1;
+  size_t file_off = 0;   // next pread offset
+  size_t file_left = 0;  // bytes not yet handed to the TLS layer
+  Bytes file_staging;
+
+  ~Conn() {
+    if (file_fd >= 0) ::close(file_fd);
+  }
 
   // Async bookkeeping (§4.2).
   Handler async_handler = nullptr;   // handler to reschedule on async event
@@ -465,12 +481,78 @@ void Worker::read_handler(Conn* conn) {
     if (request.has_value()) {
       conn->response_keepalive = request->keepalive;
       conn->stats_request = request->path == "/stats";
+      conn->request_path = request->path;
       conn->response_inflight = true;
       write_handler(conn);
       return;
     }
     // Partial request: keep reading.
   }
+}
+
+// Static-file path (DESIGN.md §11) -----------------------------------------
+
+namespace {
+// pread chunk size: 64 KB = four 16 KB records per TLS write, so every chunk
+// drives one batched seal submission.
+constexpr size_t kFileReadChunk = 64 * 1024;
+}  // namespace
+
+bool Worker::open_static_file(Conn* conn) {
+  const std::string& path = conn->request_path;
+  // Reject anything that could escape the root: relative paths and any
+  // dot-dot segment (conservative: any ".." substring).
+  if (path.empty() || path[0] != '/' ||
+      path.find("..") != std::string::npos)
+    return false;
+  const std::string full = config_.file_root + path;
+  const int fd = ::open(full.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  conn->file_fd = fd;
+  conn->file_off = 0;
+  conn->file_left = static_cast<size_t>(st.st_size);
+  return true;
+}
+
+void Worker::finish_file(Conn* conn) {
+  if (conn->file_fd >= 0) ::close(conn->file_fd);
+  conn->file_fd = -1;
+  conn->file_off = 0;
+  conn->file_left = 0;
+  conn->file_staging.clear();
+  conn->file_staging.shrink_to_fit();
+}
+
+tls::TlsResult Worker::stream_file(Conn* conn) {
+  // Bounded staging: pread one chunk, hand it to the TLS layer (which seals
+  // it as one record batch), repeat. A kWantAsync/kWantWrite return parks
+  // the connection mid-file; the resume path finishes the in-flight write
+  // and re-enters this loop at file_off.
+  while (conn->file_left > 0) {
+    const size_t chunk = std::min(conn->file_left, kFileReadChunk);
+    conn->file_staging.resize(chunk);
+    const ssize_t n = ::pread(conn->file_fd, conn->file_staging.data(), chunk,
+                              static_cast<off_t>(conn->file_off));
+    if (n <= 0) {
+      // Truncated under us or I/O error: the head already promised
+      // Content-Length bytes, so the only honest move is to kill the
+      // connection.
+      finish_file(conn);
+      return tls::TlsResult::kError;
+    }
+    conn->file_staging.resize(static_cast<size_t>(n));
+    conn->file_off += static_cast<size_t>(n);
+    conn->file_left -= static_cast<size_t>(n);
+    const tls::TlsResult r = conn->tls->write(conn->file_staging);
+    if (r != tls::TlsResult::kOk) return r;
+  }
+  finish_file(conn);
+  return tls::TlsResult::kOk;
 }
 
 void Worker::write_handler(Conn* conn) {
@@ -482,19 +564,38 @@ void Worker::write_handler(Conn* conn) {
   if (conn->response_inflight) {
     // First call builds and queues the response; resumed calls pass empty
     // (the connection's write buffer already holds the data).
-    Bytes body;
-    if (conn->stats_request) {
-      const std::string json = stats_json();
-      body.assign(json.begin(), json.end());
-    }
-    const Bytes response = build_http_response(
-        200, conn->stats_request ? BytesView(body) : BytesView(response_body_),
-        conn->response_keepalive);
     conn->response_inflight = false;
     conn->write_in_progress = true;
-    r = conn->tls->write(response);
+    if (!config_.file_root.empty() && !conn->stats_request) {
+      // Static-file path: head first (Content-Length from fstat), then the
+      // streamed body. Resolution failure is a 404 through the buffered
+      // builder — error bodies are tiny.
+      if (open_static_file(conn)) {
+        r = conn->tls->write(build_http_response_head(
+            200, conn->file_left, conn->response_keepalive));
+        if (r == tls::TlsResult::kOk) r = stream_file(conn);
+      } else {
+        r = conn->tls->write(
+            build_http_response(404, {}, conn->response_keepalive));
+      }
+    } else {
+      Bytes body;
+      if (conn->stats_request) {
+        const std::string json = stats_json();
+        body.assign(json.begin(), json.end());
+      }
+      const Bytes response = build_http_response(
+          200,
+          conn->stats_request ? BytesView(body) : BytesView(response_body_),
+          conn->response_keepalive);
+      r = conn->tls->write(response);
+    }
   } else {
+    // Resume: finish the write that parked us, then keep streaming if a
+    // static file is still open.
     r = conn->tls->write({});
+    if (r == tls::TlsResult::kOk && conn->file_fd >= 0)
+      r = stream_file(conn);
   }
   if (r == tls::TlsResult::kWantAsync || r == tls::TlsResult::kWantWrite) {
     if (r == tls::TlsResult::kWantAsync) {
@@ -593,8 +694,19 @@ std::string Worker::stats_json() const {
   }
   os << ",\"session\":"
      << tls_ctx_->session_plane().stats_json(tls_ctx_->now_ms());
-  os << ",\"metrics\":" << obs::MetricsRegistry::global().snapshot().to_json()
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  // TX data-plane copy meter (DESIGN.md §11): payload bytes memcpy'd per
+  // byte handed to the transport. 1.0 ≈ the single unavoidable staging pass;
+  // the legacy coalesced plane sits near 3.
+  const uint64_t copied = snap.counter_value("record.bytes_copied");
+  const uint64_t sent = snap.counter_value("record.bytes_sent");
+  os << ",\"record\":{"
+     << "\"bytes_copied\":" << copied << ",\"bytes_sent\":" << sent
+     << ",\"copied_per_byte\":"
+     << (sent != 0 ? static_cast<double>(copied) / static_cast<double>(sent)
+                   : 0.0)
      << "}";
+  os << ",\"metrics\":" << snap.to_json() << "}";
   return os.str();
 }
 

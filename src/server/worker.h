@@ -33,6 +33,11 @@ struct WorkerConfig {
   PollScheme poll = PollScheme::kHeuristic;
   HeuristicPollerConfig heuristic;
   size_t response_body_size = 1024;  // the served "file"
+  // Static-file root (DESIGN.md §11). When non-empty, GETs other than
+  // /stats are resolved under this directory and streamed through a
+  // bounded pread-into-sealed-record loop (never whole-file buffered);
+  // misses answer 404. Empty = the synthetic response_body_size object.
+  std::string file_root;
   OverloadConfig overload;           // timeouts + admission (DESIGN.md §10)
   HttpLimits http_limits;            // parser bounds (431 past them)
   // Millisecond clock for deadlines (null = CLOCK_MONOTONIC). Tests inject
@@ -134,6 +139,13 @@ class Worker {
   void handshake_handler(Conn* conn);
   void read_handler(Conn* conn);
   void write_handler(Conn* conn);
+
+  // Static-file path (DESIGN.md §11): resolve + open under file_root
+  // (false = miss → 404), stream the next chunks through the TLS layer,
+  // and release the fd.
+  bool open_static_file(Conn* conn);
+  tls::TlsResult stream_file(Conn* conn);
+  void finish_file(Conn* conn);
 
   // Dispatch one TlsResult: park on WANT_ASYNC, adjust epoll interest on
   // WANT_READ/WANT_WRITE, close on error. Returns true when r == kOk.

@@ -86,6 +86,15 @@ struct CostModel {
   double nic_gbps = 40.0;                // XL710 line rate
   SimTime rtt = 200 * kUs;               // client<->server round trip
 
+  // --- record data plane (DESIGN.md §11) --------------------------------
+  // One memcpy pass over a full 16 KB record (~8 GB/s effective including
+  // cache pollution). The legacy coalesced plane makes 3 passes per payload
+  // byte; the iovec-chain plane makes 1 (the connection staging copy).
+  SimTime copy_per_16k_cpu = 2 * kUs;
+  // Marshalling cost per extra record riding a batched seal submission —
+  // batch members skip the full submit/notify/resume round trip.
+  SimTime batch_item_cpu = 500;
+
   // -------------------------------------------------------------------
   SimTime sw_cost(SOp op) const {
     switch (op) {

@@ -185,6 +185,10 @@ class SimSystem {
     out.requests_per_sec = static_cast<double>(requests_) / secs;
     out.throughput_gbps =
         static_cast<double>(payload_bytes_) * 8.0 / (secs * 1e9);
+    out.bytes_copied_per_byte =
+        out.bytes_sent != 0 ? static_cast<double>(out.bytes_copied) /
+                                  static_cast<double>(out.bytes_sent)
+                            : 0.0;
     double util_sum = 0;
     for (auto& w : workers_)
       util_sum += std::min(1.0, static_cast<double>(w.cpu->total_busy()) /
@@ -376,9 +380,27 @@ class SimSystem {
     }
     const size_t bytes = conn->records[conn->record];
     ++conn->record;
+    // Only the QTLS framework runs the iovec-chain plane (DESIGN.md §11);
+    // the OpenSSL-based baselines keep the stock coalescing BIO path, as
+    // does QTLS itself when legacy_dataplane forces the pre-change plane.
+    const bool new_plane =
+        p_.config == Config::kQtls && !p_.legacy_dataplane;
+    // Records after a request's first ride the batched seal submission:
+    // they pay the per-item marshalling cost instead of a full
+    // submit/notify/resume round trip.
+    const bool batch_rider = new_plane && conn->record > 1;
     const double scale = static_cast<double>(bytes) / (16.0 * 1024.0);
-    // Record protection (one chained-cipher op per record, §5.4) then the
-    // kernel send path, then NIC occupancy.
+    // TX copy passes: the legacy coalesced plane stages each payload byte
+    // three times (entry staging, sealed-record append, coalesce); the
+    // iovec-chain plane only pays the entry staging copy.
+    const int copy_passes = new_plane ? 1 : 3;
+    if (in_window()) {
+      result_.bytes_copied += static_cast<uint64_t>(bytes) *
+                              static_cast<uint64_t>(copy_passes);
+      result_.bytes_sent += bytes;
+    }
+    // Copy passes, then record protection (one chained-cipher op per
+    // record, §5.4), then the kernel send path, then NIC occupancy.
     auto after_cipher = [this, conn, bytes, scale] {
       const SimTime tcp =
           static_cast<SimTime>(static_cast<double>(p_.costs.tcp_per_16k_cpu) * scale);
@@ -389,7 +411,15 @@ class SimSystem {
         next_record(conn);
       });
     };
-    run_scaled_cipher(conn, scale, std::move(after_cipher));
+    const SimTime copy_cpu = static_cast<SimTime>(
+        static_cast<double>(p_.costs.copy_per_16k_cpu) * scale *
+        static_cast<double>(copy_passes));
+    wexec(conn->worker, copy_cpu,
+          [this, conn, scale, batch_rider,
+           after_cipher = std::move(after_cipher)]() mutable {
+            run_scaled_cipher(conn, scale, std::move(after_cipher),
+                              batch_rider);
+          });
   }
 
   void finish_request(ConnPtr conn) {
@@ -425,7 +455,8 @@ class SimSystem {
   }
 
   void run_scaled_cipher(ConnPtr conn, double scale,
-                         std::function<void()> done) {
+                         std::function<void()> done,
+                         bool batch_rider = false) {
     const CostModel& c = p_.costs;
     if (!knobs_.offload) {
       wexec(conn->worker,
@@ -437,7 +468,8 @@ class SimSystem {
     if (!knobs_.async) {
       run_sync_op(conn, SOp::kCipher16k, std::move(done), scale);
     } else {
-      run_async_op(conn, SOp::kCipher16k, std::move(done), scale);
+      run_async_op(conn, SOp::kCipher16k, std::move(done), scale,
+                   batch_rider);
     }
   }
 
@@ -469,23 +501,30 @@ class SimSystem {
   }
 
   void run_async_op(ConnPtr conn, SOp op, std::function<void()> done,
-                    double scale = 1.0) {
+                    double scale = 1.0, bool batch_rider = false) {
     const CostModel& c = p_.costs;
     const int w = conn->worker;
     auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
-    wexec(w, c.submit_cpu, [this, conn, op, scale, w, shared_done] {
+    // A batch rider shares its batch leader's ring write and completion
+    // round trip; both ends cost only the per-item marshalling.
+    const SimTime submit_cost = batch_rider ? c.batch_item_cpu : c.submit_cpu;
+    wexec(w, submit_cost,
+          [this, conn, op, scale, w, batch_rider, shared_done] {
       SimQatInstance* inst = workers_[static_cast<size_t>(w)].instance;
       const SimTime notify_cpu = knobs_.notify == NotifyMode::kFd
                                      ? p_.costs.notify_fd_cpu
                                      : p_.costs.notify_kb_cpu;
+      const SimTime completion_cpu =
+          batch_rider ? p_.costs.batch_item_cpu
+                      : notify_cpu + p_.costs.resume_cpu;
       const bool ok = inst->submit(
           op,
           static_cast<SimTime>(static_cast<double>(p_.costs.qat_service(op)) *
                                scale),
-          [this, w, notify_cpu, shared_done] {
+          [this, w, completion_cpu, shared_done] {
             // Response retrieved by a poll: async event notification +
             // post-processing resume on the worker core (§3.4, §3.1).
-            wexec(w, notify_cpu + p_.costs.resume_cpu,
+            wexec(w, completion_cpu,
                   [this, w, shared_done] {
                     (*shared_done)();
                     heuristic_check(w);
@@ -493,9 +532,10 @@ class SimSystem {
           });
       if (!ok) {
         if (in_window()) ++result_.submit_retries;
-        sim_.schedule_after(5 * kUs, [this, conn, op, scale, shared_done] {
-          run_async_op_retry(conn, op, scale, shared_done);
-        });
+        sim_.schedule_after(
+            5 * kUs, [this, conn, op, scale, batch_rider, shared_done] {
+              run_async_op_retry(conn, op, scale, batch_rider, shared_done);
+            });
         return;
       }
       heuristic_check(w);
@@ -503,8 +543,10 @@ class SimSystem {
   }
 
   void run_async_op_retry(ConnPtr conn, SOp op, double scale,
+                          bool batch_rider,
                           std::shared_ptr<std::function<void()>> shared_done) {
-    run_async_op(conn, op, [shared_done] { (*shared_done)(); }, scale);
+    run_async_op(
+        conn, op, [shared_done] { (*shared_done)(); }, scale, batch_rider);
   }
 
   // -------------------------------------------------------------- polling --

@@ -35,6 +35,10 @@ struct RunParams {
   // fixed object; CPS mode otherwise (one handshake per connection).
   bool transfer_mode = false;
   size_t file_bytes = 64 * 1024;
+  // Model the pre-batching coalesced TX plane (3 copy passes per payload
+  // byte, one submit/notify round trip per record) instead of the iovec-
+  // chain batch plane (1 pass, batched submits). DESIGN.md §11.
+  bool legacy_dataplane = false;
   // CPS mode: also serve one small page per connection (Fig. 11's
   // full-handshake-per-request latency workload).
   bool include_request = false;
@@ -67,6 +71,11 @@ struct RunResult {
   uint64_t handshakes = 0;
   uint64_t abbreviated = 0;
   uint64_t submit_retries = 0;  // ring-full retry events
+  // TX data-plane copy meter (DESIGN.md §11): payload bytes memcpy'd vs
+  // handed to the NIC inside the measurement window.
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_sent = 0;
+  double bytes_copied_per_byte = 0;
   double qat_utilization = 0;   // engine busy fraction
   double cpu_utilization = 0;   // mean worker-core busy fraction
   uint64_t heuristic_polls = 0;

@@ -14,7 +14,8 @@ TlsResult from_int(int v) { return static_cast<TlsResult>(v); }
 
 TlsConnection::TlsConnection(TlsContext* ctx, Transport* transport)
     : ctx_(ctx),
-      records_(transport, ctx->provider(), &ctx->rng()),
+      records_(transport, ctx->provider(), &ctx->rng(),
+               ctx->config().legacy_record_dataplane),
       hs_state_(ctx->is_server() ? HsState::kExpectClientHello
                                  : HsState::kStart) {}
 
@@ -1041,7 +1042,12 @@ int TlsConnection::read_entry(TlsConnection* self) {
 TlsResult TlsConnection::write(BytesView data) {
   // A paused write job still references write_data_; only accept new data
   // when idle (resume calls pass anything, conventionally empty).
-  if (job_ == nullptr) write_data_.assign(data.begin(), data.end());
+  if (job_ == nullptr) {
+    write_data_.assign(data.begin(), data.end());
+    // TX staging copy above the record layer — metered so the data plane's
+    // bytes-copied-per-byte covers the whole path (DESIGN.md §11).
+    records_.note_staging_copy(data.size());
+  }
   return run_entry(&write_entry);
 }
 

@@ -43,6 +43,10 @@ struct TlsContextConfig {
   uint64_t ticket_rotate_interval_ms = 900'000;
   uint32_t ticket_accept_epochs = 1;
   uint64_t drbg_seed = 0x746c73637478ULL;
+  // Use the pre-batching coalesced TX record path (single-record seals,
+  // flat send buffer). Reference/baseline mode for the data-plane tests
+  // and copy-meter comparisons; the default is the iovec-chain batch plane.
+  bool legacy_record_dataplane = false;
 };
 
 class TlsContext {

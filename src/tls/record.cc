@@ -1,7 +1,10 @@
 #include "tls/record.h"
 
+#include <vector>
+
 #include "common/log.h"
 #include "crypto/gcm.h"
+#include "obs/metrics.h"
 
 namespace qtls::tls {
 
@@ -10,25 +13,47 @@ constexpr size_t kHeaderSize = 5;
 constexpr size_t kIvSize = 16;
 // Encrypted records grow by IV + MAC + padding; generous bound for parsing.
 constexpr size_t kMaxCiphertextFragment = kMaxPlaintextFragment + 1024;
+// Most transports cap a gathered write at IOV_MAX (>= 1024); far fewer
+// segments per writev keeps the stack array small and still gathers 32
+// records per syscall.
+constexpr int kMaxFlushIov = 64;
+// Consumed RX prefix tolerated before the buffer is compacted (amortizes
+// the shift: one memmove per 16 KB consumed, not one erase per record).
+constexpr size_t kRecvCompactThreshold = 16 * 1024;
+constexpr size_t kReadChunk = 4096;
+
+// Process-wide TX data-plane meters (DESIGN.md §11). The same names are
+// interned by engine/provider.cc and engine/qat_engine.cc, so every staging
+// copy in the path lands in one counter.
+struct RecordObsCounters {
+  obs::Counter bytes_copied, bytes_sent;
+  RecordObsCounters() {
+    auto& reg = obs::MetricsRegistry::global();
+    bytes_copied = reg.counter("record.bytes_copied");
+    bytes_sent = reg.counter("record.bytes_sent");
+  }
+};
+
+RecordObsCounters& obs_counters() {
+  static RecordObsCounters counters;
+  return counters;
+}
 }  // namespace
 
 RecordLayer::RecordLayer(Transport* transport,
-                         engine::CryptoProvider* provider, HmacDrbg* iv_rng)
-    : transport_(transport), provider_(provider), iv_rng_(iv_rng) {}
+                         engine::CryptoProvider* provider, HmacDrbg* iv_rng,
+                         bool legacy_coalesced_tx)
+    : transport_(transport),
+      provider_(provider),
+      iv_rng_(iv_rng),
+      legacy_tx_(legacy_coalesced_tx) {}
 
-Status RecordLayer::queue(ContentType type, BytesView payload) {
-  // Fragment: a payload larger than 16 KB becomes multiple records — each
-  // one is one chained-cipher op once encryption is on (paper §5.4:
-  // "one 128 KB file incurs eight cipher operations").
-  if (payload.empty()) return queue_one(type, payload);
-  size_t off = 0;
-  while (off < payload.size()) {
-    const size_t take = std::min(kMaxPlaintextFragment, payload.size() - off);
-    QTLS_RETURN_IF_ERROR(queue_one(type, payload.subspan(off, take)));
-    off += take;
-  }
-  return Status::ok();
+void RecordLayer::count_copy(size_t n) {
+  bytes_copied_ += n;
+  obs_counters().bytes_copied.add(n);
 }
+
+void RecordLayer::note_staging_copy(size_t n) { count_copy(n); }
 
 namespace {
 // RFC 8446 §5.3 nonce derivation: the 64-bit sequence number XORed into the
@@ -40,15 +65,129 @@ Bytes aead_nonce(const Bytes& iv, uint64_t seq) {
         static_cast<uint8_t>(seq >> (8 * i));
   return nonce;
 }
+
+void append_record_header(Bytes& out, ContentType type, size_t wire_len) {
+  append_u8(out, static_cast<uint8_t>(type));
+  append_u16(out, static_cast<uint16_t>(ProtocolVersion::kTls12));
+  append_u16(out, static_cast<uint16_t>(wire_len));
+}
 }  // namespace
 
-Status RecordLayer::queue_one(ContentType type, BytesView fragment) {
+Status RecordLayer::queue(ContentType type, BytesView payload) {
+  return queue_many(type, std::span<const BytesView>(&payload, 1));
+}
+
+Status RecordLayer::queue_many(ContentType type,
+                               std::span<const BytesView> payloads) {
+  // Fragment: a payload larger than 16 KB becomes multiple records — each
+  // one is one chained-cipher op once encryption is on (paper §5.4:
+  // "one 128 KB file incurs eight cipher operations").
+  std::vector<BytesView> fragments;
+  for (const BytesView& payload : payloads) {
+    if (payload.empty()) {
+      fragments.push_back(payload);
+      continue;
+    }
+    size_t off = 0;
+    while (off < payload.size()) {
+      const size_t take =
+          std::min(kMaxPlaintextFragment, payload.size() - off);
+      fragments.push_back(payload.subspan(off, take));
+      off += take;
+    }
+  }
+  if (fragments.empty()) return Status::ok();
+
+  if (legacy_tx_) {
+    for (const BytesView& fragment : fragments)
+      QTLS_RETURN_IF_ERROR(queue_one_legacy(type, fragment));
+    return Status::ok();
+  }
+
+  if (tx_.kind == DirectionState::Kind::kNone) {
+    for (const BytesView& fragment : fragments)
+      queue_plaintext(type, fragment);
+    return Status::ok();
+  }
+  // All fragments of this call go to the provider as ONE batch (a single
+  // submit_batch() dispatch on the QAT backend, an inline loop in software).
+  return seal_batch_into_chain(type, fragments);
+}
+
+void RecordLayer::queue_plaintext(ContentType type, BytesView fragment) {
+  TxBlock header;
+  append_record_header(header.data, type, fragment.size());
+  send_chain_.push_back(std::move(header));
+  if (!fragment.empty()) {
+    TxBlock body;
+    body.data.assign(fragment.begin(), fragment.end());
+    count_copy(body.data.size());
+    send_chain_.push_back(std::move(body));
+  }
+  ++records_sent_;
+}
+
+Status RecordLayer::seal_batch_into_chain(
+    ContentType type, const std::vector<BytesView>& fragments) {
+  const size_t n = fragments.size();
+  // Blocks are built aside and spliced in only if the whole batch seals
+  // (matching the old path, where a failed seal queued nothing). A deque
+  // keeps Bytes addresses stable while the provider appends into them.
+  std::deque<TxBlock> pending;
+  Status sealed = Status::ok();
+
+  if (tx_.kind == DirectionState::Kind::kCbcHmac) {
+    std::vector<Bytes> headers(n);  // 5-byte MAC headers, true fragment len
+    std::vector<engine::CipherSealJob> jobs(n);
+    for (size_t i = 0; i < n; ++i) {
+      append_record_header(headers[i], type, fragments[i].size());
+      TxBlock body;
+      // One allocation per record: IV + ciphertext (fragment + MAC + pad).
+      body.data.reserve(kIvSize + fragments[i].size() + 80);
+      body.data.resize(kIvSize);  // explicit IV prefixes the wire payload
+      iv_rng_->generate(body.data.data(), kIvSize);
+      pending.push_back(std::move(body));
+      Bytes* out = &pending.back().data;
+      jobs[i] = {tx_.seq + i, headers[i], BytesView(out->data(), kIvSize),
+                 fragments[i], out};
+    }
+    sealed = provider_->cipher_seal_batch(tx_.keys, jobs);
+  } else {
+    std::vector<Bytes> nonces(n);
+    std::vector<Bytes> aads(n);  // AAD carries the protected length
+    std::vector<engine::AeadSealJob> jobs(n);
+    for (size_t i = 0; i < n; ++i) {
+      nonces[i] = aead_nonce(tx_.aead.iv, tx_.seq + i);
+      append_record_header(aads[i], type, fragments[i].size() + kGcmTagSize);
+      pending.emplace_back();
+      jobs[i] = {nonces[i], aads[i], fragments[i], &pending.back().data};
+    }
+    sealed = provider_->aead_seal_batch(tx_.aead.key, jobs);
+  }
+  QTLS_RETURN_IF_ERROR(sealed);
+
+  // Seals landed: frame each payload block with its outer header (written
+  // only now — the CBC wire length depends on MAC + padding) and splice.
+  tx_.seq += n;
+  records_sent_ += n;
+  for (TxBlock& body : pending) {
+    TxBlock header;
+    append_record_header(header.data, type, body.data.size());
+    send_chain_.push_back(std::move(header));
+    send_chain_.push_back(std::move(body));
+  }
+  return Status::ok();
+}
+
+Status RecordLayer::queue_one_legacy(ContentType type, BytesView fragment) {
+  // The pre-batching TX path, preserved byte-for-byte: one seal per record,
+  // the sealed payload staged through wire_payload, everything coalesced
+  // into one flat buffer. Kept as the property-test reference and the
+  // copy-meter baseline (three passes over every payload byte).
   Bytes wire_payload;
   if (tx_.kind == DirectionState::Kind::kCbcHmac) {
     Bytes header;
-    append_u8(header, static_cast<uint8_t>(type));
-    append_u16(header, static_cast<uint16_t>(ProtocolVersion::kTls12));
-    append_u16(header, static_cast<uint16_t>(fragment.size()));
+    append_record_header(header, type, fragment.size());
     Bytes iv(kIvSize);
     iv_rng_->generate(iv.data(), iv.size());
     QTLS_ASSIGN_OR_RETURN(
@@ -56,38 +195,66 @@ Status RecordLayer::queue_one(ContentType type, BytesView fragment) {
         provider_->cipher_seal(tx_.keys, tx_.seq, header, iv, fragment));
     ++tx_.seq;
     wire_payload = std::move(iv);
+    count_copy(sealed.size());
     append(wire_payload, sealed);
   } else if (tx_.kind == DirectionState::Kind::kAead) {
-    // AAD is the outer record header carrying the protected length.
     Bytes aad;
-    append_u8(aad, static_cast<uint8_t>(type));
-    append_u16(aad, static_cast<uint16_t>(ProtocolVersion::kTls12));
-    append_u16(aad, static_cast<uint16_t>(fragment.size() + kGcmTagSize));
+    append_record_header(aad, type, fragment.size() + kGcmTagSize);
     const Bytes nonce = aead_nonce(tx_.aead.iv, tx_.seq);
     QTLS_ASSIGN_OR_RETURN(
         Bytes sealed, provider_->aead_seal(tx_.aead.key, nonce, aad, fragment));
     ++tx_.seq;
     wire_payload = std::move(sealed);
   } else {
+    count_copy(fragment.size());
     wire_payload.assign(fragment.begin(), fragment.end());
   }
 
-  append_u8(send_buffer_, static_cast<uint8_t>(type));
-  append_u16(send_buffer_, static_cast<uint16_t>(ProtocolVersion::kTls12));
-  append_u16(send_buffer_, static_cast<uint16_t>(wire_payload.size()));
-  append(send_buffer_, wire_payload);
+  if (send_chain_.empty()) send_chain_.emplace_back();
+  Bytes& coalesced = send_chain_.back().data;
+  append_record_header(coalesced, type, wire_payload.size());
+  count_copy(wire_payload.size());
+  append(coalesced, wire_payload);
   ++records_sent_;
   return Status::ok();
 }
 
 TlsResult RecordLayer::flush() {
-  while (send_offset_ < send_buffer_.size()) {
-    const IoResult io = transport_->write(send_buffer_.data() + send_offset_,
-                                          send_buffer_.size() - send_offset_);
+  while (!send_chain_.empty()) {
+    struct iovec iov[kMaxFlushIov];
+    int cnt = 0;
+    for (const TxBlock& block : send_chain_) {
+      if (cnt == kMaxFlushIov) break;
+      const size_t left = block.data.size() - block.off;
+      if (left == 0) continue;  // empty-bodied record (zero-length fragment)
+      iov[cnt].iov_base =
+          const_cast<uint8_t*>(block.data.data() + block.off);
+      iov[cnt].iov_len = left;
+      ++cnt;
+    }
+    if (cnt == 0) {
+      send_chain_.clear();
+      break;
+    }
+    const IoResult io = transport_->writev(iov, cnt);
     switch (io.status) {
-      case IoStatus::kOk:
-        send_offset_ += io.bytes;
+      case IoStatus::kOk: {
+        bytes_sent_ += io.bytes;
+        obs_counters().bytes_sent.add(io.bytes);
+        size_t consumed = io.bytes;
+        while (!send_chain_.empty()) {
+          TxBlock& front = send_chain_.front();
+          const size_t left = front.data.size() - front.off;
+          if (left > consumed) {
+            front.off += consumed;
+            consumed = 0;
+            break;
+          }
+          consumed -= left;
+          send_chain_.pop_front();
+        }
         break;
+      }
       case IoStatus::kWouldBlock:
         return TlsResult::kWantWrite;
       case IoStatus::kClosed:
@@ -95,17 +262,33 @@ TlsResult RecordLayer::flush() {
         return TlsResult::kError;
     }
   }
-  send_buffer_.clear();
-  send_offset_ = 0;
   return TlsResult::kOk;
 }
 
+void RecordLayer::compact_recv_buffer() {
+  if (recv_off_ == 0) return;
+  if (recv_off_ == recv_buffer_.size()) {
+    // Fully drained: resetting the cursor is free (no shift).
+    recv_buffer_.clear();
+    recv_off_ = 0;
+    return;
+  }
+  if (recv_off_ < kRecvCompactThreshold) return;
+  recv_buffer_.erase(recv_buffer_.begin(),
+                     recv_buffer_.begin() + static_cast<ptrdiff_t>(recv_off_));
+  recv_off_ = 0;
+  ++rx_compactions_;
+}
+
 RecordLayer::ReadOutcome RecordLayer::read_record() {
-  // Accumulate transport bytes until a full record is present.
+  // Accumulate transport bytes until a full record is present. Consumption
+  // advances an offset cursor; the buffer compacts amortized (satellite:
+  // no per-record front-erase).
   for (;;) {
-    if (recv_buffer_.size() >= kHeaderSize) {
-      const size_t len = static_cast<size_t>(recv_buffer_[3]) << 8 |
-                         recv_buffer_[4];
+    const size_t available = recv_buffer_.size() - recv_off_;
+    if (available >= kHeaderSize) {
+      const uint8_t* base = recv_buffer_.data() + recv_off_;
+      const size_t len = static_cast<size_t>(base[3]) << 8 | base[4];
       // RFC 5246 §6.2.1/§6.2.3: plaintext records are bounded by 2^14, and
       // protected records by 2^14 + expansion. Violations are fatal
       // record_overflow — the bytes are never buffered past this check.
@@ -116,14 +299,11 @@ RecordLayer::ReadOutcome RecordLayer::read_record() {
         last_error_alert_ = AlertDescription::kRecordOverflow;
         return {TlsResult::kError, std::nullopt};
       }
-      if (recv_buffer_.size() >= kHeaderSize + len) {
-        const auto type = static_cast<ContentType>(recv_buffer_[0]);
-        Bytes wire_payload(recv_buffer_.begin() + kHeaderSize,
-                           recv_buffer_.begin() +
-                               static_cast<ptrdiff_t>(kHeaderSize + len));
-        recv_buffer_.erase(recv_buffer_.begin(),
-                           recv_buffer_.begin() +
-                               static_cast<ptrdiff_t>(kHeaderSize + len));
+      if (available >= kHeaderSize + len) {
+        const auto type = static_cast<ContentType>(base[0]);
+        Bytes wire_payload(base + kHeaderSize, base + kHeaderSize + len);
+        recv_off_ += kHeaderSize + len;
+        compact_recv_buffer();
         Record record;
         record.type = type;
         if (rx_.kind == DirectionState::Kind::kAead) {
@@ -178,11 +358,19 @@ RecordLayer::ReadOutcome RecordLayer::read_record() {
       }
     }
 
-    uint8_t chunk[4096];
-    const IoResult io = transport_->read(chunk, sizeof(chunk));
+    // Read straight into the buffer tail (no bounce through a stack chunk).
+    if (recv_off_ == recv_buffer_.size() && recv_off_ != 0) {
+      recv_buffer_.clear();
+      recv_off_ = 0;
+    }
+    const size_t old_size = recv_buffer_.size();
+    recv_buffer_.resize(old_size + kReadChunk);
+    const IoResult io = transport_->read(recv_buffer_.data() + old_size,
+                                         kReadChunk);
+    recv_buffer_.resize(old_size +
+                        (io.status == IoStatus::kOk ? io.bytes : 0));
     switch (io.status) {
       case IoStatus::kOk:
-        recv_buffer_.insert(recv_buffer_.end(), chunk, chunk + io.bytes);
         break;
       case IoStatus::kWouldBlock:
         return {TlsResult::kWantRead, std::nullopt};

@@ -1,10 +1,18 @@
 // TLS record layer: 5-byte header framing, 16 KB fragmentation (the unit the
 // paper's §5.4 counts cipher ops by), per-direction protection state with
 // explicit-IV CBC + HMAC, and non-blocking buffered transport I/O.
+//
+// TX data plane (DESIGN.md §11): queued records live in an iovec chain of
+// blocks (a 5-byte header block + a sealed payload block per record, never
+// coalesced); multi-fragment payloads are sealed through the provider's
+// batched seal APIs (ONE device submission for N records), and the provider
+// encrypts directly into each record's payload block. flush() gathers the
+// chain into writev() with per-block partial-write offsets.
 #pragma once
 
 #include <deque>
 #include <optional>
+#include <span>
 
 #include "common/bytes.h"
 #include "crypto/aes.h"
@@ -38,17 +46,24 @@ struct DirectionState {
 
 class RecordLayer {
  public:
+  // `legacy_coalesced_tx` reproduces the pre-batching TX path byte-for-byte
+  // (single-record seals staged through a coalesced buffer) — kept as the
+  // reference for the data-plane property tests and the copy-meter baseline.
   RecordLayer(Transport* transport, engine::CryptoProvider* provider,
-              HmacDrbg* iv_rng);
+              HmacDrbg* iv_rng, bool legacy_coalesced_tx = false);
 
   // Queue a plaintext fragment for sending (fragments > 16 KB are split).
-  // Encryption happens at queue time (counts cipher ops); the bytes then sit
-  // in the send buffer until flushed.
+  // Encryption happens at queue time (counts cipher ops); all fragments of
+  // one call are sealed in ONE batched provider submission. The bytes then
+  // sit in the send chain until flushed.
   Status queue(ContentType type, BytesView payload);
+  // Queue several payloads at once: every fragment of every payload joins a
+  // single record batch (one provider submission for the whole span).
+  Status queue_many(ContentType type, std::span<const BytesView> payloads);
   // Push buffered bytes into the transport. kOk = drained, kWantWrite =
   // transport backpressure.
   TlsResult flush();
-  bool send_buffer_empty() const { return send_buffer_.empty(); }
+  bool send_buffer_empty() const { return send_chain_.empty(); }
 
   // Try to read one complete record from the transport. nullopt with
   // result kWantRead when bytes are not yet available.
@@ -72,6 +87,22 @@ class RecordLayer {
   uint64_t records_sent() const { return records_sent_; }
   uint64_t records_received() const { return records_received_; }
 
+  // --- TX copy meter (DESIGN.md §11) --------------------------------------
+  // Payload bytes memcpy'd through a staging buffer on this layer's TX path
+  // (mirrored into the global obs counter "record.bytes_copied").
+  uint64_t bytes_copied() const { return bytes_copied_; }
+  // Wire bytes handed to the transport by flush().
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  // Callers stamp TX staging copies made above this layer (e.g. the
+  // connection's write() scratch buffer) so the meter covers the whole path.
+  void note_staging_copy(size_t n);
+
+  // --- RX buffer health ----------------------------------------------------
+  // Amortized compactions of the receive buffer (offset-cursor consumption;
+  // many small records must not shift or reallocate per record).
+  uint64_t rx_compactions() const { return rx_compactions_; }
+  size_t recv_buffer_capacity() const { return recv_buffer_.capacity(); }
+
   // The alert the last kError from read_record() deserves (RFC 5246 §7.2):
   // record_overflow for length-bound violations, bad_record_mac for failed
   // record protection. Unset when no read error has occurred.
@@ -80,21 +111,38 @@ class RecordLayer {
   }
 
  private:
-  Status queue_one(ContentType type, BytesView fragment);
+  // One link of the TX chain; `off` tracks how much the transport consumed.
+  struct TxBlock {
+    Bytes data;
+    size_t off = 0;
+  };
+
+  // Seal `fragments` (each <= 16 KB) as one record batch into the chain.
+  Status seal_batch_into_chain(ContentType type,
+                               const std::vector<BytesView>& fragments);
+  void queue_plaintext(ContentType type, BytesView fragment);
+  // Pre-change single-record path, byte-for-byte (property-test reference).
+  Status queue_one_legacy(ContentType type, BytesView fragment);
+  void compact_recv_buffer();
+  void count_copy(size_t n);
 
   Transport* transport_;
   engine::CryptoProvider* provider_;
   HmacDrbg* iv_rng_;
+  bool legacy_tx_;
 
   DirectionState tx_;
   DirectionState rx_;
 
-  Bytes send_buffer_;
-  size_t send_offset_ = 0;
+  std::deque<TxBlock> send_chain_;
   Bytes recv_buffer_;
+  size_t recv_off_ = 0;  // consumed prefix of recv_buffer_
 
   uint64_t records_sent_ = 0;
   uint64_t records_received_ = 0;
+  uint64_t bytes_copied_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t rx_compactions_ = 0;
   std::optional<AlertDescription> last_error_alert_;
 };
 

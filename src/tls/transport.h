@@ -4,6 +4,8 @@
 // example servers.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <cstdint>
 
@@ -26,6 +28,26 @@ class Transport {
   virtual ~Transport() = default;
   virtual IoResult read(uint8_t* buf, size_t len) = 0;
   virtual IoResult write(const uint8_t* buf, size_t len) = 0;
+
+  // Gathering write over `iovcnt` segments. May transfer fewer bytes than
+  // the vector holds (partial write); kOk with bytes > 0 wins over a
+  // would-block encountered mid-vector. The default loops write() per
+  // segment for transports without native scatter-gather.
+  virtual IoResult writev(const struct iovec* iov, int iovcnt) {
+    size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      if (iov[i].iov_len == 0) continue;
+      const IoResult r =
+          write(static_cast<const uint8_t*>(iov[i].iov_base), iov[i].iov_len);
+      if (r.status != IoStatus::kOk) {
+        if (total > 0) return {IoStatus::kOk, total};
+        return {r.status, 0};
+      }
+      total += r.bytes;
+      if (r.bytes < iov[i].iov_len) break;  // short write: stop gathering
+    }
+    return {IoStatus::kOk, total};
+  }
 };
 
 }  // namespace qtls::tls
