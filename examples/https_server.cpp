@@ -29,6 +29,11 @@ worker_processes 2;
 ssl_engine {
     use qat_engine;
     default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+    qat_topology {
+        devices 2;                     # logical QAT cards (DESIGN.md 12)
+        numa_nodes 1;
+        spill_threshold 32;            # queue-depth gap before spillover
+    }
     qat_engine {
         qat_offload_mode async;
         qat_notify_mode poll;          # kernel-bypass async queue
@@ -82,8 +87,15 @@ int main(int argc, char** argv) {
                  settings.status().to_string().c_str());
     return 1;
   }
-  qat::QatDevice device;  // DH8970-shaped: 3 endpoints x 12 engines
-  engine::QatEngineProvider qat_engine(device.allocate_instance(),
+  // Device fleet from the qat_topology{} block; each logical device is
+  // DH8970-shaped (3 endpoints x 12 engines). The single-worker self-test
+  // below rides device 0; the pool stripes workers across the fleet.
+  qat::TopologyConfig topo_config;
+  topo_config.num_devices = settings.value().topology.devices;
+  topo_config.numa_nodes = settings.value().topology.numa_nodes;
+  topo_config.spill_threshold = settings.value().topology.spill_threshold;
+  qat::DeviceTopology topology(topo_config);
+  engine::QatEngineProvider qat_engine(topology.device(0).allocate_instance(),
                                        settings.value().engine);
 
   tls::TlsContextConfig tls_config;
@@ -116,8 +128,9 @@ int main(int argc, char** argv) {
     options.worker_config = worker_config;
     options.tls_config = tls_config;
     options.engine_config = settings.value().engine;
-    auto pool = std::make_unique<server::WorkerPool>(&device, &test_rsa2048(),
-                                                     options);
+    options.worker_affinity = settings.value().topology.worker_affinity;
+    auto pool = std::make_unique<server::WorkerPool>(
+        &topology, &test_rsa2048(), options);
     auto status = pool->start(static_cast<uint16_t>(listen_port));
     if (!status.is_ok()) {
       std::fprintf(stderr, "listen failed: %s\n", status.to_string().c_str());
@@ -197,7 +210,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     worker.poller_stats()->efficiency_triggers));
   }
-  std::printf("  device: %s\n", device.fw_counters().to_string().c_str());
+  std::printf("  device: %s\n",
+              topology.device(0).fw_counters().to_string().c_str());
+  std::printf("  topology: %s\n", topology.stats_json().c_str());
 
   if (show_stats) {
     // Fetch the worker's own GET /stats endpoint (DESIGN.md §8) the way an

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <sstream>
 #include <thread>
 
 #include "common/log.h"
@@ -21,7 +22,7 @@ constexpr uint8_t kHalfOpen = static_cast<uint8_t>(BreakerState::kHalfOpen);
 struct EngineObsCounters {
   obs::Counter submitted, completed, submit_retry, device_error, retry,
       deadline_expiry, sw_fallback, breaker_open, breaker_close, seal_batch,
-      seal_batch_op;
+      seal_batch_op, migration, lane_spill, lane_open, lane_close;
 
   EngineObsCounters() {
     auto& reg = obs::MetricsRegistry::global();
@@ -36,6 +37,10 @@ struct EngineObsCounters {
     breaker_close = reg.counter("qat.engine.breaker_close");
     seal_batch = reg.counter("qat.engine.seal_batch");
     seal_batch_op = reg.counter("qat.engine.seal_batch_op");
+    migration = reg.counter("qat.engine.migration");
+    lane_spill = reg.counter("qat.engine.lane_spillover");
+    lane_open = reg.counter("qat.engine.lane_breaker_open");
+    lane_close = reg.counter("qat.engine.lane_breaker_close");
   }
 };
 
@@ -73,6 +78,37 @@ QatEngineProvider::QatEngineProvider(
       config_(config),
       fallback_(config.drbg_seed ^ 0x5a5a5a5aULL) {
   assert(!instances_.empty());
+  // Legacy single-device form: one lane, device id 0, no topology. The
+  // lane machinery stays out of the submit path for this shape (see
+  // lane_allowed), preserving the pre-topology behavior exactly.
+  auto lane = std::make_unique<DeviceLane>();
+  lane->device_id = 0;
+  lane->instances = instances_;
+  lanes_.push_back(std::move(lane));
+  for (auto& c : inflight_) c.store(0, std::memory_order_relaxed);
+}
+
+QatEngineProvider::QatEngineProvider(qat::DeviceTopology* topology,
+                                     int preferred_device,
+                                     std::vector<DeviceInstanceSet> sets,
+                                     QatEngineConfig config)
+    : topology_(topology),
+      preferred_device_(preferred_device),
+      config_(config),
+      fallback_(config.drbg_seed ^ 0x5a5a5a5aULL) {
+  assert(!sets.empty());
+  for (DeviceInstanceSet& set : sets) {
+    assert(!set.instances.empty());
+    auto lane = std::make_unique<DeviceLane>();
+    lane->device_id = set.device_id;
+    lane->instances = set.instances;
+    if (topology_)
+      lane->seen_generation.store(topology_->generation(),
+                                  std::memory_order_relaxed);
+    for (qat::CryptoInstance* inst : set.instances)
+      instances_.push_back(inst);
+    lanes_.push_back(std::move(lane));
+  }
   for (auto& c : inflight_) c.store(0, std::memory_order_relaxed);
 }
 
@@ -188,6 +224,188 @@ void QatEngineProvider::breaker_on_failure(qat::OpClass cls) {
   }
 }
 
+// ----------------------------------------------------- device lanes ----
+
+bool QatEngineProvider::lane_allowed(DeviceLane& lane) {
+  // The legacy single-device shape has no topology and no failover target:
+  // the per-class breakers already own degradation, so the lane is always
+  // allowed and the submit path is byte-for-byte the pre-topology one.
+  if (lanes_.size() == 1 && !topology_) return true;
+  if (topology_ && !topology_->online(lane.device_id)) return false;
+  // Open and half-open lanes are excluded here; re-binding goes through the
+  // explicit probe phase in choose_lane so one op owns the probe.
+  return lane.breaker.state.load(std::memory_order_acquire) == kClosed;
+}
+
+QatEngineProvider::DeviceLane* QatEngineProvider::try_probe_lane(
+    DeviceLane& lane) {
+  if (topology_ && !topology_->online(lane.device_id)) return nullptr;
+  if (lane.breaker.state.load(std::memory_order_acquire) != kOpen)
+    return nullptr;
+  // A topology generation bump (re_add) re-probes immediately; otherwise
+  // the cooldown must have elapsed.
+  const uint64_t gen = topology_ ? topology_->generation() : 0;
+  const bool gen_moved =
+      topology_ && gen != lane.seen_generation.load(std::memory_order_acquire);
+  if (!gen_moved &&
+      steady_now_ns() <
+          lane.breaker.open_until_ns.load(std::memory_order_acquire))
+    return nullptr;
+  uint8_t expected = kOpen;
+  if (lane.breaker.state.compare_exchange_strong(expected, kHalfOpen,
+                                                 std::memory_order_acq_rel)) {
+    lane.seen_generation.store(gen, std::memory_order_release);
+    return &lane;
+  }
+  return nullptr;
+}
+
+size_t QatEngineProvider::lane_depth(const DeviceLane& lane) const {
+  // Device-wide depth when a topology is attached: spillover exists to shed
+  // CONTENTION, and contention on a shared card comes mostly from other
+  // workers' instances — a lane-local count can't see it. Standalone
+  // providers fall back to their own share of the queue.
+  if (topology_) return topology_->queue_depth(lane.device_id);
+  size_t depth = 0;
+  for (qat::CryptoInstance* inst : lane.instances) depth += inst->inflight();
+  return depth;
+}
+
+QatEngineProvider::DeviceLane* QatEngineProvider::choose_lane(
+    int exclude_device) {
+  if (lanes_.size() == 1 && !topology_) return lanes_.front().get();
+
+  // Phase 0: win a pending half-open probe — a tripped lane whose cooldown
+  // elapsed, or whose device was re-added (topology generation moved) —
+  // affine lane first. Probing AHEAD of healthy lanes is what rebinds a
+  // recovered device promptly: if probes only ran when every lane was dark,
+  // a worker with one surviving lane would never rediscover the other. The
+  // cost is one committed op per cooldown against a still-dead device,
+  // which the retry path migrates anyway.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& lp : lanes_) {
+      DeviceLane& lane = *lp;
+      if (lane.device_id == exclude_device) continue;
+      const bool is_preferred = lane.device_id == preferred_device_;
+      if ((pass == 0) != is_preferred) continue;
+      if (DeviceLane* probed = try_probe_lane(lane)) return probed;
+    }
+  }
+
+  // Phase 1: closed lanes only, shallowest-depth with affinity preference.
+  DeviceLane* preferred = nullptr;
+  DeviceLane* best = nullptr;
+  size_t best_depth = static_cast<size_t>(-1);
+  for (auto& lp : lanes_) {
+    DeviceLane& lane = *lp;
+    if (lane.device_id == exclude_device) continue;
+    if (!lane_allowed(lane)) continue;
+    const size_t depth = lane_depth(lane);
+    if (depth < best_depth) {
+      best_depth = depth;
+      best = &lane;
+    }
+    if (lane.device_id == preferred_device_) preferred = &lane;
+  }
+  if (preferred) {
+    const size_t spill =
+        topology_ ? topology_->spill_threshold() : static_cast<size_t>(64);
+    if (preferred == best || lane_depth(*preferred) <= best_depth + spill)
+      return preferred;
+    // Affine device too deep: spill to the shallowest healthy lane.
+    ++stats_.lane_spillovers;
+    obs_counters().lane_spill.inc();
+    return best;
+  }
+  if (best) {
+    // The affine lane was down, tripped, or excluded — count the diversion
+    // so load-shift during an outage is visible.
+    ++stats_.lane_spillovers;
+    obs_counters().lane_spill.inc();
+    return best;
+  }
+
+  // Everything (except maybe the excluded device) is dark. A retry may
+  // still go back to the device that just failed it rather than giving up.
+  if (exclude_device >= 0) return choose_lane(-1);
+  return nullptr;
+}
+
+qat::CryptoInstance* QatEngineProvider::lane_instance(DeviceLane& lane) {
+  return lane.instances[lane.rr.fetch_add(1, std::memory_order_relaxed) %
+                        lane.instances.size()];
+}
+
+void QatEngineProvider::lane_on_success(DeviceLane& lane) {
+  if (lanes_.size() == 1 && !topology_) return;
+  ClassBreaker& b = lane.breaker;
+  if (b.consecutive_failures.load(std::memory_order_relaxed) != 0)
+    b.consecutive_failures.store(0, std::memory_order_relaxed);
+  if (b.state.load(std::memory_order_acquire) != kClosed) {
+    b.state.store(kClosed, std::memory_order_release);
+    ++stats_.lane_breaker_closes;
+    obs_counters().lane_close.inc();
+    QTLS_INFO << "qat lane for device " << lane.device_id
+              << " rebound (re-probe succeeded)";
+  }
+}
+
+void QatEngineProvider::lane_on_failure(DeviceLane& lane) {
+  if (lanes_.size() == 1 && !topology_) return;
+  ClassBreaker& b = lane.breaker;
+  const int fails =
+      b.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint8_t st = b.state.load(std::memory_order_acquire);
+  const bool open_now =
+      st == kHalfOpen || (st == kClosed && fails >= config_.breaker_threshold);
+  if (!open_now) return;
+  b.open_until_ns.store(
+      steady_now_ns() + config_.breaker_cooldown_ms * 1'000'000ULL,
+      std::memory_order_release);
+  if (topology_)
+    lane.seen_generation.store(topology_->generation(),
+                               std::memory_order_release);
+  b.state.store(kOpen, std::memory_order_release);
+  ++stats_.lane_breaker_opens;
+  obs_counters().lane_open.inc();
+  QTLS_WARN << "qat lane for device " << lane.device_id << " tripped after "
+            << fails << " consecutive device failures; shifting load";
+}
+
+bool QatEngineProvider::other_lane_available(int device_id) {
+  for (auto& lp : lanes_) {
+    if (lp->device_id == device_id) continue;
+    if (lane_allowed(*lp)) return true;
+    // An open lane that could be probed still counts: the class must not
+    // degrade to software while another device can be brought back.
+    if (lp->breaker.state.load(std::memory_order_acquire) != kClosed &&
+        (!topology_ || topology_->online(lp->device_id)))
+      return true;
+  }
+  return false;
+}
+
+std::string QatEngineProvider::lanes_json() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const DeviceLane& lane = *lanes_[i];
+    const char* st = "closed";
+    switch (static_cast<BreakerState>(
+        lane.breaker.state.load(std::memory_order_acquire))) {
+      case BreakerState::kClosed: st = "closed"; break;
+      case BreakerState::kOpen: st = "open"; break;
+      case BreakerState::kHalfOpen: st = "half_open"; break;
+    }
+    os << (i ? "," : "") << "{\"device\":" << lane.device_id
+       << ",\"breaker\":\"" << st << "\",\"submitted\":"
+       << lane.submitted.load(std::memory_order_relaxed)
+       << ",\"instances\":" << lane.instances.size() << "}";
+  }
+  os << ']';
+  return os.str();
+}
+
 qat::OpKind QatEngineProvider::ec_op_kind(CurveId curve) {
   switch (curve) {
     case CurveId::kP256: return qat::OpKind::kEcP256;
@@ -221,7 +439,29 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
   asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
 
   const int max_attempts = 1 + std::max(0, config_.max_retries);
+  int exclude_device = -1;  // the device the previous attempt failed on
+  int last_device = -1;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // Lane choice per attempt (DESIGN.md §12): the affine device unless it
+    // is down/tripped/deep, and never the device that just failed this op
+    // — a retry migrates to a surviving device when one exists.
+    DeviceLane* lane = choose_lane(exclude_device);
+    if (!lane) {
+      // Every assigned device is offline or tripped. Degrade this op
+      // without touching the per-class breaker: the lane probes own
+      // recovery, and a class flip would outlive the outage.
+      if (!config_.sw_fallback_on_device_error)
+        return err(Code::kUnavailable, "no qat device available");
+      ++stats_.sw_fallbacks;
+      obs_counters().sw_fallback.inc();
+      return compute();
+    }
+    if (last_device >= 0 && lane->device_id != last_device) {
+      ++stats_.device_migrations;
+      obs_counters().migration.inc();
+    }
+    last_device = lane->device_id;
+
     // Fresh per-attempt state: an abandoned attempt's shared state may still
     // be referenced by a late device response, so it is never reused.
     auto state = std::make_shared<State>();
@@ -259,12 +499,10 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
       return req;
     };
 
-    // Requests round-robin across the assigned instances (§2.3); submission
+    // Requests round-robin across the lane's instances (§2.3); submission
     // retains the §3.2 failure path: a full request ring pauses the job
     // (async) or backs off (sync) and retries.
-    qat::CryptoInstance* target = instances_[
-        next_instance_.fetch_add(1, std::memory_order_relaxed) %
-        instances_.size()];
+    qat::CryptoInstance* target = lane_instance(*lane);
     while (!target->submit(build_request())) {
       ++stats_.submit_retries;
       obs_counters().submit_retry.inc();
@@ -278,6 +516,7 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
         std::this_thread::yield();
       }
     }
+    lane->submitted.fetch_add(1, std::memory_order_relaxed);
     ++stats_.submitted;
     obs_counters().submitted.inc();
 
@@ -324,7 +563,11 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
     if (state->abandoned.load(std::memory_order_acquire)) {
       // Deadline expired (likely a dropped response). No resubmit: the op
       // may still complete device-side and a duplicate would double-apply.
-      breaker_on_failure(cls);
+      // The DEVICE that swallowed it is charged; the class breaker only
+      // when no surviving device exists — a healthy lane must keep the
+      // class on offload (ops migrate, they don't degrade).
+      lane_on_failure(*lane);
+      if (!other_lane_available(lane->device_id)) breaker_on_failure(cls);
       if (config_.sw_fallback_on_device_error) {
         ++stats_.sw_fallbacks;
         obs_counters().sw_fallback.inc();
@@ -346,11 +589,15 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
     if (!qat::is_device_failure(state->dev_status)) {
       // kSuccess, or kComputeError (a deterministic input failure — the
       // device worked; state->result carries the error to the caller).
+      lane_on_success(*lane);
       breaker_on_success(cls);
       return std::move(state->result);
     }
 
-    // Transient device failure (CPA_STATUS_FAIL / reset-in-flight).
+    // Transient device failure (CPA_STATUS_FAIL / reset-in-flight). Charge
+    // the lane and steer the retry off this device.
+    lane_on_failure(*lane);
+    exclude_device = lane->device_id;
     ++stats_.device_errors;
     obs_counters().device_error.inc();
     if (attempt < max_attempts) {
@@ -368,8 +615,11 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
     }
   }
 
-  // Retries exhausted: terminal device failure for this op.
-  breaker_on_failure(cls);
+  // Retries exhausted: terminal device failure for this op. The class
+  // breaker is only charged when no surviving device could take the class —
+  // otherwise the per-device lanes own degradation and the class stays on
+  // offload.
+  if (!other_lane_available(last_device)) breaker_on_failure(cls);
   if (config_.sw_fallback_on_device_error) {
     ++stats_.sw_fallbacks;
     obs_counters().sw_fallback.inc();
@@ -546,6 +796,25 @@ Status QatEngineProvider::run_seal_batch(
     return Status::ok();
   }
 
+  // The whole batch rides one lane — a single submit_batch() dispatch is the
+  // point of batching, so per-record lane choice would defeat it. Record
+  // retries migrate individually through the single-op runner below.
+  DeviceLane* lane = choose_lane(-1);
+  if (!lane) {
+    // Every device offline or tripped: degrade the batch without touching
+    // the per-class breaker (lane probes own recovery).
+    if (!config_.sw_fallback_on_device_error)
+      return err(Code::kUnavailable, "no qat device available");
+    for (size_t i = 0; i < n; ++i) {
+      ++stats_.sw_fallbacks;
+      obs_counters().sw_fallback.inc();
+      QTLS_ASSIGN_OR_RETURN(Bytes sealed, computes[i]());
+      record_bytes_copied().add(sealed.size());
+      append(*outs[i], sealed);
+    }
+    return Status::ok();
+  }
+
   asyncx::AsyncJob* job = asyncx::get_current_job();
   const bool async = config_.offload_mode == OffloadMode::kAsync && job;
   asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
@@ -587,9 +856,7 @@ Status QatEngineProvider::run_seal_batch(
   // The whole span goes to one instance as a single submit_batch() dispatch
   // (one engine wakeup for N records); a full request ring accepts a prefix
   // and the remainder retries after the loop turns (§3.2).
-  qat::CryptoInstance* target =
-      instances_[next_instance_.fetch_add(1, std::memory_order_relaxed) %
-                 instances_.size()];
+  qat::CryptoInstance* target = lane_instance(*lane);
   size_t accepted = 0;
   while (accepted < n) {
     accepted +=
@@ -607,6 +874,7 @@ Status QatEngineProvider::run_seal_batch(
       }
     }
   }
+  lane->submitted.fetch_add(n, std::memory_order_relaxed);
   stats_.submitted += n;
   obs_counters().submitted.add(n);
   ++stats_.seal_batches;
@@ -667,8 +935,10 @@ Status QatEngineProvider::run_seal_batch(
     State& s = *states[i];
     if (s.abandoned.load(std::memory_order_acquire)) {
       // Deadline expired: no resubmit (a late response may still land
-      // device-side), mirror the single-op path.
-      breaker_on_failure(cls);
+      // device-side), mirror the single-op path — charge the lane, and the
+      // class only when no surviving device exists.
+      lane_on_failure(*lane);
+      if (!other_lane_available(lane->device_id)) breaker_on_failure(cls);
       if (!config_.sw_fallback_on_device_error)
         return err(Code::kUnavailable, "qat op deadline expired");
       ++stats_.sw_fallbacks;
@@ -687,6 +957,7 @@ Status QatEngineProvider::run_seal_batch(
     }
 
     if (!qat::is_device_failure(s.dev_status)) {
+      lane_on_success(*lane);
       breaker_on_success(cls);
       QTLS_ASSIGN_OR_RETURN(Bytes sealed, std::move(s.result));
       record_bytes_copied().add(sealed.size());
@@ -694,8 +965,9 @@ Status QatEngineProvider::run_seal_batch(
       continue;
     }
 
-    // Transient device failure on this record: retry it through the
-    // single-op runner, which owns the backoff/breaker/fallback semantics.
+    // Transient device failure on this record: charge the lane, then retry
+    // through the single-op runner, which owns migration/backoff/fallback.
+    lane_on_failure(*lane);
     ++stats_.device_errors;
     obs_counters().device_error.inc();
     ++stats_.op_retries;

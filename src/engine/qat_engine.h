@@ -29,12 +29,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "asyncx/job.h"
 #include "engine/provider.h"
 #include "obs/trace.h"
 #include "qat/device.h"
+#include "qat/topology.h"
 
 namespace qtls::engine {
 
@@ -99,6 +101,13 @@ struct QatEngineStats {
                                    // (breaker open or terminal failure)
   uint64_t breaker_opens = 0;      // class flips to software fallback
   uint64_t breaker_closes = 0;     // successful re-probe restored offload
+
+  // --- multi-device topology (DESIGN.md §12) ----------------------------
+  uint64_t device_migrations = 0;  // retries resubmitted to another device
+  uint64_t lane_spillovers = 0;    // submissions steered off the affine
+                                   // device (down, tripped, or too deep)
+  uint64_t lane_breaker_opens = 0;   // a device lane flipped unavailable
+  uint64_t lane_breaker_closes = 0;  // a lane re-probe rebound the device
 };
 
 // Circuit-breaker state, per op class (QAT_Engine's sw-fallback mirror).
@@ -108,6 +117,13 @@ enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 template <typename T>
 struct TypedOpState;
 
+// One device's worth of instances assigned to a provider — the unit the
+// per-device breaker and the migration path reason about.
+struct DeviceInstanceSet {
+  int device_id = 0;
+  std::vector<qat::CryptoInstance*> instances;
+};
+
 class QatEngineProvider : public CryptoProvider {
  public:
   QatEngineProvider(qat::CryptoInstance* instance, QatEngineConfig config);
@@ -115,6 +131,16 @@ class QatEngineProvider : public CryptoProvider {
   // endpoints to employ more computation engines. Requests round-robin
   // across them; poll() drains all of them.
   QatEngineProvider(std::vector<qat::CryptoInstance*> instances,
+                    QatEngineConfig config);
+  // Multi-device form (DESIGN.md §12): instance sets grouped by device,
+  // with `preferred_device` the worker's affine card. Submissions stay on
+  // the affine lane; a lane whose device is offline, breaker-tripped, or
+  // queue-deep spills to the shallowest healthy lane, and device failures
+  // migrate the retry to another device instead of burning the class
+  // breaker. `topology` is non-owning and may be null (lanes still work;
+  // online-ness then comes only from the lane breakers).
+  QatEngineProvider(qat::DeviceTopology* topology, int preferred_device,
+                    std::vector<DeviceInstanceSet> sets,
                     QatEngineConfig config);
 
   const char* name() const override { return "qat"; }
@@ -179,6 +205,21 @@ class QatEngineProvider : public CryptoProvider {
   // Ops registered for deadline tracking but not yet completed/expired.
   size_t pending_deadline_ops() const;
 
+  // --- multi-device lanes (observability + tests) -------------------------
+  qat::DeviceTopology* topology() const { return topology_; }
+  int preferred_device() const { return preferred_device_; }
+  size_t num_lanes() const { return lanes_.size(); }
+  int lane_device(size_t lane) const { return lanes_[lane]->device_id; }
+  BreakerState lane_breaker_state(size_t lane) const {
+    return static_cast<BreakerState>(
+        lanes_[lane]->breaker.state.load(std::memory_order_acquire));
+  }
+  uint64_t lane_submitted(size_t lane) const {
+    return lanes_[lane]->submitted.load(std::memory_order_relaxed);
+  }
+  // The GET /stats "topology.lanes" array: one entry per assigned device.
+  std::string lanes_json() const;
+
  private:
   template <typename T>
   friend struct TypedOpState;
@@ -209,6 +250,23 @@ class QatEngineProvider : public CryptoProvider {
     std::atomic<uint64_t> open_until_ns{0};
   };
 
+  // One device's lane: its instances, a round-robin cursor, and a breaker
+  // tracking DEVICE failures regardless of op class — K consecutive ones
+  // flip the lane unavailable so submissions spill to surviving devices
+  // (never to software while another lane is up); the half-open probe
+  // rebinds the device after the cooldown, or immediately after a topology
+  // re_add (generation bump).
+  struct DeviceLane {
+    int device_id = 0;
+    std::vector<qat::CryptoInstance*> instances;
+    std::atomic<size_t> rr{0};
+    ClassBreaker breaker;
+    std::atomic<uint64_t> submitted{0};
+    // Topology generation this lane last observed; a mismatch on a tripped
+    // lane re-probes without waiting out the cooldown.
+    std::atomic<uint64_t> seen_generation{0};
+  };
+
   // Generic offload runner. `compute` executes on a QAT engine thread; the
   // calling thread blocks (kSync) or fiber-pauses (kAsync) until the
   // response callback fires. Handles deadline expiry, bounded retry on
@@ -232,6 +290,29 @@ class QatEngineProvider : public CryptoProvider {
   void breaker_on_success(qat::OpClass cls);
   void breaker_on_failure(qat::OpClass cls);
 
+  // --- multi-device lanes -------------------------------------------------
+  // Whether submissions may target this lane right now: device online (per
+  // the topology), breaker closed — or open with the cooldown elapsed / the
+  // topology generation moved, in which case the caller wins the half-open
+  // probe.
+  bool lane_allowed(DeviceLane& lane);
+  // Win the half-open probe on a tripped lane when its cooldown elapsed or
+  // the topology generation moved (re_add). Returns the lane on success.
+  DeviceLane* try_probe_lane(DeviceLane& lane);
+  // This provider's share of the lane's device queue (spillover signal).
+  size_t lane_depth(const DeviceLane& lane) const;
+  // Pick the lane for a submission: the affine lane unless it is
+  // disallowed, excluded (a retry migrating off a failed device), or
+  // deeper than the shallowest healthy lane by more than the topology's
+  // spill threshold. Null when no lane is currently allowed.
+  DeviceLane* choose_lane(int exclude_device);
+  qat::CryptoInstance* lane_instance(DeviceLane& lane);
+  void lane_on_success(DeviceLane& lane);
+  void lane_on_failure(DeviceLane& lane);
+  // True when some OTHER allowed lane exists — the migration guard that
+  // keeps one dead device from tripping the per-class breaker.
+  bool other_lane_available(int device_id);
+
   // Expire past-deadline ops: mark abandoned, release the inflight slot,
   // wake the waiting fiber. Called from poll().
   void sweep_deadlines(uint64_t now);
@@ -241,8 +322,13 @@ class QatEngineProvider : public CryptoProvider {
   // Curve -> modelled op kind.
   static qat::OpKind ec_op_kind(CurveId curve);
 
-  std::vector<qat::CryptoInstance*> instances_;
+  std::vector<qat::CryptoInstance*> instances_;  // flattened, for poll()
   std::atomic<size_t> next_instance_{0};
+  // Per-device lanes (heap-allocated: atomics are immovable). The legacy
+  // constructors build one lane with device_id 0.
+  std::vector<std::unique_ptr<DeviceLane>> lanes_;
+  qat::DeviceTopology* topology_ = nullptr;  // non-owning; may be null
+  int preferred_device_ = 0;
   QatEngineConfig config_;
   SoftwareProvider fallback_;
   std::atomic<size_t> inflight_[qat::kNumOpClasses];

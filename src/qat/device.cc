@@ -272,6 +272,13 @@ void QatEndpoint::engine_main(int engine_id) {
   }
 }
 
+size_t QatEndpoint::inflight() const {
+  size_t total = 0;
+  const size_t n = num_instances_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) total += instances_[i]->inflight();
+  return total;
+}
+
 FwCounters QatEndpoint::fw_counters() const {
   FwCounters total;
   const size_t n = num_instances_.load(std::memory_order_acquire);
@@ -315,6 +322,12 @@ CryptoInstance* QatDevice::allocate_instance() {
       return inst;
   }
   return nullptr;
+}
+
+size_t QatDevice::inflight() const {
+  size_t total = 0;
+  for (const auto& ep : endpoints_) total += ep->inflight();
+  return total;
 }
 
 FwCounters QatDevice::fw_counters() const {

@@ -140,6 +140,9 @@ struct FwCounters {
   uint64_t total_requests() const {
     return requests[0] + requests[1] + requests[2];
   }
+  uint64_t total_responses() const {
+    return responses[0] + responses[1] + responses[2];
+  }
   std::string to_string() const;
 };
 
@@ -160,6 +163,9 @@ class QatEndpoint {
   int num_engines() const { return static_cast<int>(engines_.size()); }
   // Engines currently executing a request (for utilization probes).
   int busy_engines() const { return busy_.load(std::memory_order_relaxed); }
+  // Submitted-but-not-retrieved requests across every instance — the
+  // endpoint's queue depth, read by the topology balancer.
+  size_t inflight() const;
 
  private:
   friend class CryptoInstance;
@@ -215,6 +221,10 @@ class QatDevice {
 
   // Aggregated fw_counters across endpoints.
   FwCounters fw_counters() const;
+
+  // Card-wide queue depth (submitted, not yet retrieved). The topology
+  // balancer reads this to spill placements away from saturated devices.
+  size_t inflight() const;
 
  private:
   DeviceConfig config_;

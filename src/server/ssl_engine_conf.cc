@@ -1,6 +1,7 @@
 #include "server/ssl_engine_conf.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace qtls::server {
 
@@ -138,6 +139,35 @@ Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
         has_algorithm(algs, "PRF") || has_algorithm(algs, "PKEY_CRYPTO");
     out.engine.offload_cipher = has_algorithm(algs, "CIPHER") ||
                                 has_algorithm(algs, "PKEY_CRYPTO");
+  }
+
+  // qat_topology{}: the multi-device fleet shape (DESIGN.md §12).
+  if (const ConfBlock* topo = engine_block->find_block("qat_topology")) {
+    const int64_t devices = topo->get_int("devices", 1);
+    if (devices < 1 || devices > 64)
+      return err(Code::kInvalidArgument, "qat_topology devices out of range");
+    out.topology.devices = static_cast<int>(devices);
+
+    const int64_t nodes = topo->get_int("numa_nodes", 1);
+    if (nodes < 1 || nodes > 16)
+      return err(Code::kInvalidArgument,
+                 "qat_topology numa_nodes out of range");
+    out.topology.numa_nodes = static_cast<int>(nodes);
+
+    const int64_t spill = topo->get_int(
+        "spill_threshold", static_cast<int64_t>(out.topology.spill_threshold));
+    if (spill < 0)
+      return err(Code::kInvalidArgument, "qat_topology spill_threshold < 0");
+    out.topology.spill_threshold = static_cast<size_t>(spill);
+
+    for (const std::string& tok : topo->get_list("worker_affinity")) {
+      char* end = nullptr;
+      const long dev = std::strtol(tok.c_str(), &end, 10);
+      if (!end || *end != '\0' || dev < 0 || dev >= out.topology.devices)
+        return err(Code::kInvalidArgument,
+                   "qat_topology worker_affinity entry out of range: " + tok);
+      out.topology.worker_affinity.push_back(static_cast<int>(dev));
+    }
   }
 
   const ConfBlock* qat = engine_block->find_block("qat_engine");

@@ -13,6 +13,12 @@
 //           qat_heuristic_poll_asym_threshold 48;
 //           qat_heuristic_poll_sym_threshold 24;
 //       }
+//       qat_topology {                     # multi-device fleet (DESIGN §12)
+//           devices 4;                     # logical QAT devices
+//           numa_nodes 2;                  # device i sits on node i % nodes
+//           spill_threshold 32;            # queue-depth spillover margin
+//           worker_affinity 0,1,0,1;       # optional explicit worker->device
+//       }                                  # map (overrides NUMA striping)
 //   }
 //   session_cache {
 //       shards 16;                         # sharded cross-worker cache
@@ -38,8 +44,10 @@
 //                                          # synthetic benchmark object
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "common/conf.h"
 #include "engine/qat_engine.h"
@@ -61,10 +69,32 @@ enum class PollScheme : uint8_t {
   kInline,     // blocking self-poll (straight offload / QAT+S)
 };
 
+// The qat_topology{} block: how many logical devices the box carries, how
+// they spread over NUMA nodes, and how workers bind to them. An explicit
+// worker_affinity list (worker w -> device affinity[w % len]) overrides the
+// default NUMA striping in DeviceTopology::preferred_device().
+struct TopologySettings {
+  int devices = 1;
+  int numa_nodes = 1;
+  size_t spill_threshold = 32;
+  std::vector<int> worker_affinity;  // empty = NUMA striping
+
+  int affinity_for(int worker_id, int num_workers,
+                   const qat::DeviceTopology& topo) const {
+    if (!worker_affinity.empty())
+      return worker_affinity[static_cast<size_t>(worker_id) %
+                             worker_affinity.size()] %
+             std::max(1, topo.num_devices());
+    return topo.preferred_device(worker_id, num_workers);
+  }
+};
+
 struct SslEngineSettings {
   int worker_processes = 1;
   bool use_qat = false;
   engine::QatEngineConfig engine;
+  // Multi-device topology (qat_topology{} block; DESIGN.md §12).
+  TopologySettings topology;
   NotifyScheme notify = NotifyScheme::kKernelBypass;
   PollScheme poll = PollScheme::kHeuristic;
   std::chrono::microseconds timer_interval{10};

@@ -269,6 +269,7 @@ void Worker::close_connection(Conn* conn, bool error) {
   // become no-ops, then run any paused offload job to completion — its
   // response callback references this connection's wait context.
   conns_by_id_.erase(conn->id);
+  if (conn->expecting_async) --pending_async_;
   conn->expecting_async = false;
   conn->async_handler = nullptr;
   if (conn->tls->has_paused_job())
@@ -381,6 +382,7 @@ bool Worker::dispatch_result(Conn* conn, tls::TlsResult r, Handler self) {
 void Worker::park_async(Conn* conn, Handler handler) {
   ++stats_.async_parks;
   conn->async_handler = handler;
+  if (!conn->expecting_async) ++pending_async_;
   conn->expecting_async = true;
   maybe_heuristic_poll();
 }
@@ -389,6 +391,7 @@ void Worker::on_async_event(Conn* conn) {
   if (!conn->expecting_async) return;  // stale event (connection moved on)
   const int fd = conn->fd;  // captured before the handler may destroy conn
   conn->expecting_async = false;
+  --pending_async_;
   conn->in_async_resume = true;
   Handler handler = conn->async_handler;
   conn->async_handler = nullptr;
@@ -675,7 +678,12 @@ std::string Worker::stats_json() const {
        << ",\"deadline_expiries\":" << e.deadline_expiries
        << ",\"sw_fallbacks\":" << e.sw_fallbacks
        << ",\"breaker_opens\":" << e.breaker_opens
-       << ",\"breaker_closes\":" << e.breaker_closes << ",\"breaker\":{";
+       << ",\"breaker_closes\":" << e.breaker_closes
+       << ",\"device_migrations\":" << e.device_migrations
+       << ",\"lane_spillovers\":" << e.lane_spillovers
+       << ",\"lane_breaker_opens\":" << e.lane_breaker_opens
+       << ",\"lane_breaker_closes\":" << e.lane_breaker_closes
+       << ",\"breaker\":{";
     for (int c = 0; c < qat::kNumOpClasses; ++c) {
       os << (c ? "," : "") << '"'
          << qat::op_class_name(static_cast<qat::OpClass>(c)) << "\":\""
@@ -683,6 +691,13 @@ std::string Worker::stats_json() const {
          << '"';
     }
     os << "}}";
+    // Multi-device topology (DESIGN.md §12): the fleet view plus this
+    // worker's per-device lanes.
+    if (qat::DeviceTopology* topo = qat_->topology()) {
+      os << ",\"topology\":{\"fleet\":" << topo->stats_json()
+         << ",\"preferred_device\":" << qat_->preferred_device()
+         << ",\"lanes\":" << qat_->lanes_json() << "}";
+    }
   }
   if (const HeuristicPollerStats* p = poller_stats()) {
     os << ",\"poller\":{"

@@ -90,6 +90,12 @@ class Worker {
   size_t active_connections() const { return conns_.size() - idle_count_; }
   size_t handshaking_connections() const { return handshaking_; }
   size_t parked_accepts() const { return parked_.size(); }
+  // Connections parked on an in-flight offload (expecting_async). A worker
+  // is quiescent only when this is zero — a caller observing "no active
+  // connections" while this is non-zero is mid-op, not done (the
+  // ActiveIdleAccounting race: a final close_notify decrypt parks the
+  // connection non-idle until its async op completes).
+  size_t pending_async_connections() const { return pending_async_; }
 
   // Graceful drain (DESIGN.md §10). Cross-thread-safe: the worker thread
   // observes the request at its next run_once, stops accepting (listener
@@ -172,6 +178,7 @@ class Worker {
   std::unordered_map<uint64_t, Conn*> conns_by_id_;
   uint64_t next_conn_id_ = 1;
   size_t idle_count_ = 0;
+  size_t pending_async_ = 0;  // conns with expecting_async set
 
   AsyncEventQueue async_queue_;
   std::unique_ptr<HeuristicPoller> poller_;

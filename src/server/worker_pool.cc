@@ -1,5 +1,6 @@
 #include "server/worker_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -12,6 +13,13 @@ namespace qtls::server {
 WorkerPool::WorkerPool(qat::QatDevice* device, const RsaPrivateKey* rsa_key,
                        WorkerPoolOptions options)
     : device_(device), rsa_key_(rsa_key), options_(options) {}
+
+WorkerPool::WorkerPool(qat::DeviceTopology* topology,
+                       const RsaPrivateKey* rsa_key, WorkerPoolOptions options)
+    : device_(nullptr),
+      topology_(topology),
+      rsa_key_(rsa_key),
+      options_(options) {}
 
 WorkerPool::~WorkerPool() { stop(); }
 
@@ -36,16 +44,46 @@ Status WorkerPool::start(uint16_t port) {
   for (int i = 0; i < options_.workers; ++i) {
     auto cell = std::make_unique<Cell>();
 
-    std::vector<qat::CryptoInstance*> instances;
-    for (int k = 0; k < options_.instances_per_worker; ++k) {
-      qat::CryptoInstance* inst = device_->allocate_instance();
-      if (!inst) return err(Code::kResourceExhausted, "no QAT instances left");
-      instances.push_back(inst);
-    }
     engine::QatEngineConfig ecfg = options_.engine_config;
     ecfg.drbg_seed ^= static_cast<uint64_t>(i + 1) * 0x9e3779b97f4a7c15ULL;
-    cell->engine = std::make_unique<engine::QatEngineProvider>(
-        std::move(instances), ecfg);
+    if (topology_) {
+      // Topology pool: one placement decision per instance (affine device
+      // unless offline/deep), grouped by device into per-lane sets.
+      const int preferred =
+          options_.worker_affinity.empty()
+              ? topology_->preferred_device(i, options_.workers)
+              : options_.worker_affinity[static_cast<size_t>(i) %
+                                         options_.worker_affinity.size()] %
+                    topology_->num_devices();
+      auto placements = topology_->allocate_for_worker(
+          i, options_.workers, options_.instances_per_worker);
+      if (placements.empty())
+        return err(Code::kResourceExhausted, "no QAT instances left");
+      std::vector<engine::DeviceInstanceSet> sets;
+      for (const auto& p : placements) {
+        auto it = std::find_if(sets.begin(), sets.end(),
+                               [&](const engine::DeviceInstanceSet& s) {
+                                 return s.device_id == p.device;
+                               });
+        if (it == sets.end()) {
+          sets.push_back(engine::DeviceInstanceSet{p.device, {}});
+          it = sets.end() - 1;
+        }
+        it->instances.push_back(p.instance);
+      }
+      cell->engine = std::make_unique<engine::QatEngineProvider>(
+          topology_, preferred, std::move(sets), ecfg);
+    } else {
+      std::vector<qat::CryptoInstance*> instances;
+      for (int k = 0; k < options_.instances_per_worker; ++k) {
+        qat::CryptoInstance* inst = device_->allocate_instance();
+        if (!inst)
+          return err(Code::kResourceExhausted, "no QAT instances left");
+        instances.push_back(inst);
+      }
+      cell->engine = std::make_unique<engine::QatEngineProvider>(
+          std::move(instances), ecfg);
+    }
 
     tls::TlsContextConfig tcfg = options_.tls_config;
     tcfg.is_server = true;
@@ -153,6 +191,7 @@ std::string WorkerPool::stats_text() const {
      << " async_parks=" << s.totals.async_parks << '\n';
   os << "session: hits=" << s.session_hits << " misses=" << s.session_misses
      << " tickets_unsealed=" << s.tickets_unsealed << '\n';
+  if (topology_) os << "topology: " << topology_->stats_json() << '\n';
   os << obs::MetricsRegistry::global().snapshot().to_text();
   return os.str();
 }

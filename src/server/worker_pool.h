@@ -23,6 +23,10 @@ struct WorkerPoolOptions {
   engine::QatEngineConfig engine_config;
   // Instances assigned per worker (paper: one each; §2.3 allows more).
   int instances_per_worker = 1;
+  // Topology pools only: explicit worker->device map (worker w prefers
+  // device worker_affinity[w % size]); empty = NUMA striping
+  // (DeviceTopology::preferred_device). Mirrors conf `worker_affinity`.
+  std::vector<int> worker_affinity;
   size_t response_body_size = 1024;
   // Periodic observability dump: every interval the pool logs stats_text()
   // (pool totals + the global metrics registry). 0 disables the dump thread.
@@ -42,6 +46,13 @@ class WorkerPool {
  public:
   // `device` outlives the pool; credentials are shared const state.
   WorkerPool(qat::QatDevice* device, const RsaPrivateKey* rsa_key,
+             WorkerPoolOptions options);
+  // Multi-device form (DESIGN.md §12): workers draw their instances from
+  // the topology with NUMA-style affinity (or the explicit worker_affinity
+  // map), and each worker's engine runs one lane per device it touches —
+  // a hot-removed device shifts that worker's load to its other lanes.
+  // `topology` outlives the pool.
+  WorkerPool(qat::DeviceTopology* topology, const RsaPrivateKey* rsa_key,
              WorkerPoolOptions options);
   ~WorkerPool();
 
@@ -63,6 +74,12 @@ class WorkerPool {
   uint16_t port() const { return port_; }
   int workers() const { return static_cast<int>(cells_.size()); }
   WorkerPoolStats stats() const;
+  qat::DeviceTopology* topology() const { return topology_; }
+  // Per-worker engine/worker handles (bench + test instrumentation).
+  Worker* worker(int i) { return cells_[static_cast<size_t>(i)]->worker.get(); }
+  engine::QatEngineProvider* engine(int i) {
+    return cells_[static_cast<size_t>(i)]->engine.get();
+  }
 
   // The pool-wide resumption plane every worker's context points at; a
   // session established on any worker resumes on any other.
@@ -82,7 +99,8 @@ class WorkerPool {
     std::thread thread;
   };
 
-  qat::QatDevice* device_;
+  qat::QatDevice* device_;                    // legacy single-device pools
+  qat::DeviceTopology* topology_ = nullptr;   // multi-device pools
   const RsaPrivateKey* rsa_key_;
   WorkerPoolOptions options_;
   std::unique_ptr<tls::SessionPlane> session_plane_;

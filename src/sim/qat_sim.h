@@ -4,6 +4,7 @@
 // the service point), driven by the DES clock instead of threads.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -149,6 +150,110 @@ class SimQatDevice {
  private:
   std::vector<std::unique_ptr<SimQatEndpoint>> endpoints_;
   size_t next_ = 0;
+};
+
+// Multi-device fleet in virtual time — the DES mirror of
+// qat::DeviceTopology (DESIGN.md §12): N cards, each with its own fault
+// plan (devices fail independently), an online flag driven by
+// hot_remove()/re_add(), and a shallowest-queue balancer for placement.
+// Service capacity scales with device count because each device brings its
+// own engine set — the cost model the 1/2/4-device scaling benches sweep.
+class SimDeviceTopology {
+ public:
+  SimDeviceTopology(Simulator* sim, const CostModel* costs, int num_devices,
+                    int endpoints, int engines_per_endpoint,
+                    uint64_t fault_seed = 0x746f706fULL) {
+    for (int i = 0; i < std::max(1, num_devices); ++i) {
+      auto slot = std::make_unique<Slot>();
+      slot->plan = std::make_unique<qat::FaultPlan>(
+          fault_seed ^ (static_cast<uint64_t>(i + 1) * 0x9e3779b97f4a7c15ULL));
+      slot->dev = std::make_unique<SimQatDevice>(sim, costs, endpoints,
+                                                 engines_per_endpoint);
+      slot->dev->set_fault_plan(slot->plan.get());
+      devices_.push_back(std::move(slot));
+    }
+  }
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  SimQatDevice& device(int i) { return *devices_[static_cast<size_t>(i)]->dev; }
+  qat::FaultPlan& fault_plan(int i) {
+    return *devices_[static_cast<size_t>(i)]->plan;
+  }
+  bool online(int i) const { return devices_[static_cast<size_t>(i)]->online; }
+  int online_devices() const {
+    int n = 0;
+    for (const auto& d : devices_)
+      if (d->online) ++n;
+    return n;
+  }
+
+  // Same reset-latch failover as the real-time topology: every op at the
+  // removed device's service point fails with kDeviceReset, so in-flight
+  // work drains through error responses.
+  void hot_remove(int i) {
+    Slot& slot = *devices_[static_cast<size_t>(i)];
+    if (!slot.online) return;
+    slot.online = false;
+    slot.plan->trigger_reset();
+  }
+  void re_add(int i) {
+    Slot& slot = *devices_[static_cast<size_t>(i)];
+    if (slot.online) return;
+    slot.plan->clear_reset();
+    slot.online = true;
+  }
+
+  SimQatInstance* allocate_instance(int device, size_t ring_capacity = 64) {
+    Slot& slot = *devices_[static_cast<size_t>(device)];
+    SimQatInstance* inst = slot.dev->allocate_instance(ring_capacity);
+    slot.instances.push_back(inst);
+    return inst;
+  }
+
+  // Submitted-but-not-retrieved across the device's allocated instances.
+  size_t queue_depth(int i) const {
+    size_t depth = 0;
+    for (const SimQatInstance* inst :
+         devices_[static_cast<size_t>(i)]->instances)
+      depth += inst->inflight_total();
+    return depth;
+  }
+
+  // The affine device unless offline or deeper than the online minimum by
+  // more than `spill_threshold`; -1 when every device is offline.
+  int pick_device(int preferred, size_t spill_threshold = 32) const {
+    size_t min_depth = static_cast<size_t>(-1);
+    int shallowest = -1;
+    for (int d = 0; d < num_devices(); ++d) {
+      if (!online(d)) continue;
+      const size_t depth = queue_depth(d);
+      if (depth < min_depth) {
+        min_depth = depth;
+        shallowest = d;
+      }
+    }
+    if (shallowest < 0) return -1;
+    if (preferred < 0 || preferred >= num_devices() || !online(preferred))
+      return shallowest;
+    if (queue_depth(preferred) > min_depth + spill_threshold)
+      return shallowest;
+    return preferred;
+  }
+
+  uint64_t completed_ops() const {
+    uint64_t total = 0;
+    for (const auto& d : devices_) total += d->dev->completed_ops();
+    return total;
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<SimQatDevice> dev;
+    std::unique_ptr<qat::FaultPlan> plan;
+    std::vector<SimQatInstance*> instances;  // non-owning (device owns)
+    bool online = true;
+  };
+  std::vector<std::unique_ptr<Slot>> devices_;
 };
 
 }  // namespace qtls::sim

@@ -1,0 +1,264 @@
+// Property/stress coverage for the multi-device balancer (DESIGN.md §12):
+// randomized op streams from concurrent workers across 1/2/4-device fleets,
+// asserting the invariants the placement layer promises —
+//   * conservation: submitted == completed + abandoned, per provider, with
+//     zero in-flight residue at quiescence;
+//   * no cross-device misdelivery: every response's bytes must equal the
+//     software provider's answer for THAT op's inputs, so a response routed
+//     to the wrong caller fails loudly;
+//   * bounded queue-depth skew: with affinity pinned and no faults every
+//     worker's traffic stays on its device (skew zero); with everyone
+//     contending for one device and a zero spill threshold the balancer
+//     spreads load instead of piling on;
+//   * chaos: concurrent hot_remove/re_add never loses an op and never
+//     degrades to software while a healthy device remains.
+// Runs in the ASan and TSan suite configs (`QTLS_SANITIZE=thread` must be
+// clean — workers, engine threads and the chaos thread all touch the
+// topology concurrently). Select with `ctest -L topology`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/qat_engine.h"
+#include "qat/fault.h"
+#include "qat/topology.h"
+
+namespace qtls {
+namespace {
+
+struct StressRig {
+  qat::DeviceTopology topo;
+  std::vector<std::unique_ptr<engine::QatEngineProvider>> providers;
+
+  StressRig(int devices, int workers, engine::QatEngineConfig ecfg,
+            size_t spill_threshold = 32, uint64_t extra_service_ns = 0)
+      : topo(make_config(devices, spill_threshold, extra_service_ns)) {
+    for (int w = 0; w < workers; ++w) {
+      std::vector<engine::DeviceInstanceSet> sets;
+      for (int d = 0; d < devices; ++d) {
+        engine::DeviceInstanceSet set;
+        set.device_id = d;
+        set.instances.push_back(topo.device(d).allocate_instance());
+        sets.push_back(std::move(set));
+      }
+      providers.push_back(std::make_unique<engine::QatEngineProvider>(
+          &topo, /*preferred=*/w % devices, std::move(sets), ecfg));
+    }
+  }
+
+  static qat::TopologyConfig make_config(int devices, size_t spill_threshold,
+                                         uint64_t extra_service_ns) {
+    qat::TopologyConfig tc;
+    tc.num_devices = devices;
+    tc.device.num_endpoints = 1;
+    tc.device.engines_per_endpoint = 2;
+    tc.device.ring_capacity = 32;
+    tc.device.max_instances_per_endpoint = 8;
+    tc.device.extra_service_ns = extra_service_ns;
+    tc.spill_threshold = spill_threshold;
+    return tc;
+  }
+};
+
+engine::QatEngineConfig stress_engine_config() {
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 3;
+  ecfg.retry_backoff_base_us = 10;
+  ecfg.breaker_threshold = 2;
+  ecfg.breaker_cooldown_ms = 10;
+  return ecfg;
+}
+
+// One worker's randomized stream: each op's inputs come from the worker's
+// own seeded rng and every result is checked against the software answer
+// for those exact inputs — the misdelivery oracle.
+int run_stream(engine::QatEngineProvider& e, uint64_t seed, int ops) {
+  std::mt19937_64 rng(seed);
+  engine::SoftwareProvider sw;
+  int failures = 0;
+  for (int i = 0; i < ops; ++i) {
+    const std::string secret = "s" + std::to_string(rng());
+    const std::string label = (rng() & 1) ? "stress-a" : "stress-b";
+    const size_t out_len = 16 + (rng() % 48);
+    auto got = e.prf_tls12(HashAlg::kSha256, to_bytes(secret), label.c_str(),
+                           to_bytes("seed"), out_len);
+    if (!got.is_ok()) {
+      ++failures;
+      continue;
+    }
+    auto want = sw.prf_tls12(HashAlg::kSha256, to_bytes(secret), label.c_str(),
+                             to_bytes("seed"), out_len);
+    if (got.value() != want.value()) ++failures;
+  }
+  return failures;
+}
+
+void assert_conserved(const StressRig& rig) {
+  for (size_t w = 0; w < rig.providers.size(); ++w) {
+    const engine::QatEngineStats& s = rig.providers[w]->stats();
+    EXPECT_EQ(s.submitted, s.completed + s.deadline_expiries)
+        << "worker " << w;
+    EXPECT_EQ(rig.providers[w]->inflight_total(), 0u) << "worker " << w;
+    EXPECT_EQ(rig.providers[w]->pending_deadline_ops(), 0u) << "worker " << w;
+  }
+}
+
+class TopologyStress : public ::testing::TestWithParam<int> {};
+
+// Pinned affinity, no faults: every worker's ops land on its own device and
+// nowhere else — the per-device firmware counters carry exactly one stream
+// each, i.e. queue-depth skew is zero by construction.
+TEST_P(TopologyStress, AffinityKeepsStreamsSeparate) {
+  const int devices = GetParam();
+  constexpr int kOps = 150;
+  StressRig rig(devices, /*workers=*/devices, stress_engine_config());
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<size_t>(devices), 0);
+  for (int w = 0; w < devices; ++w) {
+    threads.emplace_back([&, w] {
+      failures[static_cast<size_t>(w)] =
+          run_stream(*rig.providers[static_cast<size_t>(w)],
+                     0xace0ULL + static_cast<uint64_t>(w), kOps);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int w = 0; w < devices; ++w)
+    EXPECT_EQ(failures[static_cast<size_t>(w)], 0) << "worker " << w;
+  assert_conserved(rig);
+  for (int d = 0; d < devices; ++d) {
+    const qat::FwCounters fw = rig.topo.device(d).fw_counters();
+    EXPECT_EQ(fw.total_requests(), static_cast<uint64_t>(kOps))
+        << "device " << d;
+  }
+  for (const auto& p : rig.providers) {
+    EXPECT_EQ(p->stats().sw_fallbacks, 0u);
+    EXPECT_EQ(p->stats().device_migrations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleets, TopologyStress, ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "dev";
+                         });
+
+// Everyone prefers device 0, spill threshold zero, and each op holds an
+// engine for a while: the balancer must shed contention onto other devices
+// rather than queue the world on the affine one.
+TEST(TopologyStressSkew, ZeroThresholdSpreadsContendedLoad) {
+  constexpr int kDevices = 4;
+  constexpr int kWorkers = 4;
+  constexpr int kOps = 120;
+  StressRig rig(kDevices, kWorkers, stress_engine_config(),
+                /*spill_threshold=*/0, /*extra_service_ns=*/200'000);
+  // Re-pin every worker to device 0 by rebuilding the providers with
+  // preferred=0? Simpler: the rig striped preferred across devices, so
+  // build dedicated providers here instead.
+  rig.providers.clear();
+  for (int w = 0; w < kWorkers; ++w) {
+    std::vector<engine::DeviceInstanceSet> sets;
+    for (int d = 0; d < kDevices; ++d) {
+      engine::DeviceInstanceSet set;
+      set.device_id = d;
+      set.instances.push_back(rig.topo.device(d).allocate_instance());
+      sets.push_back(std::move(set));
+    }
+    rig.providers.push_back(std::make_unique<engine::QatEngineProvider>(
+        &rig.topo, /*preferred=*/0, std::move(sets), stress_engine_config()));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kWorkers, 0);
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      failures[static_cast<size_t>(w)] =
+          run_stream(*rig.providers[static_cast<size_t>(w)],
+                     0xbeefULL + static_cast<uint64_t>(w), kOps);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int w = 0; w < kWorkers; ++w)
+    EXPECT_EQ(failures[static_cast<size_t>(w)], 0) << "worker " << w;
+  assert_conserved(rig);
+
+  // The affine device must NOT have absorbed the whole load, and at least
+  // one other device must have taken real traffic via spillover.
+  const uint64_t total = static_cast<uint64_t>(kWorkers) * kOps;
+  EXPECT_LT(rig.topo.device(0).fw_counters().total_requests(), total);
+  int devices_used = 0;
+  for (int d = 0; d < kDevices; ++d)
+    if (rig.topo.device(d).fw_counters().total_requests() > 0) ++devices_used;
+  EXPECT_GE(devices_used, 2);
+  uint64_t spillovers = 0;
+  for (const auto& p : rig.providers) spillovers += p->stats().lane_spillovers;
+  EXPECT_GT(spillovers, 0u);
+}
+
+// Chaos: a device is ripped out and re-added repeatedly while randomized
+// streams run. Nothing may be lost (conservation), nothing may be wrong
+// (misdelivery oracle), and nothing may touch software — a healthy device
+// is always available.
+class TopologyChaos : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyChaos, HotRemoveReAddUnderRandomLoad) {
+  const int devices = GetParam();
+  const int workers = devices;
+  constexpr int kOps = 200;
+  StressRig rig(devices, workers, stress_engine_config());
+
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    std::mt19937_64 rng(0xc4a05ULL);
+    while (!stop.load(std::memory_order_acquire)) {
+      // One victim at a time: the fleet always keeps >= devices-1 online.
+      const int victim = static_cast<int>(rng() % devices);
+      rig.topo.hot_remove(victim);
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      rig.topo.re_add(victim);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<size_t>(workers), 0);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      failures[static_cast<size_t>(w)] =
+          run_stream(*rig.providers[static_cast<size_t>(w)],
+                     0xfadeULL + static_cast<uint64_t>(w), kOps);
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  chaos.join();
+
+  for (int w = 0; w < workers; ++w)
+    EXPECT_EQ(failures[static_cast<size_t>(w)], 0) << "worker " << w;
+  assert_conserved(rig);
+  for (const auto& p : rig.providers) {
+    // Migration keeps every op on hardware: the class breaker never flips.
+    EXPECT_EQ(p->stats().sw_fallbacks, 0u);
+    EXPECT_EQ(p->stats().breaker_opens, 0u);
+    EXPECT_EQ(p->breaker_state(qat::OpClass::kPrf),
+              engine::BreakerState::kClosed);
+  }
+  // The fleet ends whole.
+  EXPECT_EQ(rig.topo.online_devices(), devices);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleets, TopologyChaos, ::testing::Values(2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "dev";
+                         });
+
+}  // namespace
+}  // namespace qtls

@@ -119,5 +119,76 @@ TEST(WorkerPool, MultipleInstancesPerWorker) {
   EXPECT_GE(endpoints_used, 2);
 }
 
+TEST(WorkerPool, TopologyPoolPlacesWorkersAndReportsFleet) {
+  qat::TopologyConfig tc;
+  tc.num_devices = 2;
+  qat::DeviceTopology topo(tc);
+
+  WorkerPoolOptions options;
+  options.workers = 2;
+  options.tls_config.async_mode = true;
+  options.tls_config.cipher_suites = {
+      tls::CipherSuite::kTlsRsaWithAes128CbcSha};
+  // Explicit map (conf: worker_affinity) deliberately inverted vs striping
+  // so the test can tell the two policies apart.
+  options.worker_affinity = {1, 0};
+
+  WorkerPool pool(&topo, &test_rsa2048(), options);
+  ASSERT_TRUE(pool.start(0).is_ok());
+  ASSERT_EQ(pool.topology(), &topo);
+  EXPECT_EQ(pool.engine(0)->preferred_device(), 1);
+  EXPECT_EQ(pool.engine(1)->preferred_device(), 0);
+
+  engine::SoftwareProvider client_provider;
+  tls::TlsContextConfig ccfg;
+  ccfg.cipher_suites = options.tls_config.cipher_suites;
+  tls::TlsContext cctx(ccfg, &client_provider);
+  const uint16_t port = pool.port();
+
+  // A few requests (kernel hashing decides the worker split), then the
+  // operator surface: GET /stats must carry the fleet "topology" object.
+  client::ClientOptions copts;
+  copts.max_requests = 2;
+  client::HttpsClient client(
+      &cctx,
+      [port]() -> int {
+        auto fd = net::tcp_connect(port);
+        return fd.is_ok() ? fd.value() : -1;
+      },
+      copts, 41);
+  client::ClientOptions sopts;
+  sopts.path = "/stats";
+  sopts.max_requests = 1;
+  client::HttpsClient stats_client(
+      &cctx,
+      [port]() -> int {
+        auto fd = net::tcp_connect(port);
+        return fd.is_ok() ? fd.value() : -1;
+      },
+      sopts, 42);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((client.step() | stats_client.step()) &&
+         std::chrono::steady_clock::now() < deadline) {
+  }
+  pool.stop();
+  EXPECT_EQ(client.stats().errors, 0u);
+  ASSERT_EQ(stats_client.stats().errors, 0u);
+
+  const std::string body(
+      reinterpret_cast<const char*>(stats_client.last_body().data()),
+      stats_client.last_body().size());
+  EXPECT_NE(body.find("\"topology\":{\"fleet\":"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"preferred_device\":"), std::string::npos);
+  EXPECT_NE(body.find("\"lanes\":["), std::string::npos);
+  // Pool-level dump carries the same fleet JSON.
+  EXPECT_NE(pool.stats_text().find("\"devices\":2"), std::string::npos);
+  // All offloaded work landed on the fleet.
+  EXPECT_GT(topo.device(0).fw_counters().total_requests() +
+                topo.device(1).fw_counters().total_requests(),
+            0u);
+}
+
 }  // namespace
 }  // namespace qtls::server
