@@ -1,0 +1,142 @@
+// Remote-offload crossover bench (DESIGN.md §13), virtual time.
+//
+// One worker, closed loop, ECDHE P-256: either computes inline in software
+// (sw_ecdh_p256 CPU per op) or ships batches of B ops over the remote
+// channel — paying serialize + per-item encode CPU, one RTT, the server's
+// per-op dispatch, and the server's engine-pool service time
+// (ceil(B/engines) rounds). The sweep finds, per RTT, the smallest batch
+// size where the remote tier out-runs inline software: the crossover the
+// engine's ladder relies on when it prefers a live channel over the
+// software fallback.
+//
+// Exit-status gates:
+//   * at the calibrated RTT (and every swept RTT) a crossover exists
+//     inside the swept batch range,
+//   * beyond the crossover the remote tier keeps beating software for
+//     every larger batch in the sweep,
+//   * the crossover batch is non-decreasing in RTT (a longer wire needs
+//     more coalescing to amortize, never less).
+//
+// One machine-readable line per point, grep '^BENCH_JSON':
+//   BENCH_JSON {"metric":"remote.crossover.point","rtt_us":120,...}
+//   BENCH_JSON {"metric":"remote.crossover","rtt_us":120,"batch":...}
+// QTLS_BENCH_DURATION_MS scales the virtual measurement window
+// (default 400 virtual ms).
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "sim/costs.h"
+#include "sim/des.h"
+
+using namespace qtls;
+
+namespace {
+
+// Closed-loop inline software: one op at a time, each costing the full
+// software point multiplication.
+double sw_ops_per_sec(const sim::CostModel& costs, sim::SimTime window) {
+  sim::Simulator sim;
+  uint64_t done = 0;
+  std::function<void()> pump = [&] {
+    if (sim.now() >= window) return;
+    ++done;
+    sim.schedule_after(costs.sw_cost(sim::SOp::kEcdhP256), pump);
+  };
+  pump();
+  sim.run_until(window);
+  return static_cast<double>(done) /
+         (static_cast<double>(window) / sim::kSec);
+}
+
+// Closed-loop remote batches: serialize + encode CPU, then one RTT plus
+// the server's dispatch and engine-pool service before the next batch.
+double remote_ops_per_sec(const sim::CostModel& costs, sim::SimTime rtt,
+                          int batch, sim::SimTime window) {
+  sim::Simulator sim;
+  uint64_t done = 0;
+  const sim::SimTime svc = costs.sw_cost(sim::SOp::kEcdhP256);
+  const int engines = costs.remote_server_engines;
+  const sim::SimTime cycle =
+      costs.remote_serialize_cpu + batch * costs.remote_item_cpu + rtt +
+      batch * costs.remote_server_op_dispatch +
+      ((batch + engines - 1) / engines) * svc;
+  std::function<void()> pump = [&] {
+    if (sim.now() >= window) return;
+    done += static_cast<uint64_t>(batch);
+    sim.schedule_after(cycle, pump);
+  };
+  pump();
+  sim.run_until(window);
+  return static_cast<double>(done) /
+         (static_cast<double>(window) / sim::kSec);
+}
+
+}  // namespace
+
+int main() {
+  uint64_t window_ms = 400;
+  if (const char* env = std::getenv("QTLS_BENCH_DURATION_MS")) {
+    const uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) window_ms = v;
+  }
+  const sim::SimTime window =
+      static_cast<sim::SimTime>(window_ms) * sim::kMs;
+
+  sim::CostModel costs;
+  const std::vector<int> batches = {1, 2, 4, 8, 16, 32};
+  const std::vector<sim::SimTime> rtts = {60 * sim::kUs, costs.remote_rtt,
+                                          500 * sim::kUs};
+
+  std::printf("=== Remote offload crossover (virtual time, ECDHE P-256, "
+              "%d server engines) ===\n",
+              costs.remote_server_engines);
+  const double sw = sw_ops_per_sec(costs, window);
+  std::printf("inline software: %.0f ops/s\n\n", sw);
+
+  bool gate_ok = true;
+  int prev_crossover = 0;
+  for (const sim::SimTime rtt : rtts) {
+    const long rtt_us = static_cast<long>(rtt / sim::kUs);
+    int crossover = -1;
+    bool beats_beyond = true;
+    for (const int b : batches) {
+      const double remote = remote_ops_per_sec(costs, rtt, b, window);
+      std::printf(
+          "BENCH_JSON {\"metric\":\"remote.crossover.point\",\"rtt_us\":%ld,"
+          "\"batch\":%d,\"remote_ops_per_sec\":%.0f,\"sw_ops_per_sec\":%.0f}"
+          "\n",
+          rtt_us, b, remote, sw);
+      if (remote > sw) {
+        if (crossover < 0) crossover = b;
+      } else if (crossover >= 0) {
+        beats_beyond = false;  // fell back below software past the crossover
+      }
+    }
+    std::printf("BENCH_JSON {\"metric\":\"remote.crossover\",\"rtt_us\":%ld,"
+                "\"batch\":%d}\n\n",
+                rtt_us, crossover);
+
+    if (crossover < 0) {
+      std::printf("GATE FAIL: no crossover at rtt=%ld us within batch<=%d — "
+                  "remote batching never beats inline software\n",
+                  rtt_us, batches.back());
+      gate_ok = false;
+      continue;
+    }
+    if (!beats_beyond) {
+      std::printf("GATE FAIL: remote tier fell back below software beyond "
+                  "the crossover at rtt=%ld us\n", rtt_us);
+      gate_ok = false;
+    }
+    if (crossover < prev_crossover) {
+      std::printf("GATE FAIL: crossover shrank as RTT grew "
+                  "(rtt=%ld us: batch %d < previous %d)\n",
+                  rtt_us, crossover, prev_crossover);
+      gate_ok = false;
+    }
+    prev_crossover = crossover;
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Standalone offload server — the disaggregated end of the remote tier
+// (DESIGN.md §13). Point workers at it with:
+//
+//   ssl_engine {
+//       remote_offload { enable on; port 7433; }
+//   }
+//
+// and every op the worker's QAT lanes cannot serve rides the batch-RPC
+// channel here instead of falling straight to inline software.
+//
+//   ./offload_server [port] [stats_interval_s]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "remote/offload_server.h"
+
+using namespace qtls;
+
+namespace {
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7433;
+  int stats_interval_s = 10;
+  if (argc > 1) port = static_cast<uint16_t>(std::atoi(argv[1]));
+  if (argc > 2) stats_interval_s = std::atoi(argv[2]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  remote::OffloadServer server;
+  const Status st = server.start(port);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", st.message().c_str());
+    return 1;
+  }
+  std::printf("offload server on 127.0.0.1:%u\n", server.port());
+
+  // serve() in slices so the stats line and the signal flag get a look-in.
+  uint64_t rounds = 0;
+  const uint64_t rounds_per_report =
+      stats_interval_s > 0
+          ? static_cast<uint64_t>(stats_interval_s) * 1000 / 20
+          : 0;
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    server.run_once(20);
+    if (rounds_per_report && ++rounds % rounds_per_report == 0) {
+      const remote::OffloadServerCore::Stats s = server.total_stats();
+      std::printf(
+          "conns=%zu frames=%llu ops=%llu ok=%llu refused=%llu bad=%llu\n",
+          server.connections(),
+          static_cast<unsigned long long>(s.frames_rx),
+          static_cast<unsigned long long>(s.ops_rx),
+          static_cast<unsigned long long>(s.ops_ok),
+          static_cast<unsigned long long>(s.refused_expired),
+          static_cast<unsigned long long>(s.bad_requests));
+    }
+  }
+  std::printf("shutting down\n");
+  return 0;
+}

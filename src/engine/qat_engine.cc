@@ -22,7 +22,9 @@ constexpr uint8_t kHalfOpen = static_cast<uint8_t>(BreakerState::kHalfOpen);
 struct EngineObsCounters {
   obs::Counter submitted, completed, submit_retry, device_error, retry,
       deadline_expiry, sw_fallback, breaker_open, breaker_close, seal_batch,
-      seal_batch_op, migration, lane_spill, lane_open, lane_close;
+      seal_batch_op, migration, lane_spill, lane_open, lane_close, remote_op,
+      remote_completed, remote_expiry, remote_failure, remote_batch,
+      remote_breaker_open, remote_breaker_close;
 
   EngineObsCounters() {
     auto& reg = obs::MetricsRegistry::global();
@@ -41,6 +43,13 @@ struct EngineObsCounters {
     lane_spill = reg.counter("qat.engine.lane_spillover");
     lane_open = reg.counter("qat.engine.lane_breaker_open");
     lane_close = reg.counter("qat.engine.lane_breaker_close");
+    remote_op = reg.counter("qat.engine.remote_op");
+    remote_completed = reg.counter("qat.engine.remote_completed");
+    remote_expiry = reg.counter("qat.engine.remote_expiry");
+    remote_failure = reg.counter("qat.engine.remote_failure");
+    remote_batch = reg.counter("qat.engine.remote_batch");
+    remote_breaker_open = reg.counter("qat.engine.remote_breaker_open");
+    remote_breaker_close = reg.counter("qat.engine.remote_breaker_close");
   }
 };
 
@@ -128,6 +137,10 @@ size_t QatEngineProvider::poll(size_t max) {
   // failover poll timer keeps polling while ops are in flight, which bounds
   // how late an expiry is observed.
   if (config_.op_deadline_us != 0) sweep_deadlines(steady_now_ns());
+  // So does the remote channel: pump() drives TX/RX, fires completions
+  // (waking parked fibers through their WaitCtx), expires past-deadline
+  // inflight ops, and flushes an aged coalescing window.
+  if (remote_) remote_->pump();
   return got;
 }
 
@@ -222,6 +235,298 @@ void QatEngineProvider::breaker_on_failure(qat::OpClass cls) {
               << " after " << fails
               << " consecutive failures; degrading to software";
   }
+}
+
+// ------------------------------------------------------- remote tier ----
+
+bool QatEngineProvider::remote_tier_available() {
+  if (!remote_ || !remote_->alive()) return false;
+  ClassBreaker& b = remote_breaker_;
+  const uint8_t st = b.state.load(std::memory_order_acquire);
+  if (st == kClosed) return true;
+  if (st == kOpen) {
+    if (steady_now_ns() >= b.open_until_ns.load(std::memory_order_acquire)) {
+      uint8_t expected = kOpen;
+      return b.state.compare_exchange_strong(expected, kHalfOpen,
+                                             std::memory_order_acq_rel);
+    }
+    return false;
+  }
+  return false;  // kHalfOpen: probe in flight
+}
+
+bool QatEngineProvider::remote_tier_live() const {
+  // A half-open tier still counts as live: a probe is in flight and may
+  // restore it, so the class must not degrade past it to software yet.
+  return remote_ && remote_->alive() &&
+         remote_breaker_.state.load(std::memory_order_acquire) != kOpen;
+}
+
+void QatEngineProvider::remote_on_success() {
+  ClassBreaker& b = remote_breaker_;
+  if (b.consecutive_failures.load(std::memory_order_relaxed) != 0)
+    b.consecutive_failures.store(0, std::memory_order_relaxed);
+  if (b.state.load(std::memory_order_acquire) != kClosed) {
+    b.state.store(kClosed, std::memory_order_release);
+    ++stats_.remote_breaker_closes;
+    obs_counters().remote_breaker_close.inc();
+    QTLS_INFO << "remote offload tier recovered (re-probe succeeded)";
+  }
+}
+
+void QatEngineProvider::remote_on_failure() {
+  ClassBreaker& b = remote_breaker_;
+  const int fails =
+      b.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint8_t st = b.state.load(std::memory_order_acquire);
+  const bool open_now =
+      st == kHalfOpen ||
+      (st == kClosed && fails >= config_.remote_breaker_threshold);
+  if (!open_now) return;
+  b.open_until_ns.store(
+      steady_now_ns() + config_.remote_breaker_cooldown_ms * 1'000'000ULL,
+      std::memory_order_release);
+  b.state.store(kOpen, std::memory_order_release);
+  ++stats_.remote_breaker_opens;
+  obs_counters().remote_breaker_open.inc();
+  QTLS_WARN << "remote offload tier tripped after " << fails
+            << " consecutive failures; ladder skips to software";
+}
+
+std::string QatEngineProvider::remote_json() const {
+  const char* st = "closed";
+  switch (remote_breaker_state()) {
+    case BreakerState::kClosed: st = "closed"; break;
+    case BreakerState::kOpen: st = "open"; break;
+    case BreakerState::kHalfOpen: st = "half_open"; break;
+  }
+  std::ostringstream os;
+  os << "{\"attached\":" << (remote_ ? "true" : "false") << ",\"breaker\":\""
+     << st << "\",\"ops\":" << stats_.remote_ops
+     << ",\"completed\":" << stats_.remote_completed
+     << ",\"expiries\":" << stats_.remote_expiries
+     << ",\"failures\":" << stats_.remote_failures
+     << ",\"batches\":" << stats_.remote_batches
+     << ",\"breaker_opens\":" << stats_.remote_breaker_opens
+     << ",\"breaker_closes\":" << stats_.remote_breaker_closes
+     << ",\"channel\":" << (remote_ ? remote_->stats_json() : "null") << "}";
+  return os.str();
+}
+
+namespace {
+// Per-op wait shared between the submitting fiber/thread and the channel
+// completion (which fires from pump(), possibly on the polling pass).
+struct RemoteWait {
+  std::atomic<bool> done{false};
+  remote::RemoteStatus status = remote::RemoteStatus::kChannelDown;
+  Bytes payload;
+  asyncx::WaitCtx* wctx = nullptr;
+};
+}  // namespace
+
+template <typename T>
+bool QatEngineProvider::try_remote(qat::OpClass cls, const RemoteSpec<T>& spec,
+                                   Result<T>* out) {
+  if (!remote_tier_available()) return false;
+
+  asyncx::AsyncJob* job = asyncx::get_current_job();
+  const bool async = config_.offload_mode == OffloadMode::kAsync && job;
+  asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
+
+  ++stats_.remote_ops;
+  obs_counters().remote_op.inc();
+
+  auto wait = std::make_shared<RemoteWait>();
+  wait->wctx = wctx;
+
+  // Counted like a device submission so the heuristic poller keeps the
+  // poll cadence up — poll() is also what pumps the channel.
+  inflight_[static_cast<int>(cls)].fetch_add(1, std::memory_order_release);
+
+  const uint64_t deadline_ns =
+      config_.remote_op_deadline_us == 0
+          ? 0
+          : steady_now_ns() + config_.remote_op_deadline_us * 1'000ULL;
+
+  const bool accepted = remote_->submit(
+      spec.op, spec.encode(), deadline_ns,
+      [wait](remote::RemoteStatus st, BytesView payload) {
+        wait->status = st;
+        wait->payload.assign(payload.begin(), payload.end());
+        wait->done.store(true, std::memory_order_release);
+        if (wait->wctx) wait->wctx->notify();
+      });
+  if (!accepted) {
+    inflight_[static_cast<int>(cls)].fetch_sub(1, std::memory_order_release);
+    ++stats_.remote_failures;
+    obs_counters().remote_failure.inc();
+    remote_on_failure();
+    return false;
+  }
+  // Single ops flush eagerly: a half-built handshake is latency-bound, so
+  // it never waits out the coalescing window. The seal-batch path is the
+  // one that amortizes (N submits, one flush, one frame).
+  remote_->flush();
+
+  if (async) {
+    // The worker's poll cadence pumps the channel; its deadline sweep (or
+    // channel death) bounds this wait.
+    while (!wait->done.load(std::memory_order_acquire)) asyncx::pause_job();
+  } else {
+    while (!wait->done.load(std::memory_order_acquire)) {
+      remote_->pump();
+      std::this_thread::yield();
+    }
+  }
+  inflight_[static_cast<int>(cls)].fetch_sub(1, std::memory_order_release);
+
+  switch (wait->status) {
+    case remote::RemoteStatus::kOk: {
+      Result<T> decoded = spec.decode(wait->payload);
+      if (!decoded.is_ok()) {
+        // The server said ok but the payload doesn't parse: a channel-level
+        // fault, not an op-level one. Fall down the ladder.
+        ++stats_.remote_failures;
+        obs_counters().remote_failure.inc();
+        remote_on_failure();
+        return false;
+      }
+      ++stats_.remote_completed;
+      obs_counters().remote_completed.inc();
+      remote_on_success();
+      *out = std::move(decoded);
+      return true;
+    }
+    case remote::RemoteStatus::kComputeError:
+      // Deterministic input failure — the tier worked; surface the same
+      // Status a local compute would have produced. Terminal for the op.
+      ++stats_.remote_completed;
+      obs_counters().remote_completed.inc();
+      remote_on_success();
+      *out = remote::decode_error_body(wait->payload);
+      return true;
+    case remote::RemoteStatus::kDeadlineExpired:
+      ++stats_.remote_expiries;
+      obs_counters().remote_expiry.inc();
+      remote_on_failure();
+      return false;
+    default:  // kBudgetExhausted, kBadRequest, kChannelDown
+      ++stats_.remote_failures;
+      obs_counters().remote_failure.inc();
+      remote_on_failure();
+      return false;
+  }
+}
+
+bool QatEngineProvider::try_remote_seal_batch(
+    qat::OpClass cls, const std::vector<RemoteSpec<Bytes>>& specs,
+    const std::vector<std::function<Result<Bytes>()>>& computes,
+    const std::vector<Bytes*>& outs, Status* result) {
+  if (!remote_tier_available()) return false;
+  const size_t n = specs.size();
+
+  asyncx::AsyncJob* job = asyncx::get_current_job();
+  const bool async = config_.offload_mode == OffloadMode::kAsync && job;
+  asyncx::WaitCtx* wctx = async ? job->wait_ctx() : nullptr;
+
+  const uint64_t deadline_ns =
+      config_.remote_op_deadline_us == 0
+          ? 0
+          : steady_now_ns() + config_.remote_op_deadline_us * 1'000ULL;
+
+  // N submits, ONE flush: the whole batch leaves as a single frame — the
+  // remote mirror of the submit_batch() dispatch discipline.
+  std::vector<std::shared_ptr<RemoteWait>> waits;
+  waits.reserve(n);
+  size_t submitted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto wait = std::make_shared<RemoteWait>();
+    wait->wctx = wctx;
+    ++stats_.remote_ops;
+    obs_counters().remote_op.inc();
+    inflight_[static_cast<int>(cls)].fetch_add(1, std::memory_order_release);
+    if (!remote_->submit(specs[i].op, specs[i].encode(), deadline_ns,
+                         [wait](remote::RemoteStatus st, BytesView payload) {
+                           wait->status = st;
+                           wait->payload.assign(payload.begin(),
+                                                payload.end());
+                           wait->done.store(true, std::memory_order_release);
+                           if (wait->wctx) wait->wctx->notify();
+                         })) {
+      // Channel died mid-batch: the dead submit never completes; mark it
+      // settled here (earlier submits got kChannelDown completions already)
+      // and let the settle loop below do the failure accounting.
+      inflight_[static_cast<int>(cls)].fetch_sub(1,
+                                                 std::memory_order_release);
+      wait->status = remote::RemoteStatus::kChannelDown;
+      wait->done.store(true, std::memory_order_release);
+    } else {
+      ++submitted;
+    }
+    waits.push_back(std::move(wait));
+  }
+  if (submitted > 0) {
+    remote_->flush();
+    ++stats_.remote_batches;
+    obs_counters().remote_batch.inc();
+  }
+
+  auto all_done = [&] {
+    for (const auto& w : waits)
+      if (!w->done.load(std::memory_order_acquire)) return false;
+    return true;
+  };
+  if (async) {
+    while (!all_done()) asyncx::pause_job();
+  } else {
+    while (!all_done()) {
+      remote_->pump();
+      std::this_thread::yield();
+    }
+  }
+  inflight_[static_cast<int>(cls)].fetch_sub(submitted,
+                                             std::memory_order_release);
+
+  // Settle per record in caller order; remote-failed records fall back to
+  // the inline compute individually (the batch doesn't degrade as a unit).
+  for (size_t i = 0; i < n; ++i) {
+    RemoteWait& w = *waits[i];
+    if (w.status == remote::RemoteStatus::kOk) {
+      ++stats_.remote_completed;
+      obs_counters().remote_completed.inc();
+      remote_on_success();
+      record_bytes_copied().add(w.payload.size());
+      append(*outs[i], w.payload);
+      continue;
+    }
+    if (w.status == remote::RemoteStatus::kComputeError) {
+      ++stats_.remote_completed;
+      obs_counters().remote_completed.inc();
+      remote_on_success();
+      *result = remote::decode_error_body(w.payload);
+      return true;  // terminal: a local compute would have failed the same
+    }
+    if (w.status == remote::RemoteStatus::kDeadlineExpired) {
+      ++stats_.remote_expiries;
+      obs_counters().remote_expiry.inc();
+      remote_on_failure();
+    } else {  // kChannelDown / kBudgetExhausted / kBadRequest
+      ++stats_.remote_failures;
+      obs_counters().remote_failure.inc();
+      remote_on_failure();
+    }
+    ++stats_.sw_fallbacks;
+    obs_counters().sw_fallback.inc();
+    Result<Bytes> sealed = computes[i]();
+    if (!sealed.is_ok()) {
+      *result = sealed.status();
+      return true;
+    }
+    record_bytes_copied().add(sealed.value().size());
+    append(*outs[i], sealed.value());
+  }
+  *result = Status::ok();
+  return true;
 }
 
 // ----------------------------------------------------- device lanes ----
@@ -420,15 +725,22 @@ qat::OpKind QatEngineProvider::ec_op_kind(CurveId curve) {
 
 template <typename T>
 Result<T> QatEngineProvider::offload(qat::OpKind kind,
-                                     std::function<Result<T>()> compute) {
+                                     std::function<Result<T>()> compute,
+                                     const RemoteSpec<T>* rspec) {
   using State = TypedOpState<T>;
 
   const qat::OpClass cls = qat::op_class_of(kind);
 
   if (!offload_allowed(cls)) {
-    // Breaker open: degrade to software. The compute closures are
-    // self-contained, so running one on the calling thread IS the
-    // SoftwareProvider path (same primitives, no device round trip).
+    // Breaker open: next rung of the ladder is the remote tier, then
+    // software — QAT -> remote -> inline, never skipping a live tier.
+    if (rspec) {
+      Result<T> r = err(Code::kUnavailable, "remote tier unavailable");
+      if (try_remote(cls, *rspec, &r)) return r;
+    }
+    // Degrade to software. The compute closures are self-contained, so
+    // running one on the calling thread IS the SoftwareProvider path (same
+    // primitives, no device round trip).
     ++stats_.sw_fallbacks;
     obs_counters().sw_fallback.inc();
     return compute();
@@ -449,7 +761,12 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
     if (!lane) {
       // Every assigned device is offline or tripped. Degrade this op
       // without touching the per-class breaker: the lane probes own
-      // recovery, and a class flip would outlive the outage.
+      // recovery, and a class flip would outlive the outage. The remote
+      // tier takes the op first when it is live.
+      if (rspec) {
+        Result<T> r = err(Code::kUnavailable, "remote tier unavailable");
+        if (try_remote(cls, *rspec, &r)) return r;
+      }
       if (!config_.sw_fallback_on_device_error)
         return err(Code::kUnavailable, "no qat device available");
       ++stats_.sw_fallbacks;
@@ -564,10 +881,16 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
       // Deadline expired (likely a dropped response). No resubmit: the op
       // may still complete device-side and a duplicate would double-apply.
       // The DEVICE that swallowed it is charged; the class breaker only
-      // when no surviving device exists — a healthy lane must keep the
-      // class on offload (ops migrate, they don't degrade).
+      // when no higher tier survives — a healthy lane or a live remote
+      // channel must keep the class off software (ops migrate down the
+      // ladder, the class doesn't degrade).
       lane_on_failure(*lane);
-      if (!other_lane_available(lane->device_id)) breaker_on_failure(cls);
+      if (!other_lane_available(lane->device_id) && !remote_tier_live())
+        breaker_on_failure(cls);
+      if (rspec) {
+        Result<T> r = err(Code::kUnavailable, "remote tier unavailable");
+        if (try_remote(cls, *rspec, &r)) return r;
+      }
       if (config_.sw_fallback_on_device_error) {
         ++stats_.sw_fallbacks;
         obs_counters().sw_fallback.inc();
@@ -616,10 +939,15 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
   }
 
   // Retries exhausted: terminal device failure for this op. The class
-  // breaker is only charged when no surviving device could take the class —
-  // otherwise the per-device lanes own degradation and the class stays on
-  // offload.
-  if (!other_lane_available(last_device)) breaker_on_failure(cls);
+  // breaker is only charged when no surviving device AND no live remote
+  // tier could take the class — otherwise the per-device lanes and the
+  // remote breaker own degradation and the class stays on offload.
+  if (!other_lane_available(last_device) && !remote_tier_live())
+    breaker_on_failure(cls);
+  if (rspec) {
+    Result<T> r = err(Code::kUnavailable, "remote tier unavailable");
+    if (try_remote(cls, *rspec, &r)) return r;
+  }
   if (config_.sw_fallback_on_device_error) {
     ++stats_.sw_fallbacks;
     obs_counters().sw_fallback.inc();
@@ -628,18 +956,32 @@ Result<T> QatEngineProvider::offload(qat::OpKind kind,
   return err(Code::kUnavailable, "qat device error; retries exhausted");
 }
 
+namespace {
+// Remote payloads for Bytes-valued ops ARE the result; no parse step.
+Result<Bytes> decode_bytes_payload(BytesView b) {
+  return Bytes(b.begin(), b.end());
+}
+}  // namespace
+
 Result<Bytes> QatEngineProvider::rsa_sign(const RsaPrivateKey& key,
                                           BytesView digest) {
   if (!config_.offload_rsa) return fallback_.rsa_sign(key, digest);
   Bytes digest_copy(digest.begin(), digest.end());
   const RsaPrivateKey* key_ptr = &key;  // keys outlive connections
-  return offload<Bytes>(qat::OpKind::kRsa2048Priv,
-                        [key_ptr, digest_copy]() -> Result<Bytes> {
-                          Bytes sig = rsa_sign_pkcs1(*key_ptr, digest_copy);
-                          if (sig.empty())
-                            return err(Code::kInvalidArgument, "bad digest");
-                          return sig;
-                        });
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kRsaSign;
+  rspec.encode = [key_ptr, digest_copy] {
+    return remote::encode_rsa_op(*key_ptr, digest_copy);
+  };
+  rspec.decode = decode_bytes_payload;
+  return offload<Bytes>(
+      qat::OpKind::kRsa2048Priv,
+      [key_ptr, digest_copy]() -> Result<Bytes> {
+        Bytes sig = rsa_sign_pkcs1(*key_ptr, digest_copy);
+        if (sig.empty()) return err(Code::kInvalidArgument, "bad digest");
+        return sig;
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::rsa_decrypt(const RsaPrivateKey& key,
@@ -647,9 +989,16 @@ Result<Bytes> QatEngineProvider::rsa_decrypt(const RsaPrivateKey& key,
   if (!config_.offload_rsa) return fallback_.rsa_decrypt(key, ciphertext);
   Bytes ct(ciphertext.begin(), ciphertext.end());
   const RsaPrivateKey* key_ptr = &key;
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kRsaDecrypt;
+  rspec.encode = [key_ptr, ct] { return remote::encode_rsa_op(*key_ptr, ct); };
+  rspec.decode = decode_bytes_payload;
   return offload<Bytes>(
       qat::OpKind::kRsa2048Priv,
-      [key_ptr, ct]() -> Result<Bytes> { return rsa_decrypt_pkcs1(*key_ptr, ct); });
+      [key_ptr, ct]() -> Result<Bytes> {
+        return rsa_decrypt_pkcs1(*key_ptr, ct);
+      },
+      &rspec);
 }
 
 Result<KeyShare> QatEngineProvider::ecdhe_keygen(CurveId curve) {
@@ -658,13 +1007,29 @@ Result<KeyShare> QatEngineProvider::ecdhe_keygen(CurveId curve) {
   const uint64_t nonce =
       engine_drbg_nonce_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t seed = config_.drbg_seed ^ (nonce * 0x9e3779b97f4a7c15ULL);
-  return offload<KeyShare>(ec_op_kind(curve),
-                           [curve, seed]() -> Result<KeyShare> {
-                             Bytes sb;
-                             append_u64(sb, seed);
-                             HmacDrbg rng(HashAlg::kSha256, sb);
-                             return ecdhe_keygen_impl(curve, rng);
-                           });
+  RemoteSpec<KeyShare> rspec;
+  rspec.op = remote::RemoteOp::kEcdheKeygen;
+  rspec.encode = [curve, seed] {
+    return remote::encode_ecdhe_keygen(curve, seed);
+  };
+  rspec.decode = [](BytesView body) -> Result<KeyShare> {
+    QTLS_ASSIGN_OR_RETURN(remote::WireKeyShare wire,
+                          remote::decode_keyshare_body(body));
+    KeyShare share;
+    share.curve = static_cast<CurveId>(wire.curve);
+    share.priv = std::move(wire.priv);
+    share.pub_point = std::move(wire.pub_point);
+    return share;
+  };
+  return offload<KeyShare>(
+      ec_op_kind(curve),
+      [curve, seed]() -> Result<KeyShare> {
+        Bytes sb;
+        append_u64(sb, seed);
+        HmacDrbg rng(HashAlg::kSha256, sb);
+        return ecdhe_keygen_impl(curve, rng);
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::ecdhe_derive(const KeyShare& mine,
@@ -672,10 +1037,19 @@ Result<Bytes> QatEngineProvider::ecdhe_derive(const KeyShare& mine,
   if (!config_.offload_ec) return fallback_.ecdhe_derive(mine, peer_point);
   KeyShare share = mine;
   Bytes peer(peer_point.begin(), peer_point.end());
-  return offload<Bytes>(ec_op_kind(mine.curve),
-                        [share, peer]() -> Result<Bytes> {
-                          return ecdhe_derive_impl(share, peer);
-                        });
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kEcdheDerive;
+  rspec.encode = [share, peer] {
+    return remote::encode_ecdhe_derive(share.curve, share.priv,
+                                       share.pub_point, peer);
+  };
+  rspec.decode = decode_bytes_payload;
+  return offload<Bytes>(
+      ec_op_kind(mine.curve),
+      [share, peer]() -> Result<Bytes> {
+        return ecdhe_derive_impl(share, peer);
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::ecdsa_sign(CurveId curve, const Bignum& priv,
@@ -689,13 +1063,22 @@ Result<Bytes> QatEngineProvider::ecdsa_sign(CurveId curve, const Bignum& priv,
   const uint64_t seed = config_.drbg_seed ^ (nonce * 0xc2b2ae3d27d4eb4fULL);
   Bignum priv_copy = priv;
   Bytes digest_copy(digest.begin(), digest.end());
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kEcdsaSign;
+  rspec.encode = [curve, priv_copy, digest_copy, seed] {
+    return remote::encode_ecdsa_sign(curve, priv_copy.to_bytes_be(),
+                                     digest_copy, seed);
+  };
+  rspec.decode = decode_bytes_payload;
   return offload<Bytes>(
-      ec_op_kind(curve), [c, priv_copy, digest_copy, seed]() -> Result<Bytes> {
+      ec_op_kind(curve),
+      [c, priv_copy, digest_copy, seed]() -> Result<Bytes> {
         Bytes sb;
         append_u64(sb, seed);
         HmacDrbg rng(HashAlg::kSha256, sb);
         return qtls::ecdsa_sign(*c, priv_copy, digest_copy, rng).encode();
-      });
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::prf_tls12(HashAlg alg, BytesView secret,
@@ -705,11 +1088,19 @@ Result<Bytes> QatEngineProvider::prf_tls12(HashAlg alg, BytesView secret,
     return fallback_.prf_tls12(alg, secret, label, seed, out_len);
   Bytes secret_copy(secret.begin(), secret.end());
   Bytes seed_copy(seed.begin(), seed.end());
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kPrfTls12;
+  rspec.encode = [alg, secret_copy, label, seed_copy, out_len] {
+    return remote::encode_prf_tls12(alg, secret_copy, label, seed_copy,
+                                    static_cast<uint32_t>(out_len));
+  };
+  rspec.decode = decode_bytes_payload;
   return offload<Bytes>(
       qat::OpKind::kPrfTls12,
       [alg, secret_copy, label, seed_copy, out_len]() -> Result<Bytes> {
         return tls12_prf(alg, secret_copy, label, seed_copy, out_len);
-      });
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::cipher_seal(const CbcHmacKeys& keys,
@@ -721,11 +1112,19 @@ Result<Bytes> QatEngineProvider::cipher_seal(const CbcHmacKeys& keys,
   Bytes header_copy(header.begin(), header.end());
   Bytes iv_copy(iv.begin(), iv.end());
   Bytes frag_copy(fragment.begin(), fragment.end());
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kCipherSeal;
+  rspec.encode = [keys_copy, seq, header_copy, iv_copy, frag_copy] {
+    return remote::encode_cipher_seal(keys_copy, seq, header_copy, iv_copy,
+                                      frag_copy);
+  };
+  rspec.decode = decode_bytes_payload;
   return offload<Bytes>(
       qat::OpKind::kCipher16k,
       [keys_copy, seq, header_copy, iv_copy, frag_copy]() -> Result<Bytes> {
         return cbc_hmac_seal(keys_copy, seq, header_copy, iv_copy, frag_copy);
-      });
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::cipher_open(const CbcHmacKeys& keys,
@@ -739,11 +1138,19 @@ Result<Bytes> QatEngineProvider::cipher_open(const CbcHmacKeys& keys,
   Bytes header_copy(header_without_len.begin(), header_without_len.end());
   Bytes iv_copy(iv.begin(), iv.end());
   Bytes ct_copy(ciphertext.begin(), ciphertext.end());
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kCipherOpen;
+  rspec.encode = [keys_copy, seq, header_copy, iv_copy, ct_copy] {
+    return remote::encode_cipher_open(keys_copy, seq, header_copy, iv_copy,
+                                      ct_copy);
+  };
+  rspec.decode = decode_bytes_payload;
   return offload<Bytes>(
       qat::OpKind::kCipher16k,
       [keys_copy, seq, header_copy, iv_copy, ct_copy]() -> Result<Bytes> {
         return cbc_hmac_open(keys_copy, seq, header_copy, iv_copy, ct_copy);
-      });
+      },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::aead_seal(BytesView key, BytesView nonce,
@@ -755,10 +1162,14 @@ Result<Bytes> QatEngineProvider::aead_seal(BytesView key, BytesView nonce,
   Bytes n(nonce.begin(), nonce.end());
   Bytes a(aad.begin(), aad.end());
   Bytes pt(plaintext.begin(), plaintext.end());
-  return offload<Bytes>(qat::OpKind::kCipher16k,
-                        [k, n, a, pt]() -> Result<Bytes> {
-                          return gcm_seal(k, n, a, pt);
-                        });
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kAeadSeal;
+  rspec.encode = [k, n, a, pt] { return remote::encode_aead_op(k, n, a, pt); };
+  rspec.decode = decode_bytes_payload;
+  return offload<Bytes>(
+      qat::OpKind::kCipher16k,
+      [k, n, a, pt]() -> Result<Bytes> { return gcm_seal(k, n, a, pt); },
+      &rspec);
 }
 
 Result<Bytes> QatEngineProvider::aead_open(BytesView key, BytesView nonce,
@@ -770,22 +1181,34 @@ Result<Bytes> QatEngineProvider::aead_open(BytesView key, BytesView nonce,
   Bytes n(nonce.begin(), nonce.end());
   Bytes a(aad.begin(), aad.end());
   Bytes ct(ciphertext.begin(), ciphertext.end());
-  return offload<Bytes>(qat::OpKind::kCipher16k,
-                        [k, n, a, ct]() -> Result<Bytes> {
-                          return gcm_open(k, n, a, ct);
-                        });
+  RemoteSpec<Bytes> rspec;
+  rspec.op = remote::RemoteOp::kAeadOpen;
+  rspec.encode = [k, n, a, ct] { return remote::encode_aead_op(k, n, a, ct); };
+  rspec.decode = decode_bytes_payload;
+  return offload<Bytes>(
+      qat::OpKind::kCipher16k,
+      [k, n, a, ct]() -> Result<Bytes> { return gcm_open(k, n, a, ct); },
+      &rspec);
 }
 
 Status QatEngineProvider::run_seal_batch(
     const std::vector<std::function<Result<Bytes>()>>& computes,
-    const std::vector<Bytes*>& outs) {
+    const std::vector<Bytes*>& outs,
+    const std::vector<RemoteSpec<Bytes>>* rspecs) {
   using State = TypedOpState<Bytes>;
   const qat::OpClass cls = qat::op_class_of(qat::OpKind::kCipher16k);
   const size_t n = computes.size();
 
   if (!offload_allowed(cls)) {
-    // Breaker open: the whole batch degrades to software on the calling
-    // thread (the closures are self-contained).
+    // Breaker open: the remote tier takes the whole batch as one frame
+    // when it is live; otherwise the batch degrades to software on the
+    // calling thread (the closures are self-contained).
+    if (rspecs) {
+      Status remote_result = Status::ok();
+      if (try_remote_seal_batch(cls, *rspecs, computes, outs,
+                                &remote_result))
+        return remote_result;
+    }
     for (size_t i = 0; i < n; ++i) {
       ++stats_.sw_fallbacks;
       obs_counters().sw_fallback.inc();
@@ -801,8 +1224,15 @@ Status QatEngineProvider::run_seal_batch(
   // retries migrate individually through the single-op runner below.
   DeviceLane* lane = choose_lane(-1);
   if (!lane) {
-    // Every device offline or tripped: degrade the batch without touching
-    // the per-class breaker (lane probes own recovery).
+    // Every device offline or tripped: the remote tier takes the batch
+    // first; otherwise degrade without touching the per-class breaker
+    // (lane probes own recovery).
+    if (rspecs) {
+      Status remote_result = Status::ok();
+      if (try_remote_seal_batch(cls, *rspecs, computes, outs,
+                                &remote_result))
+        return remote_result;
+    }
     if (!config_.sw_fallback_on_device_error)
       return err(Code::kUnavailable, "no qat device available");
     for (size_t i = 0; i < n; ++i) {
@@ -1001,8 +1431,10 @@ Status QatEngineProvider::cipher_seal_batch(const CbcHmacKeys& keys,
   auto keys_copy = std::make_shared<CbcHmacKeys>(keys);
   std::vector<std::function<Result<Bytes>()>> computes;
   std::vector<Bytes*> outs;
+  std::vector<RemoteSpec<Bytes>> rspecs;
   computes.reserve(jobs.size());
   outs.reserve(jobs.size());
+  rspecs.reserve(jobs.size());
   for (CipherSealJob& job : jobs) {
     auto in = std::make_shared<In>(
         In{job.seq, Bytes(job.header.begin(), job.header.end()),
@@ -1012,9 +1444,17 @@ Status QatEngineProvider::cipher_seal_batch(const CbcHmacKeys& keys,
       return cbc_hmac_seal(*keys_copy, in->seq, in->header, in->iv,
                            in->fragment);
     });
+    RemoteSpec<Bytes> rspec;
+    rspec.op = remote::RemoteOp::kCipherSeal;
+    rspec.encode = [keys_copy, in] {
+      return remote::encode_cipher_seal(*keys_copy, in->seq, in->header,
+                                        in->iv, in->fragment);
+    };
+    rspec.decode = decode_bytes_payload;
+    rspecs.push_back(std::move(rspec));
     outs.push_back(job.out);
   }
-  return run_seal_batch(computes, outs);
+  return run_seal_batch(computes, outs, &rspecs);
 }
 
 Status QatEngineProvider::aead_seal_batch(BytesView key,
@@ -1036,8 +1476,10 @@ Status QatEngineProvider::aead_seal_batch(BytesView key,
   auto key_copy = std::make_shared<Bytes>(key.begin(), key.end());
   std::vector<std::function<Result<Bytes>()>> computes;
   std::vector<Bytes*> outs;
+  std::vector<RemoteSpec<Bytes>> rspecs;
   computes.reserve(jobs.size());
   outs.reserve(jobs.size());
+  rspecs.reserve(jobs.size());
   for (AeadSealJob& job : jobs) {
     auto in = std::make_shared<In>(
         In{Bytes(job.nonce.begin(), job.nonce.end()),
@@ -1046,9 +1488,17 @@ Status QatEngineProvider::aead_seal_batch(BytesView key,
     computes.push_back([key_copy, in]() -> Result<Bytes> {
       return gcm_seal(*key_copy, in->nonce, in->aad, in->plaintext);
     });
+    RemoteSpec<Bytes> rspec;
+    rspec.op = remote::RemoteOp::kAeadSeal;
+    rspec.encode = [key_copy, in] {
+      return remote::encode_aead_op(*key_copy, in->nonce, in->aad,
+                                    in->plaintext);
+    };
+    rspec.decode = decode_bytes_payload;
+    rspecs.push_back(std::move(rspec));
     outs.push_back(job.out);
   }
-  return run_seal_batch(computes, outs);
+  return run_seal_batch(computes, outs, &rspecs);
 }
 
 }  // namespace qtls::engine

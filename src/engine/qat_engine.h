@@ -37,6 +37,7 @@
 #include "obs/trace.h"
 #include "qat/device.h"
 #include "qat/topology.h"
+#include "remote/wire.h"
 
 namespace qtls::engine {
 
@@ -77,6 +78,17 @@ struct QatEngineConfig {
   // false, the failure surfaces to the caller as Code::kUnavailable (the
   // TLS layer turns it into a clean connection teardown).
   bool sw_fallback_on_device_error = true;
+
+  // --- remote offload tier (DESIGN.md §13) ------------------------------
+  // The network-attached backend between the QAT lanes and inline software
+  // in the fallback ladder. Per-op deadline for remote round trips (this is
+  // also the budget propagated on the wire); 0 disables remote deadlines.
+  uint64_t remote_op_deadline_us = 20'000;
+  // Remote-tier breaker: consecutive remote failures before the tier is
+  // skipped, and the cooldown before a half-open re-probe. Tighter than the
+  // device breaker — a dead network fails much faster than a dying card.
+  int remote_breaker_threshold = 4;
+  uint64_t remote_breaker_cooldown_ms = 200;
 };
 
 struct QatEngineStats {
@@ -108,6 +120,15 @@ struct QatEngineStats {
                                    // device (down, tripped, or too deep)
   uint64_t lane_breaker_opens = 0;   // a device lane flipped unavailable
   uint64_t lane_breaker_closes = 0;  // a lane re-probe rebound the device
+
+  // --- remote offload tier (DESIGN.md §13) ------------------------------
+  uint64_t remote_ops = 0;        // ops routed to the remote backend
+  uint64_t remote_completed = 0;  // server responded (ok or compute error)
+  uint64_t remote_expiries = 0;   // client-side deadline expiries
+  uint64_t remote_failures = 0;   // channel death / refusal / bad decode
+  uint64_t remote_batches = 0;    // seal batches shipped as one frame
+  uint64_t remote_breaker_opens = 0;
+  uint64_t remote_breaker_closes = 0;
 };
 
 // Circuit-breaker state, per op class (QAT_Engine's sw-fallback mirror).
@@ -220,6 +241,22 @@ class QatEngineProvider : public CryptoProvider {
   // The GET /stats "topology.lanes" array: one entry per assigned device.
   std::string lanes_json() const;
 
+  // --- remote offload tier (DESIGN.md §13) --------------------------------
+  // Attach the network-attached backend as the ladder tier between the QAT
+  // lanes and inline software. Non-owning; the backend must outlive the
+  // provider (the worker pool owns both). Null detaches.
+  void set_remote_backend(remote::RemoteBackend* backend) {
+    remote_ = backend;
+  }
+  remote::RemoteBackend* remote_backend() const { return remote_; }
+  BreakerState remote_breaker_state() const {
+    return static_cast<BreakerState>(
+        remote_breaker_.state.load(std::memory_order_acquire));
+  }
+  // The GET /stats "remote" object: engine-side tier counters plus the
+  // channel's own stats.
+  std::string remote_json() const;
+
  private:
   template <typename T>
   friend struct TypedOpState;
@@ -273,8 +310,21 @@ class QatEngineProvider : public CryptoProvider {
   // transient device errors, and breaker-driven software fallback (running
   // `compute` on the calling thread IS the software path — the closures are
   // self-contained).
+  // How an op travels the wire (DESIGN.md §13): which RemoteOp it is, how
+  // to build the request body, and how to decode a success payload.
   template <typename T>
-  Result<T> offload(qat::OpKind kind, std::function<Result<T>()> compute);
+  struct RemoteSpec {
+    remote::RemoteOp op = remote::RemoteOp::kPrfTls12;
+    std::function<Bytes()> encode;
+    std::function<Result<T>(BytesView)> decode;
+  };
+
+  // `rspec` (optional) describes how the op travels the remote tier; when
+  // set, the ladder tries QAT lanes, then the remote backend, then inline
+  // software — never skipping a live tier.
+  template <typename T>
+  Result<T> offload(qat::OpKind kind, std::function<Result<T>()> compute,
+                    const RemoteSpec<T>* rspec = nullptr);
 
   // Batched variant for record seals: submits all computes as one device
   // batch, waits for every response, appends each result to outs[i]. Items
@@ -283,12 +333,38 @@ class QatEngineProvider : public CryptoProvider {
   // (deadline) fall back to inline compute like the single path.
   Status run_seal_batch(
       const std::vector<std::function<Result<Bytes>()>>& computes,
-      const std::vector<Bytes*>& outs);
+      const std::vector<Bytes*>& outs,
+      const std::vector<RemoteSpec<Bytes>>* rspecs = nullptr);
 
   // Circuit breaker (cheap on the happy path: one relaxed load per op).
   bool offload_allowed(qat::OpClass cls);
   void breaker_on_success(qat::OpClass cls);
   void breaker_on_failure(qat::OpClass cls);
+
+  // --- remote offload tier (DESIGN.md §13) --------------------------------
+  // Run one op through the remote backend. Returns true when the tier
+  // settled the op (*out holds the result — possibly a deterministic
+  // compute error, which is terminal exactly like a local kComputeError);
+  // false when the tier was unavailable, refused, expired, or died, in
+  // which case the caller continues down the ladder to software.
+  template <typename T>
+  bool try_remote(qat::OpClass cls, const RemoteSpec<T>& spec, Result<T>* out);
+  // Remote half of run_seal_batch: ships every spec as ONE frame, settles
+  // per record (remote-failed records fall back to the inline compute).
+  // False when the tier was unavailable before anything was submitted.
+  bool try_remote_seal_batch(
+      qat::OpClass cls, const std::vector<RemoteSpec<Bytes>>& specs,
+      const std::vector<std::function<Result<Bytes>()>>& computes,
+      const std::vector<Bytes*>& outs, Status* result);
+  // Gate mirroring offload_allowed: channel alive and tier breaker closed
+  // (or this op wins the half-open probe CAS).
+  bool remote_tier_available();
+  // Passive form for the charge decision: a live remote tier shields the
+  // per-class breaker the same way a surviving lane does. No CAS — this
+  // must not consume the half-open probe.
+  bool remote_tier_live() const;
+  void remote_on_success();
+  void remote_on_failure();
 
   // --- multi-device lanes -------------------------------------------------
   // Whether submissions may target this lane right now: device online (per
@@ -336,6 +412,10 @@ class QatEngineProvider : public CryptoProvider {
   std::atomic<uint64_t> engine_drbg_nonce_{1};
   QatEngineStats stats_;
   ClassBreaker breakers_[qat::kNumOpClasses];
+  // Remote tier: non-owning backend pointer + the tier breaker. One breaker
+  // for the whole tier (not per class): the failure domain is the channel.
+  remote::RemoteBackend* remote_ = nullptr;
+  ClassBreaker remote_breaker_;
   // Deadline registry (async ops only; sync ops check the clock in their
   // own spin loop). Touched only when op_deadline_us != 0.
   mutable std::mutex pending_mu_;

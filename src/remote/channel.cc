@@ -1,0 +1,272 @@
+#include "remote/channel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace qtls::remote {
+
+namespace {
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+RemoteChannel::RemoteChannel(std::unique_ptr<tls::Transport> transport,
+                             RemoteChannelConfig cfg)
+    : transport_(std::move(transport)),
+      cfg_(cfg),
+      now_ns_(steady_now_ns),
+      decoder_(cfg.max_frame) {}
+
+RemoteChannel::~RemoteChannel() {
+  std::vector<Fired> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_) die_locked(&fired);
+  }
+  dispatch(&fired);
+}
+
+uint64_t RemoteChannel::now_ns_locked() const { return now_ns_(); }
+
+bool RemoteChannel::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_;
+}
+
+void RemoteChannel::set_clock(std::function<uint64_t()> now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ns_ = std::move(now_ns);
+}
+
+void RemoteChannel::kill() {
+  std::vector<Fired> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_) die_locked(&fired);
+  }
+  dispatch(&fired);
+}
+
+bool RemoteChannel::submit(RemoteOp op, Bytes body, uint64_t deadline_ns,
+                           Completion done) {
+  std::vector<Fired> fired;
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_) {
+      QueuedOp q;
+      q.request_id = next_request_id_++;
+      q.op = op;
+      q.deadline_ns = deadline_ns;
+      q.queued_at_ns = now_ns_locked();
+      q.body = std::move(body);
+      q.done = std::move(done);
+      queue_.push_back(std::move(q));
+      ++stats_.submitted;
+      accepted = true;
+      if (queue_.size() >= cfg_.max_batch) flush_locked(&fired);
+    }
+  }
+  dispatch(&fired);
+  return accepted;
+}
+
+void RemoteChannel::flush() {
+  std::vector<Fired> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_) flush_locked(&fired);
+  }
+  dispatch(&fired);
+}
+
+void RemoteChannel::flush_locked(std::vector<Fired>* fired) {
+  if (queue_.empty()) return;
+  const uint64_t now = now_ns_locked();
+  std::vector<RemoteOpRequest> batch;
+  batch.reserve(queue_.size());
+  for (QueuedOp& q : queue_) {
+    // Deadline rewrite: absolute steady-clock ns -> remaining budget_us.
+    // An op whose budget is already gone expires here and is never sent.
+    uint32_t budget_us = 0;
+    if (q.deadline_ns != 0) {
+      if (q.deadline_ns <= now) {
+        ++stats_.expired;
+        fired->push_back(
+            {std::move(q.done), RemoteStatus::kDeadlineExpired, {}});
+        continue;
+      }
+      const uint64_t remaining_us = (q.deadline_ns - now) / 1000;
+      budget_us = remaining_us == 0
+                      ? 1
+                      : static_cast<uint32_t>(
+                            std::min<uint64_t>(remaining_us, UINT32_MAX));
+    }
+    RemoteOpRequest req;
+    req.request_id = q.request_id;
+    req.op = q.op;
+    req.budget_us = budget_us;
+    req.body = std::move(q.body);
+    batch.push_back(std::move(req));
+    inflight_.emplace(q.request_id,
+                      InflightOp{q.deadline_ns, std::move(q.done)});
+  }
+  queue_.clear();
+  if (batch.empty()) return;
+  encode_request_frame(next_batch_id_++, batch, &tx_buf_);
+  ++stats_.batches;
+  stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+  drive_tx_locked(fired);
+}
+
+void RemoteChannel::drive_tx_locked(std::vector<Fired>* fired) {
+  while (tx_cursor_ < tx_buf_.size()) {
+    const tls::IoResult r = transport_->write(tx_buf_.data() + tx_cursor_,
+                                              tx_buf_.size() - tx_cursor_);
+    if (r.status == tls::IoStatus::kOk) {
+      tx_cursor_ += r.bytes;
+      stats_.bytes_tx += r.bytes;
+      continue;
+    }
+    if (r.status == tls::IoStatus::kWouldBlock) return;
+    die_locked(fired);
+    return;
+  }
+  tx_buf_.clear();
+  tx_cursor_ = 0;
+}
+
+void RemoteChannel::drive_rx_locked(std::vector<Fired>* fired) {
+  uint8_t buf[4096];
+  for (;;) {
+    const tls::IoResult r = transport_->read(buf, sizeof(buf));
+    if (r.status == tls::IoStatus::kWouldBlock) break;
+    if (r.status != tls::IoStatus::kOk || r.bytes == 0) {
+      die_locked(fired);
+      return;
+    }
+    stats_.bytes_rx += r.bytes;
+    if (!decoder_.feed(BytesView(buf, r.bytes)).is_ok()) {
+      // Malformed stream: there is no resync point, tear it down.
+      die_locked(fired);
+      return;
+    }
+  }
+  Frame frame;
+  while (decoder_.next(&frame)) {
+    ++stats_.frames_rx;
+    if (frame.type != FrameType::kBatchResponse) continue;
+    for (RemoteOpResponse& rsp : frame.responses) {
+      auto it = inflight_.find(rsp.request_id);
+      if (it == inflight_.end()) {
+        // Response for an op we already expired (or a duplicate frame): the
+        // caller's completion fired exactly once already; count and drop.
+        ++stats_.dropped_late;
+        continue;
+      }
+      ++stats_.completed;
+      fired->push_back(
+          {std::move(it->second.done), rsp.status, std::move(rsp.body)});
+      inflight_.erase(it);
+    }
+  }
+}
+
+void RemoteChannel::sweep_expired_locked(std::vector<Fired>* fired) {
+  const uint64_t now = now_ns_locked();
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.deadline_ns != 0 && it->second.deadline_ns <= now) {
+      ++stats_.expired;
+      fired->push_back(
+          {std::move(it->second.done), RemoteStatus::kDeadlineExpired, {}});
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RemoteChannel::die_locked(std::vector<Fired>* fired) {
+  alive_ = false;
+  for (auto& [id, op] : inflight_) {
+    ++stats_.failed;
+    fired->push_back({std::move(op.done), RemoteStatus::kChannelDown, {}});
+  }
+  inflight_.clear();
+  for (QueuedOp& q : queue_) {
+    ++stats_.failed;
+    fired->push_back({std::move(q.done), RemoteStatus::kChannelDown, {}});
+  }
+  queue_.clear();
+  tx_buf_.clear();
+  tx_cursor_ = 0;
+}
+
+size_t RemoteChannel::dispatch(std::vector<Fired>* fired) {
+  for (Fired& f : *fired) {
+    if (f.done) f.done(f.status, f.payload);
+  }
+  const size_t n = fired->size();
+  fired->clear();
+  return n;
+}
+
+size_t RemoteChannel::pump() {
+  std::vector<Fired> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_) {
+      drive_tx_locked(&fired);
+      if (alive_) drive_rx_locked(&fired);
+      if (alive_) sweep_expired_locked(&fired);
+      // Coalescing window: flush once the oldest queued op has waited long
+      // enough that batching further would cost more than it amortizes.
+      if (alive_ && !queue_.empty()) {
+        const uint64_t age_ns = now_ns_locked() - queue_.front().queued_at_ns;
+        if (age_ns >= cfg_.coalesce_window_us * 1000) flush_locked(&fired);
+      }
+    }
+  }
+  return dispatch(&fired);
+}
+
+RemoteChannelStats RemoteChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t RemoteChannel::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t RemoteChannel::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+std::string RemoteChannel::stats_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"alive\":" << (alive_ ? "true" : "false")
+     << ",\"submitted\":" << stats_.submitted
+     << ",\"completed\":" << stats_.completed
+     << ",\"expired\":" << stats_.expired << ",\"failed\":" << stats_.failed
+     << ",\"batches\":" << stats_.batches
+     << ",\"max_batch\":" << stats_.max_batch
+     << ",\"frames_rx\":" << stats_.frames_rx
+     << ",\"bytes_tx\":" << stats_.bytes_tx
+     << ",\"bytes_rx\":" << stats_.bytes_rx
+     << ",\"dropped_late\":" << stats_.dropped_late
+     << ",\"queued\":" << queue_.size()
+     << ",\"inflight\":" << inflight_.size() << "}";
+  return os.str();
+}
+
+}  // namespace qtls::remote

@@ -1,0 +1,116 @@
+// RemoteChannel — client side of the remote-offload tier (DESIGN.md §13).
+//
+// One channel multiplexes a worker's remote ops over a single Transport.
+// submit() queues; flush() rewrites each op's absolute deadline into the
+// wire's remaining-budget field, moves the batch inflight, and serializes
+// ONE frame (the batch-RPC amortization — N ops pay one RTT). pump()
+// drives non-blocking TX/RX, dispatches responses, expires inflight ops
+// past their deadline, and auto-flushes when the coalescing window for the
+// oldest queued op has elapsed.
+//
+// Threading: every public method takes the channel mutex; completions are
+// always invoked OUTSIDE the lock, so callers may re-enter submit() from a
+// completion. Conservation invariant (asserted by the chaos suite):
+//   submitted == completed + expired + failed   (+ still-pending)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "remote/wire.h"
+#include "tls/transport.h"
+
+namespace qtls::remote {
+
+struct RemoteChannelConfig {
+  size_t max_batch = 32;            // flush as soon as this many ops queue
+  uint64_t coalesce_window_us = 50; // flush when the oldest op is this stale
+  size_t max_frame = kMaxFrameBytes;
+};
+
+struct RemoteChannelStats {
+  uint64_t submitted = 0;  // accepted by submit()
+  uint64_t completed = 0;  // server responded (any wire status)
+  uint64_t expired = 0;    // client-side deadline expiry (pre- or post-send)
+  uint64_t failed = 0;     // channel died with the op pending
+  uint64_t batches = 0;    // frames sent
+  uint64_t max_batch = 0;  // largest batch in one frame
+  uint64_t frames_rx = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t bytes_rx = 0;
+  uint64_t dropped_late = 0;  // responses that arrived after local expiry
+};
+
+class RemoteChannel : public RemoteBackend {
+ public:
+  RemoteChannel(std::unique_ptr<tls::Transport> transport,
+                RemoteChannelConfig cfg = {});
+  ~RemoteChannel() override;
+
+  bool alive() const override;
+  bool submit(RemoteOp op, Bytes body, uint64_t deadline_ns,
+              Completion done) override;
+  void flush() override;
+  size_t pump() override;
+  std::string stats_json() const override;
+
+  RemoteChannelStats stats() const;
+  size_t queued() const;
+  size_t inflight() const;
+
+  // Test hooks. set_clock replaces the steady ns clock (virtual-time chaos
+  // tests); kill() simulates abrupt transport death from the client side.
+  void set_clock(std::function<uint64_t()> now_ns);
+  void kill();
+
+ private:
+  struct QueuedOp {
+    uint64_t request_id = 0;
+    RemoteOp op = RemoteOp::kPrfTls12;
+    uint64_t deadline_ns = 0;
+    uint64_t queued_at_ns = 0;
+    Bytes body;
+    Completion done;
+  };
+  struct InflightOp {
+    uint64_t deadline_ns = 0;
+    Completion done;
+  };
+  struct Fired {
+    Completion done;
+    RemoteStatus status;
+    Bytes payload;
+  };
+
+  uint64_t now_ns_locked() const;
+  // Each helper collects completions into *fired; the caller invokes them
+  // after dropping the lock.
+  void flush_locked(std::vector<Fired>* fired);
+  void drive_tx_locked(std::vector<Fired>* fired);
+  void drive_rx_locked(std::vector<Fired>* fired);
+  void sweep_expired_locked(std::vector<Fired>* fired);
+  void die_locked(std::vector<Fired>* fired);
+  static size_t dispatch(std::vector<Fired>* fired);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<tls::Transport> transport_;
+  RemoteChannelConfig cfg_;
+  std::function<uint64_t()> now_ns_;
+  bool alive_ = true;
+  uint64_t next_request_id_ = 1;
+  uint64_t next_batch_id_ = 1;
+  std::deque<QueuedOp> queue_;
+  std::unordered_map<uint64_t, InflightOp> inflight_;
+  Bytes tx_buf_;       // serialized frames not yet accepted by the transport
+  size_t tx_cursor_ = 0;
+  FrameDecoder decoder_;
+  RemoteChannelStats stats_;
+};
+
+}  // namespace qtls::remote

@@ -1,0 +1,307 @@
+#include "remote/offload_server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace qtls::remote {
+
+namespace {
+
+// DRBG ops carry the caller's seed so the result is reproducible: the same
+// seed always yields the same key share / nonce, which the parity tests
+// rely on.
+HmacDrbg seeded_drbg(uint64_t seed) {
+  Bytes seed_bytes;
+  append_u64(seed_bytes, seed);
+  return HmacDrbg(HashAlg::kSha256, seed_bytes);
+}
+
+bool valid_hash_alg(uint8_t v) {
+  return v <= static_cast<uint8_t>(HashAlg::kSha512);
+}
+
+bool valid_curve(uint8_t v) {
+  switch (static_cast<CurveId>(v)) {
+    case CurveId::kP256:
+    case CurveId::kP384:
+    case CurveId::kB283:
+    case CurveId::kB409:
+    case CurveId::kK283:
+    case CurveId::kK409:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OffloadServerCore::OffloadServerCore() : OffloadServerCore(Config()) {}
+
+OffloadServerCore::OffloadServerCore(Config cfg)
+    : cfg_(cfg), decoder_(cfg.max_frame), provider_(cfg.drbg_seed) {}
+
+void OffloadServerCore::consume(size_t n) {
+  out_.erase(out_.begin(), out_.begin() + std::min(n, out_.size()));
+}
+
+Status OffloadServerCore::on_bytes(BytesView data) {
+  stats_.bytes_rx += data.size();
+  QTLS_RETURN_IF_ERROR(decoder_.feed(data));
+  Frame frame;
+  while (decoder_.next(&frame)) {
+    if (frame.type != FrameType::kBatchRequest)
+      return err(Code::kProtocolError, "offload server: response frame rx");
+    ++stats_.frames_rx;
+    std::vector<RemoteOpResponse> responses;
+    responses.reserve(frame.requests.size());
+    for (const RemoteOpRequest& req : frame.requests) {
+      ++stats_.ops_rx;
+      RemoteOpResponse rsp;
+      rsp.request_id = req.request_id;
+      if (req.budget_us != 0 &&
+          cfg_.queue_delay_ns >= uint64_t{req.budget_us} * 1000) {
+        // Budget gone before service: refuse without executing.
+        rsp.status = RemoteStatus::kBudgetExhausted;
+        ++stats_.refused_expired;
+      } else {
+        rsp = execute(req);
+        rsp.request_id = req.request_id;
+        switch (rsp.status) {
+          case RemoteStatus::kOk: ++stats_.ops_ok; break;
+          case RemoteStatus::kComputeError: ++stats_.compute_errors; break;
+          default: ++stats_.bad_requests; break;
+        }
+      }
+      responses.push_back(std::move(rsp));
+    }
+    const size_t before = out_.size();
+    encode_response_frame(frame.batch_id, responses, &out_);
+    stats_.bytes_tx += out_.size() - before;
+  }
+  return Status::ok();
+}
+
+RemoteOpResponse OffloadServerCore::execute(const RemoteOpRequest& req) {
+  RemoteOpResponse rsp;
+  rsp.status = RemoteStatus::kBadRequest;
+
+  ByteReader r(req.body);
+  auto finish = [&rsp](Result<Bytes> result) {
+    if (result.is_ok()) {
+      rsp.status = RemoteStatus::kOk;
+      rsp.body = std::move(result).take();
+    } else {
+      rsp.status = RemoteStatus::kComputeError;
+      encode_error_body(result.status(), &rsp.body);
+    }
+  };
+
+  switch (req.op) {
+    case RemoteOp::kRsaSign:
+    case RemoteOp::kRsaDecrypt: {
+      const Bytes key_text = read_lv(r);
+      const Bytes data = read_lv(r);
+      if (!r.ok() || r.remaining() != 0) return rsp;
+      Result<RsaPrivateKey> key = RsaPrivateKey::deserialize(
+          std::string(key_text.begin(), key_text.end()));
+      if (!key.is_ok()) return rsp;
+      finish(req.op == RemoteOp::kRsaSign
+                 ? provider_.rsa_sign(key.value(), data)
+                 : provider_.rsa_decrypt(key.value(), data));
+      return rsp;
+    }
+    case RemoteOp::kEcdheKeygen: {
+      const uint8_t curve = r.u8();
+      const uint64_t seed = r.u64();
+      if (!r.ok() || r.remaining() != 0 || !valid_curve(curve)) return rsp;
+      HmacDrbg rng = seeded_drbg(seed);
+      Result<engine::KeyShare> share =
+          engine::ecdhe_keygen_impl(static_cast<CurveId>(curve), rng);
+      if (!share.is_ok()) {
+        rsp.status = RemoteStatus::kComputeError;
+        encode_error_body(share.status(), &rsp.body);
+        return rsp;
+      }
+      WireKeyShare wire;
+      wire.curve = static_cast<uint8_t>(share.value().curve);
+      wire.priv = std::move(share.value().priv);
+      wire.pub_point = std::move(share.value().pub_point);
+      rsp.status = RemoteStatus::kOk;
+      encode_keyshare_body(wire, &rsp.body);
+      return rsp;
+    }
+    case RemoteOp::kEcdheDerive: {
+      const uint8_t curve = r.u8();
+      engine::KeyShare mine;
+      mine.priv = read_lv(r);
+      mine.pub_point = read_lv(r);
+      const Bytes peer = read_lv(r);
+      if (!r.ok() || r.remaining() != 0 || !valid_curve(curve)) return rsp;
+      mine.curve = static_cast<CurveId>(curve);
+      finish(engine::ecdhe_derive_impl(mine, peer));
+      return rsp;
+    }
+    case RemoteOp::kEcdsaSign: {
+      const uint8_t curve_id = r.u8();
+      const uint64_t seed = r.u64();
+      const Bytes priv_be = read_lv(r);
+      const Bytes digest = read_lv(r);
+      if (!r.ok() || r.remaining() != 0) return rsp;
+      const EcCurve* curve =
+          engine::prime_curve(static_cast<CurveId>(curve_id));
+      if (!curve) return rsp;  // binary-curve ECDSA: DESIGN.md §6
+      HmacDrbg rng = seeded_drbg(seed);
+      rsp.status = RemoteStatus::kOk;
+      rsp.body =
+          ecdsa_sign(*curve, Bignum::from_bytes_be(priv_be), digest, rng)
+              .encode();
+      return rsp;
+    }
+    case RemoteOp::kPrfTls12: {
+      const uint8_t alg = r.u8();
+      const uint32_t out_len = r.u32();
+      const Bytes secret = read_lv(r);
+      const Bytes label = read_lv(r);
+      const Bytes seed = read_lv(r);
+      if (!r.ok() || r.remaining() != 0 || !valid_hash_alg(alg)) return rsp;
+      finish(provider_.prf_tls12(static_cast<HashAlg>(alg), secret,
+                                 to_string(label), seed, out_len));
+      return rsp;
+    }
+    case RemoteOp::kCipherSeal:
+    case RemoteOp::kCipherOpen: {
+      CbcHmacKeys keys;
+      const uint8_t mac_alg = r.u8();
+      keys.enc_key = read_lv(r);
+      keys.mac_key = read_lv(r);
+      const uint64_t seq = r.u64();
+      const Bytes header = read_lv(r);
+      const Bytes iv = read_lv(r);
+      const Bytes text = read_lv(r);
+      if (!r.ok() || r.remaining() != 0 || !valid_hash_alg(mac_alg))
+        return rsp;
+      keys.mac_alg = static_cast<HashAlg>(mac_alg);
+      finish(req.op == RemoteOp::kCipherSeal
+                 ? provider_.cipher_seal(keys, seq, header, iv, text)
+                 : provider_.cipher_open(keys, seq, header, iv, text));
+      return rsp;
+    }
+    case RemoteOp::kAeadSeal:
+    case RemoteOp::kAeadOpen: {
+      const Bytes key = read_lv(r);
+      const Bytes nonce = read_lv(r);
+      const Bytes aad = read_lv(r);
+      const Bytes text = read_lv(r);
+      if (!r.ok() || r.remaining() != 0) return rsp;
+      finish(req.op == RemoteOp::kAeadSeal
+                 ? provider_.aead_seal(key, nonce, aad, text)
+                 : provider_.aead_open(key, nonce, aad, text));
+      return rsp;
+    }
+  }
+  return rsp;
+}
+
+// ------------------------------------------------------------- TCP shell --
+
+OffloadServer::OffloadServer(OffloadServerCore::Config cfg) : cfg_(cfg) {}
+
+OffloadServer::~OffloadServer() = default;
+
+Status OffloadServer::start(uint16_t port) {
+  return listener_.listen(port);
+}
+
+size_t OffloadServer::run_once(int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  pfds.push_back({listener_.fd(), POLLIN, 0});
+  for (const Conn& c : conns_) {
+    short events = POLLIN;
+    if (!c.core->output().empty()) events |= POLLOUT;
+    pfds.push_back({c.transport->fd(), events, 0});
+  }
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n <= 0) return 0;
+
+  if (pfds[0].revents & POLLIN) {
+    int fd;
+    while ((fd = listener_.accept_fd()) >= 0) {
+      Conn c;
+      c.transport = std::make_unique<net::SocketTransport>(fd);
+      c.core = std::make_unique<OffloadServerCore>(cfg_);
+      conns_.push_back(std::move(c));
+    }
+  }
+
+  size_t serviced = 0;
+  // Service every connection each round: accepts above may not be in pfds
+  // yet, and a read can queue output that is writable immediately.
+  for (size_t i = 0; i < conns_.size();) {
+    Conn& c = conns_[i];
+    const uint64_t ops_before = c.core->stats().ops_rx;
+    bool dead = false;
+    uint8_t buf[4096];
+    for (;;) {
+      const tls::IoResult r = c.transport->read(buf, sizeof(buf));
+      if (r.status == tls::IoStatus::kWouldBlock) break;
+      if (r.status != tls::IoStatus::kOk || r.bytes == 0) {
+        dead = true;
+        break;
+      }
+      if (!c.core->on_bytes(BytesView(buf, r.bytes)).is_ok()) {
+        dead = true;  // poisoned stream: no resync point, drop the conn
+        break;
+      }
+    }
+    while (!dead && !c.core->output().empty()) {
+      const Bytes& out = c.core->output();
+      const tls::IoResult r = c.transport->write(out.data(), out.size());
+      if (r.status == tls::IoStatus::kOk) {
+        c.core->consume(r.bytes);
+        continue;
+      }
+      if (r.status == tls::IoStatus::kWouldBlock) break;
+      dead = true;
+    }
+    serviced += c.core->stats().ops_rx - ops_before;
+    if (dead) {
+      const OffloadServerCore::Stats& s = c.core->stats();
+      closed_stats_.frames_rx += s.frames_rx;
+      closed_stats_.ops_rx += s.ops_rx;
+      closed_stats_.ops_ok += s.ops_ok;
+      closed_stats_.compute_errors += s.compute_errors;
+      closed_stats_.refused_expired += s.refused_expired;
+      closed_stats_.bad_requests += s.bad_requests;
+      closed_stats_.bytes_rx += s.bytes_rx;
+      closed_stats_.bytes_tx += s.bytes_tx;
+      conns_.erase(conns_.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  return serviced;
+}
+
+void OffloadServer::serve(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) run_once(20);
+}
+
+OffloadServerCore::Stats OffloadServer::total_stats() const {
+  OffloadServerCore::Stats total = closed_stats_;
+  for (const Conn& c : conns_) {
+    const OffloadServerCore::Stats& s = c.core->stats();
+    total.frames_rx += s.frames_rx;
+    total.ops_rx += s.ops_rx;
+    total.ops_ok += s.ops_ok;
+    total.compute_errors += s.compute_errors;
+    total.refused_expired += s.refused_expired;
+    total.bad_requests += s.bad_requests;
+    total.bytes_rx += s.bytes_rx;
+    total.bytes_tx += s.bytes_tx;
+  }
+  return total;
+}
+
+}  // namespace qtls::remote

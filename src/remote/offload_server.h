@@ -1,0 +1,102 @@
+// Offload server — the disaggregated end of the remote tier (DESIGN.md
+// §13). OffloadServerCore is transport-agnostic (bytes in, bytes out) so
+// the chaos tests drive it through in-memory loopbacks; OffloadServer wraps
+// it in a real TCP accept loop for examples/offload_server.cpp and the
+// socket soak tests.
+//
+// Budget discipline: the wire carries remaining budget, not an absolute
+// deadline (no shared clock). The server REFUSES — never executes — any op
+// whose budget is exhausted by the server's own queueing delay, so an op
+// that already missed its deadline costs the service nothing but a parse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/provider.h"
+#include "net/socket_transport.h"
+#include "remote/wire.h"
+
+namespace qtls::remote {
+
+class OffloadServerCore {
+ public:
+  struct Config {
+    size_t max_frame = kMaxFrameBytes;
+    uint64_t drbg_seed = 0x72656d6f;  // 'remo'
+    // Modeled queueing delay charged against each op's budget before
+    // execution. The single-threaded loop services frames as they arrive,
+    // so the production default is 0; chaos tests raise it to prove the
+    // refusal path.
+    uint64_t queue_delay_ns = 0;
+  };
+
+  struct Stats {
+    uint64_t frames_rx = 0;
+    uint64_t ops_rx = 0;
+    uint64_t ops_ok = 0;
+    uint64_t compute_errors = 0;
+    uint64_t refused_expired = 0;  // kBudgetExhausted refusals, never run
+    uint64_t bad_requests = 0;
+    uint64_t bytes_rx = 0;
+    uint64_t bytes_tx = 0;
+  };
+
+  OffloadServerCore();
+  explicit OffloadServerCore(Config cfg);
+
+  // Feed raw stream bytes; response frames accumulate in output(). A
+  // non-ok return means the stream is poisoned and the connection must
+  // close.
+  Status on_bytes(BytesView data);
+
+  // Pending response bytes; the owner transmits and consume()s.
+  const Bytes& output() const { return out_; }
+  void consume(size_t n);
+
+  const Stats& stats() const { return stats_; }
+  void set_queue_delay_ns(uint64_t ns) { cfg_.queue_delay_ns = ns; }
+
+ private:
+  RemoteOpResponse execute(const RemoteOpRequest& req);
+
+  Config cfg_;
+  FrameDecoder decoder_;
+  engine::SoftwareProvider provider_;
+  Bytes out_;
+  Stats stats_;
+};
+
+// Single-threaded TCP server: poll()-driven accept + per-connection core.
+// run_once() services one poll round; serve() loops until *stop.
+class OffloadServer {
+ public:
+  explicit OffloadServer(
+      OffloadServerCore::Config cfg = OffloadServerCore::Config());
+  ~OffloadServer();
+
+  Status start(uint16_t port);  // 0 = ephemeral; query with port()
+  uint16_t port() const { return listener_.port(); }
+
+  // One poll round (accept + read/execute/write); returns ops serviced.
+  size_t run_once(int timeout_ms = 50);
+  void serve(const std::atomic<bool>& stop);
+
+  size_t connections() const { return conns_.size(); }
+  OffloadServerCore::Stats total_stats() const;
+
+ private:
+  struct Conn {
+    std::unique_ptr<net::SocketTransport> transport;
+    std::unique_ptr<OffloadServerCore> core;
+  };
+
+  OffloadServerCore::Config cfg_;
+  net::TcpListener listener_;
+  std::vector<Conn> conns_;
+  OffloadServerCore::Stats closed_stats_;  // carried over from dead conns
+};
+
+}  // namespace qtls::remote

@@ -1,0 +1,264 @@
+#include "remote/wire.h"
+
+namespace qtls::remote {
+
+const char* remote_status_name(RemoteStatus s) {
+  switch (s) {
+    case RemoteStatus::kOk: return "ok";
+    case RemoteStatus::kComputeError: return "compute_error";
+    case RemoteStatus::kBudgetExhausted: return "budget_exhausted";
+    case RemoteStatus::kBadRequest: return "bad_request";
+    case RemoteStatus::kDeadlineExpired: return "deadline_expired";
+    case RemoteStatus::kChannelDown: return "channel_down";
+  }
+  return "?";
+}
+
+void append_lv(Bytes& dst, BytesView v) {
+  append_u32(dst, static_cast<uint32_t>(v.size()));
+  append(dst, v);
+}
+
+Bytes read_lv(ByteReader& r) {
+  const uint32_t len = r.u32();
+  return r.bytes(len);
+}
+
+// ------------------------------------------------------------ framing ----
+
+namespace {
+
+void encode_frame_header(FrameType type, uint64_t batch_id, uint16_t count,
+                         Bytes* payload) {
+  append_u8(*payload, kWireMagic);
+  append_u8(*payload, kWireVersion);
+  append_u8(*payload, static_cast<uint8_t>(type));
+  append_u64(*payload, batch_id);
+  append_u16(*payload, count);
+}
+
+void prefix_and_append(const Bytes& payload, Bytes* out) {
+  append_u32(*out, static_cast<uint32_t>(payload.size()));
+  append(*out, payload);
+}
+
+bool valid_op(uint8_t op) {
+  return op >= static_cast<uint8_t>(RemoteOp::kRsaSign) &&
+         op <= static_cast<uint8_t>(RemoteOp::kAeadOpen);
+}
+
+}  // namespace
+
+void encode_request_frame(uint64_t batch_id,
+                          std::span<const RemoteOpRequest> ops, Bytes* out) {
+  Bytes payload;
+  encode_frame_header(FrameType::kBatchRequest, batch_id,
+                      static_cast<uint16_t>(ops.size()), &payload);
+  for (const RemoteOpRequest& op : ops) {
+    append_u64(payload, op.request_id);
+    append_u8(payload, static_cast<uint8_t>(op.op));
+    append_u32(payload, op.budget_us);
+    append_lv(payload, op.body);
+  }
+  prefix_and_append(payload, out);
+}
+
+void encode_response_frame(uint64_t batch_id,
+                           std::span<const RemoteOpResponse> ops, Bytes* out) {
+  Bytes payload;
+  encode_frame_header(FrameType::kBatchResponse, batch_id,
+                      static_cast<uint16_t>(ops.size()), &payload);
+  for (const RemoteOpResponse& op : ops) {
+    append_u64(payload, op.request_id);
+    append_u8(payload, static_cast<uint8_t>(op.status));
+    append_lv(payload, op.body);
+  }
+  prefix_and_append(payload, out);
+}
+
+Status FrameDecoder::poison(const std::string& why) {
+  poisoned_ = true;
+  buf_.clear();
+  return err(Code::kProtocolError, "remote wire: " + why);
+}
+
+Status FrameDecoder::feed(BytesView data) {
+  if (poisoned_) return err(Code::kProtocolError, "remote wire: poisoned");
+  append(buf_, data);
+
+  for (;;) {
+    if (buf_.size() < 4) return Status::ok();
+    ByteReader lenr(buf_);
+    const uint32_t len = lenr.u32();
+    if (len > max_frame_) return poison("frame exceeds bound");
+    if (buf_.size() < 4 + len) return Status::ok();
+
+    ByteReader r(BytesView(buf_).subspan(4, len));
+    Frame frame;
+    const uint8_t magic = r.u8();
+    const uint8_t version = r.u8();
+    const uint8_t type = r.u8();
+    frame.batch_id = r.u64();
+    const uint16_t count = r.u16();
+    if (!r.ok() || magic != kWireMagic) return poison("bad magic");
+    if (version != kWireVersion) return poison("bad version");
+    if (type == static_cast<uint8_t>(FrameType::kBatchRequest)) {
+      frame.type = FrameType::kBatchRequest;
+      frame.requests.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        RemoteOpRequest op;
+        op.request_id = r.u64();
+        const uint8_t kind = r.u8();
+        op.budget_us = r.u32();
+        op.body = read_lv(r);
+        if (!r.ok()) return poison("truncated request op");
+        if (!valid_op(kind)) return poison("unknown op kind");
+        op.op = static_cast<RemoteOp>(kind);
+        frame.requests.push_back(std::move(op));
+      }
+    } else if (type == static_cast<uint8_t>(FrameType::kBatchResponse)) {
+      frame.type = FrameType::kBatchResponse;
+      frame.responses.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        RemoteOpResponse op;
+        op.request_id = r.u64();
+        op.status = static_cast<RemoteStatus>(r.u8());
+        op.body = read_lv(r);
+        if (!r.ok()) return poison("truncated response op");
+        frame.responses.push_back(std::move(op));
+      }
+    } else {
+      return poison("unknown frame type");
+    }
+    if (r.remaining() != 0) return poison("trailing bytes in frame");
+
+    buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+    ++frames_decoded_;
+    ready_.push_back(std::move(frame));
+  }
+}
+
+bool FrameDecoder::next(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+// ----------------------------------------------------------- op bodies ----
+
+Bytes encode_rsa_op(const RsaPrivateKey& key, BytesView data) {
+  Bytes body;
+  const std::string key_text = key.serialize();
+  append_lv(body, BytesView(reinterpret_cast<const uint8_t*>(key_text.data()),
+                            key_text.size()));
+  append_lv(body, data);
+  return body;
+}
+
+Bytes encode_ecdhe_keygen(CurveId curve, uint64_t seed) {
+  Bytes body;
+  append_u8(body, static_cast<uint8_t>(curve));
+  append_u64(body, seed);
+  return body;
+}
+
+Bytes encode_ecdhe_derive(CurveId curve, BytesView priv, BytesView pub_point,
+                          BytesView peer_point) {
+  Bytes body;
+  append_u8(body, static_cast<uint8_t>(curve));
+  append_lv(body, priv);
+  append_lv(body, pub_point);
+  append_lv(body, peer_point);
+  return body;
+}
+
+Bytes encode_ecdsa_sign(CurveId curve, BytesView priv_be, BytesView digest,
+                        uint64_t seed) {
+  Bytes body;
+  append_u8(body, static_cast<uint8_t>(curve));
+  append_u64(body, seed);
+  append_lv(body, priv_be);
+  append_lv(body, digest);
+  return body;
+}
+
+Bytes encode_prf_tls12(HashAlg alg, BytesView secret, const std::string& label,
+                       BytesView seed, uint32_t out_len) {
+  Bytes body;
+  append_u8(body, static_cast<uint8_t>(alg));
+  append_u32(body, out_len);
+  append_lv(body, secret);
+  append_lv(body, BytesView(reinterpret_cast<const uint8_t*>(label.data()),
+                            label.size()));
+  append_lv(body, seed);
+  return body;
+}
+
+namespace {
+void append_cbc_keys(const CbcHmacKeys& keys, Bytes* body) {
+  append_u8(*body, static_cast<uint8_t>(keys.mac_alg));
+  append_lv(*body, keys.enc_key);
+  append_lv(*body, keys.mac_key);
+}
+}  // namespace
+
+Bytes encode_cipher_seal(const CbcHmacKeys& keys, uint64_t seq,
+                         BytesView header, BytesView iv, BytesView fragment) {
+  Bytes body;
+  append_cbc_keys(keys, &body);
+  append_u64(body, seq);
+  append_lv(body, header);
+  append_lv(body, iv);
+  append_lv(body, fragment);
+  return body;
+}
+
+Bytes encode_cipher_open(const CbcHmacKeys& keys, uint64_t seq,
+                         BytesView header_without_len, BytesView iv,
+                         BytesView ciphertext) {
+  // Same layout as seal; the op kind disambiguates.
+  return encode_cipher_seal(keys, seq, header_without_len, iv, ciphertext);
+}
+
+Bytes encode_aead_op(BytesView key, BytesView nonce, BytesView aad,
+                     BytesView text) {
+  Bytes body;
+  append_lv(body, key);
+  append_lv(body, nonce);
+  append_lv(body, aad);
+  append_lv(body, text);
+  return body;
+}
+
+void encode_keyshare_body(const WireKeyShare& share, Bytes* out) {
+  append_u8(*out, share.curve);
+  append_lv(*out, share.priv);
+  append_lv(*out, share.pub_point);
+}
+
+Result<WireKeyShare> decode_keyshare_body(BytesView body) {
+  ByteReader r(body);
+  WireKeyShare share;
+  share.curve = r.u8();
+  share.priv = read_lv(r);
+  share.pub_point = read_lv(r);
+  if (!r.ok() || r.remaining() != 0)
+    return err(Code::kProtocolError, "remote wire: bad keyshare body");
+  return share;
+}
+
+void encode_error_body(const Status& st, Bytes* out) {
+  append_u8(*out, static_cast<uint8_t>(st.code()));
+  append(*out, BytesView(reinterpret_cast<const uint8_t*>(st.message().data()),
+                         st.message().size()));
+}
+
+Status decode_error_body(BytesView body) {
+  if (body.empty()) return err(Code::kInternal, "remote compute error");
+  const Code code = static_cast<Code>(body[0]);
+  return Status(code == Code::kOk ? Code::kInternal : code,
+                to_string(body.subspan(1)));
+}
+
+}  // namespace qtls::remote

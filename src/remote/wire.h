@@ -1,0 +1,209 @@
+// Remote-offload wire protocol (DESIGN.md §13) — the batch RPC carrying
+// crypto op batches between the engine's remote tier and the standalone
+// offload server, plus the RemoteBackend seam the engine submits through.
+//
+// Framing: length-prefixed binary frames over any tls::Transport.
+//
+//   frame   := u32 payload_len | payload           (len excludes the prefix)
+//   payload := u8 magic 'Q' | u8 version | u8 type | u64 batch_id
+//              | u16 op_count | op*
+//   req op  := u64 request_id | u8 op | u32 budget_us | u32 body_len | body
+//   rsp op  := u64 request_id | u8 status          | u32 body_len | body
+//
+// Deadline propagation: the client never puts an absolute clock on the wire
+// (the two hosts share no clock). At serialization time the channel rewrites
+// each op's absolute steady-clock deadline into `budget_us` — the REMAINING
+// budget when the frame left the client. budget_us == 0 means unbounded; an
+// op whose budget is already gone at flush time expires client-side and is
+// never sent. The server refuses (kBudgetExhausted, never executes) any op
+// whose budget is exhausted by its own queueing delay.
+//
+// Parser hardening: frames are bounded by kMaxFrameBytes and every field is
+// length-checked; one malformed frame poisons the decoder and the owner
+// must tear the connection down (there is no resync point in a corrupted
+// length-prefixed stream).
+//
+// This header depends on crypto types only (never on engine/), so the QAT
+// engine can link the wire codec without a cycle through the offload server
+// (which needs the engine's SoftwareProvider).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/ec.h"
+#include "crypto/hash.h"
+#include "crypto/rsa.h"
+
+namespace qtls::remote {
+
+constexpr uint8_t kWireMagic = 0x51;  // 'Q'
+constexpr uint8_t kWireVersion = 1;
+// Hard frame bound: a full coalescing window of 16 KB records fits with
+// room; anything larger is a protocol violation, not a big batch.
+constexpr size_t kMaxFrameBytes = 4u << 20;
+
+enum class FrameType : uint8_t { kBatchRequest = 1, kBatchResponse = 2 };
+
+// Every provider op the engine can route to the remote tier.
+enum class RemoteOp : uint8_t {
+  kRsaSign = 1,
+  kRsaDecrypt = 2,
+  kEcdheKeygen = 3,
+  kEcdheDerive = 4,
+  kEcdsaSign = 5,
+  kPrfTls12 = 6,
+  kCipherSeal = 7,
+  kCipherOpen = 8,
+  kAeadSeal = 9,
+  kAeadOpen = 10,
+};
+
+// Per-op completion status. Values < 100 travel on the wire (server ->
+// client); values >= 100 are client-local terminals the channel synthesizes.
+enum class RemoteStatus : uint8_t {
+  kOk = 0,
+  kComputeError = 1,     // executed; deterministic input failure. The body
+                         // carries u8 status-code + message (decode with
+                         // decode_error_body) so the caller sees the same
+                         // Status a local compute would have produced.
+  kBudgetExhausted = 2,  // budget gone before service; NEVER executed
+  kBadRequest = 3,       // unparseable op / unknown kind
+  // --- client-local (never serialized) ---------------------------------
+  kDeadlineExpired = 100,  // client-side expiry before any response
+  kChannelDown = 101,      // transport died with the op pending
+};
+
+const char* remote_status_name(RemoteStatus s);
+
+struct RemoteOpRequest {
+  uint64_t request_id = 0;
+  RemoteOp op = RemoteOp::kPrfTls12;
+  uint32_t budget_us = 0;  // remaining deadline budget at send; 0 = none
+  Bytes body;
+};
+
+struct RemoteOpResponse {
+  uint64_t request_id = 0;
+  RemoteStatus status = RemoteStatus::kBadRequest;
+  Bytes body;
+};
+
+struct Frame {
+  FrameType type = FrameType::kBatchRequest;
+  uint64_t batch_id = 0;
+  std::vector<RemoteOpRequest> requests;    // kBatchRequest
+  std::vector<RemoteOpResponse> responses;  // kBatchResponse
+};
+
+// Appends one complete frame (length prefix included) to *out.
+void encode_request_frame(uint64_t batch_id,
+                          std::span<const RemoteOpRequest> ops, Bytes* out);
+void encode_response_frame(uint64_t batch_id,
+                           std::span<const RemoteOpResponse> ops, Bytes* out);
+
+// Incremental frame decoder: feed() accepts arbitrary chunks (a frame
+// bisected at any byte reassembles), next() pops complete frames in order.
+// A bad magic/version, an oversized length, or a malformed op list poisons
+// the decoder permanently; the connection owner must close.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  Status feed(BytesView data);
+  bool next(Frame* out);
+  bool poisoned() const { return poisoned_; }
+  size_t buffered() const { return buf_.size(); }
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  Status poison(const std::string& why);
+
+  size_t max_frame_;
+  Bytes buf_;
+  std::deque<Frame> ready_;
+  bool poisoned_ = false;
+  uint64_t frames_decoded_ = 0;
+};
+
+// The seam the engine submits through. RemoteChannel is the production
+// implementation (remote/channel.h); tests substitute loopback/chaos fakes.
+// The contract mirrors the QAT ring discipline: submit() queues, flush()
+// serializes the queued batch into one frame (the batch-RPC amortization),
+// pump() drives IO + client-side expiry and fires completions.
+class RemoteBackend {
+ public:
+  using Completion = std::function<void(RemoteStatus, BytesView payload)>;
+
+  virtual ~RemoteBackend() = default;
+
+  virtual bool alive() const = 0;
+
+  // Queue an op with an ABSOLUTE steady-clock deadline (ns; 0 = none); the
+  // implementation rewrites it to remaining budget_us at serialization.
+  // Returns false when the channel is dead (completion never fires).
+  // Otherwise the completion fires exactly once — from pump(), or inline
+  // from a flush that fails or expires the op before it is sent.
+  virtual bool submit(RemoteOp op, Bytes body, uint64_t deadline_ns,
+                      Completion done) = 0;
+
+  // Serialize everything queued into one frame and start transmitting.
+  virtual void flush() = 0;
+
+  // Drive IO + expiry; returns the number of completions fired.
+  virtual size_t pump() = 0;
+
+  virtual std::string stats_json() const { return "{}"; }
+};
+
+// --- op body codecs --------------------------------------------------------
+// Client-side encoders build the body the server's executor parses. Keys go
+// by value: the remote tier is a disaggregated HSM-shaped service, so each
+// op is self-contained (no server-side key registry in this protocol rev).
+// DRBG-consuming ops (keygen, ECDSA nonce) carry an explicit seed so the
+// remote result is bit-identical to the local engine-thread compute closure
+// for the same seed — the parity tests depend on it.
+
+Bytes encode_rsa_op(const RsaPrivateKey& key, BytesView data);  // sign|decrypt
+Bytes encode_ecdhe_keygen(CurveId curve, uint64_t seed);
+Bytes encode_ecdhe_derive(CurveId curve, BytesView priv, BytesView pub_point,
+                          BytesView peer_point);
+Bytes encode_ecdsa_sign(CurveId curve, BytesView priv_be, BytesView digest,
+                        uint64_t seed);
+Bytes encode_prf_tls12(HashAlg alg, BytesView secret, const std::string& label,
+                       BytesView seed, uint32_t out_len);
+Bytes encode_cipher_seal(const CbcHmacKeys& keys, uint64_t seq,
+                         BytesView header, BytesView iv, BytesView fragment);
+Bytes encode_cipher_open(const CbcHmacKeys& keys, uint64_t seq,
+                         BytesView header_without_len, BytesView iv,
+                         BytesView ciphertext);
+Bytes encode_aead_op(BytesView key, BytesView nonce, BytesView aad,
+                     BytesView text);  // seal|open share the shape
+
+// Keygen response body: u8 curve | lv priv | lv pub_point. Kept wire-local
+// (no engine::KeyShare here) so the codec stays engine-free.
+struct WireKeyShare {
+  uint8_t curve = 0;
+  Bytes priv;
+  Bytes pub_point;
+};
+void encode_keyshare_body(const WireKeyShare& share, Bytes* out);
+Result<WireKeyShare> decode_keyshare_body(BytesView body);
+
+// kComputeError bodies: u8 qtls::Code | message, so the client reconstructs
+// the exact Status a local compute would have returned.
+void encode_error_body(const Status& st, Bytes* out);
+Status decode_error_body(BytesView body);
+
+// Length-value helpers shared by the codecs (u32 length + bytes).
+void append_lv(Bytes& dst, BytesView v);
+Bytes read_lv(ByteReader& r);
+
+}  // namespace qtls::remote

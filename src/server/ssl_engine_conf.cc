@@ -170,6 +170,68 @@ Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
     }
   }
 
+  // remote_offload{}: the disaggregated tier (DESIGN.md §13). Parsed before
+  // the qat_engine{} early return so a remote-augmented software config is
+  // still expressible.
+  if (const ConfBlock* ro = engine_block->find_block("remote_offload")) {
+    const std::string enable = ro->get_string("enable", "off");
+    if (enable == "on") {
+      out.remote.enabled = true;
+    } else if (enable != "off") {
+      return err(Code::kInvalidArgument,
+                 "bad remote_offload enable: " + enable);
+    }
+
+    out.remote.host = ro->get_string("host", out.remote.host);
+
+    const int64_t port = ro->get_int("port", 0);
+    if (port < 0 || port > 65535)
+      return err(Code::kInvalidArgument, "remote_offload port out of range");
+    out.remote.port = static_cast<uint16_t>(port);
+    if (out.remote.enabled && out.remote.port == 0)
+      return err(Code::kInvalidArgument,
+                 "remote_offload enabled without a port");
+
+    const int64_t batch = ro->get_int(
+        "max_batch", static_cast<int64_t>(out.remote.max_batch));
+    if (batch < 1 || batch > 1024)
+      return err(Code::kInvalidArgument,
+                 "remote_offload max_batch out of range");
+    out.remote.max_batch = static_cast<size_t>(batch);
+
+    const int64_t window = ro->get_int(
+        "coalesce_window_us",
+        static_cast<int64_t>(out.remote.coalesce_window_us));
+    if (window < 0)
+      return err(Code::kInvalidArgument,
+                 "remote_offload coalesce_window_us < 0");
+    out.remote.coalesce_window_us = static_cast<uint64_t>(window);
+
+    const int64_t deadline = ro->get_int(
+        "op_deadline_us",
+        static_cast<int64_t>(out.engine.remote_op_deadline_us));
+    if (deadline < 0)
+      return err(Code::kInvalidArgument,
+                 "remote_offload op_deadline_us < 0");
+    out.engine.remote_op_deadline_us = static_cast<uint64_t>(deadline);
+
+    const int64_t threshold = ro->get_int(
+        "breaker_threshold",
+        static_cast<int64_t>(out.engine.remote_breaker_threshold));
+    if (threshold < 1)
+      return err(Code::kInvalidArgument,
+                 "remote_offload breaker_threshold < 1");
+    out.engine.remote_breaker_threshold = static_cast<int>(threshold);
+
+    const int64_t cooldown = ro->get_int(
+        "breaker_cooldown_ms",
+        static_cast<int64_t>(out.engine.remote_breaker_cooldown_ms));
+    if (cooldown < 0)
+      return err(Code::kInvalidArgument,
+                 "remote_offload breaker_cooldown_ms < 0");
+    out.engine.remote_breaker_cooldown_ms = static_cast<uint64_t>(cooldown);
+  }
+
   const ConfBlock* qat = engine_block->find_block("qat_engine");
   if (!qat) return out;
 

@@ -19,6 +19,16 @@
 //           spill_threshold 32;            # queue-depth spillover margin
 //           worker_affinity 0,1,0,1;       # optional explicit worker->device
 //       }                                  # map (overrides NUMA striping)
+//       remote_offload {                   # disaggregated tier (DESIGN §13)
+//           enable on;                     # QAT -> remote -> software ladder
+//           host 127.0.0.1;                # offload server address
+//           port 7433;
+//           max_batch 32;                  # ops coalesced per RPC frame
+//           coalesce_window_us 50;         # flush latency bound
+//           op_deadline_us 20000;          # per-op remote budget
+//           breaker_threshold 4;           # remote-tier circuit breaker
+//           breaker_cooldown_ms 200;
+//       }
 //   }
 //   session_cache {
 //       shards 16;                         # sharded cross-worker cache
@@ -89,12 +99,27 @@ struct TopologySettings {
   }
 };
 
+// The remote_offload{} block: the disaggregated offload tier (DESIGN.md
+// §13). When enabled, each worker dials the offload server and slots the
+// channel between the QAT lanes and inline software in the fallback
+// ladder. Deadline/breaker knobs land in QatEngineConfig.remote_* since
+// the engine owns that policy.
+struct RemoteOffloadSettings {
+  bool enabled = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t max_batch = 32;
+  uint64_t coalesce_window_us = 50;
+};
+
 struct SslEngineSettings {
   int worker_processes = 1;
   bool use_qat = false;
   engine::QatEngineConfig engine;
   // Multi-device topology (qat_topology{} block; DESIGN.md §12).
   TopologySettings topology;
+  // Remote offload tier (remote_offload{} block; DESIGN.md §13).
+  RemoteOffloadSettings remote;
   NotifyScheme notify = NotifyScheme::kKernelBypass;
   PollScheme poll = PollScheme::kHeuristic;
   std::chrono::microseconds timer_interval{10};

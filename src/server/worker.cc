@@ -691,6 +691,9 @@ std::string Worker::stats_json() const {
          << '"';
     }
     os << "}}";
+    // Remote offload tier (DESIGN.md §13): ladder position between the QAT
+    // lanes and inline software, plus the channel's own counters.
+    os << ",\"remote\":" << qat_->remote_json();
     // Multi-device topology (DESIGN.md §12): the fleet view plus this
     // worker's per-device lanes.
     if (qat::DeviceTopology* topo = qat_->topology()) {

@@ -4,11 +4,44 @@
 #include <chrono>
 #include <sstream>
 
+#include <poll.h>
+#include <unistd.h>
+
 #include "common/log.h"
 #include "crypto/keystore.h"
+#include "net/socket_transport.h"
 #include "obs/metrics.h"
 
 namespace qtls::server {
+
+namespace {
+
+// Dials the offload server (DESIGN.md §13) and waits briefly for the
+// non-blocking connect to land. Returns null on failure: the worker then
+// runs the classic two-tier ladder.
+std::unique_ptr<remote::RemoteChannel> dial_remote(
+    const RemoteOffloadSettings& ro) {
+  Result<int> fd = net::tcp_connect(ro.port);
+  if (!fd.is_ok()) {
+    QTLS_WARN << "remote offload dial failed: " << fd.status().message();
+    return nullptr;
+  }
+  struct pollfd pfd{fd.value(), POLLOUT, 0};
+  if (::poll(&pfd, 1, /*timeout_ms=*/100) <= 0 ||
+      (pfd.revents & (POLLERR | POLLHUP))) {
+    QTLS_WARN << "remote offload connect to port " << ro.port
+              << " did not complete";
+    ::close(fd.value());
+    return nullptr;
+  }
+  remote::RemoteChannelConfig cfg;
+  cfg.max_batch = ro.max_batch;
+  cfg.coalesce_window_us = ro.coalesce_window_us;
+  return std::make_unique<remote::RemoteChannel>(
+      std::make_unique<net::SocketTransport>(fd.value()), cfg);
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(qat::QatDevice* device, const RsaPrivateKey* rsa_key,
                        WorkerPoolOptions options)
@@ -83,6 +116,14 @@ Status WorkerPool::start(uint16_t port) {
       }
       cell->engine = std::make_unique<engine::QatEngineProvider>(
           std::move(instances), ecfg);
+    }
+
+    // Remote tier (DESIGN.md §13): each worker gets its own channel so a
+    // single slow worker cannot head-of-line block the others' batches.
+    if (options_.remote.enabled && options_.remote.port != 0) {
+      cell->remote = dial_remote(options_.remote);
+      if (cell->remote)
+        cell->engine->set_remote_backend(cell->remote.get());
     }
 
     tls::TlsContextConfig tcfg = options_.tls_config;

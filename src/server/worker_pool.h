@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "remote/channel.h"
+#include "server/ssl_engine_conf.h"
 #include "server/worker.h"
 
 namespace qtls::server {
@@ -27,6 +29,11 @@ struct WorkerPoolOptions {
   // device worker_affinity[w % size]); empty = NUMA striping
   // (DeviceTopology::preferred_device). Mirrors conf `worker_affinity`.
   std::vector<int> worker_affinity;
+  // Remote offload tier (DESIGN.md §13): when enabled each worker dials
+  // the offload server and slots the channel between its QAT lanes and
+  // inline software. A failed dial logs and degrades to the two-tier
+  // ladder rather than failing pool start.
+  RemoteOffloadSettings remote;
   size_t response_body_size = 1024;
   // Periodic observability dump: every interval the pool logs stats_text()
   // (pool totals + the global metrics registry). 0 disables the dump thread.
@@ -94,6 +101,9 @@ class WorkerPool {
  private:
   struct Cell {
     std::unique_ptr<engine::QatEngineProvider> engine;
+    // Remote tier channel (DESIGN.md §13); null when disabled or the dial
+    // failed. Owned here so it outlives the engine that points at it.
+    std::unique_ptr<remote::RemoteChannel> remote;
     std::unique_ptr<tls::TlsContext> ctx;
     std::unique_ptr<Worker> worker;
     std::thread thread;

@@ -86,6 +86,18 @@ struct CostModel {
   double nic_gbps = 40.0;                // XL710 line rate
   SimTime rtt = 200 * kUs;               // client<->server round trip
 
+  // --- remote offload tier (DESIGN.md §13) ------------------------------
+  // Disaggregated offload server reached over the batch-RPC channel. The
+  // RTT is a datacenter-LAN round trip (same rack, kernel TCP path); the
+  // serialize/item costs are the client-side CPU spent building a frame
+  // and each op row inside it; the server dispatches ops onto its own
+  // engine pool with `remote_server_engines` ways of parallelism.
+  SimTime remote_rtt = 120 * kUs;
+  SimTime remote_serialize_cpu = 3 * kUs;   // frame header + flush syscall
+  SimTime remote_item_cpu = 1 * kUs;        // encode one op row
+  SimTime remote_server_op_dispatch = 2 * kUs;  // server parse + dispatch
+  int remote_server_engines = 8;
+
   // --- record data plane (DESIGN.md §11) --------------------------------
   // One memcpy pass over a full 16 KB record (~8 GB/s effective including
   // cache pollution). The legacy coalesced plane makes 3 passes per payload

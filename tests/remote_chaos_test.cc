@@ -1,0 +1,499 @@
+// Network-chaos plane for the remote offload tier (DESIGN.md §13). A
+// seeded ChaosTransport drops, duplicates, delays, reorders and bisects
+// whole frames between a RemoteChannel and an OffloadServerCore against a
+// virtual clock, proving the channel's conservation invariant
+// (submitted == completed + expired + failed), exactly-once completion
+// dispatch, deadline propagation (budget rewriting, RTT spikes, server
+// refusal), channel death mid-batch, and the engine's three-tier ladder
+// under channel death. A real-TCP soak runs the same traffic through
+// OffloadServer for the sanitizer trees. Select with `ctest -L
+// remote-chaos`; run under -DQTLS_SANITIZE=address and =thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "engine/provider.h"
+#include "engine/qat_engine.h"
+#include "net/socket_transport.h"
+#include "qat/device.h"
+#include "qat/fault.h"
+#include "remote/channel.h"
+#include "remote/offload_server.h"
+#include "remote/wire.h"
+#include "remote_test_util.h"
+
+namespace qtls {
+namespace {
+
+using remote::RemoteChannel;
+using remote::RemoteChannelConfig;
+using remote::RemoteOp;
+using remote::RemoteStatus;
+using remote::testutil::ChaosConfig;
+using remote::testutil::ChaosTransport;
+using remote::testutil::LoopbackTransport;
+
+constexpr uint64_t kMs = 1'000'000;
+constexpr uint64_t kUs = 1'000;
+
+Bytes prf_body(int i) {
+  return remote::encode_prf_tls12(HashAlg::kSha256,
+                                  to_bytes("secret" + std::to_string(i)),
+                                  "chaos", to_bytes("seed"), 32);
+}
+
+Bytes prf_expect(int i) {
+  engine::SoftwareProvider sw;
+  auto r = sw.prf_tls12(HashAlg::kSha256,
+                        to_bytes("secret" + std::to_string(i)), "chaos",
+                        to_bytes("seed"), 32);
+  EXPECT_TRUE(r.is_ok());
+  return r.value();
+}
+
+// ------------------------------------------------------- conservation ----
+
+// 300 ops through ~10% drop/dup/reorder with latency+jitter: every op's
+// completion fires exactly once, and the ledger balances — an op either
+// completed, expired, or failed; nothing is lost, nothing double-counted.
+TEST(RemoteChaos, ChannelConservationUnderChaos) {
+  uint64_t now = 1'000 * kMs;
+
+  ChaosConfig to_server;
+  to_server.seed = 0xc4a05;
+  to_server.drop_rate = 0.10;
+  to_server.dup_rate = 0.10;
+  to_server.reorder_rate = 0.10;
+  to_server.latency_ns = 100 * kUs;
+  to_server.jitter_ns = 50 * kUs;
+  ChaosConfig to_client = to_server;
+  to_client.seed = 0x5eed2;
+
+  auto transport = std::make_unique<ChaosTransport>(to_server, to_client, &now);
+  ChaosTransport* chaos = transport.get();
+  RemoteChannelConfig ccfg;
+  ccfg.max_batch = 32;
+  ccfg.coalesce_window_us = 50;
+  RemoteChannel channel(std::move(transport), ccfg);
+  channel.set_clock([&now] { return now; });
+
+  constexpr int kOps = 300;
+  std::vector<int> fired(kOps, 0);
+  std::vector<RemoteStatus> status(kOps, RemoteStatus::kChannelDown);
+
+  int submitted = 0;
+  uint64_t last_deadline = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    for (int burst = 0; burst < 3 && submitted < kOps; ++burst, ++submitted) {
+      const int i = submitted;
+      const uint64_t deadline = now + 5 * kMs;
+      last_deadline = deadline;
+      ASSERT_TRUE(channel.submit(
+          RemoteOp::kPrfTls12, prf_body(i), deadline,
+          [&fired, &status, i](RemoteStatus st, BytesView) {
+            ++fired[i];
+            status[i] = st;
+          }));
+    }
+    now += 20 * kUs;
+    chaos->step();
+    channel.pump();
+    if (submitted == kOps && now > last_deadline + 30 * kMs &&
+        channel.queued() == 0 && channel.inflight() == 0) {
+      break;
+    }
+  }
+
+  const remote::RemoteChannelStats st = channel.stats();
+  EXPECT_EQ(st.submitted, static_cast<uint64_t>(kOps));
+  // The conservation invariant, with everything settled.
+  EXPECT_EQ(channel.queued(), 0u);
+  EXPECT_EQ(channel.inflight(), 0u);
+  EXPECT_EQ(st.completed + st.expired + st.failed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);  // the channel never died
+  EXPECT_GT(st.completed, 0u);
+  EXPECT_GT(st.expired, 0u);  // ~10% request/response drops force expiries
+  // Exactly-once dispatch: duplicated response frames must not re-fire a
+  // completion (they land in dropped_late instead).
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(fired[i], 1) << "op " << i;
+    EXPECT_TRUE(status[i] == RemoteStatus::kOk ||
+                status[i] == RemoteStatus::kDeadlineExpired)
+        << "op " << i << " status "
+        << static_cast<int>(status[i]);
+  }
+  // Batching actually happened (the whole point of the frame protocol).
+  EXPECT_GT(st.batches, 0u);
+  EXPECT_GT(st.max_batch, 1u);
+}
+
+// ------------------------------------------- deadline propagation --------
+
+// The wire carries remaining budget, not an absolute deadline: flush()
+// rewrites deadline_ns - now into budget_us, sends 0 for unbounded ops, and
+// expires already-dead ops locally without ever serializing them.
+TEST(RemoteChaos, DeadlineBudgetIsRewrittenOnTheWire) {
+  // Captures the serialized frames without ever responding.
+  class CaptureTransport final : public tls::Transport {
+   public:
+    tls::IoResult read(uint8_t*, size_t) override {
+      return {tls::IoStatus::kWouldBlock, 0};
+    }
+    tls::IoResult write(const uint8_t* buf, size_t len) override {
+      captured.insert(captured.end(), buf, buf + len);
+      return {tls::IoStatus::kOk, len};
+    }
+    Bytes captured;
+  };
+
+  uint64_t now = 1'000 * kMs;
+  auto transport = std::make_unique<CaptureTransport>();
+  CaptureTransport* capture = transport.get();
+  RemoteChannel channel(std::move(transport));
+  channel.set_clock([&now] { return now; });
+
+  int expired_fired = 0;
+  RemoteStatus expired_status = RemoteStatus::kOk;
+  ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(0),
+                             now + 1'500 * kUs, [](RemoteStatus, BytesView) {}));
+  ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(1),
+                             /*deadline_ns=*/0, [](RemoteStatus, BytesView) {}));
+  // Already dead at flush: expires client-side, never reaches the wire.
+  ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(2), now - 1,
+                             [&](RemoteStatus st, BytesView) {
+                               ++expired_fired;
+                               expired_status = st;
+                             }));
+  channel.flush();
+
+  EXPECT_EQ(expired_fired, 1);
+  EXPECT_EQ(expired_status, RemoteStatus::kDeadlineExpired);
+  EXPECT_EQ(channel.stats().expired, 1u);
+
+  remote::FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(BytesView(capture->captured)).is_ok());
+  remote::Frame frame;
+  ASSERT_TRUE(decoder.next(&frame));
+  ASSERT_EQ(frame.requests.size(), 2u);  // the dead op was never serialized
+  EXPECT_EQ(frame.requests[0].budget_us, 1500u);
+  EXPECT_EQ(frame.requests[1].budget_us, 0u);  // unbounded
+  EXPECT_FALSE(decoder.next(&frame));
+}
+
+// An RTT spike past the deadline: the op expires exactly once; the late
+// response is counted dropped_late and never re-delivered as a success.
+TEST(RemoteChaos, RttSpikeExpiresThenDropsLateResponse) {
+  uint64_t now = 1'000 * kMs;
+  ChaosConfig to_server;  // instant delivery toward the server
+  ChaosConfig to_client;
+  to_client.latency_ns = 10 * kMs;  // the spike: response takes 10ms
+
+  auto transport = std::make_unique<ChaosTransport>(to_server, to_client, &now);
+  ChaosTransport* chaos = transport.get();
+  RemoteChannel channel(std::move(transport));
+  channel.set_clock([&now] { return now; });
+
+  int fired = 0;
+  RemoteStatus st = RemoteStatus::kOk;
+  ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(0), now + 2 * kMs,
+                             [&](RemoteStatus s, BytesView) {
+                               ++fired;
+                               st = s;
+                             }));
+  channel.flush();
+  chaos->step();  // request reaches the server; response now rides the spike
+
+  now += 2 * kMs + 1;  // deadline passes before the response lands
+  chaos->step();
+  channel.pump();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(st, RemoteStatus::kDeadlineExpired);
+  EXPECT_EQ(channel.stats().expired, 1u);
+
+  now += 20 * kMs;  // the response finally arrives — far too late
+  chaos->step();
+  channel.pump();
+  EXPECT_EQ(fired, 1);  // never re-fired
+  const remote::RemoteChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.dropped_late, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.completed + stats.expired + stats.failed, stats.submitted);
+}
+
+// Server-side budget discipline: an op whose propagated budget is consumed
+// by the server's queueing delay is REFUSED, never executed.
+TEST(RemoteChaos, ServerRefusesBudgetExhaustedOpsWithoutExecuting) {
+  uint64_t now = 1'000 * kMs;
+  remote::OffloadServerCore::Config scfg;
+  scfg.queue_delay_ns = 5 * kMs;  // every op waits 5ms before service
+  auto transport = std::make_unique<LoopbackTransport>(scfg);
+  LoopbackTransport* loop = transport.get();
+  RemoteChannel channel(std::move(transport));
+  channel.set_clock([&now] { return now; });
+
+  // Budget 2000us < 5ms queueing: refused at the server, surfaced as
+  // kBudgetExhausted (the local deadline has NOT yet passed).
+  int fired = 0;
+  RemoteStatus st = RemoteStatus::kOk;
+  ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(0), now + 2 * kMs,
+                             [&](RemoteStatus s, BytesView) {
+                               ++fired;
+                               st = s;
+                             }));
+  channel.flush();
+  channel.pump();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(st, RemoteStatus::kBudgetExhausted);
+  EXPECT_EQ(loop->core().stats().refused_expired, 1u);
+  EXPECT_EQ(loop->core().stats().ops_ok, 0u);  // never executed
+
+  // An unbounded op (budget 0) sails through the same delay.
+  Bytes payload;
+  ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(1),
+                             /*deadline_ns=*/0,
+                             [&](RemoteStatus s, BytesView body) {
+                               st = s;
+                               payload.assign(body.begin(), body.end());
+                             }));
+  channel.flush();
+  channel.pump();
+  EXPECT_EQ(st, RemoteStatus::kOk);
+  EXPECT_EQ(payload, prf_expect(1));
+  EXPECT_EQ(loop->core().stats().ops_ok, 1u);
+}
+
+// --------------------------------------------------- channel death -------
+
+// kill() with a full batch in flight: every pending op fails kChannelDown
+// exactly once, later submits are refused, and the ledger balances.
+TEST(RemoteChaos, KillMidBatchFailsPendingOpsExactlyOnce) {
+  uint64_t now = 1'000 * kMs;
+  ChaosConfig cfg;
+  cfg.latency_ns = 1 * kMs;  // the batch is in the pipe, not yet delivered
+  auto transport = std::make_unique<ChaosTransport>(cfg, cfg, &now);
+  RemoteChannel channel(std::move(transport));
+  channel.set_clock([&now] { return now; });
+
+  constexpr int kOps = 8;
+  std::vector<int> fired(kOps, 0);
+  std::vector<RemoteStatus> st(kOps, RemoteStatus::kOk);
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(i), now + 50 * kMs,
+                               [&fired, &st, i](RemoteStatus s, BytesView) {
+                                 ++fired[i];
+                                 st[i] = s;
+                               }));
+  }
+  channel.flush();
+  EXPECT_EQ(channel.inflight(), static_cast<size_t>(kOps));
+
+  channel.kill();
+  EXPECT_FALSE(channel.alive());
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(fired[i], 1) << "op " << i;
+    EXPECT_EQ(st[i], RemoteStatus::kChannelDown) << "op " << i;
+  }
+  // Dead channels refuse work instead of swallowing it.
+  EXPECT_FALSE(channel.submit(RemoteOp::kPrfTls12, prf_body(0), 0,
+                              [](RemoteStatus, BytesView) {}));
+  const remote::RemoteChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kOps));
+  EXPECT_EQ(stats.failed, static_cast<uint64_t>(kOps));
+  EXPECT_EQ(stats.completed + stats.expired + stats.failed, stats.submitted);
+  EXPECT_EQ(channel.inflight(), 0u);
+  EXPECT_EQ(channel.queued(), 0u);
+}
+
+// Byte-level bisection both ways (1-byte deliveries): FrameDecoder
+// reassembly keeps every op completing with software parity.
+TEST(RemoteChaos, BisectedMidFrameStreamStillCompletes) {
+  uint64_t now = 1'000 * kMs;
+  ChaosConfig cfg;
+  cfg.bisect_bytes = 1;
+  auto transport = std::make_unique<ChaosTransport>(cfg, cfg, &now);
+  ChaosTransport* chaos = transport.get();
+  RemoteChannel channel(std::move(transport));
+  channel.set_clock([&now] { return now; });
+
+  constexpr int kOps = 5;
+  std::vector<Bytes> payload(kOps);
+  std::vector<RemoteStatus> st(kOps, RemoteStatus::kChannelDown);
+  int done = 0;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(i), now + 50 * kMs,
+                               [&, i](RemoteStatus s, BytesView body) {
+                                 st[i] = s;
+                                 payload[i].assign(body.begin(), body.end());
+                                 ++done;
+                               }));
+  }
+  channel.flush();
+  for (int iter = 0; iter < 2000 && done < kOps; ++iter) {
+    now += 10 * kUs;
+    chaos->step();
+    channel.pump();
+  }
+  ASSERT_EQ(done, kOps);
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(st[i], RemoteStatus::kOk) << "op " << i;
+    EXPECT_EQ(payload[i], prf_expect(i)) << "op " << i;
+  }
+}
+
+// ------------------------------------------------ engine ladder ----------
+
+Result<Bytes> run_prf(engine::QatEngineProvider& e, int i) {
+  return e.prf_tls12(HashAlg::kSha256, to_bytes("secret" + std::to_string(i)),
+                     "chaos", to_bytes("seed"), 32);
+}
+
+// QAT -> remote -> software through the engine, end to end: a healthy
+// device keeps the remote tier idle; a resetting device diverts to the
+// remote tier WITHOUT charging the class breaker (a live channel shields
+// it); killing the channel then drops the ladder to software and the class
+// breaker opens — remote is never bypassed while its channel is live.
+TEST(RemoteChaos, EngineLadderUnderChannelDeath) {
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 1;
+  ecfg.retry_backoff_base_us = 1;
+  ecfg.breaker_threshold = 2;
+  ecfg.breaker_cooldown_ms = 60'000;  // no re-probe inside the test
+  ecfg.remote_breaker_threshold = 100;
+
+  qat::FaultPlan plan(0x1adde5);
+  qat::DeviceConfig dcfg;
+  dcfg.fault_plan = &plan;
+  qat::QatDevice device(dcfg);
+  engine::QatEngineProvider engine(device.allocate_instance(), ecfg);
+
+  auto transport = std::make_unique<LoopbackTransport>();
+  RemoteChannel channel(std::move(transport));
+  engine.set_remote_backend(&channel);
+
+  // Phase 0: healthy device — QAT serves, the remote tier is never touched.
+  for (int i = 0; i < 3; ++i) {
+    Result<Bytes> got = run_prf(engine, i);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), prf_expect(i));
+  }
+  EXPECT_EQ(engine.stats().remote_ops, 0u);
+  EXPECT_EQ(engine.stats().sw_fallbacks, 0u);
+
+  // Phase 1: device reset latch — every op migrates down to the remote
+  // tier. The class breaker must NOT be charged: the live channel is a
+  // higher tier than software.
+  plan.trigger_reset();
+  for (int i = 10; i < 13; ++i) {
+    Result<Bytes> got = run_prf(engine, i);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), prf_expect(i));
+  }
+  EXPECT_EQ(engine.stats().remote_ops, 3u);
+  EXPECT_EQ(engine.stats().remote_completed, 3u);
+  EXPECT_EQ(engine.stats().sw_fallbacks, 0u);
+  EXPECT_EQ(engine.stats().breaker_opens, 0u);
+  EXPECT_EQ(engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kClosed);
+
+  // Phase 2: channel death — with no higher tier left, ops complete in
+  // software and the per-class breaker is finally charged (opens at 2).
+  channel.kill();
+  for (int i = 20; i < 23; ++i) {
+    Result<Bytes> got = run_prf(engine, i);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), prf_expect(i));
+  }
+  EXPECT_EQ(engine.stats().sw_fallbacks, 3u);
+  EXPECT_EQ(engine.stats().breaker_opens, 1u);
+  EXPECT_EQ(engine.breaker_state(qat::OpClass::kPrf),
+            engine::BreakerState::kOpen);
+
+  // Conservation on both ledgers, with nothing left in flight.
+  const engine::QatEngineStats& st = engine.stats();
+  EXPECT_EQ(st.remote_ops,
+            st.remote_completed + st.remote_expiries + st.remote_failures);
+  EXPECT_EQ(engine.inflight_total(), 0u);
+  const remote::RemoteChannelStats ch = channel.stats();
+  EXPECT_EQ(ch.completed + ch.expired + ch.failed, ch.submitted);
+  EXPECT_EQ(channel.inflight(), 0u);
+}
+
+// ------------------------------------------------- real-TCP soak ---------
+
+// Two threads share one channel against a real OffloadServer over TCP —
+// the mutex/completion discipline under the sanitizers, plus end-to-end
+// parity through actual sockets.
+TEST(RemoteChaos, SocketSoakSharedChannel) {
+  remote::OffloadServer server;
+  ASSERT_TRUE(server.start(0).is_ok());
+  std::atomic<bool> stop{false};
+  std::thread server_thread([&] { server.serve(stop); });
+
+  Result<int> fd = net::tcp_connect(server.port());
+  ASSERT_TRUE(fd.is_ok()) << fd.status().message();
+  struct pollfd pfd{fd.value(), POLLOUT, 0};
+  ASSERT_GT(::poll(&pfd, 1, 2'000), 0);
+  ASSERT_EQ(pfd.revents & (POLLERR | POLLHUP), 0);
+
+  RemoteChannel channel(std::make_unique<net::SocketTransport>(fd.value()));
+
+  constexpr int kThreads = 2;
+  constexpr int kOpsPerThread = 40;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int id = t * kOpsPerThread + i;
+        std::atomic<bool> done{false};
+        RemoteStatus st = RemoteStatus::kChannelDown;
+        Bytes payload;
+        const uint64_t deadline =
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) +
+            5'000 * kMs;
+        ASSERT_TRUE(channel.submit(RemoteOp::kPrfTls12, prf_body(id), deadline,
+                                   [&](RemoteStatus s, BytesView body) {
+                                     st = s;
+                                     payload.assign(body.begin(), body.end());
+                                     done.store(true,
+                                                std::memory_order_release);
+                                   }));
+        channel.flush();
+        while (!done.load(std::memory_order_acquire)) {
+          channel.pump();
+          std::this_thread::yield();
+        }
+        EXPECT_EQ(st, RemoteStatus::kOk) << "op " << id;
+        EXPECT_EQ(payload, prf_expect(id)) << "op " << id;
+        if (st == RemoteStatus::kOk) ++ok;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  server_thread.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kOpsPerThread);
+  const remote::RemoteChannelStats st = channel.stats();
+  EXPECT_EQ(st.submitted, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.expired + st.failed, 0u);
+  EXPECT_EQ(channel.inflight(), 0u);
+  EXPECT_EQ(server.total_stats().ops_ok,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+}
+
+}  // namespace
+}  // namespace qtls

@@ -1,0 +1,269 @@
+// Three-tier fallback-ladder matrix (DESIGN.md §13): QAT lane state (up /
+// failing / hot-removed) crossed with remote channel state (up / slow /
+// dead), asserting which tier serves each op and — the load-bearing
+// invariant — that the per-class breaker is charged ONLY when no higher
+// tier is available: a live remote channel shields the class exactly like
+// a surviving device lane, and the no-lane path (device hot-removed)
+// never charges it at all. Also covers the remote_offload{} conf block.
+// Select with `ctest -L remote`.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/provider.h"
+#include "engine/qat_engine.h"
+#include "qat/device.h"
+#include "qat/fault.h"
+#include "qat/topology.h"
+#include "remote/channel.h"
+#include "remote_test_util.h"
+#include "server/ssl_engine_conf.h"
+
+namespace qtls {
+namespace {
+
+using remote::RemoteChannel;
+using remote::testutil::LoopbackTransport;
+
+Result<Bytes> run_prf(engine::QatEngineProvider& e, int i) {
+  return e.prf_tls12(HashAlg::kSha256, to_bytes("secret" + std::to_string(i)),
+                     "ladder", to_bytes("seed"), 32);
+}
+
+Bytes expect_prf(int i) {
+  engine::SoftwareProvider sw;
+  auto r = sw.prf_tls12(HashAlg::kSha256,
+                        to_bytes("secret" + std::to_string(i)), "ladder",
+                        to_bytes("seed"), 32);
+  EXPECT_TRUE(r.is_ok());
+  return r.value();
+}
+
+enum class QatState { kUp, kFailing, kRemoved };
+enum class RemoteState { kUp, kSlow, kDead };
+
+enum class Tier { kQat, kRemote, kSw };
+
+struct MatrixCase {
+  QatState qat;
+  RemoteState remote;
+  Tier serves;                       // who completes the ops
+  bool class_open;                   // per-class breaker state afterwards
+  uint64_t breaker_opens;            // class flips to software
+  uint64_t remote_expiries;          // channel-deadline expiries seen
+  bool remote_untouched;             // try_remote never even entered
+};
+
+const char* name(QatState s) {
+  switch (s) {
+    case QatState::kUp: return "qat-up";
+    case QatState::kFailing: return "qat-failing";
+    case QatState::kRemoved: return "qat-removed";
+  }
+  return "?";
+}
+const char* name(RemoteState s) {
+  switch (s) {
+    case RemoteState::kUp: return "remote-up";
+    case RemoteState::kSlow: return "remote-slow";
+    case RemoteState::kDead: return "remote-dead";
+  }
+  return "?";
+}
+
+constexpr int kOps = 3;
+
+void run_case(const MatrixCase& c) {
+  SCOPED_TRACE(std::string(name(c.qat)) + " x " + name(c.remote));
+
+  engine::QatEngineConfig ecfg;
+  ecfg.offload_mode = engine::OffloadMode::kSync;
+  ecfg.max_retries = 1;
+  ecfg.retry_backoff_base_us = 1;
+  ecfg.breaker_threshold = 2;
+  ecfg.breaker_cooldown_ms = 60'000;        // no class re-probe mid-case
+  ecfg.remote_op_deadline_us = 2'000;       // bounds the kSlow waits
+  ecfg.remote_breaker_threshold = 100;      // tier breaker out of the way
+  ecfg.remote_breaker_cooldown_ms = 60'000;
+
+  // QAT side. kUp/kFailing use the standalone single-device shape, where a
+  // terminal failure reaches the retries-exhausted ladder point; kRemoved
+  // uses a one-device topology whose device is hot-removed, exercising the
+  // no-lane path instead.
+  qat::FaultPlan plan(0x1adde5);
+  std::unique_ptr<qat::QatDevice> device;
+  std::unique_ptr<qat::DeviceTopology> topo;
+  std::unique_ptr<engine::QatEngineProvider> eng;
+  if (c.qat == QatState::kRemoved) {
+    qat::TopologyConfig tc;
+    tc.num_devices = 1;
+    tc.numa_nodes = 1;
+    tc.device.num_endpoints = 1;
+    tc.device.engines_per_endpoint = 2;
+    tc.device.ring_capacity = 32;
+    tc.device.max_instances_per_endpoint = 4;
+    topo = std::make_unique<qat::DeviceTopology>(tc);
+    engine::DeviceInstanceSet set;
+    set.device_id = 0;
+    set.instances.push_back(topo->device(0).allocate_instance());
+    std::vector<engine::DeviceInstanceSet> sets;
+    sets.push_back(std::move(set));
+    eng = std::make_unique<engine::QatEngineProvider>(topo.get(), 0,
+                                                      std::move(sets), ecfg);
+    ASSERT_TRUE(topo->hot_remove(0));
+  } else {
+    qat::DeviceConfig dcfg;
+    dcfg.fault_plan = &plan;
+    device = std::make_unique<qat::QatDevice>(dcfg);
+    eng = std::make_unique<engine::QatEngineProvider>(
+        device->allocate_instance(), ecfg);
+    if (c.qat == QatState::kFailing) plan.trigger_reset();
+  }
+
+  // Remote side: a loopback server; kSlow parks frames without answering
+  // (live-but-unresponsive), kDead is a client-visible channel death.
+  auto transport = std::make_unique<LoopbackTransport>();
+  LoopbackTransport* loop = transport.get();
+  RemoteChannel channel(std::move(transport));
+  if (c.remote == RemoteState::kSlow) loop->stall();
+  if (c.remote == RemoteState::kDead) channel.kill();
+  eng->set_remote_backend(&channel);
+
+  for (int i = 0; i < kOps; ++i) {
+    Result<Bytes> got = run_prf(*eng, i);
+    ASSERT_TRUE(got.is_ok()) << got.status().message();
+    EXPECT_EQ(got.value(), expect_prf(i));
+  }
+
+  const engine::QatEngineStats& st = eng->stats();
+  switch (c.serves) {
+    case Tier::kQat:
+      EXPECT_EQ(st.completed, static_cast<uint64_t>(kOps));
+      EXPECT_EQ(st.remote_ops, 0u);
+      EXPECT_EQ(st.sw_fallbacks, 0u);
+      break;
+    case Tier::kRemote:
+      EXPECT_EQ(st.remote_completed, static_cast<uint64_t>(kOps));
+      EXPECT_EQ(st.sw_fallbacks, 0u);
+      break;
+    case Tier::kSw:
+      EXPECT_EQ(st.sw_fallbacks, static_cast<uint64_t>(kOps));
+      break;
+  }
+  EXPECT_EQ(eng->breaker_state(qat::OpClass::kPrf),
+            c.class_open ? engine::BreakerState::kOpen
+                         : engine::BreakerState::kClosed);
+  EXPECT_EQ(st.breaker_opens, c.breaker_opens);
+  EXPECT_EQ(st.remote_expiries, c.remote_expiries);
+  if (c.remote_untouched) {
+    EXPECT_EQ(st.remote_ops, 0u);
+  }
+
+  // Engine-side remote ledger balances and nothing is left in flight.
+  EXPECT_EQ(st.remote_ops,
+            st.remote_completed + st.remote_expiries + st.remote_failures);
+  EXPECT_EQ(eng->inflight_total(), 0u);
+  EXPECT_EQ(channel.inflight(), 0u);
+  const remote::RemoteChannelStats ch = channel.stats();
+  EXPECT_EQ(ch.completed + ch.expired + ch.failed, ch.submitted);
+}
+
+TEST(RemoteLadderMatrix, TierChoiceAndBreakerCharging) {
+  const MatrixCase cases[] = {
+      // A healthy device serves everything; the remote tier stays idle
+      // regardless of its own state.
+      {QatState::kUp, RemoteState::kUp, Tier::kQat, false, 0, 0, true},
+      {QatState::kUp, RemoteState::kSlow, Tier::kQat, false, 0, 0, true},
+      {QatState::kUp, RemoteState::kDead, Tier::kQat, false, 0, 0, true},
+      // A failing device migrates down the ladder. A live channel takes
+      // the ops AND shields the class breaker; a slow channel expires
+      // per-op and software finishes, still without a class charge (the
+      // tier counts as live while alive); only a DEAD channel lets the
+      // class breaker charge — it opens at the threshold of 2.
+      {QatState::kFailing, RemoteState::kUp, Tier::kRemote, false, 0, 0,
+       false},
+      {QatState::kFailing, RemoteState::kSlow, Tier::kSw, false, 0, kOps,
+       false},
+      {QatState::kFailing, RemoteState::kDead, Tier::kSw, true, 1, 0, true},
+      // A hot-removed device takes the no-lane path: the remote tier is
+      // tried first, and the class breaker is NEVER charged — lane probes
+      // own recovery, and a class flip would outlive the outage.
+      {QatState::kRemoved, RemoteState::kUp, Tier::kRemote, false, 0, 0,
+       false},
+      {QatState::kRemoved, RemoteState::kSlow, Tier::kSw, false, 0, kOps,
+       false},
+      {QatState::kRemoved, RemoteState::kDead, Tier::kSw, false, 0, 0, true},
+  };
+  for (const MatrixCase& c : cases) run_case(c);
+}
+
+// ------------------------------------------------ remote_offload{} conf --
+
+TEST(RemoteOffloadConf, FullBlockMapsIntoSettings) {
+  auto r = server::parse_ssl_engine_settings(R"(
+    worker_processes 2;
+    ssl_engine {
+        use qat_engine;
+        remote_offload {
+            enable on;
+            host 10.1.2.3;
+            port 7433;
+            max_batch 16;
+            coalesce_window_us 200;
+            op_deadline_us 5000;
+            breaker_threshold 6;
+            breaker_cooldown_ms 500;
+        }
+    }
+  )");
+  ASSERT_TRUE(r.is_ok()) << r.status().message();
+  const server::SslEngineSettings& s = r.value();
+  EXPECT_TRUE(s.remote.enabled);
+  EXPECT_EQ(s.remote.host, "10.1.2.3");
+  EXPECT_EQ(s.remote.port, 7433);
+  EXPECT_EQ(s.remote.max_batch, 16u);
+  EXPECT_EQ(s.remote.coalesce_window_us, 200u);
+  // Deadline/breaker policy lands in the engine config — the engine owns
+  // the ladder.
+  EXPECT_EQ(s.engine.remote_op_deadline_us, 5'000u);
+  EXPECT_EQ(s.engine.remote_breaker_threshold, 6);
+  EXPECT_EQ(s.engine.remote_breaker_cooldown_ms, 500u);
+}
+
+TEST(RemoteOffloadConf, DefaultsOffWithoutBlock) {
+  auto r = server::parse_ssl_engine_settings(R"(
+    ssl_engine { use qat_engine; }
+  )");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().remote.enabled);
+  EXPECT_EQ(r.value().remote.port, 0);
+}
+
+TEST(RemoteOffloadConf, RejectsBadValues) {
+  // Enabled without a port is a config error, not a silent no-op.
+  EXPECT_FALSE(server::parse_ssl_engine_settings(R"(
+    ssl_engine { remote_offload { enable on; } }
+  )").is_ok());
+  EXPECT_FALSE(server::parse_ssl_engine_settings(R"(
+    ssl_engine { remote_offload { enable maybe; port 1; } }
+  )").is_ok());
+  EXPECT_FALSE(server::parse_ssl_engine_settings(R"(
+    ssl_engine { remote_offload { enable on; port 7433; max_batch 0; } }
+  )").is_ok());
+  EXPECT_FALSE(server::parse_ssl_engine_settings(R"(
+    ssl_engine { remote_offload { enable on; port 70000; } }
+  )").is_ok());
+  EXPECT_FALSE(server::parse_ssl_engine_settings(R"(
+    ssl_engine { remote_offload { enable on; port 7433;
+                                  breaker_threshold 0; } }
+  )").is_ok());
+  // A disabled block with sane values still parses.
+  EXPECT_TRUE(server::parse_ssl_engine_settings(R"(
+    ssl_engine { remote_offload { enable off; port 7433; } }
+  )").is_ok());
+}
+
+}  // namespace
+}  // namespace qtls

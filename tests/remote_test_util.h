@@ -1,0 +1,239 @@
+// Shared rig for the remote-offload tests (DESIGN.md §13): an in-process
+// loopback transport that splices a RemoteChannel directly onto an
+// OffloadServerCore, and a seeded chaos variant that cuts the byte stream
+// into whole frames and then drops, duplicates, delays and reorders them —
+// plus byte-level bisection to exercise FrameDecoder reassembly. Frame
+// granularity keeps the stream parseable, so every surviving delivery is a
+// well-formed frame and the invariants under test are the channel's, not
+// the decoder's.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "remote/offload_server.h"
+#include "remote/wire.h"
+#include "tls/transport.h"
+
+namespace qtls::remote::testutil {
+
+// Splits a leading whole frame (length prefix + body) off `stream` into
+// `frame`; false when the stream holds less than one full frame.
+inline bool cut_frame(Bytes* stream, Bytes* frame) {
+  if (stream->size() < 4) return false;
+  const uint32_t len = static_cast<uint32_t>((*stream)[0]) << 24 |
+                       static_cast<uint32_t>((*stream)[1]) << 16 |
+                       static_cast<uint32_t>((*stream)[2]) << 8 |
+                       static_cast<uint32_t>((*stream)[3]);
+  const size_t total = 4 + len;
+  if (stream->size() < total) return false;
+  frame->assign(stream->begin(),
+                stream->begin() + static_cast<ptrdiff_t>(total));
+  stream->erase(stream->begin(),
+                stream->begin() + static_cast<ptrdiff_t>(total));
+  return true;
+}
+
+// Straight loopback: the channel's writes feed the server core directly,
+// reads drain the server's output. stall() parks written frames without
+// delivering them (a live-but-unresponsive tier); kill() fails all I/O.
+class LoopbackTransport final : public tls::Transport {
+ public:
+  explicit LoopbackTransport(OffloadServerCore::Config cfg =
+                                 OffloadServerCore::Config())
+      : core_(cfg) {}
+
+  tls::IoResult read(uint8_t* buf, size_t len) override {
+    if (dead_) return {tls::IoStatus::kError, 0};
+    const Bytes& out = core_.output();
+    if (out.empty()) return {tls::IoStatus::kWouldBlock, 0};
+    const size_t n = std::min(len, out.size());
+    std::copy(out.begin(), out.begin() + static_cast<ptrdiff_t>(n), buf);
+    core_.consume(n);
+    return {tls::IoStatus::kOk, n};
+  }
+
+  tls::IoResult write(const uint8_t* buf, size_t len) override {
+    if (dead_) return {tls::IoStatus::kError, 0};
+    if (stalled_) {
+      parked_.insert(parked_.end(), buf, buf + len);
+      return {tls::IoStatus::kOk, len};
+    }
+    if (!core_.on_bytes(BytesView(buf, len)).is_ok())
+      return {tls::IoStatus::kError, 0};
+    return {tls::IoStatus::kOk, len};
+  }
+
+  void stall() { stalled_ = true; }
+  void kill() { dead_ = true; }
+  OffloadServerCore& core() { return core_; }
+
+ private:
+  OffloadServerCore core_;
+  Bytes parked_;
+  bool stalled_ = false;
+  bool dead_ = false;
+};
+
+struct ChaosConfig {
+  uint64_t seed = 1;
+  double drop_rate = 0;
+  double dup_rate = 0;
+  double reorder_rate = 0;    // held back behind later frames
+  uint64_t latency_ns = 0;    // base one-way frame latency
+  uint64_t jitter_ns = 0;     // uniform extra [0, jitter)
+  size_t bisect_bytes = 0;    // >0: deliver/read at most this many bytes
+                              // per call (mid-frame splits)
+};
+
+struct ChaosStats {
+  uint64_t frames = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+};
+
+// One chaotic direction: whole frames in, (fewer/more, delayed, shuffled)
+// frames out against a caller-owned virtual clock.
+class ChaosLink {
+ public:
+  explicit ChaosLink(ChaosConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  void push(Bytes frame, uint64_t now_ns) {
+    ++stats_.frames;
+    if (rng_.uniform01() < cfg_.drop_rate) {
+      ++stats_.dropped;
+      return;
+    }
+    const int copies = rng_.uniform01() < cfg_.dup_rate ? 2 : 1;
+    if (copies == 2) ++stats_.duplicated;
+    for (int c = 0; c < copies; ++c) {
+      uint64_t at = now_ns + cfg_.latency_ns;
+      if (cfg_.jitter_ns) at += rng_.uniform(cfg_.jitter_ns);
+      if (rng_.uniform01() < cfg_.reorder_rate) {
+        ++stats_.reordered;
+        at += 2 * (cfg_.latency_ns ? cfg_.latency_ns : 1000);
+      }
+      queue_.push_back({at, seq_++, frame});
+    }
+  }
+
+  // Appends every frame due by `now_ns` to `out` in delivery order.
+  void deliver_due(uint64_t now_ns, Bytes* out) {
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.at_ns != b.at_ns ? a.at_ns < b.at_ns
+                                                 : a.seq < b.seq;
+                     });
+    size_t taken = 0;
+    for (const Pending& p : queue_) {
+      if (p.at_ns > now_ns) break;
+      out->insert(out->end(), p.frame.begin(), p.frame.end());
+      ++taken;
+    }
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(taken));
+  }
+
+  size_t pending() const { return queue_.size(); }
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    uint64_t at_ns;
+    uint64_t seq;
+    Bytes frame;
+  };
+  ChaosConfig cfg_;
+  Rng rng_;
+  uint64_t seq_ = 0;
+  std::vector<Pending> queue_;
+  ChaosStats stats_;
+};
+
+// Chaotic loopback: channel <-> [to_server link] <-> server core <->
+// [to_client link] <-> channel reads. The owner advances the shared
+// virtual clock and calls step() to move due frames; the channel's pump()
+// then sees whatever survived. kill() fails all subsequent I/O.
+class ChaosTransport final : public tls::Transport {
+ public:
+  ChaosTransport(ChaosConfig to_server, ChaosConfig to_client,
+                 const uint64_t* now_ns,
+                 OffloadServerCore::Config server_cfg =
+                     OffloadServerCore::Config())
+      : core_(server_cfg),
+        to_server_(to_server),
+        to_client_(to_client),
+        bisect_(to_client.bisect_bytes),
+        now_ns_(now_ns) {}
+
+  tls::IoResult read(uint8_t* buf, size_t len) override {
+    if (dead_) return {tls::IoStatus::kError, 0};
+    if (rx_.empty()) return {tls::IoStatus::kWouldBlock, 0};
+    size_t n = std::min(len, rx_.size());
+    if (bisect_) n = std::min(n, bisect_);
+    std::copy(rx_.begin(), rx_.begin() + static_cast<ptrdiff_t>(n), buf);
+    rx_.erase(rx_.begin(), rx_.begin() + static_cast<ptrdiff_t>(n));
+    return {tls::IoStatus::kOk, n};
+  }
+
+  tls::IoResult write(const uint8_t* buf, size_t len) override {
+    if (dead_) return {tls::IoStatus::kError, 0};
+    tx_.insert(tx_.end(), buf, buf + len);
+    Bytes frame;
+    while (cut_frame(&tx_, &frame)) to_server_.push(frame, *now_ns_);
+    return {tls::IoStatus::kOk, len};
+  }
+
+  // Moves due frames into the server (optionally bisected) and the
+  // server's responses back toward the client. Call after advancing the
+  // clock, before pumping the channel.
+  void step() {
+    if (dead_) return;
+    Bytes to_srv;
+    to_server_.deliver_due(*now_ns_, &to_srv);
+    if (!to_srv.empty()) {
+      const size_t chunk = bisect_ ? bisect_ : to_srv.size();
+      for (size_t off = 0; off < to_srv.size(); off += chunk) {
+        const size_t n = std::min(chunk, to_srv.size() - off);
+        // A poisoned server stream is a test bug here: chaos is frame-
+        // granular, so every delivery parses.
+        if (!core_.on_bytes(BytesView(to_srv.data() + off, n)).is_ok()) {
+          dead_ = true;
+          return;
+        }
+      }
+    }
+    if (!core_.output().empty()) {
+      srv_out_.insert(srv_out_.end(), core_.output().begin(),
+                      core_.output().end());
+      core_.consume(core_.output().size());
+      Bytes frame;
+      while (cut_frame(&srv_out_, &frame)) to_client_.push(frame, *now_ns_);
+    }
+    to_client_.deliver_due(*now_ns_, &rx_);
+  }
+
+  void kill() { dead_ = true; }
+  OffloadServerCore& core() { return core_; }
+  ChaosLink& to_server() { return to_server_; }
+  ChaosLink& to_client() { return to_client_; }
+  size_t undelivered() const {
+    return to_server_.pending() + to_client_.pending() + rx_.size();
+  }
+
+ private:
+  OffloadServerCore core_;
+  ChaosLink to_server_;
+  ChaosLink to_client_;
+  size_t bisect_;
+  const uint64_t* now_ns_;
+  Bytes tx_;       // client bytes not yet a whole frame
+  Bytes srv_out_;  // server bytes not yet a whole frame
+  Bytes rx_;       // delivered, readable by the channel
+  bool dead_ = false;
+};
+
+}  // namespace qtls::remote::testutil

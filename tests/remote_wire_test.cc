@@ -1,0 +1,302 @@
+// Wire-protocol unit tests for the remote-offload batch RPC (DESIGN.md
+// §13): frame round trips, incremental reassembly at every split point,
+// poison-on-malformed hardening, body codecs, and the server core's
+// request handling (budget refusal, bad requests, compute parity with the
+// local software provider). Select with `ctest -L remote`.
+#include <gtest/gtest.h>
+
+#include "engine/provider.h"
+#include "remote/offload_server.h"
+#include "remote/wire.h"
+
+namespace qtls::remote {
+namespace {
+
+RemoteOpRequest prf_request(uint64_t id, uint32_t budget_us = 0) {
+  RemoteOpRequest req;
+  req.request_id = id;
+  req.op = RemoteOp::kPrfTls12;
+  req.budget_us = budget_us;
+  req.body = encode_prf_tls12(HashAlg::kSha256, to_bytes("secret"), "label",
+                              to_bytes("seed"), 32);
+  return req;
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(WireFrame, RequestRoundTrip) {
+  std::vector<RemoteOpRequest> ops = {prf_request(7, 1500), prf_request(8)};
+  Bytes wire;
+  encode_request_frame(42, ops, &wire);
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  EXPECT_EQ(f.type, FrameType::kBatchRequest);
+  EXPECT_EQ(f.batch_id, 42u);
+  ASSERT_EQ(f.requests.size(), 2u);
+  EXPECT_EQ(f.requests[0].request_id, 7u);
+  EXPECT_EQ(f.requests[0].budget_us, 1500u);
+  EXPECT_EQ(f.requests[0].op, RemoteOp::kPrfTls12);
+  EXPECT_EQ(f.requests[0].body, ops[0].body);
+  EXPECT_EQ(f.requests[1].budget_us, 0u);
+  EXPECT_FALSE(dec.next(&f));
+  EXPECT_EQ(dec.frames_decoded(), 1u);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(WireFrame, ResponseRoundTrip) {
+  std::vector<RemoteOpResponse> ops(2);
+  ops[0].request_id = 7;
+  ops[0].status = RemoteStatus::kOk;
+  ops[0].body = to_bytes("payload");
+  ops[1].request_id = 8;
+  ops[1].status = RemoteStatus::kBudgetExhausted;
+  Bytes wire;
+  encode_response_frame(42, ops, &wire);
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  EXPECT_EQ(f.type, FrameType::kBatchResponse);
+  ASSERT_EQ(f.responses.size(), 2u);
+  EXPECT_EQ(f.responses[0].status, RemoteStatus::kOk);
+  EXPECT_EQ(to_string(f.responses[0].body), "payload");
+  EXPECT_EQ(f.responses[1].status, RemoteStatus::kBudgetExhausted);
+  EXPECT_TRUE(f.responses[1].body.empty());
+}
+
+TEST(WireFrame, ReassemblesAtEverySplitPoint) {
+  std::vector<RemoteOpRequest> ops = {prf_request(1, 9), prf_request(2)};
+  Bytes wire;
+  encode_request_frame(5, ops, &wire);
+
+  for (size_t split = 1; split < wire.size(); ++split) {
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.feed(BytesView(wire.data(), split)).is_ok());
+    Frame f;
+    EXPECT_FALSE(dec.next(&f)) << "frame completed early at split " << split;
+    ASSERT_TRUE(
+        dec.feed(BytesView(wire.data() + split, wire.size() - split)).is_ok());
+    ASSERT_TRUE(dec.next(&f)) << "no frame after full feed, split " << split;
+    EXPECT_EQ(f.requests.size(), 2u);
+  }
+}
+
+TEST(WireFrame, BackToBackFramesInOneFeed) {
+  Bytes wire;
+  std::vector<RemoteOpRequest> a = {prf_request(1)};
+  std::vector<RemoteOpRequest> b = {prf_request(2), prf_request(3)};
+  encode_request_frame(10, a, &wire);
+  encode_request_frame(11, b, &wire);
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(wire).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  EXPECT_EQ(f.batch_id, 10u);
+  ASSERT_TRUE(dec.next(&f));
+  EXPECT_EQ(f.batch_id, 11u);
+  EXPECT_EQ(f.requests.size(), 2u);
+  EXPECT_EQ(dec.frames_decoded(), 2u);
+}
+
+// --- hardening -------------------------------------------------------------
+
+TEST(WireHardening, BadMagicPoisonsPermanently) {
+  std::vector<RemoteOpRequest> ops = {prf_request(1)};
+  Bytes wire;
+  encode_request_frame(1, ops, &wire);
+  wire[4] ^= 0xff;  // corrupt the magic inside the payload
+
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(wire).is_ok());
+  EXPECT_TRUE(dec.poisoned());
+  // Even a pristine frame is refused afterwards: no resync point exists.
+  Bytes good;
+  encode_request_frame(2, ops, &good);
+  EXPECT_FALSE(dec.feed(good).is_ok());
+  Frame f;
+  EXPECT_FALSE(dec.next(&f));
+}
+
+TEST(WireHardening, OversizedFrameRefused) {
+  Bytes wire;
+  append_u32(wire, 1u << 20);  // claims 1 MiB against a 1 KiB bound
+  FrameDecoder dec(/*max_frame=*/1024);
+  EXPECT_FALSE(dec.feed(wire).is_ok());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(WireHardening, TruncatedOpListPoisons) {
+  std::vector<RemoteOpRequest> ops = {prf_request(1)};
+  Bytes wire;
+  encode_request_frame(1, ops, &wire);
+  // Shrink the payload length so the op list is cut mid-field; the inner
+  // parse must fail rather than read out of bounds.
+  Bytes cut(wire.begin(), wire.end() - 5);
+  const uint32_t new_len = static_cast<uint32_t>(cut.size() - 4);
+  cut[0] = static_cast<uint8_t>(new_len >> 24);
+  cut[1] = static_cast<uint8_t>(new_len >> 16);
+  cut[2] = static_cast<uint8_t>(new_len >> 8);
+  cut[3] = static_cast<uint8_t>(new_len);
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(cut).is_ok());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(WireHardening, BadVersionAndBadOpRefused) {
+  std::vector<RemoteOpRequest> ops = {prf_request(1)};
+  {
+    Bytes wire;
+    encode_request_frame(1, ops, &wire);
+    wire[5] = 99;  // version
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(wire).is_ok());
+  }
+  {
+    RemoteOpRequest bad = prf_request(1);
+    Bytes wire;
+    encode_request_frame(1, std::vector<RemoteOpRequest>{bad}, &wire);
+    // op byte sits after len(4) + magic/version/type(3) + batch(8) +
+    // count(2) + request_id(8).
+    wire[4 + 3 + 8 + 2 + 8] = 200;  // out of the RemoteOp range
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(wire).is_ok());
+  }
+}
+
+// --- body codecs -----------------------------------------------------------
+
+TEST(WireBody, KeyshareRoundTrip) {
+  WireKeyShare in;
+  in.curve = 23;
+  in.priv = to_bytes("private-scalar");
+  in.pub_point = to_bytes("\x04point");
+  Bytes body;
+  encode_keyshare_body(in, &body);
+  auto out = decode_keyshare_body(body);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().curve, 23);
+  EXPECT_EQ(out.value().priv, in.priv);
+  EXPECT_EQ(out.value().pub_point, in.pub_point);
+  // Truncated body refused.
+  EXPECT_FALSE(
+      decode_keyshare_body(BytesView(body.data(), body.size() - 1)).is_ok());
+}
+
+TEST(WireBody, ErrorBodyReconstructsStatus) {
+  Bytes body;
+  encode_error_body(err(Code::kInvalidArgument, "bad point"), &body);
+  const Status st = decode_error_body(body);
+  EXPECT_EQ(st.code(), Code::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad point");
+  // Degenerate bodies still yield an error, never ok.
+  EXPECT_FALSE(decode_error_body(BytesView()).is_ok());
+  Bytes ok_code = {0};  // a "kOk" error body is itself a protocol violation
+  EXPECT_FALSE(decode_error_body(ok_code).is_ok());
+}
+
+// --- server core -----------------------------------------------------------
+
+TEST(ServerCore, ExecutesPrfWithSoftwareParity) {
+  OffloadServerCore core;
+  Bytes wire;
+  encode_request_frame(1, std::vector<RemoteOpRequest>{prf_request(9)},
+                       &wire);
+  ASSERT_TRUE(core.on_bytes(wire).is_ok());
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(core.output()).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  EXPECT_EQ(f.type, FrameType::kBatchResponse);
+  ASSERT_EQ(f.responses.size(), 1u);
+  EXPECT_EQ(f.responses[0].request_id, 9u);
+  EXPECT_EQ(f.responses[0].status, RemoteStatus::kOk);
+
+  engine::SoftwareProvider sw;
+  auto expect = sw.prf_tls12(HashAlg::kSha256, to_bytes("secret"), "label",
+                             to_bytes("seed"), 32);
+  ASSERT_TRUE(expect.is_ok());
+  EXPECT_EQ(f.responses[0].body, expect.value());
+  EXPECT_EQ(core.stats().ops_ok, 1u);
+}
+
+TEST(ServerCore, RefusesBudgetExhaustedWithoutExecuting) {
+  OffloadServerCore core;
+  core.set_queue_delay_ns(5'000'000);  // 5 ms modeled queueing
+  Bytes wire;
+  // 2 ms budget: refused. 0 budget: unbounded, executed.
+  encode_request_frame(
+      1,
+      std::vector<RemoteOpRequest>{prf_request(1, 2'000), prf_request(2, 0)},
+      &wire);
+  ASSERT_TRUE(core.on_bytes(wire).is_ok());
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(core.output()).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  ASSERT_EQ(f.responses.size(), 2u);
+  EXPECT_EQ(f.responses[0].status, RemoteStatus::kBudgetExhausted);
+  EXPECT_EQ(f.responses[1].status, RemoteStatus::kOk);
+  EXPECT_EQ(core.stats().refused_expired, 1u);
+  EXPECT_EQ(core.stats().ops_ok, 1u);
+}
+
+TEST(ServerCore, MalformedOpBodyIsBadRequestNotDeath) {
+  OffloadServerCore core;
+  RemoteOpRequest req;
+  req.request_id = 3;
+  req.op = RemoteOp::kPrfTls12;
+  req.body = to_bytes("garbage");
+  Bytes wire;
+  encode_request_frame(1, std::vector<RemoteOpRequest>{req}, &wire);
+  ASSERT_TRUE(core.on_bytes(wire).is_ok());  // stream stays healthy
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(core.output()).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  ASSERT_EQ(f.responses.size(), 1u);
+  EXPECT_EQ(f.responses[0].status, RemoteStatus::kBadRequest);
+  EXPECT_EQ(core.stats().bad_requests, 1u);
+}
+
+TEST(ServerCore, ResponseFramePoisonsServerStream) {
+  OffloadServerCore core;
+  Bytes wire;
+  encode_response_frame(1, std::vector<RemoteOpResponse>(1), &wire);
+  EXPECT_FALSE(core.on_bytes(wire).is_ok());
+}
+
+TEST(ServerCore, SeededKeygenIsDeterministic) {
+  OffloadServerCore a, b;
+  RemoteOpRequest req;
+  req.request_id = 1;
+  req.op = RemoteOp::kEcdheKeygen;
+  req.body = encode_ecdhe_keygen(CurveId::kP256, /*seed=*/0xfeed);
+  Bytes wire;
+  encode_request_frame(1, std::vector<RemoteOpRequest>{req}, &wire);
+  ASSERT_TRUE(a.on_bytes(wire).is_ok());
+  ASSERT_TRUE(b.on_bytes(wire).is_ok());
+  // Same seed, different server instances: identical key share bytes.
+  EXPECT_EQ(a.output(), b.output());
+
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(a.output()).is_ok());
+  Frame f;
+  ASSERT_TRUE(dec.next(&f));
+  ASSERT_EQ(f.responses.size(), 1u);
+  ASSERT_EQ(f.responses[0].status, RemoteStatus::kOk);
+  auto share = decode_keyshare_body(f.responses[0].body);
+  ASSERT_TRUE(share.is_ok());
+  EXPECT_EQ(share.value().curve, 23);  // P-256
+  EXPECT_FALSE(share.value().pub_point.empty());
+}
+
+}  // namespace
+}  // namespace qtls::remote
