@@ -1,0 +1,300 @@
+// Slab allocation for per-connection state (DESIGN.md §14).
+//
+// A production front-end holding a million mostly-idle connections cannot
+// afford one malloc per connection object, per timer, per parked accept:
+// the allocator metadata alone rivals the payload, churn fragments the
+// heap, and teardown bugs hide behind the general-purpose allocator's
+// tolerance. A SlabPool carves fixed-size slots out of chunked storage,
+// hands them out through an intrusive free list (O(1) alloc/free, no
+// per-object heap traffic after a chunk is carved), and — crucially for the
+// bug-hunt half of the scale pass — keeps exact occupancy counters, so
+// "every connect/handshake/close cycle returns the pool to its prior
+// occupancy" is an assertable invariant rather than a hope.
+//
+// Threading: a pool is single-threaded by design, like the worker event
+// loop and timer wheel that own one. Cross-thread use needs one pool per
+// thread (the churn soak exercises exactly that pattern under TSan).
+//
+// QTLS_SLAB_STATS (CMake knob, default ON) compiles the process-wide
+// SlabRegistry that named pools report into; /stats and the million_conn
+// bench read it. With the knob off, registration is a no-op and a pool is
+// nothing but chunks + a free list.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef QTLS_SLAB_STATS_ENABLED
+#define QTLS_SLAB_STATS_ENABLED 1
+#endif
+
+namespace qtls::common {
+
+struct SlabStats {
+  std::string name;        // empty for anonymous pools
+  size_t object_size = 0;  // bytes per slot (>= sizeof(T))
+  size_t live = 0;         // objects currently allocated
+  size_t capacity = 0;     // slots across all carved chunks
+  size_t chunks = 0;
+  uint64_t total_allocs = 0;
+  uint64_t total_frees = 0;
+  size_t bytes_reserved = 0;  // capacity * object_size
+  size_t bytes_live = 0;      // live * object_size
+};
+
+// Type-erased view a registry entry exposes (the registry cannot name every
+// SlabPool<T> instantiation).
+class SlabPoolBase {
+ public:
+  virtual ~SlabPoolBase() = default;
+  virtual SlabStats stats() const = 0;
+};
+
+#if QTLS_SLAB_STATS_ENABLED
+
+// Process-wide directory of named pools. Registration is cold-path (pool
+// construction); snapshot() is for /stats and benches. Pools deregister on
+// destruction, so a snapshot never dereferences a dead pool.
+class SlabRegistry {
+ public:
+  static SlabRegistry& global() {
+    static SlabRegistry registry;
+    return registry;
+  }
+
+  void add(const SlabPoolBase* pool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pools_.push_back(pool);
+  }
+  void remove(const SlabPoolBase* pool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < pools_.size(); ++i) {
+      if (pools_[i] == pool) {
+        pools_[i] = pools_.back();
+        pools_.pop_back();
+        return;
+      }
+    }
+  }
+
+  std::vector<SlabStats> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SlabStats> out;
+    out.reserve(pools_.size());
+    for (const SlabPoolBase* pool : pools_) out.push_back(pool->stats());
+    return out;
+  }
+
+  // Aggregate over pools whose name starts with `prefix` (empty = all).
+  SlabStats totals(const std::string& prefix = {}) const {
+    SlabStats total;
+    total.name = prefix.empty() ? "all" : prefix;
+    for (const SlabStats& s : snapshot()) {
+      if (!prefix.empty() && s.name.rfind(prefix, 0) != 0) continue;
+      total.live += s.live;
+      total.capacity += s.capacity;
+      total.chunks += s.chunks;
+      total.total_allocs += s.total_allocs;
+      total.total_frees += s.total_frees;
+      total.bytes_reserved += s.bytes_reserved;
+      total.bytes_live += s.bytes_live;
+    }
+    return total;
+  }
+
+  // The GET /stats "memory.slabs" array.
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    for (const SlabStats& s : snapshot()) {
+      os << (first ? "" : ",") << "{\"name\":\"" << s.name
+         << "\",\"object_size\":" << s.object_size << ",\"live\":" << s.live
+         << ",\"capacity\":" << s.capacity
+         << ",\"allocs\":" << s.total_allocs << ",\"frees\":" << s.total_frees
+         << ",\"bytes_reserved\":" << s.bytes_reserved << "}";
+      first = false;
+    }
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<const SlabPoolBase*> pools_;
+};
+
+#else  // !QTLS_SLAB_STATS_ENABLED — no-op mirror
+
+class SlabRegistry {
+ public:
+  static SlabRegistry& global() {
+    static SlabRegistry registry;
+    return registry;
+  }
+  void add(const SlabPoolBase*) {}
+  void remove(const SlabPoolBase*) {}
+  std::vector<SlabStats> snapshot() const { return {}; }
+  SlabStats totals(const std::string& = {}) const { return {}; }
+  std::string to_json() const { return "[]"; }
+};
+
+#endif  // QTLS_SLAB_STATS_ENABLED
+
+// Fixed-size-class object pool. Slots are index-addressable — index_of()/
+// at() — so owners like the timer wheel can hand out compact generation-
+// tagged handles instead of raw pointers.
+template <typename T>
+class SlabPool final : public SlabPoolBase {
+ public:
+  // `name` registers the pool with the global SlabRegistry (empty =
+  // anonymous, unregistered). `slots_per_chunk` trades chunk-carve
+  // frequency against reserved-memory granularity.
+  explicit SlabPool(std::string name = {}, size_t slots_per_chunk = 256)
+      : name_(std::move(name)),
+        slots_per_chunk_(slots_per_chunk == 0 ? 1 : slots_per_chunk) {
+    if (!name_.empty()) SlabRegistry::global().add(this);
+  }
+
+  ~SlabPool() override {
+    // Live objects at pool destruction are a caller bug (a leak the churn
+    // soak asserts against); their destructors are deliberately NOT run —
+    // running ~T on a slot the owner thinks is alive would hide the bug.
+    if (!name_.empty()) SlabRegistry::global().remove(this);
+  }
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    Slot* slot = free_head_;
+    if (slot != nullptr) {
+      free_head_ = slot->next_free;
+    } else {
+      slot = carve();
+    }
+    total_allocs_.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return new (slot->storage) T(std::forward<Args>(args)...);
+  }
+
+  void destroy(T* obj) {
+    if (obj == nullptr) return;
+    obj->~T();
+    Slot* slot = slot_of(obj);
+    slot->next_free = free_head_;
+    free_head_ = slot;
+    total_frees_.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Stable dense index of a live object: chunk * slots_per_chunk + offset.
+  // O(log chunks) — owners on hot paths (timer arm) call this per alloc.
+  size_t index_of(const T* obj) const {
+    const Slot* slot = slot_of(obj);
+    auto it = std::upper_bound(
+        sorted_bases_.begin(), sorted_bases_.end(), slot,
+        [](const Slot* s, const ChunkBase& b) { return s < b.base; });
+    if (it != sorted_bases_.begin()) {
+      const ChunkBase& b = *(it - 1);
+      if (slot < b.base + slots_per_chunk_)
+        return b.chunk * slots_per_chunk_ +
+               static_cast<size_t>(slot - b.base);
+    }
+    assert(false && "index_of: object not from this pool");
+    return SIZE_MAX;
+  }
+
+  // The object in slot `index`. The caller owns liveness discipline (pair
+  // with a generation tag, as the timer wheel does): at() on a freed slot
+  // returns a pointer into free-list storage, never out-of-bounds memory.
+  T* at(size_t index) {
+    const size_t c = index / slots_per_chunk_;
+    if (c >= chunks_.size()) return nullptr;
+    return std::launder(reinterpret_cast<T*>(
+        chunks_[c][index % slots_per_chunk_].storage));
+  }
+
+  size_t live() const { return live_.load(std::memory_order_relaxed); }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  // Safe to call from another thread (the /stats endpoint snapshots every
+  // registered pool): counters are relaxed atomics, so a concurrent
+  // snapshot is approximate but never a data race.
+  SlabStats stats() const override {
+    SlabStats s;
+    s.name = name_;
+    s.object_size = sizeof(Slot);
+    s.live = live();
+    s.capacity = capacity();
+    s.chunks = s.capacity / slots_per_chunk_;
+    s.total_allocs = total_allocs_.load(std::memory_order_relaxed);
+    s.total_frees = total_frees_.load(std::memory_order_relaxed);
+    s.bytes_reserved = s.capacity * sizeof(Slot);
+    s.bytes_live = s.live * sizeof(Slot);
+    return s;
+  }
+
+ private:
+  union Slot {
+    Slot* next_free;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  static Slot* slot_of(const T* obj) {
+    // Standard-layout union: the storage array is at offset 0.
+    return const_cast<Slot*>(reinterpret_cast<const Slot*>(
+        reinterpret_cast<const unsigned char*>(obj)));
+  }
+
+  struct ChunkBase {
+    const Slot* base;
+    size_t chunk;
+  };
+
+  Slot* carve() {
+    chunks_.push_back(std::make_unique<Slot[]>(slots_per_chunk_));
+    Slot* base = chunks_.back().get();
+    const ChunkBase entry{base, chunks_.size() - 1};
+    sorted_bases_.insert(
+        std::upper_bound(sorted_bases_.begin(), sorted_bases_.end(), entry,
+                         [](const ChunkBase& a, const ChunkBase& b) {
+                           return a.base < b.base;
+                         }),
+        entry);
+    capacity_.store(chunks_.size() * slots_per_chunk_,
+                    std::memory_order_relaxed);
+    // Slot 0 is handed to the caller; the rest seed the free list in
+    // ascending order (keeps early allocations cache-adjacent).
+    for (size_t i = slots_per_chunk_; i-- > 1;) {
+      base[i].next_free = free_head_;
+      free_head_ = &base[i];
+    }
+    return base;
+  }
+
+  std::string name_;
+  size_t slots_per_chunk_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<ChunkBase> sorted_bases_;  // owner-thread only, for index_of
+  Slot* free_head_ = nullptr;
+  std::atomic<size_t> live_{0};
+  std::atomic<size_t> capacity_{0};
+  std::atomic<uint64_t> total_allocs_{0};
+  std::atomic<uint64_t> total_frees_{0};
+};
+
+}  // namespace qtls::common

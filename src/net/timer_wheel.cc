@@ -14,48 +14,98 @@ size_t round_up_pow2(size_t n) {
 
 TimerWheel::TimerWheel(uint64_t tick_ms, size_t num_slots)
     : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
-      slots_(round_up_pow2(std::max<size_t>(num_slots, 2))) {}
+      slots_(round_up_pow2(std::max<size_t>(num_slots, 2)), nullptr),
+      pool_("net.timer_wheel") {}
+
+TimerWheel::~TimerWheel() {
+  for (Node*& head : slots_) {
+    Node* node = head;
+    head = nullptr;
+    while (node != nullptr) {
+      Node* next = node->next;
+      pool_.destroy(node);
+      node = next;
+    }
+  }
+}
 
 TimerWheel::TimerId TimerWheel::arm(uint64_t now_ms, uint64_t delay_ms,
                                     Callback cb) {
-  const TimerId id = next_id_++;
-  const uint64_t deadline = now_ms + delay_ms;
-  const size_t slot = slot_of(deadline);
-  slots_[slot].push_back(Entry{id, deadline});
-  timers_.emplace(id, Timer{deadline, slot, std::move(cb)});
-  return id;
+  Node* node = pool_.create();
+  const size_t index = pool_.index_of(node);
+  if (index >= gens_.size()) gens_.resize(index + 1, 0);
+  node->index = static_cast<uint32_t>(index);
+  node->deadline_ms = now_ms + delay_ms;
+  node->cb = std::move(cb);
+
+  const size_t slot = slot_of(node->deadline_ms);
+  node->slot = static_cast<uint32_t>(slot);
+  node->prev = nullptr;
+  node->next = slots_[slot];
+  if (node->next != nullptr) node->next->prev = node;
+  slots_[slot] = node;
+
+  // A fresh generation per arm; release() bumps it again, so an id is
+  // resolvable only for the exact arm..release window of its slab slot.
+  ++gens_[index];
+  return id_of(node);
+}
+
+TimerWheel::Node* TimerWheel::resolve(TimerId id, size_t* index) {
+  if (id == 0) return nullptr;
+  const size_t idx = static_cast<size_t>(id >> 32) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (idx >= gens_.size() || gens_[idx] != gen) return nullptr;
+  *index = idx;
+  return pool_.at(idx);
+}
+
+void TimerWheel::unlink(Node* node) {
+  if (node->prev != nullptr) {
+    node->prev->next = node->next;
+  } else if (slots_[node->slot] == node) {
+    slots_[node->slot] = node->next;
+  }
+  if (node->next != nullptr) node->next->prev = node->prev;
+  node->prev = nullptr;
+  node->next = nullptr;
+}
+
+void TimerWheel::release(Node* node, size_t index) {
+  ++gens_[index];  // invalidates every outstanding id for this slab slot
+  pool_.destroy(node);
 }
 
 bool TimerWheel::cancel(TimerId id) {
-  auto it = timers_.find(id);
-  if (it == timers_.end()) return false;
-  // The slot entry is left behind and skipped lazily during advance — a
-  // cancel is O(1), the stale entry costs one map miss later.
-  timers_.erase(it);
+  size_t index = 0;
+  Node* node = resolve(id, &index);
+  if (node == nullptr) return false;
+  // Eager O(1) unlink — no stale bucket entry left behind. A node already
+  // collected for the in-flight advance() is unlinked but still resolvable;
+  // releasing it here bumps the generation so the fire loop skips it.
+  if (linked(node)) unlink(node);
+  release(node, index);
   ++cancelled_total_;
   return true;
 }
 
 void TimerWheel::collect_slot(size_t slot, uint64_t now_ms,
                               std::vector<TimerId>* due) {
-  auto& bucket = slots_[slot];
-  size_t kept = 0;
-  for (size_t i = 0; i < bucket.size(); ++i) {
-    const Entry& e = bucket[i];
-    auto it = timers_.find(e.id);
-    if (it == timers_.end()) continue;  // cancelled: drop the stale entry
-    if (e.deadline_ms <= now_ms) {
-      due->push_back(e.id);
-      continue;  // fires: drop from the bucket now
+  Node* node = slots_[slot];
+  while (node != nullptr) {
+    Node* next = node->next;
+    if (node->deadline_ms <= now_ms) {
+      unlink(node);  // out of the bucket now; fires (or is cancelled) below
+      due->push_back(id_of(node));
     }
-    bucket[kept++] = e;  // future round: stays armed
+    node = next;  // future round: stays linked, stays armed
   }
-  bucket.resize(kept);
 }
 
 size_t TimerWheel::advance(uint64_t now_ms) {
   const uint64_t cur_tick = now_ms / tick_ms_;
   std::vector<TimerId> due;
+  due.swap(due_);  // reuse capacity; a re-entrant advance() starts fresh
 
   if (!ticked_ || cur_tick - last_tick_ >= slots_.size()) {
     // First advance, or the clock jumped a whole revolution (virtual-time
@@ -66,6 +116,7 @@ size_t TimerWheel::advance(uint64_t now_ms) {
       collect_slot(static_cast<size_t>(t) & (slots_.size() - 1), now_ms, &due);
     // An entry armed within the current tick (e.g. zero delay) lands in the
     // current slot, which the walk above missed when the tick didn't move.
+    // Already-collected nodes were unlinked, so this never double-fires.
     collect_slot(static_cast<size_t>(cur_tick) & (slots_.size() - 1), now_ms,
                  &due);
   }
@@ -74,23 +125,27 @@ size_t TimerWheel::advance(uint64_t now_ms) {
 
   size_t fired = 0;
   for (TimerId id : due) {
-    auto it = timers_.find(id);
-    if (it == timers_.end()) continue;  // cancelled by an earlier callback
-    Callback cb = std::move(it->second.cb);
-    timers_.erase(it);
+    size_t index = 0;
+    Node* node = resolve(id, &index);
+    if (node == nullptr) continue;  // cancelled by an earlier callback
+    Callback cb = std::move(node->cb);
+    release(node, index);
     ++fired;
     ++fired_total_;
     if (cb) cb();
   }
+  due.clear();
+  due_ = std::move(due);
   return fired;
 }
 
 uint64_t TimerWheel::until_next(uint64_t now_ms) const {
   uint64_t best = UINT64_MAX;
-  for (const auto& [id, timer] : timers_) {
-    (void)id;
-    if (timer.deadline_ms <= now_ms) return 0;
-    best = std::min(best, timer.deadline_ms - now_ms);
+  for (const Node* head : slots_) {
+    for (const Node* node = head; node != nullptr; node = node->next) {
+      if (node->deadline_ms <= now_ms) return 0;
+      best = std::min(best, node->deadline_ms - now_ms);
+    }
   }
   return best;
 }

@@ -39,6 +39,7 @@ struct OverloadStats {
   uint64_t park_overflow = 0;        // backlog full -> shed instead
   uint64_t admitted_from_park = 0;
   uint64_t handshake_timeouts = 0;
+  uint64_t park_timeouts = 0;        // parked accepts aged out of the backlog
   uint64_t idle_timeouts = 0;
   uint64_t write_stall_timeouts = 0;
   uint64_t drain_refused = 0;        // accepts refused while draining

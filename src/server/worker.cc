@@ -19,7 +19,7 @@ namespace {
 // the periodic dumps see pool-wide overload pressure (same idiom as the
 // engine failure counters).
 struct OverloadObsCounters {
-  obs::Counter shed, parked, handshake_timeout, idle_timeout,
+  obs::Counter shed, parked, handshake_timeout, park_timeout, idle_timeout,
       write_stall_timeout, drain_refused, drain_force_closed;
 
   OverloadObsCounters() {
@@ -27,6 +27,7 @@ struct OverloadObsCounters {
     shed = reg.counter("overload.shed");
     parked = reg.counter("overload.parked");
     handshake_timeout = reg.counter("overload.handshake_timeout");
+    park_timeout = reg.counter("overload.park_timeout");
     idle_timeout = reg.counter("overload.idle_timeout");
     write_stall_timeout = reg.counter("overload.write_stall_timeout");
     drain_refused = reg.counter("overload.drain_refused");
@@ -38,12 +39,33 @@ OverloadObsCounters& overload_obs() {
   static OverloadObsCounters counters;
   return counters;
 }
+
+// Memory plane (DESIGN.md §14): per-worker footprint gauges mirrored into
+// the global registry so /stats and the million_conn bench read one place.
+struct MemoryObsGauges {
+  obs::Gauge bytes_per_conn, slab_bytes_reserved;
+
+  MemoryObsGauges() {
+    auto& reg = obs::MetricsRegistry::global();
+    bytes_per_conn = reg.gauge("memory.bytes_per_conn");
+    slab_bytes_reserved = reg.gauge("memory.slab_bytes_reserved");
+  }
+};
+
+MemoryObsGauges& memory_obs() {
+  static MemoryObsGauges gauges;
+  return gauges;
+}
 }  // namespace
 
+// Slab-allocated (server.conn pool): transport and TLS state are embedded
+// by value — one slot per connection instead of a constellation of mallocs.
+// Declaration order matters: `tls` holds a pointer into `transport`, so it
+// must be destroyed first (reverse declaration order).
 struct Worker::Conn {
   int fd = -1;
-  std::unique_ptr<net::SocketTransport> transport;
-  std::unique_ptr<tls::TlsConnection> tls;
+  std::optional<net::SocketTransport> transport;
+  std::optional<tls::TlsConnection> tls;
   HttpRequestParser parser;
   Bytes inbound;           // decrypted bytes pending HTTP parsing
   bool stats_request = false;       // current request is GET /stats
@@ -81,6 +103,17 @@ struct Worker::Conn {
   bool counted_handshaking = false;  // contributes to handshaking_
 };
 
+// One accepted-but-not-admitted fd in the overload backlog (server.parked
+// pool). Doubly linked so a park deadline firing mid-queue unlinks in O(1);
+// the deadline timer is cancelled by unlink_parked on every exit path, so a
+// node is never destroyed with its timer still armed.
+struct Worker::ParkedAccept {
+  int fd = -1;
+  ParkedAccept* prev = nullptr;
+  ParkedAccept* next = nullptr;
+  net::TimerWheel::TimerId deadline_timer = 0;  // 0 = none armed
+};
+
 Worker::Conn* Worker::find_by_id(uint64_t conn_id) {
   auto it = conns_by_id_.find(conn_id);
   return it == conns_by_id_.end() ? nullptr : it->second;
@@ -88,7 +121,13 @@ Worker::Conn* Worker::find_by_id(uint64_t conn_id) {
 
 Worker::Worker(tls::TlsContext* tls_ctx, engine::QatEngineProvider* qat,
                WorkerConfig config)
-    : tls_ctx_(tls_ctx), qat_(qat), config_(config) {
+    : tls_ctx_(tls_ctx),
+      qat_(qat),
+      config_(config),
+      conn_pool_(std::make_unique<common::SlabPool<Conn>>("server.conn")),
+      park_pool_(
+          std::make_unique<common::SlabPool<ParkedAccept>>("server.parked")),
+      scratch_pool_("server.hs_scratch") {
   if (qat_ && config_.poll == PollScheme::kHeuristic)
     poller_ = std::make_unique<HeuristicPoller>(qat_, config_.heuristic);
   if (config_.clock) loop_.set_clock(config_.clock);
@@ -99,7 +138,7 @@ Worker::Worker(tls::TlsContext* tls_ctx, engine::QatEngineProvider* qat,
 
 Worker::~Worker() {
   // No fiber may outlive its connection: run every paused offload job to
-  // completion before the connection map is destroyed.
+  // completion before the connections are destroyed.
   for (auto& [fd, conn] : conns_) {
     conn->expecting_async = false;
     conn->async_handler = nullptr;
@@ -108,7 +147,16 @@ Worker::~Worker() {
         if (qat_) qat_->poll();
       });
   }
-  for (int fd : parked_) ::close(fd);
+  // Return every slab object before its pool dies — a pool destroyed with
+  // live slots is the leak signature the churn soak hunts.
+  for (auto& [fd, conn] : conns_) conn_pool_->destroy(conn);
+  conns_.clear();
+  while (parked_head_ != nullptr) {
+    ParkedAccept* node = parked_head_;
+    unlink_parked(node);
+    ::close(node->fd);
+    park_pool_->destroy(node);
+  }
 }
 
 uint64_t Worker::now_ms() const { return loop_.now_ms(); }
@@ -164,12 +212,10 @@ void Worker::admit_or_reject(int fd) {
   }
   const OverloadConfig& oc = config_.overload;
   if (oc.past_cap == OverloadConfig::PastCap::kPark &&
-      parked_.size() < oc.park_backlog) {
+      parked_count_ < oc.park_backlog) {
     // Parked: the fd stays accepted (the peer sees an established TCP
     // connection) but no TLS state exists yet; admitted as capacity frees.
-    parked_.push_back(fd);
-    ++overload_stats_.parked;
-    overload_obs().parked.inc();
+    park_accept(fd);
     return;
   }
   if (oc.past_cap == OverloadConfig::PastCap::kPark)
@@ -181,25 +227,77 @@ void Worker::admit_or_reject(int fd) {
   ::close(fd);
 }
 
+void Worker::park_accept(int fd) {
+  ParkedAccept* node = park_pool_->create();
+  node->fd = fd;
+  node->prev = parked_tail_;
+  if (parked_tail_ != nullptr)
+    parked_tail_->next = node;
+  else
+    parked_head_ = node;
+  parked_tail_ = node;
+  ++parked_count_;
+  // A parked peer has been waiting on its handshake since accept — it ages
+  // against the handshake budget like an admitted connection would. The
+  // pre-fix worker parked raw fds with no deadline at all: a peer that hit
+  // its handshake deadline simply never left the backlog.
+  const uint64_t delay = config_.overload.handshake_timeout_ms;
+  if (delay != 0)
+    node->deadline_timer = loop_.timers().arm(
+        now_ms(), delay, [this, node] { on_park_deadline(node); });
+  ++overload_stats_.parked;
+  overload_obs().parked.inc();
+}
+
+void Worker::unlink_parked(ParkedAccept* node) {
+  if (node->prev != nullptr)
+    node->prev->next = node->next;
+  else
+    parked_head_ = node->next;
+  if (node->next != nullptr)
+    node->next->prev = node->prev;
+  else
+    parked_tail_ = node->prev;
+  node->prev = node->next = nullptr;
+  --parked_count_;
+  if (node->deadline_timer != 0) {
+    (void)loop_.timers().cancel(node->deadline_timer);
+    node->deadline_timer = 0;
+  }
+}
+
+void Worker::on_park_deadline(ParkedAccept* node) {
+  node->deadline_timer = 0;  // fired, nothing to cancel
+  // Unlink BEFORE destroy — destroying a node still linked into the backlog
+  // leaves its neighbours pointing at a recycled slab slot (the
+  // use-after-free the ParkDeadline regression test reproduces under ASan).
+  unlink_parked(node);
+  ++overload_stats_.park_timeouts;
+  overload_obs().park_timeout.inc();
+  ::close(node->fd);
+  park_pool_->destroy(node);
+}
+
 void Worker::admit_parked() {
-  while (!parked_.empty() && admission_ok()) {
-    const int fd = parked_.front();
-    parked_.pop_front();
+  while (parked_head_ != nullptr && admission_ok()) {
+    ParkedAccept* node = parked_head_;
+    const int fd = node->fd;
+    unlink_parked(node);
+    park_pool_->destroy(node);
     ++overload_stats_.admitted_from_park;
     setup_connection(fd);
   }
 }
 
 void Worker::setup_connection(int fd) {
-  auto conn = std::make_unique<Conn>();
-  Conn* c = conn.get();
+  Conn* c = conn_pool_->create();
   c->fd = fd;
   c->id = next_conn_id_++;
   c->worker = this;
-  c->transport = std::make_unique<net::SocketTransport>(fd);
-  c->tls = std::make_unique<tls::TlsConnection>(tls_ctx_, c->transport.get());
+  c->transport.emplace(fd);
+  c->tls.emplace(tls_ctx_, &*c->transport, &scratch_pool_);
   c->parser = HttpRequestParser(config_.http_limits);
-  conns_.emplace(fd, std::move(conn));
+  conns_.emplace(fd, c);
   conns_by_id_.emplace(c->id, c);
   ++stats_.accepted;
   c->counted_handshaking = true;
@@ -279,7 +377,8 @@ void Worker::close_connection(Conn* conn, bool error) {
   if (conn->fd_registered && conn->tls->wait_ctx()->has_fd())
     (void)loop_.remove(conn->tls->wait_ctx()->fd());
   (void)loop_.remove(conn->fd);
-  conns_.erase(conn->fd);  // destroys conn
+  conns_.erase(conn->fd);
+  conn_pool_->destroy(conn);  // slot recycled; conn is dead past this line
   // Capacity freed: pull a parked accept in, and let a drain in progress
   // observe the shrinking population.
   admit_parked();
@@ -401,7 +500,7 @@ void Worker::on_async_event(Conn* conn) {
   // The map lookup also tells us whether the handler destroyed the
   // connection (terminal offload failure path) — only touch conn if alive.
   auto it = conns_.find(fd);
-  if (it == conns_.end() || it->second.get() != conn) return;
+  if (it == conns_.end() || it->second != conn) return;
   conn->in_async_resume = false;
   if (conn->deferred_read && !conn->expecting_async) {
     conn->deferred_read = false;
@@ -633,6 +732,34 @@ void Worker::write_handler(Conn* conn) {
   read_handler(conn);
 }
 
+// ---------------------------------------------------------- memory plane ----
+
+size_t Worker::conn_footprint(const Conn& conn) const {
+  // sizeof(Conn) covers the embedded transport + TlsConnection (by-value
+  // members); heap_footprint() adds what they own on the heap.
+  size_t n = sizeof(Conn);
+  if (conn.tls.has_value()) n += conn.tls->heap_footprint();
+  n += conn.inbound.capacity();
+  n += conn.file_staging.capacity();
+  n += conn.request_path.capacity();
+  n += conn.parser.buffered();
+  return n;
+}
+
+size_t Worker::bytes_per_conn() const {
+  if (conns_.empty()) return 0;
+  size_t total = 0;
+  for (const auto& [fd, conn] : conns_) total += conn_footprint(*conn);
+  return total / conns_.size();
+}
+
+size_t Worker::released_scratch_connections() const {
+  size_t n = 0;
+  for (const auto& [fd, conn] : conns_)
+    if (conn->tls.has_value() && conn->tls->handshake_state_released()) ++n;
+  return n;
+}
+
 namespace {
 const char* breaker_name(engine::BreakerState s) {
   switch (s) {
@@ -662,13 +789,30 @@ std::string Worker::stats_json() const {
      << ",\"park_overflow\":" << overload_stats_.park_overflow
      << ",\"admitted_from_park\":" << overload_stats_.admitted_from_park
      << ",\"handshake_timeouts\":" << overload_stats_.handshake_timeouts
+     << ",\"park_timeouts\":" << overload_stats_.park_timeouts
      << ",\"idle_timeouts\":" << overload_stats_.idle_timeouts
      << ",\"write_stall_timeouts\":" << overload_stats_.write_stall_timeouts
      << ",\"drain_refused\":" << overload_stats_.drain_refused
      << ",\"drain_force_closed\":" << overload_stats_.drain_force_closed
      << ",\"handshaking\":" << handshaking_
-     << ",\"parked_now\":" << parked_.size()
+     << ",\"parked_now\":" << parked_count_
      << ",\"draining\":" << (draining_ ? "true" : "false") << "}";
+  // Memory plane (DESIGN.md §14): what an alive connection costs, how much
+  // of the fleet released its handshake scratch, and the slab directory.
+  {
+    const size_t bpc = bytes_per_conn();
+    const common::SlabStats slab_totals =
+        common::SlabRegistry::global().totals();
+    memory_obs().bytes_per_conn.set(static_cast<int64_t>(bpc));
+    memory_obs().slab_bytes_reserved.set(
+        static_cast<int64_t>(slab_totals.bytes_reserved));
+    os << ",\"memory\":{"
+       << "\"bytes_per_conn\":" << bpc
+       << ",\"released_scratch\":" << released_scratch_connections()
+       << ",\"slab_live\":" << slab_totals.live
+       << ",\"slab_bytes_reserved\":" << slab_totals.bytes_reserved
+       << ",\"slabs\":" << common::SlabRegistry::global().to_json() << "}";
+  }
   if (qat_) {
     const engine::QatEngineStats& e = qat_->stats();
     os << ",\"engine\":{"
@@ -748,12 +892,14 @@ void Worker::begin_drain() {
     (void)loop_.remove(listener_.fd());
     listener_armed_ = false;
   }
-  for (int fd : parked_) {
+  while (parked_head_ != nullptr) {
+    ParkedAccept* node = parked_head_;
+    unlink_parked(node);
     ++overload_stats_.drain_refused;
     overload_obs().drain_refused.inc();
-    ::close(fd);
+    ::close(node->fd);
+    park_pool_->destroy(node);
   }
-  parked_.clear();
 
   // Idle keepalive connections have nothing in flight: close them now with
   // an orderly close_notify. In-flight handshakes and requests keep going
@@ -787,7 +933,7 @@ void Worker::begin_drain() {
 }
 
 void Worker::finish_drain_check() {
-  if (draining_ && conns_.empty() && parked_.empty())
+  if (draining_ && conns_.empty() && parked_count_ == 0)
     drained_.store(true, std::memory_order_release);
 }
 

@@ -13,10 +13,10 @@
 #pragma once
 
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 
+#include "common/slab.h"
 #include "net/event_loop.h"
 #include "net/socket_transport.h"
 #include "server/async_queue.h"
@@ -89,7 +89,16 @@ class Worker {
   size_t idle_connections() const { return idle_count_; }
   size_t active_connections() const { return conns_.size() - idle_count_; }
   size_t handshaking_connections() const { return handshaking_; }
-  size_t parked_accepts() const { return parked_.size(); }
+  size_t parked_accepts() const { return parked_count_; }
+
+  // Memory accounting (DESIGN.md §14): average heap bytes pinned per alive
+  // connection — connection object + TLS buffers + handshake scratch when
+  // still held. Mirrored into the "memory.bytes_per_conn" gauge by
+  // stats_json(); the footprint regression test and bench/million_conn gate
+  // on it.
+  size_t bytes_per_conn() const;
+  // Alive connections whose handshake scratch has been wiped and released.
+  size_t released_scratch_connections() const;
   // Connections parked on an in-flight offload (expecting_async). A worker
   // is quiescent only when this is zero — a caller observing "no active
   // connections" while this is non-zero is mid-op, not done (the
@@ -122,6 +131,7 @@ class Worker {
 
  private:
   struct Conn;
+  struct ParkedAccept;
   using Handler = void (Worker::*)(Conn*);
 
   enum class DeadlineKind : uint8_t { kNone, kHandshake, kIdle, kWriteStall };
@@ -134,6 +144,14 @@ class Worker {
   bool admission_ok() const;
   void admit_or_reject(int fd);   // shed/park/setup per the overload config
   void admit_parked();            // pull parked accepts as capacity frees
+  // Park an accepted fd in the slab-backed backlog, aging against the
+  // handshake deadline (a parked peer is mid-"handshake" as far as it can
+  // tell). The deadline fire unlinks the node BEFORE destroying it — the
+  // lifetime bug this PR's regression test pins down.
+  void park_accept(int fd);
+  void unlink_parked(ParkedAccept* node);  // dequeue + cancel its deadline
+  void on_park_deadline(ParkedAccept* node);
+  size_t conn_footprint(const Conn& conn) const;
   void arm_deadline(Conn* conn, DeadlineKind kind, uint64_t delay_ms);
   void cancel_deadline(Conn* conn);
   void on_deadline(Conn* conn);
@@ -174,7 +192,16 @@ class Worker {
   net::TcpListener listener_;
   bool listener_armed_ = false;
 
-  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  // Slab pools (DESIGN.md §14): connection objects, handshake scratch, and
+  // parked-accept nodes all come from per-worker pools — one allocation
+  // class each, exact occupancy counters, no per-connection heap churn.
+  // unique_ptr because Conn/ParkedAccept are defined in the .cc; the pools
+  // are built in the constructor and must outlive every object they own.
+  std::unique_ptr<common::SlabPool<Conn>> conn_pool_;
+  std::unique_ptr<common::SlabPool<ParkedAccept>> park_pool_;
+  common::SlabPool<tls::HandshakeScratch> scratch_pool_;
+
+  std::unordered_map<int, Conn*> conns_;  // owned by conn_pool_
   std::unordered_map<uint64_t, Conn*> conns_by_id_;
   uint64_t next_conn_id_ = 1;
   size_t idle_count_ = 0;
@@ -188,7 +215,11 @@ class Worker {
   // Overload plane state (worker-thread-owned except the two atomics).
   OverloadStats overload_stats_;
   size_t handshaking_ = 0;          // connections with incomplete handshakes
-  std::deque<int> parked_;          // accepted fds awaiting admission
+  // Accept backlog: intrusive FIFO of slab-allocated ParkedAccept nodes
+  // (doubly linked for O(1) mid-queue removal when a park deadline fires).
+  ParkedAccept* parked_head_ = nullptr;
+  ParkedAccept* parked_tail_ = nullptr;
+  size_t parked_count_ = 0;
   std::atomic<bool> drain_requested_{false};
   std::atomic<uint64_t> drain_delay_ms_{0};
   std::atomic<bool> drained_{false};

@@ -1,0 +1,112 @@
+// Fleet-scale DES scenario (DESIGN.md §14): N simulated front-end servers
+// behind a load balancer, each owning a deterministic-epoch TicketKeyRing
+// derived from the SAME fleet seed — so a session ticket sealed by any
+// server unseals on any other with zero key coordination. Connections
+// arrive, handshake (full or resumed), dwell established, close, and a
+// fraction reconnect later through the balancer to a *random* server
+// offering their ticket: the cross-fleet resumption path bench/million_conn
+// gates on. Seal and unseal are the REAL TicketKeyRing paths (AES-CBC +
+// HMAC per ticket), not a hash-table stand-in.
+//
+// Per-connection state is slab-allocated (sim.fleet_conn pool) and the
+// memory model is explicit: every established connection is costed at the
+// measured idle bytes/connection (bench part A feeds the number in), so the
+// bench can report what a million keepalive connections actually pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/slab.h"
+#include "crypto/kdf.h"
+#include "sim/des.h"
+#include "tls/session_plane.h"
+
+namespace qtls::sim {
+
+struct FleetConfig {
+  size_t servers = 8;
+  size_t connections = 1'000'000;
+  // Arrival spacing and established dwell (exponential, virtual time).
+  uint64_t mean_interarrival_us = 600;  // ~1M conns over ~10 virtual minutes
+  uint64_t mean_lifetime_ms = 60'000;
+  // Fraction of closed connections that come back with their ticket, and
+  // how long they stay away (exponential, capped at 3x the mean so the
+  // epoch accept window keeps them resumable).
+  double reconnect_fraction = 0.7;
+  uint64_t mean_reconnect_delay_ms = 20'000;
+  // Deterministic epoch ticket keys — identical config on every server.
+  // Rotation is fast enough that the default run crosses several epoch
+  // boundaries (exercising old-epoch accepts), and the accept window covers
+  // the maximum ticket age (3x dwell + 3x reconnect delay = 240 s = exactly
+  // two intervals), so the hit-rate gate stays deterministic.
+  uint64_t ticket_rotate_interval_ms = 120'000;
+  uint32_t ticket_accept_epochs = 2;
+  uint64_t ticket_lifetime_ms = 3'600'000;
+  uint64_t fleet_seed = 0x666c656574ULL;  // "fleet"
+  uint64_t rng_seed = 1;
+  // Measured idle heap bytes per established connection (bench part A).
+  size_t idle_bytes_per_conn = 0;
+};
+
+struct FleetResult {
+  uint64_t completed = 0;          // connections that closed cleanly
+  uint64_t full_handshakes = 0;
+  uint64_t resumption_attempts = 0;
+  uint64_t resumption_hits = 0;    // unseal accepted (current or old epoch)
+  uint64_t old_epoch_hits = 0;     // accepted under a previous epoch's key
+  uint64_t cross_fleet_hits = 0;   // sealed on server A, resumed on server B
+  uint64_t resumption_misses = 0;  // rejected -> fell back to full handshake
+  size_t peak_live = 0;            // max concurrently-established connections
+  size_t peak_idle_bytes = 0;      // peak_live * idle_bytes_per_conn
+  size_t slab_live_at_end = 0;     // must be 0 (conservation)
+  uint64_t slab_allocs = 0;
+  uint64_t slab_frees = 0;
+  SimTime sim_duration = 0;
+
+  double hit_rate() const {
+    return resumption_attempts == 0
+               ? 1.0
+               : static_cast<double>(resumption_hits) /
+                     static_cast<double>(resumption_attempts);
+  }
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(FleetConfig config);
+  ~FleetSim();
+  FleetResult run();
+
+ private:
+  struct FleetConn;
+  struct Server {
+    std::unique_ptr<tls::TicketKeyRing> ring;
+    uint64_t established = 0;
+  };
+
+  uint64_t next_u64();
+  uint64_t exp_sample(uint64_t mean);  // never returns zero
+  uint64_t now_ms() const { return sim_.now() / kMs; }
+
+  // Self-perpetuating fresh-arrival generator (keeps the event queue at
+  // O(live) instead of pre-scheduling a million arrivals).
+  void arrival_tick();
+  // One client hitting the balancer; `ticket` non-empty on a reconnect,
+  // `sealed_by` the server that minted it (cross-fleet accounting).
+  void on_connect(Bytes ticket, size_t sealed_by);
+  void on_close(FleetConn* conn);
+
+  FleetConfig config_;
+  Simulator sim_;
+  std::vector<Server> servers_;
+  common::SlabPool<FleetConn> pool_;
+  HmacDrbg ticket_iv_rng_;
+  uint64_t rng_;
+  size_t launched_ = 0;
+  size_t live_ = 0;
+  FleetResult result_;
+};
+
+}  // namespace qtls::sim

@@ -12,12 +12,20 @@ int to_int(TlsResult r) { return static_cast<int>(r); }
 TlsResult from_int(int v) { return static_cast<TlsResult>(v); }
 }  // namespace
 
-TlsConnection::TlsConnection(TlsContext* ctx, Transport* transport)
+TlsConnection::TlsConnection(TlsContext* ctx, Transport* transport,
+                             common::SlabPool<HandshakeScratch>* scratch_pool)
     : ctx_(ctx),
       records_(transport, ctx->provider(), &ctx->rng(),
                ctx->config().legacy_record_dataplane),
       hs_state_(ctx->is_server() ? HsState::kExpectClientHello
-                                 : HsState::kStart) {}
+                                 : HsState::kStart),
+      scratch_pool_(scratch_pool),
+      hs_(scratch_pool != nullptr ? scratch_pool->create()
+                                  : new HandshakeScratch()) {
+  // The retain knob is the whole-footprint baseline: it keeps the RX read
+  // chunk pinned on idle connections too, matching pre-shrink behavior.
+  records_.set_idle_shrink(!ctx->config().retain_handshake_state);
+}
 
 TlsConnection::~TlsConnection() {
   // A paused job holds a fiber stack; abandoning it mid-crypto is only
@@ -27,6 +35,84 @@ TlsConnection::~TlsConnection() {
   if (job_ != nullptr) {
     QTLS_WARN << "TlsConnection destroyed with a paused async job";
   }
+  if (hs_ != nullptr) {
+    // Torn down mid-handshake (or retain mode): wipe + free here instead.
+    hs_->wipe_secrets();
+    if (scratch_pool_ != nullptr) {
+      scratch_pool_->destroy(hs_);
+    } else {
+      delete hs_;
+    }
+    hs_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------- handshake scratch ----
+
+void HandshakeScratch::wipe_secrets() {
+  wipe_key_schedule(premaster);
+  wipe_key_schedule(master_secret);
+  wipe_key_schedule(session_keys);
+  wipe_key_schedule(secrets13);
+  wipe_key_schedule(client_hs_keys13);
+  wipe_key_schedule(server_hs_keys13);
+  wipe_key_schedule(client_app_keys13);
+  wipe_key_schedule(server_app_keys13);
+  secure_wipe(ecdhe_share.priv.data(), ecdhe_share.priv.size());
+  if (offered_session.has_value())
+    wipe_key_schedule(offered_session->master_secret);
+}
+
+size_t HandshakeScratch::heap_footprint() const {
+  size_t n = client_random.capacity() + server_random.capacity() +
+             session_id.capacity() + premaster.capacity() +
+             master_secret.capacity() + peer_point.capacity() +
+             server_kx_point.capacity() + transcript.capacity() +
+             pending_ticket.capacity() + hs_buffer.capacity();
+  n += session_keys.client_write.enc_key.capacity() +
+       session_keys.client_write.mac_key.capacity() +
+       session_keys.server_write.enc_key.capacity() +
+       session_keys.server_write.mac_key.capacity();
+  n += secrets13.handshake_secret.capacity() +
+       secrets13.client_hs_traffic.capacity() +
+       secrets13.server_hs_traffic.capacity() +
+       secrets13.master_secret.capacity() +
+       secrets13.client_app_traffic.capacity() +
+       secrets13.server_app_traffic.capacity();
+  for (const AeadKeys* k : {&client_hs_keys13, &server_hs_keys13,
+                            &client_app_keys13, &server_app_keys13})
+    n += k->key.capacity() + k->iv.capacity();
+  n += ecdhe_share.priv.capacity() + ecdhe_share.pub_point.capacity();
+  if (offered_session.has_value())
+    n += offered_session->session_id.capacity() +
+         offered_session->ticket.capacity() +
+         offered_session->master_secret.capacity();
+  return n;
+}
+
+void TlsConnection::maybe_release_handshake_state() {
+  if (hs_ == nullptr || ctx_->config().retain_handshake_state) return;
+  hs_->wipe_secrets();
+  if (scratch_pool_ != nullptr) {
+    scratch_pool_->destroy(hs_);
+  } else {
+    delete hs_;
+  }
+  hs_ = nullptr;
+  // The record layer's RX buffer carries the handshake flight's high-water
+  // capacity; give it back too (S2: the 64 KiB reassembly retention bug).
+  records_.shrink_after_handshake();
+}
+
+size_t TlsConnection::heap_footprint() const {
+  size_t n = records_.heap_footprint();
+  if (hs_ != nullptr) n += sizeof(HandshakeScratch) + hs_->heap_footprint();
+  n += resumption_master13_.capacity() + write_data_.capacity();
+  if (established_session_.has_value())
+    n += established_session_->session_id.capacity() +
+         established_session_->ticket.capacity() +
+         established_session_->master_secret.capacity();
+  return n;
 }
 
 // --------------------------------------------------------------- entry ----
@@ -111,24 +197,24 @@ TlsResult TlsConnection::next_record(Record* out) {
 
 TlsResult TlsConnection::next_handshake_message(HandshakeHeader* out) {
   for (;;) {
-    if (hs_buffer_.size() >= 4) {
-      // Reassembly cap: the claimed message length bounds hs_buffer_ growth
+    if (hs_->hs_buffer.size() >= 4) {
+      // Reassembly cap: the claimed message length bounds hs_->hs_buffer growth
       // (buffer never exceeds cap + one record). A hostile claim is a
       // fatal decode_error before any of it is buffered.
-      const uint32_t claimed = static_cast<uint32_t>(hs_buffer_[1]) << 16 |
-                               static_cast<uint32_t>(hs_buffer_[2]) << 8 |
-                               hs_buffer_[3];
+      const uint32_t claimed = static_cast<uint32_t>(hs_->hs_buffer[1]) << 16 |
+                               static_cast<uint32_t>(hs_->hs_buffer[2]) << 8 |
+                               hs_->hs_buffer[3];
       if (claimed > kMaxHandshakeMessage) {
         pending_alert_ = AlertDescription::kDecodeError;
         return TlsResult::kError;
       }
       size_t consumed = 0;
-      auto parsed = parse_handshake(hs_buffer_, &consumed);
+      auto parsed = parse_handshake(hs_->hs_buffer, &consumed);
       if (parsed.is_ok()) {
-        transcript_add(BytesView(hs_buffer_.data(), consumed));
+        transcript_add(BytesView(hs_->hs_buffer.data(), consumed));
         *out = std::move(parsed).take();
-        hs_buffer_.erase(hs_buffer_.begin(),
-                         hs_buffer_.begin() + static_cast<ptrdiff_t>(consumed));
+        hs_->hs_buffer.erase(hs_->hs_buffer.begin(),
+                         hs_->hs_buffer.begin() + static_cast<ptrdiff_t>(consumed));
         return TlsResult::kOk;
       }
       // kProtocolError from truncation means "need more bytes" — fall
@@ -145,7 +231,7 @@ TlsResult TlsConnection::next_handshake_message(HandshakeHeader* out) {
       pending_alert_ = AlertDescription::kUnexpectedMessage;
       return TlsResult::kError;
     }
-    append(hs_buffer_, record.payload);
+    append(hs_->hs_buffer, record.payload);
   }
 }
 
@@ -156,11 +242,11 @@ Status TlsConnection::send_handshake(HandshakeType type, BytesView body) {
 }
 
 void TlsConnection::transcript_add(BytesView framed) {
-  append(transcript_, framed);
+  append(hs_->transcript, framed);
 }
 
 Bytes TlsConnection::transcript_hash() const {
-  return hash(cipher_suite_info(suite_).prf_hash, transcript_);
+  return hash(cipher_suite_info(suite_).prf_hash, hs_->transcript);
 }
 
 // ---------------------------------------------------------- key install ----
@@ -169,28 +255,28 @@ Status TlsConnection::derive_and_install_keys() {
   const CipherSuiteInfo& info = cipher_suite_info(suite_);
   QTLS_ASSIGN_OR_RETURN(
       SessionKeys keys,
-      tls12_key_expansion(ctx_->provider(), info, master_secret_,
-                          client_random_, server_random_));
+      tls12_key_expansion(ctx_->provider(), info, hs_->master_secret,
+                          hs_->client_random, hs_->server_random));
   ++ops_.prf;
-  session_keys_ = std::move(keys);
-  keys_derived_ = true;
+  hs_->session_keys = std::move(keys);
+  hs_->keys_derived = true;
   return Status::ok();
 }
 
 void TlsConnection::install_tx_keys() {
-  records_.enable_encryption_tx(ctx_->is_server() ? session_keys_.server_write
-                                                  : session_keys_.client_write);
+  records_.enable_encryption_tx(ctx_->is_server() ? hs_->session_keys.server_write
+                                                  : hs_->session_keys.client_write);
 }
 
 void TlsConnection::install_rx_keys() {
-  records_.enable_encryption_rx(ctx_->is_server() ? session_keys_.client_write
-                                                  : session_keys_.server_write);
+  records_.enable_encryption_rx(ctx_->is_server() ? hs_->session_keys.client_write
+                                                  : hs_->session_keys.server_write);
 }
 
 Result<Bytes> TlsConnection::finished_verify(const std::string& label) {
   const CipherSuiteInfo& info = cipher_suite_info(suite_);
   auto out = tls12_finished_verify(ctx_->provider(), info.prf_hash,
-                                   master_secret_, label, transcript_hash());
+                                   hs_->master_secret, label, transcript_hash());
   if (out.is_ok()) ++ops_.prf;
   return out;
 }
@@ -198,9 +284,9 @@ Result<Bytes> TlsConnection::finished_verify(const std::string& label) {
 void TlsConnection::record_established_session() {
   ClientSession session;
   session.suite = suite_;
-  session.master_secret = master_secret_;
-  session.session_id = session_id_;
-  session.ticket = pending_ticket_;
+  session.master_secret = hs_->master_secret;
+  session.session_id = hs_->session_id;
+  session.ticket = hs_->pending_ticket;
   established_session_ = std::move(session);
 }
 
@@ -254,17 +340,17 @@ TlsResult TlsConnection::server_step() {
       // Finished; next_handshake_message already added the client Finished
       // frame, so compute against the remembered pre-Finished transcript.
       // We kept it implicit: recompute by stripping the frame we just added.
-      Bytes pre_finished(transcript_.begin(),
-                         transcript_.end() -
+      Bytes pre_finished(hs_->transcript.begin(),
+                         hs_->transcript.end() -
                              static_cast<ptrdiff_t>(4 + msg.body.size()));
       const HashAlg alg = cipher_suite_info(suite_).prf_hash;
       const Bytes expect = tls13_finished_verify(
-          alg, secrets13_.client_hs_traffic, hash(alg, pre_finished),
+          alg, hs_->secrets13.client_hs_traffic, hash(alg, pre_finished),
           &ops_.hkdf);
       if (!ct_equal(expect, msg.body)) return TlsResult::kError;
       // Switch both directions to application traffic keys.
-      records_.enable_encryption_tx(server_app_keys13_);
-      records_.enable_encryption_rx(client_app_keys13_);
+      records_.enable_encryption_tx(hs_->server_app_keys13);
+      records_.enable_encryption_rx(hs_->client_app_keys13);
       // Post-handshake NewSessionTicket (RFC 8446 §4.6.1), sealing the
       // resumption master secret for a later psk_dhe_ke handshake. The
       // kDone transition comes after the ticket is sealed and queued: its
@@ -272,7 +358,7 @@ TlsResult TlsConnection::server_step() {
       // handshake must not report complete with that job still paused.
       if (ctx_->config().use_session_tickets) {
         resumption_master13_ = tls13_resumption_master(
-            alg, secrets13_.master_secret, hash(alg, transcript_),
+            alg, hs_->secrets13.master_secret, hash(alg, hs_->transcript),
             &ops_.hkdf);
         SessionState state;
         state.suite = suite_;
@@ -287,6 +373,7 @@ TlsResult TlsConnection::server_step() {
           return fr;
       }
       hs_state_ = HsState::kDone;
+      maybe_release_handshake_state();
       return TlsResult::kOk;
     }
     default:
@@ -302,9 +389,9 @@ TlsResult TlsConnection::server_on_client_hello(const HandshakeHeader& msg) {
   const auto selected = ctx_->select_suite(hello.cipher_suites);
   if (!selected.has_value()) return TlsResult::kError;
   suite_ = *selected;
-  client_random_ = hello.random;
-  server_random_.resize(kRandomSize);
-  ctx_->rng().generate(server_random_.data(), server_random_.size());
+  hs_->client_random = hello.random;
+  hs_->server_random.resize(kRandomSize);
+  ctx_->rng().generate(hs_->server_random.data(), hs_->server_random.size());
 
   if (cipher_suite_info(suite_).tls13 &&
       hello.version == ProtocolVersion::kTls13 && !hello.key_share.empty()) {
@@ -331,7 +418,7 @@ TlsResult TlsConnection::server_on_client_hello(const HandshakeHeader& msg) {
   if (hello.session_id.size() == kSessionIdSize) {
     auto state = ctx_->session_cache().get(hello.session_id, now);
     if (state.has_value() && state->suite == suite_) {
-      session_id_ = hello.session_id;
+      hs_->session_id = hello.session_id;
       return server_resume_flight(hello, *state);
     }
   }
@@ -343,13 +430,13 @@ TlsResult TlsConnection::server_full_handshake_flight(
   const CipherSuiteInfo& info = cipher_suite_info(suite_);
   resumed_ = false;
 
-  session_id_.resize(kSessionIdSize);
-  ctx_->rng().generate(session_id_.data(), session_id_.size());
+  hs_->session_id.resize(kSessionIdSize);
+  ctx_->rng().generate(hs_->session_id.data(), hs_->session_id.size());
 
   ServerHello sh;
   sh.version = ProtocolVersion::kTls12;
-  sh.random = server_random_;
-  sh.session_id = session_id_;
+  sh.random = hs_->server_random;
+  sh.session_id = hs_->session_id;
   sh.cipher_suite = suite_;
   sh.resumed = false;
   if (send_handshake(HandshakeType::kServerHello, sh.encode()).is_ok() ==
@@ -382,14 +469,14 @@ TlsResult TlsConnection::server_full_handshake_flight(
     auto share = ctx_->provider()->ecdhe_keygen(hello.curve);
     if (!share.is_ok()) return TlsResult::kError;
     ++ops_.ecc;
-    ecdhe_share_ = std::move(share).take();
+    hs_->ecdhe_share = std::move(share).take();
 
     ServerKeyExchange ske;
     ske.curve = hello.curve;
-    ske.point = ecdhe_share_.pub_point;
+    ske.point = hs_->ecdhe_share.pub_point;
     const Bytes digest =
-        ServerKeyExchange::signed_digest(info.prf_hash, client_random_,
-                                         server_random_, ske.curve, ske.point);
+        ServerKeyExchange::signed_digest(info.prf_hash, hs_->client_random,
+                                         hs_->server_random, ske.curve, ske.point);
     if (info.kx == KeyExchange::kEcdheRsa) {
       auto sig = ctx_->provider()->rsa_sign(*ctx_->credentials().rsa_key,
                                             digest);
@@ -423,11 +510,11 @@ TlsResult TlsConnection::server_full_handshake_flight(
 TlsResult TlsConnection::server_resume_flight(const ClientHello& hello,
                                               const SessionState& session) {
   resumed_ = true;
-  master_secret_ = session.master_secret;
+  hs_->master_secret = session.master_secret;
 
   ServerHello sh;
   sh.version = ProtocolVersion::kTls12;
-  sh.random = server_random_;
+  sh.random = hs_->server_random;
   sh.session_id = hello.session_id;
   sh.cipher_suite = suite_;
   sh.resumed = true;
@@ -440,7 +527,7 @@ TlsResult TlsConnection::server_resume_flight(const ClientHello& hello,
     // from first establishment, not from the latest resumption.
     SessionState fresh;
     fresh.suite = suite_;
-    fresh.master_secret = master_secret_;
+    fresh.master_secret = hs_->master_secret;
     fresh.created_at_ms = session.created_at_ms;
     NewSessionTicketMsg nst;
     nst.ticket = ctx_->tickets().seal(fresh, ctx_->now_ms(), ctx_->rng());
@@ -478,24 +565,24 @@ TlsResult TlsConnection::server_on_client_key_exchange(
         *ctx_->credentials().rsa_key, parsed.value().exchange_data);
     if (!premaster.is_ok()) return TlsResult::kError;
     ++ops_.rsa;
-    premaster_ = std::move(premaster).take();
-    if (premaster_.size() != kMasterSecretSize) return TlsResult::kError;
+    hs_->premaster = std::move(premaster).take();
+    if (hs_->premaster.size() != kMasterSecretSize) return TlsResult::kError;
   } else {
     auto secret = ctx_->provider()->ecdhe_derive(
-        ecdhe_share_, parsed.value().exchange_data);
+        hs_->ecdhe_share, parsed.value().exchange_data);
     if (!secret.is_ok()) return TlsResult::kError;
     ++ops_.ecc;
-    premaster_ = std::move(secret).take();
+    hs_->premaster = std::move(secret).take();
   }
 
   auto master = tls12_master_secret(ctx_->provider(),
                                     cipher_suite_info(suite_).prf_hash,
-                                    premaster_, client_random_,
-                                    server_random_);
+                                    hs_->premaster, hs_->client_random,
+                                    hs_->server_random);
   if (!master.is_ok()) return TlsResult::kError;
   ++ops_.prf;
-  master_secret_ = std::move(master).take();
-  secure_wipe(premaster_.data(), premaster_.size());
+  hs_->master_secret = std::move(master).take();
+  secure_wipe(hs_->premaster.data(), hs_->premaster.size());
   if (!derive_and_install_keys().is_ok()) return TlsResult::kError;
 
   hs_state_ = HsState::kExpectClientCcs;
@@ -505,12 +592,12 @@ TlsResult TlsConnection::server_on_client_key_exchange(
 TlsResult TlsConnection::server_on_client_finished(const HandshakeHeader& msg,
                                                    bool resumed) {
   // Expected verify over the transcript excluding this Finished message.
-  Bytes with_finished = std::move(transcript_);
-  transcript_.assign(with_finished.begin(),
+  Bytes with_finished = std::move(hs_->transcript);
+  hs_->transcript.assign(with_finished.begin(),
                      with_finished.end() -
                          static_cast<ptrdiff_t>(4 + msg.body.size()));
   auto expect = finished_verify("client finished");
-  transcript_ = std::move(with_finished);
+  hs_->transcript = std::move(with_finished);
   if (!expect.is_ok()) return TlsResult::kError;
   if (!ct_equal(expect.value(), msg.body)) return TlsResult::kError;
 
@@ -519,7 +606,7 @@ TlsResult TlsConnection::server_on_client_finished(const HandshakeHeader& msg,
     const uint64_t now = ctx_->now_ms();
     SessionState state;
     state.suite = suite_;
-    state.master_secret = master_secret_;
+    state.master_secret = hs_->master_secret;
     if (ctx_->config().use_session_tickets) {
       NewSessionTicketMsg nst;
       nst.ticket = ctx_->tickets().seal(state, now, ctx_->rng());
@@ -527,7 +614,7 @@ TlsResult TlsConnection::server_on_client_finished(const HandshakeHeader& msg,
                .is_ok())
         return TlsResult::kError;
     } else {
-      ctx_->session_cache().put(session_id_, state, now);
+      ctx_->session_cache().put(hs_->session_id, state, now);
     }
 
     if (!records_.queue(ContentType::kChangeCipherSpec, Bytes{0x01}).is_ok())
@@ -543,6 +630,7 @@ TlsResult TlsConnection::server_on_client_finished(const HandshakeHeader& msg,
 
   record_established_session();
   hs_state_ = HsState::kDone;
+  maybe_release_handshake_state();
   return TlsResult::kOk;
 }
 
@@ -557,31 +645,31 @@ TlsResult TlsConnection::server_step13(const ClientHello& hello,
   auto share = ctx_->provider()->ecdhe_keygen(hello.curve);
   if (!share.is_ok()) return TlsResult::kError;
   ++ops_.ecc;
-  ecdhe_share_ = std::move(share).take();
-  auto shared = ctx_->provider()->ecdhe_derive(ecdhe_share_, hello.key_share);
+  hs_->ecdhe_share = std::move(share).take();
+  auto shared = ctx_->provider()->ecdhe_derive(hs_->ecdhe_share, hello.key_share);
   if (!shared.is_ok()) return TlsResult::kError;
   ++ops_.ecc;
   const Bytes ecdhe_secret = std::move(shared).take();
 
   ServerHello sh;
   sh.version = ProtocolVersion::kTls13;
-  sh.random = server_random_;
+  sh.random = hs_->server_random;
   sh.cipher_suite = suite_;
   sh.resumed = resumed_;
-  sh.key_share = ecdhe_share_.pub_point;
+  sh.key_share = hs_->ecdhe_share.pub_point;
   if (!send_handshake(HandshakeType::kServerHello, sh.encode()).is_ok())
     return TlsResult::kError;
 
   // Handshake secrets from the CH..SH transcript; HKDF runs on the CPU —
   // not offloadable through the QAT Engine (paper §5.2 / Fig. 8).
   const HashAlg alg = info.prf_hash;
-  secrets13_ = tls13_handshake_secrets(alg, ecdhe_secret,
-                                       hash(alg, transcript_), psk);
-  client_hs_keys13_ = tls13_aead_keys(alg, secrets13_.client_hs_traffic,
-                                      info, &secrets13_.hkdf_ops);
-  server_hs_keys13_ = tls13_aead_keys(alg, secrets13_.server_hs_traffic,
-                                      info, &secrets13_.hkdf_ops);
-  records_.enable_encryption_tx(server_hs_keys13_);
+  hs_->secrets13 = tls13_handshake_secrets(alg, ecdhe_secret,
+                                       hash(alg, hs_->transcript), psk);
+  hs_->client_hs_keys13 = tls13_aead_keys(alg, hs_->secrets13.client_hs_traffic,
+                                      info, &hs_->secrets13.hkdf_ops);
+  hs_->server_hs_keys13 = tls13_aead_keys(alg, hs_->secrets13.server_hs_traffic,
+                                      info, &hs_->secrets13.hkdf_ops);
+  records_.enable_encryption_tx(hs_->server_hs_keys13);
 
   if (!send_handshake(HandshakeType::kEncryptedExtensions, {}).is_ok())
     return TlsResult::kError;
@@ -600,7 +688,7 @@ TlsResult TlsConnection::server_step13(const ClientHello& hello,
 
     CertificateVerifyMsg cv;
     auto sig = ctx_->provider()->rsa_sign(*ctx_->credentials().rsa_key,
-                                          hash(alg, transcript_));
+                                          hash(alg, hs_->transcript));
     if (!sig.is_ok()) return TlsResult::kError;
     ++ops_.rsa;
     cv.signature = std::move(sig).take();
@@ -609,20 +697,20 @@ TlsResult TlsConnection::server_step13(const ClientHello& hello,
       return TlsResult::kError;
   }
 
-  const Bytes verify = tls13_finished_verify(alg, secrets13_.server_hs_traffic,
-                                             hash(alg, transcript_),
-                                             &secrets13_.hkdf_ops);
+  const Bytes verify = tls13_finished_verify(alg, hs_->secrets13.server_hs_traffic,
+                                             hash(alg, hs_->transcript),
+                                             &hs_->secrets13.hkdf_ops);
   if (!send_handshake(HandshakeType::kFinished, verify).is_ok())
     return TlsResult::kError;
 
   // Application secrets over the transcript through server Finished.
-  tls13_application_secrets(alg, &secrets13_, hash(alg, transcript_));
-  client_app_keys13_ = tls13_aead_keys(alg, secrets13_.client_app_traffic,
-                                       info, &secrets13_.hkdf_ops);
-  server_app_keys13_ = tls13_aead_keys(alg, secrets13_.server_app_traffic,
-                                       info, &secrets13_.hkdf_ops);
-  ops_.hkdf = secrets13_.hkdf_ops;
-  records_.enable_encryption_rx(client_hs_keys13_);
+  tls13_application_secrets(alg, &hs_->secrets13, hash(alg, hs_->transcript));
+  hs_->client_app_keys13 = tls13_aead_keys(alg, hs_->secrets13.client_app_traffic,
+                                       info, &hs_->secrets13.hkdf_ops);
+  hs_->server_app_keys13 = tls13_aead_keys(alg, hs_->secrets13.server_app_traffic,
+                                       info, &hs_->secrets13.hkdf_ops);
+  ops_.hkdf = hs_->secrets13.hkdf_ops;
+  records_.enable_encryption_rx(hs_->client_hs_keys13);
 
   hs_state_ = HsState::kExpectClientFinished13;
   const TlsResult r = records_.flush();
@@ -656,18 +744,18 @@ TlsResult TlsConnection::client_step() {
       if (r != TlsResult::kOk) return r;
       if (record.type == ContentType::kHandshake) {
         // NewSessionTicket may precede CCS in both resumed and full flows.
-        append(hs_buffer_, record.payload);
+        append(hs_->hs_buffer, record.payload);
         size_t consumed = 0;
-        auto parsed = parse_handshake(hs_buffer_, &consumed);
+        auto parsed = parse_handshake(hs_->hs_buffer, &consumed);
         if (!parsed.is_ok()) return TlsResult::kError;
-        transcript_add(BytesView(hs_buffer_.data(), consumed));
-        hs_buffer_.erase(hs_buffer_.begin(),
-                         hs_buffer_.begin() + static_cast<ptrdiff_t>(consumed));
+        transcript_add(BytesView(hs_->hs_buffer.data(), consumed));
+        hs_->hs_buffer.erase(hs_->hs_buffer.begin(),
+                         hs_->hs_buffer.begin() + static_cast<ptrdiff_t>(consumed));
         if (parsed.value().type != HandshakeType::kNewSessionTicket)
           return TlsResult::kError;
         auto nst = NewSessionTicketMsg::parse(parsed.value().body);
         if (!nst.is_ok()) return TlsResult::kError;
-        pending_ticket_ = nst.value().ticket;
+        hs_->pending_ticket = nst.value().ticket;
         return TlsResult::kOk;  // stay in the same state, CCS still expected
       }
       if (record.type != ContentType::kChangeCipherSpec)
@@ -704,19 +792,19 @@ TlsResult TlsConnection::client_send_hello() {
       cipher_suite_info(ctx_->config().cipher_suites.front());
   hello.version =
       first.tls13 ? ProtocolVersion::kTls13 : ProtocolVersion::kTls12;
-  client_random_.resize(kRandomSize);
-  ctx_->rng().generate(client_random_.data(), client_random_.size());
-  hello.random = client_random_;
+  hs_->client_random.resize(kRandomSize);
+  ctx_->rng().generate(hs_->client_random.data(), hs_->client_random.size());
+  hello.random = hs_->client_random;
   hello.cipher_suites = ctx_->config().cipher_suites;
   hello.curve = ctx_->config().curve;
 
-  if (offered_session_.has_value()) {
+  if (hs_->offered_session.has_value()) {
     if (first.tls13) {
       // psk_dhe_ke offer: ticket only (no legacy session id).
-      hello.session_ticket = offered_session_->ticket;
+      hello.session_ticket = hs_->offered_session->ticket;
     } else {
-      hello.session_id = offered_session_->session_id;
-      hello.session_ticket = offered_session_->ticket;
+      hello.session_id = hs_->offered_session->session_id;
+      hello.session_ticket = hs_->offered_session->ticket;
     }
   }
 
@@ -724,8 +812,8 @@ TlsResult TlsConnection::client_send_hello() {
     auto share = ctx_->provider()->ecdhe_keygen(hello.curve);
     if (!share.is_ok()) return TlsResult::kError;
     ++ops_.ecc;
-    ecdhe_share_ = std::move(share).take();
-    hello.key_share = ecdhe_share_.pub_point;
+    hs_->ecdhe_share = std::move(share).take();
+    hello.key_share = hs_->ecdhe_share.pub_point;
   }
 
   if (!send_handshake(HandshakeType::kClientHello, hello.encode()).is_ok())
@@ -742,37 +830,37 @@ TlsResult TlsConnection::client_on_server_hello(const HandshakeHeader& msg) {
   const ServerHello& sh = parsed.value();
   suite_ = sh.cipher_suite;
   version_ = sh.version;
-  server_random_ = sh.random;
-  session_id_ = sh.session_id;
+  hs_->server_random = sh.random;
+  hs_->session_id = sh.session_id;
 
   if (sh.version == ProtocolVersion::kTls13) {
     if (sh.key_share.empty()) return TlsResult::kError;
-    peer_point_ = sh.key_share;
+    hs_->peer_point = sh.key_share;
     resumed_ = sh.resumed;
-    if (resumed_ && !offered_session_.has_value()) return TlsResult::kError;
+    if (resumed_ && !hs_->offered_session.has_value()) return TlsResult::kError;
     // Derive the shared secret and handshake keys immediately.
-    auto shared = ctx_->provider()->ecdhe_derive(ecdhe_share_, peer_point_);
+    auto shared = ctx_->provider()->ecdhe_derive(hs_->ecdhe_share, hs_->peer_point);
     if (!shared.is_ok()) return TlsResult::kError;
     ++ops_.ecc;
     const CipherSuiteInfo& info = cipher_suite_info(suite_);
     const HashAlg alg = info.prf_hash;
     const Bytes psk =
-        resumed_ ? offered_session_->master_secret : Bytes();
-    secrets13_ = tls13_handshake_secrets(alg, shared.value(),
-                                         hash(alg, transcript_), psk);
-    client_hs_keys13_ = tls13_aead_keys(
-        alg, secrets13_.client_hs_traffic, info, &secrets13_.hkdf_ops);
-    server_hs_keys13_ = tls13_aead_keys(
-        alg, secrets13_.server_hs_traffic, info, &secrets13_.hkdf_ops);
-    records_.enable_encryption_rx(server_hs_keys13_);
+        resumed_ ? hs_->offered_session->master_secret : Bytes();
+    hs_->secrets13 = tls13_handshake_secrets(alg, shared.value(),
+                                         hash(alg, hs_->transcript), psk);
+    hs_->client_hs_keys13 = tls13_aead_keys(
+        alg, hs_->secrets13.client_hs_traffic, info, &hs_->secrets13.hkdf_ops);
+    hs_->server_hs_keys13 = tls13_aead_keys(
+        alg, hs_->secrets13.server_hs_traffic, info, &hs_->secrets13.hkdf_ops);
+    records_.enable_encryption_rx(hs_->server_hs_keys13);
     hs_state_ = HsState::kExpectServerFlight13;
     return TlsResult::kOk;
   }
 
   if (sh.resumed) {
-    if (!offered_session_.has_value()) return TlsResult::kError;
+    if (!hs_->offered_session.has_value()) return TlsResult::kError;
     resumed_ = true;
-    master_secret_ = offered_session_->master_secret;
+    hs_->master_secret = hs_->offered_session->master_secret;
     hs_state_ = HsState::kExpectServerCcsResumed;
     return TlsResult::kOk;
   }
@@ -790,10 +878,10 @@ TlsResult TlsConnection::client_on_server_flight(const HandshakeHeader& msg) {
       if (cert.value().cred_type == CredentialType::kRsa) {
         auto key = CertificateMsg::decode_rsa_key(cert.value().public_key);
         if (!key.is_ok()) return TlsResult::kError;
-        peer_rsa_ = std::move(key).take();
+        hs_->peer_rsa = std::move(key).take();
       } else {
-        peer_point_ = cert.value().public_key;  // ECDSA pub, reused below
-        peer_ecdsa_p384_ =
+        hs_->peer_point = cert.value().public_key;  // ECDSA pub, reused below
+        hs_->peer_ecdsa_p384 =
             cert.value().cred_type == CredentialType::kEcdsaP384;
       }
       return TlsResult::kOk;
@@ -802,16 +890,16 @@ TlsResult TlsConnection::client_on_server_flight(const HandshakeHeader& msg) {
       auto ske = ServerKeyExchange::parse(msg.body);
       if (!ske.is_ok()) return TlsResult::kError;
       const Bytes digest = ServerKeyExchange::signed_digest(
-          info.prf_hash, client_random_, server_random_, ske.value().curve,
+          info.prf_hash, hs_->client_random, hs_->server_random, ske.value().curve,
           ske.value().point);
       if (info.kx == KeyExchange::kEcdheRsa) {
-        if (!rsa_verify_pkcs1(peer_rsa_, digest, ske.value().signature)
+        if (!rsa_verify_pkcs1(hs_->peer_rsa, digest, ske.value().signature)
                  .is_ok())
           return TlsResult::kError;
       } else if (info.kx == KeyExchange::kEcdheEcdsa) {
         const EcCurve& sign_curve =
-            peer_ecdsa_p384_ ? curve_p384() : curve_p256();
-        auto pub = sign_curve.decode_point(peer_point_);
+            hs_->peer_ecdsa_p384 ? curve_p384() : curve_p256();
+        auto pub = sign_curve.decode_point(hs_->peer_point);
         if (!pub.is_ok()) return TlsResult::kError;
         auto sig = EcdsaSignature::decode(ske.value().signature, sign_curve);
         if (!sig.is_ok()) return TlsResult::kError;
@@ -819,8 +907,8 @@ TlsResult TlsConnection::client_on_server_flight(const HandshakeHeader& msg) {
                  .is_ok())
           return TlsResult::kError;
       }
-      ske_curve_ = ske.value().curve;
-      server_kx_point_ = ske.value().point;
+      hs_->ske_curve = ske.value().curve;
+      hs_->server_kx_point = ske.value().point;
       return TlsResult::kOk;
     }
     case HandshakeType::kServerHelloDone:
@@ -835,22 +923,22 @@ TlsResult TlsConnection::client_send_second_flight() {
   ClientKeyExchange cke;
 
   if (info.kx == KeyExchange::kRsa) {
-    premaster_.resize(kMasterSecretSize);
-    ctx_->rng().generate(premaster_.data(), premaster_.size());
-    auto ct = rsa_encrypt_pkcs1(peer_rsa_, premaster_, ctx_->rng());
+    hs_->premaster.resize(kMasterSecretSize);
+    ctx_->rng().generate(hs_->premaster.data(), hs_->premaster.size());
+    auto ct = rsa_encrypt_pkcs1(hs_->peer_rsa, hs_->premaster, ctx_->rng());
     if (!ct.is_ok()) return TlsResult::kError;
     cke.exchange_data = std::move(ct).take();
   } else {
-    auto share = ctx_->provider()->ecdhe_keygen(ske_curve_);
+    auto share = ctx_->provider()->ecdhe_keygen(hs_->ske_curve);
     if (!share.is_ok()) return TlsResult::kError;
     ++ops_.ecc;
-    ecdhe_share_ = std::move(share).take();
-    cke.exchange_data = ecdhe_share_.pub_point;
-    auto secret = ctx_->provider()->ecdhe_derive(ecdhe_share_,
-                                                 server_kx_point_);
+    hs_->ecdhe_share = std::move(share).take();
+    cke.exchange_data = hs_->ecdhe_share.pub_point;
+    auto secret = ctx_->provider()->ecdhe_derive(hs_->ecdhe_share,
+                                                 hs_->server_kx_point);
     if (!secret.is_ok()) return TlsResult::kError;
     ++ops_.ecc;
-    premaster_ = std::move(secret).take();
+    hs_->premaster = std::move(secret).take();
   }
 
   if (!send_handshake(HandshakeType::kClientKeyExchange, cke.encode())
@@ -858,12 +946,12 @@ TlsResult TlsConnection::client_send_second_flight() {
     return TlsResult::kError;
 
   auto master =
-      tls12_master_secret(ctx_->provider(), info.prf_hash, premaster_,
-                          client_random_, server_random_);
+      tls12_master_secret(ctx_->provider(), info.prf_hash, hs_->premaster,
+                          hs_->client_random, hs_->server_random);
   if (!master.is_ok()) return TlsResult::kError;
   ++ops_.prf;
-  master_secret_ = std::move(master).take();
-  secure_wipe(premaster_.data(), premaster_.size());
+  hs_->master_secret = std::move(master).take();
+  secure_wipe(hs_->premaster.data(), hs_->premaster.size());
   if (!derive_and_install_keys().is_ok()) return TlsResult::kError;
 
   if (!records_.queue(ContentType::kChangeCipherSpec, Bytes{0x01}).is_ok())
@@ -882,12 +970,12 @@ TlsResult TlsConnection::client_send_second_flight() {
 
 TlsResult TlsConnection::client_on_server_finished(const HandshakeHeader& msg,
                                                    bool resumed) {
-  Bytes with_finished = std::move(transcript_);
-  transcript_.assign(with_finished.begin(),
+  Bytes with_finished = std::move(hs_->transcript);
+  hs_->transcript.assign(with_finished.begin(),
                      with_finished.end() -
                          static_cast<ptrdiff_t>(4 + msg.body.size()));
   auto expect = finished_verify("server finished");
-  transcript_ = std::move(with_finished);
+  hs_->transcript = std::move(with_finished);
   if (!expect.is_ok()) return TlsResult::kError;
   if (!ct_equal(expect.value(), msg.body)) return TlsResult::kError;
 
@@ -906,6 +994,7 @@ TlsResult TlsConnection::client_on_server_finished(const HandshakeHeader& msg,
 
   record_established_session();
   hs_state_ = HsState::kDone;
+  maybe_release_handshake_state();
   return TlsResult::kOk;
 }
 
@@ -915,7 +1004,7 @@ TlsResult TlsConnection::client_process_server_flight13() {
   for (;;) {
     // Remember the transcript before each message: Finished verification
     // needs the pre-Finished hash.
-    const size_t transcript_before = transcript_.size();
+    const size_t transcript_before = hs_->transcript.size();
     HandshakeHeader msg;
     const TlsResult r = next_handshake_message(&msg);
     if (r != TlsResult::kOk) return r;
@@ -929,53 +1018,54 @@ TlsResult TlsConnection::client_process_server_flight13() {
           return TlsResult::kError;
         auto key = CertificateMsg::decode_rsa_key(cert.value().public_key);
         if (!key.is_ok()) return TlsResult::kError;
-        peer_rsa_ = std::move(key).take();
+        hs_->peer_rsa = std::move(key).take();
         break;
       }
       case HandshakeType::kCertificateVerify: {
         auto cv = CertificateVerifyMsg::parse(msg.body);
         if (!cv.is_ok()) return TlsResult::kError;
         const Bytes digest =
-            hash(alg, BytesView(transcript_.data(), transcript_before));
-        if (!rsa_verify_pkcs1(peer_rsa_, digest, cv.value().signature)
+            hash(alg, BytesView(hs_->transcript.data(), transcript_before));
+        if (!rsa_verify_pkcs1(hs_->peer_rsa, digest, cv.value().signature)
                  .is_ok())
           return TlsResult::kError;
         break;
       }
       case HandshakeType::kFinished: {
         const Bytes expect = tls13_finished_verify(
-            alg, secrets13_.server_hs_traffic,
-            hash(alg, BytesView(transcript_.data(), transcript_before)),
-            &secrets13_.hkdf_ops);
+            alg, hs_->secrets13.server_hs_traffic,
+            hash(alg, BytesView(hs_->transcript.data(), transcript_before)),
+            &hs_->secrets13.hkdf_ops);
         if (!ct_equal(expect, msg.body)) return TlsResult::kError;
 
         // Application secrets over the transcript through server Finished.
-        tls13_application_secrets(alg, &secrets13_,
-                                  hash(alg, transcript_));
-        client_app_keys13_ = tls13_aead_keys(
-            alg, secrets13_.client_app_traffic, info, &secrets13_.hkdf_ops);
-        server_app_keys13_ = tls13_aead_keys(
-            alg, secrets13_.server_app_traffic, info, &secrets13_.hkdf_ops);
+        tls13_application_secrets(alg, &hs_->secrets13,
+                                  hash(alg, hs_->transcript));
+        hs_->client_app_keys13 = tls13_aead_keys(
+            alg, hs_->secrets13.client_app_traffic, info, &hs_->secrets13.hkdf_ops);
+        hs_->server_app_keys13 = tls13_aead_keys(
+            alg, hs_->secrets13.server_app_traffic, info, &hs_->secrets13.hkdf_ops);
 
         // Client Finished under the handshake traffic keys.
-        records_.enable_encryption_tx(client_hs_keys13_);
+        records_.enable_encryption_tx(hs_->client_hs_keys13);
         const Bytes verify = tls13_finished_verify(
-            alg, secrets13_.client_hs_traffic, hash(alg, transcript_),
-            &secrets13_.hkdf_ops);
+            alg, hs_->secrets13.client_hs_traffic, hash(alg, hs_->transcript),
+            &hs_->secrets13.hkdf_ops);
         if (!send_handshake(HandshakeType::kFinished, verify).is_ok())
           return TlsResult::kError;
         const TlsResult fr = records_.flush();
         if (fr != TlsResult::kOk && fr != TlsResult::kWantWrite) return fr;
 
-        records_.enable_encryption_tx(client_app_keys13_);
-        records_.enable_encryption_rx(server_app_keys13_);
+        records_.enable_encryption_tx(hs_->client_app_keys13);
+        records_.enable_encryption_rx(hs_->server_app_keys13);
         // Resumption master over the full transcript (incl. our Finished) —
         // paired with the server's NewSessionTicket, which read() captures.
         resumption_master13_ = tls13_resumption_master(
-            alg, secrets13_.master_secret, hash(alg, transcript_), nullptr);
-        ops_.hkdf = secrets13_.hkdf_ops;
+            alg, hs_->secrets13.master_secret, hash(alg, hs_->transcript), nullptr);
+        ops_.hkdf = hs_->secrets13.hkdf_ops;
         record_established_session();
         hs_state_ = HsState::kDone;
+        maybe_release_handshake_state();
         return TlsResult::kOk;
       }
       default:

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "asyncx/job.h"
+#include "common/slab.h"
 #include "tls/context.h"
 #include "tls/key_schedule.h"
 #include "tls/messages.h"
@@ -31,6 +32,46 @@ struct ClientSession {
   Bytes master_secret;
 };
 
+// Handshake-phase state of one connection (DESIGN.md §14): everything a
+// connection needs only until it reaches established — randoms, transcript,
+// reassembly buffer, key-exchange material, key-schedule intermediates.
+// Lives in a per-worker slab (heap when no pool is supplied) and is wiped
+// and released wholesale at the kDone transition, so an idle established
+// connection carries only record keys, cursors, and timer links. The
+// retain_handshake_state context knob keeps it alive for A/B footprint
+// measurement.
+struct HandshakeScratch {
+  Bytes client_random;
+  Bytes server_random;
+  Bytes session_id;
+  Bytes premaster;
+  Bytes master_secret;
+  SessionKeys session_keys;
+  bool keys_derived = false;
+  engine::KeyShare ecdhe_share;      // our ephemeral share
+  Bytes peer_point;                  // peer ECDSA public key (client side)
+  bool peer_ecdsa_p384 = false;      // which prime curve signed the SKE
+  CurveId ske_curve = CurveId::kP256;  // ECDHE group from ServerKeyExchange
+  Bytes server_kx_point;             // server ephemeral point (client side)
+  RsaPublicKey peer_rsa;             // client: server's key from Certificate
+  Bytes transcript;                  // running handshake transcript
+  std::optional<ClientSession> offered_session;
+  Bytes pending_ticket;              // client: ticket received this handshake
+
+  // TLS 1.3 state (AES-GCM record protection, RFC 8446 §7.3).
+  Tls13Secrets secrets13;
+  AeadKeys client_hs_keys13, server_hs_keys13;
+  AeadKeys client_app_keys13, server_app_keys13;
+
+  // Buffer of handshake messages extracted from records but not consumed.
+  Bytes hs_buffer;
+
+  // Zero every secret-bearing field in place (slab slots are recycled).
+  void wipe_secrets();
+  // Approximate heap bytes owned by this scratch (excluding sizeof(*this)).
+  size_t heap_footprint() const;
+};
+
 // Per-connection crypto op accounting — verifies Table 1 in tests/benches.
 struct OpCounters {
   int rsa = 0;       // RSA private ops
@@ -42,7 +83,11 @@ struct OpCounters {
 
 class TlsConnection {
  public:
-  TlsConnection(TlsContext* ctx, Transport* transport);
+  // `scratch_pool` (optional) slab-allocates the handshake scratch; without
+  // one the scratch lives on the heap. Single-threaded pools: pass a pool
+  // owned by the same worker/thread that drives this connection.
+  TlsConnection(TlsContext* ctx, Transport* transport,
+                common::SlabPool<HandshakeScratch>* scratch_pool = nullptr);
   ~TlsConnection();
 
   TlsConnection(const TlsConnection&) = delete;
@@ -78,7 +123,7 @@ class TlsConnection {
 
   // Client: offer this session for resumption (set before handshake()).
   void offer_session(ClientSession session) {
-    offered_session_ = std::move(session);
+    if (hs_ != nullptr) hs_->offered_session = std::move(session);
   }
   // Established session for later resumption (valid after handshake).
   const std::optional<ClientSession>& established_session() const {
@@ -87,6 +132,15 @@ class TlsConnection {
 
   asyncx::WaitCtx* wait_ctx() { return &wait_ctx_; }
   RecordLayer& record_layer() { return records_; }
+
+  // True once the handshake scratch has been wiped and released (kDone
+  // reached with retain_handshake_state off).
+  bool handshake_state_released() const { return hs_ == nullptr; }
+  // Approximate heap bytes owned by this connection: record-layer buffers,
+  // handshake scratch (when still held), session state, entry scratch.
+  // Feeds the worker's memory.bytes_per_conn gauge and the million_conn
+  // bench's idle-footprint gate.
+  size_t heap_footprint() const;
 
   bool has_paused_job() const { return job_ != nullptr; }
   // Resume a paused async job to completion, discarding its result — used
@@ -163,6 +217,10 @@ class TlsConnection {
   void install_rx_keys();
   Result<Bytes> finished_verify(const std::string& label);
   void record_established_session();
+  // Wipe + release the handshake scratch and shrink the record layer's
+  // handshake high-water buffers. Called at every kDone transition; a no-op
+  // under retain_handshake_state.
+  void maybe_release_handshake_state();
 
   TlsContext* ctx_;
   RecordLayer records_;
@@ -174,32 +232,14 @@ class TlsConnection {
   CipherSuite suite_ = CipherSuite::kTlsRsaWithAes128CbcSha;
   bool resumed_ = false;
 
-  Bytes client_random_;
-  Bytes server_random_;
-  Bytes session_id_;
-  Bytes premaster_;
-  Bytes master_secret_;
-  SessionKeys session_keys_;
-  bool keys_derived_ = false;
-  engine::KeyShare ecdhe_share_;     // our ephemeral share
-  Bytes peer_point_;                 // peer ECDSA public key (client side)
-  bool peer_ecdsa_p384_ = false;     // which prime curve signed the SKE
-  CurveId ske_curve_ = CurveId::kP256;  // ECDHE group from ServerKeyExchange
-  Bytes server_kx_point_;            // server ephemeral point (client side)
-  RsaPublicKey peer_rsa_;            // client: server's key from Certificate
-  Bytes transcript_;                 // running handshake transcript
-  std::optional<ClientSession> offered_session_;
+  // Handshake-phase state: slab slot (or heap) released at established.
+  // Post-established code paths must not touch hs_ — only the fields below
+  // survive to the idle steady state.
+  common::SlabPool<HandshakeScratch>* scratch_pool_;
+  HandshakeScratch* hs_;
+
   std::optional<ClientSession> established_session_;
-  Bytes pending_ticket_;             // client: ticket received this handshake
-
-  // TLS 1.3 state (AES-GCM record protection, RFC 8446 §7.3).
-  Tls13Secrets secrets13_;
   Bytes resumption_master13_;  // "res master" of the completed handshake
-  AeadKeys client_hs_keys13_, server_hs_keys13_;
-  AeadKeys client_app_keys13_, server_app_keys13_;
-
-  // Buffer of handshake messages extracted from records but not consumed.
-  Bytes hs_buffer_;
 
   // Entry-point scratch: parameters of the in-flight read()/write() call so
   // the fiber can be resumed by re-invoking the same entry point.

@@ -47,6 +47,11 @@ struct TlsContextConfig {
   // flat send buffer). Reference/baseline mode for the data-plane tests
   // and copy-meter comparisons; the default is the iovec-chain batch plane.
   bool legacy_record_dataplane = false;
+  // Keep the handshake scratch (transcript, reassembly buffer, key-schedule
+  // intermediates) alive after established instead of wiping and releasing
+  // it. Baseline mode for the memory benches: bench/million_conn measures
+  // idle bytes/connection in both modes to report the shrink factor.
+  bool retain_handshake_state = false;
 };
 
 class TlsContext {

@@ -130,4 +130,36 @@ Bytes tls13_finished_verify(HashAlg alg, BytesView traffic_secret,
   return hmac(alg, finished_key, transcript_hash);
 }
 
+// --- Established-state release ---------------------------------------------
+
+void wipe_key_schedule(Bytes& b) {
+  secure_wipe(b.data(), b.size());
+  b.clear();
+  b.shrink_to_fit();
+}
+
+void wipe_key_schedule(CbcHmacKeys& k) {
+  wipe_key_schedule(k.enc_key);
+  wipe_key_schedule(k.mac_key);
+}
+
+void wipe_key_schedule(AeadKeys& k) {
+  wipe_key_schedule(k.key);
+  wipe_key_schedule(k.iv);
+}
+
+void wipe_key_schedule(SessionKeys& k) {
+  wipe_key_schedule(k.client_write);
+  wipe_key_schedule(k.server_write);
+}
+
+void wipe_key_schedule(Tls13Secrets& s) {
+  wipe_key_schedule(s.handshake_secret);
+  wipe_key_schedule(s.client_hs_traffic);
+  wipe_key_schedule(s.server_hs_traffic);
+  wipe_key_schedule(s.master_secret);
+  wipe_key_schedule(s.client_app_traffic);
+  wipe_key_schedule(s.server_app_traffic);
+}
+
 }  // namespace qtls::tls

@@ -84,4 +84,16 @@ CbcHmacKeys tls13_traffic_keys(HashAlg alg, BytesView traffic_secret,
 Bytes tls13_finished_verify(HashAlg alg, BytesView traffic_secret,
                             BytesView transcript_hash, int* hkdf_ops);
 
+// --- Established-state release (DESIGN.md §14) ------------------------------
+// Secure-wipe for the key-schedule scratch a connection releases once it
+// reaches established: the record layer keeps its own copies of the traffic
+// keys, so every derivation intermediate here is zeroed in place before the
+// handshake scratch returns to its slab. Wiping (not just freeing) matters —
+// slab slots are recycled into the next connection's scratch.
+void wipe_key_schedule(Bytes& b);
+void wipe_key_schedule(CbcHmacKeys& k);
+void wipe_key_schedule(AeadKeys& k);
+void wipe_key_schedule(SessionKeys& k);
+void wipe_key_schedule(Tls13Secrets& s);
+
 }  // namespace qtls::tls

@@ -280,6 +280,26 @@ void RecordLayer::compact_recv_buffer() {
   ++rx_compactions_;
 }
 
+void RecordLayer::shrink_after_handshake() {
+  // Unconditionally drop the consumed prefix (ignore the amortization
+  // threshold — this runs once per connection), then return the high-water
+  // capacity to the allocator. A clean handshake leaves the buffer empty,
+  // so this is usually a free() of the whole allocation.
+  if (recv_off_ > 0) {
+    recv_buffer_.erase(
+        recv_buffer_.begin(),
+        recv_buffer_.begin() + static_cast<ptrdiff_t>(recv_off_));
+    recv_off_ = 0;
+  }
+  recv_buffer_.shrink_to_fit();
+}
+
+size_t RecordLayer::heap_footprint() const {
+  size_t n = recv_buffer_.capacity();
+  for (const TxBlock& block : send_chain_) n += block.data.capacity();
+  return n;
+}
+
 RecordLayer::ReadOutcome RecordLayer::read_record() {
   // Accumulate transport bytes until a full record is present. Consumption
   // advances an offset cursor; the buffer compacts amortized (satellite:
@@ -373,6 +393,11 @@ RecordLayer::ReadOutcome RecordLayer::read_record() {
       case IoStatus::kOk:
         break;
       case IoStatus::kWouldBlock:
+        // Fully drained and going idle: drop the read chunk's capacity so a
+        // parked keepalive connection holds cursors, not a 4 KB buffer. A
+        // buffered partial record keeps its storage.
+        if (idle_shrink_ && recv_buffer_.empty() && recv_off_ == 0)
+          Bytes().swap(recv_buffer_);
         return {TlsResult::kWantRead, std::nullopt};
       case IoStatus::kClosed:
         return {TlsResult::kClosed, std::nullopt};

@@ -103,6 +103,22 @@ class RecordLayer {
   uint64_t rx_compactions() const { return rx_compactions_; }
   size_t recv_buffer_capacity() const { return recv_buffer_.capacity(); }
 
+  // Established-state shrink (DESIGN.md §14): releases the receive buffer's
+  // handshake high-water capacity, keeping only bytes not yet parsed. An
+  // idle established connection should pin record keys and cursors, not the
+  // multi-KB flight the handshake happened to buffer.
+  void shrink_after_handshake();
+  // Idle-shrink discipline (DESIGN.md §14): when a read drains the receive
+  // buffer completely and the transport would block, release the buffer's
+  // capacity instead of pinning the 4 KB read chunk per idle connection.
+  // Costs one allocation per epoll wakeup on active connections — noise
+  // next to record crypto — and keeps a million keepalive connections at
+  // cursor-sized RX state. Off by default (the retain-mode baseline).
+  void set_idle_shrink(bool on) { idle_shrink_ = on; }
+  // Approximate heap bytes owned by this layer's buffers (RX buffer + TX
+  // chain) — feeds TlsConnection::heap_footprint and memory.bytes_per_conn.
+  size_t heap_footprint() const;
+
   // The alert the last kError from read_record() deserves (RFC 5246 §7.2):
   // record_overflow for length-bound violations, bad_record_mac for failed
   // record protection. Unset when no read error has occurred.
@@ -130,6 +146,7 @@ class RecordLayer {
   engine::CryptoProvider* provider_;
   HmacDrbg* iv_rng_;
   bool legacy_tx_;
+  bool idle_shrink_ = false;
 
   DirectionState tx_;
   DirectionState rx_;

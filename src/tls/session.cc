@@ -21,16 +21,27 @@ void SessionCache::evict_one(uint64_t now_ms) {
   // refreshes live ones), so a bounded probe from the tail finds them
   // without an O(n) sweep on every insert.
   auto victim = std::prev(lru_.end());
+  bool victim_expired = false;
   int probes = kEvictProbes;
   for (auto rit = lru_.rbegin(); rit != lru_.rend() && probes-- > 0; ++rit) {
     if (expired(map_.find(*rit)->second.state, now_ms)) {
       victim = std::prev(rit.base());
+      victim_expired = true;
       break;
     }
   }
   map_.erase(*victim);
   lru_.erase(victim);
-  ++evictions_;
+  // An expired victim is an EXPIRATION, not an eviction: the probe merely
+  // reclaimed it early. Counting it as an eviction broke the conservation
+  // invariant (inserts == size + evictions + expirations + removes) — the
+  // sharded front-end diffs these per call, so misclassifying here
+  // under-counted expirations fleet-wide.
+  if (victim_expired) {
+    ++expirations_;
+  } else {
+    ++evictions_;
+  }
 }
 
 void SessionCache::put(const Bytes& session_id, SessionState state,
@@ -48,6 +59,7 @@ void SessionCache::put(const Bytes& session_id, SessionState state,
   if (map_.size() >= capacity_) evict_one(now_ms);
   lru_.push_front(key);
   map_.emplace(key, Entry{std::move(state), lru_.begin()});
+  ++inserts_;
 }
 
 std::optional<SessionState> SessionCache::get(const Bytes& session_id,
@@ -62,6 +74,7 @@ std::optional<SessionState> SessionCache::get(const Bytes& session_id,
     lru_.erase(it->second.lru_it);
     map_.erase(it);
     ++misses_;
+    ++expirations_;  // the entry left the cache; the read is still a miss
     return std::nullopt;
   }
   // Refresh LRU position.
@@ -77,6 +90,7 @@ void SessionCache::remove(const Bytes& session_id) {
   if (it == map_.end()) return;
   lru_.erase(it->second.lru_it);
   map_.erase(it);
+  ++removes_;
 }
 
 TicketKeeper::TicketKeeper(BytesView key_seed, uint64_t lifetime_ms)

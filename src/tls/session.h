@@ -51,7 +51,18 @@ class SessionCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  // Counter taxonomy (the conservation invariant depends on it):
+  //   inserts     — puts that created a NEW entry (replacement is not one)
+  //   evictions   — a LIVE entry displaced by capacity pressure
+  //   expirations — an entry removed because its TTL lapsed, whether the
+  //                 expired-first probe reclaimed it on the insert path or
+  //                 get() tripped over it
+  //   removes     — explicit remove() of a present key
+  // Invariant: inserts == size + evictions + expirations + removes.
+  uint64_t inserts() const { return inserts_; }
   uint64_t evictions() const { return evictions_; }
+  uint64_t expirations() const { return expirations_; }
+  uint64_t removes() const { return removes_; }
 
  private:
   struct Entry {
@@ -72,7 +83,10 @@ class SessionCache {
   std::list<std::string> lru_;  // front = most recent
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t inserts_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t expirations_ = 0;
+  uint64_t removes_ = 0;
 };
 
 // Session tickets: seal/unseal SessionState under a ticket key (AES-128-CBC

@@ -33,8 +33,12 @@ ShardedSessionCache::ShardedSessionCache(size_t shards, size_t capacity,
                                          uint64_t lifetime_ms)
     : hit_metric_(obs::MetricsRegistry::global().counter("tls.session.hit")),
       miss_metric_(obs::MetricsRegistry::global().counter("tls.session.miss")),
+      insert_metric_(
+          obs::MetricsRegistry::global().counter("tls.session.insert")),
       evict_metric_(
-          obs::MetricsRegistry::global().counter("tls.session.evict")) {
+          obs::MetricsRegistry::global().counter("tls.session.evict")),
+      expire_metric_(
+          obs::MetricsRegistry::global().counter("tls.session.expire")) {
   const size_t n = round_up_pow2(shards);
   // Split the total capacity across shards (ceiling, so shards*per >= total
   // and a capacity below the shard count still holds at least one entry per
@@ -50,20 +54,47 @@ ShardedSessionCache::Shard& ShardedSessionCache::shard_of(
   return *shards_[fnv1a(session_id) & (shards_.size() - 1)];
 }
 
+struct ShardedSessionCache::ShardDelta {
+  uint64_t inserts;
+  uint64_t evictions;
+  uint64_t expirations;
+  uint64_t removes;
+  explicit ShardDelta(const SessionCache& c)
+      : inserts(c.inserts()),
+        evictions(c.evictions()),
+        expirations(c.expirations()),
+        removes(c.removes()) {}
+};
+
+void ShardedSessionCache::fold_delta(const ShardDelta& before,
+                                     const SessionCache& after) {
+  // Every path that changes shard occupancy folds ALL the accounting
+  // counters, not just the one it expects to move: a put can expire
+  // (expired-first probe) OR evict, a get can expire. Diffing only
+  // evictions here was the under-count the conservation test caught.
+  if (uint64_t d = after.inserts() - before.inserts) {
+    inserts_.fetch_add(d, std::memory_order_relaxed);
+    insert_metric_.add(static_cast<int64_t>(d));
+  }
+  if (uint64_t d = after.evictions() - before.evictions) {
+    evictions_.fetch_add(d, std::memory_order_relaxed);
+    evict_metric_.add(static_cast<int64_t>(d));
+  }
+  if (uint64_t d = after.expirations() - before.expirations) {
+    expirations_.fetch_add(d, std::memory_order_relaxed);
+    expire_metric_.add(static_cast<int64_t>(d));
+  }
+  if (uint64_t d = after.removes() - before.removes)
+    removes_.fetch_add(d, std::memory_order_relaxed);
+}
+
 void ShardedSessionCache::put(const Bytes& session_id, SessionState state,
                               uint64_t now_ms) {
   Shard& shard = shard_of(session_id);
-  uint64_t evicted = 0;
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const uint64_t before = shard.cache.evictions();
-    shard.cache.put(session_id, std::move(state), now_ms);
-    evicted = shard.cache.evictions() - before;
-  }
-  if (evicted > 0) {
-    evictions_.fetch_add(evicted, std::memory_order_relaxed);
-    evict_metric_.add(evicted);
-  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const ShardDelta before(shard.cache);
+  shard.cache.put(session_id, std::move(state), now_ms);
+  fold_delta(before, shard.cache);
 }
 
 std::optional<SessionState> ShardedSessionCache::get(const Bytes& session_id,
@@ -72,7 +103,9 @@ std::optional<SessionState> ShardedSessionCache::get(const Bytes& session_id,
   std::optional<SessionState> out;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    const ShardDelta before(shard.cache);
     out = shard.cache.get(session_id, now_ms);
+    fold_delta(before, shard.cache);
   }
   if (out.has_value()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -87,7 +120,9 @@ std::optional<SessionState> ShardedSessionCache::get(const Bytes& session_id,
 void ShardedSessionCache::remove(const Bytes& session_id) {
   Shard& shard = shard_of(session_id);
   std::lock_guard<std::mutex> lock(shard.mu);
+  const ShardDelta before(shard.cache);
   shard.cache.remove(session_id);
+  fold_delta(before, shard.cache);
 }
 
 size_t ShardedSessionCache::size() const {
@@ -213,7 +248,9 @@ std::string SessionPlane::stats_json(uint64_t now_ms) const {
      << ",\"cache_size\":" << cache_.size()
      << ",\"cache_hits\":" << cache_.hits()
      << ",\"cache_misses\":" << cache_.misses()
+     << ",\"cache_inserts\":" << cache_.inserts()
      << ",\"cache_evictions\":" << cache_.evictions()
+     << ",\"cache_expirations\":" << cache_.expirations()
      << ",\"ticket_epoch\":" << ring_.epoch_at(now_ms)
      << ",\"tickets_sealed\":" << ring_.seals()
      << ",\"tickets_unsealed\":" << ring_.unseal_ok()

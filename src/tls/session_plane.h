@@ -55,9 +55,18 @@ class ShardedSessionCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Same taxonomy as SessionCache; with all mutators quiesced,
+  //   inserts == size + evictions + expirations + removes
+  // holds exactly (each shard op diffs the shard's counters under its lock
+  // and folds them into these totals).
+  uint64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  uint64_t expirations() const {
+    return expirations_.load(std::memory_order_relaxed);
+  }
+  uint64_t removes() const { return removes_.load(std::memory_order_relaxed); }
 
  private:
   struct Shard {
@@ -69,13 +78,23 @@ class ShardedSessionCache {
 
   Shard& shard_of(const Bytes& session_id);
 
+  // Folds the change in a shard's insert/evict/expire/remove counters
+  // (observed across one locked operation) into the atomic totals.
+  struct ShardDelta;
+  void fold_delta(const ShardDelta& before, const SessionCache& after);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> expirations_{0};
+  std::atomic<uint64_t> removes_{0};
   obs::Counter hit_metric_;
   obs::Counter miss_metric_;
+  obs::Counter insert_metric_;
   obs::Counter evict_metric_;
+  obs::Counter expire_metric_;
 };
 
 // Rotating ticket-key ring. Sealed ticket layout (RFC 5077 shape):

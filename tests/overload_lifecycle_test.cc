@@ -353,6 +353,63 @@ TEST(Admission, ParkOverflowSheds) {
   for (int i = 0; i < 4; ++i) ::close(fds[i]);
 }
 
+// S1 regression (DESIGN.md §14): a parked accept ages against the handshake
+// deadline like an admitted connection. Pre-fix the backlog held raw fds
+// with no deadline at all — a peer that hit its handshake deadline simply
+// never left the park, and the deadline path that should have removed it
+// had a node-destroyed-while-linked lifetime bug this test pins down
+// (run under ASan: the unlink must happen before the slab slot recycles).
+TEST(Admission, ParkedAcceptAgedOutAtHandshakeDeadline) {
+  WorkerConfig wcfg;
+  wcfg.overload.max_handshaking = 1;
+  wcfg.overload.handshake_timeout_ms = 5000;
+  wcfg.overload.past_cap = OverloadConfig::PastCap::kPark;
+  wcfg.overload.park_backlog = 8;
+  SoftRig rig(wcfg);
+  const uint64_t obs_before = obs_counter("overload.park_timeout");
+
+  // A half-open handshake holds the single slot (deadline at t=6000)...
+  const int fd_hog = rig.adopt_pair();
+  ASSERT_GE(fd_hog, 0);
+  ASSERT_EQ(::send(fd_hog, "\x16\x03", 2, 0), 2);
+  rig.worker->run_once(0);
+  // ...and two later peers land in the park (deadlines at t=7000).
+  rig.vnow = 2000;
+  const int fd_p1 = rig.adopt_pair();
+  const int fd_p2 = rig.adopt_pair();
+  ASSERT_GE(fd_p1, 0);
+  ASSERT_GE(fd_p2, 0);
+  EXPECT_EQ(rig.worker->parked_accepts(), 2u);
+
+  // The hog's deadline tears it down; the freed slot admits the FIRST
+  // parked peer, whose own park deadline is cancelled by the unlink.
+  rig.vnow = 6500;
+  for (int i = 0; i < 3; ++i) rig.worker->run_once(0);
+  EXPECT_EQ(rig.worker->overload_stats().handshake_timeouts, 1u);
+  EXPECT_EQ(rig.worker->overload_stats().admitted_from_park, 1u);
+  EXPECT_EQ(rig.worker->overload_stats().park_timeouts, 0u);
+  EXPECT_EQ(rig.worker->parked_accepts(), 1u);
+
+  // The second peer is still parked when ITS deadline passes: unlinked from
+  // the backlog, counted, closed, slab slot released.
+  rig.vnow = 7500;
+  for (int i = 0; i < 3; ++i) rig.worker->run_once(0);
+  EXPECT_EQ(rig.worker->overload_stats().park_timeouts, 1u);
+  EXPECT_EQ(rig.worker->parked_accepts(), 0u);
+  EXPECT_EQ(obs_counter("overload.park_timeout"), obs_before + 1);
+
+  // The backlog links survived the mid-life removal: parking again works
+  // (a dangling node here is what ASan caught pre-fix).
+  const int fd_p3 = rig.adopt_pair();
+  ASSERT_GE(fd_p3, 0);
+  EXPECT_EQ(rig.worker->parked_accepts(), 1u);
+
+  ::close(fd_hog);
+  ::close(fd_p1);
+  ::close(fd_p2);
+  ::close(fd_p3);
+}
+
 // -------------------------------------------------------------- drain ----
 
 TEST(Drain, WorkerDrainsIdleThenForceClosesAtDeadline) {

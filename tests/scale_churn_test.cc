@@ -1,0 +1,217 @@
+// Scale churn soak (DESIGN.md §14, S4 of the scale pass): hammer the slab
+// allocator and timer wheel with connect/handshake/close-shaped churn in
+// virtual time, and drive real TLS connections through a worker, asserting
+// after every cycle that pool occupancy returns exactly to its prior value
+// — the conservation invariant that turns "no leak" from a hope into an
+// assert. Run under -DQTLS_SANITIZE=address and =thread (`ctest -L scale`);
+// the multi-pool test exercises the one-pool-per-thread discipline while
+// the registry is snapshotted concurrently.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/slab.h"
+#include "crypto/keystore.h"
+#include "net/timer_wheel.h"
+#include "server/worker.h"
+#include "tls_test_util.h"
+
+#ifndef QTLS_SCALE_CHURN_CYCLES
+#define QTLS_SCALE_CHURN_CYCLES 100000
+#endif
+
+namespace qtls {
+namespace {
+
+// A connection-shaped payload: a couple of buffers and a timer link, the
+// same mix the worker's Conn slab carries.
+struct FakeConn {
+  Bytes rx;
+  Bytes scratch;
+  net::TimerWheel::TimerId deadline = 0;
+  uint64_t id = 0;
+};
+
+// One virtual-time connect/handshake/close churn loop on a private pool +
+// wheel. Every cycle allocates a conn and a handshake deadline, "completes"
+// or "times out" the handshake, then frees both — and the pool must land on
+// exactly the occupancy it started the cycle with.
+void churn_loop(size_t cycles, uint64_t seed, size_t* peak_capacity) {
+  common::SlabPool<FakeConn> pool;
+  net::TimerWheel wheel(/*tick_ms=*/10, /*num_slots=*/256);
+  uint64_t vnow = 1;
+  uint64_t rng = seed;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+  std::vector<FakeConn*> live;  // a small keepalive population
+  size_t capacity_at_warmup = 0;
+
+  for (size_t i = 0; i < cycles; ++i) {
+    const size_t live_before = pool.live();
+    FakeConn* conn = pool.create();
+    conn->id = i;
+    conn->rx.resize(64 + next() % 512);  // handshake flight
+    conn->scratch.resize(256);
+    bool timed_out = false;
+    conn->deadline = wheel.arm(vnow, 50 + next() % 200,
+                               [&timed_out] { timed_out = true; });
+    vnow += next() % 40;
+    wheel.advance(vnow);
+    if (!timed_out) (void)wheel.cancel(conn->deadline);
+    conn->deadline = 0;
+    // Established: shed the handshake-phase buffers (the S2 discipline).
+    conn->scratch.clear();
+    conn->scratch.shrink_to_fit();
+    // Most connections close immediately; some linger as keepalives.
+    if (next() % 8 == 0 && live.size() < 64) {
+      live.push_back(conn);
+      ASSERT_EQ(pool.live(), live_before + 1);
+    } else {
+      pool.destroy(conn);
+      ASSERT_EQ(pool.live(), live_before);
+    }
+    // Keepalive churn: occasionally close the oldest lingerer.
+    if (!live.empty() && next() % 16 == 0) {
+      pool.destroy(live.front());
+      live.erase(live.begin());
+    }
+    if (i == cycles / 10) capacity_at_warmup = pool.capacity();
+  }
+  for (FakeConn* conn : live) pool.destroy(conn);
+  live.clear();
+
+  // Zero leak, balanced books, and no unbounded slab growth after warmup
+  // (the keepalive population is bounded, so the carved capacity is too).
+  ASSERT_EQ(pool.live(), 0u);
+  const common::SlabStats s = pool.stats();
+  ASSERT_EQ(s.total_allocs, s.total_frees);
+  ASSERT_EQ(s.total_allocs, static_cast<uint64_t>(cycles));
+  ASSERT_LE(pool.capacity(), capacity_at_warmup + 256);
+  if (peak_capacity) *peak_capacity = pool.capacity();
+  ASSERT_EQ(wheel.armed(), 0u);
+}
+
+TEST(ScaleChurn, HundredThousandCyclesConserveOccupancy) {
+  size_t peak = 0;
+  churn_loop(QTLS_SCALE_CHURN_CYCLES, 42, &peak);
+  EXPECT_GT(peak, 0u);
+}
+
+// One pool per thread (the worker discipline) while another thread reads
+// the global registry — the TSan case: relaxed-atomic counters may be
+// approximate mid-flight but must never race.
+TEST(ScaleChurn, PerThreadPoolsWithConcurrentRegistrySnapshots) {
+  constexpr int kThreads = 4;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&done] {
+    uint64_t reads = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const common::SlabStats totals =
+          common::SlabRegistry::global().totals();
+      (void)totals;
+      (void)common::SlabRegistry::global().to_json();
+      ++reads;
+    }
+    EXPECT_GT(reads, 0u);
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      // Named pools so the snapshotter actually sees them (registration and
+      // deregistration race with snapshots by design).
+      common::SlabPool<FakeConn> pool(
+          "scale.churn" + std::to_string(t), 128);
+      uint64_t rng = 1000 + static_cast<uint64_t>(t);
+      std::vector<FakeConn*> live;
+      for (size_t i = 0; i < QTLS_SCALE_CHURN_CYCLES / kThreads; ++i) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        if ((rng >> 33) % 3 != 0 || live.empty()) {
+          live.push_back(pool.create());
+        } else {
+          pool.destroy(live.back());
+          live.pop_back();
+        }
+      }
+      for (FakeConn* conn : live) pool.destroy(conn);
+      ASSERT_EQ(pool.live(), 0u);
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+}
+
+// Real-stack churn: repeated connect/handshake/close cycles through a
+// Worker. After every close, the server.conn / server.hs_scratch pools must
+// be back at their pre-cycle occupancy (scratch released at established,
+// conn slot released at close), and at teardown everything is back to zero.
+TEST(ScaleChurn, WorkerSlabConservationAcrossRealCycles) {
+  engine::SoftwareProvider server_provider{3};
+  tls::TlsContextConfig scfg;
+  scfg.is_server = true;
+  scfg.cipher_suites = {tls::CipherSuite::kTlsRsaWithAes128CbcSha};
+  scfg.drbg_seed = 1;
+  auto server_ctx = std::make_unique<tls::TlsContext>(scfg, &server_provider);
+  server_ctx->credentials().rsa_key = &test_rsa2048();
+
+  engine::SoftwareProvider client_provider{99};
+  tls::TlsContextConfig ccfg;
+  ccfg.cipher_suites = scfg.cipher_suites;
+  ccfg.drbg_seed = 2;
+  auto client_ctx = std::make_unique<tls::TlsContext>(ccfg, &client_provider);
+
+  uint64_t vnow = 1000;
+  server::WorkerConfig wcfg;
+  wcfg.clock = [&vnow] { return vnow; };
+  auto worker =
+      std::make_unique<server::Worker>(server_ctx.get(), nullptr, wcfg);
+
+  auto server_pool_live = [] {
+    return common::SlabRegistry::global().totals("server.").live;
+  };
+  const size_t live_baseline = server_pool_live();
+
+  constexpr int kRealCycles = 60;
+  for (int cycle = 0; cycle < kRealCycles; ++cycle) {
+    auto pair = net::make_socketpair();
+    ASSERT_TRUE(pair.is_ok());
+    ASSERT_TRUE(worker->adopt(pair.value().second).is_ok());
+    net::SocketTransport transport(pair.value().first);
+    tls::TlsConnection client(client_ctx.get(), &transport);
+    bool established = false;
+    for (int i = 0; i < 200 && !established; ++i) {
+      const tls::TlsResult r = client.handshake();
+      worker->run_once(0);
+      established = r == tls::TlsResult::kOk && client.handshake_complete();
+    }
+    ASSERT_TRUE(established) << "cycle " << cycle;
+#if QTLS_SLAB_STATS_ENABLED
+    // One conn slot live, its scratch already released at established.
+    EXPECT_EQ(common::SlabRegistry::global().totals("server.conn").live, 1u);
+    EXPECT_EQ(
+        common::SlabRegistry::global().totals("server.hs_scratch").live, 0u);
+#endif
+    (void)client.shutdown();
+    ::close(pair.value().first);
+    for (int i = 0; i < 50 && worker->alive_connections() > 0; ++i) {
+      vnow += 10;
+      worker->run_once(0);
+    }
+    ASSERT_EQ(worker->alive_connections(), 0u) << "cycle " << cycle;
+    ASSERT_EQ(server_pool_live(), live_baseline) << "cycle " << cycle;
+  }
+  EXPECT_EQ(worker->stats().handshakes_completed,
+            static_cast<uint64_t>(kRealCycles));
+  worker.reset();  // pools destroyed empty — a live slot here would assert
+}
+
+}  // namespace
+}  // namespace qtls

@@ -153,9 +153,12 @@ TEST(SessionCacheEviction, PrefersExpiredOverLruTail) {
   ASSERT_TRUE(cache.get(id_of(1), 9).has_value());
   // At t=12, A is expired. Inserting C at capacity must evict expired A,
   // not the live LRU-tail entry B (which pre-fix eviction removed).
+  // Reclaiming the expired entry books as an EXPIRATION (PR 9 taxonomy),
+  // not an eviction: no live entry was displaced.
   cache.put(id_of(3), make_state(), 12);
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
   EXPECT_FALSE(cache.get(id_of(1), 12).has_value());
   EXPECT_TRUE(cache.get(id_of(2), 12).has_value());
   EXPECT_TRUE(cache.get(id_of(3), 12).has_value());
@@ -238,7 +241,10 @@ TEST(ShardedSessionCache, ConcurrentCountersConserve) {
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 4'000;
   constexpr uint32_t kKeySpace = 256;
-  ShardedSessionCache cache(16, /*capacity=*/128, /*lifetime_ms=*/1ULL << 40);
+  // TTL chosen so phase-2 ops (run at now=10'000) find every phase-1 entry
+  // (created at now=1'000) expired: expirations then happen on BOTH the
+  // get path and the insert path's expired-first probe, concurrently.
+  ShardedSessionCache cache(16, /*capacity=*/128, /*lifetime_ms=*/2'000);
 
   std::vector<std::thread> threads;
   std::atomic<uint64_t> gets{0};
@@ -248,10 +254,11 @@ TEST(ShardedSessionCache, ConcurrentCountersConserve) {
       for (int i = 0; i < kOpsPerThread; ++i) {
         rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
         const uint32_t key = static_cast<uint32_t>(rng >> 33) % kKeySpace;
+        const uint64_t now_ms = i < kOpsPerThread / 2 ? 1'000 : 10'000;
         if ((rng & 3) == 0) {
-          cache.put(id_of(key), make_state(), /*now_ms=*/1'000);
+          cache.put(id_of(key), make_state(), now_ms);
         } else {
-          (void)cache.get(id_of(key), 1'000);
+          (void)cache.get(id_of(key), now_ms);
           gets.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -265,8 +272,44 @@ TEST(ShardedSessionCache, ConcurrentCountersConserve) {
   EXPECT_GT(cache.misses(), 0u);
   // Capacity is honored (ceil(128/16) = 8 per shard, 16 shards).
   EXPECT_LE(cache.size(), 128u);
-  // 256 keys into 128 slots must have evicted.
+  // 256 keys into 128 slots must have evicted, and the TTL boundary must
+  // have expired entries through both the get path and the insert probe.
   EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.expirations(), 0u);
+  // The conservation invariant the eviction counters used to break: every
+  // inserted entry is still live or was removed for exactly one booked
+  // reason. Pre-fix, expired-first probe victims were booked as evictions
+  // and get-path expiry removals were not booked at all, so this equality
+  // failed whenever the cache ran at capacity across a TTL boundary.
+  EXPECT_EQ(cache.inserts(),
+            cache.size() + cache.evictions() + cache.expirations() +
+                cache.removes());
+}
+
+// Deterministic single-shard repro of the insert-path accounting bug: fill
+// past capacity, cross the TTL boundary, insert again. The expired-first
+// probe reclaims expired entries — those are expirations, not evictions.
+TEST(ShardedSessionCache, ExpiredProbeOnInsertBooksExpirationNotEviction) {
+  SessionCache cache(/*capacity=*/4, /*lifetime_ms=*/1'000);
+  for (uint32_t k = 0; k < 4; ++k)
+    cache.put(id_of(k), make_state(), /*now_ms=*/0);
+  EXPECT_EQ(cache.size(), 4u);
+
+  // All four entries are now expired; each new insert's probe finds one.
+  for (uint32_t k = 100; k < 104; ++k)
+    cache.put(id_of(k), make_state(), /*now_ms=*/5'000);
+
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.inserts(), 8u);
+  EXPECT_EQ(cache.expirations(), 4u);  // pre-fix: booked as 4 evictions
+  EXPECT_EQ(cache.evictions(), 0u);
+  // A fifth insert at the same timestamp must displace a LIVE entry — a
+  // genuine eviction.
+  cache.put(id_of(200), make_state(), 5'000);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.inserts(),
+            cache.size() + cache.evictions() + cache.expirations() +
+                cache.removes());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+// SlabPool / SlabRegistry unit tests (DESIGN.md §14): slot recycling,
+// index addressing, occupancy conservation, and the global directory the
+// /stats memory object reads.
+#include "common/slab.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace qtls::common {
+namespace {
+
+struct Payload {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  explicit Payload(uint64_t v = 0) : a(v), b(~v) {}
+};
+
+TEST(SlabPool, CreateDestroyRecyclesSlots) {
+  SlabPool<Payload> pool({}, 4);
+  Payload* p1 = pool.create(1);
+  Payload* p2 = pool.create(2);
+  EXPECT_EQ(p1->a, 1u);
+  EXPECT_EQ(p2->a, 2u);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.destroy(p1);
+  EXPECT_EQ(pool.live(), 1u);
+  // The freed slot is the next one handed out (LIFO free list).
+  Payload* p3 = pool.create(3);
+  EXPECT_EQ(static_cast<void*>(p3), static_cast<void*>(p1));
+  pool.destroy(p2);
+  pool.destroy(p3);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(SlabPool, IndexRoundTripsAcrossChunks) {
+  SlabPool<Payload> pool({}, 3);  // small chunks force several carves
+  std::vector<Payload*> objs;
+  std::set<size_t> indices;
+  for (uint64_t i = 0; i < 20; ++i) objs.push_back(pool.create(i));
+  EXPECT_GE(pool.capacity(), 20u);
+  for (Payload* p : objs) {
+    const size_t idx = pool.index_of(p);
+    EXPECT_TRUE(indices.insert(idx).second) << "duplicate index " << idx;
+    EXPECT_EQ(pool.at(idx), p);
+  }
+  for (Payload* p : objs) pool.destroy(p);
+}
+
+TEST(SlabPool, ConservationCountersBalance) {
+  SlabPool<Payload> pool({}, 8);
+  std::vector<Payload*> live;
+  uint64_t allocs = 0, frees = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      live.push_back(pool.create(static_cast<uint64_t>(i)));
+      ++allocs;
+    }
+    // Free from the middle as well as the ends.
+    while (live.size() > 3) {
+      const size_t pick = live.size() / 2;
+      pool.destroy(live[pick]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      ++frees;
+    }
+  }
+  const SlabStats s = pool.stats();
+  EXPECT_EQ(s.total_allocs, allocs);
+  EXPECT_EQ(s.total_frees, frees);
+  EXPECT_EQ(s.live, allocs - frees);
+  EXPECT_EQ(s.live, live.size());
+  EXPECT_EQ(s.bytes_live, s.live * s.object_size);
+  for (Payload* p : live) pool.destroy(p);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(SlabRegistry, NamedPoolsAppearAndDeregister) {
+  const size_t before = SlabRegistry::global().snapshot().size();
+  {
+    SlabPool<Payload> named("test.slab_registry", 4);
+    Payload* p = named.create(7);
+#if QTLS_SLAB_STATS_ENABLED
+    bool found = false;
+    for (const SlabStats& s : SlabRegistry::global().snapshot()) {
+      if (s.name != "test.slab_registry") continue;
+      found = true;
+      EXPECT_EQ(s.live, 1u);
+    }
+    EXPECT_TRUE(found);
+    const SlabStats totals = SlabRegistry::global().totals("test.");
+    EXPECT_EQ(totals.live, 1u);
+    EXPECT_NE(SlabRegistry::global().to_json().find("test.slab_registry"),
+              std::string::npos);
+#endif
+    named.destroy(p);
+  }
+  EXPECT_EQ(SlabRegistry::global().snapshot().size(), before);
+}
+
+TEST(SlabPool, AnonymousPoolStaysOutOfRegistry) {
+  const size_t before = SlabRegistry::global().snapshot().size();
+  SlabPool<Payload> anon;
+  Payload* p = anon.create(1);
+  EXPECT_EQ(SlabRegistry::global().snapshot().size(), before);
+  anon.destroy(p);
+}
+
+}  // namespace
+}  // namespace qtls::common
