@@ -18,6 +18,7 @@
 
 #include "client/https_client.h"
 #include "crypto/keystore.h"
+#include "server/control.h"
 #include "server/worker_pool.h"
 
 using namespace qtls;
@@ -50,6 +51,15 @@ overload {
     past_cap shed;                     # excess accepts get a clean close
     max_header_bytes 8192;             # HTTP parser bounds (431 past them)
     max_header_count 100;
+}
+control {                              # self-healing plane (DESIGN.md 15)
+    heartbeat_interval_ms 100;         # supervision window
+    missed_windows 5;                  # frozen windows before "wedged"
+    eject_grace_ms 500;                # wait for an ejected worker thread
+    supervise on;
+}
+credentials {
+    rsa 2048;                          # SIGHUP/POST /reload re-resolves this
 }
 )";
 
@@ -122,10 +132,19 @@ int main(int argc, char** argv) {
 
   if (listen_port >= 0) {
     // Serving mode: a WorkerPool (SO_REUSEPORT accept sharing, one QAT
-    // instance per worker) with SIGTERM/SIGINT wired to graceful drain.
+    // instance per worker) with SIGTERM/SIGINT wired to graceful drain and
+    // the self-healing control plane (DESIGN.md §15) on top: SIGHUP hot
+    // reloads the conf, the supervisor watchdogs every worker, and each
+    // worker serves GET /healthz, GET /readyz and POST /reload.
+    server::ControlPlane control;
+    if (auto st = control.load(kConf); !st.is_ok()) {
+      std::fprintf(stderr, "control load failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
     server::WorkerPoolOptions options;
     options.workers = settings.value().worker_processes;
     options.worker_config = worker_config;
+    options.worker_config.control = &control;
     options.tls_config = tls_config;
     options.engine_config = settings.value().engine;
     options.worker_affinity = settings.value().topology.worker_affinity;
@@ -136,21 +155,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "listen failed: %s\n", status.to_string().c_str());
       return 1;
     }
+    control.attach(pool.get());
+    control.install_sighup();
+    control.start_supervisor();
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
     std::printf(
         "serving HTTPS on 127.0.0.1:%u with %d workers "
-        "(SIGTERM/ctrl-c drains, deadline %llu ms)\n",
+        "(SIGHUP reloads; SIGTERM/ctrl-c drains, deadline %llu ms)\n",
         pool->port(), pool->workers(),
         static_cast<unsigned long long>(kDrainDeadlineMs));
     while (!g_shutdown)
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     std::printf("draining: accepts stopped, in-flight requests finishing\n");
+    control.stop_supervisor();
     pool->shutdown(kDrainDeadlineMs);
     const auto pstats = pool->stats();
-    std::printf("drained: %llu connections accepted over the run\n%s",
-                static_cast<unsigned long long>(pstats.totals.accepted),
-                pool->stats_text().c_str());
+    const auto cstats = control.stats();
+    std::printf(
+        "drained: %llu connections accepted, %llu reloads, %llu worker "
+        "restarts\n%s",
+        static_cast<unsigned long long>(pstats.totals.accepted),
+        static_cast<unsigned long long>(cstats.reloads),
+        static_cast<unsigned long long>(cstats.worker_restarts),
+        pool->stats_text().c_str());
     return 0;
   }
 

@@ -12,43 +12,63 @@
 
 namespace qtls::net {
 
-void set_nonblocking(int fd) {
+Status set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (flags < 0) return err(Code::kIoError, std::strerror(errno));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    return err(Code::kIoError, std::strerror(errno));
+  return Status::ok();
 }
 
-SocketTransport::SocketTransport(int fd) : fd_(fd) { set_nonblocking(fd_); }
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  // Best effort here: adopted fds from make_socketpair/accept4 are already
+  // non-blocking; callers handing over foreign fds go through Worker::adopt,
+  // which checks the Status itself before constructing a transport.
+  (void)set_nonblocking(fd_);
+}
 
 SocketTransport::~SocketTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+// EINTR is not an error: a reload SIGHUP or supervision signal landing
+// mid-syscall must never kill a healthy connection. Retry, the same way
+// event_loop.cc treats an interrupted epoll_wait as zero events.
 tls::IoResult SocketTransport::read(uint8_t* buf, size_t len) {
-  const ssize_t n = ::recv(fd_, buf, len, 0);
-  if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
-  if (n == 0) return {tls::IoStatus::kClosed, 0};
-  if (errno == EAGAIN || errno == EWOULDBLOCK)
-    return {tls::IoStatus::kWouldBlock, 0};
-  return {tls::IoStatus::kError, 0};
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
+    if (n == 0) return {tls::IoStatus::kClosed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return {tls::IoStatus::kWouldBlock, 0};
+    return {tls::IoStatus::kError, 0};
+  }
 }
 
 tls::IoResult SocketTransport::write(const uint8_t* buf, size_t len) {
-  const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
-  if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
-  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-    return {tls::IoStatus::kWouldBlock, 0};
-  return {tls::IoStatus::kError, 0};
+  for (;;) {
+    const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return {tls::IoStatus::kWouldBlock, 0};
+    return {tls::IoStatus::kError, 0};
+  }
 }
 
 tls::IoResult SocketTransport::writev(const struct iovec* iov, int iovcnt) {
   msghdr msg{};
   msg.msg_iov = const_cast<struct iovec*>(iov);
   msg.msg_iovlen = static_cast<size_t>(iovcnt);
-  const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
-  if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
-  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-    return {tls::IoStatus::kWouldBlock, 0};
-  return {tls::IoStatus::kError, 0};
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n > 0) return {tls::IoStatus::kOk, static_cast<size_t>(n)};
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return {tls::IoStatus::kWouldBlock, 0};
+    return {tls::IoStatus::kError, 0};
+  }
 }
 
 TcpListener::~TcpListener() {

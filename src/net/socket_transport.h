@@ -57,6 +57,9 @@ Result<int> tcp_connect(uint16_t port);
 // AF_UNIX socketpair with both ends non-blocking.
 Result<std::pair<int, int>> make_socketpair();
 
-void set_nonblocking(int fd);
+// Sets O_NONBLOCK on fd. fcntl can fail (bad fd, exhausted table) — a
+// silently-blocking fd would stall the whole event loop on its first read,
+// so accept paths must check this instead of serving the fd anyway.
+[[nodiscard]] Status set_nonblocking(int fd);
 
 }  // namespace qtls::net

@@ -1,0 +1,196 @@
+// Self-healing control plane (DESIGN.md §15): the piece that lets a
+// long-running QTLS fleet reconfigure and heal itself in place.
+//
+// Three pillars, one subsystem:
+//
+//  * Hot reload — a versioned RuntimeConfig snapshot (credentials, overload
+//    caps, timer deadlines, remote-offload endpoints) rebuilt from conf text
+//    on SIGHUP or POST /reload and published RCU-style: workers pick the new
+//    generation up at the top of their own loop, in-flight handshakes keep
+//    the credential snapshot they captured at accept, and the session plane
+//    (ticket-key ring + cache) is explicitly PRESERVED so resumption hit
+//    rate stays 1.0 across a reload.
+//
+//  * Worker watchdog — every worker stamps a relaxed-atomic heartbeat
+//    (iteration count, progress count, phase tag) each loop pass; the
+//    supervisor distinguishes "busy" (iterations frozen, progress counters
+//    moving) from "wedged" (both frozen for N windows) and executes
+//    crash-only recovery: eject, reap the worker's slab-backed connections
+//    through the existing drain path, respawn on the same session plane and
+//    topology lanes.
+//
+//  * Health surface — GET /healthz (liveness: all heartbeats fresh) and
+//    GET /readyz (readiness: accepting, not draining, breaker ladder not
+//    fully degraded to software), consumable by an external balancer.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/ssl_engine_conf.h"
+#include "tls/context.h"
+
+namespace qtls::server {
+
+class WorkerPool;
+
+// One published configuration generation. Immutable after publication; the
+// worker's view is a shared_ptr it re-reads only when the generation counter
+// moves (one relaxed load per loop pass on the hot path).
+struct RuntimeConfig {
+  uint64_t generation = 0;
+  SslEngineSettings settings;
+  // Null = no credentials{} block resolved yet; workers keep what they have.
+  std::shared_ptr<const tls::ServerCredentials> credentials;
+};
+
+// Resolves the conf's credentials{} block against the built-in keystore —
+// this reproduction's stand-in for re-reading PEM files off disk. Returns
+// null when the block is absent (the reload keeps the previous snapshot).
+std::shared_ptr<const tls::ServerCredentials> resolve_keystore_credentials(
+    const ConfBlock& root);
+
+class ControlPlane {
+ public:
+  using CredentialsResolver =
+      std::function<std::shared_ptr<const tls::ServerCredentials>(
+          const ConfBlock&)>;
+
+  struct Options {
+    // Millisecond clock for supervision windows and health ages (null =
+    // steady_clock). Tests inject the workers' virtual clock so detection
+    // is deterministic.
+    std::function<uint64_t()> clock;
+    // Null = resolve_keystore_credentials.
+    CredentialsResolver credentials_resolver;
+    // Recover wedged workers inside check_now(). Tests turn this off to
+    // observe the unready window between detection and recovery.
+    bool auto_recover = true;
+  };
+
+  ControlPlane();
+  explicit ControlPlane(Options opts);
+  ~ControlPlane();
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  // ---------------------------------------------------------- hot reload --
+  // Parse + publish a new generation from conf text. The text is retained:
+  // reload_now() (SIGHUP, POST /reload) re-parses it, so a caller that
+  // rewrites the text first gets classic file-reload semantics. Thread-safe.
+  // On parse error nothing is published and the old generation keeps
+  // serving (reload_failures counts it).
+  Status load(const std::string& conf_text);
+  Status reload_now();
+  // SIGHUP-safe deferred reload: flips a flag the supervisor (or the next
+  // check_now) acts on. The only member function safe from a signal handler.
+  void request_reload();
+  // Routes SIGHUP at this instance (one instance per process; the last
+  // installer wins). The handler only flips the reload flag.
+  void install_sighup();
+
+  std::shared_ptr<const RuntimeConfig> current() const;
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // ------------------------------------------------------------ watchdog --
+  // The pool must outlive the control plane (or detach(nullptr) first).
+  // Attach after pool.start() and before start_supervisor().
+  void attach(WorkerPool* pool);
+  void start_supervisor();
+  void stop_supervisor();
+
+  struct SupervisionReport {
+    int fresh = 0;      // workers whose loop iterated since last check
+    int busy = 0;       // iterations frozen but progress advancing
+    int wedged = 0;     // newly declared wedged this pass
+    int recovered = 0;  // replacements spawned after a joined eject
+    int abandoned = 0;  // replacements spawned around a quarantined zombie
+    bool reloaded = false;
+  };
+  // One deterministic supervision pass at `now_ms`: process a pending
+  // reload request, score every worker's heartbeat as fresh/busy/frozen,
+  // declare wedges past missed_windows, and (auto_recover) replace them.
+  // Each call is one heartbeat window; the supervisor thread calls it every
+  // heartbeat_interval_ms, tests drive it directly against virtual time.
+  SupervisionReport check_now(uint64_t now_ms);
+  // Crash-only recovery of one worker (also used with auto_recover off).
+  // Returns true when a replacement worker is accepting again.
+  bool recover(int worker_index);
+
+  // ------------------------------------------------------- health surface --
+  // Liveness: no worker currently declared wedged (the supervisor replaces
+  // wedged workers, so sustained unhealthiness means recovery is failing).
+  bool healthy() const { return wedged_now_.load(std::memory_order_acquire) == 0; }
+  // Readiness: pool attached + accepting (not draining/stopping), no wedge
+  // in progress, breaker ladder not fully degraded to inline software.
+  bool ready() const;
+  // HTTP bodies for the worker-served endpoints; *http_status gets 200/503.
+  std::string healthz_json(uint64_t now_ms, int* http_status) const;
+  std::string readyz_json(int* http_status) const;
+
+  struct Stats {
+    uint64_t reloads = 0;
+    uint64_t reload_failures = 0;
+    uint64_t plane_changes_ignored = 0;  // session_cache{} edits at reload
+    uint64_t wedge_events = 0;
+    uint64_t busy_holds = 0;
+    uint64_t worker_restarts = 0;
+    uint64_t workers_abandoned = 0;
+    uint64_t last_time_to_detect_ms = 0;   // frozen -> declared wedged
+    uint64_t last_time_to_recover_ms = 0;  // declared -> replacement up
+  };
+  Stats stats() const;
+  ControlSettings control_settings() const;
+
+ private:
+  // Per-worker supervision state (guarded by mu_; only check_now writes).
+  struct Watch {
+    uint64_t iterations = 0;
+    uint64_t progress = 0;
+    int missed = 0;
+    uint64_t first_frozen_ms = 0;
+    bool wedged = false;
+  };
+
+  Status publish(const std::string& conf_text);
+  void supervisor_main();
+  void recount_wedged_locked();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const RuntimeConfig> current_;  // guarded by mu_
+  std::string conf_text_;                         // guarded by mu_
+  ControlSettings csettings_;                     // guarded by mu_
+  std::vector<Watch> watches_;                    // guarded by mu_
+
+  WorkerPool* pool_ = nullptr;  // set before any thread observes it
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<bool> reload_requested_{false};
+  std::atomic<int> wedged_now_{0};
+
+  // Episode counters (relaxed: single-writer supervisor, many readers).
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> plane_changes_ignored_{0};
+  std::atomic<uint64_t> wedge_events_{0};
+  std::atomic<uint64_t> busy_holds_{0};
+  std::atomic<uint64_t> worker_restarts_{0};
+  std::atomic<uint64_t> workers_abandoned_{0};
+  std::atomic<uint64_t> last_time_to_detect_ms_{0};
+  std::atomic<uint64_t> last_time_to_recover_ms_{0};
+
+  std::atomic<bool> stop_supervisor_{false};
+  std::thread supervisor_;
+
+  uint64_t clock_ms() const;
+};
+
+}  // namespace qtls::server

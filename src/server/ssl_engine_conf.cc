@@ -122,6 +122,39 @@ Result<SslEngineSettings> parse_ssl_engine_settings(const ConfBlock& root) {
   if (const ConfBlock* http = root.find_block("http"))
     out.file_root = http->get_string("file_root", "");
 
+  // control{}: the self-healing control plane (DESIGN.md §15).
+  if (const ConfBlock* ctl = root.find_block("control")) {
+    const int64_t window = ctl->get_int(
+        "heartbeat_interval_ms",
+        static_cast<int64_t>(out.control.heartbeat_interval_ms));
+    if (window < 1)
+      return err(Code::kInvalidArgument, "control heartbeat_interval_ms < 1");
+    out.control.heartbeat_interval_ms = static_cast<uint64_t>(window);
+
+    const int64_t missed = ctl->get_int(
+        "missed_windows", static_cast<int64_t>(out.control.missed_windows));
+    if (missed < 1 || missed > 1000)
+      return err(Code::kInvalidArgument,
+                 "control missed_windows out of range");
+    out.control.missed_windows = static_cast<int>(missed);
+
+    const int64_t grace = ctl->get_int(
+        "eject_grace_ms", static_cast<int64_t>(out.control.eject_grace_ms));
+    if (grace < 0)
+      return err(Code::kInvalidArgument, "control eject_grace_ms < 0");
+    out.control.eject_grace_ms = static_cast<uint64_t>(grace);
+
+    const std::string supervise = ctl->get_string("supervise", "on");
+    if (supervise == "on") {
+      out.control.supervise = true;
+    } else if (supervise == "off") {
+      out.control.supervise = false;
+    } else {
+      return err(Code::kInvalidArgument,
+                 "bad control supervise: " + supervise);
+    }
+  }
+
   const ConfBlock* engine_block = root.find_block("ssl_engine");
   if (!engine_block) return out;  // software-only configuration
 

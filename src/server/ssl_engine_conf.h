@@ -52,6 +52,15 @@
 //       file_root /srv/www;                # static-file streaming root
 //   }                                      # (DESIGN.md §11); empty = the
 //                                          # synthetic benchmark object
+//   control {                              # self-healing plane (DESIGN §15)
+//       heartbeat_interval_ms 100;         # supervision window
+//       missed_windows 5;                  # frozen windows before "wedged"
+//       eject_grace_ms 500;                # wait for an ejected thread
+//       supervise on;                      # run the supervisor thread
+//   }
+//   credentials {                          # resolved against the keystore
+//       rsa 2048;                          # 2048 | 1024 (reload swaps key)
+//   }
 #pragma once
 
 #include <algorithm>
@@ -112,6 +121,19 @@ struct RemoteOffloadSettings {
   uint64_t coalesce_window_us = 50;
 };
 
+// The control{} block: the self-healing control plane (DESIGN.md §15).
+// heartbeat_interval_ms is the supervision window; a worker whose loop
+// iteration AND progress counters are both frozen for missed_windows
+// consecutive windows is wedged and crash-only recovered. eject_grace_ms
+// bounds how long the supervisor waits for an ejected worker thread to exit
+// before abandoning it to quarantine.
+struct ControlSettings {
+  uint64_t heartbeat_interval_ms = 100;
+  int missed_windows = 5;
+  uint64_t eject_grace_ms = 500;
+  bool supervise = true;
+};
+
 struct SslEngineSettings {
   int worker_processes = 1;
   bool use_qat = false;
@@ -131,6 +153,8 @@ struct SslEngineSettings {
   HttpLimits http_limits;
   // Static-file root (http{} block; DESIGN.md §11). Empty = disabled.
   std::string file_root;
+  // Self-healing control plane (control{} block; DESIGN.md §15).
+  ControlSettings control;
 };
 
 // Parses the root config block (worker_processes + ssl_engine{} +

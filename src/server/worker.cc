@@ -11,6 +11,7 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "server/control.h"
 
 namespace qtls::server {
 
@@ -68,7 +69,7 @@ struct Worker::Conn {
   std::optional<tls::TlsConnection> tls;
   HttpRequestParser parser;
   Bytes inbound;           // decrypted bytes pending HTTP parsing
-  bool stats_request = false;       // current request is GET /stats
+  Endpoint endpoint = Endpoint::kFile;  // what the current request resolves to
   std::string request_path;         // path of the request being answered
   bool response_inflight = false;   // response built but write not started
   bool write_in_progress = false;   // write started, not yet completed
@@ -174,12 +175,19 @@ void Worker::on_listener_readable() {
   for (;;) {
     const int fd = listener_.accept_fd();
     if (fd < 0) return;
+    note_progress();
     admit_or_reject(fd);
   }
 }
 
 Status Worker::adopt(int fd) {
-  net::set_nonblocking(fd);
+  const Status st = net::set_nonblocking(fd);
+  if (!st.is_ok()) {
+    // A silently-blocking fd would wedge the whole event loop on its first
+    // read — refuse the connection instead of serving it anyway.
+    ::close(fd);
+    return st;
+  }
   admit_or_reject(fd);
   return Status::ok();
 }
@@ -267,6 +275,7 @@ void Worker::unlink_parked(ParkedAccept* node) {
 }
 
 void Worker::on_park_deadline(ParkedAccept* node) {
+  note_progress();
   node->deadline_timer = 0;  // fired, nothing to cancel
   // Unlink BEFORE destroy — destroying a node still linked into the backlog
   // leaves its neighbours pointing at a recycled slab slot (the
@@ -412,6 +421,7 @@ void Worker::cancel_deadline(Conn* conn) {
 }
 
 void Worker::on_deadline(Conn* conn) {
+  note_progress();
   const DeadlineKind kind = conn->deadline_kind;
   conn->deadline_timer = 0;  // fired, nothing to cancel
   conn->deadline_kind = DeadlineKind::kNone;
@@ -488,6 +498,7 @@ void Worker::park_async(Conn* conn, Handler handler) {
 
 void Worker::on_async_event(Conn* conn) {
   if (!conn->expecting_async) return;  // stale event (connection moved on)
+  note_progress();
   const int fd = conn->fd;  // captured before the handler may destroy conn
   conn->expecting_async = false;
   --pending_async_;
@@ -511,6 +522,7 @@ void Worker::on_async_event(Conn* conn) {
 }
 
 void Worker::on_socket_event(Conn* conn, net::FdEvents events) {
+  note_progress();
   if (events.error) {
     close_connection(conn, true);
     return;
@@ -582,7 +594,16 @@ void Worker::read_handler(Conn* conn) {
     }
     if (request.has_value()) {
       conn->response_keepalive = request->keepalive;
-      conn->stats_request = request->path == "/stats";
+      if (request->path == "/stats")
+        conn->endpoint = Endpoint::kStats;
+      else if (request->path == "/healthz")
+        conn->endpoint = Endpoint::kHealthz;
+      else if (request->path == "/readyz")
+        conn->endpoint = Endpoint::kReadyz;
+      else if (request->path == "/reload")
+        conn->endpoint = Endpoint::kReload;
+      else
+        conn->endpoint = Endpoint::kFile;
       conn->request_path = request->path;
       conn->response_inflight = true;
       write_handler(conn);
@@ -668,7 +689,7 @@ void Worker::write_handler(Conn* conn) {
     // (the connection's write buffer already holds the data).
     conn->response_inflight = false;
     conn->write_in_progress = true;
-    if (!config_.file_root.empty() && !conn->stats_request) {
+    if (!config_.file_root.empty() && conn->endpoint == Endpoint::kFile) {
       // Static-file path: head first (Content-Length from fstat), then the
       // streamed body. Resolution failure is a 404 through the buffered
       // builder — error bodies are tiny.
@@ -680,17 +701,22 @@ void Worker::write_handler(Conn* conn) {
         r = conn->tls->write(
             build_http_response(404, {}, conn->response_keepalive));
       }
-    } else {
+    } else if (conn->endpoint != Endpoint::kFile) {
+      // Control/observability endpoints: /stats, /healthz, /readyz, /reload.
       Bytes body;
-      if (conn->stats_request) {
+      int http_status = 200;
+      if (conn->endpoint == Endpoint::kStats) {
         const std::string json = stats_json();
         body.assign(json.begin(), json.end());
+      } else {
+        const std::string json = control_response(conn->endpoint, &http_status);
+        body.assign(json.begin(), json.end());
       }
-      const Bytes response = build_http_response(
-          200,
-          conn->stats_request ? BytesView(body) : BytesView(response_body_),
-          conn->response_keepalive);
-      r = conn->tls->write(response);
+      r = conn->tls->write(build_http_response(http_status, BytesView(body),
+                                               conn->response_keepalive));
+    } else {
+      r = conn->tls->write(build_http_response(200, BytesView(response_body_),
+                                               conn->response_keepalive));
     }
   } else {
     // Resume: finish the write that parked us, then keep streaming if a
@@ -854,6 +880,17 @@ std::string Worker::stats_json() const {
        << ",\"timeliness_triggers\":" << p->timeliness_triggers
        << ",\"failover_triggers\":" << p->failover_triggers << "}";
   }
+  // Control plane (DESIGN.md §15): what generation this worker runs and the
+  // heartbeat the supervisor scores.
+  os << ",\"control\":{"
+     << "\"applied_generation\":"
+     << applied_generation_.load(std::memory_order_relaxed)
+     << ",\"heartbeat\":{\"iterations\":"
+     << heartbeat_.iterations.load(std::memory_order_relaxed)
+     << ",\"progress\":" << heartbeat_.progress.load(std::memory_order_relaxed)
+     << ",\"phase\":"
+     << static_cast<int>(heartbeat_.phase.load(std::memory_order_relaxed))
+     << "}}";
   os << ",\"session\":"
      << tls_ctx_->session_plane().stats_json(tls_ctx_->now_ms());
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
@@ -937,6 +974,75 @@ void Worker::finish_drain_check() {
     drained_.store(true, std::memory_order_release);
 }
 
+// ------------------------------------------------------- control plane ----
+
+void Worker::maybe_apply_runtime_config() {
+  ControlPlane* control = config_.control;
+  // Hot path: one relaxed load per pass; everything below runs only when a
+  // new generation was published since we last looked.
+  const uint64_t gen = control->generation();
+  if (gen == applied_generation_.load(std::memory_order_relaxed)) return;
+  heartbeat_.phase.store(static_cast<uint8_t>(WorkerPhase::kApplyConfig),
+                         std::memory_order_relaxed);
+  const std::shared_ptr<const RuntimeConfig> rc = control->current();
+  if (!rc) return;
+  // Worker-thread application point (DESIGN.md §15): overload caps govern
+  // admissions and newly armed deadlines from this pass on; http limits
+  // bind new parsers; in-flight connections keep what they started with.
+  config_.overload = rc->settings.overload;
+  config_.http_limits = rc->settings.http_limits;
+  config_.file_root = rc->settings.file_root;
+  // Credential swap is RCU-by-refcount: the context's snapshot changes for
+  // connections accepted from now on, while live handshakes hold the
+  // shared_ptr they captured at accept.
+  if (rc->credentials) tls_ctx_->set_credentials(*rc->credentials);
+  if (config_.remote_rebind) config_.remote_rebind(rc->settings.remote);
+  applied_generation_.store(rc->generation, std::memory_order_relaxed);
+  QTLS_INFO << "worker applied config generation " << rc->generation;
+}
+
+std::string Worker::control_response(Endpoint endpoint, int* http_status) {
+  *http_status = 200;
+  ControlPlane* control = config_.control;
+  std::ostringstream os;
+  switch (endpoint) {
+    case Endpoint::kHealthz:
+      if (control) return control->healthz_json(now_ms(), http_status);
+      // No control plane attached: liveness degenerates to "this worker is
+      // serving the request", which it demonstrably is.
+      os << "{\"status\":\"ok\",\"supervised\":false}";
+      return os.str();
+    case Endpoint::kReadyz:
+      if (control) return control->readyz_json(http_status);
+      *http_status = draining_ ? 503 : 200;
+      os << "{\"ready\":" << (draining_ ? "false" : "true")
+         << ",\"supervised\":false}";
+      return os.str();
+    case Endpoint::kReload: {
+      if (!control) {
+        *http_status = 404;
+        return "{\"error\":\"no control plane attached\"}";
+      }
+      // Synchronous: parse + publish here, then apply our own view before
+      // answering so the response reflects the generation it created.
+      const Status st = control->reload_now();
+      if (!st.is_ok()) {
+        *http_status = 500;
+        os << "{\"ok\":false,\"error\":\"" << st.to_string() << "\"}";
+        return os.str();
+      }
+      maybe_apply_runtime_config();
+      os << "{\"ok\":true,\"generation\":" << control->generation() << "}";
+      return os.str();
+    }
+    case Endpoint::kFile:
+    case Endpoint::kStats:
+      break;  // not ours
+  }
+  *http_status = 500;
+  return "{}";
+}
+
 // ---------------------------------------------------------------- loop ----
 
 void Worker::maybe_heuristic_poll() {
@@ -944,20 +1050,31 @@ void Worker::maybe_heuristic_poll() {
 }
 
 int Worker::run_once(int timeout_ms) {
+  if (config_.loop_hook) config_.loop_hook(*this);
+  if (config_.control != nullptr) maybe_apply_runtime_config();
   if (drain_requested_.load(std::memory_order_acquire) && !draining_)
     begin_drain();
   // §3.4: as long as async work is pending, keep the loop spinning rather
   // than sleep-waiting in epoll.
   const bool work_pending =
       !async_queue_.empty() || (qat_ && qat_->inflight_total() > 0);
+  heartbeat_.phase.store(static_cast<uint8_t>(WorkerPhase::kPoll),
+                         std::memory_order_relaxed);
   const int n = loop_.run_once(work_pending ? 0 : timeout_ms);
 
   maybe_heuristic_poll();
   if (poller_) (void)poller_->failover_poll(now_ms());
 
   // End of the main event loop: drain the kernel-bypass async queue.
+  heartbeat_.phase.store(static_cast<uint8_t>(WorkerPhase::kAsyncDrain),
+                         std::memory_order_relaxed);
   async_queue_.drain();
   maybe_heuristic_poll();
+  // Heartbeat: one completed pass (the supervisor scores freshness on this).
+  heartbeat_.phase.store(static_cast<uint8_t>(WorkerPhase::kIdle),
+                         std::memory_order_relaxed);
+  heartbeat_.stamp_ms.store(now_ms(), std::memory_order_relaxed);
+  heartbeat_.iterations.fetch_add(1, std::memory_order_relaxed);
   return n;
 }
 
@@ -967,8 +1084,10 @@ int Worker::run_once(int timeout_ms) {
 // ~failover_interval_ms + op_deadline_us). `stop` predicates waiting on
 // progress counters should also watch stats().errors / async_failures —
 // a failed connection advances those, never the progress counters.
+// A pending eject (crash-only recovery, DESIGN.md §15) exits the loop ahead
+// of the caller's own predicate.
 void Worker::run_until(const std::function<bool()>& stop, int timeout_ms) {
-  while (!stop()) run_once(timeout_ms);
+  while (!eject_requested() && !stop()) run_once(timeout_ms);
 }
 
 }  // namespace qtls::server

@@ -28,6 +28,30 @@
 
 namespace qtls::server {
 
+class ControlPlane;
+class Worker;
+
+// Which part of the loop pass a worker is in when its heartbeat is read —
+// purely diagnostic (shown in /healthz), never used for wedge decisions.
+enum class WorkerPhase : uint8_t {
+  kIdle = 0,        // between passes
+  kApplyConfig = 1, // applying a new RuntimeConfig generation
+  kPoll = 2,        // epoll dispatch + handlers
+  kAsyncDrain = 3,  // kernel-bypass queue drain
+};
+
+// Relaxed-atomic heartbeat the supervisor reads cross-thread (DESIGN.md
+// §15). `iterations` moves once per completed run_once pass; `progress`
+// moves once per handled event/deadline/accept, so a worker stuck inside
+// one very long pass still reads as busy (not wedged) while its handlers
+// advance. Both frozen for N windows = wedged.
+struct WorkerHeartbeat {
+  std::atomic<uint64_t> iterations{0};
+  std::atomic<uint64_t> progress{0};
+  std::atomic<uint64_t> stamp_ms{0};  // worker-clock time of the last pass
+  std::atomic<uint8_t> phase{0};      // WorkerPhase
+};
+
 struct WorkerConfig {
   NotifyScheme notify = NotifyScheme::kKernelBypass;
   PollScheme poll = PollScheme::kHeuristic;
@@ -43,6 +67,18 @@ struct WorkerConfig {
   // Millisecond clock for deadlines (null = CLOCK_MONOTONIC). Tests inject
   // virtual time so timeout behaviour is deterministic.
   std::function<uint64_t()> clock;
+  // Self-healing control plane (DESIGN.md §15). When set, the worker applies
+  // the newest RuntimeConfig generation at the top of each loop pass (one
+  // relaxed load when nothing changed) and serves /healthz, /readyz and
+  // POST /reload alongside /stats.
+  ControlPlane* control = nullptr;
+  // Bound by WorkerPool: re-dials the remote offload tier on THIS worker's
+  // thread when a reload changed remote_offload{} (the engine's backend
+  // pointer is only ever touched from its own worker).
+  std::function<void(const RemoteOffloadSettings&)> remote_rebind;
+  // Test hook invoked at the top of every run_once pass — deterministic
+  // wedge/busy injection for the watchdog tests. Production leaves it empty.
+  std::function<void(Worker&)> loop_hook;
 };
 
 struct WorkerStats {
@@ -116,6 +152,30 @@ class Worker {
   bool draining() const { return drain_requested_.load(std::memory_order_acquire); }
   bool drained() const { return drained_.load(std::memory_order_acquire); }
 
+  // --- self-healing control plane (DESIGN.md §15) -----------------------
+  // The heartbeat the supervisor scores; stamped by the worker thread with
+  // relaxed atomics, readable from any thread.
+  const WorkerHeartbeat& heartbeat() const { return heartbeat_; }
+  // Handlers bump this per event so the supervisor can tell "busy" from
+  // "wedged"; public so wedge-injection hooks can simulate a busy stall.
+  void note_progress() {
+    heartbeat_.progress.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Crash-only eject: run_until exits at its next predicate check with no
+  // drain ceremony (the destructor is the reap). Cross-thread-safe; also
+  // observed by cooperative wedge hooks so an ejected loop unblocks.
+  void request_eject() { eject_requested_.store(true, std::memory_order_release); }
+  bool eject_requested() const {
+    return eject_requested_.load(std::memory_order_acquire);
+  }
+  // RuntimeConfig generation this worker most recently applied.
+  uint64_t applied_generation() const {
+    return applied_generation_.load(std::memory_order_relaxed);
+  }
+  // The listener fd (or -1): the pool quarantines a zombie's reuseport
+  // share by dup2-ing /dev/null over it.
+  int listener_fd() const { return listener_armed_ ? listener_.fd() : -1; }
+
   const WorkerStats& stats() const { return stats_; }
   const OverloadStats& overload_stats() const { return overload_stats_; }
   const HeuristicPollerStats* poller_stats() const {
@@ -135,6 +195,9 @@ class Worker {
   using Handler = void (Worker::*)(Conn*);
 
   enum class DeadlineKind : uint8_t { kNone, kHandshake, kIdle, kWriteStall };
+  // What a parsed GET resolves to: the static/synthetic file path or one of
+  // the built-in control/observability endpoints.
+  enum class Endpoint : uint8_t { kFile, kStats, kHealthz, kReadyz, kReload };
 
   void on_listener_readable();
   void setup_connection(int fd);
@@ -180,6 +243,12 @@ class Worker {
   void set_idle(Conn* conn, bool idle);
 
   void maybe_heuristic_poll();
+  // Apply a newly published RuntimeConfig generation on the worker thread
+  // (credentials, overload caps, http limits, file root, remote rebind).
+  void maybe_apply_runtime_config();
+  // Body + status for /healthz, /readyz and /reload (POST /reload runs the
+  // reload synchronously so the response reflects the new generation).
+  std::string control_response(Endpoint endpoint, int* http_status);
   uint64_t now_ms() const;
   // Resolve a queued async event to a still-alive connection (the kernel-
   // bypass queue may outlive a connection that erred out meanwhile).
@@ -223,6 +292,10 @@ class Worker {
   std::atomic<bool> drain_requested_{false};
   std::atomic<uint64_t> drain_delay_ms_{0};
   std::atomic<bool> drained_{false};
+  // Control plane (DESIGN.md §15).
+  WorkerHeartbeat heartbeat_;
+  std::atomic<bool> eject_requested_{false};
+  std::atomic<uint64_t> applied_generation_{0};
   bool draining_ = false;           // worker-thread view of the drain
   uint64_t drain_deadline_ms_ = 0;
 };

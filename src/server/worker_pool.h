@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -47,6 +48,26 @@ struct WorkerPoolStats {
   uint64_t session_hits = 0;
   uint64_t session_misses = 0;
   uint64_t tickets_unsealed = 0;
+  // Watchdog recoveries executed over the pool's lifetime (DESIGN.md §15).
+  uint64_t worker_restarts = 0;
+};
+
+// Snapshot of one worker's heartbeat as the supervisor scores it.
+struct WorkerHeartbeatView {
+  uint64_t iterations = 0;
+  uint64_t progress = 0;
+  uint64_t stamp_ms = 0;
+  uint8_t phase = 0;
+  bool draining = false;
+  bool recovering = false;  // mid-replacement; exempt from wedge scoring
+  uint64_t applied_generation = 0;
+};
+
+// What recover_worker accomplished.
+struct RecoverOutcome {
+  bool restarted = false;  // a replacement worker is accepting again
+  bool joined = false;     // the old thread exited and was joined (vs zombie)
+  size_t reaped = 0;       // connections + parked accepts reclaimed
 };
 
 class WorkerPool {
@@ -98,24 +119,84 @@ class WorkerPool {
   // dump thread logs; also usable on demand.
   std::string stats_text() const;
 
+  // --- control-plane views (DESIGN.md §15) ------------------------------
+  // One heartbeat snapshot per worker slot, in slot order.
+  std::vector<WorkerHeartbeatView> heartbeats() const;
+  // Readiness inputs: any worker draining (or the pool stopping), and
+  // whether the offload ladder has fully degraded to inline software on
+  // every accelerated worker (all op-class breakers open AND no usable
+  // remote tier). Software-only pools are never "degraded".
+  bool any_draining() const;
+  bool fully_degraded() const;
+
+  // Crash-only recovery of worker slot `i` (the supervisor's arm): request
+  // eject, wait up to `grace_ms` (wall clock) for the thread to come back,
+  // then either join + destroy the worker — the destructor IS the reap:
+  // paused offload jobs drain and every slab-backed connection returns to
+  // its pool — or quarantine the wedged thread's whole cell as a zombie
+  // (listener share darkened via dup2(/dev/null) so the kernel stops
+  // handing it connections) and respawn a fresh worker on the same session
+  // plane, port and topology lanes either way.
+  RecoverOutcome recover_worker(int worker_index, uint64_t grace_ms);
+  uint64_t total_worker_restarts() const {
+    return total_restarts_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Cell {
     std::unique_ptr<engine::QatEngineProvider> engine;
     // Remote tier channel (DESIGN.md §13); null when disabled or the dial
     // failed. Owned here so it outlives the engine that points at it.
     std::unique_ptr<remote::RemoteChannel> remote;
+    // Channels retired by a reload rebind: kept alive (not destroyed) so a
+    // late response for an op submitted pre-reload never touches freed
+    // state; the engine's deadline sweep resolves those ops.
+    std::vector<std::unique_ptr<remote::RemoteChannel>> retired_remotes;
+    RemoteOffloadSettings remote_settings;  // what `remote` was dialed with
     std::unique_ptr<tls::TlsContext> ctx;
     std::unique_ptr<Worker> worker;
     std::thread thread;
+    // Shared with the worker thread's lambda (never `this`, never the
+    // Cell): a quarantined zombie thread can outlive both.
+    std::shared_ptr<std::atomic<bool>> stop_flag;
+    std::shared_ptr<std::atomic<bool>> exited;
+    bool recovering = false;  // guarded by cells_mu_
+    uint64_t restarts = 0;
   };
+
+  // A wedged worker thread that missed its eject grace: its state is
+  // quarantined (kept alive, listener darkened), never freed under it.
+  struct Zombie {
+    std::unique_ptr<Worker> worker;
+    std::unique_ptr<engine::QatEngineProvider> engine;
+    std::unique_ptr<tls::TlsContext> ctx;
+    std::unique_ptr<remote::RemoteChannel> remote;
+    std::vector<std::unique_ptr<remote::RemoteChannel>> retired_remotes;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> stop_flag;
+    std::shared_ptr<std::atomic<bool>> exited;
+  };
+
+  Status build_cell_engine_ctx(int index, Cell* cell);
+  Status build_cell_worker(int index, Cell* cell, uint16_t port);
+  void spawn_cell_thread(Cell* cell);
+  void rebind_remote(Cell* cell, const RemoteOffloadSettings& ro);
+  void reap_zombies();
 
   qat::QatDevice* device_;                    // legacy single-device pools
   qat::DeviceTopology* topology_ = nullptr;   // multi-device pools
   const RsaPrivateKey* rsa_key_;
   WorkerPoolOptions options_;
   std::unique_ptr<tls::SessionPlane> session_plane_;
+  // Guards cells_ slot contents (worker/engine/remote swaps during
+  // recovery and rebinds) and zombies_. Never held across a join or the
+  // eject grace wait, so healthz-serving workers are never stalled into
+  // looking wedged themselves.
+  mutable std::mutex cells_mu_;
   std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<std::unique_ptr<Zombie>> zombies_;  // guarded by cells_mu_
   std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> total_restarts_{0};
   bool started_ = false;
   uint16_t port_ = 0;
   std::thread dump_thread_;

@@ -15,6 +15,7 @@ TlsResult from_int(int v) { return static_cast<TlsResult>(v); }
 TlsConnection::TlsConnection(TlsContext* ctx, Transport* transport,
                              common::SlabPool<HandshakeScratch>* scratch_pool)
     : ctx_(ctx),
+      creds_(ctx->credentials_snapshot()),
       records_(transport, ctx->provider(), &ctx->rng(),
                ctx->config().legacy_record_dataplane),
       hs_state_(ctx->is_server() ? HsState::kExpectClientHello
@@ -447,18 +448,18 @@ TlsResult TlsConnection::server_full_handshake_flight(
   CertificateMsg cert;
   if (info.kx == KeyExchange::kEcdheEcdsa) {
     const bool p384 = ctx_->config().curve == CurveId::kP384;
-    const EcKeyPair* key = p384 ? ctx_->credentials().ecdsa_p384
-                                : ctx_->credentials().ecdsa_p256;
+    const EcKeyPair* key = p384 ? creds_->ecdsa_p384
+                                : creds_->ecdsa_p256;
     if (!key) return TlsResult::kError;
     cert.cred_type =
         p384 ? CredentialType::kEcdsaP384 : CredentialType::kEcdsaP256;
     cert.public_key =
         (p384 ? curve_p384() : curve_p256()).encode_point(key->pub);
   } else {
-    if (!ctx_->credentials().rsa_key) return TlsResult::kError;
+    if (!creds_->rsa_key) return TlsResult::kError;
     cert.cred_type = CredentialType::kRsa;
     cert.public_key =
-        CertificateMsg::encode_rsa_key(ctx_->credentials().rsa_key->pub);
+        CertificateMsg::encode_rsa_key(creds_->rsa_key->pub);
   }
   if (!send_handshake(HandshakeType::kCertificate, cert.encode()).is_ok())
     return TlsResult::kError;
@@ -478,7 +479,7 @@ TlsResult TlsConnection::server_full_handshake_flight(
         ServerKeyExchange::signed_digest(info.prf_hash, hs_->client_random,
                                          hs_->server_random, ske.curve, ske.point);
     if (info.kx == KeyExchange::kEcdheRsa) {
-      auto sig = ctx_->provider()->rsa_sign(*ctx_->credentials().rsa_key,
+      auto sig = ctx_->provider()->rsa_sign(*creds_->rsa_key,
                                             digest);
       if (!sig.is_ok()) return TlsResult::kError;
       ++ops_.rsa;
@@ -486,8 +487,8 @@ TlsResult TlsConnection::server_full_handshake_flight(
     } else {
       const bool p384 = ctx_->config().curve == CurveId::kP384;
       const CurveId sign_curve = p384 ? CurveId::kP384 : CurveId::kP256;
-      const EcKeyPair* key = p384 ? ctx_->credentials().ecdsa_p384
-                                  : ctx_->credentials().ecdsa_p256;
+      const EcKeyPair* key = p384 ? creds_->ecdsa_p384
+                                  : creds_->ecdsa_p256;
       auto sig = ctx_->provider()->ecdsa_sign(sign_curve, key->priv, digest);
       if (!sig.is_ok()) return TlsResult::kError;
       ++ops_.ecc;
@@ -562,7 +563,7 @@ TlsResult TlsConnection::server_on_client_key_exchange(
 
   if (info.kx == KeyExchange::kRsa) {
     auto premaster = ctx_->provider()->rsa_decrypt(
-        *ctx_->credentials().rsa_key, parsed.value().exchange_data);
+        *creds_->rsa_key, parsed.value().exchange_data);
     if (!premaster.is_ok()) return TlsResult::kError;
     ++ops_.rsa;
     hs_->premaster = std::move(premaster).take();
@@ -680,14 +681,14 @@ TlsResult TlsConnection::server_step13(const ClientHello& hello,
     // calculations can be skipped" (§2.1).
     CertificateMsg cert;
     cert.cred_type = CredentialType::kRsa;
-    if (!ctx_->credentials().rsa_key) return TlsResult::kError;
+    if (!creds_->rsa_key) return TlsResult::kError;
     cert.public_key =
-        CertificateMsg::encode_rsa_key(ctx_->credentials().rsa_key->pub);
+        CertificateMsg::encode_rsa_key(creds_->rsa_key->pub);
     if (!send_handshake(HandshakeType::kCertificate, cert.encode()).is_ok())
       return TlsResult::kError;
 
     CertificateVerifyMsg cv;
-    auto sig = ctx_->provider()->rsa_sign(*ctx_->credentials().rsa_key,
+    auto sig = ctx_->provider()->rsa_sign(*creds_->rsa_key,
                                           hash(alg, hs_->transcript));
     if (!sig.is_ok()) return TlsResult::kError;
     ++ops_.rsa;

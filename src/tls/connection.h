@@ -223,6 +223,10 @@ class TlsConnection {
   void maybe_release_handshake_state();
 
   TlsContext* ctx_;
+  // Credential snapshot captured at construction (DESIGN.md §15): a hot
+  // reload swaps the context's snapshot for new connections, while this
+  // connection keeps handshaking against the chain it started with.
+  std::shared_ptr<const ServerCredentials> creds_;
   RecordLayer records_;
   asyncx::WaitCtx wait_ctx_;
   asyncx::AsyncJob* job_ = nullptr;

@@ -35,6 +35,7 @@ TlsContext::TlsContext(TlsContextConfig config,
                        engine::CryptoProvider* provider)
     : config_(std::move(config)),
       provider_(provider),
+      creds_(std::make_shared<ServerCredentials>()),
       owned_plane_(std::make_unique<SessionPlane>(plane_config_of(config_))),
       plane_(owned_plane_.get()),
       rng_(HashAlg::kSha256, seed_bytes(config_.drbg_seed, "ctx-rng")),

@@ -62,8 +62,25 @@ class TlsContext {
   bool is_server() const { return config_.is_server; }
   engine::CryptoProvider* provider() const { return provider_; }
 
-  ServerCredentials& credentials() { return creds_; }
-  const ServerCredentials& credentials() const { return creds_; }
+  // Setup-time mutable view of the current credential snapshot (the legacy
+  // `ctx->credentials().rsa_key = ...` idiom). Mutating through this ref is
+  // only safe before connections exist; a running worker swaps credentials
+  // with set_credentials() instead.
+  ServerCredentials& credentials() { return *creds_; }
+  const ServerCredentials& credentials() const { return *creds_; }
+
+  // Hot-reload credential swap (DESIGN.md §15): publishes a fresh snapshot
+  // for connections accepted from now on. Each TlsConnection captures the
+  // snapshot shared_ptr at construction, so in-flight handshakes finish on
+  // the certificate chain they started with — RCU by refcount, no locking.
+  // Must run on the thread that owns this context (the worker applies
+  // reloads at the top of its own loop).
+  void set_credentials(const ServerCredentials& creds) {
+    creds_ = std::make_shared<ServerCredentials>(creds);
+  }
+  std::shared_ptr<const ServerCredentials> credentials_snapshot() const {
+    return creds_;
+  }
 
   // Resumption plane: private by default, pool-shared after
   // set_session_plane(). The caller must keep a shared plane alive for the
@@ -89,7 +106,7 @@ class TlsContext {
  private:
   TlsContextConfig config_;
   engine::CryptoProvider* provider_;
-  ServerCredentials creds_;
+  std::shared_ptr<ServerCredentials> creds_;
   std::unique_ptr<SessionPlane> owned_plane_;
   SessionPlane* plane_;  // == owned_plane_.get() unless pool-shared
   HmacDrbg rng_;

@@ -22,10 +22,13 @@
 #include <thread>
 #include <vector>
 
+#include <csignal>
+
 #include "client/https_client.h"
 #include "crypto/keystore.h"
 #include "obs/metrics.h"
 #include "qat/fault.h"
+#include "server/control.h"
 #include "server/worker_pool.h"
 #include "tls_test_util.h"
 
@@ -37,6 +40,28 @@ namespace qtls::server {
 namespace {
 
 constexpr int kSoakIters = QTLS_FAULT_SOAK_ITERS;
+
+// Conf for the control plane riding the faulty-device soak: overload knobs
+// mirror the test's own (the first applied generation must not tighten the
+// deadlines the soak depends on), and the wedge threshold is generous so a
+// starved-but-alive worker under sanitizers is never a false positive.
+constexpr char kChaosControlConf[] = R"(
+worker_processes 4;
+overload {
+    handshake_timeout_ms 60000;
+    idle_timeout_ms 60000;
+    write_stall_timeout_ms 60000;
+}
+control {
+    heartbeat_interval_ms 100;
+    missed_windows 50;
+    eject_grace_ms 2000;
+    supervise on;
+}
+credentials {
+    rsa 2048;
+}
+)";
 
 constexpr qat::OpKind kAsymKinds[] = {
     qat::OpKind::kRsa2048Priv,
@@ -95,12 +120,23 @@ TEST(ChaosSoak, WorkerPoolSurvivesFaultyDevice) {
   options.worker_config.overload.idle_timeout_ms = 60'000;
   options.worker_config.overload.write_stall_timeout_ms = 60'000;
 
+  // The self-healing control plane rides the soak: the real supervisor
+  // thread scores heartbeats while the device misbehaves, and periodic
+  // SIGHUPs hot-reload the conf mid-chaos. Everything must still complete
+  // with zero errors and zero (false-positive) worker restarts.
+  ControlPlane control;
+  ASSERT_TRUE(control.load(kChaosControlConf).is_ok());
+  options.worker_config.control = &control;
+
   const uint64_t timeouts_before =
       obs::MetricsRegistry::global().snapshot().counter_value(
           "overload.handshake_timeout");
 
   WorkerPool pool(&device, &test_rsa2048(), options);
   ASSERT_TRUE(pool.start(0).is_ok());
+  control.attach(&pool);
+  control.install_sighup();
+  control.start_supervisor();
   const uint16_t port = pool.port();
 
   engine::SoftwareProvider client_provider;
@@ -126,15 +162,38 @@ TEST(ChaosSoak, WorkerPoolSurvivesFaultyDevice) {
 
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  auto next_sighup =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
   bool all_done = false;
   while (!all_done && std::chrono::steady_clock::now() < deadline) {
     all_done = true;
     for (auto& c : clients.clients()) {
       if (c->step()) all_done = false;
     }
+    if (std::chrono::steady_clock::now() >= next_sighup) {
+      std::raise(SIGHUP);  // hot reload mid-chaos, served by the supervisor
+      next_sighup += std::chrono::milliseconds(100);
+    }
   }
+  // One final deferred reload, then wait for the supervisor to serve it so
+  // the SIGHUP path is exercised at least once even on a fast machine.
+  control.request_reload();
+  const auto reload_settle =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (control.stats().reloads < 2 &&
+         std::chrono::steady_clock::now() < reload_settle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  control.stop_supervisor();
   pool.stop();
   ASSERT_TRUE(all_done) << "soak hung: clients never finished under faults";
+
+  // The reloads landed cleanly and the watchdog never misfired: a soak this
+  // busy is the false-positive stress for the wedge detector.
+  EXPECT_GE(control.stats().reloads, 2u);
+  EXPECT_EQ(control.stats().reload_failures, 0u);
+  EXPECT_EQ(control.stats().wedge_events, 0u);
+  EXPECT_EQ(pool.total_worker_restarts(), 0u);
 
   // Every request completed despite the chaos — retries and software
   // fallback absorbed all of it.

@@ -19,7 +19,7 @@ namespace {
 // releases them to the real socket in controlled slices.
 class HoldTransport final : public tls::Transport {
  public:
-  explicit HoldTransport(int fd) : fd_(fd) { net::set_nonblocking(fd); }
+  explicit HoldTransport(int fd) : fd_(fd) { (void)net::set_nonblocking(fd); }
   ~HoldTransport() override { ::close(fd_); }
 
   tls::IoResult read(uint8_t* buf, size_t len) override {
